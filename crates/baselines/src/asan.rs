@@ -1,0 +1,277 @@
+//! The AddressSanitizer model: red zones around *host* heap allocations,
+//! poison-on-free, and memcpy interception.
+//!
+//! ASan is compile-time instrumentation plus a runtime allocator. In an
+//! offloading program only host allocations go through ASan's allocator —
+//! the device plugin manages CV memory itself — so ASan can flag
+//! transfers (and host code) that walk outside an original variable, but
+//! sees nothing wrong with device-side overflows or uninitialised /
+//! stale data. That is exactly its Table III column: the six BO
+//! benchmarks, nothing else.
+
+use crate::sink::ReportSink;
+use arbalest_offload::buffer::BufferInfo;
+use arbalest_offload::events::{AccessEvent, Tool, TransferEvent, TransferKind};
+use arbalest_offload::report::{Report, ReportKind};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::panic::Location;
+
+/// Red zone size in bytes on each side of an allocation. Must not exceed
+/// the runtime allocator's inter-block gap.
+pub const REDZONE: u64 = 32;
+
+#[derive(Debug, Clone, Copy)]
+struct HeapBlock {
+    start: u64,
+    len: u64,
+    name_idx: u32,
+    live: bool,
+}
+
+/// The AddressSanitizer model.
+pub struct AddressSanitizer {
+    blocks: RwLock<BTreeMap<u64, HeapBlock>>,
+    names: RwLock<Vec<String>>,
+    sink: ReportSink,
+}
+
+impl Default for AddressSanitizer {
+    fn default() -> Self {
+        AddressSanitizer::new()
+    }
+}
+
+impl AddressSanitizer {
+    /// Create the detector.
+    pub fn new() -> AddressSanitizer {
+        AddressSanitizer {
+            blocks: RwLock::new(BTreeMap::new()),
+            names: RwLock::new(Vec::new()),
+            sink: ReportSink::new("asan", 1024),
+        }
+    }
+
+    /// Classify a host address: inside a live block (ok), inside a red
+    /// zone or past a block (overflow), or inside a freed block (UAF).
+    fn classify(&self, addr: u64) -> Option<(ReportKind, String)> {
+        let blocks = self.blocks.read();
+        // The nearest block at or below the address.
+        if let Some((_, b)) = blocks.range(..=addr).next_back() {
+            if addr < b.start + b.len {
+                if b.live {
+                    return None;
+                }
+                let name = self.names.read()[b.name_idx as usize].clone();
+                return Some((
+                    ReportKind::UseAfterFree,
+                    format!("access to freed allocation '{name}'"),
+                ));
+            }
+            if addr < b.start + b.len + REDZONE {
+                let name = self.names.read()[b.name_idx as usize].clone();
+                return Some((
+                    ReportKind::HeapOverflow,
+                    format!("heap-buffer-overflow past the end of '{name}'"),
+                ));
+            }
+        }
+        // Left red zone of the next block above.
+        if let Some((_, b)) = blocks.range(addr..).next() {
+            if addr + REDZONE >= b.start && addr < b.start {
+                let name = self.names.read()[b.name_idx as usize].clone();
+                return Some((
+                    ReportKind::HeapOverflow,
+                    format!("heap-buffer-overflow before the start of '{name}'"),
+                ));
+            }
+        }
+        None
+    }
+
+    fn check_host_range(
+        &self,
+        addr: u64,
+        len: u64,
+        device: arbalest_offload::addr::DeviceId,
+        buffer: Option<String>,
+        loc: Option<&'static Location<'static>>,
+    ) {
+        // Checking the first and last byte of each granule is enough for
+        // red-zone shaped violations.
+        let mut a = addr;
+        let end = addr + len;
+        while a < end {
+            if let Some((kind, msg)) = self.classify(a) {
+                self.sink.push(kind, msg, buffer.clone(), device, a, 1, loc);
+                return;
+            }
+            a += 8;
+        }
+        if end > addr {
+            if let Some((kind, msg)) = self.classify(end - 1) {
+                self.sink.push(kind, msg, buffer, device, end - 1, 1, loc);
+            }
+        }
+    }
+}
+
+impl Tool for AddressSanitizer {
+    fn name(&self) -> &'static str {
+        "asan"
+    }
+
+    fn on_buffer_registered(&self, info: &BufferInfo) {
+        let mut names = self.names.write();
+        let idx = names.len() as u32;
+        names.push(info.name.clone());
+        drop(names);
+        self.blocks.write().insert(
+            info.ov_base,
+            HeapBlock { start: info.ov_base, len: info.byte_len().max(8), name_idx: idx, live: true },
+        );
+    }
+
+    fn on_host_free(&self, info: &BufferInfo) {
+        if let Some(b) = self.blocks.write().get_mut(&info.ov_base) {
+            b.live = false;
+        }
+    }
+
+    fn on_access(&self, ev: &AccessEvent) {
+        // Only host memory is ASan heap; device accesses hit plugin
+        // memory whose shadow is unpoisoned.
+        if !ev.device.is_host() {
+            return;
+        }
+        if let Some((kind, msg)) = self.classify(ev.addr) {
+            self.sink.push(kind, msg, None, ev.device, ev.addr, ev.size, Some(ev.loc));
+        }
+    }
+
+    fn on_transfer(&self, ev: &TransferEvent) {
+        if ev.unified {
+            return;
+        }
+        // The interceptor checks the host-side range of the memcpy;
+        // device-to-device copies never touch ASan heap.
+        let (host_addr, dev) = match ev.kind {
+            TransferKind::ToDevice => (ev.src_addr, ev.dst_device),
+            TransferKind::FromDevice => (ev.dst_addr, ev.src_device),
+            TransferKind::DeviceToDevice => return,
+        };
+        self.check_host_range(host_addr, ev.len, dev, None, None);
+    }
+
+    fn reports(&self) -> Vec<Report> {
+        self.sink.all()
+    }
+
+    fn side_table_bytes(&self) -> u64 {
+        // Red-zone shadow: 1 shadow byte per 8 application bytes over the
+        // blocks' extent, like real ASan.
+        let blocks = self.blocks.read();
+        blocks.values().map(|b| (b.len + 2 * REDZONE) / 8 + 32).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbalest_offload::prelude::*;
+    use std::sync::Arc;
+
+    fn harness() -> (Runtime, Arc<AddressSanitizer>) {
+        let tool = Arc::new(AddressSanitizer::new());
+        let rt = Runtime::with_tool(Config::default(), tool.clone());
+        (rt, tool)
+    }
+
+    #[test]
+    fn oversized_map_section_is_heap_overflow() {
+        let (rt, tool) = harness();
+        let a = rt.alloc_with::<f64>("a", 8, |_| 1.0);
+        rt.target().map(Map::to_section(&a, 0, 12)).run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let _ = k.read(&a, i);
+            });
+        });
+        assert!(tool.reports().iter().any(|r| r.kind == ReportKind::HeapOverflow));
+    }
+
+    #[test]
+    fn copy_back_overflow_detected() {
+        let (rt, tool) = harness();
+        let a = rt.alloc_with::<f64>("a", 8, |_| 1.0);
+        rt.target().map(Map::from_section(&a, 0, 10)).run(move |k| {
+            k.for_each(0..8, |k, i| k.write(&a, i, 1.0));
+        });
+        assert!(tool.reports().iter().any(|r| r.kind == ReportKind::HeapOverflow));
+    }
+
+    #[test]
+    fn blind_to_uum_and_usd() {
+        let (rt, tool) = harness();
+        let b = rt.alloc_with::<f64>("b", 8, |_| 1.0);
+        let c = rt.alloc_with::<f64>("c", 8, |_| 0.0);
+        // Fig. 1 UUM.
+        rt.target().map(Map::alloc(&b)).map(Map::tofrom(&c)).run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let v = k.read(&b, i);
+                k.write(&c, i, v);
+            });
+        });
+        // Fig. 2 USD.
+        let a = rt.alloc_init::<i64>("a", &[1]);
+        rt.target().map(Map::to(&a)).run(move |k| {
+            k.for_each(0..1, |k, _| k.write(&a, 0, 2));
+        });
+        let _ = rt.read(&a, 0);
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+
+    #[test]
+    fn device_side_overflow_not_seen() {
+        // Kernel reads past its CV inside the plugin pool: no red zones
+        // there, ASan stays silent (only ARBALEST's interval tree sees it).
+        let (rt, tool) = harness();
+        let a = rt.alloc_with::<f64>("a", 8, |_| 1.0);
+        rt.target().map(Map::to(&a)).run(move |k| {
+            k.for_each(0..1, |k, _| {
+                let _ = k.read(&a, 10);
+            });
+        });
+        assert!(tool.reports().is_empty());
+    }
+
+    #[test]
+    fn use_after_free_detected() {
+        let (rt, tool) = harness();
+        let a = rt.alloc_with::<i64>("a", 4, |_| 1);
+        let b = rt.alloc_with::<i64>("b", 4, |_| 1);
+        rt.free(&a);
+        let _ = rt.read(&b, 0); // fine
+        // Reading `a` after free through the tracked path would panic in
+        // the runtime's bounds logic only if unallocated; the access is
+        // still tracked, so emulate via the raw event path: read is fine
+        // at runtime level (memory persists) but ASan flags it.
+        let _ = rt.read(&a, 0);
+        assert!(tool.reports().iter().any(|r| r.kind == ReportKind::UseAfterFree));
+    }
+
+    #[test]
+    fn clean_program_is_silent() {
+        let (rt, tool) = harness();
+        let a = rt.alloc_with::<f64>("a", 64, |i| i as f64);
+        rt.target().map(Map::tofrom(&a)).run(move |k| {
+            k.par_for(0..64, |k, i| {
+                let v = k.read(&a, i);
+                k.write(&a, i, v + 1.0);
+            });
+        });
+        for i in 0..64 {
+            assert_eq!(rt.read(&a, i), i as f64 + 1.0);
+        }
+        assert!(tool.reports().is_empty());
+    }
+}

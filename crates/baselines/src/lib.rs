@@ -1,0 +1,41 @@
+//! # arbalest-baselines
+//!
+//! Faithful models of the four dynamic analysis tools ARBALEST is
+//! compared against in §VI: Valgrind's memcheck, Archer, AddressSanitizer
+//! and MemorySanitizer.
+//!
+//! Each model implements the published detection *algorithm* of its tool
+//! (A/V bits, FastTrack happens-before, red zones, definedness
+//! propagation) over the same event stream ARBALEST consumes, with the
+//! observability each real tool has:
+//!
+//! * **memcheck** is binary-level instrumentation: it sees host heap
+//!   blocks and the runtime's transfer memcpys, but the device plugin's
+//!   pooled arena looks like one big zero-initialised (hence *defined*)
+//!   mapping — so kernel-side uninitialised CVs are invisible to it.
+//!   Like the real Valgrind it serialises execution (a global lock).
+//! * **archer** is pure happens-before race detection with OpenMP sync
+//!   knowledge but no OV/CV consistency model.
+//! * **asan** red-zones *host* allocations only (the device plugin's
+//!   memory is not ASan heap), so it catches transfers that walk out of
+//!   an original variable but nothing on the device side.
+//! * **msan** tracks byte definedness with propagation through the
+//!   allocator- and memcpy-interception it has on the host toolchain; a
+//!   `target update` staged through a runtime-internal buffer launders
+//!   shadow — the "imprecise modelling of OpenMP constructs due to the
+//!   lack of OMPT" the paper cites for the benchmark it misses.
+//!
+//! Together these blind spots are what Table III measures.
+
+#![warn(missing_docs)]
+
+pub mod archer;
+pub mod asan;
+pub mod memcheck;
+pub mod msan;
+mod sink;
+
+pub use archer::Archer;
+pub use asan::AddressSanitizer;
+pub use memcheck::Memcheck;
+pub use msan::MemorySanitizer;

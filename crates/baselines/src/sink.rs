@@ -1,0 +1,62 @@
+//! Shared report sink with per-site deduplication, used by every baseline.
+
+use arbalest_offload::report::{Report, ReportKind};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::panic::Location;
+
+/// Deduplication key: (kind, buffer, file, line).
+type ReportKey = (ReportKind, Option<String>, &'static str, u32);
+
+pub(crate) struct ReportSink {
+    tool: &'static str,
+    max: usize,
+    reports: Mutex<Vec<Report>>,
+    seen: Mutex<HashSet<ReportKey>>,
+}
+
+impl ReportSink {
+    pub(crate) fn new(tool: &'static str, max: usize) -> Self {
+        ReportSink { tool, max, reports: Mutex::new(Vec::new()), seen: Mutex::new(HashSet::new()) }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn push(
+        &self,
+        kind: ReportKind,
+        message: String,
+        buffer: Option<String>,
+        device: arbalest_offload::addr::DeviceId,
+        addr: u64,
+        size: usize,
+        loc: Option<&'static Location<'static>>,
+    ) {
+        let key = (
+            kind,
+            buffer.clone(),
+            loc.map(|l| l.file()).unwrap_or(""),
+            loc.map(|l| l.line()).unwrap_or(0),
+        );
+        let mut seen = self.seen.lock();
+        if seen.len() >= self.max || !seen.insert(key) {
+            return;
+        }
+        drop(seen);
+        self.reports.lock().push(Report {
+            tool: self.tool,
+            kind,
+            message,
+            buffer,
+            device,
+            addr,
+            size,
+            loc,
+            prev: None,
+            suggested_fix: None,
+        });
+    }
+
+    pub(crate) fn all(&self) -> Vec<Report> {
+        self.reports.lock().clone()
+    }
+}

@@ -1,0 +1,109 @@
+//! Micro-benchmarks backing the paper's complexity claims (§IV-C):
+//!
+//! * `vsm_transition` — the per-access state transition is O(1).
+//! * `shadow_cas`     — one lock-free shadow update per access.
+//! * `interval_stab`  — CV→OV lookup is O(log m): sweep the number of
+//!   mapped sections m and observe the flat/logarithmic curve.
+//! * `word_codec`     — Table II encode/decode round-trip.
+//! * `race_check`     — the FastTrack epoch comparison on the hot path.
+
+use arbalest_core::vsm::{self, StorageLoc, VsmOp};
+use arbalest_race::RaceEngine;
+use arbalest_shadow::{GranuleState, IntervalTree, Layout, ShadowMemory};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_vsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vsm_transition");
+    let states = [
+        GranuleState::default(),
+        GranuleState { valid_mask: 1, init_mask: 1, ..Default::default() },
+        GranuleState { valid_mask: 2, init_mask: 2, ..Default::default() },
+        GranuleState { valid_mask: 3, init_mask: 3, ..Default::default() },
+    ];
+    group.bench_function("write_host", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = states[i & 3];
+            i += 1;
+            black_box(vsm::apply(s, VsmOp::Write(StorageLoc::Host)))
+        })
+    });
+    group.bench_function("read_device_checked", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = states[i & 3];
+            i += 1;
+            black_box(vsm::apply(s, VsmOp::Read(StorageLoc::Device(1))))
+        })
+    });
+    group.finish();
+}
+
+fn bench_shadow(c: &mut Criterion) {
+    let shadow = ShadowMemory::new(1);
+    let layout = Layout::TableII;
+    c.bench_function("shadow_cas_update", |b| {
+        let mut addr = 0x1000u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(8) & 0xFFFF;
+            shadow.update(0x10000 + addr, 0, |w| {
+                let s = layout.decode(w);
+                let (next, _) = vsm::apply(s, VsmOp::Write(StorageLoc::Host));
+                layout.encode(next)
+            })
+        })
+    });
+}
+
+fn bench_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_stab");
+    for m in [1usize, 8, 64, 512, 4096] {
+        let mut tree = IntervalTree::new();
+        for i in 0..m as u64 {
+            tree.insert(i * 1024, i * 1024 + 512, i);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 7919) % m as u64;
+                black_box(tree.stab(i * 1024 + 256))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_word(c: &mut Criterion) {
+    let layout = Layout::TableII;
+    let s = GranuleState {
+        valid_mask: 0b11,
+        init_mask: 0b11,
+        tid: 42,
+        clock: 123456,
+        is_write: true,
+        access_size: 8,
+        addr_offset: 0,
+    };
+    c.bench_function("word_codec_roundtrip", |b| {
+        b.iter(|| black_box(layout.decode(layout.encode(black_box(s)))))
+    });
+}
+
+fn bench_race(c: &mut Criterion) {
+    let engine = RaceEngine::new();
+    engine.fork(0, 1);
+    c.bench_function("race_check_write", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(8) & 0xFFFF;
+            black_box(engine.check_write(1, 0x40000 + addr, 8))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_vsm, bench_shadow, bench_interval, bench_word, bench_race
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! End-to-end per-tool overhead on a fixed kernel — the criterion-grade
+//! companion to `fig8`: one memory-bound kernel (saxpy over a mapped
+//! array) run native and under each of the five tools.
+//!
+//! Also includes the ablation benches DESIGN.md calls out:
+//! * `arbalest_no_races` — VSM only, race engine off (how much of
+//!   ARBALEST's cost is Archer's, §VI-E);
+//! * `arbalest_no_cache` — interval-tree lookups without the one-entry
+//!   cache (§IV-C's amortisation claim).
+
+use arbalest_bench::make_tool;
+use arbalest_core::{Arbalest, ArbalestConfig};
+use arbalest_offload::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+const N: usize = 4096;
+
+fn saxpy(rt: &Runtime) -> f64 {
+    let x = rt.alloc_with::<f64>("x", N, |i| i as f64);
+    let y = rt.alloc_with::<f64>("y", N, |_| 1.0);
+    rt.target().map(Map::to(&x)).map(Map::tofrom(&y)).run(move |k| {
+        k.par_for(0..N, |k, i| {
+            let v = 2.0 * k.read(&x, i) + k.read(&y, i);
+            k.write(&y, i, v);
+        });
+    });
+    rt.read(&y, N - 1)
+}
+
+fn bench_tools(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saxpy_4k");
+    group.bench_function("native", |b| {
+        b.iter(|| saxpy(&Runtime::new(Config::default().team_size(2))))
+    });
+    for tool in ["arbalest", "archer", "asan", "msan", "memcheck"] {
+        group.bench_function(tool, |b| {
+            b.iter(|| {
+                let rt = Runtime::with_tool(Config::default().team_size(2), make_tool(tool));
+                saxpy(&rt)
+            })
+        });
+    }
+    group.bench_function("arbalest_no_races", |b| {
+        b.iter(|| {
+            let tool = Arc::new(Arbalest::new(ArbalestConfig {
+                check_races: false,
+                ..Default::default()
+            }));
+            let rt = Runtime::with_tool(Config::default().team_size(2), tool);
+            saxpy(&rt)
+        })
+    });
+    group.bench_function("arbalest_no_cache", |b| {
+        b.iter(|| {
+            let tool = Arc::new(Arbalest::new(ArbalestConfig {
+                lookup_cache: false,
+                ..Default::default()
+            }));
+            let rt = Runtime::with_tool(Config::default().team_size(2), tool);
+            saxpy(&rt)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_tools
+}
+criterion_main!(benches);

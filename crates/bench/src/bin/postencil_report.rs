@@ -1,0 +1,29 @@
+//! Regenerates the **§VI-D case study** (Fig. 6/7): run the buggy
+//! 503.postencil 1.2 pointer-swap variant under ARBALEST and print the
+//! Archer-style bug report pinpointing the stale output read.
+
+use arbalest_core::{Arbalest, ArbalestConfig};
+use arbalest_offload::prelude::*;
+use arbalest_spec::Preset;
+use std::sync::Arc;
+
+fn main() {
+    println!("***** CPU-based 7 points stencil codes (reproduction of 503.postencil) *****");
+    println!("running the SPEC ACCEL 1.2 buggy version (host-side pointer swap)...\n");
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default().team_size(4), tool.clone());
+    let checksum = arbalest_spec::postencil::run_buggy(&rt, Preset::Test);
+    println!("output checksum (host view): {checksum}");
+
+    let reports = tool.reports();
+    let stale: Vec<_> = reports.iter().filter(|r| r.kind == ReportKind::MappingUsd).collect();
+    println!("\nARBALEST found {} report(s); stale-access report(s): {}\n", reports.len(), stale.len());
+    for r in &reports {
+        print!("{}", r.render());
+    }
+    assert!(
+        !stale.is_empty(),
+        "the §VI-D data mapping issue (stale access at the output read) must be detected"
+    );
+    println!("\n(paper Fig. 7: 'WARNING: ThreadSanitizer: data mapping issue (stale access)')");
+}

@@ -1,0 +1,290 @@
+//! `arbalest` — command-line front end for the reproduction.
+//!
+//! ```text
+//! arbalest list                          enumerate benchmarks & workloads
+//! arbalest dracc <id|all> [options]      run DRACC benchmark(s)
+//! arbalest spec <name|all> [options]     run a SPEC-like workload
+//! arbalest certify <id|all>              Theorem-1 certification of DRACC
+//!
+//! options:
+//!   --tool arbalest|memcheck|archer|asan|msan   (repeatable; default arbalest)
+//!   --preset test|small|medium                  (spec only; default test)
+//!   --unified          unified-memory mode (§III-B)
+//!   --serialize        Theorem-1 serialized nowait execution
+//!   --team <n>         kernel team size (default 4)
+//!   --quiet            suppress rendered reports
+//! ```
+
+use arbalest_baselines::{AddressSanitizer, Archer, Memcheck, MemorySanitizer};
+use arbalest_core::{certify, Arbalest, ArbalestConfig};
+use arbalest_offload::prelude::*;
+use arbalest_spec::Preset;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Options {
+    tools: Vec<String>,
+    preset: Preset,
+    unified: bool,
+    serialize: bool,
+    team: usize,
+    quiet: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            tools: Vec::new(),
+            preset: Preset::Test,
+            unified: false,
+            serialize: false,
+            team: 4,
+            quiet: false,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprint!("{}", USAGE);
+    ExitCode::from(2)
+}
+
+const USAGE: &str = "\
+usage: arbalest <command> [options]
+  list                       enumerate DRACC benchmarks and SPEC workloads
+  dracc <id|all>             run DRACC benchmark(s) under the chosen tools
+  spec <name|all>            run SPEC-like workload(s)
+  certify <id|all>           Theorem-1 certification of DRACC benchmark(s)
+options:
+  --tool <name>              arbalest|memcheck|archer|asan|msan (repeatable)
+  --preset <p>               test|small|medium (spec only)
+  --unified                  unified-memory mode
+  --serialize                serialize nowait kernels (analysis schedule)
+  --team <n>                 kernel team size
+  --quiet                    summary only, no rendered reports
+";
+
+fn make_tool(name: &str) -> Option<Arc<dyn Tool>> {
+    Some(match name {
+        "arbalest" => Arc::new(Arbalest::new(ArbalestConfig::default())),
+        "memcheck" | "valgrind" => Arc::new(Memcheck::new()),
+        "archer" => Arc::new(Archer::new()),
+        "asan" => Arc::new(AddressSanitizer::new()),
+        "msan" => Arc::new(MemorySanitizer::new()),
+        _ => return None,
+    })
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tool" => {
+                let v = it.next().ok_or("--tool needs a value")?;
+                if make_tool(v).is_none() {
+                    return Err(format!("unknown tool '{v}'"));
+                }
+                opts.tools.push(v.clone());
+            }
+            "--preset" => {
+                opts.preset = match it.next().map(String::as_str) {
+                    Some("test") => Preset::Test,
+                    Some("small") => Preset::Small,
+                    Some("medium") => Preset::Medium,
+                    other => return Err(format!("bad --preset {other:?}")),
+                };
+            }
+            "--unified" => opts.unified = true,
+            "--serialize" => opts.serialize = true,
+            "--team" => {
+                opts.team = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--team needs a number")?;
+            }
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if opts.tools.is_empty() {
+        opts.tools.push("arbalest".to_string());
+    }
+    Ok(opts)
+}
+
+fn runtime_for(opts: &Options, tool: &str) -> Runtime {
+    let cfg = Config::default()
+        .team_size(opts.team)
+        .unified(opts.unified)
+        .serialize(opts.serialize);
+    Runtime::with_tool(cfg, make_tool(tool).expect("validated"))
+}
+
+fn print_reports(rt: &Runtime, quiet: bool) -> usize {
+    let reports = rt.reports();
+    if !quiet {
+        for r in &reports {
+            print!("{}", r.render());
+        }
+    }
+    reports.len()
+}
+
+fn cmd_list() -> ExitCode {
+    println!("DRACC-like benchmarks:");
+    for b in arbalest_dracc::all() {
+        let effect = b.expected.map(|e| format!("{e}")).unwrap_or_else(|| "ok".into());
+        println!("  {:<14} {:<6} {:<30} {}", b.dracc_id(), effect, b.name, b.description);
+    }
+    println!("\nSPEC-ACCEL-like workloads:");
+    for w in arbalest_spec::workloads() {
+        println!("  {:<12} ({})", w.name, w.spec_id);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_dracc(target: &str, opts: &Options) -> ExitCode {
+    let benches: Vec<_> = if target == "all" {
+        arbalest_dracc::all()
+    } else {
+        match target.parse::<u32>().ok().and_then(arbalest_dracc::by_id) {
+            Some(b) => vec![b],
+            None => {
+                eprintln!("unknown benchmark id '{target}'");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let mut missed = 0usize;
+    for b in &benches {
+        for tool in &opts.tools {
+            let rt = runtime_for(opts, tool);
+            b.run(&rt);
+            let n = print_reports(&rt, opts.quiet);
+            let verdict = match b.expected {
+                Some(e) => {
+                    let hit = rt.reports().iter().any(|r| r.kind.credits_effect(e));
+                    if !hit {
+                        missed += 1;
+                    }
+                    if hit { "DETECTED" } else { "missed" }
+                }
+                None => {
+                    if n > 0 {
+                        missed += 1;
+                        "FALSE POSITIVE"
+                    } else {
+                        "clean"
+                    }
+                }
+            };
+            println!("{:<14} {:<10} {:>3} report(s)  {}", b.dracc_id(), tool, n, verdict);
+        }
+    }
+    if missed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_spec(target: &str, opts: &Options) -> ExitCode {
+    let workloads: Vec<_> = if target == "all" {
+        arbalest_spec::workloads()
+    } else {
+        match arbalest_spec::by_name(target) {
+            Some(w) => vec![w],
+            None => {
+                eprintln!("unknown workload '{target}'");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    for w in &workloads {
+        for tool in &opts.tools {
+            let rt = runtime_for(opts, tool);
+            let start = std::time::Instant::now();
+            let sum = (w.run)(&rt, opts.preset);
+            let wall = start.elapsed();
+            let n = print_reports(&rt, opts.quiet);
+            println!(
+                "{:<12} {:<10} {:>8.3}s  checksum {:>14.6}  {} report(s)",
+                w.name,
+                tool,
+                wall.as_secs_f64(),
+                sum,
+                n
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_certify(target: &str, opts: &Options) -> ExitCode {
+    let benches: Vec<_> = if target == "all" {
+        arbalest_dracc::all()
+    } else {
+        match target.parse::<u32>().ok().and_then(arbalest_dracc::by_id) {
+            Some(b) => vec![b],
+            None => {
+                eprintln!("unknown benchmark id '{target}'");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let mut wrong = 0usize;
+    for b in &benches {
+        let cfg = Config::default().team_size(opts.team).unified(opts.unified);
+        let cert = certify(cfg, |rt| b.run(rt));
+        let expected_clean = b.expected.is_none();
+        let ok = cert.certified() == expected_clean;
+        if !ok {
+            wrong += 1;
+        }
+        println!(
+            "{:<14} certified={:<5} mapping_issues={:<3} races={:<3} {}",
+            b.dracc_id(),
+            cert.certified(),
+            cert.mapping_issues.len(),
+            cert.races.len(),
+            if ok { "(as expected)" } else { "(UNEXPECTED)" }
+        );
+    }
+    if wrong == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "dracc" | "spec" | "certify" => {
+            let Some(target) = args.get(1) else { return usage() };
+            let opts = match parse_options(&args[2..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}\n");
+                    return usage();
+                }
+            };
+            match cmd.as_str() {
+                "dracc" => cmd_dracc(target, &opts),
+                "spec" => cmd_spec(target, &opts),
+                _ => cmd_certify(target, &opts),
+            }
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n");
+            usage()
+        }
+    }
+}

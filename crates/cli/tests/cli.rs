@@ -1,0 +1,90 @@
+//! End-to-end tests of the `arbalest` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_arbalest"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn list_enumerates_suite() {
+    let (ok, stdout, _) = run(&["list"]);
+    assert!(ok);
+    assert!(stdout.contains("DRACC_OMP_022"));
+    assert!(stdout.contains("DRACC_OMP_056"));
+    assert!(stdout.contains("postencil"));
+    assert!(stdout.contains("554.pcg"));
+}
+
+#[test]
+fn dracc_detects_seeded_bug() {
+    let (ok, stdout, _) = run(&["dracc", "22", "--quiet"]);
+    assert!(ok, "exit 0 when the bug is detected");
+    assert!(stdout.contains("DETECTED"));
+}
+
+#[test]
+fn dracc_reports_render_without_quiet() {
+    let (_, stdout, _) = run(&["dracc", "26"]);
+    assert!(stdout.contains("mapping-issue(USD)"));
+    assert!(stdout.contains("Suggested fix"));
+}
+
+#[test]
+fn baseline_miss_is_nonzero_exit() {
+    let (ok, stdout, _) = run(&["dracc", "26", "--tool", "msan", "--quiet"]);
+    assert!(!ok, "missed detection should fail the run");
+    assert!(stdout.contains("missed"));
+}
+
+#[test]
+fn multiple_tools_compare() {
+    let (_, stdout, _) = run(&["dracc", "23", "--tool", "arbalest", "--tool", "asan", "--tool", "archer", "--quiet"]);
+    assert!(stdout.matches("DETECTED").count() == 2, "{stdout}");
+    assert!(stdout.contains("missed"));
+}
+
+#[test]
+fn certify_partitions() {
+    let (ok, stdout, _) = run(&["certify", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("certified=true"));
+    let (ok, stdout, _) = run(&["certify", "34"]);
+    assert!(ok, "rejection of a buggy benchmark is the expected outcome");
+    assert!(stdout.contains("certified=false"));
+}
+
+#[test]
+fn spec_runs_with_preset() {
+    let (ok, stdout, _) = run(&["spec", "pomriq", "--preset", "test", "--quiet"]);
+    assert!(ok);
+    assert!(stdout.contains("pomriq"));
+    assert!(stdout.contains("checksum"));
+}
+
+#[test]
+fn bad_usage_is_a_clean_error() {
+    let (ok, _, stderr) = run(&["dracc", "22", "--tool", "nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown tool"));
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn unified_mode_changes_verdict() {
+    // Benchmark 26's staleness disappears under unified memory (§III-B):
+    // detection is "missed" because the issue genuinely does not occur.
+    let (ok, stdout, _) = run(&["dracc", "26", "--unified", "--quiet"]);
+    assert!(!ok, "no issue manifests under unified memory");
+    assert!(stdout.contains("missed"));
+}

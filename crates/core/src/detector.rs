@@ -1,0 +1,755 @@
+//! The ARBALEST detector (§IV–V).
+//!
+//! Per aligned 8-byte granule of every tracked host variable, ARBALEST
+//! keeps one Table II shadow word, updated with lock-free compare-and-swap
+//! so analysis runs fully concurrently with the program (§IV-C). Kernel
+//! accesses land on CV device addresses; an interval tree (with a
+//! last-lookup cache) resolves them back to the OV's shadow in
+//! O(log m) — amortised O(1) — and doubles as the §IV-D mapping-related
+//! buffer-overflow detector. A FastTrack engine (ARBALEST is built on
+//! Archer) supplies the happens-before side: data races are reported and
+//! the Table II TID/clock fields are stamped from the racing task's epoch.
+
+use crate::vsm::{self, StorageLoc, ViolationKind, VsmOp};
+use arbalest_offload::addr::DeviceId;
+use arbalest_offload::buffer::{BufferId, BufferInfo};
+use arbalest_offload::events::{
+    AccessEvent, DataOpEvent, DataOpKind, SyncEvent, Tool, TransferEvent, TransferKind,
+};
+use arbalest_offload::report::{PrevAccess, Report, ReportKind};
+use arbalest_race::RaceEngine;
+use arbalest_shadow::{IntervalTree, Layout, ShadowMemory};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::panic::Location;
+
+/// Deduplication key: (kind, buffer, file, line).
+type ReportKey = (ReportKind, Option<u32>, &'static str, u32);
+
+/// Interval payload: which buffer a CV belongs to and where its OV lives.
+#[derive(Debug, Clone, Copy)]
+struct CvInfo {
+    buffer: BufferId,
+    ov_addr: u64,
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone)]
+pub struct ArbalestConfig {
+    /// Number of accelerators the analysed program may use (≤ 7 for the
+    /// multi-device shadow encoding). Chooses the shadow layout.
+    pub accelerators: u16,
+    /// Run the integrated happens-before race detection (Archer side).
+    /// Disable only for ablation measurements.
+    pub check_races: bool,
+    /// Use the one-entry interval-tree lookup cache (§IV-C's amortisation).
+    pub lookup_cache: bool,
+    /// Stop recording after this many distinct reports.
+    pub max_reports: usize,
+}
+
+impl Default for ArbalestConfig {
+    fn default() -> Self {
+        ArbalestConfig { accelerators: 1, check_races: true, lookup_cache: true, max_reports: 1024 }
+    }
+}
+
+/// Live operation counters (§IV-C's amortisation claims, measurable).
+#[derive(Debug, Default)]
+pub struct ArbalestStats {
+    /// Memory accesses analysed.
+    pub accesses: std::sync::atomic::AtomicU64,
+    /// VSM transitions applied (accesses + per-granule range ops).
+    pub vsm_transitions: std::sync::atomic::AtomicU64,
+    /// Interval lookups answered by the one-entry cache.
+    pub cache_hits: std::sync::atomic::AtomicU64,
+    /// Interval lookups that walked the tree.
+    pub cache_misses: std::sync::atomic::AtomicU64,
+}
+
+impl ArbalestStats {
+    /// Fraction of CV lookups served by the cache (0 when none happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        let h = self.cache_hits.load(Relaxed) as f64;
+        let m = self.cache_misses.load(Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+/// The ARBALEST tool.
+pub struct Arbalest {
+    cfg: ArbalestConfig,
+    layout: Layout,
+    shadow: ShadowMemory,
+    intervals: RwLock<IntervalTree<CvInfo>>,
+    cache: RwLock<Option<(u64, u64, CvInfo)>>,
+    race: Option<RaceEngine>,
+    buffers: RwLock<HashMap<u32, BufferInfo>>,
+    reports: Mutex<Vec<Report>>,
+    seen: Mutex<HashSet<ReportKey>>,
+    stats: ArbalestStats,
+}
+
+impl Default for Arbalest {
+    fn default() -> Self {
+        Arbalest::new(ArbalestConfig::default())
+    }
+}
+
+impl Arbalest {
+    /// Create a detector.
+    pub fn new(cfg: ArbalestConfig) -> Arbalest {
+        assert!(cfg.accelerators <= 7, "multi-device shadow word supports up to 7 accelerators");
+        let layout = Layout::for_accelerators(cfg.accelerators);
+        Arbalest {
+            layout,
+            shadow: ShadowMemory::new(1),
+            intervals: RwLock::new(IntervalTree::new()),
+            cache: RwLock::new(None),
+            race: if cfg.check_races { Some(RaceEngine::new()) } else { None },
+            buffers: RwLock::new(HashMap::new()),
+            reports: Mutex::new(Vec::new()),
+            seen: Mutex::new(HashSet::new()),
+            stats: ArbalestStats::default(),
+            cfg,
+        }
+    }
+
+    /// Live operation counters.
+    pub fn stats(&self) -> &ArbalestStats {
+        &self.stats
+    }
+
+    /// The shadow layout in use (Table II vs multi-device).
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    fn buffer_name(&self, id: Option<BufferId>) -> Option<String> {
+        let id = id?;
+        self.buffers.read().get(&id.0).map(|b| b.name.clone())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &self,
+        kind: ReportKind,
+        message: String,
+        buffer: Option<BufferId>,
+        device: DeviceId,
+        addr: u64,
+        size: usize,
+        loc: Option<&'static Location<'static>>,
+        prev: Option<PrevAccess>,
+        suggested_fix: Option<String>,
+    ) {
+        let key = (
+            kind,
+            buffer.map(|b| b.0),
+            loc.map(|l| l.file()).unwrap_or(""),
+            loc.map(|l| l.line()).unwrap_or(0),
+        );
+        let mut seen = self.seen.lock();
+        if seen.len() >= self.cfg.max_reports || !seen.insert(key) {
+            return;
+        }
+        drop(seen);
+        self.reports.lock().push(Report {
+            tool: "arbalest",
+            kind,
+            message,
+            buffer: self.buffer_name(buffer),
+            device,
+            addr,
+            size,
+            loc,
+            prev,
+            suggested_fix,
+        });
+    }
+
+    /// Resolve a device (CV) address to its owning interval, through the
+    /// one-entry cache when enabled.
+    fn lookup(&self, addr: u64) -> Option<(u64, u64, CvInfo)> {
+        use std::sync::atomic::Ordering::Relaxed;
+        if self.cfg.lookup_cache {
+            if let Some((lo, hi, info)) = *self.cache.read() {
+                if (lo..hi).contains(&addr) {
+                    self.stats.cache_hits.fetch_add(1, Relaxed);
+                    return Some((lo, hi, info));
+                }
+            }
+        }
+        self.stats.cache_misses.fetch_add(1, Relaxed);
+        let tree = self.intervals.read();
+        let (lo, hi, info) = tree.stab(addr).map(|(lo, hi, v)| (lo, hi, *v))?;
+        drop(tree);
+        if self.cfg.lookup_cache {
+            *self.cache.write() = Some((lo, hi, info));
+        }
+        Some((lo, hi, info))
+    }
+
+    /// Apply a VSM operation to one granule's shadow word, stamping the
+    /// Table II epoch fields; returns the violation and the *previous*
+    /// word's recorded access for the report.
+    fn vsm_step(
+        &self,
+        key: u64,
+        op: VsmOp,
+        ev: Option<&AccessEvent>,
+    ) -> (Option<vsm::Violation>, PrevAccess) {
+        self.stats.vsm_transitions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let epoch = match (&self.race, ev) {
+            (Some(r), Some(ev)) => r.epoch_of(ev.task.0),
+            _ => arbalest_race::Epoch::ZERO,
+        };
+        let mut violation = None;
+        let (old, _) = self.shadow.update(key & !7, 0, |w| {
+            let state = self.layout.decode(w);
+            let (mut next, v) = vsm::apply(state, op);
+            violation = v;
+            if let Some(ev) = ev {
+                next.tid = epoch.tid;
+                next.clock = epoch.clock;
+                next.is_write = ev.is_write;
+                next.access_size = ev.size as u8;
+                next.addr_offset = (ev.addr & 7) as u8;
+            }
+            self.layout.encode(next)
+        });
+        let old_state = self.layout.decode(old);
+        let prev =
+            PrevAccess { tid: old_state.tid, clock: old_state.clock, is_write: old_state.is_write };
+        (violation, prev)
+    }
+
+    fn vsm_range(&self, ov_addr: u64, len: u64, op: VsmOp) {
+        self.shadow.update_range(ov_addr, len, 0, |w| {
+            let state = self.layout.decode(w);
+            vsm::apply(state, op).0.pipe_encode(self.layout)
+        });
+    }
+
+    fn race_access(&self, ev: &AccessEvent) {
+        if ev.atomic {
+            return; // `omp atomic` accesses are synchronised by definition
+        }
+        let Some(engine) = &self.race else { return };
+        let info = if ev.is_write {
+            engine.check_write(ev.task.0, ev.addr, ev.size as u8)
+        } else {
+            engine.check_read(ev.task.0, ev.addr, ev.size as u8)
+        };
+        if let Some(r) = info {
+            self.report(
+                ReportKind::DataRace,
+                format!(
+                    "{} of size {} races with a previous {} by T{}",
+                    if ev.is_write { "write" } else { "read" },
+                    ev.size,
+                    if r.prev_was_write { "write" } else { "read" },
+                    r.prev_tid
+                ),
+                ev.buffer,
+                ev.device,
+                ev.addr,
+                ev.size,
+                Some(ev.loc),
+                Some(PrevAccess { tid: r.prev_tid, clock: r.prev_clock, is_write: r.prev_was_write }),
+                Some("order the conflicting accesses with taskwait, depend, or a synchronous target".into()),
+            );
+        }
+    }
+}
+
+/// Tiny helper so a `GranuleState` can be encoded in closure position.
+trait PipeEncode {
+    fn pipe_encode(self, layout: Layout) -> u64;
+}
+impl PipeEncode for arbalest_shadow::GranuleState {
+    #[inline]
+    fn pipe_encode(self, layout: Layout) -> u64 {
+        layout.encode(self)
+    }
+}
+
+impl Tool for Arbalest {
+    fn name(&self) -> &'static str {
+        "arbalest"
+    }
+
+    fn on_buffer_registered(&self, info: &BufferInfo) {
+        // Shadow defaults to the all-zero word — VSM `invalid`, exactly
+        // the paper's initial state for a fresh variable.
+        self.buffers.write().insert(info.id.0, info.clone());
+    }
+
+    fn on_data_op(&self, ev: &DataOpEvent) {
+        let d = ev.device.0 as u8;
+        match ev.kind {
+            DataOpKind::CvAlloc => {
+                self.intervals.write().insert(
+                    ev.cv_base,
+                    ev.cv_base + ev.len,
+                    CvInfo { buffer: ev.buffer, ov_addr: ev.ov_addr },
+                );
+                self.vsm_range(ev.ov_addr, ev.len, VsmOp::Allocate(d));
+            }
+            DataOpKind::CvDelete => {
+                self.intervals.write().remove(ev.cv_base);
+                *self.cache.write() = None;
+                self.vsm_range(ev.ov_addr, ev.len, VsmOp::Release(d));
+            }
+        }
+    }
+
+    fn on_transfer(&self, ev: &TransferEvent) {
+        let (ov_addr, device) = match ev.kind {
+            TransferKind::ToDevice => (ev.src_addr, ev.dst_device),
+            TransferKind::FromDevice => (ev.dst_addr, ev.src_device),
+            TransferKind::DeviceToDevice => {
+                // Resolve the shadow anchor through the source CV's
+                // interval; both CVs shadow the same OV range.
+                let Some((lo, _hi, info)) = self.lookup(ev.src_addr) else { return };
+                (info.ov_addr + (ev.src_addr - lo), ev.dst_device)
+            }
+        };
+        let d = device.0 as u8;
+
+        // Mapping-related buffer overflow in the *transfer* itself: the
+        // array section walks outside the original variable (§IV-D).
+        if let Some(info) = self.buffers.read().get(&ev.buffer.0) {
+            if ov_addr < info.ov_base || ov_addr + ev.len > info.ov_end() {
+                self.report(
+                    ReportKind::MappingOverflow,
+                    format!(
+                        "mapped array section [{:#x}, {:#x}) exceeds variable '{}' [{:#x}, {:#x})",
+                        ov_addr,
+                        ov_addr + ev.len,
+                        info.name,
+                        info.ov_base,
+                        info.ov_end()
+                    ),
+                    Some(ev.buffer),
+                    device,
+                    ov_addr,
+                    ev.len as usize,
+                    None,
+                    None,
+                    Some(format!("shrink the array section of '{}' to the variable's extent", info.name)),
+                );
+            }
+        }
+
+        // Happens-before: a transfer reads its source range and writes its
+        // destination range on the transferring task. Fig. 2's exit
+        // transfer racing a nowait kernel is caught here. Unified flushes
+        // move no data and are skipped.
+        if !ev.unified {
+            if let Some(engine) = &self.race {
+                let read_race = engine.check_read_range(ev.task.0, ev.src_addr, ev.len);
+                let write_race = engine.check_write_range(ev.task.0, ev.dst_addr, ev.len);
+                if let Some(r) = read_race.or(write_race) {
+                    self.report(
+                        ReportKind::DataRace,
+                        format!(
+                            "implicit data transfer of '{}' races with a concurrent {} by T{}",
+                            self.buffer_name(Some(ev.buffer)).unwrap_or_default(),
+                            if r.prev_was_write { "write" } else { "read" },
+                            r.prev_tid
+                        ),
+                        Some(ev.buffer),
+                        device,
+                        ov_addr,
+                        ev.len as usize,
+                        None,
+                        Some(PrevAccess {
+                            tid: r.prev_tid,
+                            clock: r.prev_clock,
+                            is_write: r.prev_was_write,
+                        }),
+                        Some("synchronize the nowait target region before the region end's implicit transfer".into()),
+                    );
+                }
+            }
+        }
+
+        // VSM range update. Clamp to the variable's extent so a
+        // transfer-overflow does not scribble on a neighbour's shadow.
+        let (lo, hi) = match self.buffers.read().get(&ev.buffer.0) {
+            Some(info) => (ov_addr.max(info.ov_base), (ov_addr + ev.len).min(info.ov_end())),
+            None => (ov_addr, ov_addr + ev.len),
+        };
+        if lo < hi {
+            let op = if ev.unified {
+                VsmOp::Flush(d)
+            } else {
+                match ev.kind {
+                    TransferKind::ToDevice => VsmOp::UpdateToDevice(d),
+                    TransferKind::FromDevice => VsmOp::UpdateFromDevice(d),
+                    TransferKind::DeviceToDevice => VsmOp::UpdateDeviceToDevice {
+                        src: ev.src_device.0 as u8,
+                        dst: ev.dst_device.0 as u8,
+                    },
+                }
+            };
+            self.vsm_range(lo, hi - lo, op);
+        }
+    }
+
+    fn on_access(&self, ev: &AccessEvent) {
+        self.stats.accesses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.race_access(ev);
+
+        let (key, loc) = if ev.device.is_host() {
+            (ev.addr, StorageLoc::Host)
+        } else {
+            if !ev.mapped {
+                self.report(
+                    ReportKind::MappingOverflow,
+                    "kernel accessed a variable absent from the device data environment (missing map clause)".into(),
+                    ev.buffer,
+                    ev.device,
+                    ev.addr,
+                    ev.size,
+                    Some(ev.loc),
+                    None,
+                    Some("add a map clause (or enclosing target data region) for the variable".into()),
+                );
+                return;
+            }
+            match self.lookup(ev.addr) {
+                None => {
+                    self.report(
+                        ReportKind::MappingOverflow,
+                        "kernel access outside every mapped corresponding variable".into(),
+                        ev.buffer,
+                        ev.device,
+                        ev.addr,
+                        ev.size,
+                        Some(ev.loc),
+                        None,
+                        Some("check the loop bounds against the mapped array section".into()),
+                    );
+                    return;
+                }
+                Some((lo, _hi, info)) => {
+                    if let Some(b) = ev.buffer {
+                        if b != info.buffer {
+                            // The access landed inside a *different*
+                            // variable's CV — the undefined-behaviour case
+                            // of §IV-D.
+                            self.report(
+                                ReportKind::MappingOverflow,
+                                format!(
+                                    "kernel access to '{}' overflowed into the corresponding variable of '{}'",
+                                    self.buffer_name(ev.buffer).unwrap_or_default(),
+                                    self.buffer_name(Some(info.buffer)).unwrap_or_default()
+                                ),
+                                ev.buffer,
+                                ev.device,
+                                ev.addr,
+                                ev.size,
+                                Some(ev.loc),
+                                None,
+                                Some("check the mapped array section's length/offset".into()),
+                            );
+                            return;
+                        }
+                    }
+                    (info.ov_addr + (ev.addr - lo), StorageLoc::Device(ev.device.0 as u8))
+                }
+            }
+        };
+
+        let op = if ev.is_write { VsmOp::Write(loc) } else { VsmOp::Read(loc) };
+        let (violation, prev) = self.vsm_step(key, op, Some(ev));
+        if let Some(v) = violation {
+            let (kind, what, fix) = match v.kind {
+                ViolationKind::Uum => (
+                    ReportKind::MappingUum,
+                    "use of uninitialized memory",
+                    match loc {
+                        StorageLoc::Host => "the corresponding variable was never copied back; use map-type from/tofrom or target update from",
+                        StorageLoc::Device(_) => "the corresponding variable was allocated but never initialized; use map-type to/tofrom or target update to",
+                    },
+                ),
+                ViolationKind::Usd => (
+                    ReportKind::MappingUsd,
+                    "use of stale data",
+                    match loc {
+                        StorageLoc::Host => "the last write happened on the device; use map-type from/tofrom or target update from before reading on the host",
+                        StorageLoc::Device(_) => "the last write happened on the host; use map-type to/tofrom or target update to before reading on the device",
+                    },
+                ),
+            };
+            self.report(
+                kind,
+                format!(
+                    "{what}: read of '{}' on {} did not observe the last write",
+                    self.buffer_name(ev.buffer).unwrap_or_default(),
+                    ev.device
+                ),
+                ev.buffer,
+                ev.device,
+                ev.addr,
+                ev.size,
+                Some(ev.loc),
+                Some(prev),
+                Some(fix.to_string()),
+            );
+        }
+    }
+
+    fn on_sync(&self, ev: &SyncEvent) {
+        let Some(engine) = &self.race else { return };
+        match ev {
+            SyncEvent::TaskCreate { parent, child } => engine.fork(parent.0, child.0),
+            SyncEvent::TaskEnd { task } => engine.end(task.0),
+            SyncEvent::TaskJoin { waiter, joined } => engine.join(waiter.0, joined.0),
+            SyncEvent::Acquire { task, lock } => engine.acquire(task.0, *lock),
+            SyncEvent::Release { task, lock } => engine.release(task.0, *lock),
+        }
+    }
+
+    fn reports(&self) -> Vec<Report> {
+        self.reports.lock().clone()
+    }
+
+    fn side_table_bytes(&self) -> u64 {
+        let mut bytes = self.shadow.resident_bytes() + self.intervals.read().approx_bytes();
+        if let Some(r) = &self.race {
+            bytes += r.approx_bytes();
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbalest_offload::prelude::*;
+    use std::sync::Arc;
+
+    fn harness(cfg: ArbalestConfig) -> (Runtime, Arc<Arbalest>) {
+        let tool = Arc::new(Arbalest::new(cfg));
+        let rt = Runtime::with_tool(Config::default(), tool.clone());
+        (rt, tool)
+    }
+
+    fn kinds(tool: &Arbalest) -> Vec<ReportKind> {
+        let mut v: Vec<ReportKind> = tool.reports().iter().map(|r| r.kind).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn clean_program_produces_no_reports() {
+        let (rt, tool) = harness(ArbalestConfig::default());
+        let a = rt.alloc_with::<f64>("a", 64, |i| i as f64);
+        let b = rt.alloc::<f64>("b", 64);
+        rt.target().map(Map::to(&a)).map(Map::from(&b)).run(move |k| {
+            k.par_for(0..64, |k, i| {
+                let v = k.read(&a, i);
+                k.write(&b, i, 2.0 * v);
+            });
+        });
+        let sum: f64 = (0..64).map(|i| rt.read(&b, i)).sum();
+        assert_eq!(sum, 2.0 * (63.0 * 64.0 / 2.0));
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+
+    #[test]
+    fn figure1_alloc_instead_of_to_is_uum() {
+        // DRACC_OMP_022 shape: map(alloc: b) then read b in the kernel.
+        let (rt, tool) = harness(ArbalestConfig::default());
+        let b = rt.alloc_with::<f64>("b", 32, |_| 1.0);
+        let c = rt.alloc_with::<f64>("c", 32, |_| 0.0);
+        rt.target().map(Map::alloc(&b)).map(Map::tofrom(&c)).run(move |k| {
+            k.for_each(0..32, |k, i| {
+                let v = k.read(&b, i); // UUM: CV of b allocated, never filled
+                k.write(&c, i, v);
+            });
+        });
+        assert_eq!(kinds(&tool), vec![ReportKind::MappingUum]);
+        let r = &tool.reports()[0];
+        assert_eq!(r.buffer.as_deref(), Some("b"));
+        assert!(r.suggested_fix.is_some());
+    }
+
+    #[test]
+    fn figure2_map_to_stale_host_read_is_usd() {
+        // Fig. 2 lines 1–5: map(to: a); kernel writes a; host reads a.
+        let (rt, tool) = harness(ArbalestConfig::default());
+        let a = rt.alloc_init::<i64>("a", &[1]);
+        rt.target().map(Map::to(&a)).run(move |k| {
+            k.for_each(0..1, |k, _| {
+                let v = k.read(&a, 0);
+                k.write(&a, 0, v + 1);
+            });
+        });
+        let _stale = rt.read(&a, 0);
+        assert_eq!(kinds(&tool), vec![ReportKind::MappingUsd]);
+        assert!(tool.reports()[0].suggested_fix.as_deref().unwrap().contains("tofrom"));
+    }
+
+    #[test]
+    fn kernel_overflow_into_neighbour_cv_is_mapping_bo() {
+        let (rt, tool) = harness(ArbalestConfig::default());
+        let a = rt.alloc_with::<f64>("a", 8, |_| 1.0);
+        let b = rt.alloc_with::<f64>("b", 8, |_| 2.0);
+        rt.target().map(Map::to(&a)).map(Map::to(&b)).run(move |k| {
+            k.for_each(0..1, |k, _| {
+                // a[12] lands beyond a's CV. With bump allocation b's CV is
+                // nearby; either way it is a mapping-related overflow.
+                let _ = k.read(&a, 12);
+            });
+        });
+        assert_eq!(kinds(&tool), vec![ReportKind::MappingOverflow]);
+    }
+
+    #[test]
+    fn oversized_section_flagged_at_transfer() {
+        let (rt, tool) = harness(ArbalestConfig::default());
+        let a = rt.alloc_with::<f64>("a", 8, |_| 1.0);
+        // map(to: a[0:12]) — section exceeds the variable.
+        rt.target().map(Map::to_section(&a, 0, 12)).run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let _ = k.read(&a, i);
+            });
+        });
+        assert!(kinds(&tool).contains(&ReportKind::MappingOverflow));
+    }
+
+    #[test]
+    fn missing_map_is_reported() {
+        let (rt, tool) = harness(ArbalestConfig::default());
+        let a = rt.alloc_with::<f64>("a", 8, |_| 1.0);
+        let b = rt.alloc_with::<f64>("b", 8, |_| 0.0);
+        rt.target().map(Map::tofrom(&b)).run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let v = k.read(&a, i); // `a` never mapped
+                k.write(&b, i, v);
+            });
+        });
+        let reports = tool.reports();
+        assert!(reports.iter().any(|r| r.kind == ReportKind::MappingOverflow
+            && r.message.contains("missing map clause")));
+    }
+
+    #[test]
+    fn update_constructs_restore_consistency() {
+        let (rt, tool) = harness(ArbalestConfig::default());
+        let a = rt.alloc_init::<i64>("a", &[5; 8]);
+        rt.target_data().map(Map::to(&a)).scope(|rt| {
+            rt.target().map(Map::to(&a)).run(move |k| {
+                k.for_each(0..8, |k, i| {
+                    let v = k.read(&a, i);
+                    k.write(&a, i, v * 2);
+                });
+            });
+            rt.update_from(&a); // pulls the device values back
+            for i in 0..8 {
+                assert_eq!(rt.read(&a, i), 10);
+            }
+        });
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+
+    #[test]
+    fn nowait_exit_transfer_race_is_detected_in_serial_mode() {
+        // Fig. 2 lines 7–16, run under Theorem-1 serialization: the VSM
+        // sees a deterministic schedule while the race engine still sees
+        // the unordered host write vs kernel write.
+        let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+        let rt = Runtime::with_tool(Config::default().serialize(true), tool.clone());
+        let a = rt.alloc_init::<i64>("a", &[1]);
+        rt.target_data().map(Map::tofrom(&a)).scope(|rt| {
+            rt.target().nowait().run(move |k| {
+                k.for_each(0..1, |k, _| k.write(&a, 0, 3));
+            });
+            rt.write(&a, 0, rt.read(&a, 0) + 1); // races with the kernel
+        });
+        rt.taskwait();
+        assert!(
+            tool.reports().iter().any(|r| r.kind == ReportKind::DataRace),
+            "expected a data race report: {:?}",
+            tool.reports()
+        );
+    }
+
+    #[test]
+    fn unified_memory_flushes_prevent_false_positives() {
+        // §III-B: under unified memory, a data-race-free program is free of
+        // mapping issues even with map(to) only — the implicit flushes at
+        // region boundaries synchronise the views. ARBALEST must not
+        // report USD here.
+        let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+        let rt = Runtime::with_tool(Config::default().unified(true), tool.clone());
+        let a = rt.alloc_init::<i64>("a", &[1]);
+        rt.target().map(Map::to(&a)).run(move |k| {
+            k.for_each(0..1, |k, _| {
+                let v = k.read(&a, 0);
+                k.write(&a, 0, v + 1);
+            });
+        });
+        assert_eq!(rt.read(&a, 0), 2, "unified memory shares storage");
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+
+    #[test]
+    fn multi_device_stale_second_accelerator() {
+        let tool = Arc::new(Arbalest::new(ArbalestConfig { accelerators: 2, ..Default::default() }));
+        assert_eq!(tool.layout(), Layout::MultiDevice);
+        let rt = Runtime::with_tool(Config::default().accelerators(2), tool.clone());
+        let a = rt.alloc_init::<i64>("a", &[7; 4]);
+        let d0 = DeviceId(1);
+        let d1 = DeviceId(2);
+        // Map to both devices, write on device 0, then read on device 1:
+        // device 1's CV is stale.
+        rt.target_enter_data(d0, &[Map::to(&a)]);
+        rt.target_enter_data(d1, &[Map::to(&a)]);
+        rt.target().on_device(d0).map(Map::to(&a)).run(move |k| {
+            k.for_each(0..4, |k, i| k.write(&a, i, 100));
+        });
+        rt.target().on_device(d1).map(Map::to(&a)).run(move |k| {
+            k.for_each(0..4, |k, i| {
+                let _ = k.read(&a, i); // stale
+            });
+        });
+        assert!(kinds(&tool).contains(&ReportKind::MappingUsd));
+    }
+
+    #[test]
+    fn reports_deduplicate_per_site() {
+        let (rt, tool) = harness(ArbalestConfig::default());
+        let a = rt.alloc::<f64>("a", 128);
+        // 128 faulting reads from one source line → one report.
+        for i in 0..128 {
+            let _ = rt.read(&a, i);
+        }
+        assert_eq!(tool.reports().len(), 1);
+        assert_eq!(tool.reports()[0].kind, ReportKind::MappingUum);
+    }
+
+    #[test]
+    fn side_tables_grow_with_footprint() {
+        let (rt, tool) = harness(ArbalestConfig::default());
+        let base = tool.side_table_bytes();
+        let a = rt.alloc_with::<f64>("a", 100_000, |_| 0.0);
+        rt.target().map(Map::tofrom(&a)).run(move |k| {
+            k.for_each(0..100_000, |k, i| {
+                let v = k.read(&a, i);
+                k.write(&a, i, v + 1.0);
+            });
+        });
+        assert!(tool.side_table_bytes() > base + 100_000, "shadow must be resident");
+    }
+}

@@ -1,0 +1,70 @@
+//! # arbalest-core
+//!
+//! ARBALEST — the paper's core contribution: an on-the-fly detector of
+//! *data mapping issues* in target-offloading programs.
+//!
+//! * [`vsm`] — the Variable State Machine of Fig. 4, generalised to the
+//!   §IV-C multi-device (n+1)-tuple form, as pure transition logic.
+//! * [`detector`] — the [`detector::Arbalest`] tool: direct-mapped shadow
+//!   words (Table II) updated lock-free, an interval tree resolving CV
+//!   addresses back to OVs, the §IV-D buffer-overflow extension,
+//!   UUM/USD classification, and integrated FastTrack race detection
+//!   (ARBALEST is built on Archer).
+//! * [`replay`] — the Theorem-1 certification mode: serialized `nowait`
+//!   execution plus race-freedom implies mapping-issue freedom for every
+//!   schedule.
+//! * [`ddg`] — dynamic data dependence graphs (Fig. 3) built from
+//!   recorded execution traces, rendered as Graphviz DOT.
+//!
+//! ## Example: catching Fig. 2's stale read
+//!
+//! ```
+//! use arbalest_core::{Arbalest, ArbalestConfig};
+//! use arbalest_offload::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+//! let rt = Runtime::with_tool(Config::default(), tool.clone());
+//!
+//! let a = rt.alloc_init::<i64>("a", &[1]);
+//! rt.target().map(Map::to(&a)).run(move |k| {
+//!     k.for_each(0..1, |k, _| {
+//!         let v = k.read(&a, 0);
+//!         k.write(&a, 0, v + 1);
+//!     });
+//! });
+//! let stale = rt.read(&a, 0); // fails to observe the device's write
+//! assert_eq!(stale, 1);
+//!
+//! let reports = tool.reports();
+//! assert_eq!(reports.len(), 1);
+//! assert_eq!(reports[0].kind, ReportKind::MappingUsd);
+//! ```
+//!
+//! ## Example: certifying all schedules (Theorem 1)
+//!
+//! ```
+//! use arbalest_core::certify;
+//! use arbalest_offload::prelude::*;
+//!
+//! let cert = certify(Config::default(), |rt| {
+//!     let a = rt.alloc_init::<i64>("a", &[0; 16]);
+//!     let h = rt.target().map(Map::tofrom(&a)).nowait().run(move |k| {
+//!         k.par_for(0..16, |k, i| k.write(&a, i, i as i64));
+//!     });
+//!     h.wait();
+//! });
+//! assert!(cert.certified());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ddg;
+pub mod detector;
+pub mod replay;
+pub mod vsm;
+
+pub use ddg::Ddg;
+pub use detector::{Arbalest, ArbalestConfig, ArbalestStats};
+pub use replay::{certify, Certification};
+pub use vsm::{StorageLoc, Violation, ViolationKind, VsmOp};

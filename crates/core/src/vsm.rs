@@ -1,0 +1,502 @@
+//! The Variable State Machine (VSM) of Fig. 4, as pure transition logic.
+//!
+//! The paper's four states are the single-accelerator projection of a
+//! validity *mask* over storage locations (host OV + per-device CVs):
+//!
+//! * `invalid`    — `valid_mask == 0`
+//! * `host`       — only the OV bit set
+//! * `target`     — only one CV bit set
+//! * `consistent` — OV and CV bits set
+//!
+//! Operations transform the mask; a read of a location whose bit is clear
+//! has no legal transition — that is a data mapping issue. The §IV-C
+//! multi-device extension falls out for free: each accelerator owns a
+//! mask bit, state stays O(n+1) bits.
+//!
+//! Initialisation bits ride along to classify violations: a read of a
+//! never-initialised location is a **UUM**, a read of an initialised but
+//! stale location a **USD** (§V-B: "UUMs and USDs can not be
+//! distinguished by VSM, so ARBALEST uses two additional bits").
+
+use arbalest_shadow::GranuleState;
+
+/// A storage location of a mapped variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageLoc {
+    /// The original variable on the host.
+    Host,
+    /// The corresponding variable on accelerator `d` (1-based mask bit,
+    /// `1..=7`).
+    Device(u8),
+}
+
+impl StorageLoc {
+    /// The mask bit for this location.
+    #[inline]
+    pub fn bit(self) -> u8 {
+        match self {
+            StorageLoc::Host => 1,
+            StorageLoc::Device(d) => {
+                debug_assert!((1..8).contains(&d));
+                1 << d
+            }
+        }
+    }
+}
+
+/// VSM operations (edge labels of Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VsmOp {
+    /// `read_host` / `read_target`.
+    Read(StorageLoc),
+    /// `write_host` / `write_target`.
+    Write(StorageLoc),
+    /// `update_target`: memory transfer OV → CV of device `d`.
+    UpdateToDevice(u8),
+    /// `update_host`: memory transfer CV of device `d` → OV.
+    UpdateFromDevice(u8),
+    /// CV allocation on device `d` (fresh, uninitialised).
+    Allocate(u8),
+    /// CV deallocation on device `d`.
+    Release(u8),
+    /// Unified-memory coherence flush between the OV and device `d`'s CV
+    /// (§III-B): both views now show the shared storage's value, so if
+    /// either side was valid, both become valid.
+    Flush(u8),
+    /// Direct CV → CV copy between accelerators (`omp_target_memcpy`):
+    /// the destination takes the source's validity and initialisation.
+    UpdateDeviceToDevice {
+        /// Source accelerator (mask bit index).
+        src: u8,
+        /// Destination accelerator.
+        dst: u8,
+    },
+}
+
+/// Violation classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The read location was never initialised.
+    Uum,
+    /// The read location holds a stale value.
+    Usd,
+}
+
+/// A read with no legal transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// UUM or USD.
+    pub kind: ViolationKind,
+    /// The location whose read faulted.
+    pub loc: StorageLoc,
+}
+
+/// Apply `op` to a granule state, returning the successor state and the
+/// violation, if the operation is a faulting read.
+///
+/// Reads never change the validity masks (the paper's VSM reports and
+/// keeps going); writes/updates/alloc/release follow Fig. 4.
+pub fn apply(mut s: GranuleState, op: VsmOp) -> (GranuleState, Option<Violation>) {
+    match op {
+        VsmOp::Read(loc) => {
+            let bit = loc.bit();
+            if s.valid_mask & bit == 0 {
+                let kind = if s.init_mask & bit == 0 { ViolationKind::Uum } else { ViolationKind::Usd };
+                return (s, Some(Violation { kind, loc }));
+            }
+            (s, None)
+        }
+        VsmOp::Write(loc) => {
+            // The written location becomes the unique holder of the last
+            // value; every other copy is now stale.
+            s.valid_mask = loc.bit();
+            s.init_mask |= loc.bit();
+            (s, None)
+        }
+        VsmOp::UpdateToDevice(d) => {
+            let db = StorageLoc::Device(d).bit();
+            let hb = StorageLoc::Host.bit();
+            if s.valid_mask & hb != 0 {
+                s.valid_mask |= db;
+            } else {
+                // Copying an invalid OV over the CV destroys the CV's value
+                // (host → invalid via update_host's mirror; Fig. 4).
+                s.valid_mask &= !db;
+            }
+            // The CV's contents are now exactly the OV's: initialised iff
+            // the OV was.
+            if s.init_mask & hb != 0 {
+                s.init_mask |= db;
+            } else {
+                s.init_mask &= !db;
+            }
+            (s, None)
+        }
+        VsmOp::UpdateFromDevice(d) => {
+            let db = StorageLoc::Device(d).bit();
+            let hb = StorageLoc::Host.bit();
+            if s.valid_mask & db != 0 {
+                s.valid_mask |= hb;
+            } else {
+                s.valid_mask &= !hb;
+            }
+            if s.init_mask & db != 0 {
+                s.init_mask |= hb;
+            } else {
+                s.init_mask &= !hb;
+            }
+            (s, None)
+        }
+        VsmOp::Allocate(d) => {
+            let db = StorageLoc::Device(d).bit();
+            s.valid_mask &= !db;
+            s.init_mask &= !db;
+            (s, None)
+        }
+        VsmOp::Release(d) => {
+            let db = StorageLoc::Device(d).bit();
+            s.valid_mask &= !db;
+            s.init_mask &= !db;
+            (s, None)
+        }
+        VsmOp::Flush(d) => {
+            let db = StorageLoc::Device(d).bit();
+            let hb = StorageLoc::Host.bit();
+            if s.valid_mask & (db | hb) != 0 {
+                s.valid_mask |= db | hb;
+            }
+            if s.init_mask & (db | hb) != 0 {
+                s.init_mask |= db | hb;
+            }
+            (s, None)
+        }
+        VsmOp::UpdateDeviceToDevice { src, dst } => {
+            let sb = StorageLoc::Device(src).bit();
+            let db = StorageLoc::Device(dst).bit();
+            if s.valid_mask & sb != 0 {
+                s.valid_mask |= db;
+            } else {
+                s.valid_mask &= !db;
+            }
+            if s.init_mask & sb != 0 {
+                s.init_mask |= db;
+            } else {
+                s.init_mask &= !db;
+            }
+            (s, None)
+        }
+    }
+}
+
+/// The paper's four named states, for the single-accelerator projection
+/// (device 1). Test and report support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamedState {
+    /// Neither storage holds a valid value.
+    Invalid,
+    /// Only the OV is valid.
+    Host,
+    /// Only the CV is valid.
+    Target,
+    /// Both are valid.
+    Consistent,
+}
+
+/// Project a mask state onto the paper's four states (device 1).
+pub fn named(s: GranuleState) -> NamedState {
+    match (s.valid_mask & 0b01 != 0, s.valid_mask & 0b10 != 0) {
+        (false, false) => NamedState::Invalid,
+        (true, false) => NamedState::Host,
+        (false, true) => NamedState::Target,
+        (true, true) => NamedState::Consistent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOST: StorageLoc = StorageLoc::Host;
+    const DEV: StorageLoc = StorageLoc::Device(1);
+
+    fn state(valid: u8, init: u8) -> GranuleState {
+        GranuleState { valid_mask: valid, init_mask: init, ..Default::default() }
+    }
+
+    fn step(s: GranuleState, op: VsmOp) -> GranuleState {
+        let (next, v) = apply(s, op);
+        assert!(v.is_none(), "unexpected violation for {op:?}");
+        next
+    }
+
+    // ---- Fig. 4, state `invalid` ----
+
+    #[test]
+    fn invalid_reads_fault_as_uum() {
+        let s = state(0, 0);
+        for loc in [HOST, DEV] {
+            let (_, v) = apply(s, VsmOp::Read(loc));
+            assert_eq!(v, Some(Violation { kind: ViolationKind::Uum, loc }));
+        }
+    }
+
+    #[test]
+    fn invalid_write_host_goes_host() {
+        let s = step(state(0, 0), VsmOp::Write(HOST));
+        assert_eq!(named(s), NamedState::Host);
+        assert!(s.initialised(0));
+    }
+
+    #[test]
+    fn invalid_write_target_goes_target() {
+        let s = step(state(0, 0), VsmOp::Write(DEV));
+        assert_eq!(named(s), NamedState::Target);
+        assert!(s.initialised(1));
+    }
+
+    #[test]
+    fn invalid_other_ops_stay_invalid() {
+        for op in [
+            VsmOp::UpdateToDevice(1),
+            VsmOp::UpdateFromDevice(1),
+            VsmOp::Allocate(1),
+            VsmOp::Release(1),
+        ] {
+            let s = step(state(0, 0), op);
+            assert_eq!(named(s), NamedState::Invalid, "{op:?}");
+        }
+    }
+
+    // ---- Fig. 4, state `host` ----
+
+    #[test]
+    fn host_read_host_ok_read_target_faults() {
+        let s = state(0b01, 0b01);
+        assert!(apply(s, VsmOp::Read(HOST)).1.is_none());
+        let (_, v) = apply(s, VsmOp::Read(DEV));
+        assert_eq!(v.unwrap().kind, ViolationKind::Uum, "CV never initialised");
+        // Once the CV was initialised (then invalidated), it's stale data.
+        let s = state(0b01, 0b11);
+        let (_, v) = apply(s, VsmOp::Read(DEV));
+        assert_eq!(v.unwrap().kind, ViolationKind::Usd);
+    }
+
+    #[test]
+    fn host_write_target_goes_target() {
+        let s = step(state(0b01, 0b01), VsmOp::Write(DEV));
+        assert_eq!(named(s), NamedState::Target);
+    }
+
+    #[test]
+    fn host_update_to_device_goes_consistent() {
+        let s = step(state(0b01, 0b01), VsmOp::UpdateToDevice(1));
+        assert_eq!(named(s), NamedState::Consistent);
+        assert!(s.initialised(1), "init propagates with the copy");
+    }
+
+    #[test]
+    fn host_update_from_device_goes_invalid() {
+        // OV overwritten by the invalid CV value.
+        let s = step(state(0b01, 0b01), VsmOp::UpdateFromDevice(1));
+        assert_eq!(named(s), NamedState::Invalid);
+    }
+
+    #[test]
+    fn host_allocate_release_stay_host() {
+        for op in [VsmOp::Allocate(1), VsmOp::Release(1)] {
+            let s = step(state(0b01, 0b01), op);
+            assert_eq!(named(s), NamedState::Host, "{op:?}");
+        }
+    }
+
+    // ---- Fig. 4, state `target` ----
+
+    #[test]
+    fn target_read_host_faults() {
+        let s = state(0b10, 0b11);
+        let (_, v) = apply(s, VsmOp::Read(HOST));
+        assert_eq!(v.unwrap().kind, ViolationKind::Usd);
+        assert!(apply(s, VsmOp::Read(DEV)).1.is_none());
+    }
+
+    #[test]
+    fn target_write_host_goes_host() {
+        let s = step(state(0b10, 0b10), VsmOp::Write(HOST));
+        assert_eq!(named(s), NamedState::Host);
+    }
+
+    #[test]
+    fn target_update_from_device_goes_consistent() {
+        let s = step(state(0b10, 0b10), VsmOp::UpdateFromDevice(1));
+        assert_eq!(named(s), NamedState::Consistent);
+        assert!(s.initialised(0));
+    }
+
+    #[test]
+    fn target_update_to_device_goes_invalid() {
+        let s = step(state(0b10, 0b10), VsmOp::UpdateToDevice(1));
+        assert_eq!(named(s), NamedState::Invalid, "invalid OV overwrote the CV");
+    }
+
+    #[test]
+    fn target_release_goes_invalid() {
+        let s = step(state(0b10, 0b10), VsmOp::Release(1));
+        assert_eq!(named(s), NamedState::Invalid);
+    }
+
+    // ---- Fig. 4, state `consistent` ----
+
+    #[test]
+    fn consistent_reads_ok() {
+        let s = state(0b11, 0b11);
+        assert!(apply(s, VsmOp::Read(HOST)).1.is_none());
+        assert!(apply(s, VsmOp::Read(DEV)).1.is_none());
+    }
+
+    #[test]
+    fn consistent_write_host_goes_host() {
+        let s = step(state(0b11, 0b11), VsmOp::Write(HOST));
+        assert_eq!(named(s), NamedState::Host);
+    }
+
+    #[test]
+    fn consistent_write_target_goes_target() {
+        let s = step(state(0b11, 0b11), VsmOp::Write(DEV));
+        assert_eq!(named(s), NamedState::Target);
+    }
+
+    #[test]
+    fn consistent_updates_stay_consistent() {
+        for op in [VsmOp::UpdateToDevice(1), VsmOp::UpdateFromDevice(1)] {
+            let s = step(state(0b11, 0b11), op);
+            assert_eq!(named(s), NamedState::Consistent, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn consistent_release_goes_host() {
+        let s = step(state(0b11, 0b11), VsmOp::Release(1));
+        assert_eq!(named(s), NamedState::Host);
+    }
+
+    // ---- multi-device extension (§IV-C) ----
+
+    #[test]
+    fn write_on_one_device_invalidates_all_others() {
+        let s = state(0b0111, 0b0111); // host + dev1 + dev2 valid
+        let (s, _) = apply(s, VsmOp::Write(StorageLoc::Device(2)));
+        assert_eq!(s.valid_mask, 0b100);
+        let (_, v) = apply(s, VsmOp::Read(StorageLoc::Device(1)));
+        assert_eq!(v.unwrap().kind, ViolationKind::Usd);
+        let (_, v) = apply(s, VsmOp::Read(HOST));
+        assert_eq!(v.unwrap().kind, ViolationKind::Usd);
+    }
+
+    #[test]
+    fn updates_fan_out_to_multiple_devices() {
+        let s = state(0b001, 0b001);
+        let (s, _) = apply(s, VsmOp::UpdateToDevice(1));
+        let (s, _) = apply(s, VsmOp::UpdateToDevice(2));
+        assert_eq!(s.valid_mask, 0b111);
+        // Write on device 2, pull back to host, push to device 1.
+        let (s, _) = apply(s, VsmOp::Write(StorageLoc::Device(2)));
+        let (s, _) = apply(s, VsmOp::UpdateFromDevice(2));
+        let (s, _) = apply(s, VsmOp::UpdateToDevice(1));
+        assert_eq!(s.valid_mask, 0b111);
+    }
+
+    #[test]
+    fn uninitialised_update_propagates_uninit() {
+        // `to`-mapping an uninitialised OV leaves the CV uninitialised:
+        // a subsequent CV read is a UUM, not a USD.
+        let s = state(0, 0);
+        let (s, _) = apply(s, VsmOp::Allocate(1));
+        let (s, _) = apply(s, VsmOp::UpdateToDevice(1));
+        let (_, v) = apply(s, VsmOp::Read(DEV));
+        assert_eq!(v.unwrap().kind, ViolationKind::Uum);
+    }
+
+    #[test]
+    fn unified_flush_synchronises_either_direction() {
+        // Host-valid: flush makes both valid.
+        let s = step(state(0b01, 0b01), VsmOp::Flush(1));
+        assert_eq!(named(s), NamedState::Consistent);
+        // Target-valid: flush makes both valid too (shared storage).
+        let s = step(state(0b10, 0b10), VsmOp::Flush(1));
+        assert_eq!(named(s), NamedState::Consistent);
+        // Invalid: a flush of uninitialised storage synchronises nothing.
+        let s = step(state(0, 0), VsmOp::Flush(1));
+        assert_eq!(named(s), NamedState::Invalid);
+    }
+
+    #[test]
+    fn realloc_clears_init_from_prior_epoch() {
+        // CV written, released, re-allocated: old init must not leak.
+        let s = state(0, 0);
+        let (s, _) = apply(s, VsmOp::Write(DEV));
+        let (s, _) = apply(s, VsmOp::Release(1));
+        let (s, _) = apply(s, VsmOp::Allocate(1));
+        let (_, v) = apply(s, VsmOp::Read(DEV));
+        assert_eq!(v.unwrap().kind, ViolationKind::Uum);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_op() -> impl Strategy<Value = VsmOp> {
+        prop_oneof![
+            Just(VsmOp::Read(StorageLoc::Host)),
+            (1u8..4).prop_map(|d| VsmOp::Read(StorageLoc::Device(d))),
+            Just(VsmOp::Write(StorageLoc::Host)),
+            (1u8..4).prop_map(|d| VsmOp::Write(StorageLoc::Device(d))),
+            (1u8..4).prop_map(VsmOp::UpdateToDevice),
+            (1u8..4).prop_map(VsmOp::UpdateFromDevice),
+            (1u8..4).prop_map(VsmOp::Allocate),
+            (1u8..4).prop_map(VsmOp::Release),
+            (1u8..4).prop_map(VsmOp::Flush),
+        ]
+    }
+
+    proptest! {
+        /// Invariant: a location is valid only if it is initialised —
+        /// validity implies initialisation, for every operation sequence.
+        #[test]
+        fn valid_implies_initialised(ops in prop::collection::vec(arb_op(), 0..64)) {
+            let mut s = GranuleState::default();
+            for op in ops {
+                let (next, _) = apply(s, op);
+                prop_assert_eq!(next.valid_mask & !next.init_mask, 0,
+                    "valid but uninitialised after {:?}", op);
+                s = next;
+            }
+        }
+
+        /// Reads never alter the state.
+        #[test]
+        fn reads_are_pure(ops in prop::collection::vec(arb_op(), 0..32), d in 0u8..4) {
+            let mut s = GranuleState::default();
+            for op in ops {
+                s = apply(s, op).0;
+            }
+            let loc = if d == 0 { StorageLoc::Host } else { StorageLoc::Device(d) };
+            let (next, _) = apply(s, VsmOp::Read(loc));
+            prop_assert_eq!(next, s);
+        }
+
+        /// A read immediately after a write to the same location succeeds.
+        #[test]
+        fn read_after_write_is_legal(ops in prop::collection::vec(arb_op(), 0..32), d in 0u8..4) {
+            let mut s = GranuleState::default();
+            for op in ops {
+                s = apply(s, op).0;
+            }
+            let loc = if d == 0 { StorageLoc::Host } else { StorageLoc::Device(d) };
+            let (s, _) = apply(s, VsmOp::Write(loc));
+            let (_, v) = apply(s, VsmOp::Read(loc));
+            prop_assert!(v.is_none());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! §V-A: implicit data mappings of `declare target` globals, and the
+//! OMPT gap the paper reports ("OMPT does not provide correct mapping
+//! information for global variables... we proposed that the OpenMP
+//! runtime should provide event callbacks for those implicit data
+//! mappings").
+//!
+//! With the proposed callbacks on (the default), ARBALEST handles
+//! globals exactly like explicitly mapped data. With the callbacks off
+//! (the LLVM-9-era OMPT), ARBALEST has no interval for the global's CV —
+//! kernel accesses look like wild device reads, a spurious finding that
+//! demonstrates *why* the authors needed the OMPT extension.
+
+use arbalest_core::{Arbalest, ArbalestConfig};
+use arbalest_offload::prelude::*;
+use std::sync::Arc;
+
+fn global_program(rt: &Runtime) -> i64 {
+    let table = rt.alloc_with::<i64>("lookup_table", 16, |i| (i * i) as i64);
+    rt.declare_target(&table);
+    let out = rt.alloc::<i64>("out", 16);
+    rt.target().map(Map::from(&out)).run(move |k| {
+        k.par_for(0..16, |k, i| {
+            // No map clause for `table`: it is a declare-target global,
+            // implicitly present since device initialisation.
+            k.write(&out, i, k.read(&table, i) + 1);
+        });
+    });
+    rt.read(&out, 3)
+}
+
+#[test]
+fn globals_work_and_are_clean_with_implicit_map_events() {
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default(), tool.clone());
+    assert_eq!(global_program(&rt), 10);
+    assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+}
+
+#[test]
+fn missing_ompt_callbacks_break_global_attribution() {
+    // The LLVM-9 behaviour: the implicit mapping happens (the program is
+    // correct and computes the right answer) but no tool event is
+    // emitted, so ARBALEST cannot attribute the CV — the §V-A gap.
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default().implicit_map_events(false), tool.clone());
+    assert_eq!(global_program(&rt), 10, "the program itself is unaffected");
+    let reports = tool.reports();
+    assert!(
+        reports.iter().any(|r| r.kind == ReportKind::MappingOverflow),
+        "without the proposed callbacks the tool misattributes the global: {reports:?}"
+    );
+}
+
+#[test]
+fn globals_persist_across_kernels_and_updates_flow() {
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default(), tool.clone());
+    let state = rt.alloc_with::<i64>("state", 8, |_| 0);
+    rt.declare_target(&state);
+    for _ in 0..3 {
+        rt.target().run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let v = k.read(&state, i);
+                k.write(&state, i, v + 1);
+            });
+        });
+    }
+    // The global's CV persists; pull it back explicitly.
+    rt.update_from(&state);
+    assert_eq!(rt.read(&state, 0), 3);
+    assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+}
+
+#[test]
+fn stale_global_read_is_still_detected() {
+    // Globals are not exempt from mapping issues: a host read without an
+    // update is a USD like any other.
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default(), tool.clone());
+    let g = rt.alloc_with::<i64>("g", 4, |_| 1);
+    rt.declare_target(&g);
+    rt.target().run(move |k| {
+        k.for_each(0..4, |k, i| k.write(&g, i, 99));
+    });
+    let _ = rt.read(&g, 0); // stale: no update from
+    assert!(tool.reports().iter().any(|r| r.kind == ReportKind::MappingUsd));
+}

@@ -1,0 +1,81 @@
+//! §IV-C's granularity discussion, pinned as tests.
+//!
+//! The paper argues byte-level tracking is requisite for soundness in
+//! general, then settles on 8-byte granularity because "most operations
+//! in scientific applications are performed in double-precision
+//! arithmetic". This reproduction makes the same trade-off; these tests
+//! document both sides of it:
+//!
+//! * full-granule (8-byte) workloads are tracked exactly;
+//! * sub-granule interleavings inherit the approximation — two 4-byte
+//!   values sharing one granule share one VSM state, so a kernel write
+//!   of one half marks the *granule* device-valid, and a host read of
+//!   the untouched other half is flagged (a coarseness artifact the
+//!   paper accepts at this granularity).
+
+use arbalest_core::{Arbalest, ArbalestConfig};
+use arbalest_offload::prelude::*;
+use std::sync::Arc;
+
+fn harness() -> (Runtime, Arc<Arbalest>) {
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default(), tool.clone());
+    (rt, tool)
+}
+
+#[test]
+fn eight_byte_elements_are_tracked_exactly() {
+    let (rt, tool) = harness();
+    let a = rt.alloc_with::<f64>("a", 64, |i| i as f64);
+    // Kernel writes only the even elements; host reads only the odd ones.
+    // At f64 width each element is its own granule, so this is precise:
+    // no report.
+    rt.target().map(Map::to(&a)).run(move |k| {
+        k.for_each(0..32, |k, i| k.write(&a, 2 * i, -1.0));
+    });
+    for i in 0..32 {
+        assert_eq!(rt.read(&a, 2 * i + 1), (2 * i + 1) as f64);
+    }
+    assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+}
+
+#[test]
+fn sub_granule_interleaving_is_coarsened() {
+    let (rt, tool) = harness();
+    // Two i32 values share each 8-byte granule.
+    let a = rt.alloc_with::<i32>("a", 2, |i| i as i32);
+    rt.target().map(Map::to(&a)).run(move |k| {
+        k.for_each(0..1, |k, _| k.write(&a, 0, 99)); // writes bytes 0..4
+    });
+    // Bytes 4..8 were never written on the device, and the host's copy of
+    // them is intact — but the shared granule is in the `target` state,
+    // so this read reports USD. The paper accepts exactly this
+    // approximation when choosing 8-byte granularity (§IV-C); pin it so
+    // a future granularity change is a conscious decision.
+    let v = rt.read(&a, 1);
+    assert_eq!(v, 1, "the data itself is intact");
+    assert_eq!(
+        tool.reports().iter().filter(|r| r.kind == ReportKind::MappingUsd).count(),
+        1,
+        "documented coarseness artifact: {:?}",
+        tool.reports()
+    );
+}
+
+#[test]
+fn whole_granule_small_scalars_are_fine() {
+    let (rt, tool) = harness();
+    // 8 u8 values = 1 granule, but host and device exchange the WHOLE
+    // granule via proper maps: precise and silent.
+    let a = rt.alloc_with::<u8>("a", 8, |i| i as u8);
+    rt.target().map(Map::tofrom(&a)).run(move |k| {
+        k.for_each(0..8, |k, i| {
+            let v = k.read(&a, i);
+            k.write(&a, i, v.wrapping_add(1));
+        });
+    });
+    for i in 0..8 {
+        assert_eq!(rt.read(&a, i), (i + 1) as u8);
+    }
+    assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+}

@@ -1,0 +1,369 @@
+//! The 16 seeded data-mapping bugs, at the paper's DRACC IDs.
+//!
+//! Each function reproduces a DRACC bug *pattern*: a wrong map-type, a
+//! wrong array section, a missing transfer, or a laundered update. The
+//! doc comment on each names the root cause and the observable effect.
+
+use crate::{Benchmark, N};
+use arbalest_offload::prelude::*;
+
+pub(crate) fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            id: 22,
+            name: "alloc_instead_of_to",
+            expected: Some(Effect::Uum),
+            description: "Fig. 1: matrix-vector product where the matrix is mapped `alloc` \
+                          instead of `to`; the kernel reads an uninitialised CV.",
+            runner: b022,
+        },
+        Benchmark {
+            id: 23,
+            name: "section_longer_than_array",
+            expected: Some(Effect::Bo),
+            description: "map(to: a[0:N+8]) — the array section exceeds the variable; the \
+                          entry transfer reads past the OV heap block.",
+            runner: b023,
+        },
+        Benchmark {
+            id: 24,
+            name: "from_instead_of_tofrom",
+            expected: Some(Effect::Uum),
+            description: "accumulator mapped `from` (alloc on entry, no copy-in); the kernel \
+                          reads it before writing.",
+            runner: b024,
+        },
+        Benchmark {
+            id: 25,
+            name: "section_offset_overruns",
+            expected: Some(Effect::Bo),
+            description: "map(to: a[4:N]) — offset plus length walk past the end of the \
+                          variable during the entry transfer.",
+            runner: b025,
+        },
+        Benchmark {
+            id: 26,
+            name: "to_instead_of_tofrom",
+            expected: Some(Effect::Usd),
+            description: "Fig. 2 (top): kernel updates `to`-mapped data; the host read after \
+                          the region observes the stale original.",
+            runner: b026,
+        },
+        Benchmark {
+            id: 27,
+            name: "stale_read_after_data_region",
+            expected: Some(Effect::Usd),
+            description: "target data map(to:) around a writing kernel; no copy-back at \
+                          region end, host reads stale data.",
+            runner: b027,
+        },
+        Benchmark {
+            id: 28,
+            name: "copy_back_overflow",
+            expected: Some(Effect::Bo),
+            description: "map(from: a[0:N+8]) — the exit transfer writes past the OV heap \
+                          block.",
+            runner: b028,
+        },
+        Benchmark {
+            id: 29,
+            name: "straddling_tofrom_section",
+            expected: Some(Effect::Bo),
+            description: "map(tofrom: a[N/2:N]) — the section straddles the end of the \
+                          variable; both transfers overflow.",
+            runner: b029,
+        },
+        Benchmark {
+            id: 30,
+            name: "enter_data_oversized",
+            expected: Some(Effect::Bo),
+            description: "target enter data map(to: a[0:N+8]): unstructured entry transfer \
+                          overflows the OV.",
+            runner: b030,
+        },
+        Benchmark {
+            id: 31,
+            name: "exit_data_oversized",
+            expected: Some(Effect::Bo),
+            description: "target exit data map(from: a[0:N+8]): unstructured exit transfer \
+                          overflows the OV.",
+            runner: b031,
+        },
+        Benchmark {
+            id: 32,
+            name: "missing_update_from",
+            expected: Some(Effect::Usd),
+            description: "inside a persistent data region the host reads results without a \
+                          `target update from` after the kernel wrote the CV.",
+            runner: b032,
+        },
+        Benchmark {
+            id: 33,
+            name: "missing_update_to",
+            expected: Some(Effect::Usd),
+            description: "host rewrites inputs inside a data region without `target update \
+                          to`; the reference count suppresses the inner map(to) transfer and \
+                          the kernel reads the stale CV.",
+            runner: b033,
+        },
+        Benchmark {
+            id: 34,
+            name: "staged_update_of_uninit",
+            expected: Some(Effect::Uum),
+            description: "an uninitialised variable is pushed with `target update to` (staged \
+                          through a runtime buffer) and read in the kernel — a UUM that \
+                          allocator-interception tools cannot see (§VI-C's DRACC_OMP_034).",
+            runner: b034,
+        },
+        Benchmark {
+            id: 49,
+            name: "enter_data_alloc_read",
+            expected: Some(Effect::Uum),
+            description: "target enter data map(alloc:) followed by a kernel that reads the \
+                          never-initialised CV.",
+            runner: b049,
+        },
+        Benchmark {
+            id: 50,
+            name: "uninitialised_host_input",
+            expected: Some(Effect::Uum),
+            description: "the host input array is never initialised; map(to:) faithfully \
+                          copies garbage and the kernel consumes it.",
+            runner: b050,
+        },
+        Benchmark {
+            id: 51,
+            name: "cv_deleted_between_kernels",
+            expected: Some(Effect::Uum),
+            description: "the CV is released between two kernels; the re-allocated CV no \
+                          longer holds the first kernel's results.",
+            runner: b051,
+        },
+    ]
+}
+
+/// Fig. 1 (DRACC_OMP_022): `map(alloc: b)` should be `map(to: b)`.
+fn b022(rt: &Runtime) {
+    let a = rt.alloc_with::<f64>("a", N, |i| i as f64);
+    let b = rt.alloc_with::<f64>("b", N * 8, |_| 1.0);
+    let c = rt.alloc_with::<f64>("c", N, |_| 0.0);
+    rt.target()
+        .map(Map::to(&a))
+        .map(Map::alloc(&b)) // BUG: mapping type should be "to"
+        .map(Map::tofrom(&c))
+        .run(move |k| {
+            k.par_for(0..N, |k, i| {
+                let mut acc = k.read(&c, i);
+                for j in 0..8 {
+                    acc += k.read(&b, j + i * 8) * k.read(&a, (i + j) % N);
+                }
+                k.write(&c, i, acc);
+            });
+        });
+    let _ = rt.read(&c, 0);
+}
+
+fn b023(rt: &Runtime) {
+    let a = rt.alloc_with::<f64>("a", N, |i| i as f64);
+    rt.target()
+        .map(Map::to_section(&a, 0, N + 8)) // BUG: section exceeds the array
+        .run(move |k| {
+            k.for_each(0..N, |k, i| {
+                let _ = k.read(&a, i);
+            });
+        });
+}
+
+fn b024(rt: &Runtime) {
+    let x = rt.alloc_with::<f64>("x", N, |i| (i % 7) as f64);
+    let acc = rt.alloc_with::<f64>("acc", N, |_| 0.0);
+    rt.target()
+        .map(Map::to(&x))
+        .map(Map::from(&acc)) // BUG: `from` does not copy in; should be tofrom
+        .run(move |k| {
+            k.par_for(0..N, |k, i| {
+                let v = k.read(&acc, i); // reads the uninitialised CV
+                k.write(&acc, i, v + k.read(&x, i));
+            });
+        });
+    let _ = rt.read(&acc, 0);
+}
+
+fn b025(rt: &Runtime) {
+    let a = rt.alloc_with::<f64>("a", N, |i| i as f64);
+    rt.target()
+        .map(Map::to_section(&a, 4, N)) // BUG: offset 4 + len N > N
+        .run(move |k| {
+            k.for_each(4..N, |k, i| {
+                let _ = k.read(&a, i);
+            });
+        });
+}
+
+/// Fig. 2 top (DRACC_OMP_026): `map(to: a)` should be `tofrom`.
+fn b026(rt: &Runtime) {
+    let a = rt.alloc_init::<i64>("a", &[1; N]);
+    rt.target().map(Map::to(&a)).run(move |k| {
+        k.par_for(0..N, |k, i| {
+            let v = k.read(&a, i);
+            k.write(&a, i, v + 1);
+        });
+    });
+    let _ = rt.read(&a, N / 2); // stale: still 1 on the host
+}
+
+fn b027(rt: &Runtime) {
+    let a = rt.alloc_with::<f64>("a", N, |i| i as f64);
+    rt.target_data().map(Map::to(&a)).scope(|rt| {
+        // BUG: region maps `to` only
+        rt.target().map(Map::to(&a)).run(move |k| {
+            k.par_for(0..N, |k, i| {
+                let v = k.read(&a, i);
+                k.write(&a, i, v * 2.0);
+            });
+        });
+    });
+    let _ = rt.read(&a, 3); // stale
+}
+
+fn b028(rt: &Runtime) {
+    let a = rt.alloc::<f64>("a", N);
+    rt.target()
+        .map(Map::from_section(&a, 0, N + 8)) // BUG: copy-back overflows the OV
+        .run(move |k| {
+            k.for_each(0..N, |k, i| k.write(&a, i, i as f64));
+        });
+    let _ = rt.read(&a, 0);
+}
+
+fn b029(rt: &Runtime) {
+    let a = rt.alloc_with::<f64>("a", N, |i| i as f64);
+    rt.target()
+        .map(Map::tofrom_section(&a, N / 2, N)) // BUG: straddles the end
+        .run(move |k| {
+            k.for_each(N / 2..N, |k, i| {
+                let v = k.read(&a, i);
+                k.write(&a, i, v + 1.0);
+            });
+        });
+}
+
+fn b030(rt: &Runtime) {
+    let a = rt.alloc_with::<f64>("a", N, |i| i as f64);
+    rt.target_enter_data(DeviceId::ACCEL0, &[Map::to_section(&a, 0, N + 8)]); // BUG
+    rt.target().map(Map::to(&a)).run(move |k| {
+        k.for_each(0..N, |k, i| {
+            let _ = k.read(&a, i);
+        });
+    });
+    rt.target_exit_data(DeviceId::ACCEL0, &[Map::release(&a)]);
+}
+
+fn b031(rt: &Runtime) {
+    let a = rt.alloc::<f64>("a", N);
+    // BUG: the unstructured mapping allocates (and later copies back) an
+    // oversized section; the exit transfer writes past the OV.
+    rt.target_enter_data(DeviceId::ACCEL0, &[Map::alloc_section(&a, 0, N + 8)]);
+    rt.target().map(Map::alloc(&a)).run(move |k| {
+        k.for_each(0..N, |k, i| k.write(&a, i, 1.0));
+    });
+    rt.target_exit_data(DeviceId::ACCEL0, &[Map::from(&a)]);
+    let _ = rt.read(&a, 0);
+}
+
+fn b032(rt: &Runtime) {
+    let a = rt.alloc_with::<f64>("a", N, |i| i as f64);
+    rt.target_data().map(Map::tofrom(&a)).scope(|rt| {
+        rt.target().map(Map::to(&a)).run(move |k| {
+            k.par_for(0..N, |k, i| {
+                let v = k.read(&a, i);
+                k.write(&a, i, v + 100.0);
+            });
+        });
+        // BUG: missing rt.update_from(&a) here.
+        let _ = rt.read(&a, 7); // stale inside the region
+    });
+}
+
+fn b033(rt: &Runtime) {
+    let a = rt.alloc_with::<f64>("a", N, |i| i as f64);
+    let out = rt.alloc::<f64>("out", N);
+    rt.target_data().map(Map::to(&a)).map(Map::from(&out)).scope(|rt| {
+        for i in 0..N {
+            rt.write(&a, i, -1.0); // host rewrites the input
+        }
+        // BUG: missing rt.update_to(&a); the inner map(to) is refcount-suppressed.
+        rt.target().map(Map::to(&a)).map(Map::from(&out)).run(move |k| {
+            k.par_for(0..N, |k, i| {
+                let v = k.read(&a, i); // stale CV
+                k.write(&out, i, v);
+            });
+        });
+    });
+    let _ = rt.read(&out, 0);
+}
+
+/// DRACC_OMP_034: the transfer that should initialise the CV is a staged
+/// `target update to` of a *never-initialised* OV — the kernel's read is
+/// a UUM, invisible to allocator-interception definedness tools.
+fn b034(rt: &Runtime) {
+    let coeff = rt.alloc::<f64>("coeff", N); // BUG: never initialised
+    let out = rt.alloc::<f64>("out", N);
+    rt.target_data().map(Map::alloc(&coeff)).map(Map::from(&out)).scope(|rt| {
+        rt.update_to(&coeff); // staged through the runtime's bounce buffer
+        rt.target().map(Map::alloc(&coeff)).map(Map::from(&out)).run(move |k| {
+            k.par_for(0..N, |k, i| {
+                let v = k.read(&coeff, i); // UUM
+                k.write(&out, i, v * 2.0);
+            });
+        });
+    });
+    let _ = rt.read(&out, 0);
+}
+
+fn b049(rt: &Runtime) {
+    let a = rt.alloc_with::<f64>("a", N, |_| 3.0);
+    let out = rt.alloc::<f64>("out", N);
+    rt.target_enter_data(DeviceId::ACCEL0, &[Map::alloc(&a)]); // BUG: should be `to`
+    rt.target().map(Map::alloc(&a)).map(Map::from(&out)).run(move |k| {
+        k.par_for(0..N, |k, i| {
+            let v = k.read(&a, i); // uninitialised CV
+            k.write(&out, i, v);
+        });
+    });
+    rt.target_exit_data(DeviceId::ACCEL0, &[Map::release(&a)]);
+    let _ = rt.read(&out, 0);
+}
+
+fn b050(rt: &Runtime) {
+    let a = rt.alloc::<f64>("a", N); // BUG: host never initialises `a`
+    let out = rt.alloc::<f64>("out", N);
+    rt.target().map(Map::to(&a)).map(Map::from(&out)).run(move |k| {
+        k.par_for(0..N, |k, i| {
+            let v = k.read(&a, i); // garbage faithfully copied in
+            k.write(&out, i, v + 1.0);
+        });
+    });
+    let _ = rt.read(&out, 0);
+}
+
+fn b051(rt: &Runtime) {
+    let a = rt.alloc_with::<f64>("a", N, |i| i as f64);
+    // Kernel 1 computes into the CV (persisting it was intended).
+    rt.target_enter_data(DeviceId::ACCEL0, &[Map::to(&a)]);
+    rt.target().map(Map::to(&a)).run(move |k| {
+        k.par_for(0..N, |k, i| {
+            let v = k.read(&a, i);
+            k.write(&a, i, v * 10.0);
+        });
+    });
+    // BUG: releasing here destroys kernel 1's results.
+    rt.target_exit_data(DeviceId::ACCEL0, &[Map::release(&a)]);
+    rt.target_enter_data(DeviceId::ACCEL0, &[Map::alloc(&a)]);
+    rt.target().map(Map::alloc(&a)).run(move |k| {
+        k.par_for(0..N, |k, i| {
+            let _ = k.read(&a, i); // fresh, uninitialised CV
+        });
+    });
+    rt.target_exit_data(DeviceId::ACCEL0, &[Map::release(&a)]);
+}

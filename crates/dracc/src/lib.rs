@@ -1,0 +1,125 @@
+//! # arbalest-dracc
+//!
+//! A DRACC-like micro-benchmark suite: 56 small target-offloading
+//! programs written against the simulated runtime, mirroring the DRACC
+//! 1.0 OpenMP set the paper evaluates (§VI-C).
+//!
+//! The 16 buggy benchmarks sit at the paper's IDs with the paper's
+//! observable effects (Table III):
+//!
+//! | IDs                    | Effect |
+//! |------------------------|--------|
+//! | 22, 24, 49, 50, 51     | UUM    |
+//! | 23, 25, 28, 29, 30, 31 | BO     |
+//! | 26, 27, 32, 33, 34     | USD (34 manifests as a kernel-side UUM) |
+//!
+//! The other 40 are correct programs covering every construct the runtime
+//! offers; they defend the no-false-positive claim. Every correct
+//! benchmark verifies its own output, so the suite also regression-tests
+//! the runtime's data movement.
+
+#![warn(missing_docs)]
+
+mod buggy;
+mod correct;
+
+use arbalest_offload::prelude::*;
+
+/// Elements per array in the benchmarks (kept small: tools multiply cost).
+pub const N: usize = 128;
+
+/// One DRACC-style benchmark.
+pub struct Benchmark {
+    /// `DRACC_OMP_<id>`.
+    pub id: u32,
+    /// Short name.
+    pub name: &'static str,
+    /// Seeded bug's observable effect; `None` for correct benchmarks.
+    pub expected: Option<Effect>,
+    /// What the benchmark exercises / what the bug is.
+    pub description: &'static str,
+    runner: fn(&Runtime),
+}
+
+impl Benchmark {
+    /// Execute against a runtime (attach tools to it first).
+    pub fn run(&self, rt: &Runtime) {
+        (self.runner)(rt);
+        rt.taskwait();
+    }
+
+    /// `DRACC_OMP_0NN` display id.
+    pub fn dracc_id(&self) -> String {
+        format!("DRACC_OMP_{:03}", self.id)
+    }
+}
+
+/// All 56 benchmarks, ascending by id.
+pub fn all() -> Vec<Benchmark> {
+    let mut v = correct::benchmarks();
+    v.extend(buggy::benchmarks());
+    v.sort_by_key(|b| b.id);
+    debug_assert_eq!(v.len(), 56);
+    v
+}
+
+/// The 16 buggy benchmarks.
+pub fn buggy() -> Vec<Benchmark> {
+    buggy::benchmarks()
+}
+
+/// The 40 correct benchmarks.
+pub fn correct() -> Vec<Benchmark> {
+    correct::benchmarks()
+}
+
+/// Look up a benchmark by id.
+pub fn by_id(id: u32) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_56_benchmarks_with_unique_ids() {
+        let v = all();
+        assert_eq!(v.len(), 56);
+        let mut ids: Vec<u32> = v.iter().map(|b| b.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 56);
+        assert_eq!(ids.first(), Some(&1));
+        assert_eq!(ids.last(), Some(&56));
+    }
+
+    #[test]
+    fn buggy_ids_match_table_iii() {
+        let mut ids: Vec<u32> = buggy().iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 49, 50, 51]);
+    }
+
+    #[test]
+    fn effects_match_table_iii_rows() {
+        for b in buggy() {
+            let expected = match b.id {
+                22 | 24 | 49 | 50 | 51 => Effect::Uum,
+                23 | 25 | 28 | 29 | 30 | 31 => Effect::Bo,
+                26 | 27 | 32 | 33 => Effect::Usd,
+                34 => Effect::Uum, // grouped in the USD row; manifests as kernel UUM (§VI-C)
+                _ => unreachable!(),
+            };
+            assert_eq!(b.expected, Some(expected), "{}", b.dracc_id());
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_run_without_tools() {
+        // Smoke: every benchmark completes on a bare runtime.
+        for b in all() {
+            let rt = Runtime::new(Config::default());
+            b.run(&rt);
+        }
+    }
+}

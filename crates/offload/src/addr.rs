@@ -1,0 +1,81 @@
+//! Logical addressing shared by every device memory in the simulation.
+//!
+//! Each device owns a disjoint slice of a single 64-bit logical address
+//! space, so an address alone identifies both the device and the location —
+//! exactly the property tool models need to attribute an access, and the
+//! property a real `omp_get_mapped_ptr` pointer has on a discrete GPU.
+
+/// Identifies a device. `DeviceId::HOST` (0) is the host, accelerators are
+/// numbered from 1, mirroring OpenMP's initial device / device numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub u16);
+
+impl DeviceId {
+    /// The host ("initial device" in OpenMP terms).
+    pub const HOST: DeviceId = DeviceId(0);
+
+    /// The first (default) accelerator.
+    pub const ACCEL0: DeviceId = DeviceId(1);
+
+    /// True if this is the host device.
+    #[inline]
+    pub fn is_host(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_host() {
+            write!(f, "host")
+        } else {
+            write!(f, "device({})", self.0 - 1)
+        }
+    }
+}
+
+/// Log2 of the per-device address window (1 TiB each).
+pub const DEVICE_WINDOW_SHIFT: u32 = 40;
+
+/// Base logical address of a device's memory window.
+#[inline]
+pub fn device_base(dev: DeviceId) -> u64 {
+    ((dev.0 as u64) + 1) << DEVICE_WINDOW_SHIFT
+}
+
+/// Recover the owning device of a logical address.
+#[inline]
+pub fn device_of(addr: u64) -> DeviceId {
+    DeviceId(((addr >> DEVICE_WINDOW_SHIFT) - 1) as u16)
+}
+
+/// Reserved offset (within a device window) where accesses to *unmapped*
+/// buffers are synthesized. Nothing is ever allocated here, so every tool
+/// that tracks addressability sees these accesses as wild.
+pub const UNMAPPED_REGION_OFFSET: u64 = 1 << 39;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_windows_are_disjoint_and_invertible() {
+        for d in 0..8u16 {
+            let dev = DeviceId(d);
+            let base = device_base(dev);
+            assert_eq!(device_of(base), dev);
+            assert_eq!(device_of(base + (1 << 39)), dev);
+            if d > 0 {
+                assert!(base > device_base(DeviceId(d - 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn host_display_and_predicates() {
+        assert!(DeviceId::HOST.is_host());
+        assert!(!DeviceId::ACCEL0.is_host());
+        assert_eq!(DeviceId::HOST.to_string(), "host");
+        assert_eq!(DeviceId::ACCEL0.to_string(), "device(0)");
+    }
+}

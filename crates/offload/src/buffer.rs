@@ -1,0 +1,109 @@
+//! Tracked buffers: the "original variables" (OVs) of the paper.
+//!
+//! Programs written against the simulated runtime keep their mapped data in
+//! `Buffer<T>` handles instead of raw Rust slices, so that every read and
+//! write — host-side or kernel-side — flows through the runtime and is
+//! observable by tools, playing the role of compiler instrumentation.
+
+use crate::scalar::Scalar;
+use std::marker::PhantomData;
+
+/// Stable identifier for a tracked buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufferId(pub u32);
+
+/// A typed handle to a tracked host buffer (the OV). Cheap to copy into
+/// kernel closures.
+pub struct Buffer<T: Scalar> {
+    pub(crate) id: BufferId,
+    pub(crate) len: usize,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Scalar> Clone for Buffer<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Scalar> Copy for Buffer<T> {}
+
+impl<T: Scalar> Buffer<T> {
+    /// The buffer's identifier.
+    pub fn id(&self) -> BufferId {
+        self.id
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element size in bytes.
+    pub fn elem_size(&self) -> usize {
+        T::SIZE
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Buffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Buffer")
+            .field("id", &self.id.0)
+            .field("len", &self.len)
+            .field("elem_size", &T::SIZE)
+            .finish()
+    }
+}
+
+/// Runtime-side metadata for a buffer.
+#[derive(Debug, Clone)]
+pub struct BufferInfo {
+    /// Identifier, index into the runtime's buffer table.
+    pub id: BufferId,
+    /// Human-readable name used in bug reports.
+    pub name: String,
+    /// Element size in bytes.
+    pub elem_size: usize,
+    /// Number of elements.
+    pub len: usize,
+    /// Base logical address of the OV in host memory.
+    pub ov_base: u64,
+}
+
+impl BufferInfo {
+    /// Total byte length of the buffer.
+    pub fn byte_len(&self) -> u64 {
+        (self.len * self.elem_size) as u64
+    }
+
+    /// End address (exclusive) of the OV.
+    pub fn ov_end(&self) -> u64 {
+        self.ov_base + self.byte_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_is_copy_and_reports_geometry() {
+        let b: Buffer<f64> = Buffer { id: BufferId(3), len: 10, _marker: PhantomData };
+        let c = b;
+        assert_eq!(b.id(), c.id());
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.elem_size(), 8);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn info_geometry() {
+        let info = BufferInfo { id: BufferId(0), name: "a".into(), elem_size: 4, len: 6, ov_base: 0x100 };
+        assert_eq!(info.byte_len(), 24);
+        assert_eq!(info.ov_end(), 0x118);
+    }
+}

@@ -1,0 +1,402 @@
+//! Data mapping semantics: map-types, array sections, and the present
+//! table with Table I's reference-counting rules.
+//!
+//! The decision logic is pure (`plan_entry` / `plan_exit` / `commit_*`),
+//! so the exact Table I semantics are unit-testable without a runtime;
+//! the runtime executes the planned allocations and transfers.
+
+use crate::buffer::{Buffer, BufferId};
+use crate::scalar::Scalar;
+use std::collections::HashMap;
+
+/// OpenMP map-types (§2.14 of the specification / Table I of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapType {
+    /// Copy OV → CV on entry (if the CV is created by this mapping).
+    To,
+    /// Allocate on entry, copy CV → OV on exit (when the refcount drops
+    /// to zero).
+    From,
+    /// Both of the above.
+    ToFrom,
+    /// Allocate only; no transfers.
+    Alloc,
+    /// Decrement the reference count on exit; delete when it reaches zero.
+    Release,
+    /// Force the reference count to zero and delete on exit.
+    Delete,
+}
+
+impl MapType {
+    /// Whether entry to the region copies OV → CV when creating the CV.
+    pub fn copies_to_device(self) -> bool {
+        matches!(self, MapType::To | MapType::ToFrom)
+    }
+
+    /// Whether exit from the region copies CV → OV when the refcount
+    /// reaches zero.
+    pub fn copies_from_device(self) -> bool {
+        matches!(self, MapType::From | MapType::ToFrom)
+    }
+}
+
+impl std::fmt::Display for MapType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MapType::To => "to",
+            MapType::From => "from",
+            MapType::ToFrom => "tofrom",
+            MapType::Alloc => "alloc",
+            MapType::Release => "release",
+            MapType::Delete => "delete",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One `map` clause: a buffer (or array section of it) plus a map-type.
+#[derive(Debug, Clone, Copy)]
+pub struct Map {
+    /// The mapped buffer.
+    pub buffer: BufferId,
+    /// Map-type.
+    pub map_type: MapType,
+    /// Section start, bytes from the OV base.
+    pub offset_bytes: u64,
+    /// Section length in bytes.
+    pub len_bytes: u64,
+}
+
+impl Map {
+    fn whole<T: Scalar>(buf: &Buffer<T>, map_type: MapType) -> Map {
+        Map {
+            buffer: buf.id(),
+            map_type,
+            offset_bytes: 0,
+            len_bytes: (buf.len() * T::SIZE) as u64,
+        }
+    }
+
+    fn section<T: Scalar>(buf: &Buffer<T>, map_type: MapType, start: usize, len: usize) -> Map {
+        Map {
+            buffer: buf.id(),
+            map_type,
+            offset_bytes: (start * T::SIZE) as u64,
+            len_bytes: (len * T::SIZE) as u64,
+        }
+    }
+
+    /// `map(to: buf[0:len])`
+    pub fn to<T: Scalar>(buf: &Buffer<T>) -> Map {
+        Map::whole(buf, MapType::To)
+    }
+    /// `map(from: buf[0:len])`
+    pub fn from<T: Scalar>(buf: &Buffer<T>) -> Map {
+        Map::whole(buf, MapType::From)
+    }
+    /// `map(tofrom: buf[0:len])`
+    pub fn tofrom<T: Scalar>(buf: &Buffer<T>) -> Map {
+        Map::whole(buf, MapType::ToFrom)
+    }
+    /// `map(alloc: buf[0:len])`
+    pub fn alloc<T: Scalar>(buf: &Buffer<T>) -> Map {
+        Map::whole(buf, MapType::Alloc)
+    }
+    /// `map(release: buf[0:len])`
+    pub fn release<T: Scalar>(buf: &Buffer<T>) -> Map {
+        Map::whole(buf, MapType::Release)
+    }
+    /// `map(delete: buf[0:len])`
+    pub fn delete<T: Scalar>(buf: &Buffer<T>) -> Map {
+        Map::whole(buf, MapType::Delete)
+    }
+
+    /// `map(to: buf[start:len])` — array section in elements. A section
+    /// exceeding the buffer (`start + len > buf.len()`) is accepted: that
+    /// is precisely the class of bug DRACC seeds (wrong array section).
+    pub fn to_section<T: Scalar>(buf: &Buffer<T>, start: usize, len: usize) -> Map {
+        Map::section(buf, MapType::To, start, len)
+    }
+    /// `map(from: buf[start:len])`
+    pub fn from_section<T: Scalar>(buf: &Buffer<T>, start: usize, len: usize) -> Map {
+        Map::section(buf, MapType::From, start, len)
+    }
+    /// `map(tofrom: buf[start:len])`
+    pub fn tofrom_section<T: Scalar>(buf: &Buffer<T>, start: usize, len: usize) -> Map {
+        Map::section(buf, MapType::ToFrom, start, len)
+    }
+    /// `map(alloc: buf[start:len])`
+    pub fn alloc_section<T: Scalar>(buf: &Buffer<T>, start: usize, len: usize) -> Map {
+        Map::section(buf, MapType::Alloc, start, len)
+    }
+}
+
+/// A live present-table entry: one CV on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PresentEntry {
+    /// CV base logical address on the device.
+    pub cv_base: u64,
+    /// Mapped section start (bytes from OV base).
+    pub offset_bytes: u64,
+    /// Mapped section length in bytes.
+    pub len_bytes: u64,
+    /// Table I reference count.
+    pub refcount: u32,
+}
+
+impl PresentEntry {
+    /// Device address for a byte offset from the OV base. Offsets outside
+    /// the mapped section still produce an address (beyond the CV block) —
+    /// that is the buffer-overflow behaviour §IV-D detects.
+    #[inline]
+    pub fn cv_addr(&self, ov_byte_offset: u64) -> u64 {
+        self.cv_base.wrapping_add(ov_byte_offset).wrapping_sub(self.offset_bytes)
+    }
+}
+
+/// What the runtime must do on region entry for one map clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryPlan {
+    /// Allocate a CV of the section's length.
+    pub alloc: bool,
+    /// Copy OV section → CV after allocating.
+    pub copy_to_device: bool,
+}
+
+/// What the runtime must do on region exit for one map clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExitPlan {
+    /// Copy CV → OV section before deleting.
+    pub copy_from_device: bool,
+    /// Delete the CV.
+    pub delete: bool,
+}
+
+/// The per-device present table implementing Table I.
+#[derive(Debug, Default)]
+pub struct PresentTable {
+    entries: HashMap<BufferId, PresentEntry>,
+}
+
+impl PresentTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current entry for a buffer, if present.
+    pub fn get(&self, buffer: BufferId) -> Option<PresentEntry> {
+        self.entries.get(&buffer).copied()
+    }
+
+    /// `ref_count(CV) == 0`, i.e. the CV does not exist.
+    pub fn exists(&self, buffer: BufferId) -> bool {
+        self.entries.contains_key(&buffer)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no CV is present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Decide the entry actions for a map clause (Table I, upper half).
+    /// `release`/`delete` map-types have no entry effect.
+    pub fn plan_entry(&self, map: &Map) -> EntryPlan {
+        if matches!(map.map_type, MapType::Release | MapType::Delete) {
+            return EntryPlan { alloc: false, copy_to_device: false };
+        }
+        if self.exists(map.buffer) {
+            EntryPlan { alloc: false, copy_to_device: false }
+        } else {
+            EntryPlan { alloc: true, copy_to_device: map.map_type.copies_to_device() }
+        }
+    }
+
+    /// Record the entry effects. When `plan.alloc` is true, `cv_base` is
+    /// the freshly allocated CV; otherwise the existing entry's refcount
+    /// is incremented (`ref_count(CV) += 1`).
+    pub fn commit_entry(&mut self, map: &Map, plan: EntryPlan, cv_base: u64) {
+        if matches!(map.map_type, MapType::Release | MapType::Delete) {
+            return;
+        }
+        if plan.alloc {
+            self.entries.insert(
+                map.buffer,
+                PresentEntry {
+                    cv_base,
+                    offset_bytes: map.offset_bytes,
+                    len_bytes: map.len_bytes,
+                    refcount: 1,
+                },
+            );
+        } else {
+            self.entries.get_mut(&map.buffer).expect("planned against stale table").refcount += 1;
+        }
+    }
+
+    /// Decide the exit actions for a map clause (Table I, lower half).
+    /// Exit for a buffer that is not present is a no-op (OpenMP 5.x).
+    pub fn plan_exit(&self, map: &Map) -> ExitPlan {
+        let Some(entry) = self.get(map.buffer) else {
+            return ExitPlan { copy_from_device: false, delete: false };
+        };
+        let remaining = match map.map_type {
+            MapType::Delete => 0,
+            _ => entry.refcount.saturating_sub(1),
+        };
+        if remaining == 0 {
+            ExitPlan { copy_from_device: map.map_type.copies_from_device(), delete: true }
+        } else {
+            ExitPlan { copy_from_device: false, delete: false }
+        }
+    }
+
+    /// Record the exit effects; returns the removed entry when the CV was
+    /// deleted so the runtime can free it.
+    pub fn commit_exit(&mut self, map: &Map, plan: ExitPlan) -> Option<PresentEntry> {
+        if !self.exists(map.buffer) {
+            return None;
+        }
+        if plan.delete {
+            self.entries.remove(&map.buffer)
+        } else {
+            let e = self.entries.get_mut(&map.buffer).expect("checked above");
+            e.refcount = e.refcount.saturating_sub(1);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(t: MapType) -> Map {
+        Map { buffer: BufferId(1), map_type: t, offset_bytes: 0, len_bytes: 64 }
+    }
+
+    #[test]
+    fn table1_entry_to_creates_and_copies() {
+        let table = PresentTable::new();
+        let plan = table.plan_entry(&map(MapType::To));
+        assert_eq!(plan, EntryPlan { alloc: true, copy_to_device: true });
+        let plan = table.plan_entry(&map(MapType::ToFrom));
+        assert!(plan.alloc && plan.copy_to_device);
+    }
+
+    #[test]
+    fn table1_entry_from_alloc_create_without_copy() {
+        let table = PresentTable::new();
+        for t in [MapType::From, MapType::Alloc] {
+            let plan = table.plan_entry(&map(t));
+            assert_eq!(plan, EntryPlan { alloc: true, copy_to_device: false });
+        }
+    }
+
+    #[test]
+    fn table1_entry_existing_only_bumps_refcount() {
+        let mut table = PresentTable::new();
+        let m = map(MapType::To);
+        let p = table.plan_entry(&m);
+        table.commit_entry(&m, p, 0x1000);
+        // Second mapping: no transfer even for map(to) — reference counting
+        // suppresses it (the root of several DRACC stale-data bugs).
+        let m2 = map(MapType::To);
+        let p2 = table.plan_entry(&m2);
+        assert_eq!(p2, EntryPlan { alloc: false, copy_to_device: false });
+        table.commit_entry(&m2, p2, 0);
+        assert_eq!(table.get(BufferId(1)).unwrap().refcount, 2);
+        assert_eq!(table.get(BufferId(1)).unwrap().cv_base, 0x1000);
+    }
+
+    #[test]
+    fn table1_exit_from_copies_back_only_at_zero() {
+        let mut table = PresentTable::new();
+        let m = map(MapType::ToFrom);
+        let p = table.plan_entry(&m);
+        table.commit_entry(&m, p, 0x1000);
+        let p = table.plan_entry(&m);
+        table.commit_entry(&m, p, 0);
+        // refcount 2 → first exit decrements only
+        let x = table.plan_exit(&m);
+        assert_eq!(x, ExitPlan { copy_from_device: false, delete: false });
+        assert!(table.commit_exit(&m, x).is_none());
+        // refcount 1 → second exit copies back and deletes
+        let x = table.plan_exit(&m);
+        assert_eq!(x, ExitPlan { copy_from_device: true, delete: true });
+        let removed = table.commit_exit(&m, x).unwrap();
+        assert_eq!(removed.cv_base, 0x1000);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn table1_exit_to_alloc_release_delete_without_copy() {
+        for t in [MapType::To, MapType::Alloc, MapType::Release] {
+            let mut table = PresentTable::new();
+            let enter = map(MapType::To);
+            let p = table.plan_entry(&enter);
+            table.commit_entry(&enter, p, 0x1000);
+            let x = table.plan_exit(&map(t));
+            assert_eq!(x, ExitPlan { copy_from_device: false, delete: true }, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn table1_delete_forces_refcount_to_zero() {
+        let mut table = PresentTable::new();
+        let m = map(MapType::To);
+        for _ in 0..3 {
+            let p = table.plan_entry(&m);
+            table.commit_entry(&m, p, 0x1000);
+        }
+        assert_eq!(table.get(BufferId(1)).unwrap().refcount, 3);
+        let x = table.plan_exit(&map(MapType::Delete));
+        assert_eq!(x, ExitPlan { copy_from_device: false, delete: true });
+        table.commit_exit(&map(MapType::Delete), x);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn exit_when_absent_is_noop() {
+        let mut table = PresentTable::new();
+        let x = table.plan_exit(&map(MapType::From));
+        assert_eq!(x, ExitPlan { copy_from_device: false, delete: false });
+        assert!(table.commit_exit(&map(MapType::From), x).is_none());
+    }
+
+    #[test]
+    fn entry_release_delete_are_noops() {
+        let table = PresentTable::new();
+        for t in [MapType::Release, MapType::Delete] {
+            let p = table.plan_entry(&map(t));
+            assert_eq!(p, EntryPlan { alloc: false, copy_to_device: false });
+        }
+    }
+
+    #[test]
+    fn cv_addr_translates_sections_and_overflows() {
+        let e = PresentEntry { cv_base: 0x2000, offset_bytes: 64, len_bytes: 128, refcount: 1 };
+        assert_eq!(e.cv_addr(64), 0x2000);
+        assert_eq!(e.cv_addr(128), 0x2040);
+        // Below the section start: address lands before the CV block.
+        assert_eq!(e.cv_addr(0), 0x2000 - 64);
+        // Past the section end: beyond the CV block.
+        assert_eq!(e.cv_addr(64 + 128 + 8), 0x2000 + 128 + 8);
+    }
+
+    #[test]
+    fn section_constructors_use_element_units() {
+        let buf: Buffer<f64> =
+            Buffer { id: BufferId(7), len: 100, _marker: std::marker::PhantomData };
+        let m = Map::to_section(&buf, 10, 20);
+        assert_eq!(m.offset_bytes, 80);
+        assert_eq!(m.len_bytes, 160);
+        let m = Map::tofrom(&buf);
+        assert_eq!(m.len_bytes, 800);
+    }
+}

@@ -1,0 +1,272 @@
+//! Bug-report vocabulary shared by every tool.
+//!
+//! Each detector produces [`Report`]s; the kinds cover everything the five
+//! evaluated tools can emit: ARBALEST's data mapping issues (UUM / USD /
+//! mapping-related buffer overflow), Archer-style data races, and the
+//! memory-error kinds of the memcheck/ASan/MSan models.
+
+use crate::addr::DeviceId;
+use std::panic::Location;
+
+/// What kind of anomaly a report describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReportKind {
+    /// Data mapping issue manifesting as a use of uninitialized memory
+    /// (neither OV nor CV ever initialised on the read path).
+    MappingUum,
+    /// Data mapping issue manifesting as a use of stale data (the other
+    /// copy holds a newer value the read cannot observe).
+    MappingUsd,
+    /// Access outside the mapped corresponding-variable interval
+    /// (ARBALEST's §IV-D extension).
+    MappingOverflow,
+    /// Happens-before data race.
+    DataRace,
+    /// Read of a value never initialised (MemorySanitizer / memcheck
+    /// definedness machinery).
+    UninitRead,
+    /// Access outside any live heap block (memcheck addressability,
+    /// ASan red zones).
+    HeapOverflow,
+    /// Access to a freed block.
+    UseAfterFree,
+}
+
+impl ReportKind {
+    /// Short stable label used in harness tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReportKind::MappingUum => "mapping-issue(UUM)",
+            ReportKind::MappingUsd => "mapping-issue(USD)",
+            ReportKind::MappingOverflow => "mapping-issue(BO)",
+            ReportKind::DataRace => "data-race",
+            ReportKind::UninitRead => "uninit-read",
+            ReportKind::HeapOverflow => "heap-overflow",
+            ReportKind::UseAfterFree => "use-after-free",
+        }
+    }
+
+    /// Whether this kind counts as detecting a *data mapping issue* whose
+    /// observable effect is the given DRACC effect class; used when scoring
+    /// Table III. A tool gets credit if it flags the manifested anomaly,
+    /// even without knowing about data mappings (the paper credits e.g.
+    /// MSan's `UninitRead` for UUM benchmarks).
+    pub fn credits_effect(self, effect: crate::report::Effect) -> bool {
+        use Effect::*;
+        match effect {
+            Uum => matches!(self, ReportKind::MappingUum | ReportKind::UninitRead),
+            Usd => matches!(self, ReportKind::MappingUsd),
+            Bo => matches!(
+                self,
+                ReportKind::MappingOverflow | ReportKind::HeapOverflow | ReportKind::UseAfterFree
+            ),
+            Race => matches!(self, ReportKind::DataRace),
+        }
+    }
+}
+
+/// Ground-truth observable effect of a seeded bug (column 2 of Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Effect {
+    /// Use of uninitialized memory.
+    Uum,
+    /// Use of stale data.
+    Usd,
+    /// Buffer overflow.
+    Bo,
+    /// Data race.
+    Race,
+}
+
+impl std::fmt::Display for Effect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Effect::Uum => write!(f, "UUM"),
+            Effect::Usd => write!(f, "USD"),
+            Effect::Bo => write!(f, "BO"),
+            Effect::Race => write!(f, "Race"),
+        }
+    }
+}
+
+/// Details of the conflicting previous access, when known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrevAccess {
+    /// Thread-slot id of the previous access (shadow word `TID`).
+    pub tid: u16,
+    /// Scalar clock of the previous access.
+    pub clock: u64,
+    /// True if the previous access was a write.
+    pub is_write: bool,
+}
+
+/// One detector finding.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Emitting tool's name ("arbalest", "memcheck", ...).
+    pub tool: &'static str,
+    /// Anomaly class.
+    pub kind: ReportKind,
+    /// Human-readable one-line description.
+    pub message: String,
+    /// Name of the involved buffer, when attributable.
+    pub buffer: Option<String>,
+    /// Device on which the offending access executed.
+    pub device: DeviceId,
+    /// Logical address of the offending access.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: usize,
+    /// Source location of the offending access, when captured.
+    pub loc: Option<&'static Location<'static>>,
+    /// Conflicting prior access, when the tool records one.
+    pub prev: Option<PrevAccess>,
+    /// A suggested repair, in the spirit of §III-C.
+    pub suggested_fix: Option<String>,
+}
+
+impl Report {
+    /// Deduplication key: one report per (kind, buffer, source line).
+    pub fn dedup_key(&self) -> (ReportKind, Option<String>, Option<(String, u32)>) {
+        (
+            self.kind,
+            self.buffer.clone(),
+            self.loc.map(|l| (l.file().to_string(), l.line())),
+        )
+    }
+
+    /// Render an Archer/TSan-flavoured textual report (Fig. 7 style).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("==================\n");
+        out.push_str(&format!(
+            "WARNING: {}: {} (pid=simulated)\n",
+            tool_banner(self.tool),
+            self.kind.label()
+        ));
+        out.push_str(&format!(
+            "  {} of size {} at {:#x} on {}\n",
+            if self.prev.map(|p| p.is_write).unwrap_or(false) { "Read" } else { "Access" },
+            self.size,
+            self.addr,
+            self.device,
+        ));
+        if let Some(loc) = self.loc {
+            out.push_str(&format!("    #0 {}:{}:{}\n", loc.file(), loc.line(), loc.column()));
+        }
+        if let Some(buf) = &self.buffer {
+            out.push_str(&format!("  Location is mapped variable '{}'\n", buf));
+        }
+        if let Some(prev) = self.prev {
+            out.push_str(&format!(
+                "  Previous {} by thread T{} at clock {}\n",
+                if prev.is_write { "write" } else { "read" },
+                prev.tid,
+                prev.clock
+            ));
+        }
+        out.push_str(&format!("  {}\n", self.message));
+        if let Some(fix) = &self.suggested_fix {
+            out.push_str(&format!("  Suggested fix: {}\n", fix));
+        }
+        out.push_str(&format!("SUMMARY: {}: {}\n", tool_banner(self.tool), self.kind.label()));
+        out.push_str("==================\n");
+        out
+    }
+}
+
+/// Aggregate a report list into per-kind counts (stable order).
+pub fn summarize(reports: &[Report]) -> Vec<(ReportKind, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for r in reports {
+        *counts.entry(r.kind).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+fn tool_banner(tool: &str) -> &'static str {
+    match tool {
+        "arbalest" | "archer" => "ThreadSanitizer",
+        "asan" => "AddressSanitizer",
+        "msan" => "MemorySanitizer",
+        "memcheck" => "Memcheck",
+        _ => "Sanitizer",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crediting_matches_table_iii_semantics() {
+        assert!(ReportKind::MappingUum.credits_effect(Effect::Uum));
+        assert!(ReportKind::UninitRead.credits_effect(Effect::Uum));
+        assert!(!ReportKind::UninitRead.credits_effect(Effect::Usd));
+        assert!(ReportKind::MappingUsd.credits_effect(Effect::Usd));
+        assert!(ReportKind::HeapOverflow.credits_effect(Effect::Bo));
+        assert!(ReportKind::MappingOverflow.credits_effect(Effect::Bo));
+        assert!(!ReportKind::DataRace.credits_effect(Effect::Uum));
+        assert!(ReportKind::DataRace.credits_effect(Effect::Race));
+    }
+
+    #[test]
+    fn render_mentions_key_facts() {
+        let r = Report {
+            tool: "arbalest",
+            kind: ReportKind::MappingUsd,
+            message: "read on host did not observe last write on device(0)".into(),
+            buffer: Some("a".into()),
+            device: DeviceId::HOST,
+            addr: 0x2000_0000_0100,
+            size: 8,
+            loc: None,
+            prev: Some(PrevAccess { tid: 3, clock: 17, is_write: true }),
+            suggested_fix: Some("change map-type of 'a' to tofrom".into()),
+        };
+        let text = r.render();
+        assert!(text.contains("ThreadSanitizer"));
+        assert!(text.contains("mapping-issue(USD)"));
+        assert!(text.contains("mapped variable 'a'"));
+        assert!(text.contains("thread T3"));
+        assert!(text.contains("Suggested fix"));
+    }
+
+    #[test]
+    fn summarize_counts_by_kind() {
+        let mk = |kind| Report {
+            tool: "arbalest",
+            kind,
+            message: String::new(),
+            buffer: None,
+            device: DeviceId::HOST,
+            addr: 0,
+            size: 8,
+            loc: None,
+            prev: None,
+            suggested_fix: None,
+        };
+        let reports =
+            vec![mk(ReportKind::MappingUum), mk(ReportKind::DataRace), mk(ReportKind::MappingUum)];
+        let summary = summarize(&reports);
+        assert_eq!(summary, vec![(ReportKind::MappingUum, 2), (ReportKind::DataRace, 1)]);
+        assert!(summarize(&[]).is_empty());
+    }
+
+    #[test]
+    fn dedup_key_ignores_message() {
+        let mk = |msg: &str| Report {
+            tool: "arbalest",
+            kind: ReportKind::MappingUum,
+            message: msg.into(),
+            buffer: Some("b".into()),
+            device: DeviceId::ACCEL0,
+            addr: 0,
+            size: 8,
+            loc: None,
+            prev: None,
+            suggested_fix: None,
+        };
+        assert_eq!(mk("x").dedup_key(), mk("y").dedup_key());
+    }
+}

@@ -1,0 +1,1537 @@
+//! The offloading runtime: devices, target constructs, kernel teams,
+//! asynchronous tasks, and tool event dispatch.
+//!
+//! Execution model (§II of the paper): a host program (one logical host
+//! task) offloads *target regions* to devices. Synchronous regions block
+//! the host; `nowait` regions run concurrently on their own OS thread.
+//! Entry/exit data mappings execute *as part of the target task*, so a
+//! `nowait` region's transfers genuinely race with concurrent host code —
+//! the hazard of Fig. 2 is executable, not merely modeled.
+//!
+//! With `Config::serialize_nowait` (ARBALEST's Theorem-1 analysis mode),
+//! `nowait` bodies run inline on the host thread **but the emitted
+//! happens-before structure is unchanged** — the race detector still sees
+//! host and kernel as unordered, while the VSM observes the deterministic
+//! serialized schedule. That decoupling is exactly what Theorem 1 needs.
+
+use crate::addr::{device_base, device_of, DeviceId, UNMAPPED_REGION_OFFSET};
+use crate::buffer::{Buffer, BufferId, BufferInfo};
+use crate::events::{
+    AccessEvent, ConstructEvent, DataOpEvent, DataOpKind, SyncEvent, TaskId, Tool, TransferEvent,
+    TransferKind,
+};
+use crate::mapping::{Map, PresentEntry, PresentTable};
+use crate::mem::{self, AddressSpace};
+use crate::report::Report;
+use crate::scalar::Scalar;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::panic::Location;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Runtime configuration.
+#[derive(Clone)]
+pub struct Config {
+    /// Number of accelerator devices (default 1).
+    pub accelerators: u16,
+    /// Threads per kernel team for `par_for` (default 4).
+    pub team_size: usize,
+    /// Unified memory (§III-B): OV and CV share storage; map transfers
+    /// become coherence flushes.
+    pub unified_memory: bool,
+    /// Theorem-1 analysis mode: run `nowait` bodies synchronously while
+    /// preserving the asynchronous happens-before structure.
+    pub serialize_nowait: bool,
+    /// Device plugin pools its allocations (default true, like the LLVM
+    /// CUDA plugin) — hides per-CV operations from binary instrumentation.
+    pub pooled_device_alloc: bool,
+    /// Route `target update` transfers through a runtime-internal staging
+    /// buffer (default true) — launders allocator-interception shadow.
+    pub staged_update_transfers: bool,
+    /// Emit tool events for *implicit* data mappings of `declare target`
+    /// globals (default true — the OMPT extension the paper's authors
+    /// proposed in §V-A). With `false`, the runtime still performs the
+    /// implicit mappings but tools never hear about them — the LLVM-9 OMPT
+    /// behaviour that made tools mishandle global variables.
+    pub implicit_map_events: bool,
+    /// X10CUDA/OpenARC-style automatic memory management (§III-C, §VII-A
+    /// of the paper): track per-variable coherence at coarse granularity
+    /// and insert the missing transfers before stale reads. Repairs
+    /// USD-class mapping issues in synchronous programs; cannot repair
+    /// UUMs (there is nothing valid to copy) or asynchronous hazards.
+    pub auto_coherence: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            accelerators: 1,
+            team_size: 4,
+            unified_memory: false,
+            serialize_nowait: false,
+            pooled_device_alloc: true,
+            staged_update_transfers: true,
+            implicit_map_events: true,
+            auto_coherence: false,
+        }
+    }
+}
+
+impl Config {
+    /// Set the number of accelerators.
+    pub fn accelerators(mut self, n: u16) -> Self {
+        self.accelerators = n;
+        self
+    }
+    /// Set the kernel team size.
+    pub fn team_size(mut self, n: usize) -> Self {
+        self.team_size = n.max(1);
+        self
+    }
+    /// Enable unified memory.
+    pub fn unified(mut self, on: bool) -> Self {
+        self.unified_memory = on;
+        self
+    }
+    /// Enable Theorem-1 serialization of `nowait` kernels.
+    pub fn serialize(mut self, on: bool) -> Self {
+        self.serialize_nowait = on;
+        self
+    }
+    /// Control device-plugin pooling.
+    pub fn pooled(mut self, on: bool) -> Self {
+        self.pooled_device_alloc = on;
+        self
+    }
+    /// Control update-transfer staging.
+    pub fn staged_updates(mut self, on: bool) -> Self {
+        self.staged_update_transfers = on;
+        self
+    }
+    /// Enable automatic coherence management (issue *avoidance*).
+    pub fn auto_coherence(mut self, on: bool) -> Self {
+        self.auto_coherence = on;
+        self
+    }
+    /// Control implicit-mapping event callbacks (§V-A).
+    pub fn implicit_map_events(mut self, on: bool) -> Self {
+        self.implicit_map_events = on;
+        self
+    }
+}
+
+/// Completion latch for a task.
+struct TaskRecord {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl TaskRecord {
+    fn new() -> Self {
+        TaskRecord { done: Mutex::new(false), cv: Condvar::new() }
+    }
+    fn complete(&self) {
+        *self.done.lock() = true;
+        self.cv.notify_all();
+    }
+    fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+}
+
+/// Dependence kind for `depend` clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DependKind {
+    /// `depend(in: ...)` — ordered after the last `out` task.
+    In,
+    /// `depend(out: ...)` / `depend(inout: ...)` — ordered after the last
+    /// `out` task and all intervening `in` tasks.
+    Out,
+}
+
+/// One `depend` clause.
+#[derive(Debug, Clone, Copy)]
+pub struct Depend {
+    /// Buffer whose dependence chain this participates in.
+    pub buffer: BufferId,
+    /// In or out.
+    pub kind: DependKind,
+}
+
+impl Depend {
+    /// `depend(in: buf)`
+    pub fn read<T: Scalar>(buf: &Buffer<T>) -> Depend {
+        Depend { buffer: buf.id(), kind: DependKind::In }
+    }
+    /// `depend(out: buf)` / `depend(inout: buf)`
+    pub fn write<T: Scalar>(buf: &Buffer<T>) -> Depend {
+        Depend { buffer: buf.id(), kind: DependKind::Out }
+    }
+}
+
+#[derive(Default)]
+struct DepChain {
+    last_out: Option<(TaskId, Arc<TaskRecord>)>,
+    last_ins: Vec<(TaskId, Arc<TaskRecord>)>,
+}
+
+struct Rt {
+    cfg: Config,
+    criticals: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
+    /// `declare target` globals: implicitly mapped at first device use.
+    declared: Mutex<Vec<BufferId>>,
+    globals_mapped: Vec<AtomicBool>,
+    spaces: Vec<Arc<AddressSpace>>,
+    buffers: RwLock<Vec<BufferInfo>>,
+    present: Vec<Mutex<PresentTable>>,
+    tools: RwLock<Vec<Arc<dyn Tool>>>,
+    next_task: AtomicU32,
+    pending: Mutex<Vec<(TaskId, Arc<TaskRecord>)>>,
+    deps: Mutex<HashMap<BufferId, DepChain>>,
+    pool_announced: Vec<AtomicBool>,
+    staging_lock: Mutex<()>,
+    staging_base: Mutex<Option<(u64, u64)>>,
+    /// Coarse per-variable coherence state for `auto_coherence` mode: a
+    /// freshness bitmask (bit 0 = host OV, bit d = device d's CV), one
+    /// state per whole variable like X10CUDA/OpenARC (§VII-A).
+    coherence: Mutex<HashMap<BufferId, u8>>,
+}
+
+/// The offloading runtime. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<Rt>,
+}
+
+impl Runtime {
+    /// Create a runtime with the given configuration and no tools.
+    pub fn new(cfg: Config) -> Runtime {
+        let n = cfg.accelerators;
+        let spaces = (0..=n).map(|d| Arc::new(AddressSpace::new(DeviceId(d)))).collect();
+        let present = (0..n).map(|_| Mutex::new(PresentTable::new())).collect();
+        let pool_announced = (0..n).map(|_| AtomicBool::new(false)).collect();
+        Runtime {
+            inner: Arc::new(Rt {
+                criticals: Mutex::new(HashMap::new()),
+                declared: Mutex::new(Vec::new()),
+                globals_mapped: (0..cfg.accelerators).map(|_| AtomicBool::new(false)).collect(),
+                cfg,
+                spaces,
+                buffers: RwLock::new(Vec::new()),
+                present,
+                tools: RwLock::new(Vec::new()),
+                next_task: AtomicU32::new(1),
+                pending: Mutex::new(Vec::new()),
+                deps: Mutex::new(HashMap::new()),
+                pool_announced,
+                staging_lock: Mutex::new(()),
+                staging_base: Mutex::new(None),
+                coherence: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Create a runtime with a single attached tool.
+    pub fn with_tool(cfg: Config, tool: Arc<dyn Tool>) -> Runtime {
+        let rt = Runtime::new(cfg);
+        rt.attach(tool);
+        rt
+    }
+
+    /// Attach a tool. Attach all tools before allocating buffers so they
+    /// observe every registration.
+    pub fn attach(&self, tool: Arc<dyn Tool>) {
+        self.inner.tools.write().push(tool);
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &Config {
+        &self.inner.cfg
+    }
+
+    /// Collected reports from every attached tool.
+    pub fn reports(&self) -> Vec<Report> {
+        self.inner.tools.read().iter().flat_map(|t| t.reports()).collect()
+    }
+
+    /// Reports from the named tool only.
+    pub fn reports_of(&self, name: &str) -> Vec<Report> {
+        self.inner
+            .tools
+            .read()
+            .iter()
+            .filter(|t| t.name() == name)
+            .flat_map(|t| t.reports())
+            .collect()
+    }
+
+    /// Total bytes materialised by all device memories (application side
+    /// of Fig. 9's measurement).
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.spaces.iter().map(|s| s.resident_bytes()).sum()
+    }
+
+    /// Bytes of tool side tables (shadow memory etc.), summed.
+    pub fn tool_bytes(&self) -> u64 {
+        self.inner.tools.read().iter().map(|t| t.side_table_bytes()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Buffers (OVs)
+    // ------------------------------------------------------------------
+
+    /// Allocate an uninitialized tracked host buffer of `len` elements.
+    pub fn alloc<T: Scalar>(&self, name: &str, len: usize) -> Buffer<T> {
+        let bytes = (len * T::SIZE) as u64;
+        let ov_base = self.inner.spaces[0].alloc(bytes.max(8));
+        let id = BufferId(self.inner.buffers.read().len() as u32);
+        let info = BufferInfo { id, name: name.to_string(), elem_size: T::SIZE, len, ov_base };
+        self.inner.buffers.write().push(info.clone());
+        for t in self.inner.tools.read().iter() {
+            t.on_buffer_registered(&info);
+        }
+        Buffer { id, len, _marker: PhantomData }
+    }
+
+    /// Allocate and initialise from a slice (each element written through
+    /// the instrumented path, so tools see the initialisation).
+    #[track_caller]
+    pub fn alloc_init<T: Scalar>(&self, name: &str, data: &[T]) -> Buffer<T> {
+        let buf = self.alloc(name, data.len());
+        for (i, v) in data.iter().enumerate() {
+            self.write(&buf, i, *v);
+        }
+        buf
+    }
+
+    /// Allocate and fill with a generator.
+    #[track_caller]
+    pub fn alloc_with<T: Scalar>(&self, name: &str, len: usize, f: impl Fn(usize) -> T) -> Buffer<T> {
+        let buf = self.alloc(name, len);
+        for i in 0..len {
+            self.write(&buf, i, f(i));
+        }
+        buf
+    }
+
+    /// Free a tracked host buffer.
+    pub fn free<T: Scalar>(&self, buf: &Buffer<T>) {
+        let info = self.info(buf.id());
+        self.inner.spaces[0].free(info.ov_base);
+        for t in self.inner.tools.read().iter() {
+            t.on_host_free(&info);
+        }
+    }
+
+    /// Metadata of a buffer.
+    pub fn info(&self, id: BufferId) -> BufferInfo {
+        self.inner.buffers.read()[id.0 as usize].clone()
+    }
+
+    fn ov_base(&self, id: BufferId) -> u64 {
+        self.inner.buffers.read()[id.0 as usize].ov_base
+    }
+
+    // ------------------------------------------------------------------
+    // Host accesses
+    // ------------------------------------------------------------------
+
+    /// Tracked host read of element `idx`.
+    #[track_caller]
+    #[inline]
+    pub fn read<T: Scalar>(&self, buf: &Buffer<T>, idx: usize) -> T {
+        assert!(idx < buf.len(), "host read out of range on buffer {:?}", buf.id());
+        self.inner.coherence_before_host_read(buf.id());
+        let addr = self.ov_base(buf.id()) + (idx * T::SIZE) as u64;
+        self.inner.emit_access(AccessEvent {
+            device: DeviceId::HOST,
+            addr,
+            size: T::SIZE,
+            is_write: false,
+            task: TaskId::HOST,
+            buffer: Some(buf.id()),
+            mapped: true,
+            atomic: false,
+            loc: Location::caller(),
+        });
+        T::from_bits(self.inner.spaces[0].load(addr, T::SIZE))
+    }
+
+    /// Tracked host write of element `idx`.
+    #[track_caller]
+    #[inline]
+    pub fn write<T: Scalar>(&self, buf: &Buffer<T>, idx: usize, value: T) {
+        assert!(idx < buf.len(), "host write out of range on buffer {:?}", buf.id());
+        self.inner.coherence_host_write(buf.id());
+        let addr = self.ov_base(buf.id()) + (idx * T::SIZE) as u64;
+        self.inner.emit_access(AccessEvent {
+            device: DeviceId::HOST,
+            addr,
+            size: T::SIZE,
+            is_write: true,
+            task: TaskId::HOST,
+            buffer: Some(buf.id()),
+            mapped: true,
+            atomic: false,
+            loc: Location::caller(),
+        });
+        self.inner.spaces[0].store(addr, T::SIZE, value.to_bits());
+    }
+
+    /// Read the whole buffer into a `Vec` (each element tracked).
+    #[track_caller]
+    pub fn read_all<T: Scalar>(&self, buf: &Buffer<T>) -> Vec<T> {
+        (0..buf.len()).map(|i| self.read(buf, i)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Constructs
+    // ------------------------------------------------------------------
+
+    /// Begin building a `target` construct on the default accelerator.
+    pub fn target(&self) -> TargetBuilder {
+        TargetBuilder {
+            rt: self.clone(),
+            device: DeviceId::ACCEL0,
+            maps: Vec::new(),
+            depends: Vec::new(),
+            nowait: false,
+        }
+    }
+
+    /// Begin building a structured `target data` region.
+    pub fn target_data(&self) -> TargetDataBuilder {
+        TargetDataBuilder { rt: self.clone(), device: DeviceId::ACCEL0, maps: Vec::new() }
+    }
+
+    /// `target enter data` with the given maps.
+    pub fn target_enter_data(&self, device: DeviceId, maps: &[Map]) {
+        self.inner.perform_entry_maps(device, maps, TaskId::HOST);
+    }
+
+    /// `target exit data` with the given maps.
+    pub fn target_exit_data(&self, device: DeviceId, maps: &[Map]) {
+        self.inner.perform_exit_maps(device, maps, TaskId::HOST);
+    }
+
+    /// `target update to(buf)` — OV → CV, ignoring reference counts.
+    pub fn update_to<T: Scalar>(&self, buf: &Buffer<T>) {
+        self.update_to_on(DeviceId::ACCEL0, buf);
+    }
+
+    /// `target update from(buf)` — CV → OV.
+    pub fn update_from<T: Scalar>(&self, buf: &Buffer<T>) {
+        self.update_from_on(DeviceId::ACCEL0, buf);
+    }
+
+    /// `target update to` on a specific device.
+    pub fn update_to_on<T: Scalar>(&self, device: DeviceId, buf: &Buffer<T>) {
+        self.inner.perform_update(device, buf.id(), TransferKind::ToDevice, TaskId::HOST);
+    }
+
+    /// `target update from` on a specific device.
+    pub fn update_from_on<T: Scalar>(&self, device: DeviceId, buf: &Buffer<T>) {
+        self.inner.perform_update(device, buf.id(), TransferKind::FromDevice, TaskId::HOST);
+    }
+
+    /// `declare target`-style global: the buffer is *implicitly* mapped
+    /// (tofrom semantics, permanent CV) on each device the first time a
+    /// target construct runs there — during "initialization of the
+    /// device", as §V-A describes. Whether tools observe the implicit
+    /// mapping is governed by [`Config::implicit_map_events`].
+    pub fn declare_target<T: Scalar>(&self, buf: &Buffer<T>) {
+        self.inner.declared.lock().push(buf.id());
+    }
+
+    /// `omp_target_memcpy` between two accelerators: copy `buf`'s CV on
+    /// `src` directly to its CV on `dst`. Both must be present; the copy
+    /// covers the overlap of the two mapped sections.
+    pub fn device_memcpy<T: Scalar>(&self, src: DeviceId, dst: DeviceId, buf: &Buffer<T>) {
+        assert!(!src.is_host() && !dst.is_host(), "use update_to/update_from for host transfers");
+        let src_entry = self.inner.present[(src.0 - 1) as usize].lock().get(buf.id());
+        let dst_entry = self.inner.present[(dst.0 - 1) as usize].lock().get(buf.id());
+        let (Some(se), Some(de)) = (src_entry, dst_entry) else { return };
+        // Overlap of the two sections, in OV byte offsets.
+        let lo = se.offset_bytes.max(de.offset_bytes);
+        let hi = (se.offset_bytes + se.len_bytes).min(de.offset_bytes + de.len_bytes);
+        if lo >= hi {
+            return;
+        }
+        let len = hi - lo;
+        let (src_addr, dst_addr) = (se.cv_addr(lo), de.cv_addr(lo));
+        if !self.inner.cfg.unified_memory {
+            mem::copy(
+                &self.inner.spaces[src.0 as usize],
+                src_addr,
+                &self.inner.spaces[dst.0 as usize],
+                dst_addr,
+                len,
+            );
+        }
+        let ev = TransferEvent {
+            buffer: buf.id(),
+            kind: TransferKind::DeviceToDevice,
+            src_device: src,
+            src_addr,
+            dst_device: dst,
+            dst_addr,
+            len,
+            task: TaskId::HOST,
+            staged: false,
+            unified: self.inner.cfg.unified_memory,
+        };
+        for t in self.inner.tools.read().iter() {
+            t.on_transfer(&ev);
+        }
+    }
+
+    /// `target update to(buf[start:len])` — sectioned update.
+    pub fn update_to_section<T: Scalar>(&self, device: DeviceId, buf: &Buffer<T>, start: usize, len: usize) {
+        self.inner.perform_update_section(
+            device,
+            buf.id(),
+            TransferKind::ToDevice,
+            (start * T::SIZE) as u64,
+            (len * T::SIZE) as u64,
+            TaskId::HOST,
+        );
+    }
+
+    /// `target update from(buf[start:len])` — sectioned update.
+    pub fn update_from_section<T: Scalar>(&self, device: DeviceId, buf: &Buffer<T>, start: usize, len: usize) {
+        self.inner.perform_update_section(
+            device,
+            buf.id(),
+            TransferKind::FromDevice,
+            (start * T::SIZE) as u64,
+            (len * T::SIZE) as u64,
+            TaskId::HOST,
+        );
+    }
+
+    /// `taskwait`: block until every outstanding `nowait` task finishes,
+    /// establishing the host-after-task happens-before edges.
+    pub fn taskwait(&self) {
+        let pending: Vec<_> = std::mem::take(&mut *self.inner.pending.lock());
+        for (task, record) in pending {
+            record.wait();
+            self.inner.emit_sync(SyncEvent::TaskJoin { waiter: TaskId::HOST, joined: task });
+        }
+    }
+
+    /// Whether a buffer currently has a CV on a device.
+    pub fn is_present<T: Scalar>(&self, device: DeviceId, buf: &Buffer<T>) -> bool {
+        assert!(!device.is_host());
+        self.inner.present[(device.0 - 1) as usize].lock().exists(buf.id())
+    }
+}
+
+impl Rt {
+    fn new_task(&self) -> TaskId {
+        TaskId(self.next_task.fetch_add(1, Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn emit_access(&self, ev: AccessEvent) {
+        for t in self.tools.read().iter() {
+            t.on_access(&ev);
+        }
+    }
+
+    fn emit_sync(&self, ev: SyncEvent) {
+        for t in self.tools.read().iter() {
+            t.on_sync(&ev);
+        }
+    }
+
+    fn emit_construct(&self, ev: ConstructEvent) {
+        for t in self.tools.read().iter() {
+            t.on_construct(&ev);
+        }
+    }
+
+    fn space(&self, dev: DeviceId) -> &AddressSpace {
+        &self.spaces[dev.0 as usize]
+    }
+
+    fn buffer_info(&self, id: BufferId) -> BufferInfo {
+        self.buffers.read()[id.0 as usize].clone()
+    }
+
+    fn announce_pool(&self, device: DeviceId) {
+        if !self.cfg.pooled_device_alloc || self.cfg.unified_memory {
+            return;
+        }
+        let flag = &self.pool_announced[(device.0 - 1) as usize];
+        if !flag.swap(true, Ordering::Relaxed) {
+            for t in self.tools.read().iter() {
+                t.on_pool_alloc(device, device_base(device), UNMAPPED_REGION_OFFSET);
+            }
+        }
+    }
+
+    /// Perform the implicit mappings of `declare target` globals on first
+    /// use of a device. Real runtimes do this while initialising the
+    /// device; tools only see it if the runtime implements the implicit-
+    /// mapping callbacks the paper's authors proposed (§V-A).
+    fn ensure_globals(&self, device: DeviceId, task: TaskId) {
+        if device.is_host() {
+            return;
+        }
+        let flag = &self.globals_mapped[(device.0 - 1) as usize];
+        if flag.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let declared: Vec<BufferId> = self.declared.lock().clone();
+        if declared.is_empty() {
+            return;
+        }
+        let notify = self.cfg.implicit_map_events;
+        let mut table = self.present[(device.0 - 1) as usize].lock();
+        for id in declared {
+            let info = self.buffer_info(id);
+            let m = Map {
+                buffer: id,
+                map_type: crate::mapping::MapType::ToFrom,
+                offset_bytes: 0,
+                len_bytes: info.byte_len().max(8),
+            };
+            let plan = table.plan_entry(&m);
+            if !plan.alloc {
+                table.commit_entry(&m, plan, 0);
+                continue;
+            }
+            self.announce_pool(device);
+            let cv_base = if self.cfg.unified_memory {
+                info.ov_base
+            } else {
+                self.space(device).alloc(m.len_bytes)
+            };
+            if notify {
+                let op = DataOpEvent {
+                    device,
+                    buffer: id,
+                    kind: DataOpKind::CvAlloc,
+                    cv_base,
+                    ov_addr: info.ov_base,
+                    len: m.len_bytes,
+                    plugin_visible: self.cfg.unified_memory || !self.cfg.pooled_device_alloc,
+                    task,
+                };
+                for t in self.tools.read().iter() {
+                    t.on_data_op(&op);
+                }
+            }
+            if !self.cfg.unified_memory {
+                mem::copy(&self.spaces[0], info.ov_base, self.space(device), cv_base, m.len_bytes);
+            }
+            if notify {
+                let ev = TransferEvent {
+                    buffer: id,
+                    kind: TransferKind::ToDevice,
+                    src_device: DeviceId::HOST,
+                    src_addr: info.ov_base,
+                    dst_device: device,
+                    dst_addr: cv_base,
+                    len: m.len_bytes,
+                    task,
+                    staged: false,
+                    unified: self.cfg.unified_memory,
+                };
+                for t in self.tools.read().iter() {
+                    t.on_transfer(&ev);
+                }
+            }
+            table.commit_entry(&m, plan, cv_base);
+        }
+    }
+
+    /// Execute entry mappings (Table I upper half) for a construct.
+    fn perform_entry_maps(&self, device: DeviceId, maps: &[Map], task: TaskId) {
+        if device.is_host() {
+            return;
+        }
+        let mut table = self.present[(device.0 - 1) as usize].lock();
+        for m in maps {
+            let plan = table.plan_entry(m);
+            if plan.alloc {
+                self.announce_pool(device);
+                let info = self.buffer_info(m.buffer);
+                let ov_addr = info.ov_base + m.offset_bytes;
+                let cv_base = if self.cfg.unified_memory {
+                    ov_addr
+                } else {
+                    self.space(device).alloc(m.len_bytes)
+                };
+                let op = DataOpEvent {
+                    device,
+                    buffer: m.buffer,
+                    kind: DataOpKind::CvAlloc,
+                    cv_base,
+                    ov_addr,
+                    len: m.len_bytes,
+                    plugin_visible: self.cfg.unified_memory || !self.cfg.pooled_device_alloc,
+                    task,
+                };
+                for t in self.tools.read().iter() {
+                    t.on_data_op(&op);
+                }
+                if plan.copy_to_device {
+                    self.do_transfer(
+                        device,
+                        m.buffer,
+                        TransferKind::ToDevice,
+                        ov_addr,
+                        cv_base,
+                        m.len_bytes,
+                        task,
+                        false,
+                    );
+                }
+                table.commit_entry(m, plan, cv_base);
+            } else {
+                table.commit_entry(m, plan, 0);
+            }
+        }
+    }
+
+    /// Execute exit mappings (Table I lower half) for a construct.
+    fn perform_exit_maps(&self, device: DeviceId, maps: &[Map], task: TaskId) {
+        if device.is_host() {
+            return;
+        }
+        let mut table = self.present[(device.0 - 1) as usize].lock();
+        for m in maps {
+            let mut plan = table.plan_exit(m);
+            // Automatic coherence (§III-C): if the CV about to be deleted
+            // holds the only fresh copy, insert the copy-back the
+            // programmer forgot.
+            if self.cfg.auto_coherence
+                && !self.cfg.unified_memory
+                && plan.delete
+                && !plan.copy_from_device
+                && device.0 <= 7
+            {
+                let fresh =
+                    self.coherence.lock().get(&m.buffer).copied().unwrap_or(0b1);
+                if fresh & 0b1 == 0 && fresh & (1 << device.0) != 0 {
+                    plan.copy_from_device = true;
+                    self.coherence.lock().entry(m.buffer).and_modify(|e| *e |= 0b1);
+                }
+            }
+            if plan.copy_from_device {
+                if let Some(entry) = table.get(m.buffer) {
+                    let info = self.buffer_info(m.buffer);
+                    let ov_addr = info.ov_base + entry.offset_bytes;
+                    self.do_transfer(
+                        device,
+                        m.buffer,
+                        TransferKind::FromDevice,
+                        ov_addr,
+                        entry.cv_base,
+                        entry.len_bytes,
+                        task,
+                        false,
+                    );
+                }
+            }
+            if let Some(entry) = table.commit_exit(m, plan) {
+                if !self.cfg.unified_memory {
+                    self.space(device).free(entry.cv_base);
+                }
+                let info = self.buffer_info(m.buffer);
+                let op = DataOpEvent {
+                    device,
+                    buffer: m.buffer,
+                    kind: DataOpKind::CvDelete,
+                    cv_base: entry.cv_base,
+                    ov_addr: info.ov_base + entry.offset_bytes,
+                    len: entry.len_bytes,
+                    plugin_visible: self.cfg.unified_memory || !self.cfg.pooled_device_alloc,
+                    task,
+                };
+                for t in self.tools.read().iter() {
+                    t.on_data_op(&op);
+                }
+            }
+        }
+    }
+
+    /// `target update` transfer: ignores reference counts; no-op when not
+    /// present (OpenMP 5.x semantics).
+    fn perform_update(&self, device: DeviceId, buffer: BufferId, kind: TransferKind, task: TaskId) -> bool {
+        if device.is_host() {
+            return false;
+        }
+        let entry = {
+            let table = self.present[(device.0 - 1) as usize].lock();
+            table.get(buffer)
+        };
+        let Some(entry) = entry else { return false };
+        let info = self.buffer_info(buffer);
+        let ov_addr = info.ov_base + entry.offset_bytes;
+        let staged = self.cfg.staged_update_transfers;
+        self.do_transfer(device, buffer, kind, ov_addr, entry.cv_base, entry.len_bytes, task, staged);
+        true
+    }
+
+    /// Sectioned `target update`: transfer an arbitrary contiguous piece
+    /// of the mapped variable. The section is expressed in OV byte
+    /// offsets; a section outside the mapped part still produces the
+    /// transfer the program asked for — and the tools' attention.
+    fn perform_update_section(
+        &self,
+        device: DeviceId,
+        buffer: BufferId,
+        kind: TransferKind,
+        start_bytes: u64,
+        len_bytes: u64,
+        task: TaskId,
+    ) {
+        if device.is_host() || len_bytes == 0 {
+            return;
+        }
+        let entry = {
+            let table = self.present[(device.0 - 1) as usize].lock();
+            table.get(buffer)
+        };
+        let Some(entry) = entry else { return };
+        let info = self.buffer_info(buffer);
+        let ov_addr = info.ov_base + start_bytes;
+        let cv_addr = entry.cv_addr(start_bytes);
+        let staged = self.cfg.staged_update_transfers;
+        self.do_transfer(device, buffer, kind, ov_addr, cv_addr, len_bytes, task, staged);
+    }
+
+    /// Perform a data transfer: actual word copy plus the tool event.
+    #[allow(clippy::too_many_arguments)]
+    fn do_transfer(
+        &self,
+        device: DeviceId,
+        buffer: BufferId,
+        kind: TransferKind,
+        ov_addr: u64,
+        cv_base: u64,
+        len: u64,
+        task: TaskId,
+        staged: bool,
+    ) {
+        let unified = self.cfg.unified_memory;
+        let (src_device, src_addr, dst_device, dst_addr) = match kind {
+            TransferKind::ToDevice => (DeviceId::HOST, ov_addr, device, cv_base),
+            TransferKind::FromDevice => (device, cv_base, DeviceId::HOST, ov_addr),
+            TransferKind::DeviceToDevice => {
+                unreachable!("device-to-device copies go through Runtime::device_memcpy")
+            }
+        };
+        if !unified {
+            if staged {
+                // Stage through a runtime-internal bounce buffer, as real
+                // runtimes do for non-contiguous updates. One extra copy;
+                // shadow provenance is lost for allocator-interception
+                // based tools.
+                let _guard = self.staging_lock.lock();
+                let staging = self.ensure_staging(len);
+                let src_space = self.space(src_device);
+                let dst_space = self.space(dst_device);
+                mem::copy(src_space, src_addr, &self.spaces[0], staging, len);
+                mem::copy(&self.spaces[0], staging, dst_space, dst_addr, len);
+            } else {
+                let src_space = self.space(src_device);
+                let dst_space = self.space(dst_device);
+                mem::copy(src_space, src_addr, dst_space, dst_addr, len);
+            }
+        }
+        let ev = TransferEvent {
+            buffer,
+            kind,
+            src_device,
+            src_addr,
+            dst_device,
+            dst_addr,
+            len,
+            task,
+            staged,
+            unified,
+        };
+        for t in self.tools.read().iter() {
+            t.on_transfer(&ev);
+        }
+        if self.cfg.auto_coherence && !unified {
+            // Map-clause and update transfers refresh the destination copy.
+            let mut coh = self.coherence.lock();
+            let e = coh.entry(buffer).or_insert(0b1);
+            match kind {
+                TransferKind::ToDevice if dst_device.0 <= 7 => *e |= 1 << dst_device.0,
+                TransferKind::FromDevice => *e |= 0b1,
+                _ => {}
+            }
+        }
+    }
+
+    /// `auto_coherence`: make the host copy fresh before a host read by
+    /// pulling from a device holding the last write.
+    fn coherence_before_host_read(&self, buffer: BufferId) {
+        if !self.cfg.auto_coherence || self.cfg.unified_memory {
+            return;
+        }
+        let fresh = *self.coherence.lock().entry(buffer).or_insert(0b1);
+        if fresh & 0b1 != 0 {
+            return;
+        }
+        // Pull from the lowest fresh device.
+        let d = fresh.trailing_zeros() as u16;
+        if self.perform_update(DeviceId(d), buffer, TransferKind::FromDevice, TaskId::HOST) {
+            *self.coherence.lock().entry(buffer).or_insert(0b1) |= 0b1;
+        }
+    }
+
+    /// `auto_coherence`: record a host write (every device copy is stale).
+    fn coherence_host_write(&self, buffer: BufferId) {
+        if !self.cfg.auto_coherence || self.cfg.unified_memory {
+            return;
+        }
+        self.coherence.lock().insert(buffer, 0b1);
+    }
+
+    /// `auto_coherence`: X10CUDA-style launch-time repair — before a
+    /// kernel body runs, make every mapped variable's CV fresh on the
+    /// executing device. Running on the kernel task (before the team
+    /// forks) keeps the inserted transfers happens-before every kernel
+    /// access.
+    fn coherence_before_kernel(
+        &self,
+        env: &HashMap<BufferId, PresentEntry>,
+        device: DeviceId,
+        task: TaskId,
+    ) {
+        if !self.cfg.auto_coherence || self.cfg.unified_memory || device.is_host() || device.0 > 7 {
+            return;
+        }
+        let bit = 1u8 << device.0;
+        for buffer in env.keys() {
+            let fresh = *self.coherence.lock().entry(*buffer).or_insert(0b1);
+            if fresh & bit != 0 {
+                continue;
+            }
+            let mut gained = 0u8;
+            if fresh & 0b1 == 0 {
+                // Host stale too: hop through the host from a fresh device.
+                let d = fresh.trailing_zeros() as u16;
+                if self.perform_update(DeviceId(d), *buffer, TransferKind::FromDevice, task) {
+                    gained |= 0b1;
+                }
+            } else {
+                gained |= 0b1;
+            }
+            if gained & 0b1 != 0 && self.perform_update(device, *buffer, TransferKind::ToDevice, task) {
+                gained |= bit;
+            }
+            *self.coherence.lock().entry(*buffer).or_insert(0b1) |= gained;
+        }
+    }
+
+    /// `auto_coherence`: record a kernel write.
+    fn coherence_device_write(&self, buffer: BufferId, device: DeviceId) {
+        if !self.cfg.auto_coherence || self.cfg.unified_memory || device.is_host() || device.0 > 7 {
+            return;
+        }
+        self.coherence.lock().insert(buffer, 1u8 << device.0);
+    }
+
+    /// In unified-memory mode, OpenMP's implicit cross-device flushes at
+    /// target-region boundaries (§III-B of the paper) synchronise the
+    /// host's and device's temporary views of every mapped variable. We
+    /// surface them as zero-copy `unified` transfer events so tools can
+    /// model the coherence point.
+    fn emit_unified_flushes(
+        &self,
+        device: DeviceId,
+        env: &HashMap<BufferId, PresentEntry>,
+        task: TaskId,
+        kind: TransferKind,
+    ) {
+        if !self.cfg.unified_memory || device.is_host() {
+            return;
+        }
+        for (buffer, entry) in env.iter() {
+            let info = self.buffer_info(*buffer);
+            let addr = info.ov_base + entry.offset_bytes;
+            let ev = TransferEvent {
+                buffer: *buffer,
+                kind,
+                src_device: if kind == TransferKind::ToDevice { DeviceId::HOST } else { device },
+                src_addr: addr,
+                dst_device: if kind == TransferKind::ToDevice { device } else { DeviceId::HOST },
+                dst_addr: addr,
+                len: entry.len_bytes,
+                task,
+                staged: false,
+                unified: true,
+            };
+            for t in self.tools.read().iter() {
+                t.on_transfer(&ev);
+            }
+        }
+    }
+
+    /// Lazily grown staging area in host memory (never registered as a
+    /// buffer — it is runtime-internal).
+    fn ensure_staging(&self, len: u64) -> u64 {
+        let mut slot = self.staging_base.lock();
+        match *slot {
+            Some((base, cap)) if cap >= len => base,
+            _ => {
+                let base = self.spaces[0].alloc(len.max(4096));
+                *slot = Some((base, len.max(4096)));
+                base
+            }
+        }
+    }
+
+    /// Snapshot the device's data environment for a kernel.
+    fn kernel_env(&self, device: DeviceId) -> HashMap<BufferId, PresentEntry> {
+        if device.is_host() {
+            return HashMap::new();
+        }
+        let table = self.present[(device.0 - 1) as usize].lock();
+        let mut env = HashMap::new();
+        for info in self.buffers.read().iter() {
+            if let Some(e) = table.get(info.id) {
+                env.insert(info.id, e);
+            }
+        }
+        env
+    }
+
+    fn resolve_depends(&self, task: TaskId, record: &Arc<TaskRecord>, depends: &[Depend]) -> Vec<(TaskId, Arc<TaskRecord>)> {
+        let mut waits = Vec::new();
+        if depends.is_empty() {
+            return waits;
+        }
+        let mut chains = self.deps.lock();
+        for d in depends {
+            let chain = chains.entry(d.buffer).or_default();
+            match d.kind {
+                DependKind::In => {
+                    if let Some((t, r)) = &chain.last_out {
+                        waits.push((*t, r.clone()));
+                    }
+                    chain.last_ins.push((task, record.clone()));
+                }
+                DependKind::Out => {
+                    if let Some((t, r)) = &chain.last_out {
+                        waits.push((*t, r.clone()));
+                    }
+                    for (t, r) in chain.last_ins.drain(..) {
+                        waits.push((t, r));
+                    }
+                    chain.last_out = Some((task, record.clone()));
+                }
+            }
+        }
+        waits
+    }
+}
+
+// ----------------------------------------------------------------------
+// Builders
+// ----------------------------------------------------------------------
+
+/// Builder for a `target` construct.
+pub struct TargetBuilder {
+    rt: Runtime,
+    device: DeviceId,
+    maps: Vec<Map>,
+    depends: Vec<Depend>,
+    nowait: bool,
+}
+
+impl TargetBuilder {
+    /// Offload to a specific device (`DeviceId::HOST` runs on the host,
+    /// like `omp_get_initial_device()`).
+    pub fn on_device(mut self, device: DeviceId) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Add a `map` clause.
+    pub fn map(mut self, m: Map) -> Self {
+        self.maps.push(m);
+        self
+    }
+
+    /// Add a `depend` clause.
+    pub fn depend(mut self, d: Depend) -> Self {
+        self.depends.push(d);
+        self
+    }
+
+    /// Make the region asynchronous (`nowait`).
+    pub fn nowait(mut self) -> Self {
+        self.nowait = true;
+        self
+    }
+
+    /// Launch the region. Synchronous regions return after completion;
+    /// `nowait` regions return immediately with a waitable handle.
+    pub fn run<F>(self, body: F) -> TaskHandle
+    where
+        F: FnOnce(&KernelCtx) + Send + 'static,
+    {
+        let rt = self.rt.inner.clone();
+        let task = rt.new_task();
+        rt.emit_sync(SyncEvent::TaskCreate { parent: TaskId::HOST, child: task });
+        let record = Arc::new(TaskRecord::new());
+        let waits = rt.resolve_depends(task, &record, &self.depends);
+        for (t, _) in &waits {
+            rt.emit_sync(SyncEvent::TaskJoin { waiter: task, joined: *t });
+        }
+        let device = self.device;
+        let nowait = self.nowait;
+        let maps = self.maps;
+        let rt2 = rt.clone();
+        let record2 = record.clone();
+        let team_size = rt.cfg.team_size;
+        let work = move || {
+            for (_, r) in &waits {
+                r.wait();
+            }
+            rt2.emit_construct(ConstructEvent::TargetBegin { task, device, nowait });
+            rt2.ensure_globals(device, task);
+            rt2.perform_entry_maps(device, &maps, task);
+            let env = Arc::new(rt2.kernel_env(device));
+            rt2.coherence_before_kernel(&env, device, task);
+            rt2.emit_unified_flushes(device, &env, task, TransferKind::ToDevice);
+            let ctx = KernelCtx { rt: rt2.clone(), device, task, env: env.clone(), team_size };
+            body(&ctx);
+            rt2.emit_unified_flushes(device, &env, task, TransferKind::FromDevice);
+            rt2.perform_exit_maps(device, &maps, task);
+            rt2.emit_construct(ConstructEvent::TargetEnd { task });
+            rt2.emit_sync(SyncEvent::TaskEnd { task });
+            record2.complete();
+        };
+        if nowait && !rt.cfg.serialize_nowait {
+            rt.pending.lock().push((task, record.clone()));
+            std::thread::spawn(work);
+        } else if nowait {
+            // Theorem-1 mode: serialized execution, asynchronous HB shape.
+            rt.pending.lock().push((task, record.clone()));
+            work();
+        } else {
+            work();
+            rt.emit_sync(SyncEvent::TaskJoin { waiter: TaskId::HOST, joined: task });
+        }
+        TaskHandle { rt: Arc::downgrade(&rt), task, record }
+    }
+}
+
+/// Builder for a structured `target data` region.
+pub struct TargetDataBuilder {
+    rt: Runtime,
+    device: DeviceId,
+    maps: Vec<Map>,
+}
+
+impl TargetDataBuilder {
+    /// Target a specific device.
+    pub fn on_device(mut self, device: DeviceId) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Add a `map` clause.
+    pub fn map(mut self, m: Map) -> Self {
+        self.maps.push(m);
+        self
+    }
+
+    /// Run the enclosed region. Entry maps execute before the closure,
+    /// exit maps after — on the host task, so exit transfers can race
+    /// with still-running `nowait` kernels (Fig. 2's hazard).
+    pub fn scope<R>(self, f: impl FnOnce(&Runtime) -> R) -> R {
+        self.rt.inner.perform_entry_maps(self.device, &self.maps, TaskId::HOST);
+        let out = f(&self.rt);
+        self.rt.inner.perform_exit_maps(self.device, &self.maps, TaskId::HOST);
+        out
+    }
+}
+
+/// Handle to a launched target region.
+pub struct TaskHandle {
+    rt: Weak<Rt>,
+    task: TaskId,
+    record: Arc<TaskRecord>,
+}
+
+impl TaskHandle {
+    /// The region's task id.
+    pub fn id(&self) -> TaskId {
+        self.task
+    }
+
+    /// Wait for the region (like a `taskwait` scoped to this task);
+    /// establishes the host-after-task happens-before edge.
+    pub fn wait(&self) {
+        self.record.wait();
+        if let Some(rt) = self.rt.upgrade() {
+            rt.emit_sync(SyncEvent::TaskJoin { waiter: TaskId::HOST, joined: self.task });
+            rt.pending.lock().retain(|(t, _)| *t != self.task);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Kernel context
+// ----------------------------------------------------------------------
+
+/// Execution context handed to a target-region body.
+pub struct KernelCtx {
+    rt: Arc<Rt>,
+    device: DeviceId,
+    task: TaskId,
+    env: Arc<HashMap<BufferId, PresentEntry>>,
+    team_size: usize,
+}
+
+impl KernelCtx {
+    /// The executing device.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// This kernel's (or team thread's) task id.
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// Configured team size.
+    pub fn team_size(&self) -> usize {
+        self.team_size
+    }
+
+    #[inline]
+    fn resolve<T: Scalar>(&self, buf: &Buffer<T>, idx: usize) -> (u64, bool) {
+        let byte_off = (idx * T::SIZE) as u64;
+        if self.device.is_host() {
+            return (self.rt.buffer_info(buf.id()).ov_base + byte_off, true);
+        }
+        match self.env.get(&buf.id()) {
+            Some(e) => (e.cv_addr(byte_off), true),
+            None => {
+                // Missing map clause: synthesize an address in the
+                // never-allocated region of this device's window.
+                let low = self.rt.buffer_info(buf.id()).ov_base & 0xFFFF_FFFF;
+                (device_base(self.device) + UNMAPPED_REGION_OFFSET + low + byte_off, false)
+            }
+        }
+    }
+
+    #[inline]
+    fn space_for(&self, addr: u64) -> &AddressSpace {
+        &self.rt.spaces[device_of(addr).0 as usize]
+    }
+
+    /// Tracked kernel read of element `idx` of a mapped buffer. Reads
+    /// outside the mapped section (or of unmapped buffers) are executed —
+    /// they return whatever neighbouring device memory holds, like real
+    /// hardware — and are observable by tools.
+    #[track_caller]
+    #[inline]
+    pub fn read<T: Scalar>(&self, buf: &Buffer<T>, idx: usize) -> T {
+        self.read_on(self.task, buf, idx, Location::caller())
+    }
+
+    /// Tracked kernel write.
+    #[track_caller]
+    #[inline]
+    pub fn write<T: Scalar>(&self, buf: &Buffer<T>, idx: usize, value: T) {
+        self.write_on(self.task, buf, idx, value, Location::caller())
+    }
+
+    fn read_on<T: Scalar>(
+        &self,
+        task: TaskId,
+        buf: &Buffer<T>,
+        idx: usize,
+        loc: &'static Location<'static>,
+    ) -> T {
+        let (addr, mapped) = self.resolve(buf, idx);
+        self.rt.emit_access(AccessEvent {
+            device: self.device,
+            addr,
+            size: T::SIZE,
+            is_write: false,
+            task,
+            buffer: Some(buf.id()),
+            mapped,
+            atomic: false,
+            loc,
+        });
+        T::from_bits(self.space_for(addr).load(addr, T::SIZE))
+    }
+
+    fn write_on<T: Scalar>(
+        &self,
+        task: TaskId,
+        buf: &Buffer<T>,
+        idx: usize,
+        value: T,
+        loc: &'static Location<'static>,
+    ) {
+        self.rt.coherence_device_write(buf.id(), self.device);
+        let (addr, mapped) = self.resolve(buf, idx);
+        self.rt.emit_access(AccessEvent {
+            device: self.device,
+            addr,
+            size: T::SIZE,
+            is_write: true,
+            task,
+            buffer: Some(buf.id()),
+            mapped,
+            atomic: false,
+            loc,
+        });
+        self.space_for(addr).store(addr, T::SIZE, value.to_bits());
+    }
+
+    /// `omp critical`-style named critical section: mutual exclusion plus
+    /// the acquire/release happens-before edges race detectors need.
+    /// Sections with the same name exclude each other program-wide.
+    pub fn critical<R>(&self, name: &str, f: impl FnOnce(&KernelCtx) -> R) -> R {
+        let lock_id = {
+            // FNV-1a over the name: stable lock identity.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.as_bytes() {
+                h = (h ^ *b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        };
+        let mutex = {
+            let mut c = self.rt.criticals.lock();
+            c.entry(lock_id).or_insert_with(|| Arc::new(Mutex::new(()))).clone()
+        };
+        let guard = mutex.lock();
+        self.rt.emit_sync(SyncEvent::Acquire { task: self.task, lock: lock_id });
+        let out = f(self);
+        self.rt.emit_sync(SyncEvent::Release { task: self.task, lock: lock_id });
+        drop(guard);
+        out
+    }
+
+    /// `omp atomic`-style read-modify-write of element `idx`: the update
+    /// is applied atomically on the backing storage, the VSM sees a read
+    /// plus a write, and race detection treats it as synchronised.
+    /// Returns the value *after* the update.
+    #[track_caller]
+    pub fn atomic_update<T: Scalar>(&self, buf: &Buffer<T>, idx: usize, f: impl Fn(T) -> T) -> T {
+        let loc = Location::caller();
+        let (addr, mapped) = self.resolve(buf, idx);
+        for is_write in [false, true] {
+            self.rt.emit_access(AccessEvent {
+                device: self.device,
+                addr,
+                size: T::SIZE,
+                is_write,
+                task: self.task,
+                buffer: Some(buf.id()),
+                mapped,
+                atomic: true,
+                loc,
+            });
+        }
+        assert_eq!(T::SIZE, 8, "atomic updates require 8-byte scalars");
+        let space = self.space_for(addr);
+        let prev = space.fetch_update_word(addr, |bits| f(T::from_bits(bits)).to_bits());
+        f(T::from_bits(prev))
+    }
+
+    /// `omp atomic` add.
+    #[track_caller]
+    pub fn atomic_add(&self, buf: &Buffer<i64>, idx: usize, delta: i64) -> i64 {
+        self.atomic_fetch_add_i64(buf, idx, delta)
+    }
+
+    fn atomic_fetch_add_i64(&self, buf: &Buffer<i64>, idx: usize, delta: i64) -> i64 {
+        let loc = Location::caller();
+        let (addr, mapped) = self.resolve(buf, idx);
+        for is_write in [false, true] {
+            self.rt.emit_access(AccessEvent {
+                device: self.device,
+                addr,
+                size: 8,
+                is_write,
+                task: self.task,
+                buffer: Some(buf.id()),
+                mapped,
+                atomic: true,
+                loc,
+            });
+        }
+        self.space_for(addr).fetch_add_word(addr, delta as u64) as i64 + delta
+    }
+
+    /// Sequential loop on the kernel task (a `teams distribute` with one
+    /// thread).
+    pub fn for_each(&self, range: std::ops::Range<usize>, f: impl Fn(&KernelCtx, usize)) {
+        for i in range {
+            f(self, i);
+        }
+    }
+
+    /// Parallel loop over the team (`teams distribute parallel for`).
+    /// Iterations are divided into contiguous chunks, one per team thread;
+    /// each team thread is its own task (forked/joined around the loop),
+    /// so intra-kernel races are visible to happens-before analysis.
+    pub fn par_for<F>(&self, range: std::ops::Range<usize>, f: F)
+    where
+        F: Fn(&KernelCtx, usize) + Send + Sync,
+    {
+        let n = range.end.saturating_sub(range.start);
+        if n == 0 {
+            return;
+        }
+        let team = self.team_size.min(n).max(1);
+        let chunk = n.div_ceil(team);
+        let mut children = Vec::with_capacity(team);
+        for _ in 0..team {
+            let child = self.rt.new_task();
+            self.rt.emit_sync(SyncEvent::TaskCreate { parent: self.task, child });
+            children.push(child);
+        }
+        std::thread::scope(|s| {
+            for (t, &child) in children.iter().enumerate() {
+                let lo = range.start + t * chunk;
+                let hi = (lo + chunk).min(range.end);
+                let ctx = KernelCtx {
+                    rt: self.rt.clone(),
+                    device: self.device,
+                    task: child,
+                    env: self.env.clone(),
+                    team_size: self.team_size,
+                };
+                let f = &f;
+                s.spawn(move || {
+                    for i in lo..hi {
+                        f(&ctx, i);
+                    }
+                    ctx.rt.emit_sync(SyncEvent::TaskEnd { task: child });
+                });
+            }
+        });
+        for child in children {
+            self.rt.emit_sync(SyncEvent::TaskJoin { waiter: self.task, joined: child });
+        }
+    }
+
+    /// A league of teams (`teams distribute`): spawn `num_teams` team
+    /// tasks, each receiving its own context and team number. Inside a
+    /// team, `par_for` gives the `parallel for` level — the full
+    /// `target teams distribute parallel for` nesting of Fig. 1.
+    pub fn teams<F>(&self, num_teams: usize, f: F)
+    where
+        F: Fn(&KernelCtx, usize) + Send + Sync,
+    {
+        if num_teams == 0 {
+            return;
+        }
+        let mut children = Vec::with_capacity(num_teams);
+        for _ in 0..num_teams {
+            let child = self.rt.new_task();
+            self.rt.emit_sync(SyncEvent::TaskCreate { parent: self.task, child });
+            children.push(child);
+        }
+        std::thread::scope(|s| {
+            for (team, &child) in children.iter().enumerate() {
+                let ctx = KernelCtx {
+                    rt: self.rt.clone(),
+                    device: self.device,
+                    task: child,
+                    env: self.env.clone(),
+                    team_size: self.team_size,
+                };
+                let f = &f;
+                s.spawn(move || {
+                    f(&ctx, team);
+                    ctx.rt.emit_sync(SyncEvent::TaskEnd { task: child });
+                });
+            }
+        });
+        for child in children {
+            self.rt.emit_sync(SyncEvent::TaskJoin { waiter: self.task, joined: child });
+        }
+    }
+
+    /// Parallel reduction over the team: `map` each index, `fold` within a
+    /// thread, combine partials on the kernel task.
+    pub fn par_reduce<A, M, R>(&self, range: std::ops::Range<usize>, init: A, map: M, reduce: R) -> A
+    where
+        A: Send + Clone,
+        M: Fn(&KernelCtx, usize) -> A + Send + Sync,
+        R: Fn(A, A) -> A + Send + Sync,
+    {
+        let partials: Mutex<Vec<A>> = Mutex::new(Vec::new());
+        self.par_for_partials(range, &init, &map, &reduce, &partials);
+        let mut acc = init;
+        for p in partials.into_inner() {
+            acc = reduce(acc, p);
+        }
+        acc
+    }
+
+    fn par_for_partials<A, M, R>(
+        &self,
+        range: std::ops::Range<usize>,
+        init: &A,
+        map: &M,
+        reduce: &R,
+        partials: &Mutex<Vec<A>>,
+    ) where
+        A: Send + Clone,
+        M: Fn(&KernelCtx, usize) -> A + Send + Sync,
+        R: Fn(A, A) -> A + Send + Sync,
+    {
+        let n = range.end.saturating_sub(range.start);
+        if n == 0 {
+            return;
+        }
+        let team = self.team_size.min(n).max(1);
+        let chunk = n.div_ceil(team);
+        let mut children = Vec::with_capacity(team);
+        for _ in 0..team {
+            let child = self.rt.new_task();
+            self.rt.emit_sync(SyncEvent::TaskCreate { parent: self.task, child });
+            children.push(child);
+        }
+        std::thread::scope(|s| {
+            for (t, &child) in children.iter().enumerate() {
+                let lo = range.start + t * chunk;
+                let hi = (lo + chunk).min(range.end);
+                let ctx = KernelCtx {
+                    rt: self.rt.clone(),
+                    device: self.device,
+                    task: child,
+                    env: self.env.clone(),
+                    team_size: self.team_size,
+                };
+                let init = init.clone();
+                s.spawn(move || {
+                    let mut acc = init;
+                    for i in lo..hi {
+                        acc = reduce(acc, map(&ctx, i));
+                    }
+                    partials.lock().push(acc);
+                    ctx.rt.emit_sync(SyncEvent::TaskEnd { task: child });
+                });
+            }
+        });
+        for child in children {
+            self.rt.emit_sync(SyncEvent::TaskJoin { waiter: self.task, joined: child });
+        }
+    }
+}

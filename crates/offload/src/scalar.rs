@@ -1,0 +1,121 @@
+//! Scalar element types storable in tracked buffers.
+//!
+//! The simulated memories store raw 64-bit words (atomically, so that buggy
+//! benchmark programs with real data races remain well-defined Rust).
+//! `Scalar` is the bridge: a fixed-size plain-old-data value convertible to
+//! and from its bit pattern. Sizes 1, 2, 4 and 8 are supported, matching
+//! the access sizes ARBALEST's shadow word records (Table II).
+
+/// A plain scalar that can live in simulated device memory.
+///
+/// # Safety-free contract
+/// `from_bits(to_bits(v)) == v` for all `v`, and only the low `SIZE * 8`
+/// bits of `to_bits` are meaningful.
+pub trait Scalar: Copy + Send + Sync + 'static {
+    /// Size of the scalar in bytes (1, 2, 4 or 8).
+    const SIZE: usize;
+
+    /// The value's bit pattern, zero-extended to 64 bits.
+    fn to_bits(self) -> u64;
+
+    /// Reconstruct a value from the low `SIZE * 8` bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! int_scalar {
+    ($($t:ty => $size:expr),* $(,)?) => {$(
+        impl Scalar for $t {
+            const SIZE: usize = $size;
+            #[inline]
+            fn to_bits(self) -> u64 { self as u64 }
+            #[inline]
+            fn from_bits(bits: u64) -> Self { bits as $t }
+        }
+    )*};
+}
+
+int_scalar! {
+    u8 => 1, i8 => 1,
+    u16 => 2, i16 => 2,
+    u32 => 4, i32 => 4,
+    u64 => 8, i64 => 8,
+    usize => 8, isize => 8,
+}
+
+impl Scalar for f32 {
+    const SIZE: usize = 4;
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+impl Scalar for f64 {
+    const SIZE: usize = 8;
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+impl Scalar for bool {
+    const SIZE: usize = 1;
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(T::from_bits(v.to_bits()), v);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(-1i8);
+        roundtrip(-12345i16);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(-7i32);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(3.25f32);
+        roundtrip(-0.0f64);
+        roundtrip(f64::INFINITY);
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn negative_int_sign_extension_is_contained() {
+        // to_bits of a negative i32 sign-extends to 64 bits, but from_bits
+        // truncates back, so values round-trip regardless.
+        let v = -1i32;
+        assert_eq!(i32::from_bits(v.to_bits()), -1);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(<f64 as Scalar>::SIZE, 8);
+        assert_eq!(<f32 as Scalar>::SIZE, 4);
+        assert_eq!(<i16 as Scalar>::SIZE, 2);
+        assert_eq!(<bool as Scalar>::SIZE, 1);
+    }
+}

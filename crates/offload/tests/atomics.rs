@@ -1,0 +1,97 @@
+//! `omp atomic` construct tests: linearised updates, visibility through
+//! the VSM, and exemption from race detection.
+
+use arbalest_offload::prelude::*;
+
+#[test]
+fn atomic_add_linearises_concurrent_increments() {
+    let rt = Runtime::new(Config::default().team_size(8));
+    let counter = rt.alloc_with::<i64>("counter", 1, |_| 0);
+    rt.target().map(Map::tofrom(&counter)).run(move |k| {
+        k.par_for(0..1000, |k, _| {
+            k.atomic_add(&counter, 0, 1);
+        });
+    });
+    assert_eq!(rt.read(&counter, 0), 1000, "no lost updates");
+}
+
+#[test]
+fn atomic_update_applies_arbitrary_ops() {
+    let rt = Runtime::new(Config::default().team_size(4));
+    let m = rt.alloc_with::<f64>("max", 1, |_| f64::NEG_INFINITY);
+    rt.target().map(Map::tofrom(&m)).run(move |k| {
+        k.par_for(0..256, |k, i| {
+            let candidate = ((i * 37) % 101) as f64;
+            k.atomic_update(&m, 0, |cur| cur.max(candidate));
+        });
+    });
+    assert_eq!(rt.read(&m, 0), 100.0);
+}
+
+#[test]
+fn atomic_histogram_under_arbalest_and_archer_is_race_free() {
+    use arbalest_core::{Arbalest, ArbalestConfig};
+    use std::sync::Arc;
+    let arb = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let archer = Arc::new(arbalest_baselines_shim::archer());
+    let rt = Runtime::new(Config::default().team_size(8));
+    rt.attach(arb.clone());
+    rt.attach(archer.clone());
+
+    const BINS: usize = 4;
+    let hist = rt.alloc_with::<i64>("hist", BINS, |_| 0);
+    rt.target().map(Map::tofrom(&hist)).run(move |k| {
+        k.par_for(0..512, |k, i| {
+            k.atomic_add(&hist, i % BINS, 1);
+        });
+    });
+    let total: i64 = (0..BINS).map(|b| rt.read(&hist, b)).sum();
+    assert_eq!(total, 512);
+    assert!(arb.reports().is_empty(), "{:?}", arb.reports());
+    assert!(archer.reports().is_empty(), "{:?}", archer.reports());
+}
+
+// The offload crate cannot depend on the baselines crate (cycle), so the
+// cross-tool part lives behind a tiny indirection compiled only when the
+// test target links both — via dev-dependencies of this crate.
+mod arbalest_baselines_shim {
+    pub fn archer() -> impl arbalest_offload::events::Tool {
+        arbalest_baselines::Archer::new()
+    }
+}
+
+#[test]
+fn plain_racy_increment_still_reported() {
+    use std::sync::Arc;
+    let archer = Arc::new(arbalest_baselines::Archer::new());
+    let rt = Runtime::with_tool(Config::default().team_size(8), archer.clone());
+    let counter = rt.alloc_with::<i64>("counter", 1, |_| 0);
+    rt.target().map(Map::tofrom(&counter)).run(move |k| {
+        k.par_for(0..64, |k, _| {
+            let v = k.read(&counter, 0); // non-atomic RMW: a real race
+            k.write(&counter, 0, v + 1);
+        });
+    });
+    assert!(archer.reports().iter().any(|r| r.kind == ReportKind::DataRace));
+}
+
+#[test]
+fn atomic_on_uninitialised_cv_is_still_a_uum() {
+    use arbalest_core::{Arbalest, ArbalestConfig};
+    use std::sync::Arc;
+    let arb = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default(), arb.clone());
+    let counter = rt.alloc_with::<i64>("counter", 1, |_| 0);
+    // map(alloc): the CV starts uninitialised; the atomic's read half is
+    // a use of uninitialized memory even though it is synchronised.
+    rt.target().map(Map::alloc(&counter)).run(move |k| {
+        k.for_each(0..1, |k, _| {
+            k.atomic_add(&counter, 0, 1);
+        });
+    });
+    assert!(
+        arb.reports().iter().any(|r| r.kind == ReportKind::MappingUum),
+        "{:?}",
+        arb.reports()
+    );
+}

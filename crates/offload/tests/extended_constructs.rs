@@ -1,0 +1,143 @@
+//! Tests for the extended construct surface: leagues of teams,
+//! device-to-device copies, and sectioned updates.
+
+use arbalest_offload::prelude::*;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[test]
+fn teams_distribute_parallel_for() {
+    // The Fig. 1 nesting: teams distribute over rows, parallel for over
+    // columns.
+    const R: usize = 8;
+    const C: usize = 16;
+    let rt = Runtime::new(Config::default().team_size(2));
+    let a = rt.alloc_with::<f64>("a", R * C, |_| 1.0);
+    rt.target().map(Map::tofrom(&a)).run(move |k| {
+        k.teams(4, |k, team| {
+            // Static distribution of rows across teams.
+            let mut r = team;
+            while r < R {
+                k.par_for(0..C, |k, c| {
+                    let v = k.read(&a, r * C + c);
+                    k.write(&a, r * C + c, v + (team + 1) as f64);
+                });
+                r += 4;
+            }
+        });
+    });
+    // Row r was processed by team r % 4, adding (r % 4) + 1.
+    for r in 0..R {
+        for c in 0..C {
+            assert_eq!(rt.read(&a, r * C + c), 1.0 + ((r % 4) + 1) as f64);
+        }
+    }
+}
+
+#[test]
+fn teams_create_distinct_tasks() {
+    #[derive(Default)]
+    struct TaskSpy {
+        tasks: Mutex<std::collections::HashSet<u32>>,
+    }
+    impl Tool for TaskSpy {
+        fn name(&self) -> &'static str {
+            "spy"
+        }
+        fn on_access(&self, ev: &AccessEvent) {
+            if !ev.device.is_host() {
+                self.tasks.lock().insert(ev.task.0);
+            }
+        }
+    }
+    let spy = Arc::new(TaskSpy::default());
+    let rt = Runtime::with_tool(Config::default(), spy.clone());
+    let a = rt.alloc_with::<i64>("a", 12, |_| 0);
+    rt.target().map(Map::tofrom(&a)).run(move |k| {
+        k.teams(3, |k, team| {
+            for i in 0..4 {
+                k.write(&a, team * 4 + i, team as i64);
+            }
+        });
+    });
+    assert_eq!(spy.tasks.lock().len(), 3, "one task per team");
+}
+
+#[test]
+fn device_to_device_copies_between_accelerators() {
+    let rt = Runtime::new(Config::default().accelerators(2));
+    let d0 = DeviceId(1);
+    let d1 = DeviceId(2);
+    let a = rt.alloc_with::<f64>("a", 16, |i| i as f64);
+    rt.target_enter_data(d0, &[Map::to(&a)]);
+    rt.target_enter_data(d1, &[Map::alloc(&a)]);
+    // Compute on device 0.
+    rt.target().on_device(d0).map(Map::to(&a)).run(move |k| {
+        k.for_each(0..16, |k, i| {
+            let v = k.read(&a, i);
+            k.write(&a, i, v * 2.0);
+        });
+    });
+    // Direct CV→CV hop (no host round trip).
+    rt.device_memcpy(d0, d1, &a);
+    // Consume on device 1 and pull back from there.
+    rt.target().on_device(d1).map(Map::to(&a)).run(move |k| {
+        k.for_each(0..16, |k, i| {
+            let v = k.read(&a, i);
+            k.write(&a, i, v + 1.0);
+        });
+    });
+    rt.update_from_on(d1, &a);
+    for i in 0..16 {
+        assert_eq!(rt.read(&a, i), 2.0 * i as f64 + 1.0);
+    }
+}
+
+#[test]
+fn device_memcpy_copies_only_section_overlap() {
+    let rt = Runtime::new(Config::default().accelerators(2));
+    let d0 = DeviceId(1);
+    let d1 = DeviceId(2);
+    let a = rt.alloc_with::<f64>("a", 16, |i| i as f64);
+    rt.target_enter_data(d0, &[Map::to_section(&a, 0, 8)]);
+    rt.target_enter_data(d1, &[Map::alloc_section(&a, 4, 8)]);
+    rt.device_memcpy(d0, d1, &a); // overlap is elements 4..8
+    rt.update_from_section(d1, &a, 4, 4);
+    assert_eq!(rt.read(&a, 5), 5.0);
+}
+
+#[test]
+fn device_memcpy_without_presence_is_noop() {
+    let rt = Runtime::new(Config::default().accelerators(2));
+    let a = rt.alloc_with::<f64>("a", 8, |_| 1.0);
+    rt.device_memcpy(DeviceId(1), DeviceId(2), &a); // neither present
+    assert_eq!(rt.read(&a, 0), 1.0);
+}
+
+#[test]
+fn sectioned_updates_move_partial_data() {
+    let rt = Runtime::new(Config::default());
+    let a = rt.alloc_with::<f64>("a", 16, |_| 0.0);
+    rt.target_enter_data(DeviceId::ACCEL0, &[Map::to(&a)]);
+    rt.target().map(Map::to(&a)).run(move |k| {
+        k.for_each(0..16, |k, i| k.write(&a, i, 100.0 + i as f64));
+    });
+    // Pull back only the middle quarter.
+    rt.update_from_section(DeviceId::ACCEL0, &a, 4, 4);
+    for i in 0..16 {
+        let expect = if (4..8).contains(&i) { 100.0 + i as f64 } else { 0.0 };
+        assert_eq!(rt.read(&a, i), expect, "i = {i}");
+    }
+    // Push a host patch to the device, covering a different quarter.
+    for i in 8..12 {
+        rt.write(&a, i, -1.0);
+    }
+    rt.update_to_section(DeviceId::ACCEL0, &a, 8, 4);
+    let out = rt.alloc::<f64>("out", 16);
+    rt.target().map(Map::to(&a)).map(Map::from(&out)).run(move |k| {
+        k.for_each(0..16, |k, i| k.write(&out, i, k.read(&a, i)));
+    });
+    rt.target_exit_data(DeviceId::ACCEL0, &[Map::release(&a)]);
+    assert_eq!(rt.read(&out, 9), -1.0);
+    assert_eq!(rt.read(&out, 2), 102.0);
+}

@@ -1,0 +1,503 @@
+//! The FastTrack engine.
+//!
+//! Read/write checks follow Flanagan & Freund's FastTrack rules: each
+//! location keeps the last-write epoch and either a last-read epoch or —
+//! after concurrent reads — a read vector clock. Most checks and updates
+//! are O(1) epoch comparisons; only concurrent-read promotion pays O(T).
+//!
+//! Tasks map to 12-bit thread slots (Table II's TID field). Slots are
+//! assigned monotonically; if more than 4096 tasks ever exist, slots wrap
+//! with a per-slot monotone clock floor — the same pragmatic compromise
+//! production TSan makes, trading a bounded risk of false negatives in
+//! extremely long runs for bounded shadow state.
+
+use crate::clock::{Epoch, VectorClock, MAX_TIDS};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Byte range of an access within its granule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ByteRange {
+    offset: u8,
+    size: u8,
+}
+
+impl ByteRange {
+    #[inline]
+    fn overlaps(self, other: ByteRange) -> bool {
+        let a0 = self.offset;
+        let a1 = self.offset + self.size;
+        let b0 = other.offset;
+        let b1 = other.offset + other.size;
+        a0 < b1 && b0 < a1
+    }
+}
+
+/// Details of the prior access involved in a detected race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceInfo {
+    /// Thread slot of the prior access.
+    pub prev_tid: u16,
+    /// Scalar clock of the prior access.
+    pub prev_clock: u64,
+    /// Whether the prior access was a write.
+    pub prev_was_write: bool,
+}
+
+#[derive(Debug, Clone)]
+enum ReadState {
+    Epoch(Epoch, ByteRange),
+    Shared(VectorClock),
+}
+
+#[derive(Debug, Clone)]
+struct LocState {
+    write: Epoch,
+    write_range: ByteRange,
+    read: ReadState,
+}
+
+impl LocState {
+    fn new() -> Self {
+        LocState {
+            write: Epoch::ZERO,
+            write_range: ByteRange { offset: 0, size: 8 },
+            read: ReadState::Epoch(Epoch::ZERO, ByteRange { offset: 0, size: 8 }),
+        }
+    }
+}
+
+struct TaskState {
+    tid: u16,
+    vc: VectorClock,
+    ended: bool,
+}
+
+const SHARDS: usize = 64;
+
+/// A happens-before race detection engine.
+pub struct RaceEngine {
+    tasks: Mutex<HashMap<u32, TaskState>>,
+    /// Per-slot monotone clock floors for slot wrap-around.
+    slot_floor: Mutex<Vec<u64>>,
+    next_slot: AtomicU64,
+    shards: Vec<Mutex<HashMap<u64, LocState>>>,
+    /// Release clocks of lock objects (`omp critical` support).
+    locks: Mutex<HashMap<u64, VectorClock>>,
+}
+
+impl Default for RaceEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RaceEngine {
+    /// Create an engine with task 0 (the host) already registered.
+    pub fn new() -> Self {
+        let engine = RaceEngine {
+            tasks: Mutex::new(HashMap::new()),
+            slot_floor: Mutex::new(vec![0; MAX_TIDS]),
+            next_slot: AtomicU64::new(0),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            locks: Mutex::new(HashMap::new()),
+        };
+        engine.register_root(0);
+        engine
+    }
+
+    fn register_root(&self, task: u32) {
+        let tid = self.alloc_slot();
+        let mut vc = VectorClock::new();
+        vc.tick(tid);
+        self.tasks.lock().insert(task, TaskState { tid, vc, ended: false });
+    }
+
+    fn alloc_slot(&self) -> u16 {
+        let raw = self.next_slot.fetch_add(1, Ordering::Relaxed);
+        (raw % MAX_TIDS as u64) as u16
+    }
+
+    /// The (tid, clock) epoch a task would stamp on its next access —
+    /// what ARBALEST stores in the shadow word's TID/clock fields.
+    pub fn epoch_of(&self, task: u32) -> Epoch {
+        let tasks = self.tasks.lock();
+        tasks.get(&task).map(|t| t.vc.epoch(t.tid)).unwrap_or(Epoch::ZERO)
+    }
+
+    /// Fork: `child` begins, ordered after everything `parent` did so far.
+    pub fn fork(&self, parent: u32, child: u32) {
+        let tid = self.alloc_slot();
+        let mut tasks = self.tasks.lock();
+        let parent_vc = tasks.get(&parent).map(|t| t.vc.clone()).unwrap_or_default();
+        let mut vc = parent_vc;
+        let floor = {
+            let floors = self.slot_floor.lock();
+            floors[tid as usize]
+        };
+        let start = vc.get(tid).max(floor) + 1;
+        vc.set(tid, start);
+        tasks.insert(child, TaskState { tid, vc, ended: false });
+        // Parent ticks so its post-fork work is not ordered before the
+        // child's view of it.
+        if let Some(p) = tasks.get_mut(&parent) {
+            let ptid = p.tid;
+            p.vc.tick(ptid);
+        }
+    }
+
+    /// Task end: freeze the task's final clock.
+    pub fn end(&self, task: u32) {
+        let mut tasks = self.tasks.lock();
+        if let Some(t) = tasks.get_mut(&task) {
+            t.ended = true;
+            let (tid, clk) = (t.tid, t.vc.get(t.tid));
+            drop(tasks);
+            let mut floors = self.slot_floor.lock();
+            let f = &mut floors[tid as usize];
+            *f = (*f).max(clk);
+        }
+    }
+
+    /// Lock acquire: the task continues ordered after the lock's last
+    /// release (FastTrack's `acquire` rule).
+    pub fn acquire(&self, task: u32, lock: u64) {
+        let lock_vc = self.locks.lock().get(&lock).cloned();
+        if let Some(vc) = lock_vc {
+            let mut tasks = self.tasks.lock();
+            if let Some(t) = tasks.get_mut(&task) {
+                t.vc.join(&vc);
+            }
+        }
+    }
+
+    /// Lock release: publish the task's clock into the lock and tick.
+    pub fn release(&self, task: u32, lock: u64) {
+        let mut tasks = self.tasks.lock();
+        if let Some(t) = tasks.get_mut(&task) {
+            let snapshot = t.vc.clone();
+            let tid = t.tid;
+            t.vc.tick(tid);
+            drop(tasks);
+            self.locks.lock().insert(lock, snapshot);
+        }
+    }
+
+    /// Join: `waiter` continues, ordered after all of `joined`.
+    pub fn join(&self, waiter: u32, joined: u32) {
+        let mut tasks = self.tasks.lock();
+        let joined_vc = match tasks.get(&joined) {
+            Some(t) => t.vc.clone(),
+            None => return,
+        };
+        if let Some(w) = tasks.get_mut(&waiter) {
+            w.vc.join(&joined_vc);
+            let wtid = w.tid;
+            w.vc.tick(wtid);
+        }
+    }
+
+    #[inline]
+    fn shard(&self, granule: u64) -> &Mutex<HashMap<u64, LocState>> {
+        // Mix the granule index so consecutive granules spread over shards.
+        let g = granule >> 3;
+        let h = g.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 58) as usize % SHARDS]
+    }
+
+    fn task_view(&self, task: u32) -> (u16, VectorClock) {
+        let tasks = self.tasks.lock();
+        match tasks.get(&task) {
+            Some(t) => (t.tid, t.vc.clone()),
+            None => (0, VectorClock::new()),
+        }
+    }
+
+    /// FastTrack read check at `addr` (byte address; `size` ∈ 1..=8).
+    /// Returns the racing prior write, if any.
+    pub fn check_read(&self, task: u32, addr: u64, size: u8) -> Option<RaceInfo> {
+        let (tid, vc) = self.task_view(task);
+        let range = ByteRange { offset: (addr & 7) as u8, size };
+        let granule = addr & !7;
+        let mut shard = self.shard(granule).lock();
+        let loc = shard.entry(granule).or_insert_with(LocState::new);
+        let mut race = None;
+        if !loc.write.is_zero() && !loc.write.leq(&vc) && range.overlaps(loc.write_range) {
+            race = Some(RaceInfo {
+                prev_tid: loc.write.tid,
+                prev_clock: loc.write.clock,
+                prev_was_write: true,
+            });
+        }
+        // Update read state per FastTrack.
+        let me = vc.epoch(tid);
+        match &mut loc.read {
+            ReadState::Epoch(e, r) => {
+                if e.is_zero() || e.leq(&vc) {
+                    *e = me;
+                    *r = range;
+                } else {
+                    // Concurrent reads: promote to a read vector clock.
+                    let mut rvc = VectorClock::new();
+                    rvc.set(e.tid, e.clock);
+                    rvc.set(me.tid, me.clock);
+                    loc.read = ReadState::Shared(rvc);
+                }
+            }
+            ReadState::Shared(rvc) => {
+                rvc.set(me.tid, me.clock.max(rvc.get(me.tid)));
+            }
+        }
+        race
+    }
+
+    /// FastTrack write check.
+    pub fn check_write(&self, task: u32, addr: u64, size: u8) -> Option<RaceInfo> {
+        let (tid, vc) = self.task_view(task);
+        let range = ByteRange { offset: (addr & 7) as u8, size };
+        let granule = addr & !7;
+        let mut shard = self.shard(granule).lock();
+        let loc = shard.entry(granule).or_insert_with(LocState::new);
+        let mut race = None;
+        if !loc.write.is_zero() && !loc.write.leq(&vc) && range.overlaps(loc.write_range) {
+            race = Some(RaceInfo {
+                prev_tid: loc.write.tid,
+                prev_clock: loc.write.clock,
+                prev_was_write: true,
+            });
+        }
+        if race.is_none() {
+            match &loc.read {
+                ReadState::Epoch(e, r) => {
+                    if !e.is_zero() && !e.leq(&vc) && range.overlaps(*r) {
+                        race = Some(RaceInfo {
+                            prev_tid: e.tid,
+                            prev_clock: e.clock,
+                            prev_was_write: false,
+                        });
+                    }
+                }
+                ReadState::Shared(rvc) => {
+                    if !rvc.leq(&vc) {
+                        // Find one offending reader for the report.
+                        let mut offender = Epoch::ZERO;
+                        for t in 0..MAX_TIDS as u16 {
+                            let c = rvc.get(t);
+                            if c > vc.get(t) {
+                                offender = Epoch { tid: t, clock: c };
+                                break;
+                            }
+                        }
+                        race = Some(RaceInfo {
+                            prev_tid: offender.tid,
+                            prev_clock: offender.clock,
+                            prev_was_write: false,
+                        });
+                    }
+                }
+            }
+        }
+        loc.write = vc.epoch(tid);
+        loc.write_range = range;
+        loc.read = ReadState::Epoch(Epoch::ZERO, range);
+        race
+    }
+
+    /// Range write check: used for transfers, which behave like writes of
+    /// the destination range and reads of the source range by the
+    /// transferring task. Returns the first race found.
+    pub fn check_write_range(&self, task: u32, addr: u64, len: u64) -> Option<RaceInfo> {
+        let mut g = addr & !7;
+        let end = addr + len;
+        let mut first = None;
+        while g < end {
+            if let Some(r) = self.check_write(task, g, 8) {
+                first.get_or_insert(r);
+            }
+            g += 8;
+        }
+        first
+    }
+
+    /// Range read check (see [`Self::check_write_range`]).
+    pub fn check_read_range(&self, task: u32, addr: u64, len: u64) -> Option<RaceInfo> {
+        let mut g = addr & !7;
+        let end = addr + len;
+        let mut first = None;
+        while g < end {
+            if let Some(r) = self.check_read(task, g, 8) {
+                first.get_or_insert(r);
+            }
+            g += 8;
+        }
+        first
+    }
+
+    /// Approximate bytes held by clocks and location states (Fig. 9).
+    pub fn approx_bytes(&self) -> u64 {
+        let tasks = self.tasks.lock();
+        let task_bytes: u64 = tasks.values().map(|t| t.vc.approx_bytes() + 32).sum();
+        let loc_bytes: u64 = self
+            .shards
+            .iter()
+            .map(|s| (s.lock().len() * (std::mem::size_of::<LocState>() + 16)) as u64)
+            .sum();
+        let lock_bytes: u64 =
+            self.locks.lock().values().map(|v| v.approx_bytes() + 16).sum();
+        task_bytes + loc_bytes + lock_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Task ids for readability.
+    const HOST: u32 = 0;
+
+    #[test]
+    fn ordered_accesses_do_not_race() {
+        let e = RaceEngine::new();
+        assert!(e.check_write(HOST, 0x100, 8).is_none());
+        e.fork(HOST, 1);
+        // Child write after parent write: ordered by fork.
+        assert!(e.check_write(1, 0x100, 8).is_none());
+        e.end(1);
+        e.join(HOST, 1);
+        // Parent read after join: ordered.
+        assert!(e.check_read(HOST, 0x100, 8).is_none());
+    }
+
+    #[test]
+    fn concurrent_write_write_races() {
+        let e = RaceEngine::new();
+        e.fork(HOST, 1);
+        e.fork(HOST, 2);
+        assert!(e.check_write(1, 0x200, 8).is_none());
+        let race = e.check_write(2, 0x200, 8).expect("siblings race");
+        assert!(race.prev_was_write);
+    }
+
+    #[test]
+    fn concurrent_read_write_races_but_read_read_does_not() {
+        let e = RaceEngine::new();
+        e.fork(HOST, 1);
+        e.fork(HOST, 2);
+        assert!(e.check_read(1, 0x300, 8).is_none());
+        assert!(e.check_read(2, 0x300, 8).is_none(), "read-read is fine");
+        let race = e.check_write(2, 0x300, 8);
+        // Reader 1 is concurrent with writer 2.
+        assert!(race.is_some());
+        assert!(!race.unwrap().prev_was_write);
+    }
+
+    #[test]
+    fn racing_write_then_read_detected() {
+        let e = RaceEngine::new();
+        e.fork(HOST, 1);
+        assert!(e.check_write(1, 0x400, 8).is_none());
+        // Host never joined task 1 → host read races child write.
+        let race = e.check_read(HOST, 0x400, 8).expect("unordered read");
+        assert!(race.prev_was_write);
+    }
+
+    #[test]
+    fn join_orders_subsequent_accesses() {
+        let e = RaceEngine::new();
+        e.fork(HOST, 1);
+        e.check_write(1, 0x500, 8);
+        e.end(1);
+        e.join(HOST, 1);
+        assert!(e.check_write(HOST, 0x500, 8).is_none());
+    }
+
+    #[test]
+    fn disjoint_bytes_in_one_granule_do_not_race() {
+        let e = RaceEngine::new();
+        e.fork(HOST, 1);
+        e.fork(HOST, 2);
+        assert!(e.check_write(1, 0x600, 4).is_none());
+        assert!(e.check_write(2, 0x604, 4).is_none(), "different halves of the word");
+        // Same half does race (fresh granule so the last-write range is 1's).
+        assert!(e.check_write(1, 0x610, 4).is_none());
+        assert!(e.check_write(2, 0x610, 4).is_some());
+    }
+
+    #[test]
+    fn transitive_ordering_via_intermediate_join() {
+        let e = RaceEngine::new();
+        e.fork(HOST, 1);
+        e.check_write(1, 0x700, 8);
+        e.end(1);
+        // Task 2 joins 1, then writes: ordered after 1.
+        e.fork(HOST, 2);
+        e.join(2, 1);
+        assert!(e.check_write(2, 0x700, 8).is_none());
+    }
+
+    #[test]
+    fn shared_read_promotion_then_ordered_write() {
+        let e = RaceEngine::new();
+        e.fork(HOST, 1);
+        e.fork(HOST, 2);
+        e.check_read(1, 0x800, 8);
+        e.check_read(2, 0x800, 8);
+        e.end(1);
+        e.end(2);
+        e.join(HOST, 1);
+        e.join(HOST, 2);
+        // After joining both readers the host write is ordered.
+        assert!(e.check_write(HOST, 0x800, 8).is_none());
+    }
+
+    #[test]
+    fn range_checks_cover_every_granule() {
+        let e = RaceEngine::new();
+        e.fork(HOST, 1);
+        assert!(e.check_write(1, 0x918, 8).is_none());
+        // Host range-write over [0x900, 0x940) hits granule 0x918.
+        let race = e.check_write_range(HOST, 0x900, 0x40);
+        assert!(race.is_some());
+    }
+
+    #[test]
+    fn critical_sections_order_siblings() {
+        let e = RaceEngine::new();
+        e.fork(HOST, 1);
+        e.fork(HOST, 2);
+        // Task 1 writes inside the critical section, then releases.
+        e.acquire(1, 99);
+        assert!(e.check_write(1, 0xA00, 8).is_none());
+        e.release(1, 99);
+        // Task 2 acquires the same lock: ordered after task 1's write.
+        e.acquire(2, 99);
+        assert!(e.check_write(2, 0xA00, 8).is_none(), "lock ordering suppresses the race");
+        e.release(2, 99);
+    }
+
+    #[test]
+    fn different_locks_do_not_order() {
+        let e = RaceEngine::new();
+        e.fork(HOST, 1);
+        e.fork(HOST, 2);
+        e.acquire(1, 1);
+        e.check_write(1, 0xB00, 8);
+        e.release(1, 1);
+        e.acquire(2, 2); // a different lock
+        let race = e.check_write(2, 0xB00, 8);
+        assert!(race.is_some(), "disjoint locks provide no ordering");
+    }
+
+    #[test]
+    fn epoch_of_reflects_progress() {
+        let e = RaceEngine::new();
+        let e0 = e.epoch_of(HOST);
+        e.fork(HOST, 1);
+        let e1 = e.epoch_of(HOST);
+        assert!(e1.clock > e0.clock, "fork ticks the parent");
+        assert_eq!(e0.tid, e1.tid);
+        let c = e.epoch_of(1);
+        assert_ne!(c.tid, e0.tid);
+    }
+}

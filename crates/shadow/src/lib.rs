@@ -1,0 +1,56 @@
+//! # arbalest-shadow
+//!
+//! Shadow memory infrastructure for the ARBALEST reproduction — the
+//! analogue of the LLVM sanitizer infrastructure the paper builds on:
+//!
+//! * [`word`] — bit-packed shadow state encodings: the exact Table II
+//!   single-accelerator layout, and the §IV-C multi-device extension.
+//! * [`map`] — direct-mapped, page-granular shadow memory over the
+//!   simulated logical address space, with lock-free `AtomicU64` cells.
+//! * [`interval`] — an augmented AVL interval tree used to map
+//!   corresponding-variable (CV) address ranges back to their original
+//!   variables, and to detect mapping-related buffer overflows (§IV-D).
+
+#![warn(missing_docs)]
+
+pub mod interval;
+pub mod map;
+pub mod word;
+
+pub use interval::IntervalTree;
+pub use map::ShadowMemory;
+pub use word::{GranuleState, Layout};
+
+/// # Example: one shadow word per granule, Table II layout
+///
+/// ```
+/// use arbalest_shadow::{GranuleState, Layout, ShadowMemory};
+///
+/// let shadow = ShadowMemory::new(1);
+/// let layout = Layout::TableII;
+///
+/// // CAS a state transition into the granule at 0x1000.
+/// shadow.update(0x1000, 0, |w| {
+///     let mut s = layout.decode(w);
+///     s.valid_mask |= 0b01; // OV becomes valid
+///     s.init_mask |= 0b01;
+///     layout.encode(s)
+/// });
+/// let s = layout.decode(shadow.load(0x1000, 0));
+/// assert!(s.ov_valid());
+/// ```
+///
+/// # Example: interval tree CV lookup
+///
+/// ```
+/// use arbalest_shadow::IntervalTree;
+///
+/// let mut tree = IntervalTree::new();
+/// tree.insert(0x2000, 0x2100, "buffer_a");
+/// tree.insert(0x2100, 0x2200, "buffer_b");
+/// assert_eq!(tree.stab(0x20ff).unwrap().2, &"buffer_a");
+/// assert_eq!(tree.stab(0x2100).unwrap().2, &"buffer_b");
+/// assert!(tree.stab(0x2200).is_none());
+/// ```
+#[doc(hidden)]
+pub struct _DoctestAnchor;

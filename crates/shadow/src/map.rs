@@ -1,0 +1,241 @@
+//! Direct-mapped shadow memory.
+//!
+//! For every aligned 8-byte granule of application memory, the shadow
+//! holds `slots` 64-bit cells ("shadow states" in Archer's terminology —
+//! Archer keeps four per granule; ARBALEST reserves bits inside them,
+//! §V-B). Cells are `AtomicU64`, updated with compare-and-swap, so the
+//! analysis is fully concurrent and lock-free on the hot path, as the
+//! paper requires (§IV-C).
+//!
+//! Shadow pages are materialised on first touch; the page table mirrors
+//! the direct address mapping of the LLVM sanitizer runtimes. Resident
+//! shadow bytes are tracked for the Fig. 9 space measurement.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Log2 of the application bytes covered by one shadow page.
+const APP_PAGE_SHIFT: u32 = 12;
+/// Application bytes covered per shadow page.
+const APP_PAGE_BYTES: u64 = 1 << APP_PAGE_SHIFT;
+/// Granules per shadow page.
+const GRANULES_PER_PAGE: usize = (APP_PAGE_BYTES / 8) as usize;
+
+struct ShadowPage {
+    cells: Box<[AtomicU64]>,
+}
+
+impl ShadowPage {
+    fn new(slots: usize) -> ShadowPage {
+        let cells: Vec<AtomicU64> =
+            (0..GRANULES_PER_PAGE * slots).map(|_| AtomicU64::new(0)).collect();
+        ShadowPage { cells: cells.into_boxed_slice() }
+    }
+}
+
+/// Sparse direct-mapped shadow over the logical address space.
+pub struct ShadowMemory {
+    slots: usize,
+    pages: RwLock<HashMap<u64, Arc<ShadowPage>>>,
+    page_count: AtomicUsize,
+}
+
+impl ShadowMemory {
+    /// Create a shadow with `slots` 64-bit cells per 8-byte granule.
+    pub fn new(slots: usize) -> ShadowMemory {
+        assert!(slots >= 1);
+        ShadowMemory { slots, pages: RwLock::new(HashMap::new()), page_count: AtomicUsize::new(0) }
+    }
+
+    /// Cells per granule.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Resident shadow bytes (Fig. 9 accounting).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.page_count.load(Ordering::Relaxed) * GRANULES_PER_PAGE * self.slots * 8) as u64
+    }
+
+    #[inline]
+    fn page(&self, addr: u64) -> Arc<ShadowPage> {
+        let idx = addr >> APP_PAGE_SHIFT;
+        if let Some(p) = self.pages.read().get(&idx) {
+            return p.clone();
+        }
+        let mut w = self.pages.write();
+        w.entry(idx)
+            .or_insert_with(|| {
+                self.page_count.fetch_add(1, Ordering::Relaxed);
+                Arc::new(ShadowPage::new(self.slots))
+            })
+            .clone()
+    }
+
+    #[inline]
+    fn cell_index(&self, addr: u64, slot: usize) -> usize {
+        debug_assert!(slot < self.slots);
+        let granule = ((addr & (APP_PAGE_BYTES - 1)) >> 3) as usize;
+        granule * self.slots + slot
+    }
+
+    /// Relaxed load of a shadow cell. Untouched shadow reads as zero.
+    #[inline]
+    pub fn load(&self, addr: u64, slot: usize) -> u64 {
+        let idx = addr >> APP_PAGE_SHIFT;
+        match self.pages.read().get(&idx) {
+            Some(p) => p.cells[self.cell_index(addr, slot)].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Unconditional store to a shadow cell.
+    #[inline]
+    pub fn store(&self, addr: u64, slot: usize, value: u64) {
+        let page = self.page(addr);
+        page.cells[self.cell_index(addr, slot)].store(value, Ordering::Relaxed);
+    }
+
+    /// Lock-free read-modify-write of a shadow cell via CAS, the paper's
+    /// update discipline. `f` maps the current value to the desired value;
+    /// returns the (old, new) pair that finally committed.
+    #[inline]
+    pub fn update(&self, addr: u64, slot: usize, mut f: impl FnMut(u64) -> u64) -> (u64, u64) {
+        let page = self.page(addr);
+        let cell = &page.cells[self.cell_index(addr, slot)];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = f(cur);
+            match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return (cur, next),
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Apply `f` to every granule cell in `[addr, addr + len)` (8-byte
+    /// aligned range), slot fixed.
+    pub fn update_range(&self, addr: u64, len: u64, slot: usize, mut f: impl FnMut(u64) -> u64) {
+        let mut a = addr & !7;
+        let end = addr + len;
+        while a < end {
+            self.update(a, slot, &mut f);
+            a += 8;
+        }
+    }
+
+    /// Copy slot contents for a range from another shadow (used for
+    /// definedness propagation across memcpy-style transfers).
+    pub fn copy_range_from(&self, src: &ShadowMemory, src_addr: u64, dst_addr: u64, len: u64, slot: usize) {
+        let granules = len.div_ceil(8);
+        for g in 0..granules {
+            let v = src.load(src_addr + g * 8, slot);
+            self.store(dst_addr + g * 8, slot, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_zero_and_store_load() {
+        let s = ShadowMemory::new(1);
+        assert_eq!(s.load(0x1000, 0), 0);
+        assert_eq!(s.resident_bytes(), 0);
+        s.store(0x1000, 0, 77);
+        assert_eq!(s.load(0x1000, 0), 77);
+        assert!(s.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let s = ShadowMemory::new(3);
+        s.store(0x2000, 0, 1);
+        s.store(0x2000, 1, 2);
+        s.store(0x2000, 2, 3);
+        assert_eq!(s.load(0x2000, 0), 1);
+        assert_eq!(s.load(0x2000, 1), 2);
+        assert_eq!(s.load(0x2000, 2), 3);
+    }
+
+    #[test]
+    fn granules_are_independent_within_a_page() {
+        let s = ShadowMemory::new(2);
+        s.store(0x3000, 0, 10);
+        s.store(0x3008, 0, 20);
+        s.store(0x3000, 1, 11);
+        assert_eq!(s.load(0x3000, 0), 10);
+        assert_eq!(s.load(0x3008, 0), 20);
+        assert_eq!(s.load(0x3008, 1), 0);
+    }
+
+    #[test]
+    fn sub_granule_addresses_share_a_cell() {
+        let s = ShadowMemory::new(1);
+        s.store(0x4003, 0, 5);
+        assert_eq!(s.load(0x4000, 0), 5);
+        assert_eq!(s.load(0x4007, 0), 5);
+        assert_eq!(s.load(0x4008, 0), 0);
+    }
+
+    #[test]
+    fn update_is_atomic_under_contention() {
+        let s = Arc::new(ShadowMemory::new(1));
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    s.update(0x5000, 0, |v| v + 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.load(0x5000, 0), 80_000);
+    }
+
+    #[test]
+    fn update_range_touches_every_granule() {
+        let s = ShadowMemory::new(1);
+        s.update_range(0x6000, 64, 0, |v| v + 1);
+        for g in 0..8 {
+            assert_eq!(s.load(0x6000 + g * 8, 0), 1);
+        }
+        assert_eq!(s.load(0x6040, 0), 0);
+    }
+
+    #[test]
+    fn update_range_partial_tail_rounds_to_granule() {
+        let s = ShadowMemory::new(1);
+        s.update_range(0x7000, 12, 0, |_| 9);
+        assert_eq!(s.load(0x7000, 0), 9);
+        assert_eq!(s.load(0x7008, 0), 9);
+        assert_eq!(s.load(0x7010, 0), 0);
+    }
+
+    #[test]
+    fn copy_range_from_propagates() {
+        let a = ShadowMemory::new(1);
+        let b = ShadowMemory::new(1);
+        a.store(0x100, 0, 42);
+        a.store(0x108, 0, 43);
+        b.copy_range_from(&a, 0x100, 0x900, 16, 0);
+        assert_eq!(b.load(0x900, 0), 42);
+        assert_eq!(b.load(0x908, 0), 43);
+    }
+
+    #[test]
+    fn resident_accounting_scales_with_slots() {
+        let s1 = ShadowMemory::new(1);
+        let s4 = ShadowMemory::new(4);
+        s1.store(0x1000, 0, 1);
+        s4.store(0x1000, 0, 1);
+        assert_eq!(s4.resident_bytes(), 4 * s1.resident_bytes());
+    }
+}

@@ -1,0 +1,98 @@
+//! 552.pep: embarrassingly parallel — per-index deterministic RNG
+//! streams, a Box–Muller-style transform, and per-chunk tallies. Almost
+//! all work happens in registers, so dynamic tools add comparatively
+//! little (the paper's pep bars are among the flattest in Fig. 8).
+
+use crate::Preset;
+use arbalest_offload::prelude::*;
+
+/// Sample count per preset.
+pub fn samples(preset: Preset) -> usize {
+    match preset {
+        Preset::Test => 4_096,
+        Preset::Small => 131_072,
+        Preset::Medium => 524_288,
+    }
+}
+
+const BINS: usize = 10;
+
+/// splitmix64: a tiny, high-quality per-index generator.
+#[inline]
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Run the workload; returns the sample mean of the generated Gaussians'
+/// squared magnitudes (≈ 2 for a standard 2-D Gaussian).
+pub fn run(rt: &Runtime, preset: Preset) -> f64 {
+    let n = samples(preset);
+    let counts = rt.alloc::<i64>("counts", BINS);
+    let sums = rt.alloc::<f64>("sums", 2);
+    rt.target().map(Map::from(&counts)).map(Map::from(&sums)).run(move |k| {
+        k.for_each(0..BINS, |k, b| k.write(&counts, b, 0));
+        let (total, count_hits) = k.par_reduce(
+            0..n,
+            (0.0f64, 0i64),
+            move |_k, i| {
+                // Two uniforms from independent streams; polar-ish method.
+                let u1 = unit(splitmix(i as u64 * 2 + 1)).max(1e-12);
+                let u2 = unit(splitmix(i as u64 * 2 + 2));
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = std::f64::consts::TAU * u2;
+                let (g1, g2) = (r * theta.cos(), r * theta.sin());
+                let m2 = g1 * g1 + g2 * g2;
+                let bin = (m2.sqrt().floor() as usize).min(BINS - 1);
+                (m2, (bin >= BINS - 1) as i64)
+            },
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        );
+        // Tally the extreme deviates on the kernel task — the per-chunk
+        // partials were combined race-free by the reduction.
+        k.write(&counts, BINS - 1, count_hits);
+        k.write(&sums, 0, total);
+        k.write(&sums, 1, count_hits as f64);
+    });
+    rt.read(&sums, 0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbalest_core::{Arbalest, ArbalestConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn mean_square_magnitude_near_two() {
+        let rt = Runtime::new(Config::default().team_size(2));
+        let m = run(&rt, Preset::Test);
+        assert!((m - 2.0).abs() < 0.2, "E[g1²+g2²] ≈ 2, got {m}");
+    }
+
+    #[test]
+    fn stable_across_team_sizes() {
+        // Partial sums combine in nondeterministic order, so only demand
+        // agreement up to floating-point reassociation.
+        let rt1 = Runtime::new(Config::default().team_size(1));
+        let rt2 = Runtime::new(Config::default().team_size(4));
+        let (a, b) = (run(&rt1, Preset::Test), run(&rt2, Preset::Test));
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn clean_under_arbalest() {
+        let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+        let rt = Runtime::with_tool(Config::default().team_size(2), tool.clone());
+        run(&rt, Preset::Test);
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+}

@@ -1,0 +1,105 @@
+//! 504.polbm: a lattice-Boltzmann-style kernel — D2Q5 stream + collide
+//! on a square grid, double-buffered on the device.
+
+use crate::Preset;
+use arbalest_offload::prelude::*;
+
+/// Grid edge and time steps per preset.
+pub fn dims(preset: Preset) -> (usize, usize) {
+    match preset {
+        Preset::Test => (12, 3),
+        Preset::Small => (48, 10),
+        Preset::Medium => (96, 20),
+    }
+}
+
+const Q: usize = 5;
+/// D2Q5 velocities: rest, +x, -x, +y, -y.
+const CX: [isize; Q] = [0, 1, -1, 0, 0];
+const CY: [isize; Q] = [0, 0, 0, 1, -1];
+const W: [f64; Q] = [1.0 / 3.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0];
+const OMEGA: f64 = 1.2;
+
+#[inline]
+fn fidx(n: usize, x: usize, y: usize, q: usize) -> usize {
+    q + Q * (x + n * y)
+}
+
+/// Run the workload; returns total mass (conserved up to round-off).
+pub fn run(rt: &Runtime, preset: Preset) -> f64 {
+    let (n, steps) = dims(preset);
+    let cur = rt.alloc_with::<f64>("f_cur", n * n * Q, |i| {
+        let q = i % Q;
+        let cell = i / Q;
+        W[q] * (1.0 + 0.01 * ((cell % 13) as f64))
+    });
+    let next = rt.alloc_with::<f64>("f_next", n * n * Q, |_| 0.0);
+    rt.target_enter_data(DeviceId::ACCEL0, &[Map::to(&cur), Map::to(&next)]);
+    for step in 0..steps {
+        let (src, dst) = if step % 2 == 0 { (cur, next) } else { (next, cur) };
+        rt.target().map(Map::to(&src)).map(Map::to(&dst)).run(move |k| {
+            k.par_for(0..n, move |k, y| {
+                for x in 0..n {
+                    // Gather the post-streaming populations (periodic).
+                    let mut f = [0.0f64; Q];
+                    let mut rho = 0.0;
+                    let mut ux = 0.0;
+                    let mut uy = 0.0;
+                    for q in 0..Q {
+                        let sx = (x as isize - CX[q]).rem_euclid(n as isize) as usize;
+                        let sy = (y as isize - CY[q]).rem_euclid(n as isize) as usize;
+                        let v = k.read(&src, fidx(n, sx, sy, q));
+                        f[q] = v;
+                        rho += v;
+                        ux += v * CX[q] as f64;
+                        uy += v * CY[q] as f64;
+                    }
+                    if rho > 0.0 {
+                        ux /= rho;
+                        uy /= rho;
+                    }
+                    // BGK collision towards a linearised equilibrium.
+                    for q in 0..Q {
+                        let cu = CX[q] as f64 * ux + CY[q] as f64 * uy;
+                        let feq = W[q] * rho * (1.0 + 3.0 * cu);
+                        k.write(&dst, fidx(n, x, y, q), f[q] + OMEGA * (feq - f[q]));
+                    }
+                }
+            });
+        });
+    }
+    let last = if steps % 2 == 0 { cur } else { next };
+    rt.update_from(&last);
+    rt.target_exit_data(DeviceId::ACCEL0, &[Map::release(&cur), Map::release(&next)]);
+    let mut mass = 0.0;
+    for i in 0..last.len() {
+        mass += rt.read(&last, i);
+    }
+    mass
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbalest_core::{Arbalest, ArbalestConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn mass_is_conserved() {
+        let rt = Runtime::new(Config::default().team_size(2));
+        let (n, _) = dims(Preset::Test);
+        let expected: f64 = (0..n * n * Q)
+            .map(|i| W[i % Q] * (1.0 + 0.01 * (((i / Q) % 13) as f64)))
+            .sum();
+        let mass = run(&rt, Preset::Test);
+        assert!((mass - expected).abs() < 1e-9 * expected, "{mass} vs {expected}");
+    }
+
+    #[test]
+    fn clean_under_arbalest() {
+        let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+        let rt = Runtime::with_tool(Config::default().team_size(2), tool.clone());
+        run(&rt, Preset::Test);
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+}

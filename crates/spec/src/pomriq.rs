@@ -1,0 +1,90 @@
+//! 514.pomriq: the MRI-Q kernel — for every voxel, a dense trigonometric
+//! inner product over the k-space samples. Compute-bound with a regular
+//! access pattern, so tool overhead ratios are lower than on the
+//! memory-bound kernels (visible in Fig. 8).
+
+use crate::Preset;
+use arbalest_offload::prelude::*;
+
+/// (voxels, samples) per preset.
+pub fn dims(preset: Preset) -> (usize, usize) {
+    match preset {
+        Preset::Test => (64, 16),
+        Preset::Small => (768, 96),
+        Preset::Medium => (2048, 256),
+    }
+}
+
+/// Run the workload; returns the norm-ish checksum of Q.
+pub fn run(rt: &Runtime, preset: Preset) -> f64 {
+    let (v, s) = dims(preset);
+    let kx = rt.alloc_with::<f64>("kx", s, |i| 0.1 * (i as f64) / s as f64);
+    let ky = rt.alloc_with::<f64>("ky", s, |i| 0.2 * (i as f64) / s as f64);
+    let kz = rt.alloc_with::<f64>("kz", s, |i| 0.3 * (i as f64) / s as f64);
+    let phi_r = rt.alloc_with::<f64>("phiR", s, |i| ((i % 5) as f64) * 0.25);
+    let phi_i = rt.alloc_with::<f64>("phiI", s, |i| ((i % 7) as f64) * 0.125);
+    let x = rt.alloc_with::<f64>("x", v, |i| (i % 17) as f64);
+    let y = rt.alloc_with::<f64>("y", v, |i| (i % 19) as f64);
+    let z = rt.alloc_with::<f64>("z", v, |i| (i % 23) as f64);
+    let qr = rt.alloc::<f64>("Qr", v);
+    let qi = rt.alloc::<f64>("Qi", v);
+    rt.target()
+        .map(Map::to(&kx))
+        .map(Map::to(&ky))
+        .map(Map::to(&kz))
+        .map(Map::to(&phi_r))
+        .map(Map::to(&phi_i))
+        .map(Map::to(&x))
+        .map(Map::to(&y))
+        .map(Map::to(&z))
+        .map(Map::from(&qr))
+        .map(Map::from(&qi))
+        .run(move |k| {
+            k.par_for(0..v, move |k, vi| {
+                let (xv, yv, zv) = (k.read(&x, vi), k.read(&y, vi), k.read(&z, vi));
+                let mut acc_r = 0.0;
+                let mut acc_i = 0.0;
+                for si in 0..s {
+                    let arg = std::f64::consts::TAU
+                        * (k.read(&kx, si) * xv + k.read(&ky, si) * yv + k.read(&kz, si) * zv);
+                    let (sin, cos) = arg.sin_cos();
+                    let (pr, pi) = (k.read(&phi_r, si), k.read(&phi_i, si));
+                    acc_r += pr * cos - pi * sin;
+                    acc_i += pi * cos + pr * sin;
+                }
+                k.write(&qr, vi, acc_r);
+                k.write(&qi, vi, acc_i);
+            });
+        });
+    let mut sum = 0.0;
+    for i in 0..v {
+        let (r, im) = (rt.read(&qr, i), rt.read(&qi, i));
+        sum += r * r + im * im;
+    }
+    sum / v as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbalest_core::{Arbalest, ArbalestConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn checksum_positive_and_deterministic() {
+        let rt1 = Runtime::new(Config::default().team_size(2));
+        let rt2 = Runtime::new(Config::default().team_size(4));
+        let a = run(&rt1, Preset::Test);
+        let b = run(&rt2, Preset::Test);
+        assert!(a > 0.0);
+        assert_eq!(a, b, "independent of team size");
+    }
+
+    #[test]
+    fn clean_under_arbalest() {
+        let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+        let rt = Runtime::with_tool(Config::default().team_size(2), tool.clone());
+        run(&rt, Preset::Test);
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+}

@@ -1,0 +1,179 @@
+//! 503.postencil: 3-D 7-point Jacobi stencil, plus the buggy 1.2 variant.
+//!
+//! The correct version keeps both grids resident on the device (a
+//! persistent data region), alternates their roles explicitly, and pulls
+//! the final grid back with `target update from` — the SPEC 1.3 fix.
+//!
+//! [`run_buggy`] reproduces the 1.2 bug of §VI-D (Fig. 6): after each
+//! kernel the *host* swaps its two array handles. The scratch grid was
+//! mapped `alloc`, so after an odd number of iterations the results live
+//! in a corresponding variable that is never copied back, and the output
+//! loop reads stale host memory — the data mapping issue ARBALEST's
+//! Fig. 7 report pinpoints.
+
+use crate::Preset;
+use arbalest_offload::prelude::*;
+
+/// Grid extents and iteration count per preset.
+pub fn dims(preset: Preset) -> (usize, usize, usize, usize) {
+    match preset {
+        Preset::Test => (8, 8, 4, 2),
+        Preset::Small => (32, 32, 16, 4),
+        Preset::Medium => (64, 64, 32, 8),
+    }
+}
+
+#[inline]
+fn idx(nx: usize, ny: usize, x: usize, y: usize, z: usize) -> usize {
+    x + nx * (y + ny * z)
+}
+
+fn init(rt: &Runtime, name: &str, nx: usize, ny: usize, nz: usize) -> Buffer<f64> {
+    rt.alloc_with::<f64>(name, nx * ny * nz, |i| {
+        let x = i % nx;
+        let y = (i / nx) % ny;
+        let z = i / (nx * ny);
+        (x + 2 * y + 3 * z) as f64 / (nx + ny + nz) as f64
+    })
+}
+
+fn stencil_kernel(
+    k: &KernelCtx,
+    src: Buffer<f64>,
+    dst: Buffer<f64>,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+) {
+    const C0: f64 = 0.5;
+    const C1: f64 = 1.0 / 12.0;
+    k.par_for(1..nz - 1, move |k, z| {
+        for y in 1..ny - 1 {
+            for x in 1..nx - 1 {
+                let c = k.read(&src, idx(nx, ny, x, y, z));
+                let sum = k.read(&src, idx(nx, ny, x - 1, y, z))
+                    + k.read(&src, idx(nx, ny, x + 1, y, z))
+                    + k.read(&src, idx(nx, ny, x, y - 1, z))
+                    + k.read(&src, idx(nx, ny, x, y + 1, z))
+                    + k.read(&src, idx(nx, ny, x, y, z - 1))
+                    + k.read(&src, idx(nx, ny, x, y, z + 1));
+                k.write(&dst, idx(nx, ny, x, y, z), C0 * c + C1 * sum);
+            }
+        }
+    });
+}
+
+fn checksum(rt: &Runtime, a: &Buffer<f64>) -> f64 {
+    let mut sum = 0.0;
+    for i in 0..a.len() {
+        sum += rt.read(a, i);
+    }
+    sum
+}
+
+/// The correct stencil (SPEC 1.3 shape).
+pub fn run(rt: &Runtime, preset: Preset) -> f64 {
+    let (nx, ny, nz, iters) = dims(preset);
+    let a0 = init(rt, "a0", nx, ny, nz);
+    let anext = rt.alloc_with::<f64>("anext", nx * ny * nz, |_| 0.0);
+    rt.target_enter_data(DeviceId::ACCEL0, &[Map::to(&a0), Map::to(&anext)]);
+    for step in 0..iters {
+        let (src, dst) = if step % 2 == 0 { (a0, anext) } else { (anext, a0) };
+        rt.target().map(Map::to(&src)).map(Map::to(&dst)).run(move |k| {
+            stencil_kernel(k, src, dst, nx, ny, nz);
+        });
+    }
+    // The final grid depends on the parity of the iteration count.
+    let last = if iters % 2 == 0 { a0 } else { anext };
+    rt.update_from(&last);
+    rt.target_exit_data(DeviceId::ACCEL0, &[Map::release(&a0), Map::release(&anext)]);
+    checksum(rt, &last)
+}
+
+/// The buggy SPEC 1.2 variant (§VI-D, Fig. 6): host-side handle swap.
+///
+/// Returns the checksum computed from what the *host* reads at the end —
+/// stale data when `iters` is odd.
+pub fn run_buggy(rt: &Runtime, preset: Preset) -> f64 {
+    let (nx, ny, nz, iters) = dims(preset);
+    assert!(iters % 2 == 0, "preset iteration counts are even; the bug needs +1");
+    let iters = iters + 1; // odd, like the SPEC reference input
+    let mut a0 = init(rt, "a0", nx, ny, nz);
+    let mut anext = rt.alloc_with::<f64>("anext", nx * ny * nz, |_| 0.0);
+    // BUG (1.2): the scratch grid is mapped alloc; the region relies on
+    // the tofrom of `a0` for the copy-back...
+    rt.target_data().map(Map::tofrom(&a0)).map(Map::alloc(&anext)).scope(|rt| {
+        for _ in 0..iters {
+            let (src, dst) = (a0, anext);
+            rt.target().map(Map::to(&src)).map(Map::alloc(&dst)).run(move |k| {
+                stencil_kernel(k, src, dst, nx, ny, nz);
+            });
+            // ...but the host swaps its handles after each launch, so
+            // after an odd number of iterations the results live in the
+            // `alloc`-mapped variable, which is never copied back.
+            std::mem::swap(&mut a0, &mut anext);
+        }
+    });
+    // The output loop (Fig. 6 line 139/145): reads stale host data.
+    checksum(rt, &a0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbalest_core::{Arbalest, ArbalestConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn correct_version_converges_towards_smooth_field() {
+        let rt = Runtime::new(Config::default().team_size(2));
+        let sum = run(&rt, Preset::Test);
+        assert!(sum.is_finite());
+        assert!(sum != 0.0);
+    }
+
+    #[test]
+    fn correct_version_is_clean_under_arbalest() {
+        let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+        let rt = Runtime::with_tool(Config::default().team_size(2), tool.clone());
+        run(&rt, Preset::Test);
+        assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    }
+
+    #[test]
+    fn buggy_version_reads_stale_data() {
+        // Functional evidence: the buggy checksum differs from the
+        // correct one for an odd iteration count.
+        let rt1 = Runtime::new(Config::default().team_size(2));
+        let (nx, ny, nz, iters) = dims(Preset::Test);
+        // Reference: run the correct pipeline for iters+1 steps.
+        let a0 = init(&rt1, "a0", nx, ny, nz);
+        let anext = rt1.alloc_with::<f64>("anext", nx * ny * nz, |_| 0.0);
+        rt1.target_enter_data(DeviceId::ACCEL0, &[Map::to(&a0), Map::to(&anext)]);
+        for step in 0..iters + 1 {
+            let (src, dst) = if step % 2 == 0 { (a0, anext) } else { (anext, a0) };
+            rt1.target().map(Map::to(&src)).map(Map::to(&dst)).run(move |k| {
+                stencil_kernel(k, src, dst, nx, ny, nz);
+            });
+        }
+        let last = if (iters + 1) % 2 == 0 { a0 } else { anext };
+        rt1.update_from(&last);
+        let reference = checksum(&rt1, &last);
+
+        let rt2 = Runtime::new(Config::default().team_size(2));
+        let buggy = run_buggy(&rt2, Preset::Test);
+        assert_ne!(buggy, reference, "the bug must corrupt the output");
+    }
+
+    #[test]
+    fn arbalest_pinpoints_the_buggy_output_read() {
+        let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+        let rt = Runtime::with_tool(Config::default().team_size(2), tool.clone());
+        run_buggy(&rt, Preset::Test);
+        let reports = tool.reports();
+        assert!(
+            reports.iter().any(|r| r.kind == ReportKind::MappingUsd),
+            "stale access report expected: {reports:?}"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! §III-C "Repairing Data Mapping Issues": the runtime's automatic
+//! coherence mode (an X10CUDA/OpenARC-style manager, §VII-A) inserts the
+//! transfers the programmer forgot.
+//!
+//! The same buggy program runs twice: plain (wrong output + ARBALEST
+//! report with a suggested fix) and with `auto_coherence(true)` (correct
+//! output, no report). A UUM shows the limit of repair: when no valid
+//! copy exists anywhere, there is nothing to transfer.
+//!
+//! Run with: `cargo run --example auto_repair`
+
+use arbalest::core::{Arbalest, ArbalestConfig};
+use arbalest::prelude::*;
+use std::sync::Arc;
+
+const N: usize = 16;
+
+fn buggy_pipeline(rt: &Runtime) -> f64 {
+    // map(to:) both ways — results never copied back (benchmark 27's shape).
+    let a = rt.alloc_with::<f64>("a", N, |i| i as f64);
+    rt.target_data().map(Map::to(&a)).scope(|rt| {
+        rt.target().map(Map::to(&a)).run(move |k| {
+            k.par_for(0..N, |k, i| {
+                let v = k.read(&a, i);
+                k.write(&a, i, v * 10.0);
+            });
+        });
+    });
+    (0..N).map(|i| rt.read(&a, i)).sum()
+}
+
+fn main() {
+    let expected: f64 = (0..N).map(|i| (i * 10) as f64).sum();
+
+    // 1. Plain run: detection.
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default(), tool.clone());
+    let sum = buggy_pipeline(&rt);
+    println!("plain run:      sum = {sum}   (expected {expected})");
+    let report = &tool.reports()[0];
+    println!("  ARBALEST: {}", report.message);
+    println!("  suggested fix: {}\n", report.suggested_fix.as_deref().unwrap());
+    assert_ne!(sum, expected);
+
+    // 2. Auto-coherence run: avoidance.
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default().auto_coherence(true), tool.clone());
+    let sum = buggy_pipeline(&rt);
+    println!("auto-coherence: sum = {sum}   (expected {expected})");
+    println!("  ARBALEST reports: {}", tool.reports().len());
+    assert_eq!(sum, expected);
+    assert!(tool.reports().is_empty());
+
+    // 3. The unrepairable class: a UUM with no valid copy anywhere.
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default().auto_coherence(true), tool.clone());
+    let u = rt.alloc::<f64>("u", N); // never initialised
+    let out = rt.alloc::<f64>("out", N);
+    rt.target().map(Map::alloc(&u)).map(Map::from(&out)).run(move |k| {
+        k.par_for(0..N, |k, i| k.write(&out, i, k.read(&u, i)));
+    });
+    let uum = tool.reports().iter().filter(|r| r.kind == ReportKind::MappingUum).count();
+    println!("\nunrepairable UUM (no valid copy anywhere): {uum} report(s) — repair has limits (§III-C)");
+    assert!(uum > 0);
+}

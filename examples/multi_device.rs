@@ -1,0 +1,73 @@
+//! §IV-C's multi-accelerator extension: the VSM generalises to an
+//! (n+1)-tuple of storage locations, one per device plus the host.
+//!
+//! A pipeline moves data host → device 0 → host → device 1; forgetting
+//! the middle hop leaves device 1 with a stale corresponding variable,
+//! which ARBALEST attributes to the right device.
+//!
+//! Run with: `cargo run --example multi_device`
+
+use arbalest::core::{Arbalest, ArbalestConfig};
+use arbalest::prelude::*;
+use std::sync::Arc;
+
+const N: usize = 32;
+
+fn main() {
+    let d0 = DeviceId(1);
+    let d1 = DeviceId(2);
+
+    // Correct pipeline: explicit update hops.
+    let tool = Arc::new(Arbalest::new(ArbalestConfig { accelerators: 2, ..Default::default() }));
+    let rt = Runtime::with_tool(Config::default().accelerators(2), tool.clone());
+    let a = rt.alloc_with::<f64>("a", N, |i| i as f64);
+    rt.target_enter_data(d0, &[Map::to(&a)]);
+    rt.target_enter_data(d1, &[Map::to(&a)]);
+    rt.target().on_device(d0).map(Map::to(&a)).run(move |k| {
+        k.par_for(0..N, |k, i| {
+            let v = k.read(&a, i);
+            k.write(&a, i, v + 100.0);
+        });
+    });
+    rt.update_from_on(d0, &a); // device 0 → host
+    rt.update_to_on(d1, &a); //   host → device 1
+    rt.target().on_device(d1).map(Map::to(&a)).run(move |k| {
+        k.par_for(0..N, |k, i| {
+            let v = k.read(&a, i);
+            k.write(&a, i, v * 2.0);
+        });
+    });
+    rt.update_from_on(d1, &a);
+    rt.target_exit_data(d0, &[Map::release(&a)]);
+    rt.target_exit_data(d1, &[Map::release(&a)]);
+    println!("correct pipeline: a[1] = {} (expected 202)", rt.read(&a, 1));
+    assert_eq!(rt.read(&a, 1), 202.0);
+    assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    println!("  ARBALEST (multi-device shadow layout): clean\n");
+
+    // Broken pipeline: missing the device0 → host → device1 hops.
+    let tool = Arc::new(Arbalest::new(ArbalestConfig { accelerators: 2, ..Default::default() }));
+    let rt = Runtime::with_tool(Config::default().accelerators(2), tool.clone());
+    let a = rt.alloc_with::<f64>("a", N, |i| i as f64);
+    rt.target_enter_data(d0, &[Map::to(&a)]);
+    rt.target_enter_data(d1, &[Map::to(&a)]);
+    rt.target().on_device(d0).map(Map::to(&a)).run(move |k| {
+        k.par_for(0..N, |k, i| {
+            let v = k.read(&a, i);
+            k.write(&a, i, v + 100.0);
+        });
+    });
+    // BUG: no update hops — device 1 still holds the original values.
+    rt.target().on_device(d1).map(Map::to(&a)).run(move |k| {
+        k.par_for(0..N, |k, i| {
+            let v = k.read(&a, i); // stale on device 1
+            k.write(&a, i, v * 2.0);
+        });
+    });
+    let stale: Vec<_> =
+        tool.reports().into_iter().filter(|r| r.kind == ReportKind::MappingUsd).collect();
+    println!("broken pipeline: {} stale-access report(s)", stale.len());
+    assert!(!stale.is_empty());
+    print!("{}", stale[0].render());
+    assert_eq!(stale[0].device, d1, "attributed to the second accelerator");
+}

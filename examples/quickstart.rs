@@ -1,0 +1,52 @@
+//! Quickstart: write an offloading program, attach ARBALEST, and catch
+//! the Fig. 1 bug (DRACC_OMP_022) — a `map(alloc:)` that should have
+//! been `map(to:)`.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use arbalest::core::{Arbalest, ArbalestConfig};
+use arbalest::prelude::*;
+use std::sync::Arc;
+
+const N: usize = 64;
+
+fn main() {
+    // 1. Create a runtime with ARBALEST attached.
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default(), tool.clone());
+
+    // 2. Allocate tracked host buffers (the "original variables").
+    let a = rt.alloc_with::<f64>("a", N, |i| i as f64);
+    let b = rt.alloc_with::<f64>("b", N * 4, |_| 1.0);
+    let c = rt.alloc_with::<f64>("c", N, |_| 0.0);
+
+    // 3. Offload a matrix-vector-style kernel. The map clause for `b`
+    //    says `alloc` — the device copy is allocated but never filled.
+    //    (Figure 1 of the paper; the map-type should be `to`.)
+    rt.target()
+        .map(Map::to(&a))
+        .map(Map::alloc(&b)) // BUG
+        .map(Map::tofrom(&c))
+        .run(move |k| {
+            k.par_for(0..N, |k, i| {
+                let mut acc = k.read(&c, i);
+                for j in 0..4 {
+                    acc += k.read(&b, j + i * 4) * k.read(&a, (i + j) % N);
+                }
+                k.write(&c, i, acc);
+            });
+        });
+
+    // 4. The program "works" — it just computes garbage:
+    println!("c[0] = {} (expected 4.0 if b had been transferred)", rt.read(&c, 0));
+
+    // 5. ARBALEST pinpoints the root cause.
+    for report in tool.reports() {
+        print!("{}", report.render());
+    }
+    assert!(tool
+        .reports()
+        .iter()
+        .any(|r| r.kind == ReportKind::MappingUum && r.buffer.as_deref() == Some("b")));
+    println!("ARBALEST found the use of uninitialized memory in `b`'s corresponding variable.");
+}

@@ -1,0 +1,63 @@
+//! §III-B: unified memory does not prevent data mapping issues.
+//!
+//! The same `map(to:)`-only program behaves differently on the two memory
+//! models: under separate memories the host reads stale data; under
+//! unified memory the implicit flushes at target-region boundaries make
+//! the device's update visible. ARBALEST models both — and still rejects
+//! the *racy* unified program, which is exactly the residual bug class
+//! the paper identifies for unified memory.
+//!
+//! Run with: `cargo run --example unified_memory`
+
+use arbalest::core::{Arbalest, ArbalestConfig};
+use arbalest::prelude::*;
+use std::sync::Arc;
+
+fn increment_on_device(rt: &Runtime) -> i64 {
+    let a = rt.alloc_init::<i64>("a", &[1]);
+    rt.target().map(Map::to(&a)).run(move |k| {
+        k.for_each(0..1, |k, _| {
+            let v = k.read(&a, 0);
+            k.write(&a, 0, v + 1);
+        });
+    });
+    rt.read(&a, 0)
+}
+
+fn main() {
+    // Separate memory model: the host misses the device's increment.
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default(), tool.clone());
+    let v = increment_on_device(&rt);
+    println!("separate memories: host sees a = {v} (stale)");
+    assert_eq!(v, 1);
+    assert!(tool.reports().iter().any(|r| r.kind == ReportKind::MappingUsd));
+    println!("  ARBALEST: {} report(s), including use-of-stale-data\n", tool.reports().len());
+
+    // Unified memory: same program, shared storage + implicit flushes.
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default().unified(true), tool.clone());
+    let v = increment_on_device(&rt);
+    println!("unified memory:    host sees a = {v} (coherent)");
+    assert_eq!(v, 2);
+    assert!(tool.reports().is_empty(), "{:?}", tool.reports());
+    println!("  ARBALEST: no reports — the flushes synchronise the views\n");
+
+    // But unified memory cannot fix *concurrent* access without
+    // synchronization: the nowait hazard still races.
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default().unified(true).serialize(true), tool.clone());
+    let a = rt.alloc_init::<i64>("a", &[1]);
+    rt.target().map(Map::to(&a)).nowait().run(move |k| {
+        k.for_each(0..1, |k, _| k.write(&a, 0, 3));
+    });
+    rt.write(&a, 0, 9); // concurrent host write, no taskwait first
+    rt.taskwait();
+    let races = rt
+        .reports()
+        .iter()
+        .filter(|r| r.kind == ReportKind::DataRace)
+        .count();
+    println!("unified + unsynchronized nowait: {races} data race report(s)");
+    assert!(races > 0, "unified memory must not hide the race (§III-B)");
+}

@@ -1,0 +1,21 @@
+//! # arbalest
+//!
+//! Facade crate for the ARBALEST reproduction: re-exports the offloading
+//! runtime, the ARBALEST detector, the baseline tool models, and the
+//! benchmark suites under one prelude.
+//!
+//! See the workspace README for the architecture overview and
+//! EXPERIMENTS.md for the paper-vs-measured record.
+
+pub use arbalest_baselines as baselines;
+pub use arbalest_core as core;
+pub use arbalest_dracc as dracc;
+pub use arbalest_offload as offload;
+pub use arbalest_race as race;
+pub use arbalest_shadow as shadow;
+pub use arbalest_spec as spec;
+
+pub mod prelude {
+    //! Everything a detector-using program needs.
+    pub use arbalest_offload::prelude::*;
+}

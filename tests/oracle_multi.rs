@@ -1,0 +1,301 @@
+//! Multi-device differential oracle: the §IV-C (n+1)-tuple VSM checked
+//! against an independent model, over random two-accelerator programs.
+//!
+//! Same methodology as `tests/oracle.rs`, with the state generalised to
+//! one CV per device plus device-to-device copies.
+
+use arbalest::core::{Arbalest, ArbalestConfig};
+use arbalest::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const NBUF: usize = 2;
+const NDEV: usize = 2;
+const LEN: usize = 8;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    HostWrite(usize),
+    HostRead(usize),
+    KernelWrite(usize, u16),
+    KernelRead(usize, u16),
+    EnterTo(usize, u16),
+    EnterAlloc(usize, u16),
+    ExitFrom(usize, u16),
+    ExitRelease(usize, u16),
+    UpdateTo(usize, u16),
+    UpdateFrom(usize, u16),
+    DevCopy(usize, u16, u16),
+}
+
+impl Op {
+    fn buffer(self) -> usize {
+        match self {
+            Op::HostWrite(b)
+            | Op::HostRead(b)
+            | Op::KernelWrite(b, _)
+            | Op::KernelRead(b, _)
+            | Op::EnterTo(b, _)
+            | Op::EnterAlloc(b, _)
+            | Op::ExitFrom(b, _)
+            | Op::ExitRelease(b, _)
+            | Op::UpdateTo(b, _)
+            | Op::UpdateFrom(b, _)
+            | Op::DevCopy(b, _, _) => b,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Side {
+    valid: bool,
+    init: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ModelBuf {
+    host: Side,
+    cv: [Option<Side>; NDEV],
+    rc: [u32; NDEV],
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Verdict {
+    Legal,
+    IllegalRead(bool), // true = UUM
+    Skip,
+}
+
+fn classify(m: &ModelBuf, op: Op) -> Verdict {
+    match op {
+        Op::HostWrite(_) => Verdict::Legal,
+        Op::HostRead(_) => {
+            if m.host.valid {
+                Verdict::Legal
+            } else {
+                Verdict::IllegalRead(!m.host.init)
+            }
+        }
+        Op::KernelWrite(_, d) => {
+            if m.cv[d as usize].is_some() {
+                Verdict::Legal
+            } else {
+                Verdict::Skip
+            }
+        }
+        Op::KernelRead(_, d) => match m.cv[d as usize] {
+            Some(cv) if cv.valid => Verdict::Legal,
+            Some(cv) => Verdict::IllegalRead(!cv.init),
+            None => Verdict::Skip,
+        },
+        Op::EnterTo(_, _) | Op::EnterAlloc(_, _) => Verdict::Legal,
+        Op::ExitFrom(_, d) | Op::ExitRelease(_, d) | Op::UpdateTo(_, d) | Op::UpdateFrom(_, d) => {
+            if m.cv[d as usize].is_some() {
+                Verdict::Legal
+            } else {
+                Verdict::Skip
+            }
+        }
+        Op::DevCopy(_, s, t) => {
+            if s != t && m.cv[s as usize].is_some() && m.cv[t as usize].is_some() {
+                Verdict::Legal
+            } else {
+                Verdict::Skip
+            }
+        }
+    }
+}
+
+fn model_apply(m: &mut ModelBuf, op: Op) {
+    match op {
+        Op::HostWrite(_) => {
+            m.host = Side { valid: true, init: true };
+            for cv in m.cv.iter_mut().flatten() {
+                cv.valid = false;
+            }
+        }
+        Op::HostRead(_) | Op::KernelRead(_, _) => {}
+        Op::KernelWrite(_, d) => {
+            m.host.valid = false;
+            for (i, cv) in m.cv.iter_mut().enumerate() {
+                if let Some(cv) = cv {
+                    if i == d as usize {
+                        *cv = Side { valid: true, init: true };
+                    } else {
+                        cv.valid = false;
+                    }
+                }
+            }
+        }
+        Op::EnterTo(_, d) => {
+            let d = d as usize;
+            if m.cv[d].is_none() {
+                m.cv[d] = Some(m.host);
+                m.rc[d] = 1;
+            } else {
+                m.rc[d] += 1;
+            }
+        }
+        Op::EnterAlloc(_, d) => {
+            let d = d as usize;
+            if m.cv[d].is_none() {
+                m.cv[d] = Some(Side::default());
+                m.rc[d] = 1;
+            } else {
+                m.rc[d] += 1;
+            }
+        }
+        Op::ExitFrom(_, d) => {
+            let d = d as usize;
+            m.rc[d] = m.rc[d].saturating_sub(1);
+            if m.rc[d] == 0 {
+                m.host = m.cv[d].take().expect("classified");
+            }
+        }
+        Op::ExitRelease(_, d) => {
+            let d = d as usize;
+            m.rc[d] = m.rc[d].saturating_sub(1);
+            if m.rc[d] == 0 {
+                m.cv[d] = None;
+            }
+        }
+        Op::UpdateTo(_, d) => {
+            let host = m.host;
+            *m.cv[d as usize].as_mut().expect("classified") = host;
+        }
+        Op::UpdateFrom(_, d) => {
+            m.host = *m.cv[d as usize].as_ref().expect("classified");
+        }
+        Op::DevCopy(_, s, t) => {
+            let src = *m.cv[s as usize].as_ref().expect("classified");
+            *m.cv[t as usize].as_mut().expect("classified") = src;
+        }
+    }
+}
+
+struct Harness {
+    rt: Runtime,
+    tool: Arc<Arbalest>,
+    bufs: Vec<Buffer<f64>>,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        let tool =
+            Arc::new(Arbalest::new(ArbalestConfig { accelerators: NDEV as u16, ..Default::default() }));
+        let rt = Runtime::with_tool(Config::default().accelerators(NDEV as u16), tool.clone());
+        let bufs = (0..NBUF).map(|i| rt.alloc::<f64>(&format!("buf{i}"), LEN)).collect();
+        Harness { rt, tool, bufs }
+    }
+
+    fn dev(d: u16) -> DeviceId {
+        DeviceId(d + 1)
+    }
+
+    fn exec(&self, op: Op) {
+        let (rt, b) = (&self.rt, &self.bufs);
+        match op {
+            Op::HostWrite(i) => {
+                for j in 0..LEN {
+                    rt.write(&b[i], j, (i + j) as f64);
+                }
+            }
+            Op::HostRead(i) => {
+                for j in 0..LEN {
+                    std::hint::black_box(rt.read(&b[i], j));
+                }
+            }
+            Op::KernelWrite(i, d) => {
+                let buf = b[i];
+                rt.target().on_device(Self::dev(d)).map(Map::alloc(&buf)).run(move |k| {
+                    k.for_each(0..LEN, |k, j| k.write(&buf, j, j as f64));
+                });
+            }
+            Op::KernelRead(i, d) => {
+                let buf = b[i];
+                rt.target().on_device(Self::dev(d)).map(Map::alloc(&buf)).run(move |k| {
+                    k.for_each(0..LEN, |k, j| {
+                        std::hint::black_box(k.read(&buf, j));
+                    });
+                });
+            }
+            Op::EnterTo(i, d) => rt.target_enter_data(Self::dev(d), &[Map::to(&b[i])]),
+            Op::EnterAlloc(i, d) => rt.target_enter_data(Self::dev(d), &[Map::alloc(&b[i])]),
+            Op::ExitFrom(i, d) => rt.target_exit_data(Self::dev(d), &[Map::from(&b[i])]),
+            Op::ExitRelease(i, d) => rt.target_exit_data(Self::dev(d), &[Map::release(&b[i])]),
+            Op::UpdateTo(i, d) => rt.update_to_on(Self::dev(d), &b[i]),
+            Op::UpdateFrom(i, d) => rt.update_from_on(Self::dev(d), &b[i]),
+            Op::DevCopy(i, s, t) => rt.device_memcpy(Self::dev(s), Self::dev(t), &b[i]),
+        }
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0usize..NBUF, 0u16..NDEV as u16, 0u16..NDEV as u16).prop_flat_map(|(i, d, d2)| {
+        prop_oneof![
+            Just(Op::HostWrite(i)),
+            Just(Op::HostRead(i)),
+            Just(Op::KernelWrite(i, d)),
+            Just(Op::KernelRead(i, d)),
+            Just(Op::EnterTo(i, d)),
+            Just(Op::EnterAlloc(i, d)),
+            Just(Op::ExitFrom(i, d)),
+            Just(Op::ExitRelease(i, d)),
+            Just(Op::UpdateTo(i, d)),
+            Just(Op::UpdateFrom(i, d)),
+            Just(Op::DevCopy(i, d, d2)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn legal_multi_device_programs_are_report_free(
+        ops in prop::collection::vec(arb_op(), 1..50)
+    ) {
+        let h = Harness::new();
+        let mut model = [ModelBuf::default(); NBUF];
+        for op in ops {
+            let i = op.buffer();
+            if classify(&model[i], op) == Verdict::Legal {
+                model_apply(&mut model[i], op);
+                h.exec(op);
+            }
+        }
+        let reports = h.tool.reports();
+        prop_assert!(reports.is_empty(), "false positives: {:?}",
+            reports.iter().map(|r| (r.kind, r.message.clone())).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn illegal_multi_device_reads_are_classified(
+        ops in prop::collection::vec(arb_op(), 1..40),
+        probe_buf in 0usize..NBUF,
+        probe_dev in 0u16..=(NDEV as u16), // NDEV means "host"
+    ) {
+        let h = Harness::new();
+        let mut model = [ModelBuf::default(); NBUF];
+        for op in ops {
+            let i = op.buffer();
+            if classify(&model[i], op) == Verdict::Legal {
+                model_apply(&mut model[i], op);
+                h.exec(op);
+            }
+        }
+        let read = if probe_dev == NDEV as u16 {
+            Op::HostRead(probe_buf)
+        } else {
+            Op::KernelRead(probe_buf, probe_dev)
+        };
+        if let Verdict::IllegalRead(uninit) = classify(&model[probe_buf], read) {
+            h.exec(read);
+            let want = if uninit { ReportKind::MappingUum } else { ReportKind::MappingUsd };
+            let reports = h.tool.reports();
+            prop_assert!(reports.iter().any(|r| r.kind == want),
+                "expected {:?} for {:?}, got {:?}", want, read,
+                reports.iter().map(|r| r.kind).collect::<Vec<_>>());
+        }
+    }
+}

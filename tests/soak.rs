@@ -1,0 +1,104 @@
+//! Long-running randomized soak test (ignored by default; run with
+//! `cargo test --test soak -- --ignored`). Hammers the full stack —
+//! random programs, all five tools attached at once, real concurrency —
+//! and checks the global invariants: no false positives on oracle-legal
+//! programs and no panics/deadlocks anywhere.
+
+use arbalest::baselines::{AddressSanitizer, Archer, Memcheck, MemorySanitizer};
+use arbalest::core::{Arbalest, ArbalestConfig};
+use arbalest::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic xorshift so failures are reproducible by seed.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_correct_program(rt: &Runtime, seed: u64) {
+    let mut rng = Rng(seed | 1);
+    let n = 64 + rng.below(192) as usize;
+    let a = rt.alloc_with::<f64>("a", n, |i| i as f64);
+    let b = rt.alloc_with::<f64>("b", n, |_| 1.0);
+    for _ in 0..(2 + rng.below(4)) {
+        match rng.below(4) {
+            0 => {
+                rt.target().map(Map::tofrom(&a)).map(Map::to(&b)).run(move |k| {
+                    k.par_for(0..n, |k, i| {
+                        let v = k.read(&a, i) + k.read(&b, i);
+                        k.write(&a, i, v);
+                    });
+                });
+            }
+            1 => {
+                let h = rt.target().map(Map::tofrom(&b)).nowait().run(move |k| {
+                    k.par_for(0..n, |k, i| {
+                        let v = k.read(&b, i);
+                        k.write(&b, i, v * 1.5);
+                    });
+                });
+                h.wait();
+            }
+            2 => {
+                rt.target().map(Map::to(&a)).map(Map::tofrom(&b)).run(move |k| {
+                    let s = k.par_reduce(0..n, 0.0, |k, i| k.read(&a, i), |x, y| x + y);
+                    k.write(&b, 0, s);
+                });
+            }
+            _ => {
+                for i in 0..n {
+                    let v = rt.read(&a, i);
+                    rt.write(&a, i, v + 1.0);
+                }
+            }
+        }
+    }
+    rt.taskwait();
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += rt.read(&a, i) + rt.read(&b, i);
+    }
+    assert!(acc.is_finite());
+}
+
+#[test]
+#[ignore = "long-running soak; run explicitly"]
+fn soak_all_tools_no_false_positives() {
+    for seed in 0..200u64 {
+        let rt = Runtime::new(Config::default().team_size(4));
+        rt.attach(Arc::new(Arbalest::new(ArbalestConfig::default())));
+        rt.attach(Arc::new(Memcheck::new()));
+        rt.attach(Arc::new(Archer::new()));
+        rt.attach(Arc::new(AddressSanitizer::new()));
+        rt.attach(Arc::new(MemorySanitizer::new()));
+        random_correct_program(&rt, seed);
+        let reports = rt.reports();
+        assert!(
+            reports.is_empty(),
+            "seed {seed}: false positives: {:?}",
+            reports.iter().map(|r| (r.tool, r.kind, r.message.clone())).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn mini_soak_smoke() {
+    // The unignored cousin: a handful of seeds so CI always exercises
+    // the path.
+    for seed in 0..8u64 {
+        let rt = Runtime::new(Config::default().team_size(2));
+        rt.attach(Arc::new(Arbalest::new(ArbalestConfig::default())));
+        random_correct_program(&rt, seed);
+        assert!(rt.reports().is_empty());
+    }
+}
