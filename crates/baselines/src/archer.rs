@@ -9,7 +9,7 @@ use arbalest_offload::buffer::BufferInfo;
 use arbalest_offload::events::{AccessEvent, SyncEvent, Tool, TransferEvent};
 use arbalest_offload::report::{Report, ReportKind};
 use arbalest_race::RaceEngine;
-use parking_lot::RwLock;
+use arbalest_sync::RwLock;
 use std::collections::HashMap;
 
 /// The Archer data race detector model.

@@ -13,7 +13,7 @@ use crate::sink::ReportSink;
 use arbalest_offload::buffer::BufferInfo;
 use arbalest_offload::events::{AccessEvent, Tool, TransferEvent, TransferKind};
 use arbalest_offload::report::{Report, ReportKind};
-use parking_lot::RwLock;
+use arbalest_sync::RwLock;
 use std::collections::BTreeMap;
 use std::panic::Location;
 

@@ -24,7 +24,7 @@ use arbalest_offload::buffer::BufferInfo;
 use arbalest_offload::events::{AccessEvent, DataOpEvent, DataOpKind, Tool, TransferEvent};
 use arbalest_offload::report::{Report, ReportKind};
 use arbalest_shadow::ShadowMemory;
-use parking_lot::Mutex;
+use arbalest_sync::Mutex;
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Copy)]

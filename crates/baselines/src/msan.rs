@@ -21,7 +21,7 @@ use arbalest_offload::buffer::BufferInfo;
 use arbalest_offload::events::{AccessEvent, DataOpEvent, DataOpKind, Tool, TransferEvent};
 use arbalest_offload::report::{Report, ReportKind};
 use arbalest_shadow::ShadowMemory;
-use parking_lot::RwLock;
+use arbalest_sync::RwLock;
 use std::collections::HashMap;
 
 /// Per-granule shadow: bit `i` set ⇒ byte `i` is poisoned (uninitialised).

@@ -1,7 +1,7 @@
 //! Shared report sink with per-site deduplication, used by every baseline.
 
 use arbalest_offload::report::{Report, ReportKind};
-use parking_lot::Mutex;
+use arbalest_sync::Mutex;
 use std::collections::HashSet;
 use std::panic::Location;
 

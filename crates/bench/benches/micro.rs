@@ -6,74 +6,93 @@
 //!   mapped sections m and observe the flat/logarithmic curve.
 //! * `word_codec`     — Table II encode/decode round-trip.
 //! * `race_check`     — the FastTrack epoch comparison on the hot path.
+//!
+//! Self-contained timing harness (`harness = false`, no external crates):
+//! each benchmark runs a short warm-up, then timed batches, and prints
+//! the per-iteration latency in nanoseconds.
 
 use arbalest_core::vsm::{self, StorageLoc, VsmOp};
 use arbalest_race::RaceEngine;
 use arbalest_shadow::{GranuleState, IntervalTree, Layout, ShadowMemory};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_vsm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vsm_transition");
+/// Run `f` under warm-up + measurement and print ns/iter.
+fn bench(name: &str, mut f: impl FnMut()) {
+    let warmup = Duration::from_millis(200);
+    let measure = Duration::from_millis(800);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < warmup {
+        f();
+        iters += 1;
+    }
+    // Size batches off the warm-up rate so clock reads stay negligible.
+    let batch = (iters / 20).max(1);
+    let mut total_iters = 0u64;
+    let mut elapsed = Duration::ZERO;
+    while elapsed < measure {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        elapsed += t0.elapsed();
+        total_iters += batch;
+    }
+    let ns = elapsed.as_nanos() as f64 / total_iters as f64;
+    println!("{name:<40} {ns:>10.1} ns/iter  ({total_iters} iters)");
+}
+
+fn bench_vsm() {
     let states = [
         GranuleState::default(),
         GranuleState { valid_mask: 1, init_mask: 1, ..Default::default() },
         GranuleState { valid_mask: 2, init_mask: 2, ..Default::default() },
         GranuleState { valid_mask: 3, init_mask: 3, ..Default::default() },
     ];
-    group.bench_function("write_host", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let s = states[i & 3];
-            i += 1;
-            black_box(vsm::apply(s, VsmOp::Write(StorageLoc::Host)))
-        })
+    let mut i = 0usize;
+    bench("vsm_transition/write_host", || {
+        let s = states[i & 3];
+        i += 1;
+        black_box(vsm::apply(s, VsmOp::Write(StorageLoc::Host)));
     });
-    group.bench_function("read_device_checked", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let s = states[i & 3];
-            i += 1;
-            black_box(vsm::apply(s, VsmOp::Read(StorageLoc::Device(1))))
-        })
+    let mut i = 0usize;
+    bench("vsm_transition/read_device_checked", || {
+        let s = states[i & 3];
+        i += 1;
+        black_box(vsm::apply(s, VsmOp::Read(StorageLoc::Device(1))));
     });
-    group.finish();
 }
 
-fn bench_shadow(c: &mut Criterion) {
+fn bench_shadow() {
     let shadow = ShadowMemory::new(1);
     let layout = Layout::TableII;
-    c.bench_function("shadow_cas_update", |b| {
-        let mut addr = 0x1000u64;
-        b.iter(|| {
-            addr = addr.wrapping_add(8) & 0xFFFF;
-            shadow.update(0x10000 + addr, 0, |w| {
-                let s = layout.decode(w);
-                let (next, _) = vsm::apply(s, VsmOp::Write(StorageLoc::Host));
-                layout.encode(next)
-            })
-        })
+    let mut addr = 0x1000u64;
+    bench("shadow_cas_update", || {
+        addr = addr.wrapping_add(8) & 0xFFFF;
+        shadow.update(0x10000 + addr, 0, |w| {
+            let s = layout.decode(w);
+            let (next, _) = vsm::apply(s, VsmOp::Write(StorageLoc::Host));
+            layout.encode(next)
+        });
     });
 }
 
-fn bench_interval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("interval_stab");
+fn bench_interval() {
     for m in [1usize, 8, 64, 512, 4096] {
         let mut tree = IntervalTree::new();
         for i in 0..m as u64 {
             tree.insert(i * 1024, i * 1024 + 512, i);
         }
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
-            let mut i = 0u64;
-            b.iter(|| {
-                i = (i + 7919) % m as u64;
-                black_box(tree.stab(i * 1024 + 256))
-            })
+        let mut i = 0u64;
+        bench(&format!("interval_stab/{m}"), || {
+            i = (i + 7919) % m as u64;
+            black_box(tree.stab(i * 1024 + 256));
         });
     }
-    group.finish();
 }
 
-fn bench_word(c: &mut Criterion) {
+fn bench_word() {
     let layout = Layout::TableII;
     let s = GranuleState {
         valid_mask: 0b11,
@@ -84,26 +103,25 @@ fn bench_word(c: &mut Criterion) {
         access_size: 8,
         addr_offset: 0,
     };
-    c.bench_function("word_codec_roundtrip", |b| {
-        b.iter(|| black_box(layout.decode(layout.encode(black_box(s)))))
+    bench("word_codec_roundtrip", || {
+        black_box(layout.decode(layout.encode(black_box(s))));
     });
 }
 
-fn bench_race(c: &mut Criterion) {
+fn bench_race() {
     let engine = RaceEngine::new();
     engine.fork(0, 1);
-    c.bench_function("race_check_write", |b| {
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = addr.wrapping_add(8) & 0xFFFF;
-            black_box(engine.check_write(1, 0x40000 + addr, 8))
-        })
+    let mut addr = 0u64;
+    bench("race_check_write", || {
+        addr = addr.wrapping_add(8) & 0xFFFF;
+        black_box(engine.check_write(1, 0x40000 + addr, 8));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_vsm, bench_shadow, bench_interval, bench_word, bench_race
+fn main() {
+    bench_vsm();
+    bench_shadow();
+    bench_interval();
+    bench_word();
+    bench_race();
 }
-criterion_main!(benches);

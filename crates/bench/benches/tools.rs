@@ -1,18 +1,20 @@
-//! End-to-end per-tool overhead on a fixed kernel — the criterion-grade
-//! companion to `fig8`: one memory-bound kernel (saxpy over a mapped
-//! array) run native and under each of the five tools.
+//! End-to-end per-tool overhead on a fixed kernel — the timed companion
+//! to `fig8`: one memory-bound kernel (saxpy over a mapped array) run
+//! native and under each of the five tools.
 //!
 //! Also includes the ablation benches DESIGN.md calls out:
 //! * `arbalest_no_races` — VSM only, race engine off (how much of
 //!   ARBALEST's cost is Archer's, §VI-E);
 //! * `arbalest_no_cache` — interval-tree lookups without the one-entry
 //!   cache (§IV-C's amortisation claim).
+//!
+//! Self-contained timing harness (`harness = false`, no external crates).
 
 use arbalest_bench::make_tool;
 use arbalest_core::{Arbalest, ArbalestConfig};
 use arbalest_offload::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const N: usize = 4096;
 
@@ -28,45 +30,46 @@ fn saxpy(rt: &Runtime) -> f64 {
     rt.read(&y, N - 1)
 }
 
-fn bench_tools(c: &mut Criterion) {
-    let mut group = c.benchmark_group("saxpy_4k");
-    group.bench_function("native", |b| {
-        b.iter(|| saxpy(&Runtime::new(Config::default().team_size(2))))
-    });
-    for tool in ["arbalest", "archer", "asan", "msan", "memcheck"] {
-        group.bench_function(tool, |b| {
-            b.iter(|| {
-                let rt = Runtime::with_tool(Config::default().team_size(2), make_tool(tool));
-                saxpy(&rt)
-            })
-        });
+/// Run `f` under warm-up + measurement and print ms/iter.
+fn bench(name: &str, mut f: impl FnMut() -> f64) {
+    let warmup = Duration::from_millis(300);
+    let measure = Duration::from_secs(2);
+    let start = Instant::now();
+    while start.elapsed() < warmup {
+        std::hint::black_box(f());
     }
-    group.bench_function("arbalest_no_races", |b| {
-        b.iter(|| {
-            let tool = Arc::new(Arbalest::new(ArbalestConfig {
-                check_races: false,
-                ..Default::default()
-            }));
-            let rt = Runtime::with_tool(Config::default().team_size(2), tool);
-            saxpy(&rt)
-        })
-    });
-    group.bench_function("arbalest_no_cache", |b| {
-        b.iter(|| {
-            let tool = Arc::new(Arbalest::new(ArbalestConfig {
-                lookup_cache: false,
-                ..Default::default()
-            }));
-            let rt = Runtime::with_tool(Config::default().team_size(2), tool);
-            saxpy(&rt)
-        })
-    });
-    group.finish();
+    let mut iters = 0u64;
+    let t0 = Instant::now();
+    while t0.elapsed() < measure {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("saxpy_4k/{name:<20} {ms:>9.3} ms/iter  ({iters} iters)");
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_tools
+fn main() {
+    bench("native", || saxpy(&Runtime::new(Config::default().team_size(2))));
+    for tool in ["arbalest", "archer", "asan", "msan", "memcheck"] {
+        bench(tool, || {
+            let rt = Runtime::with_tool(Config::default().team_size(2), make_tool(tool));
+            saxpy(&rt)
+        });
+    }
+    bench("arbalest_no_races", || {
+        let tool = Arc::new(Arbalest::new(ArbalestConfig {
+            check_races: false,
+            ..Default::default()
+        }));
+        let rt = Runtime::with_tool(Config::default().team_size(2), tool);
+        saxpy(&rt)
+    });
+    bench("arbalest_no_cache", || {
+        let tool = Arc::new(Arbalest::new(ArbalestConfig {
+            lookup_cache: false,
+            ..Default::default()
+        }));
+        let rt = Runtime::with_tool(Config::default().team_size(2), tool);
+        saxpy(&rt)
+    });
 }
-criterion_main!(benches);

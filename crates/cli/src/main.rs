@@ -13,6 +13,7 @@
 //!   --serialize        Theorem-1 serialized nowait execution
 //!   --team <n>         kernel team size (default 4)
 //!   --quiet            suppress rendered reports
+//!   --faults seed=N,rate=P   deterministic fault injection (rate in [0,1])
 //! ```
 
 use arbalest_baselines::{AddressSanitizer, Archer, Memcheck, MemorySanitizer};
@@ -29,6 +30,7 @@ struct Options {
     serialize: bool,
     team: usize,
     quiet: bool,
+    faults: FaultConfig,
 }
 
 impl Default for Options {
@@ -40,8 +42,30 @@ impl Default for Options {
             serialize: false,
             team: 4,
             quiet: false,
+            faults: FaultConfig::disabled(),
         }
     }
+}
+
+/// Parse `seed=N,rate=P` (either key optional, any order) for `--faults`.
+fn parse_faults(spec: &str) -> Result<FaultConfig, String> {
+    let mut seed = 0u64;
+    let mut rate = 0.0f64;
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        match part.split_once('=') {
+            Some(("seed", v)) => {
+                seed = v.parse().map_err(|_| format!("bad fault seed '{v}'"))?;
+            }
+            Some(("rate", v)) => {
+                rate = v.parse().map_err(|_| format!("bad fault rate '{v}'"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("fault rate {rate} outside [0, 1]"));
+                }
+            }
+            _ => return Err(format!("bad --faults component '{part}' (want seed=N,rate=P)")),
+        }
+    }
+    Ok(FaultConfig::new(seed, rate))
 }
 
 fn usage() -> ExitCode {
@@ -62,6 +86,7 @@ options:
   --serialize                serialize nowait kernels (analysis schedule)
   --team <n>                 kernel team size
   --quiet                    summary only, no rendered reports
+  --faults seed=N,rate=P     deterministic fault injection (rate in [0,1])
 ";
 
 fn make_tool(name: &str) -> Option<Arc<dyn Tool>> {
@@ -104,6 +129,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok_or("--team needs a number")?;
             }
             "--quiet" => opts.quiet = true,
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs seed=N,rate=P")?;
+                opts.faults = parse_faults(v)?;
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -117,7 +146,8 @@ fn runtime_for(opts: &Options, tool: &str) -> Runtime {
     let cfg = Config::default()
         .team_size(opts.team)
         .unified(opts.unified)
-        .serialize(opts.serialize);
+        .serialize(opts.serialize)
+        .fault_config(opts.faults);
     Runtime::with_tool(cfg, make_tool(tool).expect("validated"))
 }
 

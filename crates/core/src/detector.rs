@@ -19,7 +19,7 @@ use arbalest_offload::events::{
 use arbalest_offload::report::{PrevAccess, Report, ReportKind};
 use arbalest_race::RaceEngine;
 use arbalest_shadow::{IntervalTree, Layout, ShadowMemory};
-use parking_lot::{Mutex, RwLock};
+use arbalest_sync::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::panic::Location;
 

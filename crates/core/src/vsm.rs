@@ -444,59 +444,97 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
 
-    fn arb_op() -> impl Strategy<Value = VsmOp> {
-        prop_oneof![
-            Just(VsmOp::Read(StorageLoc::Host)),
-            (1u8..4).prop_map(|d| VsmOp::Read(StorageLoc::Device(d))),
-            Just(VsmOp::Write(StorageLoc::Host)),
-            (1u8..4).prop_map(|d| VsmOp::Write(StorageLoc::Device(d))),
-            (1u8..4).prop_map(VsmOp::UpdateToDevice),
-            (1u8..4).prop_map(VsmOp::UpdateFromDevice),
-            (1u8..4).prop_map(VsmOp::Allocate),
-            (1u8..4).prop_map(VsmOp::Release),
-            (1u8..4).prop_map(VsmOp::Flush),
-        ]
+    /// Deterministic xorshift64* generator: the proptest strategies these
+    /// properties were written with are replayed as seeded loops so the
+    /// suite builds hermetically (no external crates).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
     }
 
-    proptest! {
-        /// Invariant: a location is valid only if it is initialised —
-        /// validity implies initialisation, for every operation sequence.
-        #[test]
-        fn valid_implies_initialised(ops in prop::collection::vec(arb_op(), 0..64)) {
+    fn random_op(rng: &mut Rng) -> VsmOp {
+        let d = 1 + rng.below(3) as u8;
+        match rng.below(9) {
+            0 => VsmOp::Read(StorageLoc::Host),
+            1 => VsmOp::Read(StorageLoc::Device(d)),
+            2 => VsmOp::Write(StorageLoc::Host),
+            3 => VsmOp::Write(StorageLoc::Device(d)),
+            4 => VsmOp::UpdateToDevice(d),
+            5 => VsmOp::UpdateFromDevice(d),
+            6 => VsmOp::Allocate(d),
+            7 => VsmOp::Release(d),
+            _ => VsmOp::Flush(d),
+        }
+    }
+
+    fn random_loc(rng: &mut Rng) -> StorageLoc {
+        match rng.below(4) as u8 {
+            0 => StorageLoc::Host,
+            d => StorageLoc::Device(d),
+        }
+    }
+
+    /// Invariant: a location is valid only if it is initialised —
+    /// validity implies initialisation, for every operation sequence.
+    #[test]
+    fn valid_implies_initialised() {
+        for seed in 1..=256u64 {
+            let mut rng = Rng(seed.wrapping_mul(0x9E3779B97F4A7C15));
             let mut s = GranuleState::default();
-            for op in ops {
+            for _ in 0..64 {
+                let op = random_op(&mut rng);
                 let (next, _) = apply(s, op);
-                prop_assert_eq!(next.valid_mask & !next.init_mask, 0,
-                    "valid but uninitialised after {:?}", op);
+                assert_eq!(
+                    next.valid_mask & !next.init_mask,
+                    0,
+                    "valid but uninitialised after {op:?} (seed {seed})"
+                );
                 s = next;
             }
         }
+    }
 
-        /// Reads never alter the state.
-        #[test]
-        fn reads_are_pure(ops in prop::collection::vec(arb_op(), 0..32), d in 0u8..4) {
+    /// Reads never alter the state.
+    #[test]
+    fn reads_are_pure() {
+        for seed in 1..=256u64 {
+            let mut rng = Rng(seed.wrapping_mul(0x9E3779B97F4A7C15));
             let mut s = GranuleState::default();
-            for op in ops {
-                s = apply(s, op).0;
+            for _ in 0..32 {
+                s = apply(s, random_op(&mut rng)).0;
             }
-            let loc = if d == 0 { StorageLoc::Host } else { StorageLoc::Device(d) };
+            let loc = random_loc(&mut rng);
             let (next, _) = apply(s, VsmOp::Read(loc));
-            prop_assert_eq!(next, s);
+            assert_eq!(next, s, "read of {loc:?} mutated state (seed {seed})");
         }
+    }
 
-        /// A read immediately after a write to the same location succeeds.
-        #[test]
-        fn read_after_write_is_legal(ops in prop::collection::vec(arb_op(), 0..32), d in 0u8..4) {
+    /// A read immediately after a write to the same location succeeds.
+    #[test]
+    fn read_after_write_is_legal() {
+        for seed in 1..=256u64 {
+            let mut rng = Rng(seed.wrapping_mul(0x9E3779B97F4A7C15));
             let mut s = GranuleState::default();
-            for op in ops {
-                s = apply(s, op).0;
+            for _ in 0..32 {
+                s = apply(s, random_op(&mut rng)).0;
             }
-            let loc = if d == 0 { StorageLoc::Host } else { StorageLoc::Device(d) };
+            let loc = random_loc(&mut rng);
             let (s, _) = apply(s, VsmOp::Write(loc));
             let (_, v) = apply(s, VsmOp::Read(loc));
-            prop_assert!(v.is_none());
+            assert!(v.is_none(), "read-after-write of {loc:?} flagged (seed {seed})");
         }
     }
 }

@@ -1,0 +1,166 @@
+//! Typed error vocabulary for the offload runtime.
+//!
+//! The runtime's recovery posture (see DESIGN.md, "Failure model &
+//! recovery"): transient device faults are retried with exponential
+//! backoff, permanent device faults degrade to host execution, and API
+//! misuse is recorded and survived instead of panicking. Every abnormal
+//! path that used to `panic!`/`assert!` now produces one of these values;
+//! the runtime keeps a log queryable via
+//! [`crate::runtime::Runtime::errors`], and `try_*` method variants return
+//! them directly.
+
+use crate::addr::DeviceId;
+use crate::buffer::BufferId;
+use crate::events::{TaskId, TransferKind};
+use std::fmt;
+
+/// Everything that can go wrong inside the offloading runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Device memory allocation for a corresponding variable failed and
+    /// retries were exhausted (or the failure was permanent). The
+    /// construct's already-committed mappings were rolled back and the
+    /// region fell back to host execution.
+    DeviceAllocFailed {
+        /// Device whose allocator failed.
+        device: DeviceId,
+        /// Buffer whose CV could not be allocated.
+        buffer: BufferId,
+        /// Requested length in bytes.
+        len: u64,
+        /// Number of allocation attempts made.
+        attempts: u32,
+    },
+    /// One attempt of an OV↔CV transfer faulted. `copied` bytes (a prefix,
+    /// possibly zero) reached the destination before the fault; the
+    /// runtime retried and eventually completed the transfer via the
+    /// degraded word-wise path, so this is a diagnostic, not a data loss.
+    TransferIncomplete {
+        /// Buffer being transferred.
+        buffer: BufferId,
+        /// Transfer direction.
+        kind: TransferKind,
+        /// Bytes the transfer was asked to move.
+        requested: u64,
+        /// Bytes that actually arrived before the fault (prefix).
+        copied: u64,
+        /// 1-based attempt number that faulted.
+        attempt: u32,
+    },
+    /// A kernel launch failed permanently (or exhausted its retries); the
+    /// target region executed on the host instead.
+    KernelLaunchFailed {
+        /// Device that refused the launch.
+        device: DeviceId,
+        /// Task of the target region.
+        task: TaskId,
+        /// Number of launch attempts made.
+        attempts: u32,
+    },
+    /// `free` of a block that was already freed.
+    DoubleFree {
+        /// Base address of the dead block.
+        addr: u64,
+    },
+    /// `free` of an address that was never an allocation base.
+    UnknownFree {
+        /// The bogus address.
+        addr: u64,
+    },
+    /// Host access with an index past the end of the buffer. The access
+    /// was not performed; reads return a zero value.
+    OutOfRange {
+        /// Buffer addressed.
+        buffer: BufferId,
+        /// Offending element index.
+        index: usize,
+        /// Buffer length in elements.
+        len: usize,
+        /// True for writes.
+        is_write: bool,
+    },
+    /// A `BufferId` that this runtime never allocated (e.g. a handle from
+    /// another runtime instance).
+    UnknownBuffer {
+        /// The foreign id.
+        buffer: BufferId,
+    },
+    /// A device id outside this runtime's configured accelerators (or the
+    /// host where an accelerator is required).
+    InvalidDevice {
+        /// The invalid id.
+        device: DeviceId,
+    },
+    /// `atomic_update` on a scalar narrower than 8 bytes; the update was
+    /// applied non-atomically instead.
+    UnsupportedAtomicSize {
+        /// The scalar's size in bytes.
+        size: usize,
+    },
+    /// Present-table commit raced with an entry disappearing — the plan
+    /// was made against a stale table. The commit became a no-op.
+    StaleMapping {
+        /// Buffer whose entry vanished.
+        buffer: BufferId,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::DeviceAllocFailed { device, buffer, len, attempts } => write!(
+                f,
+                "device allocation of {len} bytes for {buffer:?} failed on {device} after {attempts} attempts; fell back to host"
+            ),
+            RuntimeError::TransferIncomplete { buffer, kind, requested, copied, attempt } => write!(
+                f,
+                "{kind:?} transfer of {buffer:?} faulted on attempt {attempt}: {copied}/{requested} bytes copied; retried"
+            ),
+            RuntimeError::KernelLaunchFailed { device, task, attempts } => write!(
+                f,
+                "kernel launch of task {task:?} on {device} failed after {attempts} attempts; ran on host"
+            ),
+            RuntimeError::DoubleFree { addr } => write!(f, "double free at {addr:#x}"),
+            RuntimeError::UnknownFree { addr } => write!(f, "free of unknown block at {addr:#x}"),
+            RuntimeError::OutOfRange { buffer, index, len, is_write } => write!(
+                f,
+                "host {} of element {index} past the end of {buffer:?} (len {len})",
+                if *is_write { "write" } else { "read" }
+            ),
+            RuntimeError::UnknownBuffer { buffer } => {
+                write!(f, "{buffer:?} was not allocated by this runtime")
+            }
+            RuntimeError::InvalidDevice { device } => {
+                write!(f, "{device} is not a configured accelerator")
+            }
+            RuntimeError::UnsupportedAtomicSize { size } => {
+                write!(f, "atomic update on a {size}-byte scalar (8 bytes required); applied non-atomically")
+            }
+            RuntimeError::StaleMapping { buffer } => {
+                write!(f, "present-table commit for {buffer:?} was planned against a stale table")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = RuntimeError::DeviceAllocFailed {
+            device: DeviceId::ACCEL0,
+            buffer: BufferId(3),
+            len: 512,
+            attempts: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("512"));
+        assert!(s.contains("host"));
+        let e = RuntimeError::DoubleFree { addr: 0x1000 };
+        assert!(e.to_string().contains("0x1000"));
+    }
+}

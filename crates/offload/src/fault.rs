@@ -1,0 +1,263 @@
+//! Deterministic fault injection for the offload runtime.
+//!
+//! Real offloading stacks fail in the field in ways unit tests rarely
+//! exercise: device OOM, interrupted DMA, kernels that refuse to launch,
+//! asynchronous completions that arrive late. This module gives the
+//! simulated runtime the same failure surface in a *reproducible* form: a
+//! [`FaultPlan`] seeded from [`FaultConfig`] makes every fault decision by
+//! hashing `(seed, decision-counter, site)` with SplitMix64, so a failing
+//! soak seed replays exactly (for single-threaded schedules the decision
+//! sequence is fully deterministic; with concurrent `nowait` regions the
+//! per-decision outcomes remain seed-stable even though their interleaving
+//! does not).
+//!
+//! The injected fault kinds and how the runtime recovers:
+//!
+//! * **Device allocation failure** (OOM) — transient failures are retried
+//!   with exponential backoff; a permanent failure rolls back the
+//!   construct's committed mappings and degrades to host execution.
+//! * **Transfer failure**, full or *partial* (the first K bytes arrive) —
+//!   always treated as transient: retried, and after [`MAX_RETRIES`] the
+//!   degraded word-wise copy path completes the transfer. Transfers never
+//!   fail permanently, so mapped data is never silently stale.
+//! * **Kernel-launch failure** — transient launches retry; a permanent
+//!   failure runs the region body on the host with coherence pull/push.
+//! * **Delayed `nowait` completion** — the asynchronous task's completion
+//!   latch fires late, widening the race window `nowait` already opens.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Attempts made before a faulting operation is declared permanent (for
+/// allocation / launch) or routed to the degraded path (for transfers).
+pub const MAX_RETRIES: u32 = 4;
+
+/// Fault-injection configuration carried by
+/// [`crate::runtime::Config::faults`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the deterministic decision stream.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any single fault site fires.
+    pub rate: f64,
+}
+
+impl FaultConfig {
+    /// No faults (the default).
+    pub const fn disabled() -> FaultConfig {
+        FaultConfig { seed: 0, rate: 0.0 }
+    }
+
+    /// A plan injecting faults at `rate` with the given `seed`.
+    pub fn new(seed: u64, rate: f64) -> FaultConfig {
+        FaultConfig { seed, rate: rate.clamp(0.0, 1.0) }
+    }
+
+    /// Whether any fault can ever fire.
+    pub fn enabled(&self) -> bool {
+        self.rate > 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::disabled()
+    }
+}
+
+/// Where in the runtime a fault decision is being made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// CV allocation in a device memory.
+    DeviceAlloc,
+    /// OV → CV transfer (entry map, `update to`).
+    TransferToDevice,
+    /// CV → OV transfer (exit map, `update from`).
+    TransferFromDevice,
+    /// Launch of a target-region kernel.
+    KernelLaunch,
+    /// Completion signalling of a `nowait` task.
+    NowaitComplete,
+}
+
+/// Outcome of one fault decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// No fault; proceed normally.
+    None,
+    /// Operation failed wholesale but is worth retrying.
+    Transient,
+    /// Operation failed and will keep failing; recover by degradation.
+    Permanent,
+    /// Transfer moved only a prefix: `frac256/256` of the words arrived.
+    Partial {
+        /// Numerator of the fraction of words copied, over 256.
+        frac256: u8,
+    },
+    /// Completion is delayed by `micros` microseconds.
+    Delay {
+        /// Delay length in microseconds.
+        micros: u64,
+    },
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded, thread-safe fault decision stream.
+pub struct FaultPlan {
+    seed: u64,
+    /// Fault iff the site draw is below this; `0` disables everything.
+    threshold: u64,
+    counter: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Build the plan for a configuration.
+    pub fn new(cfg: FaultConfig) -> FaultPlan {
+        let rate = cfg.rate.clamp(0.0, 1.0);
+        let threshold = if rate <= 0.0 {
+            0
+        } else if rate >= 1.0 {
+            u64::MAX
+        } else {
+            (rate * u64::MAX as f64) as u64
+        };
+        FaultPlan {
+            seed: splitmix64(cfg.seed ^ 0xA5A5_5A5A_C0FF_EE00),
+            threshold,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this plan can ever inject a fault. The runtime fast-paths
+    /// every site on `false`.
+    pub fn active(&self) -> bool {
+        self.threshold > 0
+    }
+
+    /// Make the next fault decision for `site`.
+    pub fn decide(&self, site: FaultSite) -> FaultOutcome {
+        if self.threshold == 0 {
+            return FaultOutcome::None;
+        }
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let draw = splitmix64(self.seed ^ splitmix64(n ^ ((site as u64) << 56)));
+        if draw >= self.threshold && self.threshold != u64::MAX {
+            return FaultOutcome::None;
+        }
+        // Second hash decides the fault flavour.
+        let flavour = splitmix64(draw);
+        match site {
+            FaultSite::DeviceAlloc => {
+                if flavour.is_multiple_of(4) {
+                    FaultOutcome::Permanent
+                } else {
+                    FaultOutcome::Transient
+                }
+            }
+            FaultSite::TransferToDevice | FaultSite::TransferFromDevice => {
+                if flavour.is_multiple_of(2) {
+                    FaultOutcome::Partial { frac256: (flavour >> 8) as u8 }
+                } else {
+                    FaultOutcome::Transient
+                }
+            }
+            FaultSite::KernelLaunch => {
+                if flavour.is_multiple_of(2) {
+                    FaultOutcome::Permanent
+                } else {
+                    FaultOutcome::Transient
+                }
+            }
+            FaultSite::NowaitComplete => {
+                FaultOutcome::Delay { micros: 20 + ((flavour >> 8) % 1500) }
+            }
+        }
+    }
+
+    /// Exponential backoff before retry `attempt` (0-based): 1 µs doubling
+    /// up to 64 µs — long enough to reorder against concurrent work, short
+    /// enough for 64-seed soaks.
+    pub fn backoff(attempt: u32) {
+        std::thread::sleep(Duration::from_micros(1u64 << attempt.min(6)));
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("threshold", &self.threshold)
+            .field("decisions", &self.counter.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_zero_never_faults() {
+        let plan = FaultPlan::new(FaultConfig::disabled());
+        assert!(!plan.active());
+        for _ in 0..1000 {
+            assert_eq!(plan.decide(FaultSite::DeviceAlloc), FaultOutcome::None);
+        }
+    }
+
+    #[test]
+    fn rate_one_always_faults() {
+        let plan = FaultPlan::new(FaultConfig::new(42, 1.0));
+        for _ in 0..1000 {
+            assert_ne!(plan.decide(FaultSite::KernelLaunch), FaultOutcome::None);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let a = FaultPlan::new(FaultConfig::new(7, 0.5));
+        let b = FaultPlan::new(FaultConfig::new(7, 0.5));
+        let sites = [
+            FaultSite::DeviceAlloc,
+            FaultSite::TransferToDevice,
+            FaultSite::KernelLaunch,
+            FaultSite::NowaitComplete,
+            FaultSite::TransferFromDevice,
+        ];
+        for i in 0..500 {
+            let site = sites[i % sites.len()];
+            assert_eq!(a.decide(site), b.decide(site), "decision {i}");
+        }
+    }
+
+    #[test]
+    fn observed_rate_tracks_configured_rate() {
+        let plan = FaultPlan::new(FaultConfig::new(3, 0.25));
+        let mut faults = 0u32;
+        for _ in 0..10_000 {
+            if plan.decide(FaultSite::TransferToDevice) != FaultOutcome::None {
+                faults += 1;
+            }
+        }
+        let observed = faults as f64 / 10_000.0;
+        assert!((0.20..=0.30).contains(&observed), "observed {observed}");
+    }
+
+    #[test]
+    fn transfer_faults_are_never_permanent() {
+        let plan = FaultPlan::new(FaultConfig::new(11, 1.0));
+        for _ in 0..1000 {
+            for site in [FaultSite::TransferToDevice, FaultSite::TransferFromDevice] {
+                match plan.decide(site) {
+                    FaultOutcome::Transient | FaultOutcome::Partial { .. } => {}
+                    other => panic!("transfer fault {other:?}"),
+                }
+            }
+        }
+    }
+}

@@ -46,7 +46,9 @@
 
 pub mod addr;
 pub mod buffer;
+pub mod error;
 pub mod events;
+pub mod fault;
 pub mod mapping;
 pub mod mem;
 pub mod report;
@@ -58,10 +60,12 @@ pub mod prelude {
     //! Convenient glob import for programs written against the runtime.
     pub use crate::addr::DeviceId;
     pub use crate::buffer::{Buffer, BufferId};
+    pub use crate::error::RuntimeError;
     pub use crate::events::{
         AccessEvent, ConstructEvent, DataOpEvent, DataOpKind, SyncEvent, TaskId, Tool,
         TransferEvent, TransferKind,
     };
+    pub use crate::fault::{FaultConfig, FaultOutcome, FaultSite};
     pub use crate::mapping::{Map, MapType};
     pub use crate::report::{Effect, Report, ReportKind};
     pub use crate::runtime::{Config, Depend, KernelCtx, Runtime, TaskHandle};

@@ -6,6 +6,7 @@
 //! the runtime executes the planned allocations and transfers.
 
 use crate::buffer::{Buffer, BufferId};
+use crate::error::RuntimeError;
 use crate::scalar::Scalar;
 use std::collections::HashMap;
 
@@ -219,10 +220,12 @@ impl PresentTable {
 
     /// Record the entry effects. When `plan.alloc` is true, `cv_base` is
     /// the freshly allocated CV; otherwise the existing entry's refcount
-    /// is incremented (`ref_count(CV) += 1`).
-    pub fn commit_entry(&mut self, map: &Map, plan: EntryPlan, cv_base: u64) {
+    /// is incremented (`ref_count(CV) += 1`). Committing a refcount bump
+    /// against a table whose entry has since vanished returns
+    /// [`RuntimeError::StaleMapping`] and leaves the table unchanged.
+    pub fn commit_entry(&mut self, map: &Map, plan: EntryPlan, cv_base: u64) -> Result<(), RuntimeError> {
         if matches!(map.map_type, MapType::Release | MapType::Delete) {
-            return;
+            return Ok(());
         }
         if plan.alloc {
             self.entries.insert(
@@ -234,8 +237,12 @@ impl PresentTable {
                     refcount: 1,
                 },
             );
+            Ok(())
+        } else if let Some(e) = self.entries.get_mut(&map.buffer) {
+            e.refcount += 1;
+            Ok(())
         } else {
-            self.entries.get_mut(&map.buffer).expect("planned against stale table").refcount += 1;
+            Err(RuntimeError::StaleMapping { buffer: map.buffer })
         }
     }
 
@@ -259,14 +266,12 @@ impl PresentTable {
     /// Record the exit effects; returns the removed entry when the CV was
     /// deleted so the runtime can free it.
     pub fn commit_exit(&mut self, map: &Map, plan: ExitPlan) -> Option<PresentEntry> {
-        if !self.exists(map.buffer) {
-            return None;
-        }
         if plan.delete {
             self.entries.remove(&map.buffer)
         } else {
-            let e = self.entries.get_mut(&map.buffer).expect("checked above");
-            e.refcount = e.refcount.saturating_sub(1);
+            if let Some(e) = self.entries.get_mut(&map.buffer) {
+                e.refcount = e.refcount.saturating_sub(1);
+            }
             None
         }
     }
@@ -303,13 +308,13 @@ mod tests {
         let mut table = PresentTable::new();
         let m = map(MapType::To);
         let p = table.plan_entry(&m);
-        table.commit_entry(&m, p, 0x1000);
+        table.commit_entry(&m, p, 0x1000).unwrap();
         // Second mapping: no transfer even for map(to) — reference counting
         // suppresses it (the root of several DRACC stale-data bugs).
         let m2 = map(MapType::To);
         let p2 = table.plan_entry(&m2);
         assert_eq!(p2, EntryPlan { alloc: false, copy_to_device: false });
-        table.commit_entry(&m2, p2, 0);
+        table.commit_entry(&m2, p2, 0).unwrap();
         assert_eq!(table.get(BufferId(1)).unwrap().refcount, 2);
         assert_eq!(table.get(BufferId(1)).unwrap().cv_base, 0x1000);
     }
@@ -319,9 +324,9 @@ mod tests {
         let mut table = PresentTable::new();
         let m = map(MapType::ToFrom);
         let p = table.plan_entry(&m);
-        table.commit_entry(&m, p, 0x1000);
+        table.commit_entry(&m, p, 0x1000).unwrap();
         let p = table.plan_entry(&m);
-        table.commit_entry(&m, p, 0);
+        table.commit_entry(&m, p, 0).unwrap();
         // refcount 2 → first exit decrements only
         let x = table.plan_exit(&m);
         assert_eq!(x, ExitPlan { copy_from_device: false, delete: false });
@@ -340,7 +345,7 @@ mod tests {
             let mut table = PresentTable::new();
             let enter = map(MapType::To);
             let p = table.plan_entry(&enter);
-            table.commit_entry(&enter, p, 0x1000);
+            table.commit_entry(&enter, p, 0x1000).unwrap();
             let x = table.plan_exit(&map(t));
             assert_eq!(x, ExitPlan { copy_from_device: false, delete: true }, "{t:?}");
         }
@@ -352,13 +357,32 @@ mod tests {
         let m = map(MapType::To);
         for _ in 0..3 {
             let p = table.plan_entry(&m);
-            table.commit_entry(&m, p, 0x1000);
+            table.commit_entry(&m, p, 0x1000).unwrap();
         }
         assert_eq!(table.get(BufferId(1)).unwrap().refcount, 3);
         let x = table.plan_exit(&map(MapType::Delete));
         assert_eq!(x, ExitPlan { copy_from_device: false, delete: true });
         table.commit_exit(&map(MapType::Delete), x);
         assert!(table.is_empty());
+    }
+
+    #[test]
+    fn stale_commit_is_a_typed_error_not_a_panic() {
+        let mut table = PresentTable::new();
+        let m = map(MapType::To);
+        // Plan against a table that has the entry, then lose it before
+        // committing — the racy interleaving the old code `expect`ed away.
+        let p0 = table.plan_entry(&m);
+        table.commit_entry(&m, p0, 0x1000).unwrap();
+        let p = table.plan_entry(&m);
+        assert!(!p.alloc);
+        let x = table.plan_exit(&map(MapType::Delete));
+        table.commit_exit(&map(MapType::Delete), x);
+        assert_eq!(
+            table.commit_entry(&m, p, 0),
+            Err(RuntimeError::StaleMapping { buffer: BufferId(1) })
+        );
+        assert!(table.is_empty(), "failed commit must not mutate the table");
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! diagnose use-after-free-style accesses.
 
 use crate::addr::{device_base, DeviceId};
-use parking_lot::{Mutex, RwLock};
+use crate::error::RuntimeError;
+use arbalest_sync::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -99,15 +100,22 @@ impl AddressSpace {
         addr
     }
 
-    /// Free the block at `addr`. The block stays recorded as dead so tools
-    /// can classify later accesses. Freeing an unknown or dead block is a
-    /// program bug in the simulator's user and panics.
-    pub fn free(&self, addr: u64) {
+    /// Free the block at `addr`, returning its length. The block stays
+    /// recorded as dead so tools can classify later accesses. Freeing an
+    /// unknown or dead block is a bug in the simulator's user; it is
+    /// reported as a typed error rather than a panic so the runtime can
+    /// surface it to tools and keep going.
+    pub fn free(&self, addr: u64) -> Result<u64, RuntimeError> {
         let mut blocks = self.blocks.lock();
-        let block = blocks.get_mut(&addr).expect("free of unknown block");
-        assert!(block.live, "double free at {addr:#x}");
+        let Some(block) = blocks.get_mut(&addr) else {
+            return Err(RuntimeError::UnknownFree { addr });
+        };
+        if !block.live {
+            return Err(RuntimeError::DoubleFree { addr });
+        }
         block.live = false;
         self.live_bytes.fetch_sub(block.len, Ordering::Relaxed);
+        Ok(block.len)
     }
 
     /// Look up the block covering `addr` (live or dead).
@@ -332,7 +340,7 @@ mod tests {
         assert_eq!(blk.start, a);
         assert!(blk.live);
         assert!(s.block_at(a + 100).is_none(), "gap is unowned");
-        s.free(a);
+        assert_eq!(s.free(a), Ok(100));
         assert_eq!(s.live_bytes(), 50);
         assert_eq!(s.peak_live_bytes(), 150);
         let blk = s.block_at(a).unwrap();
@@ -342,12 +350,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
-    fn double_free_panics() {
+    fn double_and_unknown_free_return_typed_errors() {
         let s = space();
         let a = s.alloc(8);
-        s.free(a);
-        s.free(a);
+        assert_eq!(s.free(a), Ok(8));
+        assert_eq!(s.free(a), Err(RuntimeError::DoubleFree { addr: a }));
+        assert_eq!(s.free(a + 1), Err(RuntimeError::UnknownFree { addr: a + 1 }));
+        // The block stays recorded dead and live accounting is untouched.
+        assert!(!s.block_at(a).unwrap().live);
+        assert_eq!(s.live_bytes(), 0);
     }
 
     #[test]

@@ -16,15 +16,17 @@
 
 use crate::addr::{device_base, device_of, DeviceId, UNMAPPED_REGION_OFFSET};
 use crate::buffer::{Buffer, BufferId, BufferInfo};
+use crate::error::RuntimeError;
 use crate::events::{
     AccessEvent, ConstructEvent, DataOpEvent, DataOpKind, SyncEvent, TaskId, Tool, TransferEvent,
     TransferKind,
 };
-use crate::mapping::{Map, PresentEntry, PresentTable};
+use crate::fault::{FaultConfig, FaultOutcome, FaultPlan, FaultSite, MAX_RETRIES};
+use crate::mapping::{ExitPlan, Map, PresentEntry, PresentTable};
 use crate::mem::{self, AddressSpace};
-use crate::report::Report;
+use crate::report::{Report, ReportKind};
 use crate::scalar::Scalar;
-use parking_lot::{Condvar, Mutex, RwLock};
+use arbalest_sync::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::panic::Location;
@@ -62,6 +64,9 @@ pub struct Config {
     /// USD-class mapping issues in synchronous programs; cannot repair
     /// UUMs (there is nothing valid to copy) or asynchronous hazards.
     pub auto_coherence: bool,
+    /// Deterministic fault injection (seed + per-site fault rate). The
+    /// default is disabled; see [`crate::fault`] for the fault model.
+    pub faults: FaultConfig,
 }
 
 impl Default for Config {
@@ -75,6 +80,7 @@ impl Default for Config {
             staged_update_transfers: true,
             implicit_map_events: true,
             auto_coherence: false,
+            faults: FaultConfig::disabled(),
         }
     }
 }
@@ -118,6 +124,17 @@ impl Config {
     /// Control implicit-mapping event callbacks (§V-A).
     pub fn implicit_map_events(mut self, on: bool) -> Self {
         self.implicit_map_events = on;
+        self
+    }
+    /// Inject deterministic faults: each fault site fires with probability
+    /// `rate`, decided by a SplitMix64 stream seeded with `seed`.
+    pub fn faults(mut self, seed: u64, rate: f64) -> Self {
+        self.faults = FaultConfig::new(seed, rate);
+        self
+    }
+    /// Set the full fault-injection configuration.
+    pub fn fault_config(mut self, cfg: FaultConfig) -> Self {
+        self.faults = cfg;
         self
     }
 }
@@ -200,6 +217,13 @@ struct Rt {
     /// freshness bitmask (bit 0 = host OV, bit d = device d's CV), one
     /// state per whole variable like X10CUDA/OpenARC (§VII-A).
     coherence: Mutex<HashMap<BufferId, u8>>,
+    /// Seeded fault-decision stream (inactive when the rate is zero).
+    faults: FaultPlan,
+    /// Log of every recovered abnormality, in observation order.
+    errors: Mutex<Vec<RuntimeError>>,
+    /// Reports the runtime itself emits (e.g. double free), merged into
+    /// [`Runtime::reports`] alongside tool findings.
+    own_reports: Mutex<Vec<Report>>,
 }
 
 /// The offloading runtime. Cheap to clone; all clones share state.
@@ -215,6 +239,7 @@ impl Runtime {
         let spaces = (0..=n).map(|d| Arc::new(AddressSpace::new(DeviceId(d)))).collect();
         let present = (0..n).map(|_| Mutex::new(PresentTable::new())).collect();
         let pool_announced = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let faults = FaultPlan::new(cfg.faults);
         Runtime {
             inner: Arc::new(Rt {
                 criticals: Mutex::new(HashMap::new()),
@@ -232,6 +257,9 @@ impl Runtime {
                 staging_lock: Mutex::new(()),
                 staging_base: Mutex::new(None),
                 coherence: Mutex::new(HashMap::new()),
+                faults,
+                errors: Mutex::new(Vec::new()),
+                own_reports: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -254,9 +282,20 @@ impl Runtime {
         &self.inner.cfg
     }
 
-    /// Collected reports from every attached tool.
+    /// Collected reports: the runtime's own findings (e.g. double free)
+    /// followed by those of every attached tool.
     pub fn reports(&self) -> Vec<Report> {
-        self.inner.tools.read().iter().flat_map(|t| t.reports()).collect()
+        let mut out: Vec<Report> = self.inner.own_reports.lock().clone();
+        out.extend(self.inner.tools.read().iter().flat_map(|t| t.reports()));
+        out
+    }
+
+    /// Every recovered abnormality so far, in observation order: injected
+    /// faults the runtime rode out (retries, host fallback) and API misuse
+    /// it survived (out-of-range accesses, double frees). An empty log
+    /// means the run was fault-free.
+    pub fn errors(&self) -> Vec<RuntimeError> {
+        self.inner.errors.lock().clone()
     }
 
     /// Reports from the named tool only.
@@ -319,33 +358,85 @@ impl Runtime {
         buf
     }
 
-    /// Free a tracked host buffer.
+    /// Free a tracked host buffer. A double free is recorded as a
+    /// [`RuntimeError::DoubleFree`] plus a `UseAfterFree` report (visible
+    /// in [`Runtime::reports`]) instead of aborting the process.
+    #[track_caller]
     pub fn free<T: Scalar>(&self, buf: &Buffer<T>) {
+        let _ = self.try_free(buf);
+    }
+
+    /// Like [`Runtime::free`], returning the error for a bad free.
+    #[track_caller]
+    pub fn try_free<T: Scalar>(&self, buf: &Buffer<T>) -> Result<(), RuntimeError> {
         let info = self.info(buf.id());
-        self.inner.spaces[0].free(info.ov_base);
-        for t in self.inner.tools.read().iter() {
-            t.on_host_free(&info);
+        match self.inner.spaces[0].free(info.ov_base) {
+            Ok(_) => {
+                for t in self.inner.tools.read().iter() {
+                    t.on_host_free(&info);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.inner.note_error(e.clone());
+                self.inner.own_reports.lock().push(Report {
+                    tool: "runtime",
+                    kind: ReportKind::UseAfterFree,
+                    message: format!("free of already-freed buffer '{}'", info.name),
+                    buffer: Some(info.name.clone()),
+                    device: DeviceId::HOST,
+                    addr: info.ov_base,
+                    size: info.elem_size,
+                    loc: Some(Location::caller()),
+                    prev: None,
+                    suggested_fix: Some(format!("remove the duplicate free of '{}'", info.name)),
+                });
+                Err(e)
+            }
         }
     }
 
-    /// Metadata of a buffer.
+    /// Metadata of a buffer. An id this runtime never allocated yields a
+    /// zero-length placeholder and a logged [`RuntimeError::UnknownBuffer`].
     pub fn info(&self, id: BufferId) -> BufferInfo {
-        self.inner.buffers.read()[id.0 as usize].clone()
+        self.inner.buffer_info(id)
     }
 
     fn ov_base(&self, id: BufferId) -> u64 {
-        self.inner.buffers.read()[id.0 as usize].ov_base
+        self.inner.buffer_info(id).ov_base
     }
 
     // ------------------------------------------------------------------
     // Host accesses
     // ------------------------------------------------------------------
 
-    /// Tracked host read of element `idx`.
+    /// Tracked host read of element `idx`. An out-of-range index is
+    /// recorded as a [`RuntimeError::OutOfRange`] and reads as a zero
+    /// value (see [`Runtime::try_read`] for the checked variant).
     #[track_caller]
     #[inline]
     pub fn read<T: Scalar>(&self, buf: &Buffer<T>, idx: usize) -> T {
-        assert!(idx < buf.len(), "host read out of range on buffer {:?}", buf.id());
+        match self.try_read(buf, idx) {
+            Ok(v) => v,
+            Err(e) => {
+                self.inner.note_error(e);
+                T::from_bits(0)
+            }
+        }
+    }
+
+    /// Checked host read: `Err` for an out-of-range index.
+    #[track_caller]
+    #[inline]
+    pub fn try_read<T: Scalar>(&self, buf: &Buffer<T>, idx: usize) -> Result<T, RuntimeError> {
+        if idx >= buf.len() {
+            return Err(RuntimeError::OutOfRange {
+                buffer: buf.id(),
+                index: idx,
+                len: buf.len(),
+                is_write: false,
+            });
+        }
         self.inner.coherence_before_host_read(buf.id());
         let addr = self.ov_base(buf.id()) + (idx * T::SIZE) as u64;
         self.inner.emit_access(AccessEvent {
@@ -359,14 +450,32 @@ impl Runtime {
             atomic: false,
             loc: Location::caller(),
         });
-        T::from_bits(self.inner.spaces[0].load(addr, T::SIZE))
+        Ok(T::from_bits(self.inner.spaces[0].load(addr, T::SIZE)))
     }
 
-    /// Tracked host write of element `idx`.
+    /// Tracked host write of element `idx`. An out-of-range index is
+    /// recorded as a [`RuntimeError::OutOfRange`] and dropped (see
+    /// [`Runtime::try_write`] for the checked variant).
     #[track_caller]
     #[inline]
     pub fn write<T: Scalar>(&self, buf: &Buffer<T>, idx: usize, value: T) {
-        assert!(idx < buf.len(), "host write out of range on buffer {:?}", buf.id());
+        if let Err(e) = self.try_write(buf, idx, value) {
+            self.inner.note_error(e);
+        }
+    }
+
+    /// Checked host write: `Err` for an out-of-range index.
+    #[track_caller]
+    #[inline]
+    pub fn try_write<T: Scalar>(&self, buf: &Buffer<T>, idx: usize, value: T) -> Result<(), RuntimeError> {
+        if idx >= buf.len() {
+            return Err(RuntimeError::OutOfRange {
+                buffer: buf.id(),
+                index: idx,
+                len: buf.len(),
+                is_write: true,
+            });
+        }
         self.inner.coherence_host_write(buf.id());
         let addr = self.ov_base(buf.id()) + (idx * T::SIZE) as u64;
         self.inner.emit_access(AccessEvent {
@@ -381,6 +490,7 @@ impl Runtime {
             loc: Location::caller(),
         });
         self.inner.spaces[0].store(addr, T::SIZE, value.to_bits());
+        Ok(())
     }
 
     /// Read the whole buffer into a `Vec` (each element tracked).
@@ -409,9 +519,10 @@ impl Runtime {
         TargetDataBuilder { rt: self.clone(), device: DeviceId::ACCEL0, maps: Vec::new() }
     }
 
-    /// `target enter data` with the given maps.
+    /// `target enter data` with the given maps. A permanent device OOM
+    /// rolls the mappings back and is recorded in [`Runtime::errors`].
     pub fn target_enter_data(&self, device: DeviceId, maps: &[Map]) {
-        self.inner.perform_entry_maps(device, maps, TaskId::HOST);
+        let _ = self.inner.perform_entry_maps(device, maps, TaskId::HOST);
     }
 
     /// `target exit data` with the given maps.
@@ -452,9 +563,17 @@ impl Runtime {
     /// `src` directly to its CV on `dst`. Both must be present; the copy
     /// covers the overlap of the two mapped sections.
     pub fn device_memcpy<T: Scalar>(&self, src: DeviceId, dst: DeviceId, buf: &Buffer<T>) {
-        assert!(!src.is_host() && !dst.is_host(), "use update_to/update_from for host transfers");
-        let src_entry = self.inner.present[(src.0 - 1) as usize].lock().get(buf.id());
-        let dst_entry = self.inner.present[(dst.0 - 1) as usize].lock().get(buf.id());
+        let (Some(src_table), Some(dst_table)) =
+            (self.inner.present_table(src), self.inner.present_table(dst))
+        else {
+            // Host endpoints (use update_to/update_from) or unknown
+            // devices: recorded, not fatal.
+            let bad = if self.inner.present_table(src).is_none() { src } else { dst };
+            self.inner.note_error(RuntimeError::InvalidDevice { device: bad });
+            return;
+        };
+        let src_entry = src_table.lock().get(buf.id());
+        let dst_entry = dst_table.lock().get(buf.id());
         let (Some(se), Some(de)) = (src_entry, dst_entry) else { return };
         // Overlap of the two sections, in OV byte offsets.
         let lo = se.offset_bytes.max(de.offset_bytes);
@@ -524,10 +643,13 @@ impl Runtime {
         }
     }
 
-    /// Whether a buffer currently has a CV on a device.
+    /// Whether a buffer currently has a CV on a device. The host (which
+    /// has no present table) and unknown devices answer `false`.
     pub fn is_present<T: Scalar>(&self, device: DeviceId, buf: &Buffer<T>) -> bool {
-        assert!(!device.is_host());
-        self.inner.present[(device.0 - 1) as usize].lock().exists(buf.id())
+        match self.inner.present_table(device) {
+            Some(table) => table.lock().exists(buf.id()),
+            None => false,
+        }
     }
 }
 
@@ -559,8 +681,40 @@ impl Rt {
         &self.spaces[dev.0 as usize]
     }
 
+    fn note_error(&self, e: RuntimeError) {
+        self.errors.lock().push(e);
+    }
+
+    /// The present table of an accelerator; `None` for the host or a
+    /// device id this runtime was not configured with.
+    fn present_table(&self, device: DeviceId) -> Option<&Mutex<PresentTable>> {
+        if device.is_host() {
+            return None;
+        }
+        self.present.get((device.0 - 1) as usize)
+    }
+
+    /// True when `device` names the host or a configured accelerator.
+    fn device_known(&self, device: DeviceId) -> bool {
+        device.is_host() || (device.0 as usize) <= self.present.len()
+    }
+
     fn buffer_info(&self, id: BufferId) -> BufferInfo {
-        self.buffers.read()[id.0 as usize].clone()
+        match self.buffers.read().get(id.0 as usize) {
+            Some(info) => info.clone(),
+            None => {
+                // A handle this runtime never issued; survive with a
+                // zero-length placeholder so no access can land anywhere.
+                self.note_error(RuntimeError::UnknownBuffer { buffer: id });
+                BufferInfo {
+                    id,
+                    name: "<unknown>".to_string(),
+                    elem_size: 8,
+                    len: 0,
+                    ov_base: 0,
+                }
+            }
+        }
     }
 
     fn announce_pool(&self, device: DeviceId) {
@@ -571,6 +725,64 @@ impl Rt {
         if !flag.swap(true, Ordering::Relaxed) {
             for t in self.tools.read().iter() {
                 t.on_pool_alloc(device, device_base(device), UNMAPPED_REGION_OFFSET);
+            }
+        }
+    }
+
+    /// Allocate a CV in device memory, riding out injected allocation
+    /// faults: transient failures retry with exponential backoff; a
+    /// permanent failure (or retry exhaustion — the OOM persists) is the
+    /// caller's cue to roll back and degrade.
+    fn fault_alloc(&self, device: DeviceId, buffer: BufferId, len: u64) -> Result<u64, RuntimeError> {
+        if !self.faults.active() {
+            return Ok(self.space(device).alloc(len));
+        }
+        let mut attempts = 0u32;
+        loop {
+            match self.faults.decide(FaultSite::DeviceAlloc) {
+                FaultOutcome::Transient if attempts < MAX_RETRIES => {
+                    FaultPlan::backoff(attempts);
+                    attempts += 1;
+                }
+                FaultOutcome::None => return Ok(self.space(device).alloc(len)),
+                // Permanent, or transient retries exhausted.
+                _ => {
+                    let e = RuntimeError::DeviceAllocFailed {
+                        device,
+                        buffer,
+                        len,
+                        attempts: attempts + 1,
+                    };
+                    self.note_error(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Decide whether a kernel launch on `device` succeeds, retrying
+    /// transient failures. `false` means the caller must fall back to
+    /// host execution.
+    fn fault_kernel_launch(&self, device: DeviceId, task: TaskId) -> bool {
+        if device.is_host() || !self.faults.active() {
+            return true;
+        }
+        let mut attempts = 0u32;
+        loop {
+            match self.faults.decide(FaultSite::KernelLaunch) {
+                FaultOutcome::Transient if attempts < MAX_RETRIES => {
+                    FaultPlan::backoff(attempts);
+                    attempts += 1;
+                }
+                FaultOutcome::None => return true,
+                _ => {
+                    self.note_error(RuntimeError::KernelLaunchFailed {
+                        device,
+                        task,
+                        attempts: attempts + 1,
+                    });
+                    return false;
+                }
             }
         }
     }
@@ -592,7 +804,11 @@ impl Rt {
             return;
         }
         let notify = self.cfg.implicit_map_events;
-        let mut table = self.present[(device.0 - 1) as usize].lock();
+        let Some(table) = self.present_table(device) else {
+            self.note_error(RuntimeError::InvalidDevice { device });
+            return;
+        };
+        let mut table = table.lock();
         for id in declared {
             let info = self.buffer_info(id);
             let m = Map {
@@ -603,14 +819,22 @@ impl Rt {
             };
             let plan = table.plan_entry(&m);
             if !plan.alloc {
-                table.commit_entry(&m, plan, 0);
+                if let Err(e) = table.commit_entry(&m, plan, 0) {
+                    self.note_error(e);
+                }
                 continue;
             }
             self.announce_pool(device);
             let cv_base = if self.cfg.unified_memory {
                 info.ov_base
             } else {
-                self.space(device).alloc(m.len_bytes)
+                match self.fault_alloc(device, id, m.len_bytes) {
+                    Ok(base) => base,
+                    // Permanent OOM: leave this global unmapped; kernel
+                    // accesses to it will resolve to the unmapped region,
+                    // which is exactly what tools should observe.
+                    Err(_) => continue,
+                }
             };
             if notify {
                 let op = DataOpEvent {
@@ -647,16 +871,34 @@ impl Rt {
                     t.on_transfer(&ev);
                 }
             }
-            table.commit_entry(&m, plan, cv_base);
+            if let Err(e) = table.commit_entry(&m, plan, cv_base) {
+                self.note_error(e);
+            }
         }
     }
 
     /// Execute entry mappings (Table I upper half) for a construct.
-    fn perform_entry_maps(&self, device: DeviceId, maps: &[Map], task: TaskId) {
+    ///
+    /// On a permanent device-allocation failure the construct's
+    /// already-committed mappings are rolled back inside the same table
+    /// critical section — created CVs are deleted (with `CvDelete` events,
+    /// so detectors release the shadow intervals and VSM device bits) and
+    /// refcount bumps are undone — and the error is returned so the caller
+    /// can degrade to host execution. The present table and every tool's
+    /// view are exactly as if the construct never started mapping.
+    fn perform_entry_maps(&self, device: DeviceId, maps: &[Map], task: TaskId) -> Result<(), RuntimeError> {
         if device.is_host() {
-            return;
+            return Ok(());
         }
-        let mut table = self.present[(device.0 - 1) as usize].lock();
+        let Some(table) = self.present_table(device) else {
+            let e = RuntimeError::InvalidDevice { device };
+            self.note_error(e.clone());
+            return Err(e);
+        };
+        let mut table = table.lock();
+        // What this construct committed so far: Some(cv_base) for a CV it
+        // created, None for a refcount it bumped.
+        let mut committed: Vec<(Map, Option<u64>)> = Vec::new();
         for m in maps {
             let plan = table.plan_entry(m);
             if plan.alloc {
@@ -666,7 +908,13 @@ impl Rt {
                 let cv_base = if self.cfg.unified_memory {
                     ov_addr
                 } else {
-                    self.space(device).alloc(m.len_bytes)
+                    match self.fault_alloc(device, m.buffer, m.len_bytes) {
+                        Ok(base) => base,
+                        Err(e) => {
+                            self.rollback_entry_maps(device, &mut table, &committed, task);
+                            return Err(e);
+                        }
+                    }
                 };
                 let op = DataOpEvent {
                     device,
@@ -693,9 +941,66 @@ impl Rt {
                         false,
                     );
                 }
-                table.commit_entry(m, plan, cv_base);
+                if let Err(e) = table.commit_entry(m, plan, cv_base) {
+                    self.note_error(e);
+                } else {
+                    committed.push((*m, Some(cv_base)));
+                }
             } else {
-                table.commit_entry(m, plan, 0);
+                match table.commit_entry(m, plan, 0) {
+                    Ok(()) => {
+                        if !matches!(m.map_type, crate::mapping::MapType::Release | crate::mapping::MapType::Delete) {
+                            committed.push((*m, None));
+                        }
+                    }
+                    Err(e) => self.note_error(e),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Undo the committed prefix of a construct's entry maps, newest
+    /// first. Created CVs are deleted with truthful `CvDelete` events
+    /// (driving the detectors' interval removal and VSM `Release`);
+    /// refcount bumps are decremented silently, exactly mirroring what
+    /// `commit_entry` did.
+    fn rollback_entry_maps(
+        &self,
+        device: DeviceId,
+        table: &mut PresentTable,
+        committed: &[(Map, Option<u64>)],
+        task: TaskId,
+    ) {
+        for (m, created) in committed.iter().rev() {
+            match created {
+                Some(cv_base) => {
+                    let plan = ExitPlan { copy_from_device: false, delete: true };
+                    if let Some(entry) = table.commit_exit(m, plan) {
+                        if !self.cfg.unified_memory {
+                            if let Err(e) = self.space(device).free(entry.cv_base) {
+                                self.note_error(e);
+                            }
+                        }
+                        let info = self.buffer_info(m.buffer);
+                        let op = DataOpEvent {
+                            device,
+                            buffer: m.buffer,
+                            kind: DataOpKind::CvDelete,
+                            cv_base: *cv_base,
+                            ov_addr: info.ov_base + entry.offset_bytes,
+                            len: entry.len_bytes,
+                            plugin_visible: self.cfg.unified_memory || !self.cfg.pooled_device_alloc,
+                            task,
+                        };
+                        for t in self.tools.read().iter() {
+                            t.on_data_op(&op);
+                        }
+                    }
+                }
+                None => {
+                    table.commit_exit(m, ExitPlan { copy_from_device: false, delete: false });
+                }
             }
         }
     }
@@ -705,7 +1010,11 @@ impl Rt {
         if device.is_host() {
             return;
         }
-        let mut table = self.present[(device.0 - 1) as usize].lock();
+        let Some(table) = self.present_table(device) else {
+            self.note_error(RuntimeError::InvalidDevice { device });
+            return;
+        };
+        let mut table = table.lock();
         for m in maps {
             let mut plan = table.plan_exit(m);
             // Automatic coherence (§III-C): if the CV about to be deleted
@@ -742,7 +1051,9 @@ impl Rt {
             }
             if let Some(entry) = table.commit_exit(m, plan) {
                 if !self.cfg.unified_memory {
-                    self.space(device).free(entry.cv_base);
+                    if let Err(e) = self.space(device).free(entry.cv_base) {
+                        self.note_error(e);
+                    }
                 }
                 let info = self.buffer_info(m.buffer);
                 let op = DataOpEvent {
@@ -768,10 +1079,11 @@ impl Rt {
         if device.is_host() {
             return false;
         }
-        let entry = {
-            let table = self.present[(device.0 - 1) as usize].lock();
-            table.get(buffer)
+        let Some(table) = self.present_table(device) else {
+            self.note_error(RuntimeError::InvalidDevice { device });
+            return false;
         };
+        let entry = table.lock().get(buffer);
         let Some(entry) = entry else { return false };
         let info = self.buffer_info(buffer);
         let ov_addr = info.ov_base + entry.offset_bytes;
@@ -796,10 +1108,11 @@ impl Rt {
         if device.is_host() || len_bytes == 0 {
             return;
         }
-        let entry = {
-            let table = self.present[(device.0 - 1) as usize].lock();
-            table.get(buffer)
+        let Some(table) = self.present_table(device) else {
+            self.note_error(RuntimeError::InvalidDevice { device });
+            return;
         };
+        let entry = table.lock().get(buffer);
         let Some(entry) = entry else { return };
         let info = self.buffer_info(buffer);
         let ov_addr = info.ov_base + start_bytes;
@@ -826,25 +1139,80 @@ impl Rt {
             TransferKind::ToDevice => (DeviceId::HOST, ov_addr, device, cv_base),
             TransferKind::FromDevice => (device, cv_base, DeviceId::HOST, ov_addr),
             TransferKind::DeviceToDevice => {
-                unreachable!("device-to-device copies go through Runtime::device_memcpy")
+                // Internal invariant: device-to-device copies go through
+                // Runtime::device_memcpy, never this path.
+                debug_assert!(false, "device-to-device copies go through Runtime::device_memcpy");
+                return;
             }
         };
         if !unified {
-            if staged {
-                // Stage through a runtime-internal bounce buffer, as real
-                // runtimes do for non-contiguous updates. One extra copy;
-                // shadow provenance is lost for allocator-interception
-                // based tools.
-                let _guard = self.staging_lock.lock();
-                let staging = self.ensure_staging(len);
-                let src_space = self.space(src_device);
-                let dst_space = self.space(dst_device);
-                mem::copy(src_space, src_addr, &self.spaces[0], staging, len);
-                mem::copy(&self.spaces[0], staging, dst_space, dst_addr, len);
+            // Transfer faults are always transient: retry with backoff,
+            // and after MAX_RETRIES complete via the degraded word-wise
+            // path. A transfer never fails permanently, so mapped data is
+            // never silently stale and detectors see no phantom copies.
+            let site = if kind == TransferKind::ToDevice {
+                FaultSite::TransferToDevice
             } else {
-                let src_space = self.space(src_device);
-                let dst_space = self.space(dst_device);
-                mem::copy(src_space, src_addr, dst_space, dst_addr, len);
+                FaultSite::TransferFromDevice
+            };
+            let mut attempt = 0u32;
+            loop {
+                let outcome = if self.faults.active() && attempt < MAX_RETRIES {
+                    self.faults.decide(site)
+                } else {
+                    FaultOutcome::None
+                };
+                match outcome {
+                    FaultOutcome::Transient => {
+                        self.note_error(RuntimeError::TransferIncomplete {
+                            buffer,
+                            kind,
+                            requested: len,
+                            copied: 0,
+                            attempt: attempt + 1,
+                        });
+                        FaultPlan::backoff(attempt);
+                        attempt += 1;
+                    }
+                    FaultOutcome::Partial { frac256 } => {
+                        // The DMA moved a prefix before faulting: perform
+                        // that prefix for real and tell the tools the
+                        // truth about it, so per-word VSM states track
+                        // exactly the bytes that arrived.
+                        let k = (len.div_ceil(8) * frac256 as u64) / 256 * 8;
+                        if k > 0 {
+                            self.transfer_copy(false, src_device, src_addr, dst_device, dst_addr, k);
+                            let ev = TransferEvent {
+                                buffer,
+                                kind,
+                                src_device,
+                                src_addr,
+                                dst_device,
+                                dst_addr,
+                                len: k,
+                                task,
+                                staged: false,
+                                unified,
+                            };
+                            for t in self.tools.read().iter() {
+                                t.on_transfer(&ev);
+                            }
+                        }
+                        self.note_error(RuntimeError::TransferIncomplete {
+                            buffer,
+                            kind,
+                            requested: len,
+                            copied: k,
+                            attempt: attempt + 1,
+                        });
+                        FaultPlan::backoff(attempt);
+                        attempt += 1;
+                    }
+                    _ => {
+                        self.transfer_copy(staged, src_device, src_addr, dst_device, dst_addr, len);
+                        break;
+                    }
+                }
             }
         }
         let ev = TransferEvent {
@@ -871,6 +1239,29 @@ impl Rt {
                 TransferKind::FromDevice => *e |= 0b1,
                 _ => {}
             }
+        }
+    }
+
+    /// The physical word copy of a transfer, optionally staged through a
+    /// runtime-internal bounce buffer (as real runtimes stage
+    /// non-contiguous updates; one extra copy, and shadow provenance is
+    /// lost for allocator-interception based tools).
+    fn transfer_copy(
+        &self,
+        staged: bool,
+        src_device: DeviceId,
+        src_addr: u64,
+        dst_device: DeviceId,
+        dst_addr: u64,
+        len: u64,
+    ) {
+        if staged {
+            let _guard = self.staging_lock.lock();
+            let staging = self.ensure_staging(len);
+            mem::copy(self.space(src_device), src_addr, &self.spaces[0], staging, len);
+            mem::copy(&self.spaces[0], staging, self.space(dst_device), dst_addr, len);
+        } else {
+            mem::copy(self.space(src_device), src_addr, self.space(dst_device), dst_addr, len);
         }
     }
 
@@ -996,10 +1387,10 @@ impl Rt {
 
     /// Snapshot the device's data environment for a kernel.
     fn kernel_env(&self, device: DeviceId) -> HashMap<BufferId, PresentEntry> {
-        if device.is_host() {
+        let Some(table) = self.present_table(device) else {
             return HashMap::new();
-        }
-        let table = self.present[(device.0 - 1) as usize].lock();
+        };
+        let table = table.lock();
         let mut env = HashMap::new();
         for info in self.buffers.read().iter() {
             if let Some(e) = table.get(info.id) {
@@ -1102,18 +1493,68 @@ impl TargetBuilder {
             for (_, r) in &waits {
                 r.wait();
             }
-            rt2.emit_construct(ConstructEvent::TargetBegin { task, device, nowait });
-            rt2.ensure_globals(device, task);
-            rt2.perform_entry_maps(device, &maps, task);
-            let env = Arc::new(rt2.kernel_env(device));
-            rt2.coherence_before_kernel(&env, device, task);
-            rt2.emit_unified_flushes(device, &env, task, TransferKind::ToDevice);
-            let ctx = KernelCtx { rt: rt2.clone(), device, task, env: env.clone(), team_size };
+            // Unknown device ids degrade to host execution up front.
+            let requested = if rt2.device_known(device) {
+                device
+            } else {
+                rt2.note_error(RuntimeError::InvalidDevice { device });
+                DeviceId::HOST
+            };
+            // The launch decision precedes everything tools can observe
+            // about the region, so a permanent launch failure moves the
+            // whole construct — begin event, mappings, accesses — to the
+            // host and the event stream stays truthful.
+            let mut exec =
+                if rt2.fault_kernel_launch(requested, task) { requested } else { DeviceId::HOST };
+            rt2.emit_construct(ConstructEvent::TargetBegin { task, device: exec, nowait });
+            let mut mapped = false;
+            if !exec.is_host() {
+                rt2.ensure_globals(exec, task);
+                match rt2.perform_entry_maps(exec, &maps, task) {
+                    Ok(()) => mapped = true,
+                    // Permanent device OOM: the entry maps were rolled
+                    // back (present table and detector state restored);
+                    // run the body on the host instead.
+                    Err(_) => exec = DeviceId::HOST,
+                }
+            }
+            let fallback = exec.is_host() && !requested.is_host();
+            if fallback {
+                // Pull current device values of any still-present mapped
+                // buffers (e.g. from an enclosing data region) so the
+                // host body observes what the kernel would have. The
+                // transfers are real and emitted, keeping VSM truthful;
+                // no-ops when nothing is present.
+                for m in &maps {
+                    rt2.perform_update(requested, m.buffer, TransferKind::FromDevice, task);
+                }
+            }
+            let env = Arc::new(rt2.kernel_env(exec));
+            rt2.coherence_before_kernel(&env, exec, task);
+            rt2.emit_unified_flushes(exec, &env, task, TransferKind::ToDevice);
+            let ctx = KernelCtx { rt: rt2.clone(), device: exec, task, env: env.clone(), team_size };
             body(&ctx);
-            rt2.emit_unified_flushes(device, &env, task, TransferKind::FromDevice);
-            rt2.perform_exit_maps(device, &maps, task);
+            rt2.emit_unified_flushes(exec, &env, task, TransferKind::FromDevice);
+            if fallback {
+                // Push host results back into still-present CVs so later
+                // device consumers observe them.
+                for m in &maps {
+                    rt2.perform_update(requested, m.buffer, TransferKind::ToDevice, task);
+                }
+            }
+            if mapped {
+                rt2.perform_exit_maps(exec, &maps, task);
+            }
             rt2.emit_construct(ConstructEvent::TargetEnd { task });
             rt2.emit_sync(SyncEvent::TaskEnd { task });
+            if nowait {
+                if let FaultOutcome::Delay { micros } = rt2.faults.decide(FaultSite::NowaitComplete)
+                {
+                    // Injected late completion: the work is done but the
+                    // latch fires late, widening nowait's race window.
+                    std::thread::sleep(std::time::Duration::from_micros(micros));
+                }
+            }
             record2.complete();
         };
         if nowait && !rt.cfg.serialize_nowait {
@@ -1155,7 +1596,9 @@ impl TargetDataBuilder {
     /// exit maps after — on the host task, so exit transfers can race
     /// with still-running `nowait` kernels (Fig. 2's hazard).
     pub fn scope<R>(self, f: impl FnOnce(&Runtime) -> R) -> R {
-        self.rt.inner.perform_entry_maps(self.device, &self.maps, TaskId::HOST);
+        // A failed (rolled-back) entry leaves nothing present, so the
+        // exit maps below degrade to Table I no-ops on their own.
+        let _ = self.rt.inner.perform_entry_maps(self.device, &self.maps, TaskId::HOST);
         let out = f(&self.rt);
         self.rt.inner.perform_exit_maps(self.device, &self.maps, TaskId::HOST);
         out
@@ -1345,10 +1788,22 @@ impl KernelCtx {
                 loc,
             });
         }
-        assert_eq!(T::SIZE, 8, "atomic updates require 8-byte scalars");
         let space = self.space_for(addr);
-        let prev = space.fetch_update_word(addr, |bits| f(T::from_bits(bits)).to_bits());
-        f(T::from_bits(prev))
+        if T::SIZE == 8 {
+            let prev = space.fetch_update_word(addr, |bits| f(T::from_bits(bits)).to_bits());
+            f(T::from_bits(prev))
+        } else {
+            // Narrow scalars have no atomic RMW in this memory model;
+            // record the misuse and apply the update non-atomically (the
+            // access events above already declared it atomic, so race
+            // detectors stay quiet — mirroring a relaxed hardware CAS
+            // emulation).
+            self.rt.note_error(RuntimeError::UnsupportedAtomicSize { size: T::SIZE });
+            let prev = T::from_bits(space.load(addr, T::SIZE));
+            let next = f(prev);
+            space.store(addr, T::SIZE, next.to_bits());
+            next
+        }
     }
 
     /// `omp atomic` add.

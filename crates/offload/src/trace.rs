@@ -13,7 +13,7 @@ use crate::buffer::BufferInfo;
 use crate::events::{
     AccessEvent, ConstructEvent, DataOpEvent, SyncEvent, Tool, TransferEvent,
 };
-use parking_lot::Mutex;
+use arbalest_sync::Mutex;
 
 /// One journaled runtime event.
 #[derive(Debug, Clone)]

@@ -2,7 +2,7 @@
 //! device-to-device copies, and sectioned updates.
 
 use arbalest_offload::prelude::*;
-use parking_lot::Mutex;
+use arbalest_sync::Mutex;
 use std::sync::Arc;
 
 #[test]

@@ -1,34 +1,57 @@
 //! Property-based tests of the memory substrate: the paged address space
 //! behaves like a flat byte array, and the mapping layer preserves data
 //! through arbitrary legal map/update sequences.
+//!
+//! The properties run as deterministic seeded loops (hermetic proptest
+//! replacement — the workspace builds without registry access).
 
 use arbalest_offload::addr::DeviceId;
 use arbalest_offload::mem::AddressSpace;
 use arbalest_offload::prelude::*;
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
 
-    /// The address space is an array of bytes: a model HashMap of byte
-    /// values agrees with every sized load after arbitrary sized stores.
-    #[test]
-    fn address_space_is_a_flat_byte_array(
-        ops in prop::collection::vec(
-            (0u64..256, prop::sample::select(vec![1usize, 2, 4, 8]), any::<u64>()), 1..100)
-    ) {
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The address space is an array of bytes: a model HashMap of byte
+/// values agrees with every sized load after arbitrary sized stores.
+#[test]
+fn address_space_is_a_flat_byte_array() {
+    for seed in 1..=64u64 {
+        let mut rng = Rng::new(seed);
         let space = AddressSpace::new(DeviceId::ACCEL0);
         let base = space.alloc(256 + 8);
         let mut model: HashMap<u64, u8> = HashMap::new();
-        for (off, size, value) in ops {
+        for _ in 0..100 {
+            let off = rng.below(256);
+            let size = [1usize, 2, 4, 8][rng.below(4) as usize];
+            let value = rng.next();
             let off = off - (off % size as u64); // align to the size
             let addr = base + off;
             space.store(addr, size, value);
             for b in 0..size as u64 {
                 model.insert(off + b, ((value >> (8 * b)) & 0xFF) as u8);
             }
-            // Check a few random loads of every size.
+            // Check loads of every size at the same spot.
             for check_size in [1usize, 2, 4, 8] {
                 let coff = off - (off % check_size as u64);
                 let got = space.load(base + coff, check_size);
@@ -36,15 +59,20 @@ proptest! {
                 for b in (0..check_size as u64).rev() {
                     want = (want << 8) | *model.get(&(coff + b)).unwrap_or(&0) as u64;
                 }
-                prop_assert_eq!(got, want, "off={} size={}", coff, check_size);
+                assert_eq!(got, want, "seed={seed} off={coff} size={check_size}");
             }
         }
     }
+}
 
-    /// Tracked buffers round-trip arbitrary values through a device and
-    /// back (map tofrom), element-wise, for every scalar width.
-    #[test]
-    fn tofrom_roundtrip_preserves_values(values in prop::collection::vec(any::<i64>(), 1..64)) {
+/// Tracked buffers round-trip arbitrary values through a device and
+/// back (map tofrom), element-wise, for every scalar width.
+#[test]
+fn tofrom_roundtrip_preserves_values() {
+    for seed in 1..=32u64 {
+        let mut rng = Rng::new(seed);
+        let n = 1 + rng.below(63) as usize;
+        let values: Vec<i64> = (0..n).map(|_| rng.next() as i64).collect();
         let rt = Runtime::new(Config::default().team_size(2));
         let a = rt.alloc_init::<i64>("a", &values);
         rt.target().map(Map::tofrom(&a)).run(move |k| {
@@ -54,13 +82,21 @@ proptest! {
             });
         });
         for (i, v) in values.iter().enumerate() {
-            prop_assert_eq!(rt.read(&a, i), *v);
+            assert_eq!(rt.read(&a, i), *v, "seed={seed} i={i}");
         }
     }
+}
 
-    /// Float bit patterns (incl. NaN payloads) survive the round trip.
-    #[test]
-    fn float_bits_survive(bits in prop::collection::vec(any::<u64>(), 1..32)) {
+/// Float bit patterns (incl. NaN payloads) survive the round trip.
+#[test]
+fn float_bits_survive() {
+    for seed in 1..=32u64 {
+        let mut rng = Rng::new(seed ^ 0xF10A7);
+        let n = 1 + rng.below(31) as usize;
+        // Mix fully random bit patterns with NaN-payload patterns.
+        let bits: Vec<u64> = (0..n)
+            .map(|i| if i % 3 == 0 { 0x7FF8_0000_0000_0000 | rng.below(1 << 50) } else { rng.next() })
+            .collect();
         let rt = Runtime::new(Config::default());
         let values: Vec<f64> = bits.iter().map(|b| f64::from_bits(*b)).collect();
         let a = rt.alloc_init::<f64>("a", &values);
@@ -71,21 +107,23 @@ proptest! {
             });
         });
         for (i, b) in bits.iter().enumerate() {
-            prop_assert_eq!(rt.read(&a, i).to_bits(), *b);
+            assert_eq!(rt.read(&a, i).to_bits(), *b, "seed={seed} i={i}");
         }
     }
+}
 
-    /// Reference counting: after N matching enter/exit pairs, presence is
-    /// restored to the initial state and host data equals the device's
-    /// last copy-back, regardless of nesting depth.
-    #[test]
-    fn refcount_nesting_depth_invariant(depth in 1usize..6) {
+/// Reference counting: after N matching enter/exit pairs, presence is
+/// restored to the initial state and host data equals the device's
+/// last copy-back, regardless of nesting depth.
+#[test]
+fn refcount_nesting_depth_invariant() {
+    for depth in 1usize..6 {
         let rt = Runtime::new(Config::default());
         let a = rt.alloc_with::<i64>("a", 16, |i| i as i64);
         for _ in 0..depth {
             rt.target_enter_data(DeviceId::ACCEL0, &[Map::tofrom(&a)]);
         }
-        prop_assert!(rt.is_present(DeviceId::ACCEL0, &a));
+        assert!(rt.is_present(DeviceId::ACCEL0, &a));
         rt.target().map(Map::to(&a)).run(move |k| {
             k.for_each(0..16, |k, i| {
                 let v = k.read(&a, i);
@@ -93,18 +131,22 @@ proptest! {
             });
         });
         for step in 0..depth {
-            prop_assert!(rt.is_present(DeviceId::ACCEL0, &a), "still present at {step}");
+            assert!(rt.is_present(DeviceId::ACCEL0, &a), "still present at {step}");
             rt.target_exit_data(DeviceId::ACCEL0, &[Map::tofrom(&a)]);
         }
-        prop_assert!(!rt.is_present(DeviceId::ACCEL0, &a));
-        prop_assert_eq!(rt.read(&a, 3), 1003, "copy-back happened exactly at depth 0");
+        assert!(!rt.is_present(DeviceId::ACCEL0, &a));
+        assert_eq!(rt.read(&a, 3), 1003, "copy-back happened exactly at depth 0");
     }
+}
 
-    /// Sections: mapping [start, start+len) moves exactly those elements.
-    #[test]
-    fn section_boundaries_are_exact(start in 0usize..24, len in 1usize..24) {
-        let n = 64usize;
-        prop_assume!(start + len <= n);
+/// Sections: mapping [start, start+len) moves exactly those elements.
+#[test]
+fn section_boundaries_are_exact() {
+    let n = 64usize;
+    for seed in 1..=48u64 {
+        let mut rng = Rng::new(seed ^ 0x5EC7);
+        let start = rng.below(24) as usize;
+        let len = 1 + rng.below(23) as usize;
         let rt = Runtime::new(Config::default());
         let a = rt.alloc_with::<i64>("a", n, |i| i as i64);
         rt.target().map(Map::tofrom_section(&a, start, len)).run(move |k| {
@@ -115,7 +157,7 @@ proptest! {
         });
         for i in 0..n {
             let expect = if (start..start + len).contains(&i) { -(i as i64) - 1 } else { i as i64 };
-            prop_assert_eq!(rt.read(&a, i), expect, "i = {}", i);
+            assert_eq!(rt.read(&a, i), expect, "seed={seed} i={i}");
         }
     }
 }

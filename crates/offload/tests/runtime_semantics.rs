@@ -4,7 +4,7 @@
 //! event stream detectors rely on.
 
 use arbalest_offload::prelude::*;
-use parking_lot::Mutex;
+use arbalest_sync::Mutex;
 use std::sync::Arc;
 
 /// Records every event category for assertions.

@@ -12,7 +12,7 @@
 //! extremely long runs for bounded shadow state.
 
 use crate::clock::{Epoch, VectorClock, MAX_TIDS};
-use parking_lot::Mutex;
+use arbalest_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 

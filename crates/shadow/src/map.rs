@@ -11,7 +11,7 @@
 //! the direct address mapping of the LLVM sanitizer runtimes. Resident
 //! shadow bytes are tracked for the Fig. 9 space measurement.
 
-use parking_lot::RwLock;
+use arbalest_sync::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;

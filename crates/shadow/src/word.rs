@@ -295,46 +295,70 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
 
-    fn arb_state(layout: Layout) -> impl Strategy<Value = GranuleState> {
-        let mask_max = match layout {
-            Layout::TableII => 0b11u8,
-            Layout::MultiDevice => 0xFF,
-        };
-        (
-            0..=mask_max,
-            0..=mask_max,
-            0u16..4096,
-            0u64..=layout.clock_max(),
-            any::<bool>(),
-            prop::sample::select(vec![1u8, 2, 4, 8]),
-            0u8..8,
-        )
-            .prop_map(|(valid_mask, init_mask, tid, clock, is_write, access_size, addr_offset)| {
-                GranuleState { valid_mask, init_mask, tid, clock, is_write, access_size, addr_offset }
-            })
+    /// Deterministic xorshift64* generator (hermetic proptest replacement).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
     }
 
-    proptest! {
-        #[test]
-        fn table_ii_roundtrips(s in arb_state(Layout::TableII)) {
-            let l = Layout::TableII;
-            prop_assert_eq!(l.decode(l.encode(s)), s);
+    fn random_state(rng: &mut Rng, layout: Layout) -> GranuleState {
+        let mask_max = match layout {
+            Layout::TableII => 0b11u64,
+            Layout::MultiDevice => 0xFF,
+        };
+        GranuleState {
+            valid_mask: rng.below(mask_max + 1) as u8,
+            init_mask: rng.below(mask_max + 1) as u8,
+            tid: rng.below(4096) as u16,
+            clock: rng.below(layout.clock_max() + 1),
+            is_write: rng.below(2) == 1,
+            access_size: [1u8, 2, 4, 8][rng.below(4) as usize],
+            addr_offset: rng.below(8) as u8,
         }
+    }
 
-        #[test]
-        fn multi_roundtrips(s in arb_state(Layout::MultiDevice)) {
-            let l = Layout::MultiDevice;
-            prop_assert_eq!(l.decode(l.encode(s)), s);
+    #[test]
+    fn table_ii_roundtrips() {
+        let l = Layout::TableII;
+        let mut rng = Rng(0x1234_5678_9ABC_DEF1);
+        for _ in 0..4096 {
+            let s = random_state(&mut rng, l);
+            assert_eq!(l.decode(l.encode(s)), s, "{s:?}");
         }
+    }
 
-        #[test]
-        fn encodings_are_injective_modulo_fields(a in arb_state(Layout::MultiDevice),
-                                                 b in arb_state(Layout::MultiDevice)) {
-            let l = Layout::MultiDevice;
+    #[test]
+    fn multi_roundtrips() {
+        let l = Layout::MultiDevice;
+        let mut rng = Rng(0x0BAD_CAFE_DEAD_BEEF);
+        for _ in 0..4096 {
+            let s = random_state(&mut rng, l);
+            assert_eq!(l.decode(l.encode(s)), s, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_injective_modulo_fields() {
+        let l = Layout::MultiDevice;
+        let mut rng = Rng(0x5EED_5EED_5EED_5EED);
+        for _ in 0..4096 {
+            let a = random_state(&mut rng, l);
+            let b = random_state(&mut rng, l);
             if a != b {
-                prop_assert_ne!(l.encode(a), l.encode(b));
+                assert_ne!(l.encode(a), l.encode(b), "{a:?} vs {b:?}");
             }
         }
     }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-a3aff4fb86f44654.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-a3aff4fb86f44654: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-c0aad9de70baccb3.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-c0aad9de70baccb3: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbalest-0e0f9bf73bc2605c.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/arbalest-0e0f9bf73bc2605c: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

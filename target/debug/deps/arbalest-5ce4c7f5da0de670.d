@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbalest-5ce4c7f5da0de670.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbalest-5ce4c7f5da0de670.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbalest-7cdec593cc97ee0c.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbalest-7cdec593cc97ee0c.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

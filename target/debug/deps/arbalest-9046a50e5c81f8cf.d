@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbalest-9046a50e5c81f8cf.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/arbalest-9046a50e5c81f8cf: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbalest-c73b03ea37e12600.d: src/lib.rs
+
+/root/repo/target/debug/deps/arbalest-c73b03ea37e12600: src/lib.rs
+
+src/lib.rs:

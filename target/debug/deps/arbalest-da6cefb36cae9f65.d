@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arbalest-da6cefb36cae9f65.d: src/lib.rs
+
+/root/repo/target/debug/deps/libarbalest-da6cefb36cae9f65.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libarbalest-da6cefb36cae9f65.rmeta: src/lib.rs
+
+src/lib.rs:

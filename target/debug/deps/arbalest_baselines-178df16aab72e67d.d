@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/arbalest_baselines-178df16aab72e67d.d: crates/baselines/src/lib.rs crates/baselines/src/archer.rs crates/baselines/src/asan.rs crates/baselines/src/memcheck.rs crates/baselines/src/msan.rs crates/baselines/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbalest_baselines-178df16aab72e67d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/archer.rs crates/baselines/src/asan.rs crates/baselines/src/memcheck.rs crates/baselines/src/msan.rs crates/baselines/src/sink.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/archer.rs:
+crates/baselines/src/asan.rs:
+crates/baselines/src/memcheck.rs:
+crates/baselines/src/msan.rs:
+crates/baselines/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

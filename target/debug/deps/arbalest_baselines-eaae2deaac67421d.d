@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/arbalest_baselines-eaae2deaac67421d.d: crates/baselines/src/lib.rs crates/baselines/src/archer.rs crates/baselines/src/asan.rs crates/baselines/src/memcheck.rs crates/baselines/src/msan.rs crates/baselines/src/sink.rs
+
+/root/repo/target/debug/deps/libarbalest_baselines-eaae2deaac67421d.rlib: crates/baselines/src/lib.rs crates/baselines/src/archer.rs crates/baselines/src/asan.rs crates/baselines/src/memcheck.rs crates/baselines/src/msan.rs crates/baselines/src/sink.rs
+
+/root/repo/target/debug/deps/libarbalest_baselines-eaae2deaac67421d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/archer.rs crates/baselines/src/asan.rs crates/baselines/src/memcheck.rs crates/baselines/src/msan.rs crates/baselines/src/sink.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/archer.rs:
+crates/baselines/src/asan.rs:
+crates/baselines/src/memcheck.rs:
+crates/baselines/src/msan.rs:
+crates/baselines/src/sink.rs:

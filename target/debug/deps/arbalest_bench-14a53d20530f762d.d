@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbalest_bench-14a53d20530f762d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbalest_bench-14a53d20530f762d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

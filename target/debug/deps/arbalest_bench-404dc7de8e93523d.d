@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arbalest_bench-404dc7de8e93523d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libarbalest_bench-404dc7de8e93523d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libarbalest_bench-404dc7de8e93523d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbalest_bench-7a5a4343269a9d3d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/arbalest_bench-7a5a4343269a9d3d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbalest_bench-7ec341fb88213835.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbalest_bench-7ec341fb88213835.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

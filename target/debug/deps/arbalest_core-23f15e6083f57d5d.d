@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/arbalest_core-23f15e6083f57d5d.d: crates/core/src/lib.rs crates/core/src/ddg.rs crates/core/src/detector.rs crates/core/src/replay.rs crates/core/src/vsm.rs
+
+/root/repo/target/debug/deps/libarbalest_core-23f15e6083f57d5d.rlib: crates/core/src/lib.rs crates/core/src/ddg.rs crates/core/src/detector.rs crates/core/src/replay.rs crates/core/src/vsm.rs
+
+/root/repo/target/debug/deps/libarbalest_core-23f15e6083f57d5d.rmeta: crates/core/src/lib.rs crates/core/src/ddg.rs crates/core/src/detector.rs crates/core/src/replay.rs crates/core/src/vsm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ddg.rs:
+crates/core/src/detector.rs:
+crates/core/src/replay.rs:
+crates/core/src/vsm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbalest_core-474a9f5d5e269502.d: crates/core/src/lib.rs crates/core/src/ddg.rs crates/core/src/detector.rs crates/core/src/replay.rs crates/core/src/vsm.rs
+
+/root/repo/target/debug/deps/arbalest_core-474a9f5d5e269502: crates/core/src/lib.rs crates/core/src/ddg.rs crates/core/src/detector.rs crates/core/src/replay.rs crates/core/src/vsm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ddg.rs:
+crates/core/src/detector.rs:
+crates/core/src/replay.rs:
+crates/core/src/vsm.rs:

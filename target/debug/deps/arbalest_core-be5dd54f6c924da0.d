@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/arbalest_core-be5dd54f6c924da0.d: crates/core/src/lib.rs crates/core/src/ddg.rs crates/core/src/detector.rs crates/core/src/replay.rs crates/core/src/vsm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbalest_core-be5dd54f6c924da0.rmeta: crates/core/src/lib.rs crates/core/src/ddg.rs crates/core/src/detector.rs crates/core/src/replay.rs crates/core/src/vsm.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ddg.rs:
+crates/core/src/detector.rs:
+crates/core/src/replay.rs:
+crates/core/src/vsm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arbalest_dracc-2c285287f12819fe.d: crates/dracc/src/lib.rs crates/dracc/src/buggy.rs crates/dracc/src/correct.rs
+
+/root/repo/target/debug/deps/arbalest_dracc-2c285287f12819fe: crates/dracc/src/lib.rs crates/dracc/src/buggy.rs crates/dracc/src/correct.rs
+
+crates/dracc/src/lib.rs:
+crates/dracc/src/buggy.rs:
+crates/dracc/src/correct.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbalest_dracc-bf55dc44d004264f.d: crates/dracc/src/lib.rs crates/dracc/src/buggy.rs crates/dracc/src/correct.rs
+
+/root/repo/target/debug/deps/libarbalest_dracc-bf55dc44d004264f.rlib: crates/dracc/src/lib.rs crates/dracc/src/buggy.rs crates/dracc/src/correct.rs
+
+/root/repo/target/debug/deps/libarbalest_dracc-bf55dc44d004264f.rmeta: crates/dracc/src/lib.rs crates/dracc/src/buggy.rs crates/dracc/src/correct.rs
+
+crates/dracc/src/lib.rs:
+crates/dracc/src/buggy.rs:
+crates/dracc/src/correct.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/arbalest_dracc-eac251f07f3be3d6.d: crates/dracc/src/lib.rs crates/dracc/src/buggy.rs crates/dracc/src/correct.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbalest_dracc-eac251f07f3be3d6.rmeta: crates/dracc/src/lib.rs crates/dracc/src/buggy.rs crates/dracc/src/correct.rs Cargo.toml
+
+crates/dracc/src/lib.rs:
+crates/dracc/src/buggy.rs:
+crates/dracc/src/correct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/arbalest_offload-4076e9d997d34e6d.d: crates/offload/src/lib.rs crates/offload/src/addr.rs crates/offload/src/buffer.rs crates/offload/src/error.rs crates/offload/src/events.rs crates/offload/src/fault.rs crates/offload/src/mapping.rs crates/offload/src/mem.rs crates/offload/src/report.rs crates/offload/src/runtime.rs crates/offload/src/scalar.rs crates/offload/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbalest_offload-4076e9d997d34e6d.rmeta: crates/offload/src/lib.rs crates/offload/src/addr.rs crates/offload/src/buffer.rs crates/offload/src/error.rs crates/offload/src/events.rs crates/offload/src/fault.rs crates/offload/src/mapping.rs crates/offload/src/mem.rs crates/offload/src/report.rs crates/offload/src/runtime.rs crates/offload/src/scalar.rs crates/offload/src/trace.rs Cargo.toml
+
+crates/offload/src/lib.rs:
+crates/offload/src/addr.rs:
+crates/offload/src/buffer.rs:
+crates/offload/src/error.rs:
+crates/offload/src/events.rs:
+crates/offload/src/fault.rs:
+crates/offload/src/mapping.rs:
+crates/offload/src/mem.rs:
+crates/offload/src/report.rs:
+crates/offload/src/runtime.rs:
+crates/offload/src/scalar.rs:
+crates/offload/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/arbalest_offload-cca7488de608d593.d: crates/offload/src/lib.rs crates/offload/src/addr.rs crates/offload/src/buffer.rs crates/offload/src/error.rs crates/offload/src/events.rs crates/offload/src/fault.rs crates/offload/src/mapping.rs crates/offload/src/mem.rs crates/offload/src/report.rs crates/offload/src/runtime.rs crates/offload/src/scalar.rs crates/offload/src/trace.rs
+
+/root/repo/target/debug/deps/libarbalest_offload-cca7488de608d593.rlib: crates/offload/src/lib.rs crates/offload/src/addr.rs crates/offload/src/buffer.rs crates/offload/src/error.rs crates/offload/src/events.rs crates/offload/src/fault.rs crates/offload/src/mapping.rs crates/offload/src/mem.rs crates/offload/src/report.rs crates/offload/src/runtime.rs crates/offload/src/scalar.rs crates/offload/src/trace.rs
+
+/root/repo/target/debug/deps/libarbalest_offload-cca7488de608d593.rmeta: crates/offload/src/lib.rs crates/offload/src/addr.rs crates/offload/src/buffer.rs crates/offload/src/error.rs crates/offload/src/events.rs crates/offload/src/fault.rs crates/offload/src/mapping.rs crates/offload/src/mem.rs crates/offload/src/report.rs crates/offload/src/runtime.rs crates/offload/src/scalar.rs crates/offload/src/trace.rs
+
+crates/offload/src/lib.rs:
+crates/offload/src/addr.rs:
+crates/offload/src/buffer.rs:
+crates/offload/src/error.rs:
+crates/offload/src/events.rs:
+crates/offload/src/fault.rs:
+crates/offload/src/mapping.rs:
+crates/offload/src/mem.rs:
+crates/offload/src/report.rs:
+crates/offload/src/runtime.rs:
+crates/offload/src/scalar.rs:
+crates/offload/src/trace.rs:

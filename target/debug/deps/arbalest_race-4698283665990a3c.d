@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbalest_race-4698283665990a3c.d: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs
+
+/root/repo/target/debug/deps/libarbalest_race-4698283665990a3c.rlib: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs
+
+/root/repo/target/debug/deps/libarbalest_race-4698283665990a3c.rmeta: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs
+
+crates/race/src/lib.rs:
+crates/race/src/clock.rs:
+crates/race/src/engine.rs:

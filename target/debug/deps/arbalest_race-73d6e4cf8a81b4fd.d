@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/arbalest_race-73d6e4cf8a81b4fd.d: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbalest_race-73d6e4cf8a81b4fd.rmeta: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs Cargo.toml
+
+crates/race/src/lib.rs:
+crates/race/src/clock.rs:
+crates/race/src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

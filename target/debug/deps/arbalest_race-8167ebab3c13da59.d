@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arbalest_race-8167ebab3c13da59.d: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs
+
+/root/repo/target/debug/deps/arbalest_race-8167ebab3c13da59: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs
+
+crates/race/src/lib.rs:
+crates/race/src/clock.rs:
+crates/race/src/engine.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/arbalest_race-a2cd653506d57b27.d: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbalest_race-a2cd653506d57b27.rmeta: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs Cargo.toml
+
+crates/race/src/lib.rs:
+crates/race/src/clock.rs:
+crates/race/src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/arbalest_shadow-23960ed4afd1e101.d: crates/shadow/src/lib.rs crates/shadow/src/interval.rs crates/shadow/src/map.rs crates/shadow/src/word.rs
+
+/root/repo/target/debug/deps/arbalest_shadow-23960ed4afd1e101: crates/shadow/src/lib.rs crates/shadow/src/interval.rs crates/shadow/src/map.rs crates/shadow/src/word.rs
+
+crates/shadow/src/lib.rs:
+crates/shadow/src/interval.rs:
+crates/shadow/src/map.rs:
+crates/shadow/src/word.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/arbalest_shadow-b0280ed62a8ca580.d: crates/shadow/src/lib.rs crates/shadow/src/interval.rs crates/shadow/src/map.rs crates/shadow/src/word.rs
+
+/root/repo/target/debug/deps/libarbalest_shadow-b0280ed62a8ca580.rlib: crates/shadow/src/lib.rs crates/shadow/src/interval.rs crates/shadow/src/map.rs crates/shadow/src/word.rs
+
+/root/repo/target/debug/deps/libarbalest_shadow-b0280ed62a8ca580.rmeta: crates/shadow/src/lib.rs crates/shadow/src/interval.rs crates/shadow/src/map.rs crates/shadow/src/word.rs
+
+crates/shadow/src/lib.rs:
+crates/shadow/src/interval.rs:
+crates/shadow/src/map.rs:
+crates/shadow/src/word.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/arbalest_shadow-cc65db2df6d5c05e.d: crates/shadow/src/lib.rs crates/shadow/src/interval.rs crates/shadow/src/map.rs crates/shadow/src/word.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbalest_shadow-cc65db2df6d5c05e.rmeta: crates/shadow/src/lib.rs crates/shadow/src/interval.rs crates/shadow/src/map.rs crates/shadow/src/word.rs Cargo.toml
+
+crates/shadow/src/lib.rs:
+crates/shadow/src/interval.rs:
+crates/shadow/src/map.rs:
+crates/shadow/src/word.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/arbalest_spec-2106d4cd9c8199c3.d: crates/spec/src/lib.rs crates/spec/src/pcg.rs crates/spec/src/pep.rs crates/spec/src/polbm.rs crates/spec/src/pomriq.rs crates/spec/src/postencil.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbalest_spec-2106d4cd9c8199c3.rmeta: crates/spec/src/lib.rs crates/spec/src/pcg.rs crates/spec/src/pep.rs crates/spec/src/polbm.rs crates/spec/src/pomriq.rs crates/spec/src/postencil.rs Cargo.toml
+
+crates/spec/src/lib.rs:
+crates/spec/src/pcg.rs:
+crates/spec/src/pep.rs:
+crates/spec/src/polbm.rs:
+crates/spec/src/pomriq.rs:
+crates/spec/src/postencil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

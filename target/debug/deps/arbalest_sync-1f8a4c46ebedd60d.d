@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arbalest_sync-1f8a4c46ebedd60d.d: crates/sync/src/lib.rs
+
+/root/repo/target/debug/deps/libarbalest_sync-1f8a4c46ebedd60d.rlib: crates/sync/src/lib.rs
+
+/root/repo/target/debug/deps/libarbalest_sync-1f8a4c46ebedd60d.rmeta: crates/sync/src/lib.rs
+
+crates/sync/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbalest_sync-39984ed5cc022af8.d: crates/sync/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbalest_sync-39984ed5cc022af8.rmeta: crates/sync/src/lib.rs Cargo.toml
+
+crates/sync/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

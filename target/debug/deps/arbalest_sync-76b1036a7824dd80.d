@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbalest_sync-76b1036a7824dd80.d: crates/sync/src/lib.rs
+
+/root/repo/target/debug/deps/arbalest_sync-76b1036a7824dd80: crates/sync/src/lib.rs
+
+crates/sync/src/lib.rs:

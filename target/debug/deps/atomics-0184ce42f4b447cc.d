@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atomics-0184ce42f4b447cc.d: crates/offload/tests/atomics.rs
+
+/root/repo/target/debug/deps/atomics-0184ce42f4b447cc: crates/offload/tests/atomics.rs
+
+crates/offload/tests/atomics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/atomics-d6526e0bb0e399c7.d: crates/offload/tests/atomics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libatomics-d6526e0bb0e399c7.rmeta: crates/offload/tests/atomics.rs Cargo.toml
+
+crates/offload/tests/atomics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

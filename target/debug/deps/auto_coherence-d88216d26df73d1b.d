@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/auto_coherence-d88216d26df73d1b.d: tests/auto_coherence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libauto_coherence-d88216d26df73d1b.rmeta: tests/auto_coherence.rs Cargo.toml
+
+tests/auto_coherence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/auto_coherence-e2df568db9f5df72.d: tests/auto_coherence.rs
+
+/root/repo/target/debug/deps/auto_coherence-e2df568db9f5df72: tests/auto_coherence.rs
+
+tests/auto_coherence.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-626adbb51a4b9bf2.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-626adbb51a4b9bf2: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_arbalest=/root/repo/target/debug/arbalest

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/critical_sections-e75e8883aaa21c50.d: crates/offload/tests/critical_sections.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcritical_sections-e75e8883aaa21c50.rmeta: crates/offload/tests/critical_sections.rs Cargo.toml
+
+crates/offload/tests/critical_sections.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

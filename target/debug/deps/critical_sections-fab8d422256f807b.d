@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/critical_sections-fab8d422256f807b.d: crates/offload/tests/critical_sections.rs
+
+/root/repo/target/debug/deps/critical_sections-fab8d422256f807b: crates/offload/tests/critical_sections.rs
+
+crates/offload/tests/critical_sections.rs:

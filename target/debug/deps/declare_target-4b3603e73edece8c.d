@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/declare_target-4b3603e73edece8c.d: crates/core/tests/declare_target.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeclare_target-4b3603e73edece8c.rmeta: crates/core/tests/declare_target.rs Cargo.toml
+
+crates/core/tests/declare_target.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

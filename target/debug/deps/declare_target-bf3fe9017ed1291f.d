@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/declare_target-bf3fe9017ed1291f.d: crates/core/tests/declare_target.rs
+
+/root/repo/target/debug/deps/declare_target-bf3fe9017ed1291f: crates/core/tests/declare_target.rs
+
+crates/core/tests/declare_target.rs:

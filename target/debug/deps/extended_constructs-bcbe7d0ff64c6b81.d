@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extended_constructs-bcbe7d0ff64c6b81.d: crates/offload/tests/extended_constructs.rs
+
+/root/repo/target/debug/deps/extended_constructs-bcbe7d0ff64c6b81: crates/offload/tests/extended_constructs.rs
+
+crates/offload/tests/extended_constructs.rs:

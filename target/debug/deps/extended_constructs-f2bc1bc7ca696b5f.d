@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extended_constructs-f2bc1bc7ca696b5f.d: crates/offload/tests/extended_constructs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextended_constructs-f2bc1bc7ca696b5f.rmeta: crates/offload/tests/extended_constructs.rs Cargo.toml
+
+crates/offload/tests/extended_constructs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

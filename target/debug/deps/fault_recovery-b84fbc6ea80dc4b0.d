@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_recovery-b84fbc6ea80dc4b0.d: tests/fault_recovery.rs
+
+/root/repo/target/debug/deps/fault_recovery-b84fbc6ea80dc4b0: tests/fault_recovery.rs
+
+tests/fault_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-ce607930a258762a.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-ce607930a258762a: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-fae8951f8395ace5.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-fae8951f8395ace5: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-ae9d85250af7bb53.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-ae9d85250af7bb53: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-c5d36f52a3e88b19.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-c5d36f52a3e88b19: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/granularity-61de3f629e12c1b6.d: crates/core/tests/granularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranularity-61de3f629e12c1b6.rmeta: crates/core/tests/granularity.rs Cargo.toml
+
+crates/core/tests/granularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

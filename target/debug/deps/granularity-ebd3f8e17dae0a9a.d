@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granularity-ebd3f8e17dae0a9a.d: crates/core/tests/granularity.rs
+
+/root/repo/target/debug/deps/granularity-ebd3f8e17dae0a9a: crates/core/tests/granularity.rs
+
+crates/core/tests/granularity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_properties-1759d69b7576b44a.d: crates/offload/tests/memory_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_properties-1759d69b7576b44a.rmeta: crates/offload/tests/memory_properties.rs Cargo.toml
+
+crates/offload/tests/memory_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_properties-b829c878f705f9eb.d: crates/offload/tests/memory_properties.rs
+
+/root/repo/target/debug/deps/memory_properties-b829c878f705f9eb: crates/offload/tests/memory_properties.rs
+
+crates/offload/tests/memory_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_device-5ce3a40157a84bce.d: crates/core/tests/multi_device.rs
+
+/root/repo/target/debug/deps/multi_device-5ce3a40157a84bce: crates/core/tests/multi_device.rs
+
+crates/core/tests/multi_device.rs:

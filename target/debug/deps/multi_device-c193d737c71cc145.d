@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_device-c193d737c71cc145.d: crates/core/tests/multi_device.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_device-c193d737c71cc145.rmeta: crates/core/tests/multi_device.rs Cargo.toml
+
+crates/core/tests/multi_device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

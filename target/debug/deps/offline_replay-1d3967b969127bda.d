@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/offline_replay-1d3967b969127bda.d: crates/core/tests/offline_replay.rs
+
+/root/repo/target/debug/deps/offline_replay-1d3967b969127bda: crates/core/tests/offline_replay.rs
+
+crates/core/tests/offline_replay.rs:

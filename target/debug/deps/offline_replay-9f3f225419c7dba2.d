@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/offline_replay-9f3f225419c7dba2.d: crates/core/tests/offline_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboffline_replay-9f3f225419c7dba2.rmeta: crates/core/tests/offline_replay.rs Cargo.toml
+
+crates/core/tests/offline_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-2462aed3562746ae.d: tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-2462aed3562746ae: tests/oracle.rs
+
+tests/oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_multi-4b13eb779f3ce155.d: tests/oracle_multi.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_multi-4b13eb779f3ce155.rmeta: tests/oracle_multi.rs Cargo.toml
+
+tests/oracle_multi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

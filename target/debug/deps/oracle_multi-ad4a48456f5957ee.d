@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_multi-ad4a48456f5957ee.d: tests/oracle_multi.rs
+
+/root/repo/target/debug/deps/oracle_multi-ad4a48456f5957ee: tests/oracle_multi.rs
+
+tests/oracle_multi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/postencil_report-051515b46950a086.d: crates/bench/src/bin/postencil_report.rs
+
+/root/repo/target/debug/deps/postencil_report-051515b46950a086: crates/bench/src/bin/postencil_report.rs
+
+crates/bench/src/bin/postencil_report.rs:

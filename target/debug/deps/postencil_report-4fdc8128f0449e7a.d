@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/postencil_report-4fdc8128f0449e7a.d: crates/bench/src/bin/postencil_report.rs
+
+/root/repo/target/debug/deps/postencil_report-4fdc8128f0449e7a: crates/bench/src/bin/postencil_report.rs
+
+crates/bench/src/bin/postencil_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/postencil_report-b31d5f67e273a786.d: crates/bench/src/bin/postencil_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostencil_report-b31d5f67e273a786.rmeta: crates/bench/src/bin/postencil_report.rs Cargo.toml
+
+crates/bench/src/bin/postencil_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

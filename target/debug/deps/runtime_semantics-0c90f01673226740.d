@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_semantics-0c90f01673226740.d: crates/offload/tests/runtime_semantics.rs
+
+/root/repo/target/debug/deps/runtime_semantics-0c90f01673226740: crates/offload/tests/runtime_semantics.rs
+
+crates/offload/tests/runtime_semantics.rs:

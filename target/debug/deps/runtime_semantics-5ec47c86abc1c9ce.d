@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_semantics-5ec47c86abc1c9ce.d: crates/offload/tests/runtime_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_semantics-5ec47c86abc1c9ce.rmeta: crates/offload/tests/runtime_semantics.rs Cargo.toml
+
+crates/offload/tests/runtime_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-42d968e250d8f4e9.d: tests/soak.rs
+
+/root/repo/target/debug/deps/soak-42d968e250d8f4e9: tests/soak.rs
+
+tests/soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-6db79b7d2418a7b8.d: crates/core/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-6db79b7d2418a7b8: crates/core/tests/stress.rs
+
+crates/core/tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-04f18f08cc27fa6b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-04f18f08cc27fa6b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ea7359c085e79b43.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-ea7359c085e79b43: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_iii-a79cd5ae7ec9cd90.d: crates/dracc/tests/table_iii.rs
+
+/root/repo/target/debug/deps/table_iii-a79cd5ae7ec9cd90: crates/dracc/tests/table_iii.rs
+
+crates/dracc/tests/table_iii.rs:

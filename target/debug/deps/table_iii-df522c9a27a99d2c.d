@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_iii-df522c9a27a99d2c.d: crates/dracc/tests/table_iii.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_iii-df522c9a27a99d2c.rmeta: crates/dracc/tests/table_iii.rs Cargo.toml
+
+crates/dracc/tests/table_iii.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

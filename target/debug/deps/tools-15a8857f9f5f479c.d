@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tools-15a8857f9f5f479c.d: crates/bench/benches/tools.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtools-15a8857f9f5f479c.rmeta: crates/bench/benches/tools.rs Cargo.toml
+
+crates/bench/benches/tools.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/async_hazard-d1252dd35e259c2d.d: examples/async_hazard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libasync_hazard-d1252dd35e259c2d.rmeta: examples/async_hazard.rs Cargo.toml
+
+examples/async_hazard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

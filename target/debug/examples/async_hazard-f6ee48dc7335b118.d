@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/async_hazard-f6ee48dc7335b118.d: examples/async_hazard.rs
+
+/root/repo/target/debug/examples/async_hazard-f6ee48dc7335b118: examples/async_hazard.rs
+
+examples/async_hazard.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/auto_repair-f5f8246e08b9b86f.d: examples/auto_repair.rs Cargo.toml
+
+/root/repo/target/debug/examples/libauto_repair-f5f8246e08b9b86f.rmeta: examples/auto_repair.rs Cargo.toml
+
+examples/auto_repair.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/auto_repair-f9210898f394b981.d: examples/auto_repair.rs
+
+/root/repo/target/debug/examples/auto_repair-f9210898f394b981: examples/auto_repair.rs
+
+examples/auto_repair.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dracc_tour-099600510a314991.d: examples/dracc_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdracc_tour-099600510a314991.rmeta: examples/dracc_tour.rs Cargo.toml
+
+examples/dracc_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

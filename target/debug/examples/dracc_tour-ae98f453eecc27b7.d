@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dracc_tour-ae98f453eecc27b7.d: examples/dracc_tour.rs
+
+/root/repo/target/debug/examples/dracc_tour-ae98f453eecc27b7: examples/dracc_tour.rs
+
+examples/dracc_tour.rs:

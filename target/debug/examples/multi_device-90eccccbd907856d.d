@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_device-90eccccbd907856d.d: examples/multi_device.rs
+
+/root/repo/target/debug/examples/multi_device-90eccccbd907856d: examples/multi_device.rs
+
+examples/multi_device.rs:

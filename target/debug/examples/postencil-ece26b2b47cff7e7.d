@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/postencil-ece26b2b47cff7e7.d: examples/postencil.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpostencil-ece26b2b47cff7e7.rmeta: examples/postencil.rs Cargo.toml
+
+examples/postencil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/postencil-ecf0d6c7b608e6e1.d: examples/postencil.rs
+
+/root/repo/target/debug/examples/postencil-ecf0d6c7b608e6e1: examples/postencil.rs
+
+examples/postencil.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3be88602dd54ea6c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3be88602dd54ea6c: examples/quickstart.rs
+
+examples/quickstart.rs:

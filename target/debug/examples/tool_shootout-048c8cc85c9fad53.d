@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tool_shootout-048c8cc85c9fad53.d: examples/tool_shootout.rs
+
+/root/repo/target/debug/examples/tool_shootout-048c8cc85c9fad53: examples/tool_shootout.rs
+
+examples/tool_shootout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tool_shootout-caa9a26905818234.d: examples/tool_shootout.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtool_shootout-caa9a26905818234.rmeta: examples/tool_shootout.rs Cargo.toml
+
+examples/tool_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unified_memory-f832e07dfd77416a.d: examples/unified_memory.rs
+
+/root/repo/target/debug/examples/unified_memory-f832e07dfd77416a: examples/unified_memory.rs
+
+examples/unified_memory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/unified_memory-fa6b59e3468ffab7.d: examples/unified_memory.rs Cargo.toml
+
+/root/repo/target/debug/examples/libunified_memory-fa6b59e3468ffab7.rmeta: examples/unified_memory.rs Cargo.toml
+
+examples/unified_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zerolen_probe-63eb8838c7f2defb.d: examples/zerolen_probe.rs
+
+/root/repo/target/debug/examples/zerolen_probe-63eb8838c7f2defb: examples/zerolen_probe.rs
+
+examples/zerolen_probe.rs:

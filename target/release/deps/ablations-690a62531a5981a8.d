@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-690a62531a5981a8.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-690a62531a5981a8: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

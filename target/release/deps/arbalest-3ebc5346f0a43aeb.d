@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/arbalest-3ebc5346f0a43aeb.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/arbalest-3ebc5346f0a43aeb: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/arbalest-ae28d2845d361ba7.d: src/lib.rs
+
+/root/repo/target/release/deps/libarbalest-ae28d2845d361ba7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libarbalest-ae28d2845d361ba7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/arbalest_baselines-5851d7efa6fc6ada.d: crates/baselines/src/lib.rs crates/baselines/src/archer.rs crates/baselines/src/asan.rs crates/baselines/src/memcheck.rs crates/baselines/src/msan.rs crates/baselines/src/sink.rs
+
+/root/repo/target/release/deps/libarbalest_baselines-5851d7efa6fc6ada.rlib: crates/baselines/src/lib.rs crates/baselines/src/archer.rs crates/baselines/src/asan.rs crates/baselines/src/memcheck.rs crates/baselines/src/msan.rs crates/baselines/src/sink.rs
+
+/root/repo/target/release/deps/libarbalest_baselines-5851d7efa6fc6ada.rmeta: crates/baselines/src/lib.rs crates/baselines/src/archer.rs crates/baselines/src/asan.rs crates/baselines/src/memcheck.rs crates/baselines/src/msan.rs crates/baselines/src/sink.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/archer.rs:
+crates/baselines/src/asan.rs:
+crates/baselines/src/memcheck.rs:
+crates/baselines/src/msan.rs:
+crates/baselines/src/sink.rs:

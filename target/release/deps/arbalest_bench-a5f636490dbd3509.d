@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/arbalest_bench-a5f636490dbd3509.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libarbalest_bench-a5f636490dbd3509.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libarbalest_bench-a5f636490dbd3509.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

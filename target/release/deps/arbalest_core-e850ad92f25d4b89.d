@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/arbalest_core-e850ad92f25d4b89.d: crates/core/src/lib.rs crates/core/src/ddg.rs crates/core/src/detector.rs crates/core/src/replay.rs crates/core/src/vsm.rs
+
+/root/repo/target/release/deps/libarbalest_core-e850ad92f25d4b89.rlib: crates/core/src/lib.rs crates/core/src/ddg.rs crates/core/src/detector.rs crates/core/src/replay.rs crates/core/src/vsm.rs
+
+/root/repo/target/release/deps/libarbalest_core-e850ad92f25d4b89.rmeta: crates/core/src/lib.rs crates/core/src/ddg.rs crates/core/src/detector.rs crates/core/src/replay.rs crates/core/src/vsm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ddg.rs:
+crates/core/src/detector.rs:
+crates/core/src/replay.rs:
+crates/core/src/vsm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/arbalest_dracc-26a76105f9a038c7.d: crates/dracc/src/lib.rs crates/dracc/src/buggy.rs crates/dracc/src/correct.rs
+
+/root/repo/target/release/deps/libarbalest_dracc-26a76105f9a038c7.rlib: crates/dracc/src/lib.rs crates/dracc/src/buggy.rs crates/dracc/src/correct.rs
+
+/root/repo/target/release/deps/libarbalest_dracc-26a76105f9a038c7.rmeta: crates/dracc/src/lib.rs crates/dracc/src/buggy.rs crates/dracc/src/correct.rs
+
+crates/dracc/src/lib.rs:
+crates/dracc/src/buggy.rs:
+crates/dracc/src/correct.rs:

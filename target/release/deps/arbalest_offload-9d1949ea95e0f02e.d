@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/arbalest_offload-9d1949ea95e0f02e.d: crates/offload/src/lib.rs crates/offload/src/addr.rs crates/offload/src/buffer.rs crates/offload/src/error.rs crates/offload/src/events.rs crates/offload/src/fault.rs crates/offload/src/mapping.rs crates/offload/src/mem.rs crates/offload/src/report.rs crates/offload/src/runtime.rs crates/offload/src/scalar.rs crates/offload/src/trace.rs
+
+/root/repo/target/release/deps/libarbalest_offload-9d1949ea95e0f02e.rlib: crates/offload/src/lib.rs crates/offload/src/addr.rs crates/offload/src/buffer.rs crates/offload/src/error.rs crates/offload/src/events.rs crates/offload/src/fault.rs crates/offload/src/mapping.rs crates/offload/src/mem.rs crates/offload/src/report.rs crates/offload/src/runtime.rs crates/offload/src/scalar.rs crates/offload/src/trace.rs
+
+/root/repo/target/release/deps/libarbalest_offload-9d1949ea95e0f02e.rmeta: crates/offload/src/lib.rs crates/offload/src/addr.rs crates/offload/src/buffer.rs crates/offload/src/error.rs crates/offload/src/events.rs crates/offload/src/fault.rs crates/offload/src/mapping.rs crates/offload/src/mem.rs crates/offload/src/report.rs crates/offload/src/runtime.rs crates/offload/src/scalar.rs crates/offload/src/trace.rs
+
+crates/offload/src/lib.rs:
+crates/offload/src/addr.rs:
+crates/offload/src/buffer.rs:
+crates/offload/src/error.rs:
+crates/offload/src/events.rs:
+crates/offload/src/fault.rs:
+crates/offload/src/mapping.rs:
+crates/offload/src/mem.rs:
+crates/offload/src/report.rs:
+crates/offload/src/runtime.rs:
+crates/offload/src/scalar.rs:
+crates/offload/src/trace.rs:

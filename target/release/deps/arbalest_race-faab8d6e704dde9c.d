@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/arbalest_race-faab8d6e704dde9c.d: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs
+
+/root/repo/target/release/deps/libarbalest_race-faab8d6e704dde9c.rlib: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs
+
+/root/repo/target/release/deps/libarbalest_race-faab8d6e704dde9c.rmeta: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs
+
+crates/race/src/lib.rs:
+crates/race/src/clock.rs:
+crates/race/src/engine.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/arbalest_shadow-6469f7051ed67c59.d: crates/shadow/src/lib.rs crates/shadow/src/interval.rs crates/shadow/src/map.rs crates/shadow/src/word.rs
+
+/root/repo/target/release/deps/libarbalest_shadow-6469f7051ed67c59.rlib: crates/shadow/src/lib.rs crates/shadow/src/interval.rs crates/shadow/src/map.rs crates/shadow/src/word.rs
+
+/root/repo/target/release/deps/libarbalest_shadow-6469f7051ed67c59.rmeta: crates/shadow/src/lib.rs crates/shadow/src/interval.rs crates/shadow/src/map.rs crates/shadow/src/word.rs
+
+crates/shadow/src/lib.rs:
+crates/shadow/src/interval.rs:
+crates/shadow/src/map.rs:
+crates/shadow/src/word.rs:

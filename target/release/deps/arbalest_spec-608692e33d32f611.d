@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/arbalest_spec-608692e33d32f611.d: crates/spec/src/lib.rs crates/spec/src/pcg.rs crates/spec/src/pep.rs crates/spec/src/polbm.rs crates/spec/src/pomriq.rs crates/spec/src/postencil.rs
+
+/root/repo/target/release/deps/libarbalest_spec-608692e33d32f611.rlib: crates/spec/src/lib.rs crates/spec/src/pcg.rs crates/spec/src/pep.rs crates/spec/src/polbm.rs crates/spec/src/pomriq.rs crates/spec/src/postencil.rs
+
+/root/repo/target/release/deps/libarbalest_spec-608692e33d32f611.rmeta: crates/spec/src/lib.rs crates/spec/src/pcg.rs crates/spec/src/pep.rs crates/spec/src/polbm.rs crates/spec/src/pomriq.rs crates/spec/src/postencil.rs
+
+crates/spec/src/lib.rs:
+crates/spec/src/pcg.rs:
+crates/spec/src/pep.rs:
+crates/spec/src/polbm.rs:
+crates/spec/src/pomriq.rs:
+crates/spec/src/postencil.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/arbalest_sync-fe6d5559ca6ad507.d: crates/sync/src/lib.rs
+
+/root/repo/target/release/deps/libarbalest_sync-fe6d5559ca6ad507.rlib: crates/sync/src/lib.rs
+
+/root/repo/target/release/deps/libarbalest_sync-fe6d5559ca6ad507.rmeta: crates/sync/src/lib.rs
+
+crates/sync/src/lib.rs:

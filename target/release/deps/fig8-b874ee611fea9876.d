@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-b874ee611fea9876.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-b874ee611fea9876: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

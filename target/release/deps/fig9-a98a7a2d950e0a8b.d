@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-a98a7a2d950e0a8b.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-a98a7a2d950e0a8b: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

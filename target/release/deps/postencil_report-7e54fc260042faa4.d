@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/postencil_report-7e54fc260042faa4.d: crates/bench/src/bin/postencil_report.rs
+
+/root/repo/target/release/deps/postencil_report-7e54fc260042faa4: crates/bench/src/bin/postencil_report.rs
+
+crates/bench/src/bin/postencil_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-ee0d72a9728ec744.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-ee0d72a9728ec744: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libarbalest_race.rlib: /root/repo/crates/race/src/clock.rs /root/repo/crates/race/src/engine.rs /root/repo/crates/race/src/lib.rs /root/repo/crates/sync/src/lib.rs

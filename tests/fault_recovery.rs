@@ -1,0 +1,249 @@
+//! Recovery-invariant tests for the fault-injection layer.
+//!
+//! The contract under test: whatever the fault plan does — failed device
+//! allocations, partial or dropped transfers, refused kernel launches,
+//! delayed `nowait` completions — a *correct* program keeps computing the
+//! right answer, the detectors stay silent (no false UUM/USD, no phantom
+//! races), and aborted constructs leave no residue in the present table or
+//! the detector's shadow state.
+
+use arbalest::core::{Arbalest, ArbalestConfig};
+use arbalest::prelude::*;
+use std::sync::Arc;
+
+fn with_arbalest(cfg: Config) -> Runtime {
+    Runtime::with_tool(cfg, Arc::new(Arbalest::new(ArbalestConfig::default())))
+}
+
+fn assert_clean(rt: &Runtime, ctx: &str) {
+    let reports = rt.reports();
+    assert!(
+        reports.is_empty(),
+        "{ctx}: false positives: {:?}",
+        reports.iter().map(|r| (r.tool, r.kind, r.message.clone())).collect::<Vec<_>>()
+    );
+}
+
+/// Increment every element once. Written to be *presence-agnostic*: it
+/// computes the same values whether `a` is persistently mapped, freshly
+/// mapped per construct, or never mapped at all (host fallback) — so it is
+/// correct under every recovery path the runtime can take.
+fn increment_round(rt: &Runtime, a: &Buffer<f64>, n: usize) {
+    let a2 = *a;
+    rt.target().map(Map::tofrom(a)).run(move |k| {
+        k.par_for(0..n, |k, i| {
+            let v = k.read(&a2, i);
+            k.write(&a2, i, v + 1.0);
+        });
+    });
+    // Pulls the device copy when one is persistently present; no-op when
+    // the buffer is unmapped (the tofrom exit transfer already ran then).
+    rt.update_from(a);
+}
+
+#[test]
+fn total_fault_rate_degrades_to_host_and_stays_correct() {
+    // rate = 1.0: every allocation eventually fails permanently, every
+    // kernel launch is refused, every transfer needs the degraded path.
+    // The whole program must still run — on the host — with exact results
+    // and zero detector reports.
+    let rt = with_arbalest(Config::default().faults(0xC0FFEE, 1.0));
+    let n = 96;
+    let a = rt.alloc_with::<f64>("a", n, |i| i as f64);
+
+    rt.target_enter_data(DeviceId::ACCEL0, &[Map::to(&a)]);
+    for _ in 0..3 {
+        increment_round(&rt, &a, n);
+    }
+    rt.target_exit_data(DeviceId::ACCEL0, &[Map::from(&a)]);
+    rt.taskwait();
+
+    for i in 0..n {
+        assert_eq!(rt.read(&a, i), i as f64 + 3.0, "element {i}");
+    }
+    // Nothing can be resident after total allocation failure.
+    assert!(!rt.is_present(DeviceId::ACCEL0, &a));
+    assert_clean(&rt, "rate=1.0");
+    assert!(!rt.errors().is_empty(), "total fault rate must log errors");
+}
+
+#[test]
+fn alloc_failure_rolls_back_present_table_atomically() {
+    // A construct that maps two buffers must commit both or neither:
+    // if the second allocation fails, the first committed map is rolled
+    // back (present-table entry removed, CV freed, CvDelete emitted so the
+    // detector drops its shadow interval). Scanning seeds exercises both
+    // the success and the rollback branch.
+    let mut rollbacks = 0usize;
+    let mut successes = 0usize;
+    for seed in 0..96u64 {
+        let rt = with_arbalest(Config::default().faults(seed, 0.35));
+        let n = 64;
+        let a = rt.alloc_with::<f64>("a", n, |i| i as f64);
+        let b = rt.alloc_with::<f64>("b", n, |_| 1.0);
+
+        rt.target_enter_data(DeviceId::ACCEL0, &[Map::to(&a), Map::to(&b)]);
+        let pa = rt.is_present(DeviceId::ACCEL0, &a);
+        let pb = rt.is_present(DeviceId::ACCEL0, &b);
+        assert_eq!(pa, pb, "seed {seed}: entry mapping must be all-or-nothing");
+        let alloc_failed =
+            rt.errors().iter().any(|e| matches!(e, RuntimeError::DeviceAllocFailed { .. }));
+        if pa {
+            successes += 1;
+            rt.target_exit_data(DeviceId::ACCEL0, &[Map::delete(&a), Map::delete(&b)]);
+        } else {
+            assert!(alloc_failed, "seed {seed}: absent mapping must come with a logged error");
+            rollbacks += 1;
+        }
+        assert!(!rt.is_present(DeviceId::ACCEL0, &a));
+        assert!(!rt.is_present(DeviceId::ACCEL0, &b));
+
+        // A subsequent correct run over the same data must be exact and
+        // report-free: rollback may not leave stale shadow intervals or
+        // VSM states behind.
+        increment_round(&rt, &a, n);
+        rt.taskwait();
+        for i in 0..n {
+            assert_eq!(rt.read(&a, i), i as f64 + 1.0, "seed {seed} element {i}");
+        }
+        assert_clean(&rt, &format!("seed {seed}"));
+    }
+    assert!(rollbacks > 0, "seed scan never hit the rollback branch");
+    assert!(successes > 0, "seed scan never hit the success branch");
+}
+
+#[test]
+fn partial_transfers_eventually_complete_with_consistent_vsm() {
+    // Partial transfers copy a prefix and are retried; the degraded path
+    // finishes the copy after MAX_RETRIES. Per-word VSM states must end up
+    // exactly as if the transfer succeeded first try — same values, no
+    // false reports.
+    let mut partials_seen = false;
+    for seed in 0..48u64 {
+        let rt = with_arbalest(Config::default().faults(seed, 0.25));
+        let n = 256;
+        let a = rt.alloc_with::<f64>("a", n, |i| (i * 7) as f64);
+
+        rt.target_enter_data(DeviceId::ACCEL0, &[Map::to(&a)]);
+        for _ in 0..2 {
+            increment_round(&rt, &a, n);
+        }
+        rt.target_exit_data(DeviceId::ACCEL0, &[Map::from(&a)]);
+        rt.taskwait();
+
+        for i in 0..n {
+            assert_eq!(rt.read(&a, i), (i * 7) as f64 + 2.0, "seed {seed} element {i}");
+        }
+        assert_clean(&rt, &format!("seed {seed}"));
+        partials_seen |= rt
+            .errors()
+            .iter()
+            .any(|e| matches!(e, RuntimeError::TransferIncomplete { .. }));
+    }
+    assert!(partials_seen, "seed scan never exercised a faulted transfer");
+}
+
+#[test]
+fn launch_failure_falls_back_to_host_with_exact_results() {
+    let mut fallbacks = 0usize;
+    for seed in 0..48u64 {
+        let rt = with_arbalest(Config::default().faults(seed, 0.4));
+        let n = 80;
+        let a = rt.alloc_with::<f64>("a", n, |i| i as f64);
+        for _ in 0..4 {
+            increment_round(&rt, &a, n);
+        }
+        rt.taskwait();
+        for i in 0..n {
+            assert_eq!(rt.read(&a, i), i as f64 + 4.0, "seed {seed} element {i}");
+        }
+        assert_clean(&rt, &format!("seed {seed}"));
+        if rt.errors().iter().any(|e| matches!(e, RuntimeError::KernelLaunchFailed { .. })) {
+            fallbacks += 1;
+        }
+    }
+    assert!(fallbacks > 0, "seed scan never exercised host fallback");
+}
+
+#[test]
+fn delayed_nowait_completion_does_not_deadlock() {
+    // Every nowait completion is delayed at rate 1.0 (and every launch is
+    // refused); wait()/taskwait must still terminate with exact values.
+    let rt = with_arbalest(Config::default().faults(77, 1.0));
+    let n = 64;
+    let a = rt.alloc_with::<f64>("a", n, |_| 2.0);
+    let a2 = a;
+    let h = rt.target().map(Map::tofrom(&a)).nowait().run(move |k| {
+        k.par_for(0..n, |k, i| {
+            let v = k.read(&a2, i);
+            k.write(&a2, i, v * v);
+        });
+    });
+    h.wait();
+    rt.taskwait();
+    for i in 0..n {
+        assert_eq!(rt.read(&a, i), 4.0, "element {i}");
+    }
+    assert_clean(&rt, "delayed nowait");
+}
+
+#[test]
+fn zero_rate_is_byte_identical_to_no_faults() {
+    let run = |cfg: Config| -> (Vec<f64>, usize, usize) {
+        let rt = with_arbalest(cfg);
+        let n = 64;
+        let a = rt.alloc_with::<f64>("a", n, |i| i as f64);
+        for _ in 0..2 {
+            increment_round(&rt, &a, n);
+        }
+        rt.taskwait();
+        let vals = rt.read_all(&a);
+        (vals, rt.reports().len(), rt.errors().len())
+    };
+    let (base_vals, base_reports, base_errors) = run(Config::default());
+    let (vals, reports, errors) = run(Config::default().faults(12345, 0.0));
+    assert_eq!(vals, base_vals);
+    assert_eq!(reports, 0);
+    assert_eq!(base_reports, 0);
+    assert_eq!(errors, 0, "rate 0 must never log an error");
+    assert_eq!(base_errors, 0);
+}
+
+#[test]
+fn abnormal_public_api_input_is_panic_free() {
+    // No panic!/assert! is reachable from the public runtime API: abnormal
+    // input degrades to typed errors (and, for genuine program bugs like a
+    // double free, a report) instead of crashing.
+    let rt = Runtime::new(Config::default());
+    let a = rt.alloc_with::<f64>("a", 8, |i| i as f64);
+
+    // Out-of-range access: read yields the zero scalar, write is dropped,
+    // both log a typed error; the try_ variants surface it directly.
+    assert_eq!(rt.read(&a, 999), 0.0);
+    rt.write(&a, 999, 1.0);
+    assert!(matches!(rt.try_read(&a, 999), Err(RuntimeError::OutOfRange { .. })));
+    assert!(matches!(rt.try_write(&a, 999, 1.0), Err(RuntimeError::OutOfRange { .. })));
+
+    // Zero-length buffers can be mapped, updated and released without
+    // crashing the detectors (degenerate shadow intervals are ignored).
+    let e = rt.alloc::<f64>("empty", 0);
+    let e2 = e;
+    rt.target().map(Map::tofrom(&e)).run(move |k| {
+        k.par_for(0..0, |k, i| {
+            let _ = k.read(&e2, i);
+        });
+    });
+    rt.target_enter_data(DeviceId::ACCEL0, &[Map::to(&e)]);
+    rt.target_exit_data(DeviceId::ACCEL0, &[Map::delete(&e)]);
+    rt.free(&e);
+
+    // Double free: first succeeds, second produces a typed error and a
+    // use-after-free report attributed to the runtime itself.
+    rt.free(&a);
+    assert!(matches!(rt.try_free(&a), Err(RuntimeError::DoubleFree { .. })));
+    assert!(rt
+        .reports()
+        .iter()
+        .any(|r| r.tool == "runtime" && r.kind == ReportKind::UseAfterFree));
+    assert!(rt.errors().iter().any(|e| matches!(e, RuntimeError::OutOfRange { .. })));
+}

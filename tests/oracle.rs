@@ -14,7 +14,6 @@
 
 use arbalest::core::{Arbalest, ArbalestConfig};
 use arbalest::prelude::*;
-use proptest::prelude::*;
 use std::sync::Arc;
 
 const NBUF: usize = 3;
@@ -206,21 +205,42 @@ impl Harness {
     }
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    (0usize..NBUF).prop_flat_map(|i| {
-        prop_oneof![
-            Just(Op::HostWrite(i)),
-            Just(Op::HostRead(i)),
-            Just(Op::KernelWrite(i)),
-            Just(Op::KernelRead(i)),
-            Just(Op::EnterTo(i)),
-            Just(Op::EnterAlloc(i)),
-            Just(Op::ExitFrom(i)),
-            Just(Op::ExitRelease(i)),
-            Just(Op::UpdateTo(i)),
-            Just(Op::UpdateFrom(i)),
-        ]
-    })
+/// Deterministic xorshift64* generator (hermetic proptest replacement).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_op(rng: &mut Rng) -> Op {
+    let i = rng.below(NBUF as u64) as usize;
+    match rng.below(10) {
+        0 => Op::HostWrite(i),
+        1 => Op::HostRead(i),
+        2 => Op::KernelWrite(i),
+        3 => Op::KernelRead(i),
+        4 => Op::EnterTo(i),
+        5 => Op::EnterAlloc(i),
+        6 => Op::ExitFrom(i),
+        7 => Op::ExitRelease(i),
+        8 => Op::UpdateTo(i),
+        _ => Op::UpdateFrom(i),
+    }
 }
 
 fn buffer_of(op: Op) -> usize {
@@ -238,16 +258,17 @@ fn buffer_of(op: Op) -> usize {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// No false positives: executing only oracle-legal operations never
-    /// produces a report.
-    #[test]
-    fn legal_programs_are_report_free(ops in prop::collection::vec(arb_op(), 1..60)) {
+/// No false positives: executing only oracle-legal operations never
+/// produces a report.
+#[test]
+fn legal_programs_are_report_free() {
+    for seed in 1..=48u64 {
+        let mut rng = Rng::new(seed);
         let h = Harness::new();
         let mut model = [ModelBuf::default(); NBUF];
-        for op in ops {
+        let steps = 1 + rng.below(59);
+        for _ in 0..steps {
+            let op = random_op(&mut rng);
             let i = buffer_of(op);
             match classify(&model[i], op) {
                 Verdict::Legal => {
@@ -258,27 +279,33 @@ proptest! {
             }
         }
         let reports = h.tool.reports();
-        prop_assert!(reports.is_empty(), "false positives: {:?}",
-            reports.iter().map(|r| (r.kind, r.message.clone())).collect::<Vec<_>>());
+        assert!(
+            reports.is_empty(),
+            "false positives (seed {seed}): {:?}",
+            reports.iter().map(|r| (r.kind, r.message.clone())).collect::<Vec<_>>()
+        );
     }
+}
 
-    /// Completeness + classification: after a legal prefix, an
-    /// oracle-illegal read is reported with the oracle-predicted kind.
-    #[test]
-    fn illegal_reads_are_reported_with_the_right_kind(
-        ops in prop::collection::vec(arb_op(), 1..40),
-        probe in arb_op(),
-    ) {
+/// Completeness + classification: after a legal prefix, an
+/// oracle-illegal read is reported with the oracle-predicted kind.
+#[test]
+fn illegal_reads_are_reported_with_the_right_kind() {
+    for seed in 1..=48u64 {
+        let mut rng = Rng::new(seed ^ 0x0BAD_F00D);
         let h = Harness::new();
         let mut model = [ModelBuf::default(); NBUF];
-        for op in ops {
+        let steps = 1 + rng.below(39);
+        for _ in 0..steps {
+            let op = random_op(&mut rng);
             let i = buffer_of(op);
             if classify(&model[i], op) == Verdict::Legal {
                 model_apply(&mut model[i], op);
                 h.exec(op);
             }
         }
-        // Reinterpret the probe as a read on its buffer.
+        // Reinterpret a random probe as a read on its buffer.
+        let probe = random_op(&mut rng);
         let i = buffer_of(probe);
         let read = if matches!(probe, Op::KernelRead(_) | Op::KernelWrite(_) | Op::EnterTo(_)
             | Op::EnterAlloc(_)) {
@@ -291,9 +318,13 @@ proptest! {
                 h.exec(read);
                 let want = if uninit { ReportKind::MappingUum } else { ReportKind::MappingUsd };
                 let reports = h.tool.reports();
-                prop_assert!(reports.iter().any(|r| r.kind == want),
-                    "expected {:?} for {:?}, got {:?}", want, read,
-                    reports.iter().map(|r| r.kind).collect::<Vec<_>>());
+                assert!(
+                    reports.iter().any(|r| r.kind == want),
+                    "expected {:?} for {:?} (seed {seed}), got {:?}",
+                    want,
+                    read,
+                    reports.iter().map(|r| r.kind).collect::<Vec<_>>()
+                );
             }
             _ => {
                 // Legal or skipped probe: nothing to check this case.

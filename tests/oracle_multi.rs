@@ -6,7 +6,6 @@
 
 use arbalest::core::{Arbalest, ArbalestConfig};
 use arbalest::prelude::*;
-use proptest::prelude::*;
 use std::sync::Arc;
 
 const NBUF: usize = 2;
@@ -230,34 +229,56 @@ impl Harness {
     }
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    (0usize..NBUF, 0u16..NDEV as u16, 0u16..NDEV as u16).prop_flat_map(|(i, d, d2)| {
-        prop_oneof![
-            Just(Op::HostWrite(i)),
-            Just(Op::HostRead(i)),
-            Just(Op::KernelWrite(i, d)),
-            Just(Op::KernelRead(i, d)),
-            Just(Op::EnterTo(i, d)),
-            Just(Op::EnterAlloc(i, d)),
-            Just(Op::ExitFrom(i, d)),
-            Just(Op::ExitRelease(i, d)),
-            Just(Op::UpdateTo(i, d)),
-            Just(Op::UpdateFrom(i, d)),
-            Just(Op::DevCopy(i, d, d2)),
-        ]
-    })
+/// Deterministic xorshift64* generator (hermetic proptest replacement).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+fn random_op(rng: &mut Rng) -> Op {
+    let i = rng.below(NBUF as u64) as usize;
+    let d = rng.below(NDEV as u64) as u16;
+    let d2 = rng.below(NDEV as u64) as u16;
+    match rng.below(11) {
+        0 => Op::HostWrite(i),
+        1 => Op::HostRead(i),
+        2 => Op::KernelWrite(i, d),
+        3 => Op::KernelRead(i, d),
+        4 => Op::EnterTo(i, d),
+        5 => Op::EnterAlloc(i, d),
+        6 => Op::ExitFrom(i, d),
+        7 => Op::ExitRelease(i, d),
+        8 => Op::UpdateTo(i, d),
+        9 => Op::UpdateFrom(i, d),
+        _ => Op::DevCopy(i, d, d2),
+    }
+}
 
-    #[test]
-    fn legal_multi_device_programs_are_report_free(
-        ops in prop::collection::vec(arb_op(), 1..50)
-    ) {
+#[test]
+fn legal_multi_device_programs_are_report_free() {
+    for seed in 1..=40u64 {
+        let mut rng = Rng::new(seed);
         let h = Harness::new();
         let mut model = [ModelBuf::default(); NBUF];
-        for op in ops {
+        let steps = 1 + rng.below(49);
+        for _ in 0..steps {
+            let op = random_op(&mut rng);
             let i = op.buffer();
             if classify(&model[i], op) == Verdict::Legal {
                 model_apply(&mut model[i], op);
@@ -265,25 +286,31 @@ proptest! {
             }
         }
         let reports = h.tool.reports();
-        prop_assert!(reports.is_empty(), "false positives: {:?}",
-            reports.iter().map(|r| (r.kind, r.message.clone())).collect::<Vec<_>>());
+        assert!(
+            reports.is_empty(),
+            "false positives (seed {seed}): {:?}",
+            reports.iter().map(|r| (r.kind, r.message.clone())).collect::<Vec<_>>()
+        );
     }
+}
 
-    #[test]
-    fn illegal_multi_device_reads_are_classified(
-        ops in prop::collection::vec(arb_op(), 1..40),
-        probe_buf in 0usize..NBUF,
-        probe_dev in 0u16..=(NDEV as u16), // NDEV means "host"
-    ) {
+#[test]
+fn illegal_multi_device_reads_are_classified() {
+    for seed in 1..=40u64 {
+        let mut rng = Rng::new(seed ^ 0xD1CE);
         let h = Harness::new();
         let mut model = [ModelBuf::default(); NBUF];
-        for op in ops {
+        let steps = 1 + rng.below(39);
+        for _ in 0..steps {
+            let op = random_op(&mut rng);
             let i = op.buffer();
             if classify(&model[i], op) == Verdict::Legal {
                 model_apply(&mut model[i], op);
                 h.exec(op);
             }
         }
+        let probe_buf = rng.below(NBUF as u64) as usize;
+        let probe_dev = rng.below(NDEV as u64 + 1) as u16; // NDEV means "host"
         let read = if probe_dev == NDEV as u16 {
             Op::HostRead(probe_buf)
         } else {
@@ -293,9 +320,13 @@ proptest! {
             h.exec(read);
             let want = if uninit { ReportKind::MappingUum } else { ReportKind::MappingUsd };
             let reports = h.tool.reports();
-            prop_assert!(reports.iter().any(|r| r.kind == want),
-                "expected {:?} for {:?}, got {:?}", want, read,
-                reports.iter().map(|r| r.kind).collect::<Vec<_>>());
+            assert!(
+                reports.iter().any(|r| r.kind == want),
+                "expected {:?} for {:?} (seed {seed}), got {:?}",
+                want,
+                read,
+                reports.iter().map(|r| r.kind).collect::<Vec<_>>()
+            );
         }
     }
 }

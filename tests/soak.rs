@@ -1,8 +1,10 @@
-//! Long-running randomized soak test (ignored by default; run with
-//! `cargo test --test soak -- --ignored`). Hammers the full stack —
-//! random programs, all five tools attached at once, real concurrency —
-//! and checks the global invariants: no false positives on oracle-legal
-//! programs and no panics/deadlocks anywhere.
+//! Long-running randomized fault-injection soak (ignored by default; run
+//! with `cargo test --test soak -- --ignored`). Hammers the full stack —
+//! random *correct* programs, all five tools attached at once, real
+//! concurrency — at fault rates 0%, 5% and 25%, and checks the global
+//! invariants: no panics, no deadlocks, no false positives, and finite
+//! results no matter which recovery paths (retry, partial-transfer
+//! completion, rollback, host fallback) the fault plan forces.
 
 use arbalest::baselines::{AddressSanitizer, Archer, Memcheck, MemorySanitizer};
 use arbalest::core::{Arbalest, ArbalestConfig};
@@ -25,13 +27,17 @@ impl Rng {
     }
 }
 
+/// Fault rates the soak sweeps. 0 keeps the no-fault baseline honest; 5%
+/// exercises isolated recoveries; 25% forces recovery paths to compose.
+const RATES: [f64; 3] = [0.0, 0.05, 0.25];
+
 fn random_correct_program(rt: &Runtime, seed: u64) {
     let mut rng = Rng(seed | 1);
     let n = 64 + rng.below(192) as usize;
     let a = rt.alloc_with::<f64>("a", n, |i| i as f64);
     let b = rt.alloc_with::<f64>("b", n, |_| 1.0);
     for _ in 0..(2 + rng.below(4)) {
-        match rng.below(4) {
+        match rng.below(5) {
             0 => {
                 rt.target().map(Map::tofrom(&a)).map(Map::to(&b)).run(move |k| {
                     k.par_for(0..n, |k, i| {
@@ -41,6 +47,8 @@ fn random_correct_program(rt: &Runtime, seed: u64) {
                 });
             }
             1 => {
+                // nowait + immediate wait: the delayed-completion fault
+                // stretches this window without breaking the ordering.
                 let h = rt.target().map(Map::tofrom(&b)).nowait().run(move |k| {
                     k.par_for(0..n, |k, i| {
                         let v = k.read(&b, i);
@@ -54,6 +62,20 @@ fn random_correct_program(rt: &Runtime, seed: u64) {
                     let s = k.par_reduce(0..n, 0.0, |k, i| k.read(&a, i), |x, y| x + y);
                     k.write(&b, 0, s);
                 });
+            }
+            3 => {
+                // Persistent mapping: entry allocation can fail and roll
+                // back, in which case the construct pair degrades to
+                // host-only no-ops and the kernel maps `a` itself.
+                rt.target_enter_data(DeviceId::ACCEL0, &[Map::to(&a)]);
+                rt.target().map(Map::tofrom(&a)).run(move |k| {
+                    k.par_for(0..n, |k, i| {
+                        let v = k.read(&a, i);
+                        k.write(&a, i, v + 0.5);
+                    });
+                });
+                rt.update_from(&a);
+                rt.target_exit_data(DeviceId::ACCEL0, &[Map::delete(&a)]);
             }
             _ => {
                 for i in 0..n {
@@ -71,34 +93,46 @@ fn random_correct_program(rt: &Runtime, seed: u64) {
     assert!(acc.is_finite());
 }
 
-#[test]
-#[ignore = "long-running soak; run explicitly"]
-fn soak_all_tools_no_false_positives() {
-    for seed in 0..200u64 {
-        let rt = Runtime::new(Config::default().team_size(4));
-        rt.attach(Arc::new(Arbalest::new(ArbalestConfig::default())));
+fn soak_one(seed: u64, rate: f64, all_tools: bool) {
+    // Decorrelate the fault stream from the program stream.
+    let fault_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ rate.to_bits();
+    let rt = Runtime::new(Config::default().team_size(4).faults(fault_seed, rate));
+    rt.attach(Arc::new(Arbalest::new(ArbalestConfig::default())));
+    if all_tools {
         rt.attach(Arc::new(Memcheck::new()));
         rt.attach(Arc::new(Archer::new()));
         rt.attach(Arc::new(AddressSanitizer::new()));
         rt.attach(Arc::new(MemorySanitizer::new()));
-        random_correct_program(&rt, seed);
-        let reports = rt.reports();
-        assert!(
-            reports.is_empty(),
-            "seed {seed}: false positives: {:?}",
-            reports.iter().map(|r| (r.tool, r.kind, r.message.clone())).collect::<Vec<_>>()
-        );
+    }
+    random_correct_program(&rt, seed);
+    let reports = rt.reports();
+    assert!(
+        reports.is_empty(),
+        "seed {seed} rate {rate}: false positives: {:?}",
+        reports.iter().map(|r| (r.tool, r.kind, r.message.clone())).collect::<Vec<_>>()
+    );
+    if rate == 0.0 {
+        assert!(rt.errors().is_empty(), "seed {seed}: errors logged at rate 0");
+    }
+}
+
+#[test]
+#[ignore = "long-running soak; run explicitly"]
+fn soak_all_tools_no_false_positives() {
+    for &rate in &RATES {
+        for seed in 0..64u64 {
+            soak_one(seed, rate, true);
+        }
     }
 }
 
 #[test]
 fn mini_soak_smoke() {
-    // The unignored cousin: a handful of seeds so CI always exercises
-    // the path.
-    for seed in 0..8u64 {
-        let rt = Runtime::new(Config::default().team_size(2));
-        rt.attach(Arc::new(Arbalest::new(ArbalestConfig::default())));
-        random_correct_program(&rt, seed);
-        assert!(rt.reports().is_empty());
+    // The unignored cousin: a handful of seeds per rate so CI always
+    // exercises the fault-injection recovery paths.
+    for &rate in &RATES {
+        for seed in 0..8u64 {
+            soak_one(seed, rate, false);
+        }
     }
 }
