@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ce1a7af453c5e493.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-ce1a7af453c5e493.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

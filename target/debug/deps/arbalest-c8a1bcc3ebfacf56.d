@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbalest-c8a1bcc3ebfacf56.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libarbalest-c8a1bcc3ebfacf56.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbalest-eec60d7c953edc00.d: src/lib.rs
+
+/root/repo/target/debug/deps/libarbalest-eec60d7c953edc00.rmeta: src/lib.rs
+
+src/lib.rs:

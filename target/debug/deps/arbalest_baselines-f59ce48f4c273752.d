@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/arbalest_baselines-f59ce48f4c273752.d: crates/baselines/src/lib.rs crates/baselines/src/archer.rs crates/baselines/src/asan.rs crates/baselines/src/memcheck.rs crates/baselines/src/msan.rs crates/baselines/src/sink.rs
+
+/root/repo/target/debug/deps/libarbalest_baselines-f59ce48f4c273752.rmeta: crates/baselines/src/lib.rs crates/baselines/src/archer.rs crates/baselines/src/asan.rs crates/baselines/src/memcheck.rs crates/baselines/src/msan.rs crates/baselines/src/sink.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/archer.rs:
+crates/baselines/src/asan.rs:
+crates/baselines/src/memcheck.rs:
+crates/baselines/src/msan.rs:
+crates/baselines/src/sink.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbalest_bench-775b0faf52ecf013.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libarbalest_bench-775b0faf52ecf013.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbalest_core-7c471ae8e3291e9b.d: crates/core/src/lib.rs crates/core/src/ddg.rs crates/core/src/detector.rs crates/core/src/replay.rs crates/core/src/vsm.rs
+
+/root/repo/target/debug/deps/libarbalest_core-7c471ae8e3291e9b.rmeta: crates/core/src/lib.rs crates/core/src/ddg.rs crates/core/src/detector.rs crates/core/src/replay.rs crates/core/src/vsm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ddg.rs:
+crates/core/src/detector.rs:
+crates/core/src/replay.rs:
+crates/core/src/vsm.rs:

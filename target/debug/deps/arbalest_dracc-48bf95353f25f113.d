@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arbalest_dracc-48bf95353f25f113.d: crates/dracc/src/lib.rs crates/dracc/src/buggy.rs crates/dracc/src/correct.rs
+
+/root/repo/target/debug/deps/libarbalest_dracc-48bf95353f25f113.rmeta: crates/dracc/src/lib.rs crates/dracc/src/buggy.rs crates/dracc/src/correct.rs
+
+crates/dracc/src/lib.rs:
+crates/dracc/src/buggy.rs:
+crates/dracc/src/correct.rs:

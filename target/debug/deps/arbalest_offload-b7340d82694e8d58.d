@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/arbalest_offload-b7340d82694e8d58.d: crates/offload/src/lib.rs crates/offload/src/addr.rs crates/offload/src/buffer.rs crates/offload/src/error.rs crates/offload/src/events.rs crates/offload/src/fault.rs crates/offload/src/mapping.rs crates/offload/src/mem.rs crates/offload/src/report.rs crates/offload/src/runtime.rs crates/offload/src/scalar.rs crates/offload/src/trace.rs
+
+/root/repo/target/debug/deps/libarbalest_offload-b7340d82694e8d58.rmeta: crates/offload/src/lib.rs crates/offload/src/addr.rs crates/offload/src/buffer.rs crates/offload/src/error.rs crates/offload/src/events.rs crates/offload/src/fault.rs crates/offload/src/mapping.rs crates/offload/src/mem.rs crates/offload/src/report.rs crates/offload/src/runtime.rs crates/offload/src/scalar.rs crates/offload/src/trace.rs
+
+crates/offload/src/lib.rs:
+crates/offload/src/addr.rs:
+crates/offload/src/buffer.rs:
+crates/offload/src/error.rs:
+crates/offload/src/events.rs:
+crates/offload/src/fault.rs:
+crates/offload/src/mapping.rs:
+crates/offload/src/mem.rs:
+crates/offload/src/report.rs:
+crates/offload/src/runtime.rs:
+crates/offload/src/scalar.rs:
+crates/offload/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arbalest_race-2bc04128a4a4e1d1.d: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs
+
+/root/repo/target/debug/deps/libarbalest_race-2bc04128a4a4e1d1.rmeta: crates/race/src/lib.rs crates/race/src/clock.rs crates/race/src/engine.rs
+
+crates/race/src/lib.rs:
+crates/race/src/clock.rs:
+crates/race/src/engine.rs:

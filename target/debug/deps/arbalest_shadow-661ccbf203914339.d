@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/arbalest_shadow-661ccbf203914339.d: crates/shadow/src/lib.rs crates/shadow/src/interval.rs crates/shadow/src/map.rs crates/shadow/src/word.rs
+
+/root/repo/target/debug/deps/libarbalest_shadow-661ccbf203914339.rmeta: crates/shadow/src/lib.rs crates/shadow/src/interval.rs crates/shadow/src/map.rs crates/shadow/src/word.rs
+
+crates/shadow/src/lib.rs:
+crates/shadow/src/interval.rs:
+crates/shadow/src/map.rs:
+crates/shadow/src/word.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/arbalest_spec-81a5bbd63ca13d73.d: crates/spec/src/lib.rs crates/spec/src/pcg.rs crates/spec/src/pep.rs crates/spec/src/polbm.rs crates/spec/src/pomriq.rs crates/spec/src/postencil.rs
+
+/root/repo/target/debug/deps/libarbalest_spec-81a5bbd63ca13d73.rmeta: crates/spec/src/lib.rs crates/spec/src/pcg.rs crates/spec/src/pep.rs crates/spec/src/polbm.rs crates/spec/src/pomriq.rs crates/spec/src/postencil.rs
+
+crates/spec/src/lib.rs:
+crates/spec/src/pcg.rs:
+crates/spec/src/pep.rs:
+crates/spec/src/polbm.rs:
+crates/spec/src/pomriq.rs:
+crates/spec/src/postencil.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbalest_sync-8b4f53ecb0ee031b.d: crates/sync/src/lib.rs
+
+/root/repo/target/debug/deps/libarbalest_sync-8b4f53ecb0ee031b.rmeta: crates/sync/src/lib.rs
+
+crates/sync/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-3421134437cd389c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-3421134437cd389c.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

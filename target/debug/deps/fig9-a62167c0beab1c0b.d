@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-a62167c0beab1c0b.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-a62167c0beab1c0b.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

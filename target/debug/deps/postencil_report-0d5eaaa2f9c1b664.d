@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/postencil_report-0d5eaaa2f9c1b664.d: crates/bench/src/bin/postencil_report.rs
+
+/root/repo/target/debug/deps/libpostencil_report-0d5eaaa2f9c1b664.rmeta: crates/bench/src/bin/postencil_report.rs
+
+crates/bench/src/bin/postencil_report.rs:

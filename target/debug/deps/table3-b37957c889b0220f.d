@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-b37957c889b0220f.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-b37957c889b0220f.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:
