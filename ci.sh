@@ -24,4 +24,26 @@ if [[ "${RUN_SOAK:-1}" == "1" ]]; then
     cargo test -q --test soak -- --ignored
 fi
 
+echo "==> analysis-service smoke (unix socket, 30s budget)"
+SOCK="$(mktemp -u /tmp/arbalest-ci-XXXXXX.sock)"
+TRACE="$(mktemp /tmp/arbalest-ci-XXXXXX.trace)"
+ARB=./target/release/arbalest
+timeout 30 "$ARB" serve --listen "unix:$SOCK" --shards 2 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$SOCK" "$TRACE"' EXIT
+for _ in $(seq 1 50); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
+[[ -S "$SOCK" ]] || { echo "server never bound $SOCK"; exit 1; }
+"$ARB" record 22 -o "$TRACE" --connect "unix:$SOCK"
+SUBMIT_OUT="$("$ARB" submit "$TRACE" --connect "unix:$SOCK")"
+echo "$SUBMIT_OUT" | grep -q "mapping-issue(UUM)" \
+    || { echo "submit produced no UUM report:"; echo "$SUBMIT_OUT"; exit 1; }
+"$ARB" stats --connect "unix:$SOCK" | grep -q "1 finished" \
+    || { echo "stats did not count the finished session"; exit 1; }
+"$ARB" stop --connect "unix:$SOCK"
+# Clean drain must finish well inside the timeout's budget.
+wait "$SERVE_PID" || { echo "server exited non-zero"; exit 1; }
+trap - EXIT
+rm -f "$SOCK" "$TRACE"
+echo "    server smoke OK"
+
 echo "CI OK"

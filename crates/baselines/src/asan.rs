@@ -11,11 +11,10 @@
 
 use crate::sink::ReportSink;
 use arbalest_offload::buffer::BufferInfo;
-use arbalest_offload::events::{AccessEvent, Tool, TransferEvent, TransferKind};
+use arbalest_offload::events::{AccessEvent, SrcLoc, Tool, TransferEvent, TransferKind};
 use arbalest_offload::report::{Report, ReportKind};
 use arbalest_sync::RwLock;
 use std::collections::BTreeMap;
-use std::panic::Location;
 
 /// Red zone size in bytes on each side of an allocation. Must not exceed
 /// the runtime allocator's inter-block gap.
@@ -95,7 +94,7 @@ impl AddressSanitizer {
         len: u64,
         device: arbalest_offload::addr::DeviceId,
         buffer: Option<String>,
-        loc: Option<&'static Location<'static>>,
+        loc: Option<SrcLoc>,
     ) {
         // Checking the first and last byte of each granule is enough for
         // red-zone shaped violations.

@@ -1,9 +1,9 @@
 //! Shared report sink with per-site deduplication, used by every baseline.
 
+use arbalest_offload::events::SrcLoc;
 use arbalest_offload::report::{Report, ReportKind};
 use arbalest_sync::Mutex;
 use std::collections::HashSet;
-use std::panic::Location;
 
 /// Deduplication key: (kind, buffer, file, line).
 type ReportKey = (ReportKind, Option<String>, &'static str, u32);
@@ -29,13 +29,13 @@ impl ReportSink {
         device: arbalest_offload::addr::DeviceId,
         addr: u64,
         size: usize,
-        loc: Option<&'static Location<'static>>,
+        loc: Option<SrcLoc>,
     ) {
         let key = (
             kind,
             buffer.clone(),
-            loc.map(|l| l.file()).unwrap_or(""),
-            loc.map(|l| l.line()).unwrap_or(0),
+            loc.map(|l| l.file).unwrap_or(""),
+            loc.map(|l| l.line).unwrap_or(0),
         );
         let mut seen = self.seen.lock();
         if seen.len() >= self.max || !seen.insert(key) {

@@ -5,6 +5,11 @@
 //! arbalest dracc <id|all> [options]      run DRACC benchmark(s)
 //! arbalest spec <name|all> [options]     run a SPEC-like workload
 //! arbalest certify <id|all>              Theorem-1 certification of DRACC
+//! arbalest serve [options]               long-lived analysis service
+//! arbalest submit <trace|id> [options]   analyse a trace on a server
+//! arbalest record <id> -o <file>         capture a DRACC trace to a file
+//! arbalest stats [options]               query server counters
+//! arbalest stop [options]                drain and stop a server
 //!
 //! options:
 //!   --tool arbalest|memcheck|archer|asan|msan   (repeatable; default arbalest)
@@ -19,6 +24,9 @@
 use arbalest_baselines::{AddressSanitizer, Archer, Memcheck, MemorySanitizer};
 use arbalest_core::{certify, Arbalest, ArbalestConfig};
 use arbalest_offload::prelude::*;
+use arbalest_offload::trace::{TraceEvent, TraceRecorder};
+use arbalest_offload::wire;
+use arbalest_server::{Client, ListenAddr, Server, ServerConfig};
 use arbalest_spec::Preset;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -79,7 +87,21 @@ usage: arbalest <command> [options]
   dracc <id|all>             run DRACC benchmark(s) under the chosen tools
   spec <name|all>            run SPEC-like workload(s)
   certify <id|all>           Theorem-1 certification of DRACC benchmark(s)
+  serve                      run the analysis service (see --listen, --shards)
+  submit <trace-file|id>     stream a trace (or a DRACC benchmark's trace)
+                             to a server and print its reports
+  record <id> -o <file>      capture a DRACC benchmark's trace to a file
+  stats                      print a server's counters
+  stop                       drain and stop a server
 options:
+  --listen <addr>            serve: bind address (host:port or unix:<path>;
+                             default unix:/tmp/arbalest.sock)
+  --connect <addr>           submit/stats/stop: server address
+                             (default unix:/tmp/arbalest.sock)
+  --shards <n>               serve: analysis worker threads (default 4)
+  --queue-cap <n>            serve: per-shard queue bound (default 128)
+  --chunk <n>                submit: events per frame (default 1024)
+  -o <file>                  record: output trace file
   --tool <name>              arbalest|memcheck|archer|asan|msan (repeatable)
   --preset <p>               test|small|medium (spec only)
   --unified                  unified-memory mode
@@ -288,11 +310,234 @@ fn cmd_certify(target: &str, opts: &Options) -> ExitCode {
     }
 }
 
+/// Options for the networked subcommands (`serve`, `submit`, `record`,
+/// `stats`, `stop`).
+struct NetOptions {
+    addr: String,
+    shards: usize,
+    queue_cap: usize,
+    chunk: usize,
+    out: Option<String>,
+    quiet: bool,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            addr: "unix:/tmp/arbalest.sock".into(),
+            shards: 4,
+            queue_cap: 128,
+            chunk: 1024,
+            out: None,
+            quiet: false,
+        }
+    }
+}
+
+fn parse_net_options(args: &[String]) -> Result<NetOptions, String> {
+    let mut opts = NetOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" | "--connect" => {
+                opts.addr = it.next().ok_or(format!("{arg} needs an address"))?.clone();
+            }
+            "--shards" => {
+                opts.shards =
+                    it.next().and_then(|s| s.parse().ok()).ok_or("--shards needs a number")?;
+            }
+            "--queue-cap" => {
+                opts.queue_cap =
+                    it.next().and_then(|s| s.parse().ok()).ok_or("--queue-cap needs a number")?;
+            }
+            "--chunk" => {
+                opts.chunk =
+                    it.next().and_then(|s| s.parse().ok()).ok_or("--chunk needs a number")?;
+            }
+            "-o" => {
+                opts.out = Some(it.next().ok_or("-o needs a file path")?.clone());
+            }
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Run a DRACC benchmark under the trace recorder and return its events.
+fn record_dracc(id: u32) -> Option<Vec<TraceEvent>> {
+    let bench = arbalest_dracc::by_id(id)?;
+    let recorder = Arc::new(TraceRecorder::new());
+    let rt = Runtime::with_tool(Config::default(), recorder.clone());
+    bench.run(&rt);
+    Some(recorder.take())
+}
+
+/// Resolve `submit`'s positional argument: an existing trace file, or a
+/// DRACC benchmark id whose trace is recorded on the spot.
+fn load_events(target: &str) -> Result<Vec<TraceEvent>, String> {
+    if std::path::Path::new(target).is_file() {
+        let bytes = std::fs::read(target).map_err(|e| format!("read {target}: {e}"))?;
+        return wire::decode_trace(&bytes).map_err(|e| format!("decode {target}: {e}"));
+    }
+    target
+        .parse::<u32>()
+        .ok()
+        .and_then(record_dracc)
+        .ok_or_else(|| format!("'{target}' is neither a trace file nor a DRACC benchmark id"))
+}
+
+fn cmd_serve(opts: &NetOptions) -> ExitCode {
+    let addr = ListenAddr::parse(&opts.addr);
+    let cfg = ServerConfig {
+        shards: opts.shards,
+        queue_cap: opts.queue_cap,
+        detector: ArbalestConfig::default(),
+    };
+    match Server::start(&addr, cfg) {
+        Ok(server) => {
+            println!("arbalest-serve listening on {} ({} shards)", server.local_addr(), opts.shards);
+            server.wait_for_shutdown();
+            server.stop();
+            println!("arbalest-serve drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot listen on {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn connect(opts: &NetOptions) -> Result<Client, String> {
+    let addr = ListenAddr::parse(&opts.addr);
+    Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+fn cmd_submit(target: &str, opts: &NetOptions) -> ExitCode {
+    let events = match load_events(target) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = connect(opts).and_then(|mut client| {
+        client.submit_chunked(&events, opts.chunk).map_err(|e| e.to_string())
+    });
+    match result {
+        Ok(reports) => {
+            if !opts.quiet {
+                for r in &reports {
+                    print!("{}", r.render());
+                }
+            }
+            println!("{}: {} event(s), {} report(s)", target, events.len(), reports.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_record(target: &str, opts: &NetOptions) -> ExitCode {
+    let Some(out) = &opts.out else {
+        eprintln!("record needs -o <file>");
+        return ExitCode::from(2);
+    };
+    let Some(events) = target.parse::<u32>().ok().and_then(record_dracc) else {
+        eprintln!("unknown benchmark id '{target}'");
+        return ExitCode::from(2);
+    };
+    match std::fs::write(out, wire::encode_trace(&events)) {
+        Ok(()) => {
+            println!("{}: {} event(s) -> {}", target, events.len(), out);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_stats(opts: &NetOptions) -> ExitCode {
+    let result = connect(opts).and_then(|mut c| c.stats().map_err(|e| e.to_string()));
+    match result {
+        Ok(s) => {
+            println!(
+                "sessions: {} started, {} finished, {} active",
+                s.sessions_started,
+                s.sessions_finished,
+                s.sessions_active()
+            );
+            println!("events received: {}   busy rejections: {}", s.events_received, s.busy_rejections);
+            println!("queue depths: {:?}", s.queue_depths);
+            let kinds = ["UUM", "USD", "MappingBO", "DataRace", "Uninit", "HeapBO", "UseAfterFree"];
+            for (name, n) in kinds.iter().zip(s.reports_by_kind) {
+                if n > 0 {
+                    println!("reports[{name}]: {n}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_stop(opts: &NetOptions) -> ExitCode {
+    let result = connect(opts).and_then(|mut c| c.shutdown_server().map_err(|e| e.to_string()));
+    match result {
+        Ok(()) => {
+            println!("server acknowledged shutdown");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { return usage() };
     match cmd.as_str() {
         "list" => cmd_list(),
+        "serve" | "stats" | "stop" => {
+            let opts = match parse_net_options(&args[1..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}\n");
+                    return usage();
+                }
+            };
+            match cmd.as_str() {
+                "serve" => cmd_serve(&opts),
+                "stats" => cmd_stats(&opts),
+                _ => cmd_stop(&opts),
+            }
+        }
+        "submit" | "record" => {
+            let Some(target) = args.get(1) else { return usage() };
+            let opts = match parse_net_options(&args[2..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}\n");
+                    return usage();
+                }
+            };
+            if cmd == "submit" {
+                cmd_submit(target, &opts)
+            } else {
+                cmd_record(target, &opts)
+            }
+        }
         "dracc" | "spec" | "certify" => {
             let Some(target) = args.get(1) else { return usage() };
             let opts = match parse_options(&args[2..]) {

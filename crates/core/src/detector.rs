@@ -14,14 +14,13 @@ use crate::vsm::{self, StorageLoc, ViolationKind, VsmOp};
 use arbalest_offload::addr::DeviceId;
 use arbalest_offload::buffer::{BufferId, BufferInfo};
 use arbalest_offload::events::{
-    AccessEvent, DataOpEvent, DataOpKind, SyncEvent, Tool, TransferEvent, TransferKind,
+    AccessEvent, DataOpEvent, DataOpKind, SrcLoc, SyncEvent, Tool, TransferEvent, TransferKind,
 };
 use arbalest_offload::report::{PrevAccess, Report, ReportKind};
 use arbalest_race::RaceEngine;
 use arbalest_shadow::{IntervalTree, Layout, ShadowMemory};
 use arbalest_sync::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
-use std::panic::Location;
 
 /// Deduplication key: (kind, buffer, file, line).
 type ReportKey = (ReportKind, Option<u32>, &'static str, u32);
@@ -144,15 +143,15 @@ impl Arbalest {
         device: DeviceId,
         addr: u64,
         size: usize,
-        loc: Option<&'static Location<'static>>,
+        loc: Option<SrcLoc>,
         prev: Option<PrevAccess>,
         suggested_fix: Option<String>,
     ) {
         let key = (
             kind,
             buffer.map(|b| b.0),
-            loc.map(|l| l.file()).unwrap_or(""),
-            loc.map(|l| l.line()).unwrap_or(0),
+            loc.map(|l| l.file).unwrap_or(""),
+            loc.map(|l| l.line).unwrap_or(0),
         );
         let mut seen = self.seen.lock();
         if seen.len() >= self.cfg.max_reports || !seen.insert(key) {

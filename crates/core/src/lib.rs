@@ -62,9 +62,11 @@
 pub mod ddg;
 pub mod detector;
 pub mod replay;
+pub mod session;
 pub mod vsm;
 
 pub use ddg::Ddg;
 pub use detector::{Arbalest, ArbalestConfig, ArbalestStats};
 pub use replay::{certify, Certification};
+pub use session::AnalysisSession;
 pub use vsm::{StorageLoc, Violation, ViolationKind, VsmOp};

@@ -1,0 +1,118 @@
+//! A reusable, incrementally-fed detector handle.
+//!
+//! [`certify`](crate::replay::certify) and the offline
+//! [`replay`](arbalest_offload::trace::replay) entry points assume the
+//! whole event stream is in hand. A long-lived analysis service gets
+//! events in batches, interleaved across many concurrent sessions, and
+//! needs one detector *per session* that can be fed piecemeal and asked
+//! for its findings at the end. [`AnalysisSession`] is that handle: an
+//! [`Arbalest`] instance plus event accounting, with the same
+//! event-dispatch semantics as a replay (so a session fed a trace yields
+//! exactly the reports an in-process replay of that trace yields).
+
+use crate::detector::{Arbalest, ArbalestConfig};
+use arbalest_offload::report::Report;
+use arbalest_offload::trace::{apply, TraceEvent};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// One analysis session: a private detector fed one event stream.
+pub struct AnalysisSession {
+    tool: Arbalest,
+    events: AtomicU64,
+}
+
+impl AnalysisSession {
+    /// Open a session with its own detector state.
+    pub fn new(cfg: ArbalestConfig) -> AnalysisSession {
+        AnalysisSession { tool: Arbalest::new(cfg), events: AtomicU64::new(0) }
+    }
+
+    /// Feed one event, exactly as a live runtime would have delivered it.
+    pub fn feed(&self, ev: &TraceEvent) {
+        self.events.fetch_add(1, Relaxed);
+        apply(ev, &self.tool);
+    }
+
+    /// Feed a batch in order.
+    pub fn feed_batch(&self, events: &[TraceEvent]) {
+        for ev in events {
+            self.feed(ev);
+        }
+    }
+
+    /// Events fed so far.
+    pub fn events(&self) -> u64 {
+        self.events.load(Relaxed)
+    }
+
+    /// Findings so far (the session stays usable).
+    pub fn reports(&self) -> Vec<Report> {
+        use arbalest_offload::events::Tool;
+        self.tool.reports()
+    }
+
+    /// Detector side-table footprint in bytes.
+    pub fn side_table_bytes(&self) -> u64 {
+        use arbalest_offload::events::Tool;
+        self.tool.side_table_bytes()
+    }
+
+    /// Close the session, returning its findings and freeing all detector
+    /// state.
+    pub fn finish(self) -> Vec<Report> {
+        self.reports()
+    }
+}
+
+impl Default for AnalysisSession {
+    fn default() -> Self {
+        AnalysisSession::new(ArbalestConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbalest_offload::prelude::*;
+    use arbalest_offload::trace::{replay, TraceRecorder};
+    use std::sync::Arc;
+
+    fn buggy_trace() -> Vec<TraceEvent> {
+        let rec = Arc::new(TraceRecorder::new());
+        let rt = Runtime::with_tool(Config::default(), rec.clone());
+        let a = rt.alloc_init::<i64>("a", &[1; 8]);
+        rt.target().map(Map::to(&a)).run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let v = k.read(&a, i);
+                k.write(&a, i, v + 1);
+            });
+        });
+        let _ = rt.read(&a, 0);
+        rec.take()
+    }
+
+    #[test]
+    fn batched_feeding_matches_replay() {
+        let trace = buggy_trace();
+        let whole = Arbalest::new(ArbalestConfig::default());
+        replay(&trace, &whole);
+
+        let session = AnalysisSession::default();
+        for chunk in trace.chunks(3) {
+            session.feed_batch(chunk);
+        }
+        assert_eq!(session.events(), trace.len() as u64);
+        use arbalest_offload::events::Tool;
+        assert_eq!(session.finish(), whole.reports());
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let trace = buggy_trace();
+        let buggy = AnalysisSession::default();
+        let idle = AnalysisSession::default();
+        buggy.feed_batch(&trace);
+        assert!(!buggy.reports().is_empty());
+        assert!(idle.finish().is_empty());
+    }
+}

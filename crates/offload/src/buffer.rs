@@ -60,7 +60,7 @@ impl<T: Scalar> std::fmt::Debug for Buffer<T> {
 }
 
 /// Runtime-side metadata for a buffer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BufferInfo {
     /// Identifier, index into the runtime's buffer table.
     pub id: BufferId,

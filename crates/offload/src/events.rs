@@ -26,7 +26,59 @@
 use crate::addr::DeviceId;
 use crate::buffer::{BufferId, BufferInfo};
 use crate::report::Report;
-use std::panic::Location;
+use arbalest_sync::Mutex;
+use std::collections::BTreeSet;
+
+/// A source location that can cross process boundaries.
+///
+/// `std::panic::Location` has no public constructor, so a location decoded
+/// from a wire frame or a trace file could never become one. `SrcLoc`
+/// carries the same three fields with the file name *interned* into a
+/// process-wide table, keeping the type `Copy` and cheap to stamp on every
+/// access event while staying constructible from serialized bytes. The
+/// intern table grows with the number of distinct source files, not with
+/// traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SrcLoc {
+    /// Source file path.
+    pub file: &'static str,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+}
+
+static INTERNED_FILES: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+impl SrcLoc {
+    /// Capture the caller's location (the `Location::caller()` analogue).
+    #[track_caller]
+    #[inline]
+    pub fn caller() -> SrcLoc {
+        let l = std::panic::Location::caller();
+        SrcLoc { file: l.file(), line: l.line(), column: l.column() }
+    }
+
+    /// Build a location from decoded parts, interning the file name.
+    pub fn intern(file: &str, line: u32, column: u32) -> SrcLoc {
+        let mut table = INTERNED_FILES.lock();
+        let file = match table.get(file) {
+            Some(f) => f,
+            None => {
+                let leaked: &'static str = Box::leak(file.to_owned().into_boxed_str());
+                table.insert(leaked);
+                leaked
+            }
+        };
+        SrcLoc { file, line, column }
+    }
+}
+
+impl std::fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}", self.file, self.line, self.column)
+    }
+}
 
 /// Identifier of a logical task: the host program, a target region
 /// instance, a kernel team thread, or a detached transfer.
@@ -39,7 +91,7 @@ impl TaskId {
 }
 
 /// A tracked memory access.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessEvent {
     /// Device whose processing units executed the access.
     pub device: DeviceId,
@@ -61,7 +113,7 @@ pub struct AccessEvent {
     /// checking, like TSan's handling of atomics.
     pub atomic: bool,
     /// Source location of the access.
-    pub loc: &'static Location<'static>,
+    pub loc: SrcLoc,
 }
 
 /// CV lifecycle operation kinds.
@@ -74,7 +126,7 @@ pub enum DataOpKind {
 }
 
 /// A CV allocation or deletion.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DataOpEvent {
     /// Device owning the CV.
     pub device: DeviceId,
@@ -108,7 +160,7 @@ pub enum TransferKind {
 }
 
 /// An OV↔CV memory transfer.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TransferEvent {
     /// The mapped buffer.
     pub buffer: BufferId,
@@ -137,7 +189,7 @@ pub struct TransferEvent {
 }
 
 /// Happens-before structure events.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyncEvent {
     /// `child` begins, causally after everything `parent` did so far.
     TaskCreate {
@@ -175,7 +227,7 @@ pub enum SyncEvent {
 }
 
 /// Construct boundary events.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConstructEvent {
     /// A target region starts executing (on its own task).
     TargetBegin {

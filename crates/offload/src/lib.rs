@@ -55,6 +55,7 @@ pub mod report;
 pub mod runtime;
 pub mod scalar;
 pub mod trace;
+pub mod wire;
 
 pub mod prelude {
     //! Convenient glob import for programs written against the runtime.

@@ -6,7 +6,7 @@
 //! memory-error kinds of the memcheck/ASan/MSan models.
 
 use crate::addr::DeviceId;
-use std::panic::Location;
+use crate::events::SrcLoc;
 
 /// What kind of anomaly a report describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -101,7 +101,7 @@ pub struct PrevAccess {
 }
 
 /// One detector finding.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Report {
     /// Emitting tool's name ("arbalest", "memcheck", ...).
     pub tool: &'static str,
@@ -118,7 +118,7 @@ pub struct Report {
     /// Access size in bytes.
     pub size: usize,
     /// Source location of the offending access, when captured.
-    pub loc: Option<&'static Location<'static>>,
+    pub loc: Option<SrcLoc>,
     /// Conflicting prior access, when the tool records one.
     pub prev: Option<PrevAccess>,
     /// A suggested repair, in the spirit of §III-C.
@@ -131,7 +131,7 @@ impl Report {
         (
             self.kind,
             self.buffer.clone(),
-            self.loc.map(|l| (l.file().to_string(), l.line())),
+            self.loc.map(|l| (l.file.to_string(), l.line)),
         )
     }
 
@@ -152,7 +152,7 @@ impl Report {
             self.device,
         ));
         if let Some(loc) = self.loc {
-            out.push_str(&format!("    #0 {}:{}:{}\n", loc.file(), loc.line(), loc.column()));
+            out.push_str(&format!("    #0 {}:{}:{}\n", loc.file, loc.line, loc.column));
         }
         if let Some(buf) = &self.buffer {
             out.push_str(&format!("  Location is mapped variable '{}'\n", buf));

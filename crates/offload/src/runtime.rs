@@ -18,8 +18,8 @@ use crate::addr::{device_base, device_of, DeviceId, UNMAPPED_REGION_OFFSET};
 use crate::buffer::{Buffer, BufferId, BufferInfo};
 use crate::error::RuntimeError;
 use crate::events::{
-    AccessEvent, ConstructEvent, DataOpEvent, DataOpKind, SyncEvent, TaskId, Tool, TransferEvent,
-    TransferKind,
+    AccessEvent, ConstructEvent, DataOpEvent, DataOpKind, SrcLoc, SyncEvent, TaskId, Tool,
+    TransferEvent, TransferKind,
 };
 use crate::fault::{FaultConfig, FaultOutcome, FaultPlan, FaultSite, MAX_RETRIES};
 use crate::mapping::{ExitPlan, Map, PresentEntry, PresentTable};
@@ -29,7 +29,7 @@ use crate::scalar::Scalar;
 use arbalest_sync::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::marker::PhantomData;
-use std::panic::Location;
+
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -387,7 +387,7 @@ impl Runtime {
                     device: DeviceId::HOST,
                     addr: info.ov_base,
                     size: info.elem_size,
-                    loc: Some(Location::caller()),
+                    loc: Some(SrcLoc::caller()),
                     prev: None,
                     suggested_fix: Some(format!("remove the duplicate free of '{}'", info.name)),
                 });
@@ -448,7 +448,7 @@ impl Runtime {
             buffer: Some(buf.id()),
             mapped: true,
             atomic: false,
-            loc: Location::caller(),
+            loc: SrcLoc::caller(),
         });
         Ok(T::from_bits(self.inner.spaces[0].load(addr, T::SIZE)))
     }
@@ -487,7 +487,7 @@ impl Runtime {
             buffer: Some(buf.id()),
             mapped: true,
             atomic: false,
-            loc: Location::caller(),
+            loc: SrcLoc::caller(),
         });
         self.inner.spaces[0].store(addr, T::SIZE, value.to_bits());
         Ok(())
@@ -1687,14 +1687,14 @@ impl KernelCtx {
     #[track_caller]
     #[inline]
     pub fn read<T: Scalar>(&self, buf: &Buffer<T>, idx: usize) -> T {
-        self.read_on(self.task, buf, idx, Location::caller())
+        self.read_on(self.task, buf, idx, SrcLoc::caller())
     }
 
     /// Tracked kernel write.
     #[track_caller]
     #[inline]
     pub fn write<T: Scalar>(&self, buf: &Buffer<T>, idx: usize, value: T) {
-        self.write_on(self.task, buf, idx, value, Location::caller())
+        self.write_on(self.task, buf, idx, value, SrcLoc::caller())
     }
 
     fn read_on<T: Scalar>(
@@ -1702,7 +1702,7 @@ impl KernelCtx {
         task: TaskId,
         buf: &Buffer<T>,
         idx: usize,
-        loc: &'static Location<'static>,
+        loc: SrcLoc,
     ) -> T {
         let (addr, mapped) = self.resolve(buf, idx);
         self.rt.emit_access(AccessEvent {
@@ -1725,7 +1725,7 @@ impl KernelCtx {
         buf: &Buffer<T>,
         idx: usize,
         value: T,
-        loc: &'static Location<'static>,
+        loc: SrcLoc,
     ) {
         self.rt.coherence_device_write(buf.id(), self.device);
         let (addr, mapped) = self.resolve(buf, idx);
@@ -1773,7 +1773,7 @@ impl KernelCtx {
     /// Returns the value *after* the update.
     #[track_caller]
     pub fn atomic_update<T: Scalar>(&self, buf: &Buffer<T>, idx: usize, f: impl Fn(T) -> T) -> T {
-        let loc = Location::caller();
+        let loc = SrcLoc::caller();
         let (addr, mapped) = self.resolve(buf, idx);
         for is_write in [false, true] {
             self.rt.emit_access(AccessEvent {
@@ -1813,7 +1813,7 @@ impl KernelCtx {
     }
 
     fn atomic_fetch_add_i64(&self, buf: &Buffer<i64>, idx: usize, delta: i64) -> i64 {
-        let loc = Location::caller();
+        let loc = SrcLoc::caller();
         let (addr, mapped) = self.resolve(buf, idx);
         for is_write in [false, true] {
             self.rt.emit_access(AccessEvent {

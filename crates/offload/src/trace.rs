@@ -16,7 +16,7 @@ use crate::events::{
 use arbalest_sync::Mutex;
 
 /// One journaled runtime event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A host buffer was registered.
     BufferRegistered(BufferInfo),
@@ -121,16 +121,24 @@ impl Tool for TraceRecorder {
 /// which is the same argument Theorem 1 makes for serialized schedules.
 pub fn replay(events: &[TraceEvent], tool: &dyn Tool) {
     for ev in events {
-        match ev {
-            TraceEvent::BufferRegistered(info) => tool.on_buffer_registered(info),
-            TraceEvent::HostFree(info) => tool.on_host_free(info),
-            TraceEvent::PoolAlloc { device, base, len } => tool.on_pool_alloc(*device, *base, *len),
-            TraceEvent::DataOp(e) => tool.on_data_op(e),
-            TraceEvent::Transfer(e) => tool.on_transfer(e),
-            TraceEvent::Access(e) => tool.on_access(e),
-            TraceEvent::Sync(e) => tool.on_sync(e),
-            TraceEvent::Construct(e) => tool.on_construct(e),
-        }
+        apply(ev, tool);
+    }
+}
+
+/// Deliver a single journaled event to a tool, dispatching to the callback
+/// the live runtime would have invoked. Incremental counterpart of
+/// [`replay`], used by streaming consumers (the analysis server feeds
+/// events as they arrive over the wire).
+pub fn apply(ev: &TraceEvent, tool: &dyn Tool) {
+    match ev {
+        TraceEvent::BufferRegistered(info) => tool.on_buffer_registered(info),
+        TraceEvent::HostFree(info) => tool.on_host_free(info),
+        TraceEvent::PoolAlloc { device, base, len } => tool.on_pool_alloc(*device, *base, *len),
+        TraceEvent::DataOp(e) => tool.on_data_op(e),
+        TraceEvent::Transfer(e) => tool.on_transfer(e),
+        TraceEvent::Access(e) => tool.on_access(e),
+        TraceEvent::Sync(e) => tool.on_sync(e),
+        TraceEvent::Construct(e) => tool.on_construct(e),
     }
 }
 

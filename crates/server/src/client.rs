@@ -1,0 +1,139 @@
+//! Client side of the analysis service: connect, stream a trace, collect
+//! the reports.
+//!
+//! The client owns the backpressure loop: a `Busy` answer to an `Events`
+//! batch means *nothing was enqueued*, so the same batch is retried after
+//! an exponential backoff (1 ms doubling to a 50 ms ceiling). A server
+//! that stays busy past [`Client::MAX_BUSY_RETRIES`] consecutive refusals
+//! turns into [`ProtoError::Overloaded`] instead of an unbounded stall.
+
+use crate::proto::{Frame, ProtoError, StatsSnapshot, WIRE_VERSION};
+use crate::server::ListenAddr;
+use arbalest_offload::report::Report;
+use arbalest_offload::trace::TraceEvent;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Default number of events per `Events` frame when streaming a trace.
+pub const DEFAULT_CHUNK: usize = 1024;
+
+trait Transport: Read + Write + Send {}
+impl<T: Read + Write + Send> Transport for T {}
+
+/// One connection to an `arbalest serve` instance.
+pub struct Client {
+    stream: Box<dyn Transport>,
+    session: Option<u64>,
+}
+
+impl Client {
+    /// Consecutive `Busy` refusals of one batch before giving up with
+    /// [`ProtoError::Overloaded`].
+    pub const MAX_BUSY_RETRIES: u32 = 200;
+
+    /// Connect over TCP or a Unix-domain socket, per the address kind.
+    pub fn connect(addr: &ListenAddr) -> std::io::Result<Client> {
+        let stream: Box<dyn Transport> = match addr {
+            ListenAddr::Tcp(a) => Box::new(TcpStream::connect(a)?),
+            ListenAddr::Unix(path) => Box::new(UnixStream::connect(path)?),
+        };
+        Ok(Client { stream, session: None })
+    }
+
+    /// Wrap an already-connected byte stream (used by in-process tests).
+    pub fn from_stream(stream: impl Read + Write + Send + 'static) -> Client {
+        Client { stream: Box::new(stream), session: None }
+    }
+
+    fn call(&mut self, frame: &Frame) -> Result<Frame, ProtoError> {
+        frame.write_to(&mut self.stream)?;
+        match Frame::read_from(&mut self.stream, &mut || true)? {
+            Frame::Error { message } => Err(ProtoError::Remote(message)),
+            reply => Ok(reply),
+        }
+    }
+
+    /// Open a session; returns the server-assigned session id.
+    pub fn hello(&mut self) -> Result<u64, ProtoError> {
+        match self.call(&Frame::Hello { version: WIRE_VERSION })? {
+            Frame::HelloAck { session, .. } => {
+                self.session = Some(session);
+                Ok(session)
+            }
+            _ => Err(ProtoError::Unexpected("wanted HelloAck")),
+        }
+    }
+
+    /// The session id, if a session is open.
+    pub fn session(&self) -> Option<u64> {
+        self.session
+    }
+
+    /// Send one batch, retrying `Busy` refusals with backoff.
+    pub fn send_events(&mut self, batch: &[TraceEvent]) -> Result<(), ProtoError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut backoff = Duration::from_millis(1);
+        for _ in 0..Self::MAX_BUSY_RETRIES {
+            match self.call(&Frame::Events(batch.to_vec()))? {
+                Frame::EventsAck { .. } => return Ok(()),
+                Frame::Busy { .. } => {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(50));
+                }
+                _ => return Err(ProtoError::Unexpected("wanted EventsAck or Busy")),
+            }
+        }
+        Err(ProtoError::Overloaded)
+    }
+
+    /// Close the session and collect its reports.
+    pub fn finish(&mut self) -> Result<Vec<Report>, ProtoError> {
+        match self.call(&Frame::Finish)? {
+            Frame::Reports(reports) => {
+                self.session = None;
+                Ok(reports)
+            }
+            _ => Err(ProtoError::Unexpected("wanted Reports")),
+        }
+    }
+
+    /// Full round trip: open a session, stream `events` in
+    /// [`DEFAULT_CHUNK`]-sized batches, finish, return the reports.
+    pub fn submit(&mut self, events: &[TraceEvent]) -> Result<Vec<Report>, ProtoError> {
+        self.submit_chunked(events, DEFAULT_CHUNK)
+    }
+
+    /// [`Client::submit`] with an explicit batch size (minimum 1).
+    pub fn submit_chunked(
+        &mut self,
+        events: &[TraceEvent],
+        chunk: usize,
+    ) -> Result<Vec<Report>, ProtoError> {
+        self.hello()?;
+        for batch in events.chunks(chunk.max(1)) {
+            self.send_events(batch)?;
+        }
+        self.finish()
+    }
+
+    /// Fetch server counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ProtoError> {
+        match self.call(&Frame::Stats)? {
+            Frame::StatsReply(s) => Ok(s),
+            _ => Err(ProtoError::Unexpected("wanted StatsReply")),
+        }
+    }
+
+    /// Ask the server to drain and stop. The server acknowledges before it
+    /// begins draining.
+    pub fn shutdown_server(&mut self) -> Result<(), ProtoError> {
+        match self.call(&Frame::Shutdown)? {
+            Frame::Ok => Ok(()),
+            _ => Err(ProtoError::Unexpected("wanted Ok")),
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! `arbalest-server` — a long-lived analysis service for ARBALEST traces.
+//!
+//! The instrumentation tier ([`arbalest_offload::trace`]) records what a
+//! program *did*; this crate moves the expensive half — VSM state
+//! tracking and race detection — out of the monitored process entirely.
+//! Clients stream serialized [`TraceEvent`](arbalest_offload::trace::TraceEvent)
+//! batches over TCP or a Unix-domain socket; the server shards sessions
+//! across analysis worker threads and streams back the same
+//! [`Report`](arbalest_offload::report::Report)s an in-process
+//! [`arbalest_core::replay`] would produce — byte-identical, because both
+//! paths drive the same detector over the same event values.
+//!
+//! Layering:
+//!
+//! * [`proto`] — framed wire protocol (length-prefixed, versioned,
+//!   std-only) shared by client and server.
+//! * [`shard`] — bounded worker queues owning per-session detector state.
+//! * [`stats`] — global counters behind the `Stats` frame.
+//! * [`server`] — listeners, connection handling, graceful drain.
+//! * [`client`] — the client library used by `arbalest submit` and tests.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod shard;
+pub mod stats;
+pub mod server;
+
+pub use client::Client;
+pub use proto::{Frame, ProtoError, StatsSnapshot, MAX_FRAME, WIRE_VERSION};
+pub use server::{ListenAddr, Server, ServerConfig};

@@ -1,0 +1,402 @@
+//! The framed wire protocol spoken between `arbalest submit` clients and
+//! `arbalest serve`.
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! ┌────────────┬──────────┬─────────────────────────┐
+//! │ len: u32le │ type: u8 │ payload: len-1 bytes    │
+//! └────────────┴──────────┴─────────────────────────┘
+//! ```
+//!
+//! `len` counts the type byte plus the payload and is capped at
+//! [`MAX_FRAME`]; a peer announcing a larger frame is cut off before any
+//! allocation. Payload contents use the [`arbalest_offload::wire`]
+//! primitives, so the event and report layouts are shared with trace
+//! files. A session opens with `Hello` (which carries the wire version —
+//! mismatches fail fast with a typed error), streams `Events` batches —
+//! each acknowledged with `EventsAck`, or refused with `Busy` when the
+//! session's shard queue is full — and closes with `Finish`, answered by
+//! `Reports`. `Stats` and `Shutdown` are admin frames any connection may
+//! send.
+
+use arbalest_offload::report::Report;
+use arbalest_offload::trace::TraceEvent;
+use arbalest_offload::wire::{self, Cursor, WireError};
+use std::io::{Read, Write};
+
+pub use arbalest_offload::wire::WIRE_VERSION;
+
+/// Hard ceiling on one frame's length field (type byte + payload).
+pub const MAX_FRAME: u32 = 32 << 20;
+
+/// Everything that can go wrong speaking the protocol.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// Payload bytes failed to decode.
+    Wire(WireError),
+    /// The peer sent a frame that is illegal in the current state, or an
+    /// unknown frame type.
+    Unexpected(&'static str),
+    /// The peer reported an error frame.
+    Remote(String),
+    /// The server refused an event batch repeatedly; its queue stayed
+    /// full past the client's retry budget.
+    Overloaded,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "transport error: {e}"),
+            ProtoError::Wire(e) => write!(f, "malformed frame: {e}"),
+            ProtoError::Unexpected(what) => write!(f, "unexpected frame: {what}"),
+            ProtoError::Remote(msg) => write!(f, "server error: {msg}"),
+            ProtoError::Overloaded => write!(f, "server stayed busy past the retry budget"),
+            ProtoError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl From<WireError> for ProtoError {
+    fn from(e: WireError) -> Self {
+        ProtoError::Wire(e)
+    }
+}
+
+/// Counters returned by a `Stats` frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Sessions opened since the server started.
+    pub sessions_started: u64,
+    /// Sessions that reached `Finish`.
+    pub sessions_finished: u64,
+    /// Events accepted into shard queues.
+    pub events_received: u64,
+    /// `Events` frames answered with `Busy`.
+    pub busy_rejections: u64,
+    /// Reports produced by finished sessions, indexed by
+    /// [`wire::report_kind_tag`] (UUM, USD, BO, race, uninit, heap-BO,
+    /// UAF).
+    pub reports_by_kind: [u64; 7],
+    /// Current depth of each shard's job queue.
+    pub queue_depths: Vec<u32>,
+    /// Events fed so far to the *requesting* connection's session (0 when
+    /// the connection has no open session).
+    pub session_events: u64,
+}
+
+impl StatsSnapshot {
+    /// Sessions opened but not yet finished.
+    pub fn sessions_active(&self) -> u64 {
+        self.sessions_started.saturating_sub(self.sessions_finished)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for v in [
+            self.sessions_started,
+            self.sessions_finished,
+            self.events_received,
+            self.busy_rejections,
+            self.session_events,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in self.reports_by_kind {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.queue_depths.len() as u32).to_le_bytes());
+        for d in &self.queue_depths {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<StatsSnapshot, WireError> {
+        let mut s = StatsSnapshot {
+            sessions_started: cur.u64()?,
+            sessions_finished: cur.u64()?,
+            events_received: cur.u64()?,
+            busy_rejections: cur.u64()?,
+            session_events: cur.u64()?,
+            ..Default::default()
+        };
+        for slot in s.reports_by_kind.iter_mut() {
+            *slot = cur.u64()?;
+        }
+        let n = cur.count("queue depths")?;
+        s.queue_depths = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            s.queue_depths.push(cur.u32()?);
+        }
+        Ok(s)
+    }
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: open a session. Carries the client's wire version.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        version: u16,
+    },
+    /// Client → server: a batch of trace events for the open session.
+    Events(Vec<TraceEvent>),
+    /// Client → server: end of stream; request the session's reports.
+    Finish,
+    /// Client → server: request counters.
+    Stats,
+    /// Client → server: drain all queues and stop the server.
+    Shutdown,
+    /// Server → client: session opened.
+    HelloAck {
+        /// Server's wire version.
+        version: u16,
+        /// Number of analysis shards.
+        shards: u16,
+        /// Assigned session id.
+        session: u64,
+    },
+    /// Server → client: batch accepted into the shard queue.
+    EventsAck {
+        /// Number of events accepted.
+        accepted: u32,
+    },
+    /// Server → client: shard queue full — retry the batch later.
+    Busy {
+        /// Depth of the refusing queue at rejection time.
+        queue_depth: u32,
+    },
+    /// Server → client: the finished session's findings.
+    Reports(Vec<Report>),
+    /// Server → client: counters.
+    StatsReply(StatsSnapshot),
+    /// Server → client: generic success (shutdown acknowledged).
+    Ok,
+    /// Server → client: request failed.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0x01,
+            Frame::Events(_) => 0x02,
+            Frame::Finish => 0x03,
+            Frame::Stats => 0x04,
+            Frame::Shutdown => 0x05,
+            Frame::HelloAck { .. } => 0x81,
+            Frame::EventsAck { .. } => 0x82,
+            Frame::Busy { .. } => 0x83,
+            Frame::Reports(_) => 0x84,
+            Frame::StatsReply(_) => 0x85,
+            Frame::Ok => 0x86,
+            Frame::Error { .. } => 0x87,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        match self {
+            Frame::Hello { version } => version.to_le_bytes().to_vec(),
+            Frame::Events(events) => wire::encode_events(events),
+            Frame::Finish | Frame::Stats | Frame::Shutdown | Frame::Ok => Vec::new(),
+            Frame::HelloAck { version, shards, session } => {
+                let mut out = Vec::with_capacity(12);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&shards.to_le_bytes());
+                out.extend_from_slice(&session.to_le_bytes());
+                out
+            }
+            Frame::EventsAck { accepted } => accepted.to_le_bytes().to_vec(),
+            Frame::Busy { queue_depth } => queue_depth.to_le_bytes().to_vec(),
+            Frame::Reports(reports) => wire::encode_reports(reports),
+            Frame::StatsReply(s) => s.encode(),
+            Frame::Error { message } => {
+                let mut out = Vec::new();
+                wire::put_str(&mut out, message);
+                out
+            }
+        }
+    }
+
+    fn decode(ty: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
+        let mut cur = Cursor::new(payload);
+        let frame = match ty {
+            0x01 => Frame::Hello { version: cur.u16()? },
+            0x02 => Frame::Events(wire::decode_events(&mut cur)?),
+            0x03 => Frame::Finish,
+            0x04 => Frame::Stats,
+            0x05 => Frame::Shutdown,
+            0x81 => Frame::HelloAck { version: cur.u16()?, shards: cur.u16()?, session: cur.u64()? },
+            0x82 => Frame::EventsAck { accepted: cur.u32()? },
+            0x83 => Frame::Busy { queue_depth: cur.u32()? },
+            0x84 => Frame::Reports(wire::decode_reports(&mut cur)?),
+            0x85 => Frame::StatsReply(StatsSnapshot::decode(&mut cur)?),
+            0x86 => Frame::Ok,
+            0x87 => Frame::Error { message: cur.string()? },
+            tag => return Err(WireError::BadTag { what: "Frame", tag }.into()),
+        };
+        if !cur.is_empty() {
+            return Err(WireError::TrailingBytes { extra: cur.remaining() }.into());
+        }
+        Ok(frame)
+    }
+
+    /// Write this frame, length prefix first, and flush.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), ProtoError> {
+        let payload = self.payload();
+        let len = 1 + payload.len() as u32;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&[self.type_byte()])?;
+        w.write_all(&payload)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Read one frame. `keep_waiting` is polled on read timeouts (streams
+    /// with a read timeout set), letting servers notice a shutdown without
+    /// an extra wake-up channel; return `false` to abort with
+    /// [`ProtoError::ShuttingDown`].
+    pub fn read_from(
+        r: &mut impl Read,
+        keep_waiting: &mut dyn FnMut() -> bool,
+    ) -> Result<Frame, ProtoError> {
+        let mut len = [0u8; 4];
+        read_full(r, &mut len, keep_waiting)?;
+        let len = u32::from_le_bytes(len);
+        if len == 0 {
+            return Err(WireError::Truncated { needed: 1, have: 0 }.into());
+        }
+        if len > MAX_FRAME {
+            return Err(
+                WireError::Oversize { what: "frame", len: len as u64, max: MAX_FRAME as u64 }.into()
+            );
+        }
+        let mut body = vec![0u8; len as usize];
+        read_full(r, &mut body, keep_waiting)?;
+        Frame::decode(body[0], &body[1..])
+    }
+}
+
+/// `read_exact` that tolerates read timeouts while `keep_waiting()` holds.
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    keep_waiting: &mut dyn FnMut() -> bool,
+) -> Result<(), ProtoError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(ProtoError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed the connection",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if !keep_waiting() {
+                    return Err(ProtoError::ShuttingDown);
+                }
+            }
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) -> Frame {
+        let mut bytes = Vec::new();
+        frame.write_to(&mut bytes).unwrap();
+        let mut cursor = std::io::Cursor::new(bytes);
+        Frame::read_from(&mut cursor, &mut || true).unwrap()
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        for f in [
+            Frame::Hello { version: WIRE_VERSION },
+            Frame::Finish,
+            Frame::Stats,
+            Frame::Shutdown,
+            Frame::HelloAck { version: 1, shards: 4, session: 99 },
+            Frame::EventsAck { accepted: 512 },
+            Frame::Busy { queue_depth: 7 },
+            Frame::Ok,
+            Frame::Error { message: "no session open".into() },
+        ] {
+            assert_eq!(round_trip(f.clone()), f);
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips() {
+        let snap = StatsSnapshot {
+            sessions_started: 10,
+            sessions_finished: 8,
+            events_received: 12345,
+            busy_rejections: 3,
+            reports_by_kind: [1, 2, 3, 4, 5, 6, 7],
+            queue_depths: vec![0, 2, 5],
+            session_events: 77,
+        };
+        assert_eq!(snap.sessions_active(), 2);
+        assert_eq!(round_trip(Frame::StatsReply(snap.clone())), Frame::StatsReply(snap));
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        bytes.push(0x01);
+        let mut cursor = std::io::Cursor::new(bytes);
+        let err = Frame::read_from(&mut cursor, &mut || true).unwrap_err();
+        assert!(matches!(err, ProtoError::Wire(WireError::Oversize { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn truncated_and_trailing_frames_are_typed_errors() {
+        let mut bytes = Vec::new();
+        Frame::EventsAck { accepted: 1 }.write_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 2);
+        let mut cursor = std::io::Cursor::new(&bytes);
+        assert!(Frame::read_from(&mut cursor, &mut || true).is_err());
+
+        // A frame whose payload is longer than its type demands.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&6u32.to_le_bytes());
+        bytes.push(0x82); // EventsAck wants 4 payload bytes, gets 5
+        bytes.extend_from_slice(&[0, 0, 0, 0, 0]);
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let err = Frame::read_from(&mut cursor, &mut || true).unwrap_err();
+        assert!(matches!(err, ProtoError::Wire(WireError::TrailingBytes { .. })), "{err:?}");
+    }
+}

@@ -1,0 +1,366 @@
+//! The `arbalest-serve` service: listeners, connection handling, and
+//! lifecycle.
+//!
+//! One thread accepts connections (TCP or Unix-domain); each connection
+//! gets a handler thread that speaks the frame protocol and routes work
+//! into the [`ShardPool`]. Shutdown is graceful by construction: the
+//! `Shutdown` frame (or [`ServerHandle::stop`]) stops the accept loop,
+//! wakes every handler out of its next read timeout, and then drains the
+//! shard queues to completion before the workers exit.
+
+use crate::proto::{Frame, ProtoError, WIRE_VERSION};
+use crate::shard::ShardPool;
+use crate::stats::GlobalStats;
+use arbalest_core::ArbalestConfig;
+use arbalest_sync::{Condvar, Mutex};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Where the server listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// A TCP socket address like `127.0.0.1:7979`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl ListenAddr {
+    /// Classify an address string: `unix:<path>`, or anything containing a
+    /// `/`, is a Unix socket path; everything else is a TCP address.
+    pub fn parse(s: &str) -> ListenAddr {
+        if let Some(path) = s.strip_prefix("unix:") {
+            ListenAddr::Unix(PathBuf::from(path))
+        } else if s.contains('/') {
+            ListenAddr::Unix(PathBuf::from(s))
+        } else {
+            ListenAddr::Tcp(s.to_string())
+        }
+    }
+}
+
+impl std::fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListenAddr::Tcp(a) => write!(f, "{a}"),
+            ListenAddr::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+/// Tuning knobs for a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of analysis worker shards (clamped to 1..=64).
+    pub shards: usize,
+    /// Bound on each shard's queued event batches; beyond it, clients get
+    /// `Busy`.
+    pub queue_cap: usize,
+    /// Detector configuration used for every session.
+    pub detector: ArbalestConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { shards: 4, queue_cap: 128, detector: ArbalestConfig::default() }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+/// Either accepted transport, unified for the handler.
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, d: Duration) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(Some(d)),
+            Stream::Unix(s) => s.set_read_timeout(Some(d)),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+struct Shared {
+    stop: AtomicBool,
+    stop_signal: (Mutex<bool>, Condvar),
+    active_connections: AtomicUsize,
+    stats: Arc<GlobalStats>,
+}
+
+impl Shared {
+    fn request_stop(&self) {
+        self.stop.store(true, SeqCst);
+        let (lock, cv) = &self.stop_signal;
+        *lock.lock() = true;
+        cv.notify_all();
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(SeqCst)
+    }
+}
+
+/// A running server. [`Server::stop`] (or drop) performs the graceful
+/// drain: stop accepting, let handlers finish, drain shard queues, join.
+pub struct Server {
+    shared: Arc<Shared>,
+    pool: Arc<ShardPool>,
+    accept_thread: Option<JoinHandle<()>>,
+    local_addr: ListenAddr,
+    unix_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Bind `addr` and start accepting. For `Tcp("host:0")` the actual
+    /// bound port is reported by [`Server::local_addr`].
+    pub fn start(addr: &ListenAddr, cfg: ServerConfig) -> std::io::Result<Server> {
+        let (listener, local_addr, unix_path) = match addr {
+            ListenAddr::Tcp(a) => {
+                let l = TcpListener::bind(a)?;
+                let local = ListenAddr::Tcp(l.local_addr()?.to_string());
+                l.set_nonblocking(true)?;
+                (Listener::Tcp(l), local, None)
+            }
+            ListenAddr::Unix(path) => {
+                // A previous instance's socket file would make bind fail;
+                // only ever remove something that *is* a socket.
+                if let Ok(meta) = std::fs::symlink_metadata(path) {
+                    use std::os::unix::fs::FileTypeExt;
+                    if meta.file_type().is_socket() {
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                (Listener::Unix(l), ListenAddr::Unix(path.clone()), Some(path.clone()))
+            }
+        };
+
+        let stats = Arc::new(GlobalStats::default());
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            stop_signal: (Mutex::new(false), Condvar::new()),
+            active_connections: AtomicUsize::new(0),
+            stats: stats.clone(),
+        });
+        let pool = Arc::new(ShardPool::new(cfg.shards, cfg.queue_cap, cfg.detector.clone(), stats));
+
+        let accept_shared = shared.clone();
+        let accept_pool = pool.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("arbalest-accept".into())
+            .spawn(move || accept_loop(listener, &accept_shared, &accept_pool))?;
+
+        Ok(Server {
+            shared,
+            pool,
+            accept_thread: Some(accept_thread),
+            local_addr,
+            unix_path,
+        })
+    }
+
+    /// The bound address (with the real port for `:0` binds).
+    pub fn local_addr(&self) -> &ListenAddr {
+        &self.local_addr
+    }
+
+    /// Block until some connection sends a `Shutdown` frame.
+    pub fn wait_for_shutdown(&self) {
+        let (lock, cv) = &self.shared.stop_signal;
+        let mut stopped = lock.lock();
+        while !*stopped {
+            cv.wait(&mut stopped);
+        }
+    }
+
+    /// Stop accepting, wake every handler, drain the shard queues, and
+    /// join all threads.
+    pub fn stop(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.request_stop();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Handlers notice the stop flag at their next read timeout
+        // (≤100 ms); wait for them so no one touches the pool afterwards.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while self.shared.active_connections.load(SeqCst) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.pool.shutdown();
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: Listener, shared: &Arc<Shared>, pool: &Arc<ShardPool>) {
+    loop {
+        if shared.stopping() {
+            break;
+        }
+        let accepted = match &listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        };
+        match accepted {
+            Ok(stream) => {
+                let conn_shared = shared.clone();
+                let conn_pool = pool.clone();
+                shared.active_connections.fetch_add(1, SeqCst);
+                let spawned = std::thread::Builder::new()
+                    .name("arbalest-conn".into())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_shared, &conn_pool);
+                        conn_shared.active_connections.fetch_sub(1, SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.active_connections.fetch_sub(1, SeqCst);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardPool>) {
+    let _ = stream.set_read_timeout(Duration::from_millis(100));
+    let mut session: Option<u64> = None;
+    let mut session_events: u64 = 0;
+
+    loop {
+        let frame = {
+            let shared = shared.clone();
+            Frame::read_from(&mut stream, &mut move || !shared.stopping())
+        };
+        let frame = match frame {
+            Ok(f) => f,
+            Err(ProtoError::ShuttingDown) => break,
+            Err(ProtoError::Io(_)) => break, // peer went away
+            Err(e) => {
+                // Malformed input: answer with a typed error, then close.
+                let _ = Frame::Error { message: e.to_string() }.write_to(&mut stream);
+                break;
+            }
+        };
+
+        let outcome: Result<Frame, String> = match frame {
+            Frame::Hello { version } => {
+                if version != WIRE_VERSION {
+                    Err(format!("wire version {version} not supported (server speaks {WIRE_VERSION})"))
+                } else if session.is_some() {
+                    Err("session already open on this connection".into())
+                } else if shared.stopping() {
+                    Err("server is shutting down".into())
+                } else {
+                    let id = pool.open_session();
+                    session = Some(id);
+                    session_events = 0;
+                    Ok(Frame::HelloAck {
+                        version: WIRE_VERSION,
+                        shards: pool.shards() as u16,
+                        session: id,
+                    })
+                }
+            }
+            Frame::Events(events) => match session {
+                None => Err("Events before Hello".into()),
+                Some(id) => match pool.submit_events(id, events) {
+                    Ok(accepted) => {
+                        session_events += accepted as u64;
+                        Ok(Frame::EventsAck { accepted: accepted as u32 })
+                    }
+                    Err(full) => Ok(Frame::Busy { queue_depth: full.depth }),
+                },
+            },
+            Frame::Finish => match session.take() {
+                None => Err("Finish before Hello".into()),
+                Some(id) => match pool.submit_finish(id).recv() {
+                    Ok(reports) => Ok(Frame::Reports(reports)),
+                    Err(_) => Err("analysis shard terminated".into()),
+                },
+            },
+            Frame::Stats => Ok(Frame::StatsReply(
+                shared.stats.snapshot(pool.queue_depths(), session_events),
+            )),
+            Frame::Shutdown => {
+                let _ = Frame::Ok.write_to(&mut stream);
+                shared.request_stop();
+                break;
+            }
+            // Server-role frames arriving at the server are a protocol
+            // violation.
+            Frame::HelloAck { .. }
+            | Frame::EventsAck { .. }
+            | Frame::Busy { .. }
+            | Frame::Reports(_)
+            | Frame::StatsReply(_)
+            | Frame::Ok
+            | Frame::Error { .. } => Err("client sent a server-role frame".into()),
+        };
+
+        let reply = match outcome {
+            Ok(f) => f,
+            Err(message) => Frame::Error { message },
+        };
+        if reply.write_to(&mut stream).is_err() {
+            break;
+        }
+    }
+
+    // A session abandoned mid-stream must not leak detector state.
+    if let Some(id) = session {
+        pool.submit_abort(id);
+    }
+}

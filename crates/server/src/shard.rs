@@ -1,0 +1,277 @@
+//! Worker shards: bounded job queues feeding per-session detectors.
+//!
+//! Each shard is one worker thread owning the detector state of every
+//! session hashed onto it, so all events of a session are analysed by a
+//! single thread in arrival order (the property the VSM needs), while
+//! different sessions proceed in parallel across shards. Queues are
+//! bounded: an `Events` batch that finds the queue full is *refused*
+//! (the connection answers `Busy`, the client retries), so a slow shard
+//! translates into client backpressure, never into unbounded server
+//! memory. Control jobs (`Finish`, `Abort`, `Stop`) bypass the cap —
+//! they are small, bounded by the session count, and must never be lost.
+
+use crate::stats::GlobalStats;
+use arbalest_core::session::AnalysisSession;
+use arbalest_core::ArbalestConfig;
+use arbalest_offload::report::Report;
+use arbalest_offload::trace::TraceEvent;
+use arbalest_sync::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+pub(crate) enum Job {
+    Events { session: u64, events: Vec<TraceEvent> },
+    Finish { session: u64, reply: mpsc::Sender<Vec<Report>> },
+    /// Drop a session that disconnected without `Finish`.
+    Abort { session: u64 },
+    Stop,
+}
+
+struct ShardQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+}
+
+impl ShardQueue {
+    fn new() -> ShardQueue {
+        ShardQueue { jobs: Mutex::new(VecDeque::new()), not_empty: Condvar::new() }
+    }
+
+    fn push(&self, job: Job) {
+        self.jobs.lock().push_back(job);
+        self.not_empty.notify_one();
+    }
+
+    fn pop(&self) -> Job {
+        let mut jobs = self.jobs.lock();
+        loop {
+            match jobs.pop_front() {
+                Some(job) => return job,
+                None => self.not_empty.wait(&mut jobs),
+            }
+        }
+    }
+
+    fn depth(&self) -> u32 {
+        self.jobs.lock().len() as u32
+    }
+}
+
+/// The refusal a full shard queue answers with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Queue depth observed at refusal.
+    pub depth: u32,
+}
+
+/// `N` analysis worker threads with session-hash job routing.
+pub struct ShardPool {
+    queues: Vec<Arc<ShardQueue>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    queue_cap: usize,
+    stats: Arc<GlobalStats>,
+    next_session: AtomicU64,
+}
+
+impl ShardPool {
+    /// Spawn `shards` workers, each with a queue bounded at `queue_cap`
+    /// event batches. Finished sessions fold their report counts into
+    /// `stats`.
+    pub fn new(
+        shards: usize,
+        queue_cap: usize,
+        detector: ArbalestConfig,
+        stats: Arc<GlobalStats>,
+    ) -> ShardPool {
+        let shards = shards.clamp(1, 64);
+        let queues: Vec<Arc<ShardQueue>> = (0..shards).map(|_| Arc::new(ShardQueue::new())).collect();
+        let workers = queues
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let queue = q.clone();
+                let stats = stats.clone();
+                let detector = detector.clone();
+                std::thread::Builder::new()
+                    .name(format!("arbalest-shard-{i}"))
+                    .spawn(move || worker_loop(&queue, &detector, &stats))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardPool {
+            queues,
+            workers: Mutex::new(workers),
+            queue_cap: queue_cap.max(1),
+            stats,
+            next_session: AtomicU64::new(1),
+        }
+    }
+
+    /// Allocate a fresh session id.
+    pub fn open_session(&self) -> u64 {
+        self.stats.sessions_started.fetch_add(1, Relaxed);
+        self.next_session.fetch_add(1, Relaxed)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn queue_of(&self, session: u64) -> &ShardQueue {
+        // Fibonacci multiplicative hash: consecutive session ids spread
+        // uniformly over shards without clustering.
+        let h = session.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.queues[(h % self.queues.len() as u64) as usize]
+    }
+
+    /// Offer an event batch to the session's shard. Refused (nothing
+    /// enqueued, nothing analysed) when the queue is at capacity.
+    pub fn submit_events(&self, session: u64, events: Vec<TraceEvent>) -> Result<usize, QueueFull> {
+        let queue = self.queue_of(session);
+        let accepted = events.len();
+        {
+            let mut jobs = queue.jobs.lock();
+            if jobs.len() >= self.queue_cap {
+                drop(jobs);
+                self.stats.busy_rejections.fetch_add(1, Relaxed);
+                return Err(QueueFull { depth: queue.depth() });
+            }
+            jobs.push_back(Job::Events { session, events });
+        }
+        queue.not_empty.notify_one();
+        self.stats.events_received.fetch_add(accepted as u64, Relaxed);
+        Ok(accepted)
+    }
+
+    /// Close a session: all batches already queued for it are analysed
+    /// first (FIFO per shard), then its reports come back on the channel.
+    pub fn submit_finish(&self, session: u64) -> mpsc::Receiver<Vec<Report>> {
+        let (tx, rx) = mpsc::channel();
+        self.queue_of(session).push(Job::Finish { session, reply: tx });
+        rx
+    }
+
+    /// Discard a session whose connection went away.
+    pub fn submit_abort(&self, session: u64) {
+        self.queue_of(session).push(Job::Abort { session });
+    }
+
+    /// Current depth of every shard queue.
+    pub fn queue_depths(&self) -> Vec<u32> {
+        self.queues.iter().map(|q| q.depth()).collect()
+    }
+
+    /// Drain every queue and join the workers. Jobs already enqueued are
+    /// fully processed before the `Stop` sentinel (FIFO) — this is the
+    /// graceful-drain half of shutdown. Idempotent: a second call finds
+    /// no workers left to join.
+    pub fn shutdown(&self) {
+        let workers = std::mem::take(&mut *self.workers.lock());
+        if workers.is_empty() {
+            return;
+        }
+        for q in &self.queues {
+            q.push(Job::Stop);
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &ShardQueue, detector: &ArbalestConfig, stats: &GlobalStats) {
+    let mut sessions: HashMap<u64, AnalysisSession> = HashMap::new();
+    loop {
+        match queue.pop() {
+            Job::Events { session, events } => {
+                sessions
+                    .entry(session)
+                    .or_insert_with(|| AnalysisSession::new(detector.clone()))
+                    .feed_batch(&events);
+            }
+            Job::Finish { session, reply } => {
+                let reports = sessions
+                    .remove(&session)
+                    .map(AnalysisSession::finish)
+                    .unwrap_or_default();
+                stats.count_reports(&reports);
+                stats.sessions_finished.fetch_add(1, Relaxed);
+                // A receiver that hung up already got its answer elsewhere
+                // (connection died); the session state is freed either way.
+                let _ = reply.send(reports);
+            }
+            Job::Abort { session } => {
+                sessions.remove(&session);
+                stats.sessions_finished.fetch_add(1, Relaxed);
+            }
+            Job::Stop => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbalest_offload::addr::DeviceId;
+
+    fn pool(shards: usize, cap: usize) -> (ShardPool, Arc<GlobalStats>) {
+        let stats = Arc::new(GlobalStats::default());
+        (ShardPool::new(shards, cap, ArbalestConfig::default(), stats.clone()), stats)
+    }
+
+    fn pool_alloc_event(i: u64) -> TraceEvent {
+        TraceEvent::PoolAlloc { device: DeviceId(1), base: i << 12, len: 4096 }
+    }
+
+    #[test]
+    fn full_queue_refuses_instead_of_growing() {
+        let (pool, stats) = pool(1, 2);
+        let session = pool.open_session();
+        // Retire the only worker so nothing consumes what we enqueue,
+        // making the refusal count exact.
+        pool.queues[0].push(Job::Stop);
+        while pool.queues[0].depth() != 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let mut refused = 0;
+        for i in 0..10u64 {
+            if pool.submit_events(session, vec![pool_alloc_event(i)]).is_err() {
+                refused += 1;
+            }
+        }
+        // Capacity 2: exactly the overflow is refused with Busy.
+        assert_eq!(refused, 8);
+        assert_eq!(stats.busy_rejections.load(Relaxed), 8);
+        assert_eq!(stats.events_received.load(Relaxed), 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn finish_drains_queued_batches_first() {
+        let (pool, stats) = pool(2, 1024);
+        let session = pool.open_session();
+        for i in 0..100u64 {
+            pool.submit_events(session, vec![pool_alloc_event(i)]).unwrap();
+        }
+        let reports = pool.submit_finish(session).recv().unwrap();
+        assert!(reports.is_empty());
+        assert_eq!(stats.events_received.load(Relaxed), 100);
+        assert_eq!(stats.sessions_finished.load(Relaxed), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn sessions_spread_and_shutdown_drains() {
+        let (pool, stats) = pool(4, 64);
+        for _ in 0..32 {
+            let s = pool.open_session();
+            pool.submit_events(s, vec![pool_alloc_event(s)]).unwrap();
+            pool.submit_abort(s);
+        }
+        pool.shutdown(); // must not hang; all queues drain
+        assert_eq!(stats.sessions_finished.load(Relaxed), 32);
+    }
+}

@@ -1,0 +1,46 @@
+//! Server-wide counters behind relaxed atomics (the `STATS` frame's
+//! source of truth).
+
+use crate::proto::StatsSnapshot;
+use arbalest_offload::report::Report;
+use arbalest_offload::wire::report_kind_tag;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Monotonic counters shared by every connection and shard.
+#[derive(Debug, Default)]
+pub struct GlobalStats {
+    /// Sessions opened (`Hello`).
+    pub sessions_started: AtomicU64,
+    /// Sessions closed (`Finish` or abort).
+    pub sessions_finished: AtomicU64,
+    /// Events accepted into shard queues.
+    pub events_received: AtomicU64,
+    /// Event batches refused with `Busy`.
+    pub busy_rejections: AtomicU64,
+    /// Reports from finished sessions, indexed by
+    /// [`report_kind_tag`].
+    pub reports_by_kind: [AtomicU64; 7],
+}
+
+impl GlobalStats {
+    /// Fold a finished session's findings into the per-kind counters.
+    pub fn count_reports(&self, reports: &[Report]) {
+        for r in reports {
+            self.reports_by_kind[report_kind_tag(r.kind) as usize].fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Materialise a snapshot; `queue_depths` and `session_events` come
+    /// from the caller (pool state and connection state respectively).
+    pub fn snapshot(&self, queue_depths: Vec<u32>, session_events: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            sessions_started: self.sessions_started.load(Relaxed),
+            sessions_finished: self.sessions_finished.load(Relaxed),
+            events_received: self.events_received.load(Relaxed),
+            busy_rejections: self.busy_rejections.load(Relaxed),
+            reports_by_kind: std::array::from_fn(|i| self.reports_by_kind[i].load(Relaxed)),
+            queue_depths,
+            session_events,
+        }
+    }
+}

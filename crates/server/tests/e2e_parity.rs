@@ -1,0 +1,167 @@
+//! End-to-end parity: analysing a trace through a live `arbalest-serve`
+//! instance must produce *byte-identical* rendered reports to the
+//! in-process analysis path, for every DRACC Table III case — plus
+//! concurrency and shutdown behaviour under several simultaneous
+//! sessions.
+
+use arbalest_core::{AnalysisSession, ArbalestConfig};
+use arbalest_offload::prelude::*;
+use arbalest_offload::trace::{TraceEvent, TraceRecorder};
+use arbalest_server::{Client, ListenAddr, Server, ServerConfig};
+use std::sync::Arc;
+
+/// Record one DRACC benchmark's event trace.
+fn record(bench: &arbalest_dracc::Benchmark) -> Vec<TraceEvent> {
+    let recorder = Arc::new(TraceRecorder::new());
+    let rt = Runtime::with_tool(Config::default(), recorder.clone());
+    bench.run(&rt);
+    recorder.take()
+}
+
+/// The in-process reference: replay the trace through a fresh detector.
+fn in_process(events: &[TraceEvent]) -> Vec<Report> {
+    let session = AnalysisSession::new(ArbalestConfig::default());
+    session.feed_batch(events);
+    session.finish()
+}
+
+fn render_all(reports: &[Report]) -> String {
+    reports.iter().map(|r| r.render()).collect()
+}
+
+fn start_server(shards: usize) -> Server {
+    Server::start(
+        &ListenAddr::Tcp("127.0.0.1:0".into()),
+        ServerConfig { shards, queue_cap: 64, detector: ArbalestConfig::default() },
+    )
+    .expect("bind")
+}
+
+#[test]
+fn every_dracc_case_matches_in_process_byte_for_byte() {
+    let server = start_server(4);
+    let addr = server.local_addr().clone();
+
+    for bench in arbalest_dracc::all() {
+        let events = record(&bench);
+        let expected = in_process(&events);
+
+        let mut client = Client::connect(&addr).expect("connect");
+        // A small chunk size exercises multi-frame streaming even for
+        // short traces.
+        let got = client.submit_chunked(&events, 64).expect("submit");
+
+        assert_eq!(
+            got.len(),
+            expected.len(),
+            "{}: report count diverged (server {} vs in-process {})",
+            bench.dracc_id(),
+            got.len(),
+            expected.len()
+        );
+        assert_eq!(
+            render_all(&got),
+            render_all(&expected),
+            "{}: rendered reports diverged",
+            bench.dracc_id()
+        );
+        // Structural equality too, not just rendering.
+        assert_eq!(got, expected, "{}: report values diverged", bench.dracc_id());
+    }
+
+    server.stop();
+}
+
+#[test]
+fn concurrent_sessions_are_isolated_and_drain_cleanly() {
+    let server = start_server(2);
+    let addr = server.local_addr().clone();
+
+    // Four distinct benchmarks submitted concurrently, several times
+    // each; every session must get exactly its own benchmark's reports.
+    let ids: Vec<u32> = arbalest_dracc::all().into_iter().take(4).map(|b| b.id).collect();
+    assert_eq!(ids.len(), 4);
+
+    let handles: Vec<_> = ids
+        .into_iter()
+        .map(|id| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let bench = arbalest_dracc::by_id(id).expect("benchmark");
+                let events = record(&bench);
+                let expected = render_all(&in_process(&events));
+                for _ in 0..3 {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    let got = client.submit_chunked(&events, 32).expect("submit");
+                    assert_eq!(render_all(&got), expected, "{}", bench.dracc_id());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("session thread");
+    }
+
+    // Counters reflect all twelve finished sessions.
+    let mut client = Client::connect(&addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.sessions_started, 12);
+    assert_eq!(stats.sessions_finished, 12);
+    assert_eq!(stats.sessions_active(), 0);
+
+    // Shutdown via the protocol: acknowledged, then the server drains.
+    client.shutdown_server().expect("shutdown");
+    server.wait_for_shutdown();
+    server.stop();
+}
+
+#[test]
+fn unix_socket_transport_matches_tcp() {
+    let path = std::env::temp_dir().join(format!("arbalest-e2e-{}.sock", std::process::id()));
+    let server = Server::start(
+        &ListenAddr::Unix(path.clone()),
+        ServerConfig { shards: 1, queue_cap: 16, detector: ArbalestConfig::default() },
+    )
+    .expect("bind unix");
+
+    let bench = arbalest_dracc::by_id(22).expect("DRACC 22");
+    let events = record(&bench);
+    let expected = render_all(&in_process(&events));
+
+    let mut client = Client::connect(server.local_addr()).expect("connect unix");
+    let got = client.submit(&events).expect("submit");
+    assert_eq!(render_all(&got), expected);
+
+    server.stop();
+    assert!(!path.exists(), "socket file not cleaned up");
+}
+
+#[test]
+fn protocol_misuse_yields_remote_errors_not_hangs() {
+    let server = start_server(1);
+    let addr = server.local_addr().clone();
+
+    // Events before Hello.
+    let mut client = Client::connect(&addr).expect("connect");
+    let err = client
+        .send_events(&[TraceEvent::PoolAlloc {
+            device: arbalest_offload::addr::DeviceId(1),
+            base: 0,
+            len: 4096,
+        }])
+        .expect_err("events before hello must fail");
+    assert!(matches!(err, arbalest_server::ProtoError::Remote(_)), "{err:?}");
+
+    // Finish before Hello, on a fresh connection.
+    let mut client = Client::connect(&addr).expect("connect");
+    let err = client.finish().expect_err("finish before hello must fail");
+    assert!(matches!(err, arbalest_server::ProtoError::Remote(_)), "{err:?}");
+
+    // Double Hello on one connection.
+    let mut client = Client::connect(&addr).expect("connect");
+    client.hello().expect("first hello");
+    let err = client.hello().expect_err("second hello must fail");
+    assert!(matches!(err, arbalest_server::ProtoError::Remote(_)), "{err:?}");
+
+    server.stop();
+}
