@@ -19,6 +19,10 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> arbalest lint all (static analyzer gate)"
+# Exit code enforces the contract: buggy models flagged, correct silent.
+./target/release/arbalest lint all --quiet
+
 if [[ "${RUN_SOAK:-1}" == "1" ]]; then
     echo "==> fault-injection soak (ignored test, bounded)"
     cargo test -q --test soak -- --ignored

@@ -1,7 +1,7 @@
 //! Shared report sink with per-site deduplication, used by every baseline.
 
 use arbalest_offload::events::SrcLoc;
-use arbalest_offload::report::{Report, ReportKind};
+use arbalest_offload::report::{hints, Report, ReportKind};
 use arbalest_sync::Mutex;
 use std::collections::HashSet;
 
@@ -52,7 +52,9 @@ impl ReportSink {
             size,
             loc,
             prev: None,
-            suggested_fix: None,
+            // Baselines have no mapping context of their own; attach the
+            // kind's default hint so no report ships without one.
+            suggested_fix: Some(hints::default_for(kind, device).to_string()),
         });
     }
 

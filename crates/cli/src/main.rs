@@ -23,13 +23,21 @@
 
 use arbalest_baselines::{AddressSanitizer, Archer, Memcheck, MemorySanitizer};
 use arbalest_core::{certify, Arbalest, ArbalestConfig};
+use arbalest_offload::json::Json;
 use arbalest_offload::prelude::*;
 use arbalest_offload::trace::{TraceEvent, TraceRecorder};
 use arbalest_offload::wire;
 use arbalest_server::{Client, ListenAddr, Server, ServerConfig};
 use arbalest_spec::Preset;
+use arbalest_static::{analyze, Severity};
 use std::process::ExitCode;
 use std::sync::Arc;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
 
 struct Options {
     tools: Vec<String>,
@@ -38,6 +46,7 @@ struct Options {
     serialize: bool,
     team: usize,
     quiet: bool,
+    format: OutputFormat,
     faults: FaultConfig,
 }
 
@@ -50,6 +59,7 @@ impl Default for Options {
             serialize: false,
             team: 4,
             quiet: false,
+            format: OutputFormat::Text,
             faults: FaultConfig::disabled(),
         }
     }
@@ -86,6 +96,8 @@ usage: arbalest <command> [options]
   list                       enumerate DRACC benchmarks and SPEC workloads
   dracc <id|all>             run DRACC benchmark(s) under the chosen tools
   spec <name|all>            run SPEC-like workload(s)
+  lint <id|name|all>         static data-mapping analysis of a benchmark's
+                             IR model (no execution)
   certify <id|all>           Theorem-1 certification of DRACC benchmark(s)
   serve                      run the analysis service (see --listen, --shards)
   submit <trace-file|id>     stream a trace (or a DRACC benchmark's trace)
@@ -108,6 +120,7 @@ options:
   --serialize                serialize nowait kernels (analysis schedule)
   --team <n>                 kernel team size
   --quiet                    summary only, no rendered reports
+  --format text|json         report format for dracc/spec/lint (default text)
   --faults seed=N,rate=P     deterministic fault injection (rate in [0,1])
 ";
 
@@ -151,6 +164,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok_or("--team needs a number")?;
             }
             "--quiet" => opts.quiet = true,
+            "--format" => {
+                opts.format = match it.next().map(String::as_str) {
+                    Some("text") => OutputFormat::Text,
+                    Some("json") => OutputFormat::Json,
+                    other => return Err(format!("bad --format {other:?} (want text|json)")),
+                };
+            }
             "--faults" => {
                 let v = it.next().ok_or("--faults needs seed=N,rate=P")?;
                 opts.faults = parse_faults(v)?;
@@ -209,21 +229,22 @@ fn cmd_dracc(target: &str, opts: &Options) -> ExitCode {
         }
     };
     let mut missed = 0usize;
+    let mut results = Vec::new();
     for b in &benches {
         for tool in &opts.tools {
             let rt = runtime_for(opts, tool);
             b.run(&rt);
-            let n = print_reports(&rt, opts.quiet);
+            let reports = rt.reports();
             let verdict = match b.expected {
                 Some(e) => {
-                    let hit = rt.reports().iter().any(|r| r.kind.credits_effect(e));
+                    let hit = reports.iter().any(|r| r.kind.credits_effect(e));
                     if !hit {
                         missed += 1;
                     }
                     if hit { "DETECTED" } else { "missed" }
                 }
                 None => {
-                    if n > 0 {
+                    if !reports.is_empty() {
                         missed += 1;
                         "FALSE POSITIVE"
                     } else {
@@ -231,8 +252,25 @@ fn cmd_dracc(target: &str, opts: &Options) -> ExitCode {
                     }
                 }
             };
-            println!("{:<14} {:<10} {:>3} report(s)  {}", b.dracc_id(), tool, n, verdict);
+            if opts.format == OutputFormat::Json {
+                results.push(Json::obj(vec![
+                    ("benchmark", Json::Str(b.dracc_id())),
+                    ("tool", Json::Str(tool.clone())),
+                    ("verdict", Json::Str(verdict.to_string())),
+                    ("reports", Json::Arr(reports.iter().map(|r| r.to_json()).collect())),
+                ]));
+            } else {
+                let n = print_reports(&rt, opts.quiet);
+                println!("{:<14} {:<10} {:>3} report(s)  {}", b.dracc_id(), tool, n, verdict);
+            }
         }
+    }
+    if opts.format == OutputFormat::Json {
+        let doc = Json::obj(vec![
+            ("command", Json::Str("dracc".into())),
+            ("results", Json::Arr(results)),
+        ]);
+        println!("{}", doc.emit());
     }
     if missed == 0 {
         ExitCode::SUCCESS
@@ -253,24 +291,142 @@ fn cmd_spec(target: &str, opts: &Options) -> ExitCode {
             }
         }
     };
+    let mut results = Vec::new();
     for w in &workloads {
         for tool in &opts.tools {
             let rt = runtime_for(opts, tool);
             let start = std::time::Instant::now();
             let sum = (w.run)(&rt, opts.preset);
             let wall = start.elapsed();
-            let n = print_reports(&rt, opts.quiet);
+            if opts.format == OutputFormat::Json {
+                let reports = rt.reports();
+                results.push(Json::obj(vec![
+                    ("workload", Json::Str(w.name.to_string())),
+                    ("tool", Json::Str(tool.clone())),
+                    ("checksum", Json::Num(sum)),
+                    ("seconds", Json::Num(wall.as_secs_f64())),
+                    ("reports", Json::Arr(reports.iter().map(|r| r.to_json()).collect())),
+                ]));
+            } else {
+                let n = print_reports(&rt, opts.quiet);
+                println!(
+                    "{:<12} {:<10} {:>8.3}s  checksum {:>14.6}  {} report(s)",
+                    w.name,
+                    tool,
+                    wall.as_secs_f64(),
+                    sum,
+                    n
+                );
+            }
+        }
+    }
+    if opts.format == OutputFormat::Json {
+        let doc = Json::obj(vec![
+            ("command", Json::Str("spec".into())),
+            ("results", Json::Arr(results)),
+        ]);
+        println!("{}", doc.emit());
+    }
+    ExitCode::SUCCESS
+}
+
+/// One program to lint, with the ground-truth expectation for the exit
+/// code: buggy DRACC models must draw at least one diagnostic, correct
+/// ones (and the SPEC workloads) must stay silent.
+struct LintItem {
+    program: arbalest_ir::Program,
+    bug_expected: bool,
+}
+
+fn lint_items(target: &str, opts: &Options) -> Result<Vec<LintItem>, String> {
+    let dracc_item = |b: &arbalest_dracc::Benchmark| LintItem {
+        program: arbalest_dracc::ir_models::ir_model(b.id).expect("model for every id"),
+        bug_expected: b.expected.is_some(),
+    };
+    let spec_item = |name: &str| {
+        arbalest_spec::ir_models::ir_model(name, opts.preset)
+            .map(|program| LintItem { program, bug_expected: false })
+    };
+    if target == "all" {
+        let mut items: Vec<LintItem> =
+            arbalest_dracc::all().iter().map(dracc_item).collect();
+        items.extend(
+            arbalest_spec::workloads()
+                .iter()
+                .map(|w| spec_item(w.name).expect("model for every workload")),
+        );
+        return Ok(items);
+    }
+    if let Some(b) = target.parse::<u32>().ok().and_then(arbalest_dracc::by_id) {
+        return Ok(vec![dracc_item(&b)]);
+    }
+    if let Some(item) = spec_item(target) {
+        return Ok(vec![item]);
+    }
+    Err(format!("'{target}' is neither a DRACC benchmark id nor a workload name"))
+}
+
+fn cmd_lint(target: &str, opts: &Options) -> ExitCode {
+    let items = match lint_items(target, opts) {
+        Ok(items) => items,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut wrong = 0usize;
+    let mut results = Vec::new();
+    for item in &items {
+        let diags = analyze(&item.program);
+        let must = diags.iter().filter(|d| d.severity == Severity::Must).count();
+        let may = diags.len() - must;
+        // A correct program must draw nothing; a seeded bug must draw at
+        // least one diagnostic (the data-dependent cases only a `may`).
+        let ok = if item.bug_expected { !diags.is_empty() } else { diags.is_empty() };
+        if !ok {
+            wrong += 1;
+        }
+        if opts.format == OutputFormat::Json {
+            results.push(Json::obj(vec![
+                ("program", Json::Str(item.program.name.clone())),
+                ("bug_expected", Json::Bool(item.bug_expected)),
+                ("must", Json::int(must as u64)),
+                ("may", Json::int(may as u64)),
+                (
+                    "diagnostics",
+                    Json::Arr(diags.iter().map(|d| d.to_report().to_json()).collect()),
+                ),
+            ]));
+        } else {
+            if !opts.quiet {
+                for d in &diags {
+                    print!("{}", d.to_report().render());
+                }
+            }
+            let verdict = match (item.bug_expected, diags.is_empty()) {
+                (true, false) => "FLAGGED",
+                (true, true) => "missed",
+                (false, true) => "clean",
+                (false, false) => "FALSE POSITIVE",
+            };
             println!(
-                "{:<12} {:<10} {:>8.3}s  checksum {:>14.6}  {} report(s)",
-                w.name,
-                tool,
-                wall.as_secs_f64(),
-                sum,
-                n
+                "{:<14} {:>2} must, {:>2} may  {}",
+                item.program.name, must, may, verdict
             );
         }
     }
-    ExitCode::SUCCESS
+    if opts.format == OutputFormat::Json {
+        let doc = Json::obj(vec![
+            ("command", Json::Str("lint".into())),
+            ("results", Json::Arr(results)),
+        ]);
+        println!("{}", doc.emit());
+    }
+    if wrong == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_certify(target: &str, opts: &Options) -> ExitCode {
@@ -538,7 +694,7 @@ fn main() -> ExitCode {
                 cmd_record(target, &opts)
             }
         }
-        "dracc" | "spec" | "certify" => {
+        "dracc" | "spec" | "lint" | "certify" => {
             let Some(target) = args.get(1) else { return usage() };
             let opts = match parse_options(&args[2..]) {
                 Ok(o) => o,
@@ -550,6 +706,7 @@ fn main() -> ExitCode {
             match cmd.as_str() {
                 "dracc" => cmd_dracc(target, &opts),
                 "spec" => cmd_spec(target, &opts),
+                "lint" => cmd_lint(target, &opts),
                 _ => cmd_certify(target, &opts),
             }
         }

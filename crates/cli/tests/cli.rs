@@ -88,3 +88,78 @@ fn unified_mode_changes_verdict() {
     assert!(!ok, "no issue manifests under unified memory");
     assert!(stdout.contains("missed"));
 }
+
+#[test]
+fn lint_flags_buggy_and_clears_correct() {
+    let (ok, stdout, _) = run(&["lint", "22"]);
+    assert!(ok);
+    assert!(stdout.contains("ArbalestStatic"));
+    assert!(stdout.contains("[must]"));
+    assert!(stdout.contains("Suggested fix"));
+    assert!(stdout.contains("FLAGGED"));
+
+    let (ok, stdout, _) = run(&["lint", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("clean"));
+}
+
+#[test]
+fn lint_all_covers_dracc_and_spec() {
+    let (ok, stdout, _) = run(&["lint", "all", "--quiet"]);
+    assert!(ok, "every buggy model flagged, every correct one silent");
+    assert_eq!(stdout.matches("FLAGGED").count(), 16, "{stdout}");
+    assert_eq!(stdout.lines().count(), 61, "56 DRACC + 5 SPEC rows");
+    assert!(stdout.contains("pcg"));
+}
+
+#[test]
+fn lint_demotes_the_data_dependent_case_to_may() {
+    // DRACC 050's input may or may not be initialised (§VI-G): the
+    // static verdict stays `may`, everything else buggy draws a `must`.
+    let (ok, stdout, _) = run(&["lint", "50", "--quiet"]);
+    assert!(ok);
+    assert!(stdout.contains(" 0 must,  1 may"), "{stdout}");
+}
+
+#[test]
+fn json_reports_round_trip() {
+    use arbalest_offload::json::Json;
+    use arbalest_offload::report::Report;
+
+    for args in [
+        vec!["dracc", "26", "--format", "json"],
+        vec!["lint", "24", "--format", "json"],
+        vec!["spec", "pep", "--format", "json"],
+    ] {
+        let (_, stdout, _) = run(&args);
+        let doc = Json::parse(&stdout).expect("valid JSON");
+        let results = doc.get("results").and_then(Json::as_arr).expect("results");
+        assert!(!results.is_empty());
+        for entry in results {
+            let key = if args[0] == "lint" { "diagnostics" } else { "reports" };
+            for r in entry.get(key).and_then(Json::as_arr).expect(key) {
+                let report = Report::from_json(r).expect("round-trips");
+                assert_eq!(report.to_json(), *r);
+                assert!(report.suggested_fix.is_some(), "every report carries a hint");
+            }
+        }
+    }
+}
+
+#[test]
+fn json_mode_emits_nothing_but_json() {
+    let (ok, stdout, _) = run(&["dracc", "1", "--format", "json"]);
+    assert!(ok);
+    assert!(Json::parse_ok(&stdout));
+}
+
+use arbalest_offload::json::Json;
+
+trait ParseOk {
+    fn parse_ok(text: &str) -> bool;
+}
+impl ParseOk for Json {
+    fn parse_ok(text: &str) -> bool {
+        Json::parse(text).is_ok()
+    }
+}

@@ -16,7 +16,7 @@ use arbalest_offload::buffer::{BufferId, BufferInfo};
 use arbalest_offload::events::{
     AccessEvent, DataOpEvent, DataOpKind, SrcLoc, SyncEvent, Tool, TransferEvent, TransferKind,
 };
-use arbalest_offload::report::{PrevAccess, Report, ReportKind};
+use arbalest_offload::report::{hints, PrevAccess, Report, ReportKind};
 use arbalest_race::RaceEngine;
 use arbalest_shadow::{IntervalTree, Layout, ShadowMemory};
 use arbalest_sync::{Mutex, RwLock};
@@ -261,7 +261,7 @@ impl Arbalest {
                 ev.size,
                 Some(ev.loc),
                 Some(PrevAccess { tid: r.prev_tid, clock: r.prev_clock, is_write: r.prev_was_write }),
-                Some("order the conflicting accesses with taskwait, depend, or a synchronous target".into()),
+                Some(hints::ORDER_ACCESSES.into()),
             );
         }
     }
@@ -341,7 +341,7 @@ impl Tool for Arbalest {
                     ev.len as usize,
                     None,
                     None,
-                    Some(format!("shrink the array section of '{}' to the variable's extent", info.name)),
+                    Some(hints::shrink_section(&info.name)),
                 );
             }
         }
@@ -373,7 +373,7 @@ impl Tool for Arbalest {
                             clock: r.prev_clock,
                             is_write: r.prev_was_write,
                         }),
-                        Some("synchronize the nowait target region before the region end's implicit transfer".into()),
+                        Some(hints::SYNC_BEFORE_TRANSFER.into()),
                     );
                 }
             }
@@ -419,7 +419,7 @@ impl Tool for Arbalest {
                     ev.size,
                     Some(ev.loc),
                     None,
-                    Some("add a map clause (or enclosing target data region) for the variable".into()),
+                    Some(hints::ADD_MAP.into()),
                 );
                 return;
             }
@@ -434,7 +434,7 @@ impl Tool for Arbalest {
                         ev.size,
                         Some(ev.loc),
                         None,
-                        Some("check the loop bounds against the mapped array section".into()),
+                        Some(hints::CHECK_BOUNDS.into()),
                     );
                     return;
                 }
@@ -457,7 +457,7 @@ impl Tool for Arbalest {
                                 ev.size,
                                 Some(ev.loc),
                                 None,
-                                Some("check the mapped array section's length/offset".into()),
+                                Some(hints::CHECK_SECTION.into()),
                             );
                             return;
                         }
@@ -474,18 +474,12 @@ impl Tool for Arbalest {
                 ViolationKind::Uum => (
                     ReportKind::MappingUum,
                     "use of uninitialized memory",
-                    match loc {
-                        StorageLoc::Host => "the corresponding variable was never copied back; use map-type from/tofrom or target update from",
-                        StorageLoc::Device(_) => "the corresponding variable was allocated but never initialized; use map-type to/tofrom or target update to",
-                    },
+                    hints::for_read(ReportKind::MappingUum, ev.device),
                 ),
                 ViolationKind::Usd => (
                     ReportKind::MappingUsd,
                     "use of stale data",
-                    match loc {
-                        StorageLoc::Host => "the last write happened on the device; use map-type from/tofrom or target update from before reading on the host",
-                        StorageLoc::Device(_) => "the last write happened on the host; use map-type to/tofrom or target update to before reading on the device",
-                    },
+                    hints::for_read(ReportKind::MappingUsd, ev.device),
                 ),
             };
             self.report(

@@ -1,0 +1,900 @@
+//! Hand-authored IR descriptions of all 56 DRACC benchmarks.
+//!
+//! Each model mirrors the runtime program in `correct.rs` / `buggy.rs`:
+//! the same buffer registrations (name, element size, length — checked by
+//! the `ir_matches_runtime` test), the same construct sequence, and
+//! may/must access sets that over-approximate every access the runtime
+//! program performs (checked by the trace-replay property test). Loops in
+//! the source become unrolled construct sequences (the iteration counts
+//! are small constants); host verification loops become whole-buffer host
+//! reads, which is sound because a correct benchmark only verifies data
+//! that is coherent on the host.
+//!
+//! One deliberate divergence: `DRACC_OMP_050`'s input array is declared
+//! with *data-dependent* host initialisation ([`arbalest_ir::Certainty::May`])
+//! rather than "never initialised". That models the real DRACC program,
+//! where the array is filled from program input — exactly the case §VI-G
+//! of the paper says a static tool cannot decide. The static checker
+//! accordingly demotes 050's finding to a `may` diagnostic, while the
+//! other fifteen seeded bugs stay `must`.
+
+use crate::N;
+use arbalest_ir::{BufId, MapClause, Program, ProgramBuilder, Sect};
+use arbalest_offload::mapping::MapType;
+
+const NE: u64 = N as u64;
+
+fn mc(buf: BufId, map_type: MapType, sect: Sect) -> MapClause {
+    MapClause { buf, map_type, sect }
+}
+fn to(buf: BufId) -> MapClause {
+    mc(buf, MapType::To, Sect::Full)
+}
+fn from(buf: BufId) -> MapClause {
+    mc(buf, MapType::From, Sect::Full)
+}
+fn alloc(buf: BufId) -> MapClause {
+    mc(buf, MapType::Alloc, Sect::Full)
+}
+fn release(buf: BufId) -> MapClause {
+    mc(buf, MapType::Release, Sect::Full)
+}
+fn delete(buf: BufId) -> MapClause {
+    mc(buf, MapType::Delete, Sect::Full)
+}
+fn to_sec(buf: BufId, start: u64, len: u64) -> MapClause {
+    mc(buf, MapType::To, Sect::Elems { start, len })
+}
+fn alloc_sec(buf: BufId, start: u64, len: u64) -> MapClause {
+    mc(buf, MapType::Alloc, Sect::Elems { start, len })
+}
+
+fn pb(id: u32) -> ProgramBuilder {
+    ProgramBuilder::new(&format!("DRACC_OMP_{id:03}"))
+}
+
+// ---------------------------------------------------------------- correct
+
+fn c01() -> Program {
+    let mut p = pb(1);
+    let a = p.buffer_init("a", 8, NE);
+    let b = p.buffer_init("b", 8, NE);
+    p.target().map_tofrom(a).map_to(b).reads(a).reads(b).writes(a).done();
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c02() -> Program {
+    let mut p = pb(2);
+    let x = p.buffer_init("x", 8, NE);
+    let y = p.buffer("y", 8, NE);
+    p.target().map_to(x).map_from(y).reads(x).writes(y).done();
+    p.host_read(y);
+    p.taskwait();
+    p.build()
+}
+
+fn c03() -> Program {
+    let mut p = pb(3);
+    let x = p.buffer_init("x", 8, NE);
+    let y = p.buffer_init("y", 8, NE);
+    let out = p.buffer("out", 8, 1);
+    p.target().map_to(x).map_to(y).map_from(out).reads(x).reads(y).writes(out).done();
+    p.host_read(out);
+    p.taskwait();
+    p.build()
+}
+
+fn c04() -> Program {
+    let mut p = pb(4);
+    let x = p.buffer_init("x", 8, NE);
+    let y = p.buffer_init("y", 8, NE);
+    p.target().map_to(x).map_tofrom(y).reads(x).reads(y).writes(y).done();
+    p.host_read(y);
+    p.taskwait();
+    p.build()
+}
+
+fn c05() -> Program {
+    let mut p = pb(5);
+    let a = p.buffer_init("a", 8, NE);
+    let b = p.buffer("b", 8, NE);
+    p.target().map_to(a).map_from(b).reads(a).writes(b).done();
+    p.host_read(b);
+    p.taskwait();
+    p.build()
+}
+
+fn c06() -> Program {
+    let mut p = pb(6);
+    let a = p.buffer_init("a", 8, NE);
+    let (s, l) = (NE / 4, NE / 2);
+    p.target()
+        .map_tofrom_sec(a, s, l)
+        .reads_sec(a, s, l)
+        .writes_sec(a, s, l)
+        .done();
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c07() -> Program {
+    let mut p = pb(7);
+    let a = p.buffer_init("a", 8, NE);
+    let out = p.buffer("out", 8, NE);
+    p.data().map_to(a).map_from(out).scope(|p| {
+        p.host_write(a);
+        p.update_to(a);
+        p.target().map_to(a).map_from(out).reads(a).writes(out).done();
+    });
+    p.host_read(out);
+    p.taskwait();
+    p.build()
+}
+
+fn c08() -> Program {
+    let mut p = pb(8);
+    let a = p.buffer_init("a", 8, NE);
+    p.data().map_tofrom(a).scope(|p| {
+        p.target().map_to(a).reads(a).writes(a).done();
+        p.update_from(a);
+        p.host_read(a);
+    });
+    p.taskwait();
+    p.build()
+}
+
+fn c09() -> Program {
+    let mut p = pb(9);
+    let a = p.buffer_init("a", 8, NE);
+    p.enter_data(vec![to(a)]);
+    for _ in 0..3 {
+        p.target().map_to(a).reads(a).writes(a).done();
+    }
+    p.exit_data(vec![from(a)]);
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c10() -> Program {
+    let mut p = pb(10);
+    let scratch = p.buffer("scratch", 8, NE);
+    let out = p.buffer("out", 8, NE);
+    p.target()
+        .map_alloc(scratch)
+        .map_from(out)
+        .writes(scratch)
+        .reads(scratch)
+        .writes(out)
+        .done();
+    p.host_read(out);
+    p.taskwait();
+    p.build()
+}
+
+fn c11() -> Program {
+    let mut p = pb(11);
+    let a = p.buffer_init("a", 8, NE);
+    let t = p.target().map_tofrom(a).nowait().reads(a).writes(a).done();
+    p.wait(t);
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c12() -> Program {
+    let mut p = pb(12);
+    let a = p.buffer_init("a", 8, NE);
+    let b = p.buffer_init("b", 8, NE);
+    p.target().map_tofrom(a).nowait().reads(a).writes(a).done();
+    p.target().map_tofrom(b).nowait().reads(b).writes(b).done();
+    p.taskwait();
+    p.host_read(a);
+    p.host_read(b);
+    p.taskwait();
+    p.build()
+}
+
+fn c13() -> Program {
+    let mut p = pb(13);
+    let a = p.buffer_init("a", 8, NE);
+    for _ in 0..5 {
+        p.target()
+            .map_tofrom(a)
+            .nowait()
+            .depend_write(a)
+            .reads(a)
+            .writes(a)
+            .done();
+    }
+    p.taskwait();
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c14() -> Program {
+    use arbalest_offload::addr::DeviceId;
+    let mut p = pb(14);
+    let a = p.buffer_init("a", 8, NE);
+    let b = p.buffer("b", 8, NE);
+    p.target().on_device(DeviceId::HOST).reads(a).writes(b).done();
+    p.host_read(b);
+    p.taskwait();
+    p.build()
+}
+
+fn c15() -> Program {
+    let mut p = pb(15);
+    let a = p.buffer_init("a", 4, NE);
+    p.target().map_tofrom(a).reads(a).writes(a).done();
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c16() -> Program {
+    let mut p = pb(16);
+    let m = 12u64;
+    let a = p.buffer_init("A", 8, m * m);
+    let b = p.buffer_init("B", 8, m * m);
+    let c = p.buffer("C", 8, m * m);
+    p.target().map_to(a).map_to(b).map_from(c).reads(a).reads(b).writes(c).done();
+    p.host_read(a);
+    p.host_read(b);
+    p.host_read(c);
+    p.taskwait();
+    p.build()
+}
+
+fn c17() -> Program {
+    let mut p = pb(17);
+    let x = p.buffer_init("x", 8, NE);
+    let out = p.buffer("out", 8, 1);
+    p.target().map_to(x).map_from(out).reads(x).writes(out).done();
+    p.host_read(out);
+    p.taskwait();
+    p.build()
+}
+
+fn c18() -> Program {
+    let mut p = pb(18);
+    let a = p.buffer("a", 8, NE);
+    let b = p.buffer_init("b", 8, NE);
+    let c = p.buffer_init("c", 8, NE);
+    p.target().map_from(a).map_to(b).map_to(c).reads(b).reads(c).writes(a).done();
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c19() -> Program {
+    let mut p = pb(19);
+    let table = p.buffer_init("table", 8, NE);
+    let out = p.buffer("out", 8, NE);
+    p.enter_data(vec![to(table)]);
+    p.target().map_to(table).map_from(out).reads(table).writes(out).done();
+    p.exit_data(vec![release(table)]);
+    p.host_read(table);
+    p.host_read(out);
+    p.taskwait();
+    p.build()
+}
+
+fn c20() -> Program {
+    let mut p = pb(20);
+    let a = p.buffer_init("a", 8, NE);
+    p.enter_data(vec![to(a)]);
+    p.enter_data(vec![to(a)]);
+    p.target().map_to(a).reads(a).done();
+    p.exit_data(vec![delete(a)]);
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c21() -> Program {
+    let mut p = pb(21);
+    let a = p.buffer_init("a", 8, NE);
+    p.data().map_tofrom(a).scope(|p| {
+        for _ in 0..2 {
+            p.target().map_tofrom(a).reads(a).writes(a).done();
+        }
+    });
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c35() -> Program {
+    let mut p = pb(35);
+    let data = p.buffer_init("data", 8, NE);
+    let hist = p.buffer("hist", 8, 8);
+    p.target()
+        .map_to(data)
+        .map_from(hist)
+        .writes(hist)
+        .reads(data)
+        .may_reads(hist)
+        .may_writes(hist)
+        .done();
+    p.host_read(hist);
+    p.taskwait();
+    p.build()
+}
+
+fn c36() -> Program {
+    let mut p = pb(36);
+    let a = p.buffer_init("a", 8, NE);
+    p.target().map_tofrom(a).reads(a).writes_sec(a, 1, NE - 1).done();
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c37() -> Program {
+    let mut p = pb(37);
+    let cur = p.buffer_init("cur", 8, NE);
+    let next = p.buffer("next", 8, NE);
+    p.enter_data(vec![to(cur), alloc(next)]);
+    p.target().map_to(cur).map_alloc(next).reads(cur).writes(next).done();
+    p.target().map_to(next).map_alloc(cur).reads(next).writes(cur).done();
+    p.update_from(cur);
+    p.exit_data(vec![release(cur), release(next)]);
+    p.host_read(cur);
+    p.taskwait();
+    p.build()
+}
+
+fn c38() -> Program {
+    let mut p = pb(38);
+    let src = p.buffer_init("src", 8, NE);
+    let idx = p.buffer_init("idx", 8, NE);
+    let out = p.buffer("out", 8, NE);
+    p.target()
+        .map_to(src)
+        .map_to(idx)
+        .map_from(out)
+        .reads(idx)
+        .may_reads(src)
+        .writes(out)
+        .done();
+    p.host_read(out);
+    p.taskwait();
+    p.build()
+}
+
+fn c39() -> Program {
+    let mut p = pb(39);
+    let out = p.buffer("out", 8, NE);
+    p.target().map_from(out).writes(out).done();
+    p.host_read(out);
+    p.taskwait();
+    p.build()
+}
+
+fn c40() -> Program {
+    let mut p = pb(40);
+    let input = p.buffer_init("input", 8, NE);
+    let output = p.buffer("output", 8, NE);
+    let scratch = p.buffer("scratch", 8, NE);
+    let state = p.buffer_init("state", 8, NE);
+    p.target()
+        .map_to(input)
+        .map_from(output)
+        .map_alloc(scratch)
+        .map_tofrom(state)
+        .reads(input)
+        .writes(scratch)
+        .reads(state)
+        .writes(state)
+        .reads(scratch)
+        .writes(output)
+        .done();
+    p.host_read(state);
+    p.host_read(output);
+    p.taskwait();
+    p.build()
+}
+
+fn c41() -> Program {
+    let mut p = pb(41);
+    let a = p.buffer_init("a", 8, NE);
+    for _ in 0..4 {
+        p.target().map_tofrom(a).reads(a).writes(a).done();
+    }
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c42() -> Program {
+    let mut p = pb(42);
+    let out = p.buffer("out", 8, NE);
+    p.target().map_from(out).writes(out).done();
+    p.host_read(out);
+    p.taskwait();
+    p.build()
+}
+
+fn c43() -> Program {
+    let mut p = pb(43);
+    let a = p.buffer_init("a", 8, NE);
+    p.enter_data(vec![to(a)]);
+    for _ in 0..2 {
+        p.host_write(a);
+        p.update_to(a);
+        p.target().map_to(a).reads(a).done();
+    }
+    p.exit_data(vec![release(a)]);
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c44() -> Program {
+    let mut p = pb(44);
+    let a = p.buffer_init("a", 8, NE);
+    p.data().map_tofrom(a).scope(|p| {
+        p.target().map_to(a).reads(a).writes(a).done();
+        p.update_from(a);
+        p.host_read(a);
+        p.host_write(a);
+        p.update_to(a);
+        p.target().map_to(a).reads(a).writes(a).done();
+    });
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c45() -> Program {
+    let mut p = pb(45);
+    let bytes = p.buffer_init("bytes", 1, NE);
+    p.target().map_tofrom(bytes).reads(bytes).writes(bytes).done();
+    p.host_read(bytes);
+    p.taskwait();
+    p.build()
+}
+
+fn c46() -> Program {
+    let mut p = pb(46);
+    let x = p.buffer_init("x", 4, NE);
+    p.target().map_tofrom(x).reads(x).writes(x).done();
+    p.host_read(x);
+    p.taskwait();
+    p.build()
+}
+
+fn c47() -> Program {
+    let mut p = pb(47);
+    let x = p.buffer_init("x", 8, NE);
+    let total = p.buffer("total", 8, 1);
+    p.target().map_to(x).map_from(total).reads(x).writes(total).done();
+    p.host_read(total);
+    p.taskwait();
+    p.build()
+}
+
+fn c48() -> Program {
+    let mut p = pb(48);
+    let a = p.buffer_init("a", 8, NE);
+    let b = p.buffer("b", 8, NE);
+    let c = p.buffer("c", 8, NE);
+    p.data().map_to(a).map_alloc(b).map_from(c).scope(|p| {
+        p.target().map_to(a).map_alloc(b).reads(a).writes(b).done();
+        p.target().map_alloc(b).map_from(c).reads(b).writes(c).done();
+    });
+    p.host_read(c);
+    p.taskwait();
+    p.build()
+}
+
+fn c52() -> Program {
+    let mut p = pb(52);
+    let a = p.buffer_init("a", 8, NE);
+    let b = p.buffer("b", 8, NE);
+    p.target()
+        .map_tofrom(a)
+        .nowait()
+        .depend_write(a)
+        .reads(a)
+        .writes(a)
+        .done();
+    p.target()
+        .map_to(a)
+        .map_tofrom(b)
+        .nowait()
+        .depend_read(a)
+        .depend_write(b)
+        .reads(a)
+        .writes(b)
+        .done();
+    p.taskwait();
+    p.host_read(b);
+    p.taskwait();
+    p.build()
+}
+
+fn c53() -> Program {
+    let mut p = pb(53);
+    let a = p.buffer_init("a", 8, NE);
+    p.data().map_tofrom(a).scope(|p| {
+        p.target().map_to(a).nowait().writes_sec(a, 0, NE / 2).done();
+        p.target().map_to(a).nowait().writes_sec(a, NE / 2, NE / 2).done();
+        p.taskwait();
+    });
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c54() -> Program {
+    let mut p = pb(54);
+    let a = p.buffer_init("a", 8, NE);
+    let t = p.target().map_tofrom(a).nowait().reads(a).writes(a).done();
+    p.wait(t);
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c55() -> Program {
+    let mut p = pb(55);
+    let a = p.buffer_init("a", 8, NE);
+    p.enter_data(vec![to(a)]);
+    for _ in 0..3 {
+        p.target().map_to(a).reads(a).writes(a).done();
+        p.update_from(a);
+        p.host_read(a);
+        p.host_write(a);
+        p.update_to(a);
+    }
+    p.exit_data(vec![release(a)]);
+    p.host_read(a);
+    p.taskwait();
+    p.build()
+}
+
+fn c56() -> Program {
+    let mut p = pb(56);
+    let pr = p.buffer_init("p", 8, NE);
+    let r = p.buffer_init("r", 8, NE);
+    let q = p.buffer("q", 8, NE);
+    let x = p.buffer_init("x", 8, NE);
+    let scalars = p.buffer("scalars", 8, 2);
+    p.data()
+        .map_to(pr)
+        .map_to(r)
+        .map_alloc(q)
+        .map_tofrom(x)
+        .map_from(scalars)
+        .scope(|p| {
+            p.target().map_to(pr).map_alloc(q).reads(pr).writes(q).done();
+            p.target()
+                .map_to(r)
+                .map_to(pr)
+                .map_alloc(q)
+                .map_from(scalars)
+                .reads(r)
+                .reads(pr)
+                .reads(q)
+                .writes(scalars)
+                .done();
+            p.update_from(scalars);
+            p.host_read(scalars);
+            p.target().map_to(pr).map_tofrom(x).reads(x).reads(pr).writes(x).done();
+        });
+    p.host_read(x);
+    p.taskwait();
+    p.build()
+}
+
+// ------------------------------------------------------------------ buggy
+
+fn b022() -> Program {
+    let mut p = pb(22);
+    let a = p.buffer_init("a", 8, NE);
+    let b = p.buffer_init("b", 8, NE * 8);
+    let c = p.buffer_init("c", 8, NE);
+    // BUG: `b` is map(alloc) — its host contents never reach the device.
+    p.target()
+        .map_to(a)
+        .map_alloc(b)
+        .map_tofrom(c)
+        .reads(c)
+        .reads(b)
+        .reads(a)
+        .writes(c)
+        .done();
+    p.host_read_sec(c, 0, 1);
+    p.taskwait();
+    p.build()
+}
+
+fn b023() -> Program {
+    let mut p = pb(23);
+    let a = p.buffer_init("a", 8, NE);
+    // BUG: maps N+8 elements of an N-element array.
+    p.target().map_to_sec(a, 0, NE + 8).reads(a).done();
+    p.taskwait();
+    p.build()
+}
+
+fn b024() -> Program {
+    let mut p = pb(24);
+    let x = p.buffer_init("x", 8, NE);
+    let acc = p.buffer_init("acc", 8, NE);
+    // BUG: `acc` is map(from) but read before being written on the device.
+    p.target().map_to(x).map_from(acc).reads(acc).reads(x).writes(acc).done();
+    p.host_read_sec(acc, 0, 1);
+    p.taskwait();
+    p.build()
+}
+
+fn b025() -> Program {
+    let mut p = pb(25);
+    let a = p.buffer_init("a", 8, NE);
+    // BUG: section `a[4 : 4+N]` runs past the end of the array.
+    p.target().map_to_sec(a, 4, NE).reads_sec(a, 4, NE - 4).done();
+    p.taskwait();
+    p.build()
+}
+
+fn b026() -> Program {
+    let mut p = pb(26);
+    let a = p.buffer_init("a", 8, NE);
+    // BUG: map(to) only; the device's writes never come back.
+    p.target().map_to(a).reads(a).writes(a).done();
+    p.host_read_sec(a, NE / 2, 1);
+    p.taskwait();
+    p.build()
+}
+
+fn b027() -> Program {
+    let mut p = pb(27);
+    let a = p.buffer_init("a", 8, NE);
+    // BUG: enclosing region maps `to` only; host reads stale data after.
+    p.data().map_to(a).scope(|p| {
+        p.target().map_to(a).reads(a).writes(a).done();
+    });
+    p.host_read_sec(a, 3, 1);
+    p.taskwait();
+    p.build()
+}
+
+fn b028() -> Program {
+    let mut p = pb(28);
+    let a = p.buffer("a", 8, NE);
+    // BUG: map(from) section of N+8 elements; the exit copy-back overflows.
+    p.target().map_from_sec(a, 0, NE + 8).writes(a).done();
+    p.host_read_sec(a, 0, 1);
+    p.taskwait();
+    p.build()
+}
+
+fn b029() -> Program {
+    let mut p = pb(29);
+    let a = p.buffer_init("a", 8, NE);
+    // BUG: section `a[N/2 : N/2+N]` runs past the end of the array.
+    p.target()
+        .map_tofrom_sec(a, NE / 2, NE)
+        .reads_sec(a, NE / 2, NE / 2)
+        .writes_sec(a, NE / 2, NE / 2)
+        .done();
+    p.taskwait();
+    p.build()
+}
+
+fn b030() -> Program {
+    let mut p = pb(30);
+    let a = p.buffer_init("a", 8, NE);
+    // BUG: enter-data maps N+8 elements; the entry copy-in overflows.
+    p.enter_data(vec![to_sec(a, 0, NE + 8)]);
+    p.target().map_to(a).reads(a).done();
+    p.exit_data(vec![release(a)]);
+    p.taskwait();
+    p.build()
+}
+
+fn b031() -> Program {
+    let mut p = pb(31);
+    let a = p.buffer("a", 8, NE);
+    // BUG: oversized alloc section; the exit-data copy-back overflows.
+    p.enter_data(vec![alloc_sec(a, 0, NE + 8)]);
+    p.target().map_alloc(a).writes(a).done();
+    p.exit_data(vec![from(a)]);
+    p.host_read_sec(a, 0, 1);
+    p.taskwait();
+    p.build()
+}
+
+fn b032() -> Program {
+    let mut p = pb(32);
+    let a = p.buffer_init("a", 8, NE);
+    // BUG: host reads inside the region, before any copy-back.
+    p.data().map_tofrom(a).scope(|p| {
+        p.target().map_to(a).reads(a).writes(a).done();
+        p.host_read_sec(a, 7, 1);
+    });
+    p.taskwait();
+    p.build()
+}
+
+fn b033() -> Program {
+    let mut p = pb(33);
+    let a = p.buffer_init("a", 8, NE);
+    let out = p.buffer("out", 8, NE);
+    // BUG: host rewrites `a` inside the region; the inner map(to) is a
+    // no-op (refcount already 1), so the kernel reads the stale copy.
+    p.data().map_to(a).map_from(out).scope(|p| {
+        p.host_write(a);
+        p.target().map_to(a).map_from(out).reads(a).writes(out).done();
+    });
+    p.host_read_sec(out, 0, 1);
+    p.taskwait();
+    p.build()
+}
+
+fn b034() -> Program {
+    let mut p = pb(34);
+    let coeff = p.buffer("coeff", 8, NE); // BUG: never initialised.
+    let out = p.buffer("out", 8, NE);
+    p.data().map_alloc(coeff).map_from(out).scope(|p| {
+        p.update_to(coeff);
+        p.target()
+            .map_alloc(coeff)
+            .map_from(out)
+            .reads(coeff)
+            .writes(out)
+            .done();
+    });
+    p.host_read_sec(out, 0, 1);
+    p.taskwait();
+    p.build()
+}
+
+fn b049() -> Program {
+    let mut p = pb(49);
+    let a = p.buffer_init("a", 8, NE);
+    let out = p.buffer("out", 8, NE);
+    // BUG: enter-data uses map(alloc); host contents of `a` never arrive.
+    p.enter_data(vec![alloc(a)]);
+    p.target().map_alloc(a).map_from(out).reads(a).writes(out).done();
+    p.exit_data(vec![release(a)]);
+    p.host_read_sec(out, 0, 1);
+    p.taskwait();
+    p.build()
+}
+
+fn b050() -> Program {
+    let mut p = pb(50);
+    // Whether `a` was initialised depends on program input (§VI-G): the
+    // static model can only say "may be initialised", so the checker
+    // reports a `may` diagnostic here — dynamic analysis decides it.
+    let a = p.buffer_init_may("a", 8, NE);
+    let out = p.buffer("out", 8, NE);
+    p.target().map_to(a).map_from(out).reads(a).writes(out).done();
+    p.host_read_sec(out, 0, 1);
+    p.taskwait();
+    p.build()
+}
+
+fn b051() -> Program {
+    let mut p = pb(51);
+    let a = p.buffer_init("a", 8, NE);
+    p.enter_data(vec![to(a)]);
+    p.target().map_to(a).reads(a).writes(a).done();
+    p.exit_data(vec![release(a)]);
+    // BUG: the remap uses map(alloc); the second kernel reads garbage.
+    p.enter_data(vec![alloc(a)]);
+    p.target().map_alloc(a).reads(a).done();
+    p.exit_data(vec![release(a)]);
+    p.taskwait();
+    p.build()
+}
+
+/// The IR model for one benchmark id, if one exists (all 56 do).
+pub fn ir_model(id: u32) -> Option<Program> {
+    let f: fn() -> Program = match id {
+        1 => c01,
+        2 => c02,
+        3 => c03,
+        4 => c04,
+        5 => c05,
+        6 => c06,
+        7 => c07,
+        8 => c08,
+        9 => c09,
+        10 => c10,
+        11 => c11,
+        12 => c12,
+        13 => c13,
+        14 => c14,
+        15 => c15,
+        16 => c16,
+        17 => c17,
+        18 => c18,
+        19 => c19,
+        20 => c20,
+        21 => c21,
+        22 => b022,
+        23 => b023,
+        24 => b024,
+        25 => b025,
+        26 => b026,
+        27 => b027,
+        28 => b028,
+        29 => b029,
+        30 => b030,
+        31 => b031,
+        32 => b032,
+        33 => b033,
+        34 => b034,
+        35 => c35,
+        36 => c36,
+        37 => c37,
+        38 => c38,
+        39 => c39,
+        40 => c40,
+        41 => c41,
+        42 => c42,
+        43 => c43,
+        44 => c44,
+        45 => c45,
+        46 => c46,
+        47 => c47,
+        48 => c48,
+        49 => b049,
+        50 => b050,
+        51 => b051,
+        52 => c52,
+        53 => c53,
+        54 => c54,
+        55 => c55,
+        56 => c56,
+        _ => return None,
+    };
+    Some(f())
+}
+
+/// IR models for all 56 benchmarks, ascending by id.
+pub fn all_models() -> Vec<Program> {
+    (1..=56).map(|id| ir_model(id).expect("model for every id")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_has_a_model_with_matching_name() {
+        for b in crate::all() {
+            let m = ir_model(b.id).expect("model");
+            assert_eq!(m.name, b.dracc_id());
+        }
+    }
+
+    #[test]
+    fn models_declare_at_least_one_buffer_and_construct() {
+        for m in all_models() {
+            assert!(!m.buffers.is_empty(), "{}", m.name);
+            assert!(!m.nodes.is_empty(), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn only_050_models_data_dependent_initialisation() {
+        use arbalest_ir::Certainty;
+        for m in all_models() {
+            let has_may_init = m
+                .buffers
+                .iter()
+                .any(|d| matches!(d.host_init, Some((Certainty::May, _))));
+            assert_eq!(has_may_init, m.name == "DRACC_OMP_050", "{}", m.name);
+        }
+    }
+}

@@ -22,6 +22,7 @@
 
 mod buggy;
 mod correct;
+pub mod ir_models;
 
 use arbalest_offload::prelude::*;
 

@@ -1,0 +1,659 @@
+//! # arbalest-ir
+//!
+//! A small offload-program IR: the structured construct tree a static
+//! analyzer needs and the runtime-constructed benchmarks do not have
+//! (DESIGN.md §9's historical gap, closed by `arbalest lint`).
+//!
+//! A [`Program`] declares named buffers ([`BufferDecl`]) and a tree of
+//! [`Node`]s mirroring the OpenMP device constructs the runtime offers:
+//! `target` (with maps, `nowait`, `depend`), `target data` regions,
+//! unstructured `enter`/`exit data`, `target update`, host code blocks,
+//! and `taskwait`. The leaves are **may/must read/write sets** over
+//! buffers and element-granular array sections ([`Access`]): a `Must`
+//! access happens on every execution of the program, a `May` access is
+//! data-dependent (conditional writes, unknown gather indices, inputs
+//! whose initialisation cannot be decided statically).
+//!
+//! Programs are hand-authored through [`ProgramBuilder`] and validated
+//! against the runtime two ways (both enforced in `tests/`):
+//!
+//! * buffer declarations must match the runtime's registrations
+//!   (name, element size, length), and
+//! * replaying a recorded trace must touch no buffer/section outside
+//!   the IR's may-sets — the IR is a *sound abstraction* of the
+//!   program's behaviour, which is what makes `Must` diagnostics from
+//!   the static checker trustworthy.
+
+#![warn(missing_docs)]
+
+use arbalest_offload::addr::DeviceId;
+use arbalest_offload::mapping::MapType;
+
+/// Index of a buffer declaration within its [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufId(pub u32);
+
+/// Identifier of a `target` construct, for [`Node::Wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TargetId(pub u32);
+
+/// An array section in element units. `Full` resolves to the whole
+/// declared extent; `Elems` may deliberately exceed it (that is exactly
+/// the wrong-array-section bug class DRACC seeds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sect {
+    /// The buffer's whole declared extent.
+    Full,
+    /// `buf[start : start+len]` in elements.
+    Elems {
+        /// First element.
+        start: u64,
+        /// Element count.
+        len: u64,
+    },
+}
+
+impl Sect {
+    /// Resolve to an element interval `[start, end)` against a declared
+    /// length. `Full` is clamped to the declaration; `Elems` is not.
+    pub fn resolve(self, decl_len: u64) -> (u64, u64) {
+        match self {
+            Sect::Full => (0, decl_len),
+            Sect::Elems { start, len } => (start, start + len),
+        }
+    }
+}
+
+/// Whether a fact holds on every execution or only on some.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Certainty {
+    /// Holds on every execution.
+    Must,
+    /// Data-dependent: holds on some executions.
+    May,
+}
+
+/// One read or write of a buffer section. Within a kernel or host block
+/// the accesses are ordered (program order), so "write then read" scratch
+/// patterns analyze correctly.
+#[derive(Debug, Clone, Copy)]
+pub struct Access {
+    /// Accessed buffer.
+    pub buf: BufId,
+    /// Accessed section (element units).
+    pub sect: Sect,
+    /// Write (`true`) or read.
+    pub is_write: bool,
+    /// `Must` if the access happens on every execution.
+    pub certainty: Certainty,
+}
+
+/// One `map` clause.
+#[derive(Debug, Clone, Copy)]
+pub struct MapClause {
+    /// Mapped buffer.
+    pub buf: BufId,
+    /// OpenMP map-type (Table I semantics).
+    pub map_type: MapType,
+    /// Mapped section (element units).
+    pub sect: Sect,
+}
+
+/// One `depend` clause on a `target ... nowait` construct.
+#[derive(Debug, Clone, Copy)]
+pub struct DependClause {
+    /// The dependence object (a buffer stands in for the C pointer).
+    pub buf: BufId,
+    /// `depend(out/inout)` vs `depend(in)`.
+    pub is_write: bool,
+}
+
+/// A `target` construct.
+#[derive(Debug, Clone)]
+pub struct TargetNode {
+    /// Identity, referenced by [`Node::Wait`].
+    pub id: TargetId,
+    /// Executing device.
+    pub device: DeviceId,
+    /// `nowait` clause present.
+    pub nowait: bool,
+    /// `depend` clauses.
+    pub depends: Vec<DependClause>,
+    /// `map` clauses.
+    pub maps: Vec<MapClause>,
+    /// Kernel body accesses, in program order.
+    pub body: Vec<Access>,
+}
+
+/// A node of the construct tree.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// `#pragma omp target ...` with a kernel body.
+    Target(TargetNode),
+    /// `#pragma omp target data map(...)` structured region.
+    TargetData {
+        /// Device owning the region's mappings.
+        device: DeviceId,
+        /// Region `map` clauses (entry and exit halves).
+        maps: Vec<MapClause>,
+        /// Constructs inside the region.
+        body: Vec<Node>,
+    },
+    /// `#pragma omp target enter data map(...)`.
+    EnterData {
+        /// Target device.
+        device: DeviceId,
+        /// Entry `map` clauses.
+        maps: Vec<MapClause>,
+    },
+    /// `#pragma omp target exit data map(...)`.
+    ExitData {
+        /// Target device.
+        device: DeviceId,
+        /// Exit `map` clauses.
+        maps: Vec<MapClause>,
+    },
+    /// `#pragma omp target update to(...)` / `from(...)`. The transferred
+    /// section is the present-table entry's (runtime semantics).
+    Update {
+        /// Device whose CV is the transfer endpoint.
+        device: DeviceId,
+        /// `update to` (OV → CV) vs `update from` (CV → OV).
+        to_device: bool,
+        /// Updated buffer.
+        buf: BufId,
+    },
+    /// Host code: one ordered access.
+    Host(Access),
+    /// `#pragma omp taskwait`: joins all pending `nowait` constructs.
+    Taskwait,
+    /// Wait on one `nowait` target's completion handle.
+    Wait {
+        /// The awaited construct.
+        target: TargetId,
+    },
+}
+
+/// A named buffer and what is known about its initial (host) contents.
+#[derive(Debug, Clone)]
+pub struct BufferDecl {
+    /// Runtime registration name.
+    pub name: String,
+    /// Element size in bytes.
+    pub elem_size: u64,
+    /// Length in elements.
+    pub len: u64,
+    /// Host initialisation before the first construct: `None` when the
+    /// program never initialises the OV, `(Must, sect)` for a definite
+    /// initialising loop, `(May, sect)` when initialisation is
+    /// data-dependent (e.g. read from an input file) — the case §VI-G
+    /// says a static tool cannot decide.
+    pub host_init: Option<(Certainty, Sect)>,
+}
+
+impl BufferDecl {
+    /// Declared size in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.elem_size * self.len
+    }
+}
+
+/// An offload program: buffer declarations plus the construct tree.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Program name (`DRACC_OMP_0NN` or a workload name).
+    pub name: String,
+    /// Buffer declarations; [`BufId`] indexes this.
+    pub buffers: Vec<BufferDecl>,
+    /// Top-level constructs, in program order.
+    pub nodes: Vec<Node>,
+}
+
+impl Program {
+    /// The declaration behind a [`BufId`].
+    pub fn decl(&self, b: BufId) -> &BufferDecl {
+        &self.buffers[b.0 as usize]
+    }
+
+    /// Look a buffer up by its registration name.
+    pub fn buf_by_name(&self, name: &str) -> Option<BufId> {
+        self.buffers.iter().position(|d| d.name == name).map(|i| BufId(i as u32))
+    }
+
+    /// Visit every node of the tree in program order.
+    pub fn walk(&self, f: &mut impl FnMut(&Node)) {
+        fn rec(nodes: &[Node], f: &mut impl FnMut(&Node)) {
+            for n in nodes {
+                f(n);
+                if let Node::TargetData { body, .. } = n {
+                    rec(body, f);
+                }
+            }
+        }
+        rec(&self.nodes, f);
+    }
+
+    /// The may-cover of a buffer: every byte interval the program may
+    /// read (`want_write == false`) or write, as sorted, merged
+    /// `[lo, hi)` byte ranges relative to the OV base. Host
+    /// initialisation counts as a write. Sections are clamped to the
+    /// declared extent (a benchmark that *maps* beyond the extent still
+    /// only ever accesses real elements).
+    pub fn may_cover(&self, name: &str, want_write: bool) -> Vec<(u64, u64)> {
+        let Some(id) = self.buf_by_name(name) else { return Vec::new() };
+        let decl = self.decl(id);
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        let mut add = |sect: Sect| {
+            let (s, e) = sect.resolve(decl.len);
+            let (s, e) = (s.min(decl.len), e.min(decl.len));
+            if s < e {
+                ranges.push((s * decl.elem_size, e * decl.elem_size));
+            }
+        };
+        if want_write {
+            if let Some((_, sect)) = decl.host_init {
+                add(sect);
+            }
+        }
+        self.walk(&mut |n| {
+            let body: &[Access] = match n {
+                Node::Target(t) => &t.body,
+                Node::Host(a) => std::slice::from_ref(a),
+                _ => &[],
+            };
+            for a in body {
+                if a.buf == id && a.is_write == want_write {
+                    let (s, e) = a.sect.resolve(decl.len);
+                    let (s, e) = (s.min(decl.len), e.min(decl.len));
+                    if s < e {
+                        ranges.push((s * decl.elem_size, e * decl.elem_size));
+                    }
+                }
+            }
+        });
+        normalize(ranges)
+    }
+
+    /// Whether `[byte_lo, byte_hi)` of `name` lies entirely inside the
+    /// program's may-cover for reads/writes.
+    pub fn covers(&self, name: &str, want_write: bool, byte_lo: u64, byte_hi: u64) -> bool {
+        if byte_lo >= byte_hi {
+            return true;
+        }
+        self.may_cover(name, want_write)
+            .iter()
+            .any(|&(lo, hi)| lo <= byte_lo && byte_hi <= hi)
+    }
+}
+
+/// Sort and merge byte ranges (adjacent ranges coalesce).
+fn normalize(mut ranges: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    ranges.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+    for (lo, hi) in ranges {
+        match out.last_mut() {
+            Some((_, end)) if lo <= *end => *end = (*end).max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+/// Builder for [`Program`]s. Construct nesting (`target data` scopes) is
+/// expressed with closures; see the crate tests for the idiom.
+pub struct ProgramBuilder {
+    name: String,
+    buffers: Vec<BufferDecl>,
+    frames: Vec<Vec<Node>>,
+    next_target: u32,
+}
+
+impl ProgramBuilder {
+    /// Start a program.
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder {
+            name: name.to_string(),
+            buffers: Vec::new(),
+            frames: vec![Vec::new()],
+            next_target: 0,
+        }
+    }
+
+    fn push(&mut self, node: Node) {
+        self.frames.last_mut().expect("frame stack never empty").push(node);
+    }
+
+    fn add_buffer(&mut self, name: &str, elem_size: u64, len: u64, host_init: Option<(Certainty, Sect)>) -> BufId {
+        let id = BufId(self.buffers.len() as u32);
+        self.buffers.push(BufferDecl { name: name.to_string(), elem_size, len, host_init });
+        id
+    }
+
+    /// Declare an uninitialised buffer (`rt.alloc`).
+    pub fn buffer(&mut self, name: &str, elem_size: u64, len: u64) -> BufId {
+        self.add_buffer(name, elem_size, len, None)
+    }
+
+    /// Declare a fully host-initialised buffer (`rt.alloc_with` /
+    /// `alloc_init`).
+    pub fn buffer_init(&mut self, name: &str, elem_size: u64, len: u64) -> BufId {
+        self.add_buffer(name, elem_size, len, Some((Certainty::Must, Sect::Full)))
+    }
+
+    /// Declare a buffer whose host initialisation is data-dependent.
+    pub fn buffer_init_may(&mut self, name: &str, elem_size: u64, len: u64) -> BufId {
+        self.add_buffer(name, elem_size, len, Some((Certainty::May, Sect::Full)))
+    }
+
+    /// Open a `target` construct.
+    pub fn target(&mut self) -> TargetBuilder<'_> {
+        let id = TargetId(self.next_target);
+        self.next_target += 1;
+        TargetBuilder {
+            p: self,
+            node: TargetNode {
+                id,
+                device: DeviceId::ACCEL0,
+                nowait: false,
+                depends: Vec::new(),
+                maps: Vec::new(),
+                body: Vec::new(),
+            },
+        }
+    }
+
+    /// Open a `target data` region.
+    pub fn data(&mut self) -> DataBuilder<'_> {
+        DataBuilder { p: self, device: DeviceId::ACCEL0, maps: Vec::new() }
+    }
+
+    /// `target enter data`.
+    pub fn enter_data(&mut self, maps: Vec<MapClause>) {
+        self.push(Node::EnterData { device: DeviceId::ACCEL0, maps });
+    }
+
+    /// `target exit data`.
+    pub fn exit_data(&mut self, maps: Vec<MapClause>) {
+        self.push(Node::ExitData { device: DeviceId::ACCEL0, maps });
+    }
+
+    /// `target update to(buf)`.
+    pub fn update_to(&mut self, buf: BufId) {
+        self.push(Node::Update { device: DeviceId::ACCEL0, to_device: true, buf });
+    }
+
+    /// `target update from(buf)`.
+    pub fn update_from(&mut self, buf: BufId) {
+        self.push(Node::Update { device: DeviceId::ACCEL0, to_device: false, buf });
+    }
+
+    /// Host read of the whole buffer.
+    pub fn host_read(&mut self, buf: BufId) {
+        self.host_access(buf, Sect::Full, false, Certainty::Must);
+    }
+
+    /// Host read of a section.
+    pub fn host_read_sec(&mut self, buf: BufId, start: u64, len: u64) {
+        self.host_access(buf, Sect::Elems { start, len }, false, Certainty::Must);
+    }
+
+    /// Host write of the whole buffer.
+    pub fn host_write(&mut self, buf: BufId) {
+        self.host_access(buf, Sect::Full, true, Certainty::Must);
+    }
+
+    /// Host write of a section.
+    pub fn host_write_sec(&mut self, buf: BufId, start: u64, len: u64) {
+        self.host_access(buf, Sect::Elems { start, len }, true, Certainty::Must);
+    }
+
+    /// Data-dependent host write (may or may not happen).
+    pub fn host_may_write(&mut self, buf: BufId) {
+        self.host_access(buf, Sect::Full, true, Certainty::May);
+    }
+
+    fn host_access(&mut self, buf: BufId, sect: Sect, is_write: bool, certainty: Certainty) {
+        self.push(Node::Host(Access { buf, sect, is_write, certainty }));
+    }
+
+    /// `taskwait`.
+    pub fn taskwait(&mut self) {
+        self.push(Node::Taskwait);
+    }
+
+    /// Wait on a `nowait` target's handle.
+    pub fn wait(&mut self, target: TargetId) {
+        self.push(Node::Wait { target });
+    }
+
+    /// Finish; panics on malformed nesting (unclosed scopes).
+    pub fn build(self) -> Program {
+        assert_eq!(self.frames.len(), 1, "unclosed target data scope");
+        let mut frames = self.frames;
+        Program { name: self.name, buffers: self.buffers, nodes: frames.pop().unwrap() }
+    }
+}
+
+/// Map-clause constructors shared by the construct builders.
+macro_rules! map_methods {
+    () => {
+        /// `map(to: buf)`.
+        pub fn map_to(self, buf: BufId) -> Self {
+            self.add_map(buf, MapType::To, Sect::Full)
+        }
+        /// `map(from: buf)`.
+        pub fn map_from(self, buf: BufId) -> Self {
+            self.add_map(buf, MapType::From, Sect::Full)
+        }
+        /// `map(tofrom: buf)`.
+        pub fn map_tofrom(self, buf: BufId) -> Self {
+            self.add_map(buf, MapType::ToFrom, Sect::Full)
+        }
+        /// `map(alloc: buf)`.
+        pub fn map_alloc(self, buf: BufId) -> Self {
+            self.add_map(buf, MapType::Alloc, Sect::Full)
+        }
+        /// `map(to: buf[start:len])`.
+        pub fn map_to_sec(self, buf: BufId, start: u64, len: u64) -> Self {
+            self.add_map(buf, MapType::To, Sect::Elems { start, len })
+        }
+        /// `map(from: buf[start:len])`.
+        pub fn map_from_sec(self, buf: BufId, start: u64, len: u64) -> Self {
+            self.add_map(buf, MapType::From, Sect::Elems { start, len })
+        }
+        /// `map(tofrom: buf[start:len])`.
+        pub fn map_tofrom_sec(self, buf: BufId, start: u64, len: u64) -> Self {
+            self.add_map(buf, MapType::ToFrom, Sect::Elems { start, len })
+        }
+        /// `map(alloc: buf[start:len])`.
+        pub fn map_alloc_sec(self, buf: BufId, start: u64, len: u64) -> Self {
+            self.add_map(buf, MapType::Alloc, Sect::Elems { start, len })
+        }
+    };
+}
+
+/// Builds one `target` construct; finish with [`TargetBuilder::done`].
+pub struct TargetBuilder<'a> {
+    p: &'a mut ProgramBuilder,
+    node: TargetNode,
+}
+
+impl TargetBuilder<'_> {
+    fn add_map(mut self, buf: BufId, map_type: MapType, sect: Sect) -> Self {
+        self.node.maps.push(MapClause { buf, map_type, sect });
+        self
+    }
+
+    map_methods!();
+
+    /// Execute on a specific device (default `ACCEL0`).
+    pub fn on_device(mut self, device: DeviceId) -> Self {
+        self.node.device = device;
+        self
+    }
+
+    /// Add the `nowait` clause.
+    pub fn nowait(mut self) -> Self {
+        self.node.nowait = true;
+        self
+    }
+
+    /// `depend(in: buf)`.
+    pub fn depend_read(mut self, buf: BufId) -> Self {
+        self.node.depends.push(DependClause { buf, is_write: false });
+        self
+    }
+
+    /// `depend(out: buf)` / `depend(inout: buf)`.
+    pub fn depend_write(mut self, buf: BufId) -> Self {
+        self.node.depends.push(DependClause { buf, is_write: true });
+        self
+    }
+
+    fn access(mut self, buf: BufId, sect: Sect, is_write: bool, certainty: Certainty) -> Self {
+        self.node.body.push(Access { buf, sect, is_write, certainty });
+        self
+    }
+
+    /// Kernel reads the whole buffer on every execution.
+    pub fn reads(self, buf: BufId) -> Self {
+        self.access(buf, Sect::Full, false, Certainty::Must)
+    }
+
+    /// Kernel must-reads a section.
+    pub fn reads_sec(self, buf: BufId, start: u64, len: u64) -> Self {
+        self.access(buf, Sect::Elems { start, len }, false, Certainty::Must)
+    }
+
+    /// Kernel may-reads the whole buffer (data-dependent indices).
+    pub fn may_reads(self, buf: BufId) -> Self {
+        self.access(buf, Sect::Full, false, Certainty::May)
+    }
+
+    /// Kernel writes the whole buffer on every execution.
+    pub fn writes(self, buf: BufId) -> Self {
+        self.access(buf, Sect::Full, true, Certainty::Must)
+    }
+
+    /// Kernel must-writes a section.
+    pub fn writes_sec(self, buf: BufId, start: u64, len: u64) -> Self {
+        self.access(buf, Sect::Elems { start, len }, true, Certainty::Must)
+    }
+
+    /// Kernel may-writes the whole buffer (data-dependent indices).
+    pub fn may_writes(self, buf: BufId) -> Self {
+        self.access(buf, Sect::Full, true, Certainty::May)
+    }
+
+    /// Close the construct, returning its id (for [`ProgramBuilder::wait`]).
+    pub fn done(self) -> TargetId {
+        let id = self.node.id;
+        let node = Node::Target(self.node);
+        self.p.push(node);
+        id
+    }
+}
+
+/// Builds one `target data` region; finish with [`DataBuilder::scope`].
+pub struct DataBuilder<'a> {
+    p: &'a mut ProgramBuilder,
+    device: DeviceId,
+    maps: Vec<MapClause>,
+}
+
+impl DataBuilder<'_> {
+    fn add_map(mut self, buf: BufId, map_type: MapType, sect: Sect) -> Self {
+        self.maps.push(MapClause { buf, map_type, sect });
+        self
+    }
+
+    map_methods!();
+
+    /// Run the region body, then emit the region node.
+    pub fn scope(self, f: impl FnOnce(&mut ProgramBuilder)) {
+        let DataBuilder { p, device, maps } = self;
+        p.frames.push(Vec::new());
+        f(p);
+        let body = p.frames.pop().expect("scope frame");
+        p.push(Node::TargetData { device, maps, body });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        let mut p = ProgramBuilder::new("sample");
+        let a = p.buffer_init("a", 8, 16);
+        let out = p.buffer("out", 8, 16);
+        p.data().map_to(a).map_from(out).scope(|p| {
+            p.target().map_to(a).map_from(out).reads(a).writes(out).done();
+        });
+        p.host_read_sec(out, 0, 1);
+        p.build()
+    }
+
+    #[test]
+    fn builder_produces_the_expected_tree() {
+        let prog = sample();
+        assert_eq!(prog.buffers.len(), 2);
+        assert_eq!(prog.nodes.len(), 2);
+        let Node::TargetData { body, maps, .. } = &prog.nodes[0] else {
+            panic!("expected a data region")
+        };
+        assert_eq!(maps.len(), 2);
+        assert_eq!(body.len(), 1);
+        let Node::Target(t) = &body[0] else { panic!("expected a target") };
+        assert_eq!(t.body.len(), 2);
+        assert!(!t.body[0].is_write && t.body[1].is_write);
+    }
+
+    #[test]
+    fn may_cover_includes_host_init_and_merges() {
+        let prog = sample();
+        // `a` is host-initialised (write) and kernel-read.
+        assert_eq!(prog.may_cover("a", true), vec![(0, 128)]);
+        assert_eq!(prog.may_cover("a", false), vec![(0, 128)]);
+        // `out` is kernel-written and host-read only in [0, 8).
+        assert_eq!(prog.may_cover("out", false), vec![(0, 8)]);
+        assert!(prog.covers("out", true, 0, 128));
+        assert!(!prog.covers("out", false, 8, 16));
+    }
+
+    #[test]
+    fn oversized_sections_clamp_in_covers() {
+        let mut p = ProgramBuilder::new("bo");
+        let a = p.buffer_init("a", 8, 16);
+        p.target().map_to_sec(a, 0, 24).reads(a).done();
+        let prog = p.build();
+        // The cover never exceeds the declared extent.
+        assert_eq!(prog.may_cover("a", false), vec![(0, 128)]);
+    }
+
+    #[test]
+    fn sect_resolution() {
+        assert_eq!(Sect::Full.resolve(10), (0, 10));
+        assert_eq!(Sect::Elems { start: 4, len: 10 }.resolve(10), (4, 14));
+    }
+
+    #[test]
+    fn walk_descends_into_data_regions() {
+        let prog = sample();
+        let mut targets = 0;
+        prog.walk(&mut |n| {
+            if matches!(n, Node::Target(_)) {
+                targets += 1;
+            }
+        });
+        assert_eq!(targets, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unbalanced_scope_panics() {
+        let mut p = ProgramBuilder::new("bad");
+        p.frames.push(Vec::new());
+        p.build();
+    }
+}

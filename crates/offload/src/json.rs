@@ -1,0 +1,487 @@
+//! Hand-rolled JSON support (no external dependencies): a small value
+//! tree, an emitter, a recursive-descent parser, and the [`Report`]
+//! (de)serialization the CLI's `--format json` output is built from.
+//!
+//! The emitter produces deterministic output (object keys keep insertion
+//! order) and the parser accepts exactly the JSON this crate emits plus
+//! ordinary whitespace — enough for round-tripping findings through CI
+//! and external tooling without pulling in serde.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::addr::DeviceId;
+use crate::events::SrcLoc;
+use crate::report::{PrevAccess, Report, ReportKind};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (emitted without an exponent; parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved via the paired key list.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Integer convenience constructor.
+    pub fn int(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Look a key up in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, if it is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialize to compact JSON text.
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        self.emit_into(&mut out);
+        out
+    }
+
+    fn emit_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => emit_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.emit_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    emit_string(k, out);
+                    out.push(':');
+                    v.emit_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse JSON text. Returns a description of the first error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte `{}` at {pos}", *c as char, pos = *pos)),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".to_string()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so valid).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-')) {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+// ---------------------------------------------------------------------
+// Report (de)serialization
+// ---------------------------------------------------------------------
+
+impl Report {
+    /// Serialize to a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("tool", Json::Str(self.tool.to_string())),
+            ("kind", Json::Str(self.kind.label().to_string())),
+            ("message", Json::Str(self.message.clone())),
+            (
+                "buffer",
+                self.buffer.as_ref().map_or(Json::Null, |b| Json::Str(b.clone())),
+            ),
+            ("device", Json::int(self.device.0 as u64)),
+            ("addr", Json::int(self.addr)),
+            ("size", Json::int(self.size as u64)),
+        ];
+        pairs.push((
+            "loc",
+            self.loc.map_or(Json::Null, |l| {
+                Json::obj(vec![
+                    ("file", Json::Str(l.file.to_string())),
+                    ("line", Json::int(l.line as u64)),
+                    ("column", Json::int(l.column as u64)),
+                ])
+            }),
+        ));
+        pairs.push((
+            "prev",
+            self.prev.map_or(Json::Null, |p| {
+                Json::obj(vec![
+                    ("tid", Json::int(p.tid as u64)),
+                    ("clock", Json::int(p.clock)),
+                    ("is_write", Json::Bool(p.is_write)),
+                ])
+            }),
+        ));
+        pairs.push((
+            "suggested_fix",
+            self.suggested_fix.as_ref().map_or(Json::Null, |f| Json::Str(f.clone())),
+        ));
+        Json::obj(pairs)
+    }
+
+    /// Deserialize from the object [`Report::to_json`] produces.
+    pub fn from_json(v: &Json) -> Result<Report, String> {
+        let tool = v.get("tool").and_then(Json::as_str).ok_or("missing `tool`")?;
+        let tool = intern_tool(tool);
+        let kind_label = v.get("kind").and_then(Json::as_str).ok_or("missing `kind`")?;
+        let kind = ReportKind::from_label(kind_label)
+            .ok_or_else(|| format!("unknown kind `{kind_label}`"))?;
+        let loc = match v.get("loc") {
+            Some(Json::Obj(_)) => {
+                let l = v.get("loc").unwrap();
+                Some(SrcLoc::intern(
+                    l.get("file").and_then(Json::as_str).ok_or("missing `loc.file`")?,
+                    l.get("line").and_then(Json::as_u64).ok_or("missing `loc.line`")? as u32,
+                    l.get("column").and_then(Json::as_u64).unwrap_or(0) as u32,
+                ))
+            }
+            _ => None,
+        };
+        let prev = match v.get("prev") {
+            Some(p @ Json::Obj(_)) => Some(PrevAccess {
+                tid: p.get("tid").and_then(Json::as_u64).ok_or("missing `prev.tid`")? as u16,
+                clock: p.get("clock").and_then(Json::as_u64).ok_or("missing `prev.clock`")?,
+                is_write: p.get("is_write").and_then(Json::as_bool).unwrap_or(false),
+            }),
+            _ => None,
+        };
+        Ok(Report {
+            tool,
+            kind,
+            message: v.get("message").and_then(Json::as_str).unwrap_or("").to_string(),
+            buffer: v.get("buffer").and_then(Json::as_str).map(str::to_string),
+            device: DeviceId(v.get("device").and_then(Json::as_u64).unwrap_or(0) as u16),
+            addr: v.get("addr").and_then(Json::as_u64).unwrap_or(0),
+            size: v.get("size").and_then(Json::as_u64).unwrap_or(0) as usize,
+            loc,
+            prev,
+            suggested_fix: v.get("suggested_fix").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+}
+
+/// `Report.tool` is a `&'static str`; map known tool names back to their
+/// static identity and leak genuinely novel ones (bounded by the set of
+/// distinct tool names in a JSON document).
+fn intern_tool(tool: &str) -> &'static str {
+    const KNOWN: [&str; 6] =
+        ["arbalest", "arbalest-static", "archer", "asan", "msan", "memcheck"];
+    for k in KNOWN {
+        if k == tool {
+            return k;
+        }
+    }
+    use std::sync::Mutex;
+    static EXTRA: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut extra = EXTRA.lock().unwrap();
+    if let Some(s) = extra.get(tool) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(tool.to_string().into_boxed_str());
+    extra.insert(tool.to_string(), leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::SrcLoc;
+
+    #[test]
+    fn values_round_trip() {
+        let v = Json::obj(vec![
+            ("s", Json::Str("a \"quoted\"\nline\t\\".to_string())),
+            ("n", Json::int(12345)),
+            ("neg", Json::Num(-7.0)),
+            ("b", Json::Bool(true)),
+            ("z", Json::Null),
+            ("a", Json::Arr(vec![Json::int(1), Json::Str("two".into()), Json::Null])),
+            ("o", Json::obj(vec![("k", Json::Bool(false))])),
+        ]);
+        let text = v.emit();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("{\"a\":").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn unicode_and_escapes_survive() {
+        let v = Json::Str("héllo \u{1F600} \u{0001}".to_string());
+        assert_eq!(Json::parse(&v.emit()).unwrap(), v);
+        assert_eq!(Json::parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
+    }
+
+    #[test]
+    fn reports_round_trip() {
+        let r = Report {
+            tool: "arbalest",
+            kind: ReportKind::MappingUsd,
+            message: "read of 'a' on host".to_string(),
+            buffer: Some("a".to_string()),
+            device: DeviceId::HOST,
+            addr: 0x1234,
+            size: 8,
+            loc: Some(SrcLoc::intern("bench.rs", 42, 7)),
+            prev: Some(PrevAccess { tid: 3, clock: 99, is_write: true }),
+            suggested_fix: Some("use target update from".to_string()),
+        };
+        let back = Report::from_json(&Json::parse(&r.to_json().emit()).unwrap()).unwrap();
+        assert_eq!(back.tool, r.tool);
+        assert_eq!(back.kind, r.kind);
+        assert_eq!(back.message, r.message);
+        assert_eq!(back.buffer, r.buffer);
+        assert_eq!(back.device, r.device);
+        assert_eq!(back.addr, r.addr);
+        assert_eq!(back.size, r.size);
+        assert_eq!(back.loc.unwrap().line, 42);
+        assert_eq!(back.prev.unwrap().clock, 99);
+        assert_eq!(back.suggested_fix, r.suggested_fix);
+    }
+
+    #[test]
+    fn null_optionals_round_trip_as_none() {
+        let r = Report {
+            tool: "custom-tool",
+            kind: ReportKind::DataRace,
+            message: String::new(),
+            buffer: None,
+            device: DeviceId::ACCEL0,
+            addr: 0,
+            size: 0,
+            loc: None,
+            prev: None,
+            suggested_fix: None,
+        };
+        let back = Report::from_json(&Json::parse(&r.to_json().emit()).unwrap()).unwrap();
+        assert_eq!(back.tool, "custom-tool");
+        assert!(back.buffer.is_none() && back.loc.is_none() && back.prev.is_none());
+        assert!(back.suggested_fix.is_none());
+    }
+}

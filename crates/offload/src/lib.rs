@@ -49,6 +49,7 @@ pub mod buffer;
 pub mod error;
 pub mod events;
 pub mod fault;
+pub mod json;
 pub mod mapping;
 pub mod mem;
 pub mod report;

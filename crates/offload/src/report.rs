@@ -33,6 +33,23 @@ pub enum ReportKind {
 }
 
 impl ReportKind {
+    /// Every kind, in declaration order (stable: the wire protocol and
+    /// server counters index by this).
+    pub const ALL: [ReportKind; 7] = [
+        ReportKind::MappingUum,
+        ReportKind::MappingUsd,
+        ReportKind::MappingOverflow,
+        ReportKind::DataRace,
+        ReportKind::UninitRead,
+        ReportKind::HeapOverflow,
+        ReportKind::UseAfterFree,
+    ];
+
+    /// Inverse of [`ReportKind::label`], for parsing serialized reports.
+    pub fn from_label(label: &str) -> Option<ReportKind> {
+        ReportKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+
     /// Short stable label used in harness tables.
     pub fn label(self) -> &'static str {
         match self {
@@ -187,10 +204,76 @@ pub fn summarize(reports: &[Report]) -> Vec<(ReportKind, usize)> {
 fn tool_banner(tool: &str) -> &'static str {
     match tool {
         "arbalest" | "archer" => "ThreadSanitizer",
+        "arbalest-static" => "ArbalestStatic",
         "asan" => "AddressSanitizer",
         "msan" => "MemorySanitizer",
         "memcheck" => "Memcheck",
         _ => "Sanitizer",
+    }
+}
+
+/// The shared `suggested_fix` vocabulary (§III-C's repair hints).
+///
+/// Both the dynamic detector (`arbalest-core`) and the static analyzer
+/// (`arbalest-static`) draw their hints from here, so the static-vs-
+/// dynamic comparison harness can check that a `Must` diagnostic and the
+/// dynamic report it predicts agree on the repair — not just on the kind.
+pub mod hints {
+    use super::ReportKind;
+    use crate::addr::DeviceId;
+
+    /// UUM read on a device: the CV was created without a copy-in.
+    pub const UUM_DEVICE: &str = "the corresponding variable was allocated but never initialized; use map-type to/tofrom or target update to";
+    /// UUM read on the host: the OV was never written nor copied back.
+    pub const UUM_HOST: &str = "the corresponding variable was never copied back; use map-type from/tofrom or target update from";
+    /// USD read on the host: the device holds the fresh value.
+    pub const USD_HOST: &str = "the last write happened on the device; use map-type from/tofrom or target update from before reading on the host";
+    /// USD read on a device: the host holds the fresh value.
+    pub const USD_DEVICE: &str = "the last write happened on the host; use map-type to/tofrom or target update to before reading on the device";
+    /// Kernel access with no present-table entry at all.
+    pub const ADD_MAP: &str = "add a map clause (or enclosing target data region) for the variable";
+    /// Kernel access outside every mapped CV.
+    pub const CHECK_BOUNDS: &str = "check the loop bounds against the mapped array section";
+    /// Kernel access landing in a different variable's CV.
+    pub const CHECK_SECTION: &str = "check the mapped array section's length/offset";
+    /// Unordered concurrent accesses.
+    pub const ORDER_ACCESSES: &str = "order the conflicting accesses with taskwait, depend, or a synchronous target";
+    /// A `nowait` kernel racing a region-end transfer.
+    pub const SYNC_BEFORE_TRANSFER: &str = "synchronize the nowait target region before the region end's implicit transfer";
+    /// Uninitialised read outside any mapping context (MSan-class).
+    pub const INIT_BEFORE_READ: &str = "initialize the variable before its first read";
+    /// Out-of-bounds heap access (ASan/memcheck-class).
+    pub const CHECK_ALLOCATION: &str = "check the access offset against the allocation's extent";
+    /// Access to freed memory.
+    pub const EXTEND_LIFETIME: &str = "keep the allocation alive until its last access";
+
+    /// Section-overflow hint, parameterised on the variable name.
+    pub fn shrink_section(name: &str) -> String {
+        format!("shrink the array section of '{name}' to the variable's extent")
+    }
+
+    /// The hint for a faulting read, by violation kind and the location
+    /// of the read.
+    pub fn for_read(kind: ReportKind, device: DeviceId) -> &'static str {
+        match (kind, device.is_host()) {
+            (ReportKind::MappingUsd, true) => USD_HOST,
+            (ReportKind::MappingUsd, false) => USD_DEVICE,
+            (_, true) => UUM_HOST,
+            (_, false) => UUM_DEVICE,
+        }
+    }
+
+    /// A default hint for every report kind, so no UUM/USD/BO-class
+    /// report ships without a repair suggestion.
+    pub fn default_for(kind: ReportKind, device: DeviceId) -> &'static str {
+        match kind {
+            ReportKind::MappingUum | ReportKind::MappingUsd => for_read(kind, device),
+            ReportKind::MappingOverflow => CHECK_BOUNDS,
+            ReportKind::DataRace => ORDER_ACCESSES,
+            ReportKind::UninitRead => INIT_BEFORE_READ,
+            ReportKind::HeapOverflow => CHECK_ALLOCATION,
+            ReportKind::UseAfterFree => EXTEND_LIFETIME,
+        }
     }
 }
 

@@ -1,0 +1,225 @@
+//! Hand-authored IR descriptions of the five SPEC-ACCEL-like workloads.
+//!
+//! The models are parameterized by [`Preset`], using the same dimension
+//! functions as the runtime programs so buffer lengths and iteration
+//! counts always agree with what actually runs. Kernel access sets
+//! over-approximate the real ones: the stencil's interior-only writes
+//! become whole-grid *may*-writes (every written element is inside the
+//! grid, and the `update from` before the host checksum restores full
+//! host visibility either way), and gathers with computed indices become
+//! whole-buffer reads.
+
+use crate::{pcg, polbm, pomriq, postencil, Preset};
+use arbalest_ir::{BufId, MapClause, Program, ProgramBuilder, Sect};
+use arbalest_offload::mapping::MapType;
+
+fn to(buf: BufId) -> MapClause {
+    MapClause { buf, map_type: MapType::To, sect: Sect::Full }
+}
+fn release(buf: BufId) -> MapClause {
+    MapClause { buf, map_type: MapType::Release, sect: Sect::Full }
+}
+
+fn m_postencil(preset: Preset) -> Program {
+    let (nx, ny, nz, iters) = postencil::dims(preset);
+    let len = (nx * ny * nz) as u64;
+    let mut p = ProgramBuilder::new("postencil");
+    let a0 = p.buffer_init("a0", 8, len);
+    let anext = p.buffer_init("anext", 8, len);
+    p.enter_data(vec![to(a0), to(anext)]);
+    for step in 0..iters {
+        let (src, dst) = if step % 2 == 0 { (a0, anext) } else { (anext, a0) };
+        // The stencil writes only the grid interior; a whole-grid
+        // may-write is the sound single-interval abstraction.
+        p.target().map_to(src).map_to(dst).reads(src).may_writes(dst).done();
+    }
+    let last = if iters % 2 == 0 { a0 } else { anext };
+    p.update_from(last);
+    p.exit_data(vec![release(a0), release(anext)]);
+    p.host_read(last);
+    p.build()
+}
+
+fn m_polbm(preset: Preset) -> Program {
+    let (n, steps) = polbm::dims(preset);
+    let len = (n * n * 5) as u64;
+    let mut p = ProgramBuilder::new("polbm");
+    let cur = p.buffer_init("f_cur", 8, len);
+    let next = p.buffer_init("f_next", 8, len);
+    p.enter_data(vec![to(cur), to(next)]);
+    for step in 0..steps {
+        let (src, dst) = if step % 2 == 0 { (cur, next) } else { (next, cur) };
+        p.target().map_to(src).map_to(dst).reads(src).writes(dst).done();
+    }
+    let last = if steps % 2 == 0 { cur } else { next };
+    p.update_from(last);
+    p.exit_data(vec![release(cur), release(next)]);
+    p.host_read(last);
+    p.build()
+}
+
+fn m_pomriq(preset: Preset) -> Program {
+    let (v, s) = pomriq::dims(preset);
+    let (v, s) = (v as u64, s as u64);
+    let mut p = ProgramBuilder::new("pomriq");
+    let kx = p.buffer_init("kx", 8, s);
+    let ky = p.buffer_init("ky", 8, s);
+    let kz = p.buffer_init("kz", 8, s);
+    let phi_r = p.buffer_init("phiR", 8, s);
+    let phi_i = p.buffer_init("phiI", 8, s);
+    let x = p.buffer_init("x", 8, v);
+    let y = p.buffer_init("y", 8, v);
+    let z = p.buffer_init("z", 8, v);
+    let qr = p.buffer("Qr", 8, v);
+    let qi = p.buffer("Qi", 8, v);
+    p.target()
+        .map_to(kx)
+        .map_to(ky)
+        .map_to(kz)
+        .map_to(phi_r)
+        .map_to(phi_i)
+        .map_to(x)
+        .map_to(y)
+        .map_to(z)
+        .map_from(qr)
+        .map_from(qi)
+        .reads(x)
+        .reads(y)
+        .reads(z)
+        .reads(kx)
+        .reads(ky)
+        .reads(kz)
+        .reads(phi_r)
+        .reads(phi_i)
+        .writes(qr)
+        .writes(qi)
+        .done();
+    p.host_read(qr);
+    p.host_read(qi);
+    p.build()
+}
+
+fn m_pep(_preset: Preset) -> Program {
+    let mut p = ProgramBuilder::new("pep");
+    let counts = p.buffer("counts", 8, 10);
+    let sums = p.buffer("sums", 8, 2);
+    p.target()
+        .map_from(counts)
+        .map_from(sums)
+        .writes(counts)
+        .writes_sec(counts, 9, 1)
+        .writes(sums)
+        .done();
+    p.host_read_sec(sums, 0, 1);
+    p.build()
+}
+
+fn m_pcg(preset: Preset) -> Program {
+    let (n, iters) = pcg::dims(preset);
+    let n = n as u64;
+    let mut pr = ProgramBuilder::new("pcg");
+    let b = pr.buffer_init("b", 8, n);
+    let x = pr.buffer_init("x", 8, n);
+    let r = pr.buffer_init("r", 8, n);
+    let p = pr.buffer_init("p", 8, n);
+    let q = pr.buffer_init("q", 8, n);
+    let scalars = pr.buffer("scalars", 8, 2);
+    pr.data()
+        .map_to(b)
+        .map_tofrom(x)
+        .map_to(r)
+        .map_to(p)
+        .map_to(q)
+        .map_from(scalars)
+        .scope(|pr| {
+            // r = b; p = r; rho = r·r.
+            pr.target()
+                .map_to(b)
+                .map_to(r)
+                .map_to(p)
+                .map_from(scalars)
+                .reads(b)
+                .writes(r)
+                .writes(p)
+                .reads(r)
+                .writes_sec(scalars, 0, 1)
+                .done();
+            pr.update_from(scalars);
+            pr.host_read_sec(scalars, 0, 1);
+            for _ in 0..iters {
+                // q = A p; pq = p·q.
+                pr.target()
+                    .map_to(p)
+                    .map_to(q)
+                    .map_from(scalars)
+                    .reads(p)
+                    .writes(q)
+                    .reads(q)
+                    .writes_sec(scalars, 0, 1)
+                    .done();
+                pr.update_from(scalars);
+                pr.host_read_sec(scalars, 0, 1);
+                // x += alpha p; r -= alpha q; rho' = r·r.
+                pr.target()
+                    .map_to(p)
+                    .map_to(q)
+                    .map_tofrom(x)
+                    .map_to(r)
+                    .map_from(scalars)
+                    .reads(x)
+                    .reads(p)
+                    .writes(x)
+                    .reads(r)
+                    .reads(q)
+                    .writes(r)
+                    .writes_sec(scalars, 0, 1)
+                    .done();
+                pr.update_from(scalars);
+                pr.host_read_sec(scalars, 0, 1);
+                // p = r + beta p.
+                pr.target().map_to(p).map_to(r).reads(r).reads(p).writes(p).done();
+            }
+        });
+    pr.build()
+}
+
+/// The IR model for one workload name at a preset.
+pub fn ir_model(name: &str, preset: Preset) -> Option<Program> {
+    match name {
+        "postencil" => Some(m_postencil(preset)),
+        "polbm" => Some(m_polbm(preset)),
+        "pomriq" => Some(m_pomriq(preset)),
+        "pep" => Some(m_pep(preset)),
+        "pcg" => Some(m_pcg(preset)),
+        _ => None,
+    }
+}
+
+/// IR models for all five workloads at a preset.
+pub fn all_models(preset: Preset) -> Vec<Program> {
+    crate::workloads()
+        .iter()
+        .map(|w| ir_model(w.name, preset).expect("model for every workload"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_has_a_model() {
+        for w in crate::workloads() {
+            let m = ir_model(w.name, Preset::Test).expect("model");
+            assert_eq!(m.name, w.name);
+            assert!(!m.buffers.is_empty());
+        }
+    }
+
+    #[test]
+    fn model_lengths_track_the_preset() {
+        let small = ir_model("postencil", Preset::Small).unwrap();
+        let test = ir_model("postencil", Preset::Test).unwrap();
+        assert!(small.buffers[0].len > test.buffers[0].len);
+    }
+}

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ir_models;
 pub mod pcg;
 pub mod pep;
 pub mod polbm;

@@ -1,0 +1,927 @@
+//! # arbalest-static
+//!
+//! A static data-mapping analyzer: the §VI-G OMPSan-style companion to
+//! the dynamic detector. It abstractly interprets an [`arbalest_ir`]
+//! [`Program`] with the Fig-4 VSM **lifted to a may/must lattice** —
+//! each buffer section tracks two `(valid_mask, init_mask)` pairs, one
+//! for facts that hold on *every* execution (`must`) and one for facts
+//! that hold on *some* execution (`may`). Because every VSM transition
+//! is monotone in mask inclusion, lifting is exact: a definite
+//! operation applies [`arbalest_core::vsm::apply`] componentwise, a
+//! data-dependent one joins the result with the unchanged state.
+//!
+//! Faulting reads are classified by severity:
+//!
+//! * [`Severity::Must`] — the read's location is invalid in the *may*
+//!   state, so every execution reaching it faults. The soundness
+//!   contract (enforced by `tests/static_soundness.rs`) is that each
+//!   such diagnostic is confirmed by the dynamic detector.
+//! * [`Severity::May`] — data-dependent: invalid only in the *must*
+//!   state, or on a data-dependent access. These are the cases §VI-G
+//!   says a static tool cannot decide.
+//!
+//! Table I map-type/refcount semantics run over a concrete present
+//! table (the benchmarks' mapping structure is deterministic), array
+//! sections get interval arithmetic for the BO extension, and a
+//! worklist pass over the `depend`/`nowait` task graph orders pending
+//! device tasks — unordered overlapping effects surface as `May` data
+//! races. Diagnostics carry the same `suggested_fix` vocabulary
+//! ([`arbalest_offload::report::hints`]) as dynamic reports.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use arbalest_core::vsm::{self, StorageLoc, ViolationKind, VsmOp};
+use arbalest_ir::{Access, BufId, Certainty, MapClause, Node, Program, TargetNode};
+use arbalest_offload::addr::DeviceId;
+use arbalest_offload::mapping::MapType;
+use arbalest_offload::report::{hints, Report, ReportKind};
+use arbalest_shadow::GranuleState;
+
+/// How certain the analyzer is that a diagnostic fires at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Fires on every execution that reaches the construct.
+    Must,
+    /// Data-dependent; the dynamic detector has the last word.
+    May,
+}
+
+impl Severity {
+    /// Stable lowercase label (`must` / `may`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Must => "must",
+            Severity::May => "may",
+        }
+    }
+
+    fn of(c: Certainty) -> Severity {
+        match c {
+            Certainty::Must => Severity::Must,
+            Certainty::May => Severity::May,
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One static finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// `Must` (definite) vs `May` (data-dependent).
+    pub severity: Severity,
+    /// The violation class, shared with dynamic reports.
+    pub kind: ReportKind,
+    /// Affected buffer's registration name.
+    pub buffer: String,
+    /// Device on whose view the fault occurs (host for OV reads).
+    pub device: DeviceId,
+    /// Affected element interval `[lo, hi)`.
+    pub section: (u64, u64),
+    /// Human-readable description.
+    pub message: String,
+    /// Repair hint, drawn from [`hints`] — the same vocabulary dynamic
+    /// reports use, so the two can be compared.
+    pub suggested_fix: String,
+}
+
+impl Diagnostic {
+    /// Convert to the shared [`Report`] shape for Archer-style
+    /// rendering next to dynamic findings.
+    pub fn to_report(&self) -> Report {
+        Report {
+            tool: "arbalest-static",
+            kind: self.kind,
+            message: format!("[{}] {}", self.severity, self.message),
+            buffer: Some(self.buffer.clone()),
+            device: self.device,
+            addr: self.section.0,
+            size: (self.section.1 - self.section.0) as usize,
+            loc: None,
+            prev: None,
+            suggested_fix: Some(self.suggested_fix.clone()),
+        }
+    }
+}
+
+/// Analyze a program, returning its diagnostics (deduplicated, `Must`
+/// first, then by buffer and section).
+pub fn analyze(p: &Program) -> Vec<Diagnostic> {
+    let mut a = Analyzer::new(p);
+    a.exec_nodes(&p.nodes);
+    a.finish()
+}
+
+// ---------------------------------------------------------------------
+// The may/must lattice
+// ---------------------------------------------------------------------
+
+/// Abstract VSM state of one buffer section: the `(valid, init)` mask
+/// pairs of the must- and may-approximations. Invariant: `must ⊆ may`
+/// bitwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Abs {
+    must_valid: u8,
+    must_init: u8,
+    may_valid: u8,
+    may_init: u8,
+}
+
+impl Abs {
+    const BOTTOM: Abs = Abs { must_valid: 0, must_init: 0, may_valid: 0, may_init: 0 };
+
+    fn gran(valid: u8, init: u8) -> GranuleState {
+        GranuleState { valid_mask: valid, init_mask: init, ..Default::default() }
+    }
+
+    /// Apply a VSM op that executes on every run: componentwise
+    /// `vsm::apply` (exact, by monotonicity of every transition).
+    fn step_must(self, op: VsmOp) -> Abs {
+        let must = vsm::apply(Self::gran(self.must_valid, self.must_init), op).0;
+        let may = vsm::apply(Self::gran(self.may_valid, self.may_init), op).0;
+        Abs {
+            must_valid: must.valid_mask,
+            must_init: must.init_mask,
+            may_valid: may.valid_mask,
+            may_init: may.init_mask,
+        }
+    }
+
+    /// Apply a VSM op that may or may not execute: join with the
+    /// unchanged state (may-union, must-intersection).
+    fn step_may(self, op: VsmOp) -> Abs {
+        self.join(self.step_must(op))
+    }
+
+    fn step(self, op: VsmOp, c: Certainty) -> Abs {
+        match c {
+            Certainty::Must => self.step_must(op),
+            Certainty::May => self.step_may(op),
+        }
+    }
+
+    fn join(self, o: Abs) -> Abs {
+        Abs {
+            must_valid: self.must_valid & o.must_valid,
+            must_init: self.must_init & o.must_init,
+            may_valid: self.may_valid | o.may_valid,
+            may_init: self.may_init | o.may_init,
+        }
+    }
+
+    /// Static read check of the location with mask `bit`, for an access
+    /// with certainty `c`. Returns the violation and its severity, or
+    /// `None` when the read is definitely clean.
+    fn check_read(self, bit: u8, c: Certainty) -> Option<(Severity, ViolationKind)> {
+        let kind = if self.must_init & bit != 0 { ViolationKind::Usd } else { ViolationKind::Uum };
+        if self.may_valid & bit == 0 {
+            // Invalid on every execution: faults whenever the access runs.
+            Some((Severity::of(c), kind))
+        } else if self.must_valid & bit == 0 {
+            // Invalid on some execution only.
+            Some((Severity::May, kind))
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Section-partitioned buffer state
+// ---------------------------------------------------------------------
+
+/// Per-buffer abstract state: a partition of `[0, len)` (element units)
+/// into maximal segments of equal [`Abs`] state.
+struct BufState {
+    len: u64,
+    segs: Vec<(u64, u64, Abs)>,
+}
+
+impl BufState {
+    fn new(len: u64, init: Abs) -> BufState {
+        BufState { len, segs: if len > 0 { vec![(0, len, init)] } else { Vec::new() } }
+    }
+
+    fn split_at(&mut self, x: u64) {
+        if x == 0 || x >= self.len {
+            return;
+        }
+        if let Some(i) = self.segs.iter().position(|&(lo, hi, _)| lo < x && x < hi) {
+            let (lo, hi, s) = self.segs[i];
+            self.segs[i] = (lo, x, s);
+            self.segs.insert(i + 1, (x, hi, s));
+        }
+    }
+
+    /// Apply `f` to every segment of `[lo, hi)`, splitting at the
+    /// boundaries and re-merging equal neighbours afterwards.
+    fn apply_range(&mut self, lo: u64, hi: u64, mut f: impl FnMut(Abs) -> Abs) {
+        let (lo, hi) = (lo.min(self.len), hi.min(self.len));
+        if lo >= hi {
+            return;
+        }
+        self.split_at(lo);
+        self.split_at(hi);
+        for seg in &mut self.segs {
+            if seg.0 >= lo && seg.1 <= hi {
+                seg.2 = f(seg.2);
+            }
+        }
+        self.merge();
+    }
+
+    /// The segments overlapping `[lo, hi)`, clipped to it.
+    fn view(&self, lo: u64, hi: u64) -> Vec<(u64, u64, Abs)> {
+        let (lo, hi) = (lo.min(self.len), hi.min(self.len));
+        self.segs
+            .iter()
+            .filter(|&&(slo, shi, _)| shi > lo && slo < hi)
+            .map(|&(slo, shi, s)| (slo.max(lo), shi.min(hi), s))
+            .collect()
+    }
+
+    fn merge(&mut self) {
+        self.segs.dedup_by(|next, prev| {
+            if prev.1 == next.0 && prev.2 == next.2 {
+                prev.1 = next.1;
+                true
+            } else {
+                false
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concrete mapping structure (Table I)
+// ---------------------------------------------------------------------
+
+/// A present-table entry: the mapped element interval as written in the
+/// creating map clause (possibly exceeding the declared extent — that
+/// is the BO bug class) plus the reference count.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    lo: u64,
+    hi: u64,
+    rc: u32,
+}
+
+/// One effect of a construct, for the nowait conflict pass.
+#[derive(Debug, Clone, Copy)]
+struct EffectRange {
+    buf: BufId,
+    lo: u64,
+    hi: u64,
+    is_write: bool,
+}
+
+/// A submitted-but-unjoined `nowait` target.
+struct Pending {
+    seq: u64,
+    id: arbalest_ir::TargetId,
+    depends: Vec<arbalest_ir::DependClause>,
+    effects: Vec<EffectRange>,
+}
+
+// ---------------------------------------------------------------------
+// The interpreter
+// ---------------------------------------------------------------------
+
+struct Analyzer<'a> {
+    p: &'a Program,
+    bufs: Vec<BufState>,
+    present: BTreeMap<(u16, u32), Entry>,
+    pending: Vec<Pending>,
+    next_seq: u64,
+    diags: Vec<Diagnostic>,
+    seen: BTreeSet<(&'static str, String, u64, u64, Severity)>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(p: &'a Program) -> Analyzer<'a> {
+        let bufs = p
+            .buffers
+            .iter()
+            .map(|d| {
+                let mut st = BufState::new(d.len, Abs::BOTTOM);
+                if let Some((c, sect)) = d.host_init {
+                    let (lo, hi) = sect.resolve(d.len);
+                    let host = StorageLoc::Host;
+                    st.apply_range(lo, hi, |a| a.step(VsmOp::Write(host), c));
+                }
+                st
+            })
+            .collect();
+        Analyzer {
+            p,
+            bufs,
+            present: BTreeMap::new(),
+            pending: Vec::new(),
+            next_seq: 0,
+            diags: Vec::new(),
+            seen: BTreeSet::new(),
+        }
+    }
+
+    fn finish(mut self) -> Vec<Diagnostic> {
+        self.diags.sort_by(|a, b| {
+            (a.severity, &a.buffer, a.section, a.kind.label())
+                .cmp(&(b.severity, &b.buffer, b.section, b.kind.label()))
+        });
+        self.diags
+    }
+
+    fn name(&self, b: BufId) -> &str {
+        &self.p.decl(b).name
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &mut self,
+        severity: Severity,
+        kind: ReportKind,
+        buf: BufId,
+        device: DeviceId,
+        section: (u64, u64),
+        message: String,
+        suggested_fix: String,
+    ) {
+        let key = (kind.label(), self.name(buf).to_string(), section.0, section.1, severity);
+        if self.seen.insert(key) {
+            self.diags.push(Diagnostic {
+                severity,
+                kind,
+                buffer: self.name(buf).to_string(),
+                device,
+                section,
+                message,
+                suggested_fix,
+            });
+        }
+    }
+
+    // ---- node dispatch ----
+
+    fn exec_nodes(&mut self, nodes: &[Node]) {
+        for n in nodes {
+            match n {
+                Node::Target(t) => self.exec_target(t),
+                Node::TargetData { device, maps, body } => {
+                    let mut effects = Vec::new();
+                    for m in maps {
+                        self.map_entry(*device, m, &mut effects);
+                    }
+                    self.race_check(&effects, &BTreeSet::new());
+                    self.exec_nodes(body);
+                    let mut effects = Vec::new();
+                    for m in maps {
+                        self.map_exit(*device, m, &mut effects);
+                    }
+                    self.race_check(&effects, &BTreeSet::new());
+                }
+                Node::EnterData { device, maps } => {
+                    let mut effects = Vec::new();
+                    for m in maps {
+                        self.map_entry(*device, m, &mut effects);
+                    }
+                    self.race_check(&effects, &BTreeSet::new());
+                }
+                Node::ExitData { device, maps } => {
+                    let mut effects = Vec::new();
+                    for m in maps {
+                        self.map_exit(*device, m, &mut effects);
+                    }
+                    self.race_check(&effects, &BTreeSet::new());
+                }
+                Node::Update { device, to_device, buf } => {
+                    let mut effects = Vec::new();
+                    self.update(*device, *to_device, *buf, &mut effects);
+                    self.race_check(&effects, &BTreeSet::new());
+                }
+                Node::Host(a) => {
+                    let decl = self.p.decl(a.buf);
+                    let (lo, hi) = a.sect.resolve(decl.len);
+                    let effects = vec![EffectRange {
+                        buf: a.buf,
+                        lo: lo.min(decl.len),
+                        hi: hi.min(decl.len),
+                        is_write: a.is_write,
+                    }];
+                    self.race_check(&effects, &BTreeSet::new());
+                    self.host_access(a);
+                }
+                Node::Taskwait => self.pending.clear(),
+                Node::Wait { target } => {
+                    // Completion of a task implies completion of its
+                    // transitive depend-predecessors.
+                    if let Some(i) = self.pending.iter().position(|t| t.id == *target) {
+                        let preds = self.preds_of(&self.pending[i].depends, self.pending[i].seq);
+                        self.pending
+                            .retain(|t| t.id != *target && !preds.contains(&t.seq));
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_target(&mut self, t: &TargetNode) {
+        if t.device.is_host() {
+            // A host-device target runs on the OV directly; the corpus
+            // uses it without map clauses (c14-style).
+            for a in &t.body {
+                self.host_access(a);
+            }
+            return;
+        }
+        let ordered = self.preds_of(&t.depends, u64::MAX);
+        let mut effects = Vec::new();
+        for m in &t.maps {
+            self.map_entry(t.device, m, &mut effects);
+        }
+        for a in &t.body {
+            let decl = self.p.decl(a.buf);
+            let (lo, hi) = a.sect.resolve(decl.len);
+            effects.push(EffectRange {
+                buf: a.buf,
+                lo: lo.min(decl.len),
+                hi: hi.min(decl.len),
+                is_write: a.is_write,
+            });
+            self.device_access(t.device, a);
+        }
+        for m in &t.maps {
+            self.map_exit(t.device, m, &mut effects);
+        }
+        self.race_check(&effects, &ordered);
+        if t.nowait {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.pending.push(Pending { seq, id: t.id, depends: t.depends.clone(), effects });
+        } else {
+            // A synchronous dependent target joins its predecessors.
+            self.pending.retain(|p| !ordered.contains(&p.seq));
+        }
+    }
+
+    // ---- the depend/nowait task graph ----
+
+    /// The pending tasks ordered before a construct with `depends`
+    /// submitted at sequence `before`, transitively closed with a
+    /// worklist over depend-clause conflicts.
+    fn preds_of(&self, depends: &[arbalest_ir::DependClause], before: u64) -> BTreeSet<u64> {
+        fn conflicts(a: &[arbalest_ir::DependClause], b: &[arbalest_ir::DependClause]) -> bool {
+            a.iter().any(|x| b.iter().any(|y| x.buf == y.buf && (x.is_write || y.is_write)))
+        }
+        let mut ordered: BTreeSet<u64> = BTreeSet::new();
+        let mut work: Vec<(u64, Vec<arbalest_ir::DependClause>)> = vec![(before, depends.to_vec())];
+        while let Some((limit, deps)) = work.pop() {
+            for p in &self.pending {
+                if p.seq < limit && !ordered.contains(&p.seq) && conflicts(&p.depends, &deps) {
+                    ordered.insert(p.seq);
+                    work.push((p.seq, p.depends.clone()));
+                }
+            }
+        }
+        ordered
+    }
+
+    /// Flag overlap between a construct's effects and every pending
+    /// task not ordered before it: a data-dependent race.
+    fn race_check(&mut self, effects: &[EffectRange], ordered: &BTreeSet<u64>) {
+        let mut found: Vec<(BufId, u64, u64)> = Vec::new();
+        for p in &self.pending {
+            if ordered.contains(&p.seq) {
+                continue;
+            }
+            for e in effects {
+                for pe in &p.effects {
+                    if e.buf == pe.buf
+                        && (e.is_write || pe.is_write)
+                        && e.lo < pe.hi
+                        && pe.lo < e.hi
+                    {
+                        found.push((e.buf, e.lo.max(pe.lo), e.hi.min(pe.hi)));
+                    }
+                }
+            }
+        }
+        for (buf, lo, hi) in found {
+            let msg = format!(
+                "unordered accesses to '{}'[{lo}..{hi}] overlap with a pending nowait target",
+                self.name(buf)
+            );
+            self.emit(
+                Severity::May,
+                ReportKind::DataRace,
+                buf,
+                DeviceId::ACCEL0,
+                (lo, hi),
+                msg,
+                hints::ORDER_ACCESSES.to_string(),
+            );
+        }
+    }
+
+    // ---- Table I mapping semantics ----
+
+    fn map_entry(&mut self, device: DeviceId, m: &MapClause, effects: &mut Vec<EffectRange>) {
+        if matches!(m.map_type, MapType::Release | MapType::Delete) {
+            return; // no entry-side effect
+        }
+        let key = (device.0, m.buf.0);
+        if let Some(e) = self.present.get_mut(&key) {
+            e.rc += 1;
+            return;
+        }
+        let decl = self.p.decl(m.buf);
+        let (lo, hi) = m.sect.resolve(decl.len);
+        self.present.insert(key, Entry { lo, hi, rc: 1 });
+        let (clo, chi) = (lo.min(decl.len), hi.min(decl.len));
+        let dev = device.0 as u8;
+        self.bufs[m.buf.0 as usize].apply_range(clo, chi, |a| a.step_must(VsmOp::Allocate(dev)));
+        if m.map_type.copies_to_device() {
+            if hi > decl.len {
+                let msg = format!(
+                    "entry transfer of '{}'[{lo}..{hi}] exceeds the variable's extent ({} elements)",
+                    decl.name, decl.len
+                );
+                let fix = hints::shrink_section(&decl.name);
+                self.emit(
+                    Severity::Must,
+                    ReportKind::MappingOverflow,
+                    m.buf,
+                    device,
+                    (lo, hi),
+                    msg,
+                    fix,
+                );
+            }
+            self.bufs[m.buf.0 as usize]
+                .apply_range(clo, chi, |a| a.step_must(VsmOp::UpdateToDevice(dev)));
+            effects.push(EffectRange { buf: m.buf, lo: clo, hi: chi, is_write: true });
+        }
+    }
+
+    fn map_exit(&mut self, device: DeviceId, m: &MapClause, effects: &mut Vec<EffectRange>) {
+        let key = (device.0, m.buf.0);
+        let Some(e) = self.present.get_mut(&key) else {
+            return; // exit over an absent entry is a no-op
+        };
+        e.rc = if m.map_type == MapType::Delete { 0 } else { e.rc.saturating_sub(1) };
+        if e.rc > 0 {
+            return;
+        }
+        let entry = self.present.remove(&key).expect("entry just seen");
+        let decl = self.p.decl(m.buf);
+        let (clo, chi) = (entry.lo.min(decl.len), entry.hi.min(decl.len));
+        let dev = device.0 as u8;
+        if m.map_type.copies_from_device() {
+            // The exit transfer moves the *entry's* recorded section.
+            if entry.hi > decl.len {
+                let msg = format!(
+                    "exit transfer of '{}'[{}..{}] exceeds the variable's extent ({} elements)",
+                    decl.name, entry.lo, entry.hi, decl.len
+                );
+                let fix = hints::shrink_section(&decl.name);
+                self.emit(
+                    Severity::Must,
+                    ReportKind::MappingOverflow,
+                    m.buf,
+                    device,
+                    (entry.lo, entry.hi),
+                    msg,
+                    fix,
+                );
+            }
+            self.bufs[m.buf.0 as usize]
+                .apply_range(clo, chi, |a| a.step_must(VsmOp::UpdateFromDevice(dev)));
+            effects.push(EffectRange { buf: m.buf, lo: clo, hi: chi, is_write: true });
+        }
+        self.bufs[m.buf.0 as usize].apply_range(clo, chi, |a| a.step_must(VsmOp::Release(dev)));
+    }
+
+    fn update(
+        &mut self,
+        device: DeviceId,
+        to_device: bool,
+        buf: BufId,
+        effects: &mut Vec<EffectRange>,
+    ) {
+        let key = (device.0, buf.0);
+        let Some(entry) = self.present.get(&key).copied() else {
+            return; // update of an unmapped variable is a no-op
+        };
+        let decl = self.p.decl(buf);
+        if entry.hi > decl.len {
+            let msg = format!(
+                "update transfer of '{}'[{}..{}] exceeds the variable's extent ({} elements)",
+                decl.name, entry.lo, entry.hi, decl.len
+            );
+            let fix = hints::shrink_section(&decl.name);
+            self.emit(
+                Severity::Must,
+                ReportKind::MappingOverflow,
+                buf,
+                device,
+                (entry.lo, entry.hi),
+                msg,
+                fix,
+            );
+        }
+        let (clo, chi) = (entry.lo.min(decl.len), entry.hi.min(decl.len));
+        let dev = device.0 as u8;
+        let op = if to_device { VsmOp::UpdateToDevice(dev) } else { VsmOp::UpdateFromDevice(dev) };
+        self.bufs[buf.0 as usize].apply_range(clo, chi, |a| a.step_must(op));
+        effects.push(EffectRange { buf, lo: clo, hi: chi, is_write: true });
+    }
+
+    // ---- accesses ----
+
+    fn host_access(&mut self, a: &Access) {
+        let decl = self.p.decl(a.buf);
+        let (lo, hi) = a.sect.resolve(decl.len);
+        let (lo, hi) = (lo.min(decl.len), hi.min(decl.len));
+        self.vsm_access(a, DeviceId::HOST, StorageLoc::Host, lo, hi);
+    }
+
+    fn device_access(&mut self, device: DeviceId, a: &Access) {
+        let decl = self.p.decl(a.buf);
+        let (lo, hi) = a.sect.resolve(decl.len);
+        let (lo, hi) = (lo.min(decl.len), hi.min(decl.len));
+        let Some(entry) = self.present.get(&(device.0, a.buf.0)).copied() else {
+            let msg = format!(
+                "kernel {} '{}'[{lo}..{hi}] on {device} with no mapping present",
+                if a.is_write { "writes" } else { "reads" },
+                decl.name
+            );
+            self.emit(
+                Severity::of(a.certainty),
+                ReportKind::MappingOverflow,
+                a.buf,
+                device,
+                (lo, hi),
+                msg,
+                hints::ADD_MAP.to_string(),
+            );
+            return;
+        };
+        if lo < entry.lo || hi > entry.hi.min(decl.len) {
+            let msg = format!(
+                "kernel access to '{}'[{lo}..{hi}] lies outside the mapped section [{}..{}]",
+                decl.name,
+                entry.lo,
+                entry.hi.min(decl.len)
+            );
+            self.emit(
+                Severity::of(a.certainty),
+                ReportKind::MappingOverflow,
+                a.buf,
+                device,
+                (lo, hi),
+                msg,
+                hints::CHECK_BOUNDS.to_string(),
+            );
+        }
+        let (lo, hi) = (lo.max(entry.lo), hi.min(entry.hi.min(decl.len)));
+        if lo < hi {
+            self.vsm_access(a, device, StorageLoc::Device(device.0 as u8), lo, hi);
+        }
+    }
+
+    fn vsm_access(&mut self, a: &Access, device: DeviceId, loc: StorageLoc, lo: u64, hi: u64) {
+        if lo >= hi {
+            return;
+        }
+        if a.is_write {
+            self.bufs[a.buf.0 as usize]
+                .apply_range(lo, hi, |s| s.step(VsmOp::Write(loc), a.certainty));
+            return;
+        }
+        // Reads never mutate abstract state; check each distinct segment.
+        let mut faults: Vec<(u64, u64, Severity, ViolationKind)> = Vec::new();
+        for (slo, shi, abs) in self.bufs[a.buf.0 as usize].view(lo, hi) {
+            if let Some((sev, kind)) = abs.check_read(loc.bit(), a.certainty) {
+                faults.push((slo, shi, sev, kind));
+            }
+        }
+        for (slo, shi, sev, kind) in faults {
+            let (kind, what) = match kind {
+                ViolationKind::Uum => (ReportKind::MappingUum, "uninitialised memory"),
+                ViolationKind::Usd => (ReportKind::MappingUsd, "stale data"),
+            };
+            let verb = match sev {
+                Severity::Must => "reads",
+                Severity::May => "may read",
+            };
+            let msg =
+                format!("'{}'[{slo}..{shi}] {verb} {what} on {device}", self.name(a.buf));
+            let fix = hints::for_read(kind, device).to_string();
+            self.emit(sev, kind, a.buf, device, (slo, shi), msg, fix);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbalest_ir::{ProgramBuilder, Sect};
+
+    fn kinds(diags: &[Diagnostic]) -> Vec<(Severity, ReportKind)> {
+        diags.iter().map(|d| (d.severity, d.kind)).collect()
+    }
+
+    #[test]
+    fn clean_to_from_program_has_no_findings() {
+        let mut p = ProgramBuilder::new("clean");
+        let a = p.buffer_init("a", 8, 16);
+        let out = p.buffer("out", 8, 16);
+        p.target().map_to(a).map_from(out).reads(a).writes(out).done();
+        p.host_read(out);
+        assert!(analyze(&p.build()).is_empty());
+    }
+
+    #[test]
+    fn alloc_instead_of_to_is_a_must_uum() {
+        let mut p = ProgramBuilder::new("uum");
+        let a = p.buffer_init("a", 8, 16);
+        p.target().map_alloc(a).reads(a).done();
+        let d = analyze(&p.build());
+        assert_eq!(kinds(&d), vec![(Severity::Must, ReportKind::MappingUum)]);
+        assert_eq!(d[0].suggested_fix, hints::UUM_DEVICE);
+    }
+
+    #[test]
+    fn missing_copy_back_is_a_must_usd_on_the_host() {
+        let mut p = ProgramBuilder::new("usd");
+        let a = p.buffer_init("a", 8, 16);
+        p.target().map_to(a).reads(a).writes(a).done();
+        p.host_read_sec(a, 0, 1);
+        let d = analyze(&p.build());
+        assert_eq!(kinds(&d), vec![(Severity::Must, ReportKind::MappingUsd)]);
+        assert_eq!(d[0].suggested_fix, hints::USD_HOST);
+        assert_eq!(d[0].device, DeviceId::HOST);
+    }
+
+    #[test]
+    fn oversized_section_is_a_must_overflow_with_the_shrink_hint() {
+        let mut p = ProgramBuilder::new("bo");
+        let a = p.buffer_init("a", 8, 16);
+        p.target().map_to_sec(a, 0, 24).reads(a).done();
+        let d = analyze(&p.build());
+        assert_eq!(kinds(&d), vec![(Severity::Must, ReportKind::MappingOverflow)]);
+        assert_eq!(d[0].suggested_fix, hints::shrink_section("a"));
+    }
+
+    #[test]
+    fn oversized_alloc_flags_at_the_exit_transfer() {
+        // From-map: no entry transfer, so the overflow surfaces when the
+        // exit transfer moves the entry's oversized section.
+        let mut p = ProgramBuilder::new("bo-exit");
+        let a = p.buffer("a", 8, 16);
+        p.target().map_from_sec(a, 0, 24).writes(a).done();
+        p.host_read_sec(a, 0, 1);
+        let d = analyze(&p.build());
+        assert_eq!(kinds(&d), vec![(Severity::Must, ReportKind::MappingOverflow)]);
+    }
+
+    #[test]
+    fn data_dependent_host_write_downgrades_to_may() {
+        let mut p = ProgramBuilder::new("may-usd");
+        let a = p.buffer_init("a", 8, 16);
+        let out = p.buffer("out", 8, 16);
+        p.data().map_to(a).map_from(out).scope(|p| {
+            p.host_may_write(a);
+            p.target().map_to(a).map_from(out).reads(a).writes(out).done();
+        });
+        p.host_read(out);
+        let d = analyze(&p.build());
+        assert_eq!(kinds(&d), vec![(Severity::May, ReportKind::MappingUsd)]);
+    }
+
+    #[test]
+    fn may_initialised_buffer_downgrades_to_may_uum() {
+        let mut p = ProgramBuilder::new("may-uum");
+        let mut q = ProgramBuilder::new("must-uum");
+        for (b, init_known) in [(&mut p, true), (&mut q, false)] {
+            let a = if init_known {
+                b.buffer_init_may("a", 8, 16)
+            } else {
+                b.buffer("a", 8, 16)
+            };
+            b.target().map_to(a).reads(a).done();
+        }
+        assert_eq!(kinds(&analyze(&p.build())), vec![(Severity::May, ReportKind::MappingUum)]);
+        assert_eq!(kinds(&analyze(&q.build())), vec![(Severity::Must, ReportKind::MappingUum)]);
+    }
+
+    #[test]
+    fn write_then_read_scratch_is_clean() {
+        let mut p = ProgramBuilder::new("scratch");
+        let s = p.buffer("s", 8, 16);
+        p.target().map_alloc(s).writes(s).reads(s).done();
+        assert!(analyze(&p.build()).is_empty());
+    }
+
+    #[test]
+    fn refcount_suppresses_the_inner_exit_transfer() {
+        // Table I: the inner tofrom exit decrements to 1 and must NOT
+        // copy back — the host read inside the region is a definite USD.
+        let mut p = ProgramBuilder::new("rc");
+        let a = p.buffer_init("a", 8, 16);
+        p.data().map_tofrom(a).scope(|p| {
+            p.target().map_tofrom(a).reads(a).writes(a).done();
+            p.host_read_sec(a, 7, 1);
+        });
+        let d = analyze(&p.build());
+        assert_eq!(kinds(&d), vec![(Severity::Must, ReportKind::MappingUsd)]);
+        assert_eq!(d[0].section, (7, 8));
+    }
+
+    #[test]
+    fn remap_after_release_loses_the_device_copy() {
+        let mut p = ProgramBuilder::new("epoch");
+        let a = p.buffer_init("a", 8, 16);
+        p.enter_data(vec![MapClause { buf: a, map_type: MapType::To, sect: Sect::Full }]);
+        p.target().map_to(a).reads(a).writes(a).done();
+        p.exit_data(vec![MapClause { buf: a, map_type: MapType::Release, sect: Sect::Full }]);
+        p.enter_data(vec![MapClause { buf: a, map_type: MapType::Alloc, sect: Sect::Full }]);
+        p.target().map_alloc(a).reads(a).done();
+        p.exit_data(vec![MapClause { buf: a, map_type: MapType::Release, sect: Sect::Full }]);
+        let d = analyze(&p.build());
+        assert_eq!(kinds(&d), vec![(Severity::Must, ReportKind::MappingUum)]);
+    }
+
+    #[test]
+    fn unordered_nowait_overlap_is_a_may_race() {
+        let mut p = ProgramBuilder::new("race");
+        let a = p.buffer_init("a", 8, 16);
+        p.data().map_tofrom(a).scope(|p| {
+            p.target().map_to(a).nowait().writes(a).done();
+            p.target().map_to(a).nowait().writes(a).done();
+            p.taskwait();
+        });
+        p.host_read(a);
+        let d = analyze(&p.build());
+        assert_eq!(kinds(&d), vec![(Severity::May, ReportKind::DataRace)]);
+    }
+
+    #[test]
+    fn depend_chain_orders_nowait_tasks() {
+        let mut p = ProgramBuilder::new("chain");
+        let a = p.buffer_init("a", 8, 16);
+        p.data().map_tofrom(a).scope(|p| {
+            for _ in 0..3 {
+                p.target().map_to(a).nowait().depend_write(a).reads(a).writes(a).done();
+            }
+            p.taskwait();
+        });
+        p.host_read(a);
+        assert!(analyze(&p.build()).is_empty());
+    }
+
+    #[test]
+    fn disjoint_nowait_halves_do_not_race() {
+        let mut p = ProgramBuilder::new("halves");
+        let a = p.buffer_init("a", 8, 16);
+        p.data().map_tofrom(a).scope(|p| {
+            p.target().map_to(a).nowait().writes_sec(a, 0, 8).done();
+            p.target().map_to(a).nowait().writes_sec(a, 8, 8).done();
+            p.taskwait();
+        });
+        p.host_read(a);
+        assert!(analyze(&p.build()).is_empty());
+    }
+
+    #[test]
+    fn wait_joins_the_task_and_its_predecessors() {
+        let mut p = ProgramBuilder::new("wait");
+        let a = p.buffer_init("a", 8, 16);
+        p.data().map_tofrom(a).scope(|p| {
+            let h = p.target().map_to(a).nowait().reads(a).writes(a).done();
+            p.wait(h);
+            p.taskwait();
+        });
+        p.host_read(a);
+        assert!(analyze(&p.build()).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_render_through_the_shared_report_shape() {
+        let mut p = ProgramBuilder::new("render");
+        let a = p.buffer_init("a", 8, 16);
+        p.target().map_alloc(a).reads(a).done();
+        let d = analyze(&p.build());
+        let r = d[0].to_report();
+        let text = r.render();
+        assert!(text.contains("ArbalestStatic"), "{text}");
+        assert!(text.contains("mapping-issue(UUM)"), "{text}");
+        assert!(text.contains("Suggested fix"), "{text}");
+        assert!(r.message.starts_with("[must]"));
+    }
+}

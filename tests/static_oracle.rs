@@ -1,0 +1,199 @@
+//! Differential oracle for the static analyzer: the hand-authored IR
+//! models are validated against the runtime (registrations and recorded
+//! traces), and every `must` static diagnostic is confirmed by the
+//! dynamic detector — the soundness contract behind `arbalest lint`.
+
+use arbalest_core::{Arbalest, ArbalestConfig};
+use arbalest_ir::Program;
+use arbalest_offload::events::DataOpKind;
+use arbalest_offload::prelude::*;
+use arbalest_offload::trace::{TraceEvent, TraceRecorder};
+use arbalest_spec::Preset;
+use arbalest_static::{analyze, Severity};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// All 61 (program, trace) pairs: 56 DRACC benchmarks plus the 5 SPEC
+/// workloads at the Test preset.
+fn corpus() -> Vec<(Program, Vec<TraceEvent>)> {
+    let mut v = Vec::new();
+    for b in arbalest_dracc::all() {
+        let rec = Arc::new(TraceRecorder::new());
+        let rt = Runtime::with_tool(Config::default(), rec.clone());
+        b.run(&rt);
+        let model = arbalest_dracc::ir_models::ir_model(b.id).expect("model");
+        v.push((model, rec.take()));
+    }
+    for w in arbalest_spec::workloads() {
+        let rec = Arc::new(TraceRecorder::new());
+        let rt = Runtime::with_tool(Config::default(), rec.clone());
+        (w.run)(&rt, Preset::Test);
+        rt.taskwait();
+        let model = arbalest_spec::ir_models::ir_model(w.name, Preset::Test).expect("model");
+        v.push((model, rec.take()));
+    }
+    v
+}
+
+#[test]
+fn ir_buffer_decls_match_runtime_registrations() {
+    for (model, trace) in corpus() {
+        let mut registered = 0usize;
+        for ev in &trace {
+            let TraceEvent::BufferRegistered(info) = ev else { continue };
+            registered += 1;
+            let id = model
+                .buf_by_name(&info.name)
+                .unwrap_or_else(|| panic!("{}: no decl for buffer '{}'", model.name, info.name));
+            let decl = model.decl(id);
+            assert_eq!(decl.elem_size, info.elem_size as u64, "{}: '{}'", model.name, info.name);
+            assert_eq!(decl.len, info.len as u64, "{}: '{}'", model.name, info.name);
+        }
+        assert_eq!(
+            registered,
+            model.buffers.len(),
+            "{}: every declared buffer is registered exactly once",
+            model.name
+        );
+    }
+}
+
+/// Replaying a recorded trace must touch no buffer/section outside the
+/// IR's may-sets: the IR is a sound over-approximation of the program.
+#[test]
+fn trace_accesses_stay_within_ir_may_sets() {
+    for (model, trace) in corpus() {
+        // OV geometry by buffer id, and live CV intervals by device.
+        let mut ov: HashMap<BufferId, (String, u64, u64)> = HashMap::new();
+        // (device, cv_base) -> (buffer, cv_len, byte offset of cv_base into the OV)
+        let mut cv: HashMap<(DeviceId, u64), (BufferId, u64, u64)> = HashMap::new();
+        for ev in &trace {
+            match ev {
+                TraceEvent::BufferRegistered(info) => {
+                    ov.insert(info.id, (info.name.clone(), info.ov_base, info.byte_len()));
+                }
+                TraceEvent::DataOp(op) => match op.kind {
+                    DataOpKind::CvAlloc => {
+                        let (_, ov_base, _) = ov[&op.buffer];
+                        cv.insert(
+                            (op.device, op.cv_base),
+                            (op.buffer, op.len, op.ov_addr - ov_base),
+                        );
+                    }
+                    DataOpKind::CvDelete => {
+                        cv.remove(&(op.device, op.cv_base));
+                    }
+                },
+                TraceEvent::Access(a) => {
+                    let Some(buf) = a.buffer else { continue };
+                    if !a.mapped {
+                        // A missing-map access has no CV to resolve
+                        // against; it is its own (dynamic) bug class.
+                        continue;
+                    }
+                    let (name, ov_base, ov_len) = ov[&buf].clone();
+                    let off = if a.device.is_host() {
+                        assert!(
+                            a.addr >= ov_base && a.addr + a.size as u64 <= ov_base + ov_len,
+                            "{}: host access to '{}' outside the OV",
+                            model.name,
+                            name
+                        );
+                        a.addr - ov_base
+                    } else {
+                        let (&(_, cv_base), &(_, _, sect_off)) = cv
+                            .iter()
+                            .find(|(&(dev, base), &(b, len, _))| {
+                                dev == a.device
+                                    && b == buf
+                                    && a.addr >= base
+                                    && a.addr + a.size as u64 <= base + len
+                            })
+                            .unwrap_or_else(|| {
+                                panic!("{}: device access to '{}' outside any CV", model.name, name)
+                            });
+                        a.addr - cv_base + sect_off
+                    };
+                    assert!(
+                        model.covers(&name, a.is_write, off, off + a.size as u64),
+                        "{}: {} of '{}' bytes [{}, {}) not in the IR {}-cover",
+                        model.name,
+                        if a.is_write { "write" } else { "read" },
+                        name,
+                        off,
+                        off + a.size as u64,
+                        if a.is_write { "write" } else { "read" },
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Soundness: every `must` diagnostic from the static checker is
+/// confirmed by a same-kind, same-buffer dynamic report, and the correct
+/// programs draw no static diagnostic of any severity.
+#[test]
+fn static_must_diagnostics_are_confirmed_dynamically() {
+    for b in arbalest_dracc::all() {
+        let model = arbalest_dracc::ir_models::ir_model(b.id).expect("model");
+        let diags = analyze(&model);
+        if b.expected.is_none() {
+            assert!(
+                diags.is_empty(),
+                "{}: static diagnostic on a correct benchmark: {:?}",
+                b.dracc_id(),
+                diags[0]
+            );
+            continue;
+        }
+        assert!(!diags.is_empty(), "{}: seeded bug not flagged", b.dracc_id());
+
+        let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+        let rt = Runtime::with_tool(Config::default(), tool);
+        b.run(&rt);
+        let dynamic = rt.reports();
+        for d in diags.iter().filter(|d| d.severity == Severity::Must) {
+            assert!(
+                dynamic
+                    .iter()
+                    .any(|r| r.kind == d.kind && r.buffer.as_deref() == Some(d.buffer.as_str())),
+                "{}: must-diagnostic {:?} on '{}' has no dynamic confirmation",
+                b.dracc_id(),
+                d.kind,
+                d.buffer
+            );
+        }
+    }
+    for w in arbalest_spec::workloads() {
+        let model = arbalest_spec::ir_models::ir_model(w.name, Preset::Test).expect("model");
+        assert!(analyze(&model).is_empty(), "{}: static diagnostic on a correct workload", w.name);
+    }
+}
+
+/// The static and dynamic reports speak the same hint vocabulary: a
+/// must-diagnostic's suggested fix matches a dynamic report's fix for
+/// the same (kind, buffer) pair.
+#[test]
+fn static_and_dynamic_hints_share_a_vocabulary() {
+    let mut compared = 0usize;
+    for b in arbalest_dracc::buggy() {
+        let model = arbalest_dracc::ir_models::ir_model(b.id).expect("model");
+        let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+        let rt = Runtime::with_tool(Config::default(), tool);
+        b.run(&rt);
+        let dynamic = rt.reports();
+        for d in analyze(&model).iter().filter(|d| d.severity == Severity::Must) {
+            for r in dynamic
+                .iter()
+                .filter(|r| r.kind == d.kind && r.buffer.as_deref() == Some(d.buffer.as_str()))
+            {
+                let dyn_fix = r.suggested_fix.as_deref().expect("dynamic hint");
+                assert_eq!(dyn_fix, d.suggested_fix, "{}: hint mismatch", b.dracc_id());
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared >= 15, "every must-finding pair compared, got {compared}");
+}
