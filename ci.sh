@@ -41,13 +41,41 @@ for _ in $(seq 1 50); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
 SUBMIT_OUT="$("$ARB" submit "$TRACE" --connect "unix:$SOCK")"
 echo "$SUBMIT_OUT" | grep -q "mapping-issue(UUM)" \
     || { echo "submit produced no UUM report:"; echo "$SUBMIT_OUT"; exit 1; }
-"$ARB" stats --connect "unix:$SOCK" | grep -q "1 finished" \
+# Capture before grepping: `grep -q` closing the pipe early would EPIPE
+# the client under pipefail.
+STATS_OUT="$("$ARB" stats --connect "unix:$SOCK")"
+echo "$STATS_OUT" | grep -q "1 finished" \
     || { echo "stats did not count the finished session"; exit 1; }
+PROM_OUT="$("$ARB" stats --format prom --connect "unix:$SOCK")"
+echo "$PROM_OUT" | grep -q "^arbalest_server_sessions_finished_total 1$" \
+    || { echo "prometheus export disagrees with stats"; exit 1; }
 "$ARB" stop --connect "unix:$SOCK"
 # Clean drain must finish well inside the timeout's budget.
 wait "$SERVE_PID" || { echo "server exited non-zero"; exit 1; }
 trap - EXIT
 rm -f "$SOCK" "$TRACE"
 echo "    server smoke OK"
+
+echo "==> observability smoke (metrics + trace dumps parse)"
+METRICS="$(mktemp /tmp/arbalest-ci-XXXXXX.metrics.json)"
+SPANS="$(mktemp /tmp/arbalest-ci-XXXXXX.trace.jsonl)"
+"$ARB" dracc 22 --quiet --metrics-out "$METRICS" --trace-out "$SPANS"
+python3 - "$METRICS" "$SPANS" <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["counters"], "metrics dump has no counters"
+names = {c["name"] for c in snap["counters"]}
+assert "arbalest_detector_accesses_total" in names, names
+assert "arbalest_detector_vsm_transition_pairs_total" in names, names
+spans = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+assert spans and all("name" in s and "dur_ns" in s for s in spans), "bad span dump"
+PY
+rm -f "$METRICS" "$SPANS"
+echo "    observability smoke OK"
+
+echo "==> observability overhead gate (quick, <=5%)"
+OBS_OUT="$(mktemp /tmp/arbalest-ci-XXXXXX.obs.json)"
+./target/release/obs_overhead --quick --budget 5 --out "$OBS_OUT"
+rm -f "$OBS_OUT"
 
 echo "CI OK"

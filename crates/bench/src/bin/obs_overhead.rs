@@ -1,0 +1,139 @@
+//! Measures the cost of the observability layer: the full 56-case DRACC
+//! sweep with metrics enabled versus disabled.
+//!
+//! Both configurations run the *same* code — the handles are always
+//! threaded through the detector and runtime — so the difference is
+//! exactly the price of live counters, histograms, and span timing. The
+//! disabled side uses [`Registry::disabled`], whose handles no-op behind
+//! a single branch; this is what a monitored production run without
+//! `--metrics-out` pays.
+//!
+//! The sweep is short (tens of milliseconds) and shared machines swing
+//! by ±15% at that scale, an order of magnitude more than the effect
+//! being measured — so single comparisons and min-of-N are both
+//! hopeless. Instead: many *pairs* of back-to-back sweeps (adjacent in
+//! time, so both sides of a pair see the same machine state, with the
+//! order alternating to cancel any systematic second-run advantage),
+//! one overhead ratio per pair, and the *median* ratio reported. Spikes
+//! contaminate individual pairs in either direction; the median needs a
+//! majority of pairs to be clean, not a perfectly quiet machine.
+//! The binary exits non-zero when the measured overhead exceeds the
+//! budget (default 5%, the bound DESIGN.md §12 commits to), making it
+//! usable as a CI gate, and appends its result to `BENCH_obs.json`.
+//!
+//! ```text
+//! obs_overhead [--quick] [--budget <pct>] [--out <file>]
+//! ```
+
+use arbalest_core::{Arbalest, ArbalestConfig};
+use arbalest_obs::Registry;
+use arbalest_offload::json::Json;
+use arbalest_offload::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One full DRACC sweep with every detector and runtime recording into
+/// `reg`; returns the wall time in seconds.
+fn sweep(reg: &Registry) -> f64 {
+    let start = Instant::now();
+    for b in arbalest_dracc::all() {
+        let tool = Arc::new(Arbalest::with_registry(ArbalestConfig::default(), reg.clone()));
+        let rt = Runtime::with_tool(Config::default().metrics(reg.clone()), tool);
+        b.run(&rt);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut budget = 5.0f64;
+    let mut out = "BENCH_obs.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--budget" => {
+                budget = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--budget needs a percentage");
+            }
+            "--out" => out = it.next().expect("--out needs a file path").clone(),
+            other => {
+                eprintln!("unknown option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let reps = if quick { 81 } else { 121 };
+    let cases = arbalest_dracc::all().len();
+
+    // A fresh registry per enabled sweep so series-registration cost is
+    // included in the measurement.
+    let run_off = || sweep(&Registry::disabled());
+    let run_on = || sweep(&Registry::new());
+
+    // Warm up caches and the allocator outside the measurement.
+    let _ = run_off();
+    let _ = run_on();
+
+    let mut ratios = Vec::with_capacity(reps);
+    let mut best_off = f64::MAX;
+    let mut best_on = f64::MAX;
+    for i in 0..reps {
+        // Alternate which side goes first so a systematic cache/frequency
+        // advantage of the second sweep cancels across pairs.
+        let (off, on) = if i % 2 == 0 {
+            let off = run_off();
+            (off, run_on())
+        } else {
+            let on = run_on();
+            (run_off(), on)
+        };
+        ratios.push(on / off);
+        best_off = best_off.min(off);
+        best_on = best_on.min(on);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("sweep times are finite"));
+    let overhead_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+
+    println!("OBSERVABILITY OVERHEAD ({cases}-case DRACC sweep, median of {reps} paired ratios)");
+    println!("  uninstrumented: {:>9.3} ms  (best sweep)", best_off * 1e3);
+    println!("  instrumented:   {:>9.3} ms  (best sweep)", best_on * 1e3);
+    println!("  overhead:       {overhead_pct:>8.2} %   (budget {budget}%)");
+
+    let entry = Json::obj(vec![
+        ("bench", Json::Str("obs_overhead".into())),
+        ("cases", Json::int(cases as u64)),
+        ("reps", Json::int(reps as u64)),
+        ("uninstrumented_s", Json::Num(best_off)),
+        ("instrumented_s", Json::Num(best_on)),
+        ("overhead_pct", Json::Num(overhead_pct)),
+        ("budget_pct", Json::Num(budget)),
+        ("pass", Json::Bool(overhead_pct <= budget)),
+    ]);
+    // The output file holds one JSON array of entries; append in place.
+    let body = match std::fs::read_to_string(&out) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end().trim_end_matches(']').trim_end();
+            if trimmed.is_empty() || trimmed == "[" {
+                format!("[\n{}\n]\n", entry.emit())
+            } else {
+                format!("{},\n{}\n]\n", trimmed.trim_end_matches(','), entry.emit())
+            }
+        }
+        Err(_) => format!("[\n{}\n]\n", entry.emit()),
+    };
+    if let Err(e) = std::fs::write(&out, body) {
+        eprintln!("write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("  appended to {out}");
+
+    if overhead_pct > budget {
+        eprintln!("FAIL: observability overhead {overhead_pct:.2}% exceeds budget {budget}%");
+        std::process::exit(1);
+    }
+}
+

@@ -44,7 +44,7 @@ fn main() {
 
     let server = Server::start(
         &ListenAddr::Tcp("127.0.0.1:0".into()),
-        ServerConfig { shards, queue_cap, detector: ArbalestConfig::default() },
+        ServerConfig { shards, queue_cap, detector: ArbalestConfig::default(), ..ServerConfig::default() },
     )
     .expect("bind");
     let addr = server.local_addr().clone();

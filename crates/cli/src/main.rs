@@ -5,6 +5,8 @@
 //! arbalest dracc <id|all> [options]      run DRACC benchmark(s)
 //! arbalest spec <name|all> [options]     run a SPEC-like workload
 //! arbalest certify <id|all>              Theorem-1 certification of DRACC
+//! arbalest profile <id|all>              run DRACC under the detector and
+//!                                        print a hot-path profile
 //! arbalest serve [options]               long-lived analysis service
 //! arbalest submit <trace|id> [options]   analyse a trace on a server
 //! arbalest record <id> -o <file>         capture a DRACC trace to a file
@@ -23,7 +25,8 @@
 
 use arbalest_baselines::{AddressSanitizer, Archer, Memcheck, MemorySanitizer};
 use arbalest_core::{certify, Arbalest, ArbalestConfig};
-use arbalest_offload::json::Json;
+use arbalest_obs::{Registry, SpanEvent};
+use arbalest_offload::json::{metrics_json, span_json, Json};
 use arbalest_offload::prelude::*;
 use arbalest_offload::trace::{TraceEvent, TraceRecorder};
 use arbalest_offload::wire;
@@ -48,6 +51,9 @@ struct Options {
     quiet: bool,
     format: OutputFormat,
     faults: FaultConfig,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    no_metrics: bool,
 }
 
 impl Default for Options {
@@ -61,6 +67,9 @@ impl Default for Options {
             quiet: false,
             format: OutputFormat::Text,
             faults: FaultConfig::disabled(),
+            metrics_out: None,
+            trace_out: None,
+            no_metrics: false,
         }
     }
 }
@@ -99,11 +108,14 @@ usage: arbalest <command> [options]
   lint <id|name|all>         static data-mapping analysis of a benchmark's
                              IR model (no execution)
   certify <id|all>           Theorem-1 certification of DRACC benchmark(s)
+  profile <id|all>           run DRACC benchmark(s) under the arbalest
+                             detector and print a hot-path profile
   serve                      run the analysis service (see --listen, --shards)
   submit <trace-file|id>     stream a trace (or a DRACC benchmark's trace)
                              to a server and print its reports
   record <id> -o <file>      capture a DRACC benchmark's trace to a file
   stats                      print a server's counters
+                             (--format prom for Prometheus text)
   stop                       drain and stop a server
 options:
   --listen <addr>            serve: bind address (host:port or unix:<path>;
@@ -120,8 +132,14 @@ options:
   --serialize                serialize nowait kernels (analysis schedule)
   --team <n>                 kernel team size
   --quiet                    summary only, no rendered reports
-  --format text|json         report format for dracc/spec/lint (default text)
+  --format text|json         report format for dracc/spec/lint (default text);
+                             for stats: text|prom
   --faults seed=N,rate=P     deterministic fault injection (rate in [0,1])
+  --metrics-out <file>       dracc/spec/profile: write the metrics registry
+                             as JSON after the run
+  --trace-out <file>         dracc/spec/profile: write captured span events
+                             as JSON lines after the run
+  --no-metrics               dracc/spec: run with instrumentation disabled
 ";
 
 fn make_tool(name: &str) -> Option<Arc<dyn Tool>> {
@@ -175,22 +193,73 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--faults needs seed=N,rate=P")?;
                 opts.faults = parse_faults(v)?;
             }
+            "--metrics-out" => {
+                opts.metrics_out = Some(it.next().ok_or("--metrics-out needs a file path")?.clone());
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(it.next().ok_or("--trace-out needs a file path")?.clone());
+            }
+            "--no-metrics" => opts.no_metrics = true,
             other => return Err(format!("unknown option '{other}'")),
         }
     }
     if opts.tools.is_empty() {
         opts.tools.push("arbalest".to_string());
     }
+    if opts.no_metrics && (opts.metrics_out.is_some() || opts.trace_out.is_some()) {
+        return Err("--no-metrics conflicts with --metrics-out/--trace-out".into());
+    }
     Ok(opts)
 }
 
-fn runtime_for(opts: &Options, tool: &str) -> Runtime {
+fn runtime_for(opts: &Options, tool: &str, reg: &Registry) -> Runtime {
     let cfg = Config::default()
         .team_size(opts.team)
         .unified(opts.unified)
         .serialize(opts.serialize)
-        .fault_config(opts.faults);
-    Runtime::with_tool(cfg, make_tool(tool).expect("validated"))
+        .fault_config(opts.faults)
+        .metrics(reg.clone());
+    // The arbalest detector shares the command's registry so its VSM and
+    // cache metrics land next to the runtime's; baselines have no metrics.
+    let tool: Arc<dyn Tool> = if tool == "arbalest" {
+        Arc::new(Arbalest::with_registry(ArbalestConfig::default(), reg.clone()))
+    } else {
+        make_tool(tool).expect("validated")
+    };
+    Runtime::with_tool(cfg, tool)
+}
+
+/// The registry a run-style command records into: enabled by default,
+/// inert under `--no-metrics`.
+fn registry_for(opts: &Options) -> Registry {
+    if opts.no_metrics {
+        Registry::disabled()
+    } else {
+        Registry::new()
+    }
+}
+
+/// Honour `--metrics-out` (registry snapshot as one JSON document) and
+/// `--trace-out` (one span event per line, JSONL). `spans` must be the
+/// events already drained from `reg`'s flight recorder.
+fn write_observability(
+    reg: &Registry,
+    spans: &[SpanEvent],
+    opts: &Options,
+) -> Result<(), String> {
+    if let Some(path) = &opts.metrics_out {
+        let doc = metrics_json(&reg.snapshot());
+        std::fs::write(path, doc.emit() + "\n").map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.trace_out {
+        let mut out = String::new();
+        for e in spans {
+            out.push_str(&span_json(e).emit());
+            out.push('\n');
+        }
+        std::fs::write(path, out).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn print_reports(rt: &Runtime, quiet: bool) -> usize {
@@ -228,11 +297,12 @@ fn cmd_dracc(target: &str, opts: &Options) -> ExitCode {
             }
         }
     };
+    let reg = registry_for(opts);
     let mut missed = 0usize;
     let mut results = Vec::new();
     for b in &benches {
         for tool in &opts.tools {
-            let rt = runtime_for(opts, tool);
+            let rt = runtime_for(opts, tool, &reg);
             b.run(&rt);
             let reports = rt.reports();
             let verdict = match b.expected {
@@ -272,6 +342,10 @@ fn cmd_dracc(target: &str, opts: &Options) -> ExitCode {
         ]);
         println!("{}", doc.emit());
     }
+    if let Err(e) = write_observability(&reg, &reg.drain_spans(), opts) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     if missed == 0 {
         ExitCode::SUCCESS
     } else {
@@ -291,10 +365,11 @@ fn cmd_spec(target: &str, opts: &Options) -> ExitCode {
             }
         }
     };
+    let reg = registry_for(opts);
     let mut results = Vec::new();
     for w in &workloads {
         for tool in &opts.tools {
-            let rt = runtime_for(opts, tool);
+            let rt = runtime_for(opts, tool, &reg);
             let start = std::time::Instant::now();
             let sum = (w.run)(&rt, opts.preset);
             let wall = start.elapsed();
@@ -326,6 +401,10 @@ fn cmd_spec(target: &str, opts: &Options) -> ExitCode {
             ("results", Json::Arr(results)),
         ]);
         println!("{}", doc.emit());
+    }
+    if let Err(e) = write_observability(&reg, &reg.drain_spans(), opts) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -466,6 +545,123 @@ fn cmd_certify(target: &str, opts: &Options) -> ExitCode {
     }
 }
 
+fn cmd_profile(target: &str, opts: &Options) -> ExitCode {
+    let benches: Vec<_> = if target == "all" {
+        arbalest_dracc::all()
+    } else {
+        match target.parse::<u32>().ok().and_then(arbalest_dracc::by_id) {
+            Some(b) => vec![b],
+            None => {
+                eprintln!("unknown benchmark id '{target}'");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let reg = Registry::new();
+    let start = std::time::Instant::now();
+    let mut reports = 0usize;
+    for b in &benches {
+        // Fresh detector state per benchmark; the registry is shared, so
+        // the profile aggregates the whole sweep.
+        let rt = runtime_for(opts, "arbalest", &reg);
+        b.run(&rt);
+        reports += rt.reports().len();
+    }
+    let wall = start.elapsed();
+    let spans = reg.drain_spans();
+    print_profile(&reg.snapshot(), &spans, benches.len(), reports, wall);
+    if let Err(e) = write_observability(&reg, &spans, opts) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Render the hot-path table `arbalest profile` prints: runtime phases by
+/// total time, detector totals, and the hottest VSM transition edges.
+fn print_profile(
+    snap: &arbalest_obs::Snapshot,
+    spans: &[SpanEvent],
+    benches: usize,
+    reports: usize,
+    wall: std::time::Duration,
+) {
+    println!(
+        "profiled {benches} benchmark(s) in {:.3}s  ({reports} report(s))",
+        wall.as_secs_f64()
+    );
+
+    let phases = [
+        ("target kernels", snap.histogram("arbalest_rt_target_nanos", &[])),
+        ("entry maps", snap.histogram("arbalest_rt_map_nanos", &[("phase", "entry")])),
+        ("exit maps", snap.histogram("arbalest_rt_map_nanos", &[("phase", "exit")])),
+        ("update directives", snap.histogram("arbalest_rt_update_nanos", &[])),
+    ];
+    let mut rows: Vec<_> = phases.iter().filter_map(|(n, h)| h.as_ref().map(|h| (*n, *h))).collect();
+    rows.sort_by_key(|(_, h)| std::cmp::Reverse(h.sum));
+    println!("\nhot paths (runtime phases, by total time)");
+    println!(
+        "  {:<20} {:>10} {:>12} {:>11} {:>11}",
+        "phase", "count", "total ms", "mean us", "max us"
+    );
+    for (name, h) in rows {
+        println!(
+            "  {:<20} {:>10} {:>12.3} {:>11.2} {:>11.2}",
+            name,
+            h.count,
+            h.sum as f64 / 1e6,
+            h.mean() / 1e3,
+            h.max as f64 / 1e3
+        );
+    }
+
+    let hit = |r| snap.counter("arbalest_detector_lookup_cache_total", &[("result", r)]);
+    let (hits, misses) = (hit("hit").unwrap_or(0), hit("miss").unwrap_or(0));
+    let rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+    println!("\ndetector");
+    println!("  accesses            {:>14}", snap.counter_sum("arbalest_detector_accesses_total"));
+    println!(
+        "  vsm transitions     {:>14}",
+        snap.counter_sum("arbalest_detector_vsm_transition_pairs_total")
+    );
+    println!("  lookup cache        {:>13.1}% hit ({misses} miss(es))", rate * 100.0);
+    println!(
+        "  shadow CAS retries  {:>14}",
+        snap.counter_sum("arbalest_detector_shadow_cas_retries_total")
+    );
+    if let Some(depth) = snap.histogram("arbalest_detector_lookup_depth", &[]) {
+        println!(
+            "  tree lookup depth   {:>9.1} mean, {} max ({} uncached lookup(s))",
+            depth.mean(),
+            depth.max,
+            depth.count
+        );
+    }
+
+    let mut edges: Vec<(String, u64)> = snap
+        .counters_named("arbalest_detector_vsm_transition_pairs_total")
+        .filter(|&(_, v)| v > 0)
+        .map(|(labels, v)| {
+            let get = |key: &str| {
+                labels
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, val)| val.as_str())
+                    .unwrap_or("?")
+            };
+            (format!("{} -> {}", get("from"), get("op")), v)
+        })
+        .collect();
+    edges.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    if !edges.is_empty() {
+        println!("\nhottest VSM transition edges");
+        for (edge, n) in edges.iter().take(8) {
+            println!("  {:<32} {:>12}", edge, n);
+        }
+    }
+    println!("\nflight recorder: {} span event(s) captured", spans.len());
+}
+
 /// Options for the networked subcommands (`serve`, `submit`, `record`,
 /// `stats`, `stop`).
 struct NetOptions {
@@ -475,6 +671,9 @@ struct NetOptions {
     chunk: usize,
     out: Option<String>,
     quiet: bool,
+    /// `stats` output: "text" (human summary) or "prom" (the server's full
+    /// metrics registry in Prometheus text format).
+    format: String,
 }
 
 impl Default for NetOptions {
@@ -486,6 +685,7 @@ impl Default for NetOptions {
             chunk: 1024,
             out: None,
             quiet: false,
+            format: "text".into(),
         }
     }
 }
@@ -514,6 +714,12 @@ fn parse_net_options(args: &[String]) -> Result<NetOptions, String> {
                 opts.out = Some(it.next().ok_or("-o needs a file path")?.clone());
             }
             "--quiet" => opts.quiet = true,
+            "--format" => {
+                opts.format = match it.next().map(String::as_str) {
+                    Some(f @ ("text" | "prom")) => f.to_string(),
+                    other => return Err(format!("bad --format {other:?} (want text|prom)")),
+                };
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -548,7 +754,7 @@ fn cmd_serve(opts: &NetOptions) -> ExitCode {
     let cfg = ServerConfig {
         shards: opts.shards,
         queue_cap: opts.queue_cap,
-        detector: ArbalestConfig::default(),
+        ..ServerConfig::default()
     };
     match Server::start(&addr, cfg) {
         Ok(server) => {
@@ -620,6 +826,20 @@ fn cmd_record(target: &str, opts: &NetOptions) -> ExitCode {
 }
 
 fn cmd_stats(opts: &NetOptions) -> ExitCode {
+    if opts.format == "prom" {
+        // The Prometheus export reads the same registry cells the binary
+        // STATS snapshot does; print it verbatim for scrapers.
+        return match connect(opts).and_then(|mut c| c.metrics().map_err(|e| e.to_string())) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = connect(opts).and_then(|mut c| c.stats().map_err(|e| e.to_string()));
     match result {
         Ok(s) => {
@@ -694,7 +914,7 @@ fn main() -> ExitCode {
                 cmd_record(target, &opts)
             }
         }
-        "dracc" | "spec" | "lint" | "certify" => {
+        "dracc" | "spec" | "lint" | "certify" | "profile" => {
             let Some(target) = args.get(1) else { return usage() };
             let opts = match parse_options(&args[2..]) {
                 Ok(o) => o,
@@ -707,6 +927,7 @@ fn main() -> ExitCode {
                 "dracc" => cmd_dracc(target, &opts),
                 "spec" => cmd_spec(target, &opts),
                 "lint" => cmd_lint(target, &opts),
+                "profile" => cmd_profile(target, &opts),
                 _ => cmd_certify(target, &opts),
             }
         }

@@ -54,29 +54,168 @@ impl Default for ArbalestConfig {
 }
 
 /// Live operation counters (§IV-C's amortisation claims, measurable).
-#[derive(Debug, Default)]
+///
+/// Since the observability layer, these are registry-backed
+/// [`Counter`](arbalest_obs::Counter) handles: the same cells appear in
+/// metric snapshots under `arbalest_detector_*`, so exporters and these
+/// accessors can never disagree.
+#[derive(Debug)]
 pub struct ArbalestStats {
-    /// Memory accesses analysed.
-    pub accesses: std::sync::atomic::AtomicU64,
-    /// VSM transitions applied (accesses + per-granule range ops).
-    pub vsm_transitions: std::sync::atomic::AtomicU64,
-    /// Interval lookups answered by the one-entry cache.
-    pub cache_hits: std::sync::atomic::AtomicU64,
-    /// Interval lookups that walked the tree.
-    pub cache_misses: std::sync::atomic::AtomicU64,
+    /// Memory accesses analysed (`arbalest_detector_accesses_total`).
+    pub accesses: arbalest_obs::Counter,
+    /// Interval lookups answered by the one-entry cache
+    /// (`arbalest_detector_lookup_cache_total{result="hit"}`).
+    pub cache_hits: arbalest_obs::Counter,
+    /// Interval lookups that walked the tree
+    /// (`arbalest_detector_lookup_cache_total{result="miss"}`).
+    pub cache_misses: arbalest_obs::Counter,
+    /// The `(from,op)` transition matrix the total is derived from.
+    metrics: std::sync::Arc<DetectorMetrics>,
 }
 
 impl ArbalestStats {
-    /// Fraction of CV lookups served by the cache (0 when none happened).
+    fn new(reg: &arbalest_obs::Registry, metrics: std::sync::Arc<DetectorMetrics>) -> ArbalestStats {
+        ArbalestStats {
+            accesses: reg.counter("arbalest_detector_accesses_total", &[]),
+            cache_hits: reg.counter("arbalest_detector_lookup_cache_total", &[("result", "hit")]),
+            cache_misses: reg
+                .counter("arbalest_detector_lookup_cache_total", &[("result", "miss")]),
+            metrics,
+        }
+    }
+
+    /// VSM transitions applied — accesses + per-granule range ops.
+    ///
+    /// Every committed transition counts exactly one edge of
+    /// `arbalest_detector_vsm_transition_pairs_total{from,op}`, so the
+    /// total is the sum of that family, read here instead of paying a
+    /// second hot-path RMW per transition.
+    pub fn vsm_transitions(&self) -> u64 {
+        self.metrics.transitions_total()
+    }
+
+    /// Fraction of CV lookups served by the cache (0 when none happened,
+    /// never NaN).
     pub fn cache_hit_rate(&self) -> f64 {
-        use std::sync::atomic::Ordering::Relaxed;
-        let h = self.cache_hits.load(Relaxed) as f64;
-        let m = self.cache_misses.load(Relaxed) as f64;
+        let h = self.cache_hits.get() as f64;
+        let m = self.cache_misses.get() as f64;
         if h + m == 0.0 {
             0.0
         } else {
             h / (h + m)
         }
+    }
+}
+
+/// VSM state labels for the `(from_state, event)` transition counters,
+/// indexed by [`vsm::NamedState`] discriminant order.
+const VSM_STATE_LABELS: [&str; 4] = ["invalid", "host", "target", "consistent"];
+
+/// VSM event labels, indexed by [`vsm_op_index`].
+const VSM_OP_LABELS: [&str; 10] = [
+    "read_host",
+    "read_target",
+    "write_host",
+    "write_target",
+    "update_target",
+    "update_host",
+    "alloc",
+    "release",
+    "flush",
+    "device_to_device",
+];
+
+fn vsm_state_index(s: vsm::NamedState) -> usize {
+    match s {
+        vsm::NamedState::Invalid => 0,
+        vsm::NamedState::Host => 1,
+        vsm::NamedState::Target => 2,
+        vsm::NamedState::Consistent => 3,
+    }
+}
+
+fn vsm_op_index(op: VsmOp) -> usize {
+    match op {
+        VsmOp::Read(StorageLoc::Host) => 0,
+        VsmOp::Read(StorageLoc::Device(_)) => 1,
+        VsmOp::Write(StorageLoc::Host) => 2,
+        VsmOp::Write(StorageLoc::Device(_)) => 3,
+        VsmOp::UpdateToDevice(_) => 4,
+        VsmOp::UpdateFromDevice(_) => 5,
+        VsmOp::Allocate(_) => 6,
+        VsmOp::Release(_) => 7,
+        VsmOp::Flush(_) => 8,
+        VsmOp::UpdateDeviceToDevice { .. } => 9,
+    }
+}
+
+/// Pre-registered observability handles beyond the public
+/// [`ArbalestStats`] counters; all no-ops on a disabled registry.
+#[derive(Debug)]
+struct DetectorMetrics {
+    /// `arbalest_detector_vsm_transition_pairs_total{from,op}`, indexed
+    /// `[from_state][op]`; every access commits one edge, from whichever
+    /// kernel thread made it. Fixed arrays: the per-access edge increment
+    /// must not pay `Vec` double indirection.
+    vsm_pairs: [[arbalest_obs::Counter; VSM_OP_LABELS.len()]; VSM_STATE_LABELS.len()],
+    /// Failed shadow-word CAS attempts
+    /// (`arbalest_detector_shadow_cas_retries_total`).
+    cas_retries: arbalest_obs::Counter,
+    /// Nodes visited per successful interval stab
+    /// (`arbalest_detector_lookup_depth`).
+    lookup_depth: arbalest_obs::Histogram,
+    /// `arbalest_detector_present_ops_total{op}`: [cv_alloc, cv_delete].
+    present_ops: [arbalest_obs::Counter; 2],
+}
+
+impl DetectorMetrics {
+    fn new(reg: &arbalest_obs::Registry) -> DetectorMetrics {
+        let vsm_pairs = std::array::from_fn(|f| {
+            std::array::from_fn(|o| {
+                reg.counter(
+                    "arbalest_detector_vsm_transition_pairs_total",
+                    &[("from", VSM_STATE_LABELS[f]), ("op", VSM_OP_LABELS[o])],
+                )
+            })
+        });
+        DetectorMetrics {
+            vsm_pairs,
+            cas_retries: reg.counter("arbalest_detector_shadow_cas_retries_total", &[]),
+            lookup_depth: reg.histogram("arbalest_detector_lookup_depth", &[]),
+            present_ops: [
+                reg.counter("arbalest_detector_present_ops_total", &[("op", "cv_alloc")]),
+                reg.counter("arbalest_detector_present_ops_total", &[("op", "cv_delete")]),
+            ],
+        }
+    }
+
+    /// Count one committed transition from the *post-commit* old word, so
+    /// CAS retries never double-count an edge.
+    #[inline]
+    fn note_transition(&self, from: vsm::NamedState, op: VsmOp, retries: u32) {
+        self.vsm_pairs[vsm_state_index(from)][vsm_op_index(op)].inc();
+        if retries > 0 {
+            self.cas_retries.add(u64::from(retries));
+        }
+    }
+
+    /// Batched form for range operations: one counter add per occupied
+    /// from-state instead of one per granule.
+    fn note_transitions(&self, op: VsmOp, by_from: &[u64; 4], retries: u64) {
+        let o = vsm_op_index(op);
+        for (f, &count) in by_from.iter().enumerate() {
+            if count > 0 {
+                self.vsm_pairs[f][o].add(count);
+            }
+        }
+        if retries > 0 {
+            self.cas_retries.add(retries);
+        }
+    }
+
+    /// Total committed transitions: the sum of the pair matrix.
+    fn transitions_total(&self) -> u64 {
+        self.vsm_pairs.iter().flatten().map(arbalest_obs::Counter::get).sum()
     }
 }
 
@@ -92,6 +231,8 @@ pub struct Arbalest {
     reports: Mutex<Vec<Report>>,
     seen: Mutex<HashSet<ReportKey>>,
     stats: ArbalestStats,
+    metrics: std::sync::Arc<DetectorMetrics>,
+    registry: arbalest_obs::Registry,
 }
 
 impl Default for Arbalest {
@@ -101,10 +242,23 @@ impl Default for Arbalest {
 }
 
 impl Arbalest {
-    /// Create a detector.
+    /// Create a detector with a private (enabled) metrics registry, so
+    /// [`stats`](Self::stats) counts as it always has.
     pub fn new(cfg: ArbalestConfig) -> Arbalest {
+        Arbalest::with_registry(cfg, arbalest_obs::Registry::new())
+    }
+
+    /// Create a detector recording into `reg` — share one registry across
+    /// detector, runtime, and server to get a unified metric namespace,
+    /// or pass [`Registry::disabled`](arbalest_obs::Registry::disabled)
+    /// to strip instrumentation down to single-branch no-ops.
+    pub fn with_registry(cfg: ArbalestConfig, reg: arbalest_obs::Registry) -> Arbalest {
         assert!(cfg.accelerators <= 7, "multi-device shadow word supports up to 7 accelerators");
         let layout = Layout::for_accelerators(cfg.accelerators);
+        // The pack is cached per registry: detectors sharing a registry
+        // share cells anyway, so re-registering every series per detector
+        // would buy nothing and cost setup time.
+        let metrics = reg.state(DetectorMetrics::new);
         Arbalest {
             layout,
             shadow: ShadowMemory::new(1),
@@ -114,7 +268,9 @@ impl Arbalest {
             buffers: RwLock::new(HashMap::new()),
             reports: Mutex::new(Vec::new()),
             seen: Mutex::new(HashSet::new()),
-            stats: ArbalestStats::default(),
+            stats: ArbalestStats::new(&reg, metrics.clone()),
+            metrics,
+            registry: reg,
             cfg,
         }
     }
@@ -122,6 +278,11 @@ impl Arbalest {
     /// Live operation counters.
     pub fn stats(&self) -> &ArbalestStats {
         &self.stats
+    }
+
+    /// The metrics registry this detector records into.
+    pub fn registry(&self) -> &arbalest_obs::Registry {
+        &self.registry
     }
 
     /// The shadow layout in use (Table II vs multi-device).
@@ -175,19 +336,20 @@ impl Arbalest {
     /// Resolve a device (CV) address to its owning interval, through the
     /// one-entry cache when enabled.
     fn lookup(&self, addr: u64) -> Option<(u64, u64, CvInfo)> {
-        use std::sync::atomic::Ordering::Relaxed;
         if self.cfg.lookup_cache {
             if let Some((lo, hi, info)) = *self.cache.read() {
                 if (lo..hi).contains(&addr) {
-                    self.stats.cache_hits.fetch_add(1, Relaxed);
+                    self.stats.cache_hits.inc();
                     return Some((lo, hi, info));
                 }
             }
         }
-        self.stats.cache_misses.fetch_add(1, Relaxed);
+        self.stats.cache_misses.inc();
         let tree = self.intervals.read();
-        let (lo, hi, info) = tree.stab(addr).map(|(lo, hi, v)| (lo, hi, *v))?;
+        let (lo, hi, info, depth) =
+            tree.stab_with_depth(addr).map(|(lo, hi, v, d)| (lo, hi, *v, d))?;
         drop(tree);
+        self.metrics.lookup_depth.record(u64::from(depth));
         if self.cfg.lookup_cache {
             *self.cache.write() = Some((lo, hi, info));
         }
@@ -203,13 +365,14 @@ impl Arbalest {
         op: VsmOp,
         ev: Option<&AccessEvent>,
     ) -> (Option<vsm::Violation>, PrevAccess) {
-        self.stats.vsm_transitions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let epoch = match (&self.race, ev) {
             (Some(r), Some(ev)) => r.epoch_of(ev.task.0),
             _ => arbalest_race::Epoch::ZERO,
         };
         let mut violation = None;
-        let (old, _) = self.shadow.update(key & !7, 0, |w| {
+        // The closure may re-run on CAS contention, so per-edge counting
+        // happens *after* commit, from the old word that actually won.
+        let (old, _, retries) = self.shadow.update_counted(key & !7, 0, |w| {
             let state = self.layout.decode(w);
             let (mut next, v) = vsm::apply(state, op);
             violation = v;
@@ -223,16 +386,30 @@ impl Arbalest {
             self.layout.encode(next)
         });
         let old_state = self.layout.decode(old);
+        self.metrics.note_transition(vsm::named(old_state), op, retries);
         let prev =
             PrevAccess { tid: old_state.tid, clock: old_state.clock, is_write: old_state.is_write };
         (violation, prev)
     }
 
     fn vsm_range(&self, ov_addr: u64, len: u64, op: VsmOp) {
-        self.shadow.update_range(ov_addr, len, 0, |w| {
-            let state = self.layout.decode(w);
-            vsm::apply(state, op).0.pipe_encode(self.layout)
-        });
+        let mut a = ov_addr & !7;
+        let end = ov_addr + len;
+        // Accumulate locally and flush once: range ops dominate transition
+        // volume, and per-granule counter traffic is what the ≤5%
+        // observability budget cannot afford.
+        let mut by_from = [0u64; 4];
+        let mut retries_total = 0u64;
+        while a < end {
+            let (old, _, retries) = self.shadow.update_counted(a, 0, |w| {
+                let state = self.layout.decode(w);
+                vsm::apply(state, op).0.pipe_encode(self.layout)
+            });
+            by_from[vsm_state_index(vsm::named(self.layout.decode(old)))] += 1;
+            retries_total += u64::from(retries);
+            a += 8;
+        }
+        self.metrics.note_transitions(op, &by_from, retries_total);
     }
 
     fn race_access(&self, ev: &AccessEvent) {
@@ -293,6 +470,7 @@ impl Tool for Arbalest {
         let d = ev.device.0 as u8;
         match ev.kind {
             DataOpKind::CvAlloc => {
+                self.metrics.present_ops[0].inc();
                 self.intervals.write().insert(
                     ev.cv_base,
                     ev.cv_base + ev.len,
@@ -301,6 +479,7 @@ impl Tool for Arbalest {
                 self.vsm_range(ev.ov_addr, ev.len, VsmOp::Allocate(d));
             }
             DataOpKind::CvDelete => {
+                self.metrics.present_ops[1].inc();
                 self.intervals.write().remove(ev.cv_base);
                 *self.cache.write() = None;
                 self.vsm_range(ev.ov_addr, ev.len, VsmOp::Release(d));
@@ -403,7 +582,7 @@ impl Tool for Arbalest {
     }
 
     fn on_access(&self, ev: &AccessEvent) {
-        self.stats.accesses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.accesses.inc();
         self.race_access(ev);
 
         let (key, loc) = if ev.device.is_host() {
@@ -730,6 +909,87 @@ mod tests {
         }
         assert_eq!(tool.reports().len(), 1);
         assert_eq!(tool.reports()[0].kind, ReportKind::MappingUum);
+    }
+
+    #[test]
+    fn cache_hit_rate_is_zero_not_nan_before_any_lookup() {
+        let tool = Arbalest::new(ArbalestConfig::default());
+        let rate = tool.stats().cache_hit_rate();
+        assert!(!rate.is_nan());
+        assert_eq!(rate, 0.0);
+        // Still well-defined with the cache disabled (misses only).
+        let (rt, tool) = harness(ArbalestConfig { lookup_cache: false, ..Default::default() });
+        let a = rt.alloc_with::<f64>("a", 8, |_| 1.0);
+        rt.target().map(Map::tofrom(&a)).run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let v = k.read(&a, i);
+                k.write(&a, i, v);
+            });
+        });
+        let rate = tool.stats().cache_hit_rate();
+        assert!(!rate.is_nan());
+        assert_eq!(rate, 0.0);
+        assert!(tool.stats().cache_misses.get() > 0);
+    }
+
+    #[test]
+    fn transition_pairs_and_lookup_depth_are_recorded() {
+        let reg = arbalest_obs::Registry::new();
+        let tool = Arc::new(Arbalest::with_registry(ArbalestConfig::default(), reg.clone()));
+        let rt = Runtime::with_tool(Config::default(), tool.clone());
+        let a = rt.alloc_with::<f64>("a", 16, |i| i as f64);
+        rt.target().map(Map::tofrom(&a)).run(move |k| {
+            k.for_each(0..16, |k, i| {
+                let v = k.read(&a, i);
+                k.write(&a, i, v + 1.0);
+            });
+        });
+        rt.taskwait();
+        let snap = reg.snapshot();
+        // The per-pair breakdown sums to the aggregate transition count.
+        assert_eq!(
+            snap.counter_sum("arbalest_detector_vsm_transition_pairs_total"),
+            tool.stats().vsm_transitions()
+        );
+        // map(tofrom) allocates CVs: alloc edges must exist (from the
+        // `host` state — the buffer was host-initialised before mapping).
+        let allocs: u64 = snap
+            .counters_named("arbalest_detector_vsm_transition_pairs_total")
+            .filter(|(labels, _)| labels.iter().any(|(k, v)| k == "op" && v == "alloc"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(allocs > 0, "no alloc transition edges recorded");
+        // Device reads resolved through the interval tree record a depth.
+        let depth = snap.histogram("arbalest_detector_lookup_depth", &[]).unwrap();
+        assert!(depth.count > 0);
+        assert!(depth.min >= 1);
+        // One CV allocated and deleted through the present table.
+        assert_eq!(
+            snap.counter("arbalest_detector_present_ops_total", &[("op", "cv_alloc")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("arbalest_detector_present_ops_total", &[("op", "cv_delete")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn disabled_registry_detector_still_detects() {
+        let reg = arbalest_obs::Registry::disabled();
+        let tool = Arc::new(Arbalest::with_registry(ArbalestConfig::default(), reg.clone()));
+        let rt = Runtime::with_tool(Config::default(), tool.clone());
+        let b = rt.alloc_with::<f64>("b", 8, |_| 1.0);
+        rt.target().map(Map::alloc(&b)).run(move |k| {
+            k.for_each(0..8, |k, i| {
+                let _ = k.read(&b, i); // UUM
+            });
+        });
+        assert_eq!(kinds(&tool), vec![ReportKind::MappingUum]);
+        // No metrics recorded, and the stats counters read zero.
+        assert!(reg.snapshot().counters.is_empty());
+        assert_eq!(tool.stats().accesses.get(), 0);
+        assert_eq!(tool.stats().cache_hit_rate(), 0.0);
     }
 
     #[test]

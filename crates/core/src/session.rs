@@ -27,6 +27,12 @@ impl AnalysisSession {
         AnalysisSession { tool: Arbalest::new(cfg), events: AtomicU64::new(0) }
     }
 
+    /// Open a session whose detector records metrics into `reg` (the
+    /// server shares one registry across all sessions of a shard pool).
+    pub fn with_registry(cfg: ArbalestConfig, reg: arbalest_obs::Registry) -> AnalysisSession {
+        AnalysisSession { tool: Arbalest::with_registry(cfg, reg), events: AtomicU64::new(0) }
+    }
+
     /// Feed one event, exactly as a live runtime would have delivered it.
     pub fn feed(&self, ev: &TraceEvent) {
         self.events.fetch_add(1, Relaxed);

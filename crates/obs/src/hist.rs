@@ -1,0 +1,216 @@
+//! Fixed log2-bucket histograms.
+//!
+//! 64 buckets: bucket 0 holds exactly the value 0, bucket `i` (1..63)
+//! holds `[2^(i-1), 2^i - 1]`, and bucket 63 is the overflow bucket for
+//! everything `>= 2^62`. Bucket selection is a `leading_zeros` — one
+//! instruction — so recording a sample costs two relaxed RMWs; the
+//! min/max updates are load-guarded and skipped on almost every sample.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of histogram buckets.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a sample: 0 for 0, otherwise the bit width of the
+/// value clamped to `BUCKETS - 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`, or `None` for the overflow
+/// bucket (rendered as `+Inf` in the Prometheus exposition).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+    if i >= BUCKETS - 1 {
+        None
+    } else {
+        Some((1u64 << i) - 1) // i == 0 -> 0
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    pub(crate) buckets: [AtomicU64; BUCKETS],
+    pub(crate) sum: AtomicU64,
+    /// `u64::MAX` while empty.
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+}
+
+impl HistCore {
+    pub(crate) fn new() -> Self {
+        HistCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        // Steady-state samples rarely move the extrema, so check with a
+        // plain load before paying for an RMW; a lost race only means the
+        // next extreme sample re-tries. The count is the bucket total,
+        // summed at snapshot time, not a third hot-path RMW.
+        if v < self.min.load(Relaxed) {
+            self.min.fetch_min(v, Relaxed);
+        }
+        if v > self.max.load(Relaxed) {
+            self.max.fetch_max(v, Relaxed);
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> HistSnapshot {
+        let count: u64 = self.buckets.iter().map(|b| b.load(Relaxed)).sum();
+        let min = self.min.load(Relaxed);
+        HistSnapshot {
+            count,
+            sum: self.sum.load(Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Relaxed);
+                    (n != 0).then_some((i as u32, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Handle to a registered histogram. Cloning shares the same cells.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    pub(crate) on: bool,
+    pub(crate) core: Arc<HistCore>,
+}
+
+impl Histogram {
+    /// Record one sample. No-op (one predictable branch) when the
+    /// owning registry is disabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if self.on {
+            self.core.record(v);
+        }
+    }
+
+    /// Record a duration in nanoseconds (saturating past `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        if self.on {
+            self.core.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Whether samples are actually recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.on
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.core.snapshot()
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest sample, 0 when empty.
+    pub min: u64,
+    /// Largest sample, 0 when empty.
+    pub max: u64,
+    /// `(bucket index, samples)` pairs for non-empty buckets, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistSnapshot {
+    /// Arithmetic mean of the samples, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_min_max_and_pow2_edges() {
+        // Zero gets its own bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        // Every power-of-two edge: 2^k starts bucket k+1, 2^k - 1 ends bucket k.
+        for k in 1..62 {
+            let edge = 1u64 << k;
+            assert_eq!(bucket_index(edge - 1), k, "below edge 2^{k}");
+            assert_eq!(bucket_index(edge), k + 1, "at edge 2^{k}");
+        }
+        // Overflow bucket swallows the top of the range.
+        assert_eq!(bucket_index(1u64 << 62), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Upper bounds agree with the index function: a bucket's bound is
+        // the largest value mapping to it.
+        for i in 0..BUCKETS - 1 {
+            let ub = bucket_upper_bound(i).unwrap();
+            assert_eq!(bucket_index(ub), i, "bound of bucket {i}");
+            assert_eq!(bucket_index(ub + 1), i + 1);
+        }
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), None);
+        assert_eq!(bucket_upper_bound(0), Some(0));
+        assert_eq!(bucket_upper_bound(1), Some(1));
+        assert_eq!(bucket_upper_bound(2), Some(3));
+        assert_eq!(bucket_upper_bound(10), Some(1023));
+    }
+
+    #[test]
+    fn records_track_count_sum_min_max() {
+        let h = Histogram { on: true, core: Arc::new(HistCore::new()) };
+        for v in [0u64, 1, 7, 8, 1023, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.sum, 0u64.wrapping_add(1).wrapping_add(7).wrapping_add(8).wrapping_add(1023).wrapping_add(u64::MAX));
+        let idx: Vec<u32> = s.buckets.iter().map(|&(i, _)| i).collect();
+        assert_eq!(idx, vec![0, 1, 3, 4, 10, BUCKETS as u32 - 1]);
+        assert!(s.buckets.iter().all(|&(_, n)| n == 1));
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram { on: true, core: Arc::new(HistCore::new()) };
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn disabled_histogram_records_nothing() {
+        let h = Histogram { on: false, core: Arc::new(HistCore::new()) };
+        h.record(42);
+        h.record_duration(Duration::from_millis(5));
+        assert_eq!(h.snapshot().count, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # arbalest-obs
+//!
+//! Unified observability layer for the ARBALEST reproduction: a std-only,
+//! zero-dependency metrics registry plus lightweight span timing.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Cheap when off.** Every handle ([`Counter`], [`Gauge`],
+//!    [`Histogram`]) carries an `enabled` bit resolved at registration
+//!    time; a disabled registry turns every hot-path operation into a
+//!    predictable single-branch no-op and never calls `Instant::now()`.
+//! 2. **Cheap when on.** Counter increments land in a per-thread arena
+//!    block — a single-writer cell, so recording is a plain store with no
+//!    locked RMW and no cross-thread cache-line traffic; histograms and
+//!    gauges are relaxed atomics. No locks, no allocation, no formatting;
+//!    the registry mutex is touched only at registration and snapshot
+//!    time, never on the hot path.
+//! 3. **One source of truth.** Registering the same `(name, labels)`
+//!    pair twice returns handles backed by the *same* atomic cell, so two
+//!    subsystems (e.g. the server's `STATS` frame and the Prometheus
+//!    exporter) can observe identical values without double bookkeeping.
+//!
+//! The crate deliberately has no opinion about output formats beyond the
+//! self-contained Prometheus text exposition ([`Snapshot::to_prometheus`]);
+//! the JSON exporter lives in `offload::json` (which can see both crates —
+//! `obs` sits below `offload` in the dependency order).
+//!
+//! Metric naming scheme (see DESIGN.md §12): `arbalest_<layer>_<what>`
+//! with layer ∈ {`detector`, `rt`, `server`}; counters end in `_total`,
+//! latency histograms in `_nanos`.
+
+#![warn(missing_docs)]
+
+mod hist;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use hist::{bucket_index, bucket_upper_bound, HistSnapshot, Histogram, BUCKETS};
+pub use registry::{Counter, Gauge, Registry};
+pub use snapshot::{MetricId, Snapshot};
+pub use span::{Span, SpanEvent, SpanName};

@@ -1,0 +1,210 @@
+//! Point-in-time metric snapshots and the Prometheus text exposition.
+
+use crate::hist::{bucket_upper_bound, HistSnapshot};
+use crate::registry::Key;
+
+/// Identity of one metric series: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Metric name, e.g. `arbalest_detector_accesses_total`.
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    pub(crate) fn from_key(k: &Key) -> MetricId {
+        MetricId { name: k.0.clone(), labels: k.1.clone() }
+    }
+
+    fn matches(&self, name: &str, labels: &[(&str, &str)]) -> bool {
+        self.name == name
+            && self.labels.len() == labels.len()
+            && labels
+                .iter()
+                .all(|&(k, v)| self.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+    }
+
+    /// `name{k="v",...}` rendering (bare name when label-free), with
+    /// Prometheus escaping of label values.
+    pub fn render(&self) -> String {
+        self.render_with_extra(None)
+    }
+
+    fn render_with_extra(&self, extra: Option<(&str, &str)>) -> String {
+        let mut out = self.name.clone();
+        if self.labels.is_empty() && extra.is_none() {
+            return out;
+        }
+        out.push('{');
+        let mut first = true;
+        for (k, v) in
+            self.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra)
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            for c in v.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Point-in-time copy of every metric in a registry, sorted by id.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter series and their values.
+    pub counters: Vec<(MetricId, u64)>,
+    /// Gauge series and their values.
+    pub gauges: Vec<(MetricId, u64)>,
+    /// Histogram series and their state.
+    pub histograms: Vec<(MetricId, HistSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of one counter series, if registered.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters.iter().find(|(id, _)| id.matches(name, labels)).map(|&(_, v)| v)
+    }
+
+    /// Value of one gauge series, if registered.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.gauges.iter().find(|(id, _)| id.matches(name, labels)).map(|&(_, v)| v)
+    }
+
+    /// State of one histogram series, if registered.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistSnapshot> {
+        self.histograms.iter().find(|(id, _)| id.matches(name, labels)).map(|(_, h)| h)
+    }
+
+    /// All counter series sharing `name`, as `(labels, value)` pairs.
+    pub fn counters_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = (&'a [(String, String)], u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |(id, _)| id.name == name)
+            .map(|(id, v)| (id.labels.as_slice(), *v))
+    }
+
+    /// Sum across every counter series sharing `name`.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.counters_named(name).map(|(_, v)| v).sum()
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): counters and gauges as single samples, histograms
+    /// as cumulative `le` buckets plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_line = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let line = format!("# TYPE {name} {kind}\n");
+            if line != last_type_line {
+                out.push_str(&line);
+                last_type_line = line;
+            }
+        };
+        for (id, v) in &self.counters {
+            type_line(&mut out, &id.name, "counter");
+            out.push_str(&format!("{} {}\n", id.render(), v));
+        }
+        for (id, v) in &self.gauges {
+            type_line(&mut out, &id.name, "gauge");
+            out.push_str(&format!("{} {}\n", id.render(), v));
+        }
+        for (id, h) in &self.histograms {
+            type_line(&mut out, &id.name, "histogram");
+            // Cumulative samples at each occupied bucket boundary; empty
+            // buckets in between are implied by monotonicity.
+            let mut cum = 0u64;
+            for &(i, n) in &h.buckets {
+                cum += n;
+                let le = match bucket_upper_bound(i as usize) {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                let bucket_id = MetricId { name: format!("{}_bucket", id.name), labels: id.labels.clone() };
+                out.push_str(&format!(
+                    "{} {}\n",
+                    bucket_id.render_with_extra(Some(("le", &le))),
+                    cum
+                ));
+            }
+            if h.buckets.last().map(|&(i, _)| (i as usize) < crate::BUCKETS - 1).unwrap_or(true) {
+                let bucket_id = MetricId { name: format!("{}_bucket", id.name), labels: id.labels.clone() };
+                out.push_str(&format!(
+                    "{} {}\n",
+                    bucket_id.render_with_extra(Some(("le", "+Inf"))),
+                    h.count
+                ));
+            }
+            let sum_id = MetricId { name: format!("{}_sum", id.name), labels: id.labels.clone() };
+            let count_id = MetricId { name: format!("{}_count", id.name), labels: id.labels.clone() };
+            out.push_str(&format!("{} {}\n", sum_id.render(), h.sum));
+            out.push_str(&format!("{} {}\n", count_id.render(), h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn prometheus_counters_and_gauges() {
+        let r = Registry::new();
+        r.counter("arbalest_x_total", &[("kind", "a")]).add(2);
+        r.counter("arbalest_x_total", &[("kind", "b")]).add(5);
+        r.gauge("arbalest_depth", &[]).set(9);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE arbalest_x_total counter\n"));
+        assert!(text.contains("arbalest_x_total{kind=\"a\"} 2\n"));
+        assert!(text.contains("arbalest_x_total{kind=\"b\"} 5\n"));
+        assert!(text.contains("# TYPE arbalest_depth gauge\narbalest_depth 9\n"));
+        // TYPE line emitted once per family.
+        assert_eq!(text.matches("# TYPE arbalest_x_total").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_with_inf() {
+        let r = Registry::new();
+        let h = r.histogram("arbalest_lat_nanos", &[]);
+        h.record(0); // bucket 0, le="0"
+        h.record(1); // bucket 1, le="1"
+        h.record(3); // bucket 2, le="3"
+        h.record(3);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE arbalest_lat_nanos histogram\n"));
+        assert!(text.contains("arbalest_lat_nanos_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("arbalest_lat_nanos_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("arbalest_lat_nanos_bucket{le=\"3\"} 4\n"));
+        assert!(text.contains("arbalest_lat_nanos_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("arbalest_lat_nanos_sum 7\n"));
+        assert!(text.contains("arbalest_lat_nanos_count 4\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let id = MetricId {
+            name: "m".into(),
+            labels: vec![("k".into(), "a\"b\\c".into())],
+        };
+        assert_eq!(id.render(), "m{k=\"a\\\"b\\\\c\"}");
+    }
+}

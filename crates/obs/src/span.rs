@@ -1,0 +1,233 @@
+//! Span timing and the lock-free flight recorder.
+//!
+//! A [`Span`] is an RAII guard: it captures one `Instant` at start and
+//! one at drop, writes a fixed-size record into a thread-striped ring
+//! buffer, and optionally feeds the same duration into a histogram.
+//! Rings are written with relaxed atomics and a `fetch_add` head, so
+//! recording never blocks; a drain racing a writer may observe a torn
+//! slot, which is acceptable for a diagnostic flight recorder.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+use crate::registry::{Inner, Registry};
+
+/// Rings per registry; threads are striped across them by thread id.
+const NUM_RINGS: usize = 16;
+/// Slots per ring; the recorder keeps the most recent writes.
+const RING_SLOTS: usize = 1024;
+
+/// Interned span name (see [`Registry::span_name`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanName(pub(crate) u32);
+
+/// Process-wide small integer id for the current thread.
+fn current_tid() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    thread_local! {
+        static TID: Cell<u32> = const { Cell::new(u32::MAX) };
+    }
+    TID.with(|t| {
+        let mut id = t.get();
+        if id == u32::MAX {
+            id = NEXT.fetch_add(1, Relaxed);
+            t.set(id);
+        }
+        id
+    })
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// `name_id << 32 | tid`.
+    meta: AtomicU64,
+    start_ns: AtomicU64,
+    dur_ns: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    /// Total records ever written; slot index is `head % RING_SLOTS`.
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            head: AtomicU64::new(0),
+            slots: (0..RING_SLOTS)
+                .map(|_| Slot {
+                    meta: AtomicU64::new(0),
+                    start_ns: AtomicU64::new(0),
+                    dur_ns: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Thread-striped ring buffers holding the most recent span records.
+#[derive(Debug)]
+pub(crate) struct FlightRecorder {
+    rings: Vec<Ring>,
+}
+
+impl FlightRecorder {
+    pub(crate) fn new() -> Self {
+        FlightRecorder { rings: (0..NUM_RINGS).map(|_| Ring::new()).collect() }
+    }
+
+    fn record(&self, name: u32, start_ns: u64, dur_ns: u64) {
+        let tid = current_tid();
+        let ring = &self.rings[tid as usize % NUM_RINGS];
+        let i = ring.head.fetch_add(1, Relaxed) as usize % RING_SLOTS;
+        let slot = &ring.slots[i];
+        slot.meta.store(u64::from(name) << 32 | u64::from(tid), Relaxed);
+        slot.start_ns.store(start_ns, Relaxed);
+        slot.dur_ns.store(dur_ns, Relaxed);
+    }
+
+    pub(crate) fn drain(&self, names: &[&'static str]) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for ring in &self.rings {
+            let written = ring.head.swap(0, Relaxed);
+            let live = (written as usize).min(RING_SLOTS);
+            for slot in &ring.slots[..live] {
+                let meta = slot.meta.load(Relaxed);
+                let name_id = (meta >> 32) as usize;
+                let Some(&name) = names.get(name_id) else { continue };
+                out.push(SpanEvent {
+                    name,
+                    tid: meta as u32,
+                    start_ns: slot.start_ns.load(Relaxed),
+                    dur_ns: slot.dur_ns.load(Relaxed),
+                });
+            }
+        }
+        out.sort_by_key(|e| e.start_ns);
+        out
+    }
+}
+
+/// One completed span drained from the flight recorder.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanEvent {
+    /// Interned span name.
+    pub name: &'static str,
+    /// Small process-wide id of the recording thread.
+    pub tid: u32,
+    /// Start time in nanoseconds since the registry's epoch.
+    pub start_ns: u64,
+    /// Wall duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// RAII timing guard; records on drop. Obtained from [`Registry::span`]
+/// or [`Registry::span_with`].
+pub struct Span {
+    /// `None` on a disabled registry — the whole guard is then inert.
+    armed: Option<Armed>,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span").field("armed", &self.armed.is_some()).finish()
+    }
+}
+
+struct Armed {
+    inner: std::sync::Arc<Inner>,
+    name: u32,
+    start: Instant,
+    hist: Option<crate::Histogram>,
+}
+
+impl Span {
+    pub(crate) fn start(reg: &Registry, name: SpanName, hist: Option<crate::Histogram>) -> Span {
+        if !reg.is_enabled() {
+            return Span { armed: None };
+        }
+        Span {
+            armed: Some(Armed {
+                inner: reg.inner().clone(),
+                name: name.0,
+                start: Instant::now(),
+                hist,
+            }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.armed.take() else { return };
+        let dur = a.start.elapsed();
+        let dur_ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+        let start_ns =
+            u64::try_from(a.start.duration_since(a.inner.epoch).as_nanos()).unwrap_or(u64::MAX);
+        a.inner.recorder.get_or_init(FlightRecorder::new).record(a.name, start_ns, dur_ns);
+        if let Some(h) = a.hist {
+            h.record(dur_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_land_in_the_recorder_and_histogram() {
+        let r = Registry::new();
+        let h = r.histogram("arbalest_test_span_nanos", &[]);
+        let name = r.span_name("test.work");
+        for _ in 0..3 {
+            let _s = r.span_with(name, &h);
+            std::hint::black_box(0u64);
+        }
+        {
+            let _plain = r.span(r.span_name("test.other"));
+        }
+        let events = r.drain_spans();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events.iter().filter(|e| e.name == "test.work").count(), 3);
+        assert_eq!(events.iter().filter(|e| e.name == "test.other").count(), 1);
+        // Sorted by start time.
+        assert!(events.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        assert_eq!(h.snapshot().count, 3);
+        // Drain resets.
+        assert!(r.drain_spans().is_empty());
+    }
+
+    #[test]
+    fn ring_overflow_keeps_most_recent() {
+        let r = Registry::new();
+        let name = r.span_name("test.many");
+        for _ in 0..3000 {
+            let _s = r.span(name);
+        }
+        let events = r.drain_spans();
+        // Single thread → one ring → capped at the ring size.
+        assert_eq!(events.len(), RING_SLOTS);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let r = Registry::new();
+        let a = r.span_name("x");
+        let b = r.span_name("y");
+        let a2 = r.span_name("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn disabled_registry_spans_are_inert() {
+        let r = Registry::disabled();
+        let name = r.span_name("noop");
+        drop(r.span(name));
+        assert!(r.drain_spans().is_empty());
+    }
+}

@@ -403,6 +403,90 @@ fn intern_tool(tool: &str) -> &'static str {
     leaked
 }
 
+fn labels_json(labels: &[(String, String)]) -> Json {
+    Json::Obj(labels.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect())
+}
+
+/// Render a metrics [`Snapshot`](arbalest_obs::Snapshot) as JSON — the
+/// `--metrics-out` format. Histogram buckets are emitted cumulatively
+/// with the same `le` boundaries as the Prometheus exposition, so the
+/// two exporters agree sample-for-sample on a given snapshot.
+pub fn metrics_json(snap: &arbalest_obs::Snapshot) -> Json {
+    let scalar = |series: &[(arbalest_obs::MetricId, u64)]| {
+        Json::Arr(
+            series
+                .iter()
+                .map(|(id, v)| {
+                    Json::obj(vec![
+                        ("name", Json::Str(id.name.clone())),
+                        ("labels", labels_json(&id.labels)),
+                        ("value", Json::int(*v)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    let histograms = Json::Arr(
+        snap.histograms
+            .iter()
+            .map(|(id, h)| {
+                let mut cum = 0u64;
+                let mut buckets: Vec<Json> = h
+                    .buckets
+                    .iter()
+                    .map(|&(i, n)| {
+                        cum += n;
+                        let le = match arbalest_obs::bucket_upper_bound(i as usize) {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        Json::obj(vec![
+                            ("le", Json::Str(le)),
+                            ("count", Json::int(cum)),
+                        ])
+                    })
+                    .collect();
+                let has_inf = h
+                    .buckets
+                    .last()
+                    .is_some_and(|&(i, _)| i as usize == arbalest_obs::BUCKETS - 1);
+                if !has_inf {
+                    buckets.push(Json::obj(vec![
+                        ("le", Json::Str("+Inf".into())),
+                        ("count", Json::int(h.count)),
+                    ]));
+                }
+                Json::obj(vec![
+                    ("name", Json::Str(id.name.clone())),
+                    ("labels", labels_json(&id.labels)),
+                    ("count", Json::int(h.count)),
+                    ("sum", Json::int(h.sum)),
+                    ("min", Json::int(h.min)),
+                    ("max", Json::int(h.max)),
+                    ("mean", Json::Num(h.mean())),
+                    ("buckets", Json::Arr(buckets)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("counters", scalar(&snap.counters)),
+        ("gauges", scalar(&snap.gauges)),
+        ("histograms", histograms),
+    ])
+}
+
+/// Render one flight-recorder span as a JSON object — one line of the
+/// `--trace-out` JSONL stream.
+pub fn span_json(e: &arbalest_obs::SpanEvent) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(e.name.to_string())),
+        ("tid", Json::int(u64::from(e.tid))),
+        ("start_ns", Json::int(e.start_ns)),
+        ("dur_ns", Json::int(e.dur_ns)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,5 +567,80 @@ mod tests {
         assert_eq!(back.tool, "custom-tool");
         assert!(back.buffer.is_none() && back.loc.is_none() && back.prev.is_none());
         assert!(back.suggested_fix.is_none());
+    }
+
+    /// Rebuild a Prometheus series string from the JSON exporter's
+    /// `name`/`labels` fields (labels used in the test need no escaping).
+    fn prom_series(name: &str, labels: &Json, extra: Option<(&str, &str)>) -> String {
+        let Json::Obj(pairs) = labels else { panic!("labels must be an object") };
+        let mut body: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", v.as_str().unwrap()))
+            .collect();
+        if let Some((k, v)) = extra {
+            body.push(format!("{k}=\"{v}\""));
+        }
+        if body.is_empty() {
+            name.to_string()
+        } else {
+            format!("{name}{{{}}}", body.join(","))
+        }
+    }
+
+    #[test]
+    fn json_and_prometheus_exporters_agree_on_the_same_snapshot() {
+        let r = arbalest_obs::Registry::new();
+        r.counter("arbalest_t_total", &[("kind", "a")]).add(3);
+        r.counter("arbalest_t_total", &[("kind", "b")]).inc();
+        r.gauge("arbalest_t_depth", &[("shard", "0")]).set(5);
+        let h = r.histogram("arbalest_t_nanos", &[]);
+        for v in [0u64, 1, 3, 900, 1 << 40] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let prom = snap.to_prometheus();
+        // Round-trip through the parser to prove the emitted JSON is valid.
+        let json = Json::parse(&metrics_json(&snap).emit()).unwrap();
+
+        let mut samples = 0usize;
+        for key in ["counters", "gauges"] {
+            for c in json.get(key).unwrap().as_arr().unwrap() {
+                let line = format!(
+                    "{} {}\n",
+                    prom_series(c.get("name").unwrap().as_str().unwrap(), c.get("labels").unwrap(), None),
+                    c.get("value").unwrap().as_u64().unwrap()
+                );
+                assert!(prom.contains(&line), "prometheus output missing {line:?}");
+                samples += 1;
+            }
+        }
+        for hj in json.get("histograms").unwrap().as_arr().unwrap() {
+            let name = hj.get("name").unwrap().as_str().unwrap();
+            let labels = hj.get("labels").unwrap();
+            for b in hj.get("buckets").unwrap().as_arr().unwrap() {
+                let line = format!(
+                    "{} {}\n",
+                    prom_series(
+                        &format!("{name}_bucket"),
+                        labels,
+                        Some(("le", b.get("le").unwrap().as_str().unwrap()))
+                    ),
+                    b.get("count").unwrap().as_u64().unwrap()
+                );
+                assert!(prom.contains(&line), "prometheus output missing {line:?}");
+                samples += 1;
+            }
+            for (suffix, field) in [("_sum", "sum"), ("_count", "count")] {
+                let line = format!(
+                    "{} {}\n",
+                    prom_series(&format!("{name}{suffix}"), labels, None),
+                    hj.get(field).unwrap().as_u64().unwrap()
+                );
+                assert!(prom.contains(&line), "prometheus output missing {line:?}");
+                samples += 1;
+            }
+        }
+        // 2 counters + 1 gauge + 5 occupied buckets + +Inf + sum + count.
+        assert!(samples >= 11, "only {samples} samples cross-checked");
     }
 }

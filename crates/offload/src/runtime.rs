@@ -67,6 +67,10 @@ pub struct Config {
     /// Deterministic fault injection (seed + per-site fault rate). The
     /// default is disabled; see [`crate::fault`] for the fault model.
     pub faults: FaultConfig,
+    /// Metrics registry the runtime records into (map/update/launch
+    /// latencies, transfer volume, fault outcomes). Disabled by default —
+    /// an uninstrumented runtime pays one predictable branch per site.
+    pub metrics: arbalest_obs::Registry,
 }
 
 impl Default for Config {
@@ -81,6 +85,7 @@ impl Default for Config {
             implicit_map_events: true,
             auto_coherence: false,
             faults: FaultConfig::disabled(),
+            metrics: arbalest_obs::Registry::disabled(),
         }
     }
 }
@@ -136,6 +141,105 @@ impl Config {
     pub fn fault_config(mut self, cfg: FaultConfig) -> Self {
         self.faults = cfg;
         self
+    }
+    /// Record runtime metrics into `reg` (share one registry across the
+    /// runtime, the detector, and the exporters).
+    pub fn metrics(mut self, reg: arbalest_obs::Registry) -> Self {
+        self.metrics = reg;
+        self
+    }
+}
+
+/// Pre-registered metric handles for the runtime hot paths; constructed
+/// once per runtime so recording never touches the registry tables.
+struct RtMetrics {
+    /// Map-phase latency histograms: `arbalest_rt_map_nanos{phase}`.
+    entry_maps: arbalest_obs::Histogram,
+    exit_maps: arbalest_obs::Histogram,
+    /// `target update` latency: `arbalest_rt_update_nanos`.
+    update: arbalest_obs::Histogram,
+    /// Whole target-region latency (launch + maps + body):
+    /// `arbalest_rt_target_nanos`.
+    target: arbalest_obs::Histogram,
+    /// `arbalest_rt_transfers_total` / `arbalest_rt_transfer_bytes_total`.
+    transfers: arbalest_obs::Counter,
+    transfer_bytes: arbalest_obs::Counter,
+    /// Transient-fault retries: `arbalest_rt_fault_retries_total`.
+    fault_retries: arbalest_obs::Counter,
+    /// `arbalest_rt_fault_outcomes_total{site,outcome}`, indexed
+    /// `[site][outcome]` per the label tables below.
+    fault_outcomes: Vec<Vec<arbalest_obs::Counter>>,
+    sp_entry: arbalest_obs::SpanName,
+    sp_exit: arbalest_obs::SpanName,
+    sp_update: arbalest_obs::SpanName,
+    sp_target: arbalest_obs::SpanName,
+    reg: arbalest_obs::Registry,
+}
+
+const FAULT_SITE_LABELS: [&str; 5] =
+    ["device_alloc", "transfer_to_device", "transfer_from_device", "kernel_launch", "nowait_complete"];
+const FAULT_OUTCOME_LABELS: [&str; 5] = ["none", "transient", "permanent", "partial", "delay"];
+
+fn fault_site_index(site: FaultSite) -> usize {
+    match site {
+        FaultSite::DeviceAlloc => 0,
+        FaultSite::TransferToDevice => 1,
+        FaultSite::TransferFromDevice => 2,
+        FaultSite::KernelLaunch => 3,
+        FaultSite::NowaitComplete => 4,
+    }
+}
+
+fn fault_outcome_index(outcome: &FaultOutcome) -> usize {
+    match outcome {
+        FaultOutcome::None => 0,
+        FaultOutcome::Transient => 1,
+        FaultOutcome::Permanent => 2,
+        FaultOutcome::Partial { .. } => 3,
+        FaultOutcome::Delay { .. } => 4,
+    }
+}
+
+impl RtMetrics {
+    fn new(reg: &arbalest_obs::Registry) -> RtMetrics {
+        let fault_outcomes = FAULT_SITE_LABELS
+            .iter()
+            .map(|site| {
+                FAULT_OUTCOME_LABELS
+                    .iter()
+                    .map(|outcome| {
+                        reg.counter(
+                            "arbalest_rt_fault_outcomes_total",
+                            &[("site", site), ("outcome", outcome)],
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        RtMetrics {
+            entry_maps: reg.histogram("arbalest_rt_map_nanos", &[("phase", "entry")]),
+            exit_maps: reg.histogram("arbalest_rt_map_nanos", &[("phase", "exit")]),
+            update: reg.histogram("arbalest_rt_update_nanos", &[]),
+            target: reg.histogram("arbalest_rt_target_nanos", &[]),
+            transfers: reg.counter("arbalest_rt_transfers_total", &[]),
+            transfer_bytes: reg.counter("arbalest_rt_transfer_bytes_total", &[]),
+            fault_retries: reg.counter("arbalest_rt_fault_retries_total", &[]),
+            fault_outcomes,
+            sp_entry: reg.span_name("rt.entry_maps"),
+            sp_exit: reg.span_name("rt.exit_maps"),
+            sp_update: reg.span_name("rt.update"),
+            sp_target: reg.span_name("rt.target"),
+            reg: reg.clone(),
+        }
+    }
+
+    /// Count one fault-plan decision (only called when injection is
+    /// active, so the inactive hot path stays untouched).
+    fn note_fault(&self, site: FaultSite, outcome: &FaultOutcome) {
+        self.fault_outcomes[fault_site_index(site)][fault_outcome_index(outcome)].inc();
+        if matches!(outcome, FaultOutcome::Transient) {
+            self.fault_retries.inc();
+        }
     }
 }
 
@@ -224,6 +328,9 @@ struct Rt {
     /// Reports the runtime itself emits (e.g. double free), merged into
     /// [`Runtime::reports`] alongside tool findings.
     own_reports: Mutex<Vec<Report>>,
+    /// Pre-registered observability handles (no-ops unless
+    /// [`Config::metrics`] carries an enabled registry).
+    metrics: std::sync::Arc<RtMetrics>,
 }
 
 /// The offloading runtime. Cheap to clone; all clones share state.
@@ -240,6 +347,9 @@ impl Runtime {
         let present = (0..n).map(|_| Mutex::new(PresentTable::new())).collect();
         let pool_announced = (0..n).map(|_| AtomicBool::new(false)).collect();
         let faults = FaultPlan::new(cfg.faults);
+        // Cached per registry: runtimes sharing a registry share cells, so
+        // re-registering the ~35 series per runtime would only slow setup.
+        let metrics = cfg.metrics.state(RtMetrics::new);
         Runtime {
             inner: Arc::new(Rt {
                 criticals: Mutex::new(HashMap::new()),
@@ -260,6 +370,7 @@ impl Runtime {
                 faults,
                 errors: Mutex::new(Vec::new()),
                 own_reports: Mutex::new(Vec::new()),
+                metrics,
             }),
         }
     }
@@ -280,6 +391,12 @@ impl Runtime {
     /// The runtime configuration.
     pub fn config(&self) -> &Config {
         &self.inner.cfg
+    }
+
+    /// The metrics registry this runtime records into (the one passed via
+    /// [`Config::metrics`]; disabled by default).
+    pub fn metrics_registry(&self) -> &arbalest_obs::Registry {
+        &self.inner.metrics.reg
     }
 
     /// Collected reports: the runtime's own findings (e.g. double free)
@@ -739,7 +856,9 @@ impl Rt {
         }
         let mut attempts = 0u32;
         loop {
-            match self.faults.decide(FaultSite::DeviceAlloc) {
+            let outcome = self.faults.decide(FaultSite::DeviceAlloc);
+            self.metrics.note_fault(FaultSite::DeviceAlloc, &outcome);
+            match outcome {
                 FaultOutcome::Transient if attempts < MAX_RETRIES => {
                     FaultPlan::backoff(attempts);
                     attempts += 1;
@@ -769,7 +888,9 @@ impl Rt {
         }
         let mut attempts = 0u32;
         loop {
-            match self.faults.decide(FaultSite::KernelLaunch) {
+            let outcome = self.faults.decide(FaultSite::KernelLaunch);
+            self.metrics.note_fault(FaultSite::KernelLaunch, &outcome);
+            match outcome {
                 FaultOutcome::Transient if attempts < MAX_RETRIES => {
                     FaultPlan::backoff(attempts);
                     attempts += 1;
@@ -890,6 +1011,7 @@ impl Rt {
         if device.is_host() {
             return Ok(());
         }
+        let _span = self.metrics.reg.span_with(self.metrics.sp_entry, &self.metrics.entry_maps);
         let Some(table) = self.present_table(device) else {
             let e = RuntimeError::InvalidDevice { device };
             self.note_error(e.clone());
@@ -1010,6 +1132,7 @@ impl Rt {
         if device.is_host() {
             return;
         }
+        let _span = self.metrics.reg.span_with(self.metrics.sp_exit, &self.metrics.exit_maps);
         let Some(table) = self.present_table(device) else {
             self.note_error(RuntimeError::InvalidDevice { device });
             return;
@@ -1079,6 +1202,7 @@ impl Rt {
         if device.is_host() {
             return false;
         }
+        let _span = self.metrics.reg.span_with(self.metrics.sp_update, &self.metrics.update);
         let Some(table) = self.present_table(device) else {
             self.note_error(RuntimeError::InvalidDevice { device });
             return false;
@@ -1158,7 +1282,9 @@ impl Rt {
             let mut attempt = 0u32;
             loop {
                 let outcome = if self.faults.active() && attempt < MAX_RETRIES {
-                    self.faults.decide(site)
+                    let o = self.faults.decide(site);
+                    self.metrics.note_fault(site, &o);
+                    o
                 } else {
                     FaultOutcome::None
                 };
@@ -1215,6 +1341,8 @@ impl Rt {
                 }
             }
         }
+        self.metrics.transfers.inc();
+        self.metrics.transfer_bytes.add(len);
         let ev = TransferEvent {
             buffer,
             kind,
@@ -1506,6 +1634,8 @@ impl TargetBuilder {
             // host and the event stream stays truthful.
             let mut exec =
                 if rt2.fault_kernel_launch(requested, task) { requested } else { DeviceId::HOST };
+            let target_span =
+                rt2.metrics.reg.span_with(rt2.metrics.sp_target, &rt2.metrics.target);
             rt2.emit_construct(ConstructEvent::TargetBegin { task, device: exec, nowait });
             let mut mapped = false;
             if !exec.is_host() {
@@ -1546,10 +1676,14 @@ impl TargetBuilder {
                 rt2.perform_exit_maps(exec, &maps, task);
             }
             rt2.emit_construct(ConstructEvent::TargetEnd { task });
+            drop(target_span);
             rt2.emit_sync(SyncEvent::TaskEnd { task });
             if nowait {
-                if let FaultOutcome::Delay { micros } = rt2.faults.decide(FaultSite::NowaitComplete)
-                {
+                let outcome = rt2.faults.decide(FaultSite::NowaitComplete);
+                if rt2.faults.active() {
+                    rt2.metrics.note_fault(FaultSite::NowaitComplete, &outcome);
+                }
+                if let FaultOutcome::Delay { micros } = outcome {
                     // Injected late completion: the work is done but the
                     // latch fires late, widening nowait's race window.
                     std::thread::sleep(std::time::Duration::from_micros(micros));

@@ -104,6 +104,22 @@ impl fmt::Display for WireError {
     }
 }
 
+impl WireError {
+    /// Stable snake_case label of the variant, used as the `error` label
+    /// on the server's decode-error counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireError::Truncated { .. } => "truncated",
+            WireError::BadTag { .. } => "bad_tag",
+            WireError::BadUtf8 => "bad_utf8",
+            WireError::Oversize { .. } => "oversize",
+            WireError::BadMagic => "bad_magic",
+            WireError::Version { .. } => "version",
+            WireError::TrailingBytes { .. } => "trailing_bytes",
+        }
+    }
+}
+
 impl std::error::Error for WireError {}
 
 /// A bounds-checked read position over a byte slice.
@@ -452,6 +468,24 @@ fn get_opt_str(cur: &mut Cursor<'_>) -> Result<Option<String>, WireError> {
     }
 }
 
+/// Number of [`ReportKind`] variants. Sizes every per-kind counter array
+/// (server stats, wire snapshots) so adding a kind cannot silently
+/// truncate counters — extend [`REPORT_KINDS`] and the match arms in
+/// [`report_kind_tag`]/[`report_kind`] together and the tests below
+/// enforce they stay a bijection over `0..REPORT_KIND_COUNT`.
+pub const REPORT_KIND_COUNT: usize = REPORT_KINDS.len();
+
+/// Every report kind, indexed by its wire tag.
+pub const REPORT_KINDS: [ReportKind; 7] = [
+    ReportKind::MappingUum,
+    ReportKind::MappingUsd,
+    ReportKind::MappingOverflow,
+    ReportKind::DataRace,
+    ReportKind::UninitRead,
+    ReportKind::HeapOverflow,
+    ReportKind::UseAfterFree,
+];
+
 /// Stable tag byte of a [`ReportKind`] (also the index used by the
 /// server's per-kind report counters).
 pub fn report_kind_tag(kind: ReportKind) -> u8 {
@@ -635,5 +669,41 @@ mod tests {
         let mut bytes = encode_trace(&[]);
         bytes.push(0);
         assert_eq!(decode_trace(&bytes), Err(WireError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn report_kind_tags_are_a_bijection_over_the_count() {
+        // Every kind's tag indexes REPORT_KINDS back to itself, so a
+        // per-kind counter array of REPORT_KIND_COUNT cells can never be
+        // indexed out of range or silently alias two kinds.
+        for (i, &kind) in REPORT_KINDS.iter().enumerate() {
+            assert_eq!(report_kind_tag(kind) as usize, i, "{kind:?}");
+            assert_eq!(report_kind(i as u8), Ok(kind));
+        }
+        // The first tag past the table must be rejected; if someone adds
+        // a variant without growing REPORT_KINDS, the exhaustive match in
+        // report_kind_tag stops compiling and this assertion catches a
+        // half-done wiring job.
+        assert!(matches!(
+            report_kind(REPORT_KIND_COUNT as u8),
+            Err(WireError::BadTag { what: "ReportKind", .. })
+        ));
+    }
+
+    #[test]
+    fn wire_error_labels_are_distinct() {
+        let labels = [
+            WireError::Truncated { needed: 1, have: 0 }.label(),
+            WireError::BadTag { what: "x", tag: 0 }.label(),
+            WireError::BadUtf8.label(),
+            WireError::Oversize { what: "x", len: 1, max: 0 }.label(),
+            WireError::BadMagic.label(),
+            WireError::Version { got: 0, want: 1 }.label(),
+            WireError::TrailingBytes { extra: 1 }.label(),
+        ];
+        let mut dedup = labels.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
     }
 }

@@ -128,6 +128,16 @@ impl Client {
         }
     }
 
+    /// Fetch the server's metrics registry rendered in Prometheus text
+    /// exposition format (the same cells the binary [`Client::stats`]
+    /// snapshot reads).
+    pub fn metrics(&mut self) -> Result<String, ProtoError> {
+        match self.call(&Frame::Metrics)? {
+            Frame::MetricsReply(text) => Ok(text),
+            _ => Err(ProtoError::Unexpected("wanted MetricsReply")),
+        }
+    }
+
     /// Ask the server to drain and stop. The server acknowledges before it
     /// begins draining.
     pub fn shutdown_server(&mut self) -> Result<(), ProtoError> {

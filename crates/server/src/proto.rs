@@ -17,12 +17,12 @@
 //! mismatches fail fast with a typed error), streams `Events` batches —
 //! each acknowledged with `EventsAck`, or refused with `Busy` when the
 //! session's shard queue is full — and closes with `Finish`, answered by
-//! `Reports`. `Stats` and `Shutdown` are admin frames any connection may
-//! send.
+//! `Reports`. `Stats`, `Metrics`, and `Shutdown` are admin frames any
+//! connection may send.
 
 use arbalest_offload::report::Report;
 use arbalest_offload::trace::TraceEvent;
-use arbalest_offload::wire::{self, Cursor, WireError};
+use arbalest_offload::wire::{self, Cursor, WireError, REPORT_KIND_COUNT};
 use std::io::{Read, Write};
 
 pub use arbalest_offload::wire::WIRE_VERSION;
@@ -90,7 +90,7 @@ pub struct StatsSnapshot {
     /// Reports produced by finished sessions, indexed by
     /// [`wire::report_kind_tag`] (UUM, USD, BO, race, uninit, heap-BO,
     /// UAF).
-    pub reports_by_kind: [u64; 7],
+    pub reports_by_kind: [u64; REPORT_KIND_COUNT],
     /// Current depth of each shard's job queue.
     pub queue_depths: Vec<u32>,
     /// Events fed so far to the *requesting* connection's session (0 when
@@ -162,6 +162,9 @@ pub enum Frame {
     Stats,
     /// Client → server: drain all queues and stop the server.
     Shutdown,
+    /// Client → server: request the full metrics registry rendered as
+    /// Prometheus text exposition format.
+    Metrics,
     /// Server → client: session opened.
     HelloAck {
         /// Server's wire version.
@@ -192,6 +195,8 @@ pub enum Frame {
         /// Human-readable reason.
         message: String,
     },
+    /// Server → client: the metrics registry in Prometheus text format.
+    MetricsReply(String),
 }
 
 impl Frame {
@@ -202,6 +207,7 @@ impl Frame {
             Frame::Finish => 0x03,
             Frame::Stats => 0x04,
             Frame::Shutdown => 0x05,
+            Frame::Metrics => 0x06,
             Frame::HelloAck { .. } => 0x81,
             Frame::EventsAck { .. } => 0x82,
             Frame::Busy { .. } => 0x83,
@@ -209,6 +215,28 @@ impl Frame {
             Frame::StatsReply(_) => 0x85,
             Frame::Ok => 0x86,
             Frame::Error { .. } => 0x87,
+            Frame::MetricsReply(_) => 0x88,
+        }
+    }
+
+    /// A short static label for this frame's type, used as a metric label
+    /// value (`arbalest_server_frames_total{type=...}`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::Events(_) => "events",
+            Frame::Finish => "finish",
+            Frame::Stats => "stats",
+            Frame::Shutdown => "shutdown",
+            Frame::Metrics => "metrics",
+            Frame::HelloAck { .. } => "hello_ack",
+            Frame::EventsAck { .. } => "events_ack",
+            Frame::Busy { .. } => "busy",
+            Frame::Reports(_) => "reports",
+            Frame::StatsReply(_) => "stats_reply",
+            Frame::Ok => "ok",
+            Frame::Error { .. } => "error",
+            Frame::MetricsReply(_) => "metrics_reply",
         }
     }
 
@@ -216,7 +244,9 @@ impl Frame {
         match self {
             Frame::Hello { version } => version.to_le_bytes().to_vec(),
             Frame::Events(events) => wire::encode_events(events),
-            Frame::Finish | Frame::Stats | Frame::Shutdown | Frame::Ok => Vec::new(),
+            Frame::Finish | Frame::Stats | Frame::Shutdown | Frame::Metrics | Frame::Ok => {
+                Vec::new()
+            }
             Frame::HelloAck { version, shards, session } => {
                 let mut out = Vec::with_capacity(12);
                 out.extend_from_slice(&version.to_le_bytes());
@@ -233,6 +263,11 @@ impl Frame {
                 wire::put_str(&mut out, message);
                 out
             }
+            Frame::MetricsReply(text) => {
+                let mut out = Vec::new();
+                wire::put_str(&mut out, text);
+                out
+            }
         }
     }
 
@@ -244,6 +279,7 @@ impl Frame {
             0x03 => Frame::Finish,
             0x04 => Frame::Stats,
             0x05 => Frame::Shutdown,
+            0x06 => Frame::Metrics,
             0x81 => Frame::HelloAck { version: cur.u16()?, shards: cur.u16()?, session: cur.u64()? },
             0x82 => Frame::EventsAck { accepted: cur.u32()? },
             0x83 => Frame::Busy { queue_depth: cur.u32()? },
@@ -251,6 +287,7 @@ impl Frame {
             0x85 => Frame::StatsReply(StatsSnapshot::decode(&mut cur)?),
             0x86 => Frame::Ok,
             0x87 => Frame::Error { message: cur.string()? },
+            0x88 => Frame::MetricsReply(cur.string()?),
             tag => return Err(WireError::BadTag { what: "Frame", tag }.into()),
         };
         if !cur.is_empty() {
@@ -347,11 +384,13 @@ mod tests {
             Frame::Finish,
             Frame::Stats,
             Frame::Shutdown,
+            Frame::Metrics,
             Frame::HelloAck { version: 1, shards: 4, session: 99 },
             Frame::EventsAck { accepted: 512 },
             Frame::Busy { queue_depth: 7 },
             Frame::Ok,
             Frame::Error { message: "no session open".into() },
+            Frame::MetricsReply("# TYPE arbalest_server_events_received_total counter\n".into()),
         ] {
             assert_eq!(round_trip(f.clone()), f);
         }

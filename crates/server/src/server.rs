@@ -12,6 +12,7 @@ use crate::proto::{Frame, ProtoError, WIRE_VERSION};
 use crate::shard::ShardPool;
 use crate::stats::GlobalStats;
 use arbalest_core::ArbalestConfig;
+use arbalest_obs::{Counter, Registry};
 use arbalest_sync::{Condvar, Mutex};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -64,11 +65,20 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// Detector configuration used for every session.
     pub detector: ArbalestConfig,
+    /// Metrics registry shared by the wire layer, shard pool, and every
+    /// session detector. Enabled by default; substitute
+    /// [`Registry::disabled`] to run without instrumentation.
+    pub metrics: Registry,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { shards: 4, queue_cap: 128, detector: ArbalestConfig::default() }
+        ServerConfig {
+            shards: 4,
+            queue_cap: 128,
+            detector: ArbalestConfig::default(),
+            metrics: Registry::new(),
+        }
     }
 }
 
@@ -121,6 +131,48 @@ struct Shared {
     stop_signal: (Mutex<bool>, Condvar),
     active_connections: AtomicUsize,
     stats: Arc<GlobalStats>,
+    registry: Registry,
+    wire_metrics: WireMetrics,
+}
+
+/// Wire-layer counters shared by every connection handler.
+struct WireMetrics {
+    /// Decoded client frames, labelled by frame type.
+    frames: [(&'static str, Counter); 6],
+    /// Bytes read off client connections.
+    rx_bytes: Counter,
+}
+
+impl WireMetrics {
+    fn new(reg: &Registry) -> WireMetrics {
+        let c = |ty| reg.counter("arbalest_server_frames_total", &[("type", ty)]);
+        WireMetrics {
+            frames: ["hello", "events", "finish", "stats", "shutdown", "metrics"]
+                .map(|ty| (ty, c(ty))),
+            rx_bytes: reg.counter("arbalest_server_rx_bytes_total", &[]),
+        }
+    }
+
+    fn count_frame(&self, frame: &Frame) {
+        let label = frame.label();
+        if let Some((_, counter)) = self.frames.iter().find(|(ty, _)| *ty == label) {
+            counter.inc();
+        }
+    }
+}
+
+/// [`Read`] adapter that feeds the received byte count into a counter.
+struct CountingReader<'a, R> {
+    inner: &'a mut R,
+    rx_bytes: &'a Counter,
+}
+
+impl<R: Read> Read for CountingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.rx_bytes.add(n as u64);
+        Ok(n)
+    }
 }
 
 impl Shared {
@@ -172,14 +224,23 @@ impl Server {
             }
         };
 
-        let stats = Arc::new(GlobalStats::default());
+        let registry = cfg.metrics.clone();
+        let stats = Arc::new(GlobalStats::new(&registry));
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             stop_signal: (Mutex::new(false), Condvar::new()),
             active_connections: AtomicUsize::new(0),
             stats: stats.clone(),
+            wire_metrics: WireMetrics::new(&registry),
+            registry: registry.clone(),
         });
-        let pool = Arc::new(ShardPool::new(cfg.shards, cfg.queue_cap, cfg.detector.clone(), stats));
+        let pool = Arc::new(ShardPool::new(
+            cfg.shards,
+            cfg.queue_cap,
+            cfg.detector.clone(),
+            stats,
+            &registry,
+        ));
 
         let accept_shared = shared.clone();
         let accept_pool = pool.clone();
@@ -281,19 +342,30 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
 
     loop {
         let frame = {
-            let shared = shared.clone();
-            Frame::read_from(&mut stream, &mut move || !shared.stopping())
+            let stop_shared = shared.clone();
+            let mut counted =
+                CountingReader { inner: &mut stream, rx_bytes: &shared.wire_metrics.rx_bytes };
+            Frame::read_from(&mut counted, &mut move || !stop_shared.stopping())
         };
         let frame = match frame {
             Ok(f) => f,
             Err(ProtoError::ShuttingDown) => break,
             Err(ProtoError::Io(_)) => break, // peer went away
             Err(e) => {
-                // Malformed input: answer with a typed error, then close.
+                // Malformed input: count it (decode errors are rare, so
+                // the lazy registry lookup is fine), answer with a typed
+                // error, then close.
+                if let ProtoError::Wire(we) = &e {
+                    shared
+                        .registry
+                        .counter("arbalest_server_decode_errors_total", &[("error", we.label())])
+                        .inc();
+                }
                 let _ = Frame::Error { message: e.to_string() }.write_to(&mut stream);
                 break;
             }
         };
+        shared.wire_metrics.count_frame(&frame);
 
         let outcome: Result<Frame, String> = match frame {
             Frame::Hello { version } => {
@@ -334,6 +406,11 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
             Frame::Stats => Ok(Frame::StatsReply(
                 shared.stats.snapshot(pool.queue_depths(), session_events),
             )),
+            Frame::Metrics => {
+                // Refresh the queue-depth gauges so the export is current.
+                let _ = pool.queue_depths();
+                Ok(Frame::MetricsReply(shared.registry.snapshot().to_prometheus()))
+            }
             Frame::Shutdown => {
                 let _ = Frame::Ok.write_to(&mut stream);
                 shared.request_stop();
@@ -347,7 +424,8 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
             | Frame::Reports(_)
             | Frame::StatsReply(_)
             | Frame::Ok
-            | Frame::Error { .. } => Err("client sent a server-role frame".into()),
+            | Frame::Error { .. }
+            | Frame::MetricsReply(_) => Err("client sent a server-role frame".into()),
         };
 
         let reply = match outcome {

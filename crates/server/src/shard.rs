@@ -13,6 +13,7 @@
 use crate::stats::GlobalStats;
 use arbalest_core::session::AnalysisSession;
 use arbalest_core::ArbalestConfig;
+use arbalest_obs::{Gauge, Histogram, Registry};
 use arbalest_offload::report::Report;
 use arbalest_offload::trace::TraceEvent;
 use arbalest_sync::{Condvar, Mutex};
@@ -20,13 +21,30 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 pub(crate) enum Job {
-    Events { session: u64, events: Vec<TraceEvent> },
-    Finish { session: u64, reply: mpsc::Sender<Vec<Report>> },
+    Events { session: u64, events: Vec<TraceEvent>, queued: Instant },
+    Finish { session: u64, reply: mpsc::Sender<Vec<Report>>, queued: Instant },
     /// Drop a session that disconnected without `Finish`.
-    Abort { session: u64 },
+    Abort { session: u64, queued: Instant },
     Stop,
+}
+
+/// Enqueue-to-drain latency histograms, one per job kind. Cloned into
+/// every worker; the cells are shared.
+#[derive(Clone)]
+struct WaitHists {
+    events: Histogram,
+    finish: Histogram,
+    abort: Histogram,
+}
+
+impl WaitHists {
+    fn new(reg: &Registry) -> WaitHists {
+        let h = |kind| reg.histogram("arbalest_server_job_wait_nanos", &[("kind", kind)]);
+        WaitHists { events: h("events"), finish: h("finish"), abort: h("abort") }
+    }
 }
 
 struct ShardQueue {
@@ -73,20 +91,24 @@ pub struct ShardPool {
     queue_cap: usize,
     stats: Arc<GlobalStats>,
     next_session: AtomicU64,
+    depth_gauges: Vec<Gauge>,
 }
 
 impl ShardPool {
     /// Spawn `shards` workers, each with a queue bounded at `queue_cap`
     /// event batches. Finished sessions fold their report counts into
-    /// `stats`.
+    /// `stats`; per-session detectors and the pool's own wait/depth
+    /// metrics all record into `registry`.
     pub fn new(
         shards: usize,
         queue_cap: usize,
         detector: ArbalestConfig,
         stats: Arc<GlobalStats>,
+        registry: &Registry,
     ) -> ShardPool {
         let shards = shards.clamp(1, 64);
         let queues: Vec<Arc<ShardQueue>> = (0..shards).map(|_| Arc::new(ShardQueue::new())).collect();
+        let waits = WaitHists::new(registry);
         let workers = queues
             .iter()
             .enumerate()
@@ -94,10 +116,18 @@ impl ShardPool {
                 let queue = q.clone();
                 let stats = stats.clone();
                 let detector = detector.clone();
+                let registry = registry.clone();
+                let waits = waits.clone();
                 std::thread::Builder::new()
                     .name(format!("arbalest-shard-{i}"))
-                    .spawn(move || worker_loop(&queue, &detector, &stats))
+                    .spawn(move || worker_loop(&queue, &detector, &stats, &registry, &waits))
                     .expect("spawn shard worker")
+            })
+            .collect();
+        let depth_gauges = (0..shards)
+            .map(|i| {
+                let shard = i.to_string();
+                registry.gauge("arbalest_server_queue_depth", &[("shard", &shard)])
             })
             .collect();
         ShardPool {
@@ -106,12 +136,13 @@ impl ShardPool {
             queue_cap: queue_cap.max(1),
             stats,
             next_session: AtomicU64::new(1),
+            depth_gauges,
         }
     }
 
     /// Allocate a fresh session id.
     pub fn open_session(&self) -> u64 {
-        self.stats.sessions_started.fetch_add(1, Relaxed);
+        self.stats.sessions_started.inc();
         self.next_session.fetch_add(1, Relaxed)
     }
 
@@ -136,13 +167,13 @@ impl ShardPool {
             let mut jobs = queue.jobs.lock();
             if jobs.len() >= self.queue_cap {
                 drop(jobs);
-                self.stats.busy_rejections.fetch_add(1, Relaxed);
+                self.stats.busy_rejections.inc();
                 return Err(QueueFull { depth: queue.depth() });
             }
-            jobs.push_back(Job::Events { session, events });
+            jobs.push_back(Job::Events { session, events, queued: Instant::now() });
         }
         queue.not_empty.notify_one();
-        self.stats.events_received.fetch_add(accepted as u64, Relaxed);
+        self.stats.events_received.add(accepted as u64);
         Ok(accepted)
     }
 
@@ -150,18 +181,28 @@ impl ShardPool {
     /// first (FIFO per shard), then its reports come back on the channel.
     pub fn submit_finish(&self, session: u64) -> mpsc::Receiver<Vec<Report>> {
         let (tx, rx) = mpsc::channel();
-        self.queue_of(session).push(Job::Finish { session, reply: tx });
+        self.queue_of(session).push(Job::Finish { session, reply: tx, queued: Instant::now() });
         rx
     }
 
     /// Discard a session whose connection went away.
     pub fn submit_abort(&self, session: u64) {
-        self.queue_of(session).push(Job::Abort { session });
+        self.queue_of(session).push(Job::Abort { session, queued: Instant::now() });
     }
 
-    /// Current depth of every shard queue.
+    /// Current depth of every shard queue; also refreshes the per-shard
+    /// `arbalest_server_queue_depth` gauges, so any snapshot taken right
+    /// after a `Stats`/`Metrics` request sees the same depths it answered.
     pub fn queue_depths(&self) -> Vec<u32> {
-        self.queues.iter().map(|q| q.depth()).collect()
+        self.queues
+            .iter()
+            .zip(&self.depth_gauges)
+            .map(|(q, g)| {
+                let d = q.depth();
+                g.set(u64::from(d));
+                d
+            })
+            .collect()
     }
 
     /// Drain every queue and join the workers. Jobs already enqueued are
@@ -182,30 +223,41 @@ impl ShardPool {
     }
 }
 
-fn worker_loop(queue: &ShardQueue, detector: &ArbalestConfig, stats: &GlobalStats) {
+fn worker_loop(
+    queue: &ShardQueue,
+    detector: &ArbalestConfig,
+    stats: &GlobalStats,
+    registry: &Registry,
+    waits: &WaitHists,
+) {
     let mut sessions: HashMap<u64, AnalysisSession> = HashMap::new();
     loop {
         match queue.pop() {
-            Job::Events { session, events } => {
+            Job::Events { session, events, queued } => {
+                waits.events.record_duration(queued.elapsed());
                 sessions
                     .entry(session)
-                    .or_insert_with(|| AnalysisSession::new(detector.clone()))
+                    .or_insert_with(|| {
+                        AnalysisSession::with_registry(detector.clone(), registry.clone())
+                    })
                     .feed_batch(&events);
             }
-            Job::Finish { session, reply } => {
+            Job::Finish { session, reply, queued } => {
+                waits.finish.record_duration(queued.elapsed());
                 let reports = sessions
                     .remove(&session)
                     .map(AnalysisSession::finish)
                     .unwrap_or_default();
                 stats.count_reports(&reports);
-                stats.sessions_finished.fetch_add(1, Relaxed);
+                stats.sessions_finished.inc();
                 // A receiver that hung up already got its answer elsewhere
                 // (connection died); the session state is freed either way.
                 let _ = reply.send(reports);
             }
-            Job::Abort { session } => {
+            Job::Abort { session, queued } => {
+                waits.abort.record_duration(queued.elapsed());
                 sessions.remove(&session);
-                stats.sessions_finished.fetch_add(1, Relaxed);
+                stats.sessions_finished.inc();
             }
             Job::Stop => break,
         }
@@ -218,8 +270,9 @@ mod tests {
     use arbalest_offload::addr::DeviceId;
 
     fn pool(shards: usize, cap: usize) -> (ShardPool, Arc<GlobalStats>) {
-        let stats = Arc::new(GlobalStats::default());
-        (ShardPool::new(shards, cap, ArbalestConfig::default(), stats.clone()), stats)
+        let reg = Registry::new();
+        let stats = Arc::new(GlobalStats::new(&reg));
+        (ShardPool::new(shards, cap, ArbalestConfig::default(), stats.clone(), &reg), stats)
     }
 
     fn pool_alloc_event(i: u64) -> TraceEvent {
@@ -244,8 +297,8 @@ mod tests {
         }
         // Capacity 2: exactly the overflow is refused with Busy.
         assert_eq!(refused, 8);
-        assert_eq!(stats.busy_rejections.load(Relaxed), 8);
-        assert_eq!(stats.events_received.load(Relaxed), 2);
+        assert_eq!(stats.busy_rejections.get(), 8);
+        assert_eq!(stats.events_received.get(), 2);
         pool.shutdown();
     }
 
@@ -258,8 +311,8 @@ mod tests {
         }
         let reports = pool.submit_finish(session).recv().unwrap();
         assert!(reports.is_empty());
-        assert_eq!(stats.events_received.load(Relaxed), 100);
-        assert_eq!(stats.sessions_finished.load(Relaxed), 1);
+        assert_eq!(stats.events_received.get(), 100);
+        assert_eq!(stats.sessions_finished.get(), 1);
         pool.shutdown();
     }
 
@@ -272,6 +325,6 @@ mod tests {
             pool.submit_abort(s);
         }
         pool.shutdown(); // must not hang; all queues drain
-        assert_eq!(stats.sessions_finished.load(Relaxed), 32);
+        assert_eq!(stats.sessions_finished.get(), 32);
     }
 }

@@ -32,7 +32,7 @@ fn render_all(reports: &[Report]) -> String {
 fn start_server(shards: usize) -> Server {
     Server::start(
         &ListenAddr::Tcp("127.0.0.1:0".into()),
-        ServerConfig { shards, queue_cap: 64, detector: ArbalestConfig::default() },
+        ServerConfig { shards, queue_cap: 64, ..ServerConfig::default() },
     )
     .expect("bind")
 }
@@ -120,7 +120,7 @@ fn unix_socket_transport_matches_tcp() {
     let path = std::env::temp_dir().join(format!("arbalest-e2e-{}.sock", std::process::id()));
     let server = Server::start(
         &ListenAddr::Unix(path.clone()),
-        ServerConfig { shards: 1, queue_cap: 16, detector: ArbalestConfig::default() },
+        ServerConfig { shards: 1, queue_cap: 16, ..ServerConfig::default() },
     )
     .expect("bind unix");
 
@@ -134,6 +134,69 @@ fn unix_socket_transport_matches_tcp() {
 
     server.stop();
     assert!(!path.exists(), "socket file not cleaned up");
+}
+
+/// Parse one unlabelled sample's value out of Prometheus text.
+fn prom_value(prom: &str, name: &str) -> u64 {
+    prom.lines()
+        .find(|l| l.starts_with(&format!("{name} ")))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("sample {name} missing from export:\n{prom}"))
+}
+
+/// Sum every sample of a (possibly labelled) family.
+fn prom_sum(prom: &str, name: &str) -> u64 {
+    prom.lines()
+        .filter(|l| l.starts_with(&format!("{name}{{")) || l.starts_with(&format!("{name} ")))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<u64>().ok())
+        .sum()
+}
+
+#[test]
+fn stats_frame_and_prometheus_export_agree() {
+    let server = start_server(2);
+    let addr = server.local_addr().clone();
+
+    // Drive real work through the server so the counters are non-trivial.
+    let bench = arbalest_dracc::by_id(22).expect("DRACC 22");
+    let events = record(&bench);
+    let mut client = Client::connect(&addr).expect("connect");
+    let reports = client.submit_chunked(&events, 64).expect("submit");
+    assert!(!reports.is_empty(), "DRACC 22 is a buggy case");
+
+    // Both views must read the same cells: the binary STATS snapshot and
+    // the Prometheus text cannot disagree on any shared counter.
+    let stats = client.stats().expect("stats");
+    let prom = client.metrics().expect("metrics");
+
+    assert_eq!(prom_value(&prom, "arbalest_server_sessions_started_total"), stats.sessions_started);
+    assert_eq!(
+        prom_value(&prom, "arbalest_server_sessions_finished_total"),
+        stats.sessions_finished
+    );
+    assert_eq!(prom_value(&prom, "arbalest_server_events_received_total"), stats.events_received);
+    assert_eq!(prom_value(&prom, "arbalest_server_busy_rejections_total"), stats.busy_rejections);
+    assert_eq!(
+        prom_sum(&prom, "arbalest_server_reports_total"),
+        stats.reports_by_kind.iter().sum::<u64>()
+    );
+
+    // The wire layer and shard pool record into the same registry.
+    assert!(prom_sum(&prom, "arbalest_server_frames_total") > 0, "frame counters missing");
+    assert!(prom_sum(&prom, "arbalest_server_rx_bytes_total") > 0, "rx byte counter missing");
+    assert!(
+        prom.contains("arbalest_server_queue_depth{"),
+        "queue depth gauges missing:\n{prom}"
+    );
+    // Per-session detectors share the registry too: VSM work shows up.
+    assert!(
+        prom_sum(&prom, "arbalest_detector_vsm_transition_pairs_total") > 0,
+        "detector metrics missing from server export"
+    );
+
+    server.stop();
 }
 
 #[test]

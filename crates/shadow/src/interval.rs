@@ -191,17 +191,26 @@ impl<V> IntervalTree<V> {
     /// several contain it, an arbitrary one is returned (the detector
     /// never keeps live overlapping intervals).
     pub fn stab(&self, point: u64) -> Option<(u64, u64, &V)> {
+        self.stab_with_depth(point).map(|(lo, hi, v, _)| (lo, hi, v))
+    }
+
+    /// [`stab`](Self::stab) that also reports how many tree nodes the
+    /// search visited — the detector's observability layer histograms
+    /// this as the effective lookup depth.
+    pub fn stab_with_depth(&self, point: u64) -> Option<(u64, u64, &V, u32)> {
+        let mut visited = 0u32;
         let mut cur = self.root.as_deref();
         while let Some(n) = cur {
+            visited += 1;
             if point < subtree_max(&n.left) && n.left.is_some() {
                 // Left subtree may contain it; classic interval search
                 // walks left when the left max exceeds the point.
-                if let Some(hit) = stab_in(n.left.as_deref(), point) {
-                    return Some(hit);
+                if let Some((lo, hi, v)) = stab_in(n.left.as_deref(), point, &mut visited) {
+                    return Some((lo, hi, v, visited));
                 }
             }
             if n.lo <= point && point < n.hi {
-                return Some((n.lo, n.hi, &n.value));
+                return Some((n.lo, n.hi, &n.value, visited));
             }
             cur = if point < n.lo { n.left.as_deref() } else { n.right.as_deref() };
         }
@@ -252,19 +261,24 @@ impl<V> Default for IntervalTree<V> {
     }
 }
 
-fn stab_in<V>(n: Option<&Node<V>>, point: u64) -> Option<(u64, u64, &V)> {
+fn stab_in<'a, V>(
+    n: Option<&'a Node<V>>,
+    point: u64,
+    visited: &mut u32,
+) -> Option<(u64, u64, &'a V)> {
     let n = n?;
+    *visited += 1;
     if n.max <= point {
         return None;
     }
-    if let Some(hit) = stab_in(n.left.as_deref(), point) {
+    if let Some(hit) = stab_in(n.left.as_deref(), point, visited) {
         return Some(hit);
     }
     if n.lo <= point && point < n.hi {
         return Some((n.lo, n.hi, &n.value));
     }
     if point >= n.lo {
-        stab_in(n.right.as_deref(), point)
+        stab_in(n.right.as_deref(), point, visited)
     } else {
         None
     }

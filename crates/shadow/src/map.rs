@@ -102,15 +102,33 @@ impl ShadowMemory {
     /// update discipline. `f` maps the current value to the desired value;
     /// returns the (old, new) pair that finally committed.
     #[inline]
-    pub fn update(&self, addr: u64, slot: usize, mut f: impl FnMut(u64) -> u64) -> (u64, u64) {
+    pub fn update(&self, addr: u64, slot: usize, f: impl FnMut(u64) -> u64) -> (u64, u64) {
+        let (old, new, _) = self.update_counted(addr, slot, f);
+        (old, new)
+    }
+
+    /// [`update`](Self::update) that also reports how many CAS attempts
+    /// failed before the write committed (0 on the uncontended fast
+    /// path). The detector's observability layer counts these retries.
+    #[inline]
+    pub fn update_counted(
+        &self,
+        addr: u64,
+        slot: usize,
+        mut f: impl FnMut(u64) -> u64,
+    ) -> (u64, u64, u32) {
         let page = self.page(addr);
         let cell = &page.cells[self.cell_index(addr, slot)];
         let mut cur = cell.load(Ordering::Relaxed);
+        let mut retries = 0u32;
         loop {
             let next = f(cur);
             match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
-                Ok(_) => return (cur, next),
-                Err(c) => cur = c,
+                Ok(_) => return (cur, next, retries),
+                Err(c) => {
+                    cur = c;
+                    retries = retries.saturating_add(1);
+                }
             }
         }
     }
