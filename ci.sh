@@ -26,6 +26,11 @@ echo "==> arbalest lint all (static analyzer gate)"
 if [[ "${RUN_SOAK:-1}" == "1" ]]; then
     echo "==> fault-injection soak (ignored test, bounded)"
     cargo test -q --test soak -- --ignored
+
+    echo "==> network-chaos soak (all DRACC cases, fixed seeds, 60s budget)"
+    # Compile outside the wall-clock budget; only the soak itself is bounded.
+    cargo test -q --release -p arbalest-server --test chaos_soak --no-run
+    timeout 60 cargo test -q --release -p arbalest-server --test chaos_soak -- --ignored
 fi
 
 echo "==> analysis-service smoke (unix socket, 30s budget)"

@@ -124,6 +124,21 @@ options:
                              (default unix:/tmp/arbalest.sock)
   --shards <n>               serve: analysis worker threads (default 4)
   --queue-cap <n>            serve: per-shard queue bound (default 128)
+  --max-session-bytes <n>    serve: per-session memory budget, K/M/G suffix
+                             ok (default 0 = unlimited); over budget a
+                             session degrades, then fails typed
+  --max-inflight <n>         serve: per-session queued-event cap
+                             (default 0 = unlimited; beyond it: Busy)
+  --max-frame <n>            serve: frame-size ceiling, K/M/G suffix ok
+                             (default 32M)
+  --idle-timeout <secs>      serve: reap connections idle this long
+                             (default 120)
+  --request-deadline <secs>  serve: a started frame must complete within
+                             this (default 30)
+  --drain-deadline <secs>    serve: shutdown waits this long for in-flight
+                             connections (default 10)
+  --deadline <secs>          submit: total per-operation client deadline
+                             (default none)
   --chunk <n>                submit: events per frame (default 1024)
   -o <file>                  record: output trace file
   --tool <name>              arbalest|memcheck|archer|asan|msan (repeatable)
@@ -674,10 +689,27 @@ struct NetOptions {
     /// `stats` output: "text" (human summary) or "prom" (the server's full
     /// metrics registry in Prometheus text format).
     format: String,
+    /// serve: per-session byte budget (`0` = unlimited).
+    max_session_bytes: u64,
+    /// serve: per-session inflight-event cap (`0` = unlimited).
+    max_inflight: u64,
+    /// serve: per-instance frame-size ceiling.
+    max_frame: u32,
+    /// serve: idle-connection reap timeout.
+    idle_timeout: std::time::Duration,
+    /// serve: per-request (frame-completion) deadline.
+    request_deadline: std::time::Duration,
+    /// serve: shutdown drain deadline.
+    drain_deadline: std::time::Duration,
+    /// serve: worker-side chaos injection.
+    faults: FaultConfig,
+    /// submit: total client-side deadline per operation.
+    deadline: Option<std::time::Duration>,
 }
 
 impl Default for NetOptions {
     fn default() -> Self {
+        let defaults = ServerConfig::default();
         NetOptions {
             addr: "unix:/tmp/arbalest.sock".into(),
             shards: 4,
@@ -686,8 +718,33 @@ impl Default for NetOptions {
             out: None,
             quiet: false,
             format: "text".into(),
+            max_session_bytes: defaults.max_session_bytes,
+            max_inflight: defaults.max_inflight_events,
+            max_frame: defaults.max_frame,
+            idle_timeout: defaults.idle_timeout,
+            request_deadline: defaults.request_deadline,
+            drain_deadline: defaults.drain_deadline,
+            faults: FaultConfig::disabled(),
+            deadline: None,
         }
     }
+}
+
+/// Parse a byte count with an optional `K`/`M`/`G` suffix.
+fn parse_bytes(v: &str) -> Option<u64> {
+    let (num, mult) = match v.as_bytes().last()? {
+        b'K' | b'k' => (&v[..v.len() - 1], 1u64 << 10),
+        b'M' | b'm' => (&v[..v.len() - 1], 1 << 20),
+        b'G' | b'g' => (&v[..v.len() - 1], 1 << 30),
+        _ => (v, 1),
+    };
+    num.parse::<u64>().ok()?.checked_mul(mult)
+}
+
+/// Parse a duration given in (possibly fractional) seconds.
+fn parse_secs(v: &str) -> Option<std::time::Duration> {
+    let secs: f64 = v.parse().ok()?;
+    (secs >= 0.0).then(|| std::time::Duration::from_secs_f64(secs))
 }
 
 fn parse_net_options(args: &[String]) -> Result<NetOptions, String> {
@@ -719,6 +776,49 @@ fn parse_net_options(args: &[String]) -> Result<NetOptions, String> {
                     Some(f @ ("text" | "prom")) => f.to_string(),
                     other => return Err(format!("bad --format {other:?} (want text|prom)")),
                 };
+            }
+            "--max-session-bytes" => {
+                opts.max_session_bytes = it
+                    .next()
+                    .and_then(|s| parse_bytes(s))
+                    .ok_or("--max-session-bytes needs a byte count (K/M/G suffix ok)")?;
+            }
+            "--max-inflight" => {
+                opts.max_inflight =
+                    it.next().and_then(|s| s.parse().ok()).ok_or("--max-inflight needs a number")?;
+            }
+            "--max-frame" => {
+                let bytes = it
+                    .next()
+                    .and_then(|s| parse_bytes(s))
+                    .ok_or("--max-frame needs a byte count (K/M/G suffix ok)")?;
+                opts.max_frame = u32::try_from(bytes).map_err(|_| "--max-frame too large")?;
+            }
+            "--idle-timeout" => {
+                opts.idle_timeout = it
+                    .next()
+                    .and_then(|s| parse_secs(s))
+                    .ok_or("--idle-timeout needs seconds")?;
+            }
+            "--request-deadline" => {
+                opts.request_deadline = it
+                    .next()
+                    .and_then(|s| parse_secs(s))
+                    .ok_or("--request-deadline needs seconds")?;
+            }
+            "--drain-deadline" => {
+                opts.drain_deadline = it
+                    .next()
+                    .and_then(|s| parse_secs(s))
+                    .ok_or("--drain-deadline needs seconds")?;
+            }
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs seed=N,rate=P")?;
+                opts.faults = parse_faults(v)?;
+            }
+            "--deadline" => {
+                opts.deadline =
+                    Some(it.next().and_then(|s| parse_secs(s)).ok_or("--deadline needs seconds")?);
             }
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -754,6 +854,13 @@ fn cmd_serve(opts: &NetOptions) -> ExitCode {
     let cfg = ServerConfig {
         shards: opts.shards,
         queue_cap: opts.queue_cap,
+        max_session_bytes: opts.max_session_bytes,
+        max_inflight_events: opts.max_inflight,
+        max_frame: opts.max_frame,
+        idle_timeout: opts.idle_timeout,
+        request_deadline: opts.request_deadline,
+        drain_deadline: opts.drain_deadline,
+        faults: opts.faults,
         ..ServerConfig::default()
     };
     match Server::start(&addr, cfg) {
@@ -773,7 +880,11 @@ fn cmd_serve(opts: &NetOptions) -> ExitCode {
 
 fn connect(opts: &NetOptions) -> Result<Client, String> {
     let addr = ListenAddr::parse(&opts.addr);
-    Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+    let client = Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    Ok(match opts.deadline {
+        Some(d) => client.with_deadline(d),
+        None => client,
+    })
 }
 
 fn cmd_submit(target: &str, opts: &NetOptions) -> ExitCode {

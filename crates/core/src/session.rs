@@ -63,6 +63,20 @@ impl AnalysisSession {
         self.tool.side_table_bytes()
     }
 
+    /// Shed detector side-table memory (shadow pages, race-access history,
+    /// lookup cache), switching the session into May mode: VSM violations
+    /// are suppressed from here on because the evicted state can no longer
+    /// support a Must claim. Returns the approximate bytes freed. One-way.
+    pub fn evict_to_may(&self) -> u64 {
+        self.tool.evict_to_may()
+    }
+
+    /// Whether [`evict_to_may`](Self::evict_to_may) has run: the session
+    /// survives under its memory budget but its findings are incomplete.
+    pub fn degraded(&self) -> bool {
+        self.tool.degraded()
+    }
+
     /// Close the session, returning its findings and freeing all detector
     /// state.
     pub fn finish(self) -> Vec<Report> {

@@ -78,6 +78,18 @@ pub enum FaultSite {
     KernelLaunch,
     /// Completion signalling of a `nowait` task.
     NowaitComplete,
+    /// A wire frame is delivered only as a prefix before the connection
+    /// drops (network chaos; decided per frame write).
+    WirePartialFrame,
+    /// The connection drops cleanly between frames (network chaos).
+    WireDisconnect,
+    /// The peer stalls mid-frame for the returned delay (network chaos).
+    WireStall,
+    /// An analysis shard job panics mid-event (worker chaos).
+    ShardPanic,
+    /// Synthetic per-session memory pressure: the session's resource
+    /// budget is treated as exceeded for this decision.
+    BudgetPressure,
 }
 
 /// Outcome of one fault decision.
@@ -177,6 +189,19 @@ impl FaultPlan {
             FaultSite::NowaitComplete => {
                 FaultOutcome::Delay { micros: 20 + ((flavour >> 8) % 1500) }
             }
+            // Network chaos: each site has one fixed flavour so a soak
+            // exercising all sites stays easy to reason about per seed.
+            FaultSite::WirePartialFrame => {
+                FaultOutcome::Partial { frac256: (flavour >> 8) as u8 }
+            }
+            FaultSite::WireDisconnect => FaultOutcome::Permanent,
+            FaultSite::WireStall => {
+                // 1–50 ms: long enough to trip a tight request deadline,
+                // short enough for multi-thousand-connection soaks.
+                FaultOutcome::Delay { micros: 1_000 + ((flavour >> 8) % 49_000) }
+            }
+            FaultSite::ShardPanic => FaultOutcome::Permanent,
+            FaultSite::BudgetPressure => FaultOutcome::Transient,
         }
     }
 
@@ -246,6 +271,26 @@ mod tests {
         }
         let observed = faults as f64 / 10_000.0;
         assert!((0.20..=0.30).contains(&observed), "observed {observed}");
+    }
+
+    #[test]
+    fn wire_and_worker_sites_have_fixed_flavours() {
+        let plan = FaultPlan::new(FaultConfig::new(9, 1.0));
+        for _ in 0..500 {
+            match plan.decide(FaultSite::WireStall) {
+                FaultOutcome::Delay { micros } => {
+                    assert!((1_000..=50_000).contains(&micros), "stall {micros}us")
+                }
+                other => panic!("stall flavour {other:?}"),
+            }
+            assert!(matches!(
+                plan.decide(FaultSite::WirePartialFrame),
+                FaultOutcome::Partial { .. }
+            ));
+            assert_eq!(plan.decide(FaultSite::WireDisconnect), FaultOutcome::Permanent);
+            assert_eq!(plan.decide(FaultSite::ShardPanic), FaultOutcome::Permanent);
+            assert_eq!(plan.decide(FaultSite::BudgetPressure), FaultOutcome::Transient);
+        }
     }
 
     #[test]

@@ -176,8 +176,18 @@ struct RtMetrics {
     reg: arbalest_obs::Registry,
 }
 
-const FAULT_SITE_LABELS: [&str; 5] =
-    ["device_alloc", "transfer_to_device", "transfer_from_device", "kernel_launch", "nowait_complete"];
+const FAULT_SITE_LABELS: [&str; 10] = [
+    "device_alloc",
+    "transfer_to_device",
+    "transfer_from_device",
+    "kernel_launch",
+    "nowait_complete",
+    "wire_partial_frame",
+    "wire_disconnect",
+    "wire_stall",
+    "shard_panic",
+    "budget_pressure",
+];
 const FAULT_OUTCOME_LABELS: [&str; 5] = ["none", "transient", "permanent", "partial", "delay"];
 
 fn fault_site_index(site: FaultSite) -> usize {
@@ -187,6 +197,11 @@ fn fault_site_index(site: FaultSite) -> usize {
         FaultSite::TransferFromDevice => 2,
         FaultSite::KernelLaunch => 3,
         FaultSite::NowaitComplete => 4,
+        FaultSite::WirePartialFrame => 5,
+        FaultSite::WireDisconnect => 6,
+        FaultSite::WireStall => 7,
+        FaultSite::ShardPanic => 8,
+        FaultSite::BudgetPressure => 9,
     }
 }
 

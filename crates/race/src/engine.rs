@@ -334,6 +334,20 @@ impl RaceEngine {
         first
     }
 
+    /// Drop the recorded per-location access history — the bulk of the
+    /// engine's footprint — keeping task clocks and lock release clocks.
+    ///
+    /// Losing prior-access records can only *miss* races (a race needs a
+    /// recorded unordered prior access), never invent one, so eviction is
+    /// safe in the no-false-positive direction. Task and lock clocks are
+    /// small and retaining them keeps every happens-before edge intact
+    /// for accesses made after the eviction.
+    pub fn evict_history(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+    }
+
     /// Approximate bytes held by clocks and location states (Fig. 9).
     pub fn approx_bytes(&self) -> u64 {
         let tasks = self.tasks.lock();

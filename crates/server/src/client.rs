@@ -26,6 +26,7 @@ impl<T: Read + Write + Send> Transport for T {}
 pub struct Client {
     stream: Box<dyn Transport>,
     session: Option<u64>,
+    deadline: Option<Duration>,
 }
 
 impl Client {
@@ -36,21 +37,37 @@ impl Client {
     /// Connect over TCP or a Unix-domain socket, per the address kind.
     pub fn connect(addr: &ListenAddr) -> std::io::Result<Client> {
         let stream: Box<dyn Transport> = match addr {
-            ListenAddr::Tcp(a) => Box::new(TcpStream::connect(a)?),
+            ListenAddr::Tcp(a) => {
+                let s = TcpStream::connect(a)?;
+                // Request/reply framing: waiting out Nagle costs ~40 ms a
+                // round trip and buys nothing (frames are single writes).
+                s.set_nodelay(true)?;
+                Box::new(s)
+            }
             ListenAddr::Unix(path) => Box::new(UnixStream::connect(path)?),
         };
-        Ok(Client { stream, session: None })
+        Ok(Client { stream, session: None, deadline: None })
     }
 
     /// Wrap an already-connected byte stream (used by in-process tests).
     pub fn from_stream(stream: impl Read + Write + Send + 'static) -> Client {
-        Client { stream: Box::new(stream), session: None }
+        Client { stream: Box::new(stream), session: None, deadline: None }
+    }
+
+    /// Bound every subsequent operation (including its `Busy` retry loop)
+    /// to `deadline` total wall clock; past it the operation fails with
+    /// the typed [`ProtoError::DeadlineExceeded`] instead of retrying on.
+    /// Chaos soaks use this to cap worst-case client latency.
+    pub fn with_deadline(mut self, deadline: Duration) -> Client {
+        self.deadline = Some(deadline);
+        self
     }
 
     fn call(&mut self, frame: &Frame) -> Result<Frame, ProtoError> {
         frame.write_to(&mut self.stream)?;
         match Frame::read_from(&mut self.stream, &mut || true)? {
             Frame::Error { message } => Err(ProtoError::Remote(message)),
+            Frame::SessionFailed(failure) => Err(ProtoError::Failed(failure)),
             reply => Ok(reply),
         }
     }
@@ -71,13 +88,21 @@ impl Client {
         self.session
     }
 
-    /// Send one batch, retrying `Busy` refusals with backoff.
+    /// Send one batch, retrying `Busy` refusals with backoff. With a
+    /// [`Client::with_deadline`] set, the whole retry loop is additionally
+    /// bounded by total wall clock.
     pub fn send_events(&mut self, batch: &[TraceEvent]) -> Result<(), ProtoError> {
         if batch.is_empty() {
             return Ok(());
         }
+        let started = std::time::Instant::now();
         let mut backoff = Duration::from_millis(1);
         for _ in 0..Self::MAX_BUSY_RETRIES {
+            if let Some(limit) = self.deadline {
+                if started.elapsed() > limit {
+                    return Err(ProtoError::DeadlineExceeded { limit });
+                }
+            }
             match self.call(&Frame::Events(batch.to_vec()))? {
                 Frame::EventsAck { .. } => return Ok(()),
                 Frame::Busy { .. } => {

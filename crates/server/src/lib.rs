@@ -14,9 +14,13 @@
 //!
 //! * [`proto`] — framed wire protocol (length-prefixed, versioned,
 //!   std-only) shared by client and server.
-//! * [`shard`] — bounded worker queues owning per-session detector state.
+//! * [`shard`] — bounded worker queues owning per-session detector state,
+//!   run under watchdog supervision with per-session resource budgets.
+//! * [`supervise`] — typed session-failure reasons and the watchdog /
+//!   resource-governor metrics.
 //! * [`stats`] — global counters behind the `Stats` frame.
-//! * [`server`] — listeners, connection handling, graceful drain.
+//! * [`server`] — listeners, connection hardening (idle reaper, request
+//!   deadlines, frame/inflight limits), graceful drain.
 //! * [`client`] — the client library used by `arbalest submit` and tests.
 
 #![warn(missing_docs)]
@@ -26,7 +30,9 @@ pub mod proto;
 pub mod shard;
 pub mod stats;
 pub mod server;
+pub mod supervise;
 
 pub use client::Client;
 pub use proto::{Frame, ProtoError, StatsSnapshot, MAX_FRAME, WIRE_VERSION};
 pub use server::{ListenAddr, Server, ServerConfig};
+pub use supervise::{SessionFailure, SuperviseMetrics};

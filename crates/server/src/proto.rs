@@ -20,6 +20,7 @@
 //! `Reports`. `Stats`, `Metrics`, and `Shutdown` are admin frames any
 //! connection may send.
 
+use crate::supervise::SessionFailure;
 use arbalest_offload::report::Report;
 use arbalest_offload::trace::TraceEvent;
 use arbalest_offload::wire::{self, Cursor, WireError, REPORT_KIND_COUNT};
@@ -27,7 +28,10 @@ use std::io::{Read, Write};
 
 pub use arbalest_offload::wire::WIRE_VERSION;
 
-/// Hard ceiling on one frame's length field (type byte + payload).
+/// Hard ceiling on one frame's length field (type byte + payload). A
+/// server may enforce a *lower* per-instance limit via
+/// `ServerConfig::max_frame`; this constant bounds what the protocol
+/// itself will ever admit.
 pub const MAX_FRAME: u32 = 32 << 20;
 
 /// Everything that can go wrong speaking the protocol.
@@ -42,9 +46,18 @@ pub enum ProtoError {
     Unexpected(&'static str),
     /// The peer reported an error frame.
     Remote(String),
+    /// The server terminated the session for a typed reason (shard panic,
+    /// budget, idle reap, request deadline).
+    Failed(SessionFailure),
     /// The server refused an event batch repeatedly; its queue stayed
     /// full past the client's retry budget.
     Overloaded,
+    /// The client-side total deadline elapsed before the operation
+    /// completed (see `Client::with_deadline`).
+    DeadlineExceeded {
+        /// The configured total deadline that elapsed.
+        limit: std::time::Duration,
+    },
     /// The server is draining for shutdown.
     ShuttingDown,
 }
@@ -56,7 +69,11 @@ impl std::fmt::Display for ProtoError {
             ProtoError::Wire(e) => write!(f, "malformed frame: {e}"),
             ProtoError::Unexpected(what) => write!(f, "unexpected frame: {what}"),
             ProtoError::Remote(msg) => write!(f, "server error: {msg}"),
+            ProtoError::Failed(failure) => write!(f, "session failed: {failure}"),
             ProtoError::Overloaded => write!(f, "server stayed busy past the retry budget"),
+            ProtoError::DeadlineExceeded { limit } => {
+                write!(f, "client deadline of {limit:?} exceeded")
+            }
             ProtoError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
@@ -197,6 +214,12 @@ pub enum Frame {
     },
     /// Server → client: the metrics registry in Prometheus text format.
     MetricsReply(String),
+    /// Server → client: the session (or connection) was terminated by the
+    /// server for a *typed* reason — shard panic, budget exhaustion, idle
+    /// reap, or request deadline. Unlike [`Frame::Error`] this is
+    /// machine-readable, so clients and soak harnesses can assert the
+    /// exact failure class.
+    SessionFailed(SessionFailure),
 }
 
 impl Frame {
@@ -216,6 +239,7 @@ impl Frame {
             Frame::Ok => 0x86,
             Frame::Error { .. } => 0x87,
             Frame::MetricsReply(_) => 0x88,
+            Frame::SessionFailed(_) => 0x89,
         }
     }
 
@@ -237,6 +261,7 @@ impl Frame {
             Frame::Ok => "ok",
             Frame::Error { .. } => "error",
             Frame::MetricsReply(_) => "metrics_reply",
+            Frame::SessionFailed(_) => "session_failed",
         }
     }
 
@@ -268,6 +293,11 @@ impl Frame {
                 wire::put_str(&mut out, text);
                 out
             }
+            Frame::SessionFailed(failure) => {
+                let mut out = Vec::new();
+                failure.encode(&mut out);
+                out
+            }
         }
     }
 
@@ -288,6 +318,7 @@ impl Frame {
             0x86 => Frame::Ok,
             0x87 => Frame::Error { message: cur.string()? },
             0x88 => Frame::MetricsReply(cur.string()?),
+            0x89 => Frame::SessionFailed(SessionFailure::decode(&mut cur)?),
             tag => return Err(WireError::BadTag { what: "Frame", tag }.into()),
         };
         if !cur.is_empty() {
@@ -296,13 +327,18 @@ impl Frame {
         Ok(frame)
     }
 
-    /// Write this frame, length prefix first, and flush.
+    /// Write this frame, length prefix first, and flush. The whole frame
+    /// goes out as a *single* write: three small writes per frame
+    /// (prefix, type, payload) interact with Nagle's algorithm and
+    /// delayed ACKs to add ~40 ms of latency per request on TCP.
     pub fn write_to(&self, w: &mut impl Write) -> Result<(), ProtoError> {
         let payload = self.payload();
         let len = 1 + payload.len() as u32;
-        w.write_all(&len.to_le_bytes())?;
-        w.write_all(&[self.type_byte()])?;
-        w.write_all(&payload)?;
+        let mut out = Vec::with_capacity(5 + payload.len());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(self.type_byte());
+        out.extend_from_slice(&payload);
+        w.write_all(&out)?;
         w.flush()?;
         Ok(())
     }
@@ -315,20 +351,77 @@ impl Frame {
         r: &mut impl Read,
         keep_waiting: &mut dyn FnMut() -> bool,
     ) -> Result<Frame, ProtoError> {
+        Frame::read_from_limited(r, keep_waiting, MAX_FRAME)
+    }
+
+    /// [`read_from`](Frame::read_from) with a caller-chosen frame-size
+    /// ceiling (still capped at [`MAX_FRAME`]): servers enforce their
+    /// configured `max_frame` here, before any payload allocation.
+    ///
+    /// A peer that closes the connection *mid-frame* — after the length
+    /// prefix started arriving but before the body completed — yields a
+    /// typed [`WireError::Truncated`], distinguishable from the clean
+    /// between-frames close (plain [`ProtoError::Io`] with
+    /// `UnexpectedEof`). Either way nothing of the partial frame is ever
+    /// surfaced, so a dying connection cannot mutate session state.
+    pub fn read_from_limited(
+        r: &mut impl Read,
+        keep_waiting: &mut dyn FnMut() -> bool,
+        max_frame: u32,
+    ) -> Result<Frame, ProtoError> {
+        let max_frame = max_frame.min(MAX_FRAME);
         let mut len = [0u8; 4];
-        read_full(r, &mut len, keep_waiting)?;
+        match read_full(r, &mut len, keep_waiting) {
+            Ok(()) => {}
+            // EOF with part of the length prefix already read is a
+            // mid-frame death, not a clean close.
+            Err(ReadFullError::Eof { filled }) if filled > 0 => {
+                return Err(WireError::Truncated { needed: 4, have: filled }.into())
+            }
+            Err(e) => return Err(e.into()),
+        }
         let len = u32::from_le_bytes(len);
         if len == 0 {
             return Err(WireError::Truncated { needed: 1, have: 0 }.into());
         }
-        if len > MAX_FRAME {
+        if len > max_frame {
             return Err(
-                WireError::Oversize { what: "frame", len: len as u64, max: MAX_FRAME as u64 }.into()
+                WireError::Oversize { what: "frame", len: len as u64, max: max_frame as u64 }
+                    .into(),
             );
         }
         let mut body = vec![0u8; len as usize];
-        read_full(r, &mut body, keep_waiting)?;
+        match read_full(r, &mut body, keep_waiting) {
+            Ok(()) => {}
+            Err(ReadFullError::Eof { filled }) => {
+                return Err(WireError::Truncated { needed: len as usize, have: filled }.into())
+            }
+            Err(e) => return Err(e.into()),
+        }
         Frame::decode(body[0], &body[1..])
+    }
+}
+
+/// Why [`read_full`] stopped short of filling its buffer.
+enum ReadFullError {
+    /// The peer closed the stream with `filled` of the wanted bytes read.
+    Eof { filled: usize },
+    /// A hard transport error.
+    Io(std::io::Error),
+    /// `keep_waiting` asked to stop.
+    ShuttingDown,
+}
+
+impl From<ReadFullError> for ProtoError {
+    fn from(e: ReadFullError) -> ProtoError {
+        match e {
+            ReadFullError::Eof { .. } => ProtoError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "peer closed the connection",
+            )),
+            ReadFullError::Io(e) => ProtoError::Io(e),
+            ReadFullError::ShuttingDown => ProtoError::ShuttingDown,
+        }
     }
 }
 
@@ -337,16 +430,11 @@ fn read_full(
     r: &mut impl Read,
     buf: &mut [u8],
     keep_waiting: &mut dyn FnMut() -> bool,
-) -> Result<(), ProtoError> {
+) -> Result<(), ReadFullError> {
     let mut filled = 0;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return Err(ProtoError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "peer closed the connection",
-                )))
-            }
+            Ok(0) => return Err(ReadFullError::Eof { filled }),
             Ok(n) => filled += n,
             Err(e)
                 if matches!(
@@ -357,10 +445,10 @@ fn read_full(
                 ) =>
             {
                 if !keep_waiting() {
-                    return Err(ProtoError::ShuttingDown);
+                    return Err(ReadFullError::ShuttingDown);
                 }
             }
-            Err(e) => return Err(ProtoError::Io(e)),
+            Err(e) => return Err(ReadFullError::Io(e)),
         }
     }
     Ok(())
@@ -419,6 +507,58 @@ mod tests {
         let mut cursor = std::io::Cursor::new(bytes);
         let err = Frame::read_from(&mut cursor, &mut || true).unwrap_err();
         assert!(matches!(err, ProtoError::Wire(WireError::Oversize { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn session_failed_frames_round_trip() {
+        for failure in [
+            SessionFailure::ShardPanic { message: "boom".into() },
+            SessionFailure::BudgetExceeded { used_bytes: 2048, budget_bytes: 1024 },
+            SessionFailure::IdleTimeout { limit_ms: 5000 },
+            SessionFailure::DeadlineExceeded { limit_ms: 250 },
+        ] {
+            let f = Frame::SessionFailed(failure);
+            assert_eq!(round_trip(f.clone()), f);
+        }
+    }
+
+    #[test]
+    fn per_instance_frame_limit_is_enforced_below_the_protocol_cap() {
+        let mut bytes = Vec::new();
+        Frame::MetricsReply("x".repeat(4096)).write_to(&mut bytes).unwrap();
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let err = Frame::read_from_limited(&mut cursor, &mut || true, 1024).unwrap_err();
+        assert!(
+            matches!(err, ProtoError::Wire(WireError::Oversize { max: 1024, .. })),
+            "{err:?}"
+        );
+        // The same bytes pass under the default cap.
+        let mut cursor = std::io::Cursor::new(&bytes);
+        assert!(Frame::read_from(&mut cursor, &mut || true).is_ok());
+    }
+
+    #[test]
+    fn mid_frame_disconnect_is_a_typed_truncation() {
+        // Cut the stream at every byte offset inside a frame: each must
+        // yield Truncated, never a hang or a decoded frame.
+        let mut bytes = Vec::new();
+        Frame::HelloAck { version: 1, shards: 2, session: 3 }.write_to(&mut bytes).unwrap();
+        for cut in 1..bytes.len() {
+            let mut cursor = std::io::Cursor::new(&bytes[..cut]);
+            let err = Frame::read_from(&mut cursor, &mut || true).unwrap_err();
+            assert!(
+                matches!(err, ProtoError::Wire(WireError::Truncated { .. })),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        // A clean close *between* frames stays a plain EOF, so callers can
+        // tell orderly hangup from mid-frame death.
+        let mut cursor = std::io::Cursor::new(&[][..]);
+        let err = Frame::read_from(&mut cursor, &mut || true).unwrap_err();
+        assert!(
+            matches!(&err, ProtoError::Io(e) if e.kind() == std::io::ErrorKind::UnexpectedEof),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -69,6 +69,33 @@ pub struct ServerConfig {
     /// session detector. Enabled by default; substitute
     /// [`Registry::disabled`] to run without instrumentation.
     pub metrics: Registry,
+    /// How long shutdown waits for in-flight connections to finish before
+    /// abandoning them (the shard queues still drain afterwards). When the
+    /// deadline fires with handlers still active, the
+    /// `arbalest_server_forced_aborts_total` counter records it.
+    pub drain_deadline: Duration,
+    /// A connection that sends no frame for this long is reaped with a
+    /// typed `SessionFailed(IdleTimeout)`; its session is aborted.
+    pub idle_timeout: Duration,
+    /// Once the first byte of a frame has arrived, the rest must follow
+    /// within this deadline (stalled-sender defence); violators are reaped
+    /// with `SessionFailed(DeadlineExceeded)`.
+    pub request_deadline: Duration,
+    /// Per-instance frame-size ceiling (clamped to the protocol's
+    /// [`MAX_FRAME`](crate::proto::MAX_FRAME)); larger announcements are
+    /// refused before any allocation.
+    pub max_frame: u32,
+    /// Cap on a session's queued-but-unanalysed events; batches beyond it
+    /// answer `Busy`. `0` disables the cap.
+    pub max_inflight_events: u64,
+    /// Per-session byte budget (detector side tables + event backlog).
+    /// First breach degrades the session via evict-to-May; an incurable
+    /// breach terminates it with `SessionFailed(BudgetExceeded)`. `0`
+    /// disables the governor.
+    pub max_session_bytes: u64,
+    /// Worker-side fault injection (shard panics, synthetic budget
+    /// pressure) for chaos soaks. Disabled by default.
+    pub faults: arbalest_offload::fault::FaultConfig,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +105,13 @@ impl Default for ServerConfig {
             queue_cap: 128,
             detector: ArbalestConfig::default(),
             metrics: Registry::new(),
+            drain_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(120),
+            request_deadline: Duration::from_secs(30),
+            max_frame: crate::proto::MAX_FRAME,
+            max_inflight_events: 0,
+            max_session_bytes: 0,
+            faults: arbalest_offload::fault::FaultConfig::disabled(),
         }
     }
 }
@@ -133,6 +167,19 @@ struct Shared {
     stats: Arc<GlobalStats>,
     registry: Registry,
     wire_metrics: WireMetrics,
+    /// Connection-hardening knobs, copied out of the `ServerConfig`.
+    idle_timeout: Duration,
+    request_deadline: Duration,
+    max_frame: u32,
+    /// Accept-loop failures (`arbalest_server_accept_errors_total`).
+    accept_errors: Counter,
+    /// Shutdowns whose drain deadline fired with work still in flight
+    /// (`arbalest_server_forced_aborts_total`).
+    forced_aborts: Counter,
+    /// Connections reaped by the idle/deadline watchdog, by reason
+    /// (`arbalest_server_connections_reaped_total{reason}`).
+    reaped_idle: Counter,
+    reaped_deadline: Counter,
 }
 
 /// Wire-layer counters shared by every connection handler.
@@ -161,16 +208,20 @@ impl WireMetrics {
     }
 }
 
-/// [`Read`] adapter that feeds the received byte count into a counter.
+/// [`Read`] adapter that feeds the received byte count into the global
+/// counter and a per-read local cell (the watchdog uses the local count
+/// to tell "idle between frames" from "stalled mid-frame").
 struct CountingReader<'a, R> {
     inner: &'a mut R,
     rx_bytes: &'a Counter,
+    local: &'a std::sync::atomic::AtomicU64,
 }
 
 impl<R: Read> Read for CountingReader<'_, R> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         let n = self.inner.read(buf)?;
         self.rx_bytes.add(n as u64);
+        self.local.fetch_add(n as u64, SeqCst);
         Ok(n)
     }
 }
@@ -196,6 +247,7 @@ pub struct Server {
     accept_thread: Option<JoinHandle<()>>,
     local_addr: ListenAddr,
     unix_path: Option<PathBuf>,
+    drain_deadline: Duration,
 }
 
 impl Server {
@@ -226,6 +278,9 @@ impl Server {
 
         let registry = cfg.metrics.clone();
         let stats = Arc::new(GlobalStats::new(&registry));
+        let reaped = |reason| {
+            registry.counter("arbalest_server_connections_reaped_total", &[("reason", reason)])
+        };
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             stop_signal: (Mutex::new(false), Condvar::new()),
@@ -233,6 +288,13 @@ impl Server {
             stats: stats.clone(),
             wire_metrics: WireMetrics::new(&registry),
             registry: registry.clone(),
+            idle_timeout: cfg.idle_timeout,
+            request_deadline: cfg.request_deadline,
+            max_frame: cfg.max_frame,
+            accept_errors: registry.counter("arbalest_server_accept_errors_total", &[]),
+            forced_aborts: registry.counter("arbalest_server_forced_aborts_total", &[]),
+            reaped_idle: reaped("idle"),
+            reaped_deadline: reaped("deadline"),
         });
         let pool = Arc::new(ShardPool::new(
             cfg.shards,
@@ -240,6 +302,11 @@ impl Server {
             cfg.detector.clone(),
             stats,
             &registry,
+            crate::shard::ShardLimits {
+                max_session_bytes: cfg.max_session_bytes,
+                max_inflight_events: cfg.max_inflight_events,
+                faults: cfg.faults,
+            },
         ));
 
         let accept_shared = shared.clone();
@@ -254,6 +321,7 @@ impl Server {
             accept_thread: Some(accept_thread),
             local_addr,
             unix_path,
+            drain_deadline: cfg.drain_deadline,
         })
     }
 
@@ -284,11 +352,17 @@ impl Server {
         }
         // Handlers notice the stop flag at their next read timeout
         // (≤100 ms); wait for them so no one touches the pool afterwards.
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let deadline = std::time::Instant::now() + self.drain_deadline;
         while self.shared.active_connections.load(SeqCst) > 0
             && std::time::Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(10));
+        }
+        if self.shared.active_connections.load(SeqCst) > 0 {
+            // The drain deadline fired with handlers (and possibly their
+            // queued jobs) still in flight: record the forced abort so
+            // operators can tell "clean drain" from "gave up waiting".
+            self.shared.forced_aborts.inc();
         }
         self.pool.shutdown();
         if let Some(path) = self.unix_path.take() {
@@ -304,16 +378,26 @@ impl Drop for Server {
 }
 
 fn accept_loop(listener: Listener, shared: &Arc<Shared>, pool: &Arc<ShardPool>) {
+    const POLL: Duration = Duration::from_millis(20);
+    const MAX_BACKOFF: Duration = Duration::from_secs(1);
+    // Real accept errors (fd exhaustion, aborted handshakes in a storm)
+    // back off exponentially instead of hot-looping at the poll interval;
+    // any successful accept resets the backoff.
+    let mut backoff = POLL;
     loop {
         if shared.stopping() {
             break;
         }
         let accepted = match &listener {
-            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true); // replies are single writes
+                Stream::Tcp(s)
+            }),
             Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
         };
         match accepted {
             Ok(stream) => {
+                backoff = POLL;
                 let conn_shared = shared.clone();
                 let conn_pool = pool.clone();
                 shared.active_connections.fetch_add(1, SeqCst);
@@ -328,11 +412,21 @@ fn accept_loop(listener: Listener, shared: &Arc<Shared>, pool: &Arc<ShardPool>) 
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
+                std::thread::sleep(POLL);
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            Err(_) => {
+                shared.accept_errors.inc();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+            }
         }
     }
+}
+
+/// Why the connection watchdog gave up on a read.
+enum ReapReason {
+    Idle,
+    Deadline,
 }
 
 fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardPool>) {
@@ -341,20 +435,75 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
     let mut session_events: u64 = 0;
 
     loop {
+        // The watchdog rides the 100 ms read-timeout polls: while no byte
+        // of the next frame has arrived the idle clock runs; from the
+        // first byte on, the request deadline runs (a sender stalling
+        // mid-frame cannot pin the handler forever).
+        let reaped = std::cell::Cell::new(None::<ReapReason>);
         let frame = {
             let stop_shared = shared.clone();
-            let mut counted =
-                CountingReader { inner: &mut stream, rx_bytes: &shared.wire_metrics.rx_bytes };
-            Frame::read_from(&mut counted, &mut move || !stop_shared.stopping())
+            let local = std::sync::atomic::AtomicU64::new(0);
+            let started = std::time::Instant::now();
+            let mut first_byte_at: Option<std::time::Instant> = None;
+            let mut counted = CountingReader {
+                inner: &mut stream,
+                rx_bytes: &shared.wire_metrics.rx_bytes,
+                local: &local,
+            };
+            let reaped = &reaped;
+            let local = &local;
+            let mut keep_waiting = move || {
+                if stop_shared.stopping() {
+                    return false;
+                }
+                let now = std::time::Instant::now();
+                if local.load(SeqCst) == 0 {
+                    if now.duration_since(started) > stop_shared.idle_timeout {
+                        reaped.set(Some(ReapReason::Idle));
+                        return false;
+                    }
+                } else {
+                    let first = *first_byte_at.get_or_insert(now);
+                    if now.duration_since(first) > stop_shared.request_deadline {
+                        reaped.set(Some(ReapReason::Deadline));
+                        return false;
+                    }
+                }
+                true
+            };
+            Frame::read_from_limited(&mut counted, &mut keep_waiting, shared.max_frame)
         };
         let frame = match frame {
             Ok(f) => f,
-            Err(ProtoError::ShuttingDown) => break,
+            Err(ProtoError::ShuttingDown) => match reaped.take() {
+                // A reaped connection gets the typed reason (best effort —
+                // it may be gone) before the close; its session is aborted
+                // below like any disconnect.
+                Some(ReapReason::Idle) => {
+                    shared.reaped_idle.inc();
+                    let failure = crate::supervise::SessionFailure::IdleTimeout {
+                        limit_ms: shared.idle_timeout.as_millis() as u64,
+                    };
+                    let _ = Frame::SessionFailed(failure).write_to(&mut stream);
+                    break;
+                }
+                Some(ReapReason::Deadline) => {
+                    shared.reaped_deadline.inc();
+                    let failure = crate::supervise::SessionFailure::DeadlineExceeded {
+                        limit_ms: shared.request_deadline.as_millis() as u64,
+                    };
+                    let _ = Frame::SessionFailed(failure).write_to(&mut stream);
+                    break;
+                }
+                None => break, // server shutdown
+            },
             Err(ProtoError::Io(_)) => break, // peer went away
             Err(e) => {
                 // Malformed input: count it (decode errors are rare, so
                 // the lazy registry lookup is fine), answer with a typed
-                // error, then close.
+                // error, then close. Mid-frame truncation lands here too
+                // (WireError::Truncated); the reply write fails silently
+                // because the peer is already gone.
                 if let ProtoError::Wire(we) = &e {
                     shared
                         .registry
@@ -388,19 +537,36 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
             }
             Frame::Events(events) => match session {
                 None => Err("Events before Hello".into()),
-                Some(id) => match pool.submit_events(id, events) {
-                    Ok(accepted) => {
-                        session_events += accepted as u64;
-                        Ok(Frame::EventsAck { accepted: accepted as u32 })
+                Some(id) => {
+                    // A quarantined session (shard panic, budget) answers
+                    // the typed failure instead of silently eating events.
+                    if let Some(failure) = pool.session_failure(id) {
+                        Ok(Frame::SessionFailed(failure))
+                    } else {
+                        match pool.submit_events(id, events) {
+                            Ok(accepted) => {
+                                session_events += accepted as u64;
+                                Ok(Frame::EventsAck { accepted: accepted as u32 })
+                            }
+                            Err(full) => Ok(Frame::Busy { queue_depth: full.depth }),
+                        }
                     }
-                    Err(full) => Ok(Frame::Busy { queue_depth: full.depth }),
-                },
+                }
             },
             Frame::Finish => match session.take() {
                 None => Err("Finish before Hello".into()),
                 Some(id) => match pool.submit_finish(id).recv() {
-                    Ok(reports) => Ok(Frame::Reports(reports)),
-                    Err(_) => Err("analysis shard terminated".into()),
+                    Ok(Ok(reports)) => Ok(Frame::Reports(reports)),
+                    Ok(Err(failure)) => Ok(Frame::SessionFailed(failure)),
+                    // The worker died mid-Finish (reply sender dropped by
+                    // the unwind). The supervisor has already quarantined
+                    // the session and restarted the worker — ask again for
+                    // the typed reason.
+                    Err(_) => match pool.submit_finish(id).recv() {
+                        Ok(Ok(reports)) => Ok(Frame::Reports(reports)),
+                        Ok(Err(failure)) => Ok(Frame::SessionFailed(failure)),
+                        Err(_) => Err("analysis shard terminated".into()),
+                    },
                 },
             },
             Frame::Stats => Ok(Frame::StatsReply(
@@ -425,7 +591,8 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
             | Frame::StatsReply(_)
             | Frame::Ok
             | Frame::Error { .. }
-            | Frame::MetricsReply(_) => Err("client sent a server-role frame".into()),
+            | Frame::MetricsReply(_)
+            | Frame::SessionFailed(_) => Err("client sent a server-role frame".into()),
         };
 
         let reply = match outcome {

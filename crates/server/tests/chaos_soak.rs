@@ -1,0 +1,298 @@
+//! Network-chaos soak: DRACC traces submitted through a connection that
+//! randomly truncates frames, disconnects, and stalls — against a server
+//! that is itself injecting shard panics and budget pressure.
+//!
+//! The invariants under chaos, per session:
+//!
+//! * a session that completes (`Ok`) yields reports **byte-identical** to
+//!   the in-process analysis of the same trace — chaos may kill a
+//!   session, it may never corrupt one;
+//! * a session that does not complete fails with a *typed* error
+//!   ([`ProtoError`]) — never a hang, never a panic;
+//! * afterwards the server is still healthy: no leaked sessions, and it
+//!   still answers.
+//!
+//! All fault decisions are seeded ([`FaultPlan`] hashes seed × counter ×
+//! site), so a failing run reproduces from its printed seed.
+
+use arbalest_core::{AnalysisSession, ArbalestConfig};
+use arbalest_offload::fault::{FaultConfig, FaultOutcome, FaultPlan, FaultSite};
+use arbalest_offload::prelude::*;
+use arbalest_offload::trace::{TraceEvent, TraceRecorder};
+use arbalest_server::{Client, ListenAddr, ProtoError, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn record(bench: &arbalest_dracc::Benchmark) -> Vec<TraceEvent> {
+    let recorder = Arc::new(TraceRecorder::new());
+    let rt = Runtime::with_tool(Config::default(), recorder.clone());
+    bench.run(&rt);
+    recorder.take()
+}
+
+fn in_process(events: &[TraceEvent]) -> Vec<Report> {
+    let session = AnalysisSession::new(ArbalestConfig::default());
+    session.feed_batch(events);
+    session.finish()
+}
+
+fn render_all(reports: &[Report]) -> String {
+    reports.iter().map(|r| r.render()).collect()
+}
+
+/// Suppress the default panic hook's backtrace spam for the server's own
+/// injected shard panics; real panics still print.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected shard panic"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn chaos_err(what: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::BrokenPipe, format!("chaos: {what}"))
+}
+
+/// A client transport that injects seeded network faults: frames cut
+/// short mid-write, clean disconnects, and stalls before reads. Read
+/// timeouts become hard errors, so no code path above can spin forever
+/// waiting on a connection chaos has already killed.
+struct ChaosStream {
+    inner: TcpStream,
+    plan: FaultPlan,
+    dead: bool,
+}
+
+impl Read for ChaosStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.dead {
+            return Err(chaos_err("reading a killed connection"));
+        }
+        if let FaultOutcome::Delay { micros } = self.plan.decide(FaultSite::WireStall) {
+            std::thread::sleep(Duration::from_micros(micros));
+        }
+        match self.inner.read(buf) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                self.dead = true;
+                Err(chaos_err("read window exceeded"))
+            }
+            other => other,
+        }
+    }
+}
+
+impl Write for ChaosStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.dead {
+            return Err(chaos_err("writing a killed connection"));
+        }
+        if self.plan.decide(FaultSite::WireDisconnect) == FaultOutcome::Permanent {
+            self.dead = true;
+            let _ = self.inner.shutdown(Shutdown::Both);
+            return Err(chaos_err("injected disconnect"));
+        }
+        if let FaultOutcome::Partial { frac256 } = self.plan.decide(FaultSite::WirePartialFrame) {
+            // Deliver a prefix of the bytes, then die: the server sees a
+            // frame truncated mid-body.
+            let keep = buf.len() * frac256 as usize / 256;
+            if keep > 0 {
+                let _ = self.inner.write_all(&buf[..keep]);
+                let _ = self.inner.flush();
+            }
+            self.dead = true;
+            let _ = self.inner.shutdown(Shutdown::Both);
+            return Err(chaos_err("injected mid-frame disconnect"));
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.dead {
+            return Err(chaos_err("flushing a killed connection"));
+        }
+        self.inner.flush()
+    }
+}
+
+/// One chaotic session: submit `events`, assert the chaos invariants.
+/// Returns whether the session completed cleanly.
+fn chaos_session(
+    addr: &str,
+    seed: u64,
+    case_no: usize,
+    wire_rate: f64,
+    bench: &arbalest_dracc::Benchmark,
+    events: &[TraceEvent],
+    expected: &str,
+) -> bool {
+    let raw = TcpStream::connect(addr).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    raw.set_nodelay(true).expect("nodelay");
+    let chaos = ChaosStream {
+        inner: raw,
+        // Every (seed, case) pair gets its own decision stream so adding
+        // a case never reshuffles the others' faults.
+        plan: FaultPlan::new(FaultConfig::new(seed ^ ((case_no as u64 + 1) << 32), wire_rate)),
+        dead: false,
+    };
+    let mut client = Client::from_stream(chaos).with_deadline(Duration::from_secs(30));
+    match client.submit_chunked(events, 128) {
+        Ok(reports) => {
+            // The one invariant chaos must never bend: a completed
+            // session is indistinguishable from a fault-free one — even
+            // while other sessions on the same shards are being panicked
+            // and quarantined.
+            assert_eq!(
+                render_all(&reports),
+                *expected,
+                "{} (seed {seed}): completed session diverged under chaos",
+                bench.dracc_id()
+            );
+            true
+        }
+        Err(
+            ProtoError::Io(_)
+            | ProtoError::Wire(_)
+            | ProtoError::Remote(_)
+            | ProtoError::Failed(_)
+            | ProtoError::Overloaded
+            | ProtoError::DeadlineExceeded { .. },
+        ) => false,
+        Err(other) => {
+            panic!("{} (seed {seed}): untyped failure {other:?}", bench.dracc_id())
+        }
+    }
+}
+
+/// Drive `stride`-th DRACC cases through a chaotic server — `threads`
+/// sessions at a time — once per seed. `wire_rate` governs client-side
+/// network chaos, `server_rate` the server's own shard-panic /
+/// budget-pressure injection.
+fn soak(stride: usize, seeds: &[u64], wire_rate: f64, server_rate: f64, threads: usize) {
+    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+
+    quiet_injected_panics();
+    // Record each case once; traces and expected reports are reused
+    // across seeds (recording is deterministic).
+    let cases: Vec<_> = arbalest_dracc::all()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0)
+        .map(|(_, b)| b)
+        .collect();
+    let data: Arc<Vec<(arbalest_dracc::Benchmark, Vec<TraceEvent>, String)>> = Arc::new(
+        cases
+            .into_iter()
+            .map(|bench| {
+                let events = record(&bench);
+                let expected = render_all(&in_process(&events));
+                (bench, events, expected)
+            })
+            .collect(),
+    );
+
+    let mut total_clean = 0usize;
+    let mut total_failed = 0usize;
+    for &seed in seeds {
+        let server = Server::start(
+            &ListenAddr::Tcp("127.0.0.1:0".into()),
+            ServerConfig {
+                shards: 4,
+                queue_cap: 64,
+                idle_timeout: Duration::from_secs(30),
+                request_deadline: Duration::from_secs(10),
+                faults: FaultConfig::new(seed, server_rate),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = match server.local_addr() {
+            ListenAddr::Tcp(a) => a.clone(),
+            other => panic!("wanted tcp, got {other}"),
+        };
+
+        // Sessions run concurrently: faults hitting one session (a shard
+        // panic, a killed connection) must not perturb its neighbours.
+        let clean = Arc::new(AtomicUsize::new(0));
+        let next = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..threads.clamp(1, data.len()))
+            .map(|_| {
+                let data = data.clone();
+                let addr = addr.clone();
+                let clean = clean.clone();
+                let next = next.clone();
+                std::thread::spawn(move || loop {
+                    let case_no = next.fetch_add(1, SeqCst);
+                    let Some((bench, events, expected)) = data.get(case_no) else { break };
+                    if chaos_session(&addr, seed, case_no, wire_rate, bench, events, expected) {
+                        clean.fetch_add(1, SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("soak session thread");
+        }
+        let clean = clean.load(SeqCst);
+        total_clean += clean;
+        total_failed += data.len() - clean;
+
+        // Chaos killed connections, panicked workers, and degraded
+        // sessions — none of that may leak session state or wedge the
+        // server. Every abort is a queued job, so poll briefly.
+        let mut admin = Client::connect(server.local_addr()).expect("connect after soak");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = admin.stats().expect("stats after soak");
+            if stats.sessions_active() == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "seed {seed}: sessions leaked: {stats:?}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Graceful drain must still complete (a hang here fails the test
+        // binary's own timeout).
+        server.stop();
+    }
+
+    eprintln!(
+        "chaos soak: {total_clean} clean / {total_failed} failed across {} seeds × {} cases",
+        seeds.len(),
+        data.len()
+    );
+    assert!(total_clean > 0, "no session ever survived — chaos rates are miscalibrated");
+    assert!(total_failed > 0, "no fault ever landed — chaos rates are miscalibrated");
+}
+
+/// Quick soak: a spread of cases, two seeds, modest fault rates. Runs in
+/// the default test pass.
+#[test]
+fn chaos_soak_quick() {
+    soak(4, &[11, 29], 0.005, 0.01, 4);
+}
+
+/// The full soak: every DRACC case × 64 seeds, sessions running eight at
+/// a time. Ignored by default; `ci.sh` runs it in release within a
+/// bounded budget.
+#[test]
+#[ignore = "full chaos soak; run by ci.sh in release"]
+fn chaos_soak_full() {
+    let seeds: Vec<u64> = (0..64).collect();
+    soak(1, &seeds, 0.01, 0.02, 8);
+}

@@ -59,6 +59,20 @@ impl ShadowMemory {
         (self.page_count.load(Ordering::Relaxed) * GRANULES_PER_PAGE * self.slots * 8) as u64
     }
 
+    /// Drop every resident shadow page, returning the bytes freed.
+    ///
+    /// Evicted granules read back as the all-zero word, so callers that
+    /// interpret shadow state must switch to a conservative ("May") mode
+    /// after eviction rather than trusting the reset state. This is the
+    /// memory-pressure escape hatch for long-lived analysis sessions.
+    pub fn evict_all(&self) -> u64 {
+        let mut pages = self.pages.write();
+        let freed = (pages.len() * GRANULES_PER_PAGE * self.slots * 8) as u64;
+        pages.clear();
+        self.page_count.store(0, Ordering::Relaxed);
+        freed
+    }
+
     #[inline]
     fn page(&self, addr: u64) -> Arc<ShadowPage> {
         let idx = addr >> APP_PAGE_SHIFT;
