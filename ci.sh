@@ -61,6 +61,50 @@ trap - EXIT
 rm -f "$SOCK" "$TRACE"
 echo "    server smoke OK"
 
+echo "==> crash-recovery smoke (kill -9 mid-session, 60s budget)"
+DATA="$(mktemp -d /tmp/arbalest-ci-XXXXXX.data)"
+DSOCK="$(mktemp -u /tmp/arbalest-ci-XXXXXX.sock)"
+DTRACE="$(mktemp /tmp/arbalest-ci-XXXXXX.trace)"
+# No `timeout` wrapper here: $! must be the server itself (killing a
+# wrapper would orphan it), and this instance is SIGKILLed just below —
+# the EXIT trap bounds the failure paths.
+"$ARB" serve --listen "unix:$DSOCK" --shards 2 \
+    --data-dir "$DATA" --snapshot-every-events 512 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -rf "$DSOCK" "$DTRACE" "$DATA"' EXIT
+for _ in $(seq 1 50); do [[ -S "$DSOCK" ]] && break; sleep 0.1; done
+[[ -S "$DSOCK" ]] || { echo "durable server never bound $DSOCK"; exit 1; }
+"$ARB" record 22 -o "$DTRACE"
+# Stream half the trace, leave the session open, then SIGKILL: the only
+# surviving copy of the session is its write-ahead log.
+OPEN_OUT="$("$ARB" submit "$DTRACE" --connect "unix:$DSOCK" --take 1800 --no-finish --deadline 30)"
+SESSION="$(echo "$OPEN_OUT" | sed -n 's/.*session \([0-9]*\) left open.*/\1/p')"
+[[ -n "$SESSION" ]] || { echo "no open session id in: $OPEN_OUT"; exit 1; }
+kill -9 "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
+# Capture before grepping (as above: `grep -q` would EPIPE the binary).
+INSPECT_OUT="$("$ARB" store inspect "$DATA")"
+echo "$INSPECT_OUT" | grep -q "session $SESSION" \
+    || { echo "WAL lost session $SESSION after kill -9:"; echo "$INSPECT_OUT"; exit 1; }
+# Restart over the same data directory: recovery must rebuild the
+# session, and resuming + finishing it must match an uninterrupted run.
+timeout 60 "$ARB" serve --listen "unix:$DSOCK" --shards 2 --data-dir "$DATA" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do [[ -S "$DSOCK" ]] && break; sleep 0.1; done
+[[ -S "$DSOCK" ]] || { echo "durable server never rebound $DSOCK"; exit 1; }
+RESUMED_OUT="$("$ARB" submit "$DTRACE" --connect "unix:$DSOCK" --resume "$SESSION" --deadline 30)"
+FRESH_OUT="$("$ARB" submit "$DTRACE" --connect "unix:$DSOCK" --deadline 30)"
+[[ "$RESUMED_OUT" == "$FRESH_OUT" ]] \
+    || { echo "recovered session diverged from uninterrupted run"; \
+         diff <(echo "$RESUMED_OUT") <(echo "$FRESH_OUT") || true; exit 1; }
+# Both sessions finished cleanly, so their durable state must be gone.
+LEFT="$(ls "$DATA/sessions" 2>/dev/null | wc -l)"
+[[ "$LEFT" == "0" ]] || { echo "finished sessions left durable state"; exit 1; }
+"$ARB" stop --connect "unix:$DSOCK"
+wait "$SERVE_PID" || { echo "durable server exited non-zero"; exit 1; }
+trap - EXIT
+rm -rf "$DSOCK" "$DTRACE" "$DATA"
+echo "    crash-recovery smoke OK"
+
 echo "==> observability smoke (metrics + trace dumps parse)"
 METRICS="$(mktemp /tmp/arbalest-ci-XXXXXX.metrics.json)"
 SPANS="$(mktemp /tmp/arbalest-ci-XXXXXX.trace.jsonl)"

@@ -12,6 +12,8 @@
 //! arbalest record <id> -o <file>         capture a DRACC trace to a file
 //! arbalest stats [options]               query server counters
 //! arbalest stop [options]                drain and stop a server
+//! arbalest store inspect <data-dir>      describe a durable data directory
+//! arbalest store compact <data-dir>      prune covered WAL segments
 //!
 //! options:
 //!   --tool arbalest|memcheck|archer|asan|msan   (repeatable; default arbalest)
@@ -117,6 +119,10 @@ usage: arbalest <command> [options]
   stats                      print a server's counters
                              (--format prom for Prometheus text)
   stop                       drain and stop a server
+  store inspect <data-dir>   describe a durable data directory: sessions,
+                             WAL segments, snapshots, torn/corrupt tails
+  store compact <data-dir>   prune WAL segments covered by each session's
+                             newest snapshot
 options:
   --listen <addr>            serve: bind address (host:port or unix:<path>;
                              default unix:/tmp/arbalest.sock)
@@ -137,9 +143,24 @@ options:
                              this (default 30)
   --drain-deadline <secs>    serve: shutdown waits this long for in-flight
                              connections (default 10)
+  --data-dir <dir>           serve: write-ahead log every accepted batch
+                             under <dir>, recover unfinished sessions at
+                             startup (default: no durability)
+  --snapshot-every-bytes <n> serve: snapshot+compact a session after this
+                             many WAL bytes, K/M/G ok (default 0 = off)
+  --snapshot-every-events <n> serve: snapshot+compact after this many
+                             events (default 0 = off)
+  --fsync-policy <p>         serve: always | group[=bytes] | never
+                             (default group=262144)
   --deadline <secs>          submit: total per-operation client deadline
                              (default none)
   --chunk <n>                submit: events per frame (default 1024)
+  --resume <id>              submit: reattach to a durable session and
+                             stream only the events past its recovered
+                             count
+  --take <n>                 submit: stream only the first n events
+  --no-finish                submit: leave the session open (crash drills
+                             resume it with --resume)
   -o <file>                  record: output trace file
   --tool <name>              arbalest|memcheck|archer|asan|msan (repeatable)
   --preset <p>               test|small|medium (spec only)
@@ -705,6 +726,21 @@ struct NetOptions {
     faults: FaultConfig,
     /// submit: total client-side deadline per operation.
     deadline: Option<std::time::Duration>,
+    /// serve: durable-session data directory (`None` = no durability).
+    data_dir: Option<String>,
+    /// serve: snapshot a session after this many WAL bytes (0 = off).
+    snapshot_every_bytes: u64,
+    /// serve: snapshot a session after this many events (0 = off).
+    snapshot_every_events: u64,
+    /// serve: WAL fsync policy.
+    fsync: arbalest_store::FsyncPolicy,
+    /// submit: durable session id to resume instead of opening fresh.
+    resume: Option<u64>,
+    /// submit: stream only the first N events of the trace.
+    take: Option<usize>,
+    /// submit: leave the session open (no `Finish`) — crash-recovery
+    /// drills resume it later.
+    no_finish: bool,
 }
 
 impl Default for NetOptions {
@@ -726,6 +762,13 @@ impl Default for NetOptions {
             drain_deadline: defaults.drain_deadline,
             faults: FaultConfig::disabled(),
             deadline: None,
+            data_dir: None,
+            snapshot_every_bytes: 0,
+            snapshot_every_events: 0,
+            fsync: arbalest_store::FsyncPolicy::default(),
+            resume: None,
+            take: None,
+            no_finish: false,
         }
     }
 }
@@ -820,19 +863,89 @@ fn parse_net_options(args: &[String]) -> Result<NetOptions, String> {
                 opts.deadline =
                     Some(it.next().and_then(|s| parse_secs(s)).ok_or("--deadline needs seconds")?);
             }
+            "--data-dir" => {
+                opts.data_dir = Some(it.next().ok_or("--data-dir needs a directory")?.clone());
+            }
+            "--snapshot-every-bytes" => {
+                opts.snapshot_every_bytes = it
+                    .next()
+                    .and_then(|s| parse_bytes(s))
+                    .ok_or("--snapshot-every-bytes needs a byte count (K/M/G suffix ok)")?;
+            }
+            "--snapshot-every-events" => {
+                opts.snapshot_every_events = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--snapshot-every-events needs a number")?;
+            }
+            "--fsync-policy" => {
+                let v = it.next().ok_or("--fsync-policy needs always|group[=bytes]|never")?;
+                opts.fsync = v.parse()?;
+            }
+            "--resume" => {
+                opts.resume = Some(
+                    it.next().and_then(|s| s.parse().ok()).ok_or("--resume needs a session id")?,
+                );
+            }
+            "--take" => {
+                opts.take = Some(
+                    it.next().and_then(|s| s.parse().ok()).ok_or("--take needs an event count")?,
+                );
+            }
+            "--no-finish" => opts.no_finish = true,
             other => return Err(format!("unknown option '{other}'")),
         }
     }
     Ok(opts)
 }
 
+/// Why `record`/`submit` could not obtain a benchmark trace. Typed so the
+/// caller can name the offending id in its message and pick the
+/// usage-error exit code (2) over the runtime-failure one.
+#[derive(Debug, PartialEq, Eq)]
+enum RecordError {
+    /// The argument parsed as a number but names no benchmark in the
+    /// DRACC table.
+    UnknownBenchmark {
+        /// The id that matched nothing.
+        id: u32,
+    },
+    /// The argument is not a numeric benchmark id at all.
+    NotABenchmarkId {
+        /// The argument as given.
+        arg: String,
+    },
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::UnknownBenchmark { id } => {
+                write!(f, "no DRACC benchmark with id {id} (see `arbalest list`)")
+            }
+            RecordError::NotABenchmarkId { arg } => {
+                write!(f, "'{arg}' is not a DRACC benchmark id")
+            }
+        }
+    }
+}
+
 /// Run a DRACC benchmark under the trace recorder and return its events.
-fn record_dracc(id: u32) -> Option<Vec<TraceEvent>> {
-    let bench = arbalest_dracc::by_id(id)?;
+fn record_dracc(id: u32) -> Result<Vec<TraceEvent>, RecordError> {
+    let bench = arbalest_dracc::by_id(id).ok_or(RecordError::UnknownBenchmark { id })?;
     let recorder = Arc::new(TraceRecorder::new());
     let rt = Runtime::with_tool(Config::default(), recorder.clone());
     bench.run(&rt);
-    Some(recorder.take())
+    Ok(recorder.take())
+}
+
+/// Parse-then-record: the full typed path from a command-line argument to
+/// a trace.
+fn record_dracc_arg(target: &str) -> Result<Vec<TraceEvent>, RecordError> {
+    let id = target
+        .parse::<u32>()
+        .map_err(|_| RecordError::NotABenchmarkId { arg: target.to_string() })?;
+    record_dracc(id)
 }
 
 /// Resolve `submit`'s positional argument: an existing trace file, or a
@@ -842,11 +955,12 @@ fn load_events(target: &str) -> Result<Vec<TraceEvent>, String> {
         let bytes = std::fs::read(target).map_err(|e| format!("read {target}: {e}"))?;
         return wire::decode_trace(&bytes).map_err(|e| format!("decode {target}: {e}"));
     }
-    target
-        .parse::<u32>()
-        .ok()
-        .and_then(record_dracc)
-        .ok_or_else(|| format!("'{target}' is neither a trace file nor a DRACC benchmark id"))
+    record_dracc_arg(target).map_err(|e| match e {
+        RecordError::NotABenchmarkId { arg } => {
+            format!("'{arg}' is neither a trace file nor a DRACC benchmark id")
+        }
+        unknown => unknown.to_string(),
+    })
 }
 
 fn cmd_serve(opts: &NetOptions) -> ExitCode {
@@ -861,11 +975,30 @@ fn cmd_serve(opts: &NetOptions) -> ExitCode {
         request_deadline: opts.request_deadline,
         drain_deadline: opts.drain_deadline,
         faults: opts.faults,
+        data_dir: opts.data_dir.clone().map(std::path::PathBuf::from),
+        store: arbalest_store::StoreConfig {
+            fsync: opts.fsync,
+            snapshot_every_bytes: opts.snapshot_every_bytes,
+            snapshot_every_events: opts.snapshot_every_events,
+            ..arbalest_store::StoreConfig::default()
+        },
         ..ServerConfig::default()
     };
     match Server::start(&addr, cfg) {
         Ok(server) => {
-            println!("arbalest-serve listening on {} ({} shards)", server.local_addr(), opts.shards);
+            match &opts.data_dir {
+                Some(dir) => println!(
+                    "arbalest-serve listening on {} ({} shards, durable in {dir}, fsync {})",
+                    server.local_addr(),
+                    opts.shards,
+                    opts.fsync
+                ),
+                None => println!(
+                    "arbalest-serve listening on {} ({} shards)",
+                    server.local_addr(),
+                    opts.shards
+                ),
+            }
             server.wait_for_shutdown();
             server.stop();
             println!("arbalest-serve drained and stopped");
@@ -896,10 +1029,53 @@ fn cmd_submit(target: &str, opts: &NetOptions) -> ExitCode {
         }
     };
     let result = connect(opts).and_then(|mut client| {
-        client.submit_chunked(&events, opts.chunk).map_err(|e| e.to_string())
+        let id = match opts.resume {
+            None => client.hello().map_err(|e| e.to_string())?,
+            Some(id) => {
+                client.hello_resume(Some(id)).map_err(|e| format!("resume session {id}: {e}"))?;
+                id
+            }
+        };
+        // How far the session already got: 0 for a fresh one, the durable
+        // record's event count when resuming. Stream only past that point.
+        let skip = if opts.resume.is_some() {
+            let done = client.stats().map_err(|e| e.to_string())?.session_events;
+            if done > events.len() as u64 {
+                return Err(format!(
+                    "session {id} already holds {done} event(s) but the trace has only {}",
+                    events.len()
+                ));
+            }
+            eprintln!(
+                "resuming session {id}: {done} event(s) already durable, sending {}",
+                events.len() as u64 - done
+            );
+            done as usize
+        } else {
+            0
+        };
+        let end = opts.take.map_or(events.len(), |n| n.clamp(skip, events.len()));
+        for batch in events[skip..end].chunks(opts.chunk.max(1)) {
+            client.send_events(batch).map_err(|e| e.to_string())?;
+        }
+        if opts.no_finish {
+            Ok((id, end, None))
+        } else {
+            client.finish().map(|reports| (id, end, Some(reports))).map_err(|e| e.to_string())
+        }
     });
     match result {
-        Ok(reports) => {
+        Ok((id, sent, None)) => {
+            println!(
+                "{}: session {} left open, {} of {} event(s) streamed",
+                target,
+                id,
+                sent,
+                events.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok((_, _, Some(reports))) => {
             if !opts.quiet {
                 for r in &reports {
                     print!("{}", r.render());
@@ -920,9 +1096,12 @@ fn cmd_record(target: &str, opts: &NetOptions) -> ExitCode {
         eprintln!("record needs -o <file>");
         return ExitCode::from(2);
     };
-    let Some(events) = target.parse::<u32>().ok().and_then(record_dracc) else {
-        eprintln!("unknown benchmark id '{target}'");
-        return ExitCode::from(2);
+    let events = match record_dracc_arg(target) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
     };
     match std::fs::write(out, wire::encode_trace(&events)) {
         Ok(()) => {
@@ -977,6 +1156,141 @@ fn cmd_stats(opts: &NetOptions) -> ExitCode {
     }
 }
 
+/// `arbalest store inspect <data-dir>`: describe every unfinished session
+/// — WAL segments, decoded event counts, snapshots, and any torn or
+/// corrupt tail — without modifying anything (scan only, no repair).
+fn cmd_store_inspect(dir: &str) -> ExitCode {
+    let root = std::path::Path::new(dir);
+    let store = match arbalest_store::Store::open(
+        root,
+        arbalest_store::StoreConfig::default(),
+        &Registry::disabled(),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("open {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ids = match store.session_ids() {
+        Ok(ids) => ids,
+        Err(e) => {
+            eprintln!("list sessions in {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if ids.is_empty() {
+        println!("{dir}: no unfinished sessions");
+        return ExitCode::SUCCESS;
+    }
+    let file_len = |p: &std::path::Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    let mut damaged = false;
+    for id in ids {
+        let sdir = store.session_dir(id);
+        println!("session {id}");
+        match arbalest_store::wal::list_segments(&sdir) {
+            Ok(segments) => {
+                for (start, path) in &segments {
+                    println!(
+                        "  segment wal-{start:020}.log  first event {start}, {} byte(s)",
+                        file_len(path)
+                    );
+                }
+            }
+            Err(e) => println!("  cannot list segments: {e}"),
+        }
+        match store.latest_snapshot(id) {
+            Ok(Some(snap)) => println!("  snapshot: {} event(s) captured", snap.events),
+            Ok(None) => println!("  snapshot: none"),
+            Err(e) => println!("  snapshot: unreadable ({e})"),
+        }
+        // Scan only (repair=false): inspect never mutates the directory.
+        match arbalest_store::read_wal(&sdir, false) {
+            Ok(replay) => {
+                println!(
+                    "  wal: {} event(s) in {} record(s), events {}..{}",
+                    replay.events.len(),
+                    replay.records,
+                    replay.first_event,
+                    replay.first_event + replay.events.len() as u64
+                );
+                if replay.torn || replay.corrupt {
+                    damaged = true;
+                    println!(
+                        "  tail: {}{} — {} byte(s) would be discarded on recovery",
+                        if replay.torn { "torn " } else { "" },
+                        if replay.corrupt { "corrupt" } else { "" },
+                        replay.truncated_bytes
+                    );
+                }
+            }
+            Err(e) => {
+                damaged = true;
+                println!("  wal: unreadable ({e})");
+            }
+        }
+    }
+    if damaged {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `arbalest store compact <data-dir>`: for every session, delete WAL
+/// segments fully covered by its newest snapshot and drop superseded
+/// snapshots (exactly what the serve-side trigger does, offline).
+fn cmd_store_compact(dir: &str) -> ExitCode {
+    let root = std::path::Path::new(dir);
+    let store = match arbalest_store::Store::open(
+        root,
+        arbalest_store::StoreConfig::default(),
+        &Registry::disabled(),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("open {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ids = match store.session_ids() {
+        Ok(ids) => ids,
+        Err(e) => {
+            eprintln!("list sessions in {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    for id in ids {
+        let covered = match store.latest_snapshot(id) {
+            Ok(Some(snap)) => snap.events,
+            Ok(None) => {
+                println!("session {id}: no snapshot, nothing coverable");
+                continue;
+            }
+            Err(e) => {
+                eprintln!("session {id}: cannot read snapshot: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match store.compact(id, covered) {
+            Ok(removed) => println!(
+                "session {id}: {removed} segment(s) removed (snapshot covers {covered} event(s))"
+            ),
+            Err(e) => {
+                eprintln!("session {id}: compaction failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_stop(opts: &NetOptions) -> ExitCode {
     let result = connect(opts).and_then(|mut c| c.shutdown_server().map_err(|e| e.to_string()));
     match result {
@@ -1008,6 +1322,20 @@ fn main() -> ExitCode {
                 "serve" => cmd_serve(&opts),
                 "stats" => cmd_stats(&opts),
                 _ => cmd_stop(&opts),
+            }
+        }
+        "store" => {
+            let (Some(action), Some(dir)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: arbalest store <inspect|compact> <data-dir>\n");
+                return usage();
+            };
+            match action.as_str() {
+                "inspect" => cmd_store_inspect(dir),
+                "compact" => cmd_store_compact(dir),
+                other => {
+                    eprintln!("unknown store action '{other}' (want inspect|compact)\n");
+                    usage()
+                }
             }
         }
         "submit" | "record" => {

@@ -219,6 +219,89 @@ impl DetectorMetrics {
     }
 }
 
+/// One entry of the CV→OV interval tree in a [`DetectorSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CvInterval {
+    /// CV range start (inclusive).
+    pub lo: u64,
+    /// CV range end (exclusive).
+    pub hi: u64,
+    /// Owning buffer id.
+    pub buffer: u32,
+    /// OV address the CV range shadows.
+    pub ov_addr: u64,
+}
+
+/// One deduplication key from the detector's `seen` set. Serialized
+/// separately from the reports themselves: the key holds the buffer *id*
+/// while a [`Report`] holds only the buffer *name*, so the set cannot be
+/// reconstructed from the report list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeenKey {
+    /// Report kind.
+    pub kind: ReportKind,
+    /// Buffer id, when the report named one.
+    pub buffer: Option<u32>,
+    /// Source file of the reporting site ("" when unknown).
+    pub file: String,
+    /// Source line of the reporting site (0 when unknown).
+    pub line: u32,
+}
+
+/// Complete serializable state of an [`Arbalest`] detector, produced by
+/// [`Arbalest::to_snapshot`]. All collections are sorted (shadow pages by
+/// page index, intervals by lo, buffers by id, seen keys lexicographically)
+/// except `reports`, which keeps insertion order — report order is part of
+/// the byte-identical-`Finish` contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorSnapshot {
+    /// [`ArbalestConfig::accelerators`].
+    pub accelerators: u16,
+    /// [`ArbalestConfig::check_races`].
+    pub check_races: bool,
+    /// [`ArbalestConfig::lookup_cache`].
+    pub lookup_cache: bool,
+    /// [`ArbalestConfig::max_reports`].
+    pub max_reports: u64,
+    /// Resident shadow pages ([`ShadowMemory::snapshot_pages`]).
+    pub shadow_pages: Vec<(u64, Vec<u64>)>,
+    /// CV→OV present-table intervals, sorted by `lo`.
+    pub intervals: Vec<CvInterval>,
+    /// Registered buffers, sorted by id.
+    pub buffers: Vec<BufferInfo>,
+    /// Findings so far, in insertion order.
+    pub reports: Vec<Report>,
+    /// Deduplication keys, sorted.
+    pub seen: Vec<SeenKey>,
+    /// Whether [`Arbalest::evict_to_may`] has run.
+    pub degraded: bool,
+    /// Race-engine state when race checking is on.
+    pub race: Option<arbalest_race::RaceSnapshot>,
+}
+
+/// Why a [`DetectorSnapshot`] could not be installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// Shadow pages in the snapshot do not match this build's page layout.
+    ShadowLayout,
+    /// `check_races` and the presence of race state disagree.
+    RaceMismatch,
+    /// The snapshot's accelerator count exceeds the shadow encoding limit.
+    TooManyAccelerators,
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::ShadowLayout => write!(f, "snapshot shadow pages do not fit this build's page layout"),
+            RestoreError::RaceMismatch => write!(f, "snapshot race state disagrees with its check_races flag"),
+            RestoreError::TooManyAccelerators => write!(f, "snapshot accelerator count exceeds the 7-device shadow encoding"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// The ARBALEST tool.
 pub struct Arbalest {
     cfg: ArbalestConfig,
@@ -305,6 +388,109 @@ impl Arbalest {
     /// detector, i.e. VSM findings are now May-only and suppressed.
     pub fn degraded(&self) -> bool {
         self.degraded.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Dump the complete detector state as plain data for durable session
+    /// snapshots. Two detectors holding identical analysis state dump
+    /// equal snapshots (every map is emitted sorted by key), and
+    /// [`from_snapshot`](Self::from_snapshot) of the dump behaves
+    /// identically to this detector on every subsequent event — the
+    /// recovered-session byte-identical-`Finish` invariant rests on this.
+    pub fn to_snapshot(&self) -> DetectorSnapshot {
+        let mut intervals: Vec<CvInterval> = self
+            .intervals
+            .read()
+            .iter_ordered()
+            .into_iter()
+            .map(|(lo, hi, info)| CvInterval { lo, hi, buffer: info.buffer.0, ov_addr: info.ov_addr })
+            .collect();
+        intervals.sort_unstable_by_key(|iv| iv.lo);
+        let mut buffers: Vec<BufferInfo> = self.buffers.read().values().cloned().collect();
+        buffers.sort_unstable_by_key(|b| b.id.0);
+        let mut seen: Vec<SeenKey> = self
+            .seen
+            .lock()
+            .iter()
+            .map(|&(kind, buffer, file, line)| SeenKey { kind, buffer, file: file.to_string(), line })
+            .collect();
+        seen.sort_unstable_by(|a, b| {
+            (a.kind, a.buffer, &a.file, a.line).cmp(&(b.kind, b.buffer, &b.file, b.line))
+        });
+        DetectorSnapshot {
+            accelerators: self.cfg.accelerators,
+            check_races: self.cfg.check_races,
+            lookup_cache: self.cfg.lookup_cache,
+            max_reports: self.cfg.max_reports as u64,
+            shadow_pages: self.shadow.snapshot_pages(),
+            intervals,
+            buffers,
+            reports: self.reports.lock().clone(),
+            seen,
+            degraded: self.degraded(),
+            race: self.race.as_ref().map(|r| r.to_snapshot()),
+        }
+    }
+
+    /// Rebuild a detector from a [`DetectorSnapshot`], recording metrics
+    /// into `reg`. The lookup cache restarts cold (a pure performance
+    /// artifact, invisible to analysis results); everything else resumes
+    /// exactly where the dumped detector stopped.
+    pub fn from_snapshot(
+        snap: &DetectorSnapshot,
+        reg: arbalest_obs::Registry,
+    ) -> Result<Arbalest, RestoreError> {
+        if snap.accelerators > 7 {
+            return Err(RestoreError::TooManyAccelerators);
+        }
+        if snap.check_races != snap.race.is_some() {
+            return Err(RestoreError::RaceMismatch);
+        }
+        let cfg = ArbalestConfig {
+            accelerators: snap.accelerators,
+            check_races: snap.check_races,
+            lookup_cache: snap.lookup_cache,
+            max_reports: snap.max_reports as usize,
+        };
+        let layout = Layout::for_accelerators(cfg.accelerators);
+        let metrics = reg.state(DetectorMetrics::new);
+        let shadow = ShadowMemory::new(1);
+        if !shadow.restore_pages(&snap.shadow_pages) {
+            return Err(RestoreError::ShadowLayout);
+        }
+        let mut intervals = IntervalTree::new();
+        for iv in &snap.intervals {
+            intervals.insert(
+                iv.lo,
+                iv.hi,
+                CvInfo { buffer: BufferId(iv.buffer), ov_addr: iv.ov_addr },
+            );
+        }
+        let buffers: HashMap<u32, BufferInfo> =
+            snap.buffers.iter().map(|b| (b.id.0, b.clone())).collect();
+        let seen: HashSet<ReportKey> = snap
+            .seen
+            .iter()
+            .map(|k| {
+                // Re-intern the file path so the key's &'static str compares
+                // (and hashes) identically to keys made by future reports.
+                (k.kind, k.buffer, SrcLoc::intern(&k.file, 0, 0).file, k.line)
+            })
+            .collect();
+        Ok(Arbalest {
+            layout,
+            shadow,
+            intervals: RwLock::new(intervals),
+            cache: RwLock::new(None),
+            race: snap.race.as_ref().map(RaceEngine::from_snapshot),
+            buffers: RwLock::new(buffers),
+            reports: Mutex::new(snap.reports.clone()),
+            seen: Mutex::new(seen),
+            stats: ArbalestStats::new(&reg, metrics.clone()),
+            metrics,
+            registry: reg,
+            cfg,
+            degraded: std::sync::atomic::AtomicBool::new(snap.degraded),
+        })
     }
 
     /// Live operation counters.

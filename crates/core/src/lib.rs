@@ -66,7 +66,9 @@ pub mod session;
 pub mod vsm;
 
 pub use ddg::Ddg;
-pub use detector::{Arbalest, ArbalestConfig, ArbalestStats};
+pub use detector::{
+    Arbalest, ArbalestConfig, ArbalestStats, CvInterval, DetectorSnapshot, RestoreError, SeenKey,
+};
 pub use replay::{certify, Certification};
-pub use session::AnalysisSession;
+pub use session::{AnalysisSession, SessionSnapshot};
 pub use vsm::{StorageLoc, Violation, ViolationKind, VsmOp};

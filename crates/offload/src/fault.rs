@@ -90,6 +90,14 @@ pub enum FaultSite {
     /// Synthetic per-session memory pressure: the session's resource
     /// budget is treated as exceeded for this decision.
     BudgetPressure,
+    /// A WAL record write tears: only a prefix of the record's bytes
+    /// reaches the log before the process "dies" (storage chaos).
+    WalTornTail,
+    /// A WAL record is written whole but with a flipped payload byte, so
+    /// its CRC no longer matches (storage chaos).
+    WalCorruptRecord,
+    /// An fsync of the WAL or a snapshot file fails (storage chaos).
+    FsyncFail,
 }
 
 /// Outcome of one fault decision.
@@ -202,6 +210,13 @@ impl FaultPlan {
             }
             FaultSite::ShardPanic => FaultOutcome::Permanent,
             FaultSite::BudgetPressure => FaultOutcome::Transient,
+            // Storage chaos: fixed flavours, like the wire sites. A torn
+            // tail is a prefix write (the crash model), a corrupt record is
+            // unrecoverable in place (recovery must discard it), a failed
+            // fsync is transient (the next group fsync retries).
+            FaultSite::WalTornTail => FaultOutcome::Partial { frac256: (flavour >> 8) as u8 },
+            FaultSite::WalCorruptRecord => FaultOutcome::Permanent,
+            FaultSite::FsyncFail => FaultOutcome::Transient,
         }
     }
 
@@ -290,6 +305,9 @@ mod tests {
             assert_eq!(plan.decide(FaultSite::WireDisconnect), FaultOutcome::Permanent);
             assert_eq!(plan.decide(FaultSite::ShardPanic), FaultOutcome::Permanent);
             assert_eq!(plan.decide(FaultSite::BudgetPressure), FaultOutcome::Transient);
+            assert!(matches!(plan.decide(FaultSite::WalTornTail), FaultOutcome::Partial { .. }));
+            assert_eq!(plan.decide(FaultSite::WalCorruptRecord), FaultOutcome::Permanent);
+            assert_eq!(plan.decide(FaultSite::FsyncFail), FaultOutcome::Transient);
         }
     }
 

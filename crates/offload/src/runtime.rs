@@ -176,7 +176,7 @@ struct RtMetrics {
     reg: arbalest_obs::Registry,
 }
 
-const FAULT_SITE_LABELS: [&str; 10] = [
+const FAULT_SITE_LABELS: [&str; 13] = [
     "device_alloc",
     "transfer_to_device",
     "transfer_from_device",
@@ -187,6 +187,9 @@ const FAULT_SITE_LABELS: [&str; 10] = [
     "wire_stall",
     "shard_panic",
     "budget_pressure",
+    "wal_torn_tail",
+    "wal_corrupt_record",
+    "fsync_fail",
 ];
 const FAULT_OUTCOME_LABELS: [&str; 5] = ["none", "transient", "permanent", "partial", "delay"];
 
@@ -202,6 +205,9 @@ fn fault_site_index(site: FaultSite) -> usize {
         FaultSite::WireStall => 7,
         FaultSite::ShardPanic => 8,
         FaultSite::BudgetPressure => 9,
+        FaultSite::WalTornTail => 10,
+        FaultSite::WalCorruptRecord => 11,
+        FaultSite::FsyncFail => 12,
     }
 }
 

@@ -341,3 +341,165 @@ fn trailing_garbage_is_rejected() {
     bytes.push(0);
     assert!(matches!(wire::decode_trace(&bytes), Err(WireError::TrailingBytes { extra: 1 })));
 }
+
+// ---------------------------------------------------------------------------
+// Frame protocol (arbalest-server): every frame type round-trips, the
+// type-tag assignment is a bijection, and truncation or corruption of any
+// frame yields a typed error — never a panic. Covers the frames added
+// after the original protocol (Metrics 0x06, MetricsReply 0x88,
+// SessionFailed 0x89) and the durability admin pair (Export 0x07 /
+// Import 0x08 with their replies 0x8A / 0x8B).
+// ---------------------------------------------------------------------------
+
+use arbalest_server::proto::{Frame, ProtoError, StatsSnapshot, WIRE_VERSION};
+use arbalest_server::supervise::SessionFailure;
+
+/// One exemplar per frame variant (and per meaningful sub-shape), paired
+/// with its wire type tag.
+fn frame_exemplars() -> Vec<(u8, Frame)> {
+    vec![
+        (0x01, Frame::Hello { version: WIRE_VERSION, resume: None }),
+        (0x01, Frame::Hello { version: WIRE_VERSION, resume: Some(0xDEAD_BEEF_u64) }),
+        (0x02, Frame::Events(exemplars())),
+        (0x03, Frame::Finish),
+        (0x04, Frame::Stats),
+        (0x05, Frame::Shutdown),
+        (0x06, Frame::Metrics),
+        (0x07, Frame::Export),
+        (0x08, Frame::Import { state: vec![0xAB, 0x55, 0x00, 0x01] }),
+        (0x81, Frame::HelloAck { version: WIRE_VERSION, shards: 8, session: 42 }),
+        (0x82, Frame::EventsAck { accepted: 1024 }),
+        (0x83, Frame::Busy { queue_depth: 17 }),
+        (0x84, Frame::Reports(Vec::new())),
+        (
+            0x85,
+            Frame::StatsReply(StatsSnapshot {
+                sessions_started: 5,
+                sessions_finished: 3,
+                events_received: 999,
+                busy_rejections: 1,
+                session_events: 40,
+                queue_depths: vec![0, 2, 7],
+                ..Default::default()
+            }),
+        ),
+        (0x86, Frame::Ok),
+        (0x87, Frame::Error { message: "unknown session 9".into() }),
+        (0x88, Frame::MetricsReply("# TYPE arbalest_x counter\narbalest_x 1\n".into())),
+        (0x89, Frame::SessionFailed(SessionFailure::ShardPanic { message: "boom".into() })),
+        (
+            0x89,
+            Frame::SessionFailed(SessionFailure::BudgetExceeded {
+                used_bytes: 4096,
+                budget_bytes: 1024,
+            }),
+        ),
+        (0x89, Frame::SessionFailed(SessionFailure::IdleTimeout { limit_ms: 120_000 })),
+        (0x89, Frame::SessionFailed(SessionFailure::DeadlineExceeded { limit_ms: 30_000 })),
+        (0x8A, Frame::ExportReply { state: vec![b'A', b'B', b'S', b'S', 1, 0] }),
+        (0x8B, Frame::ImportReply { session: u64::MAX }),
+    ]
+}
+
+fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    frame.write_to(&mut bytes).expect("encode frame");
+    bytes
+}
+
+fn decode_frame(bytes: &[u8]) -> Result<Frame, ProtoError> {
+    Frame::read_from(&mut std::io::Cursor::new(bytes), &mut || true)
+}
+
+#[test]
+fn every_frame_round_trips() {
+    for (_, frame) in frame_exemplars() {
+        let bytes = encode_frame(&frame);
+        let back = decode_frame(&bytes).expect("decode frame");
+        assert_eq!(back, frame);
+        // And the encoding is deterministic.
+        assert_eq!(encode_frame(&back), bytes);
+    }
+}
+
+#[test]
+fn frame_tag_assignment_is_a_bijection() {
+    // byte 4 of an encoded frame (after the u32 length prefix) is the
+    // type tag. Each tag must match the documented value, and distinct
+    // labels must map to distinct tags and back.
+    let mut tag_to_label: std::collections::HashMap<u8, &'static str> = Default::default();
+    let mut label_to_tag: std::collections::HashMap<&'static str, u8> = Default::default();
+    for (want_tag, frame) in frame_exemplars() {
+        let bytes = encode_frame(&frame);
+        let tag = bytes[4];
+        assert_eq!(tag, want_tag, "{} encoded with tag {tag:#04x}", frame.label());
+        if let Some(prev) = tag_to_label.insert(tag, frame.label()) {
+            assert_eq!(prev, frame.label(), "tag {tag:#04x} shared by two frame types");
+        }
+        if let Some(prev) = label_to_tag.insert(frame.label(), tag) {
+            assert_eq!(prev, tag, "label {} maps to two tags", frame.label());
+        }
+    }
+    assert_eq!(tag_to_label.len(), label_to_tag.len());
+}
+
+#[test]
+fn unknown_frame_tags_are_typed_errors() {
+    for tag in [0x00u8, 0x09, 0x7F, 0x80, 0x8C, 0xFF] {
+        let bytes = [2u32.to_le_bytes().as_slice(), &[tag, 0]].concat();
+        match decode_frame(&bytes) {
+            Err(ProtoError::Wire(WireError::BadTag { .. })) => {}
+            other => panic!("tag {tag:#04x} accepted: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_frame_truncation_is_a_typed_error() {
+    for (_, frame) in frame_exemplars() {
+        let bytes = encode_frame(&frame);
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                // cut == 0 is a clean between-frames close (plain EOF);
+                // any other cut is a mid-frame death and must be typed.
+                Err(ProtoError::Io(_)) if cut == 0 => {}
+                Err(ProtoError::Wire(_)) => {}
+                other => panic!(
+                    "{} cut at {cut}/{} bytes: {other:?}",
+                    frame.label(),
+                    bytes.len()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_frames_never_panic() {
+    let mut rng = Rng(0xF1A5_ED00);
+    for (_, frame) in frame_exemplars() {
+        let pristine = encode_frame(&frame);
+        for _ in 0..50 {
+            let mut bytes = pristine.clone();
+            for _ in 0..rng.below(4) + 1 {
+                let i = rng.below(bytes.len() as u64) as usize;
+                bytes[i] ^= (rng.next() & 0xFF) as u8;
+            }
+            // Corrupting the length prefix upward makes the reader wait
+            // for bytes that never come; EOF then yields Truncated.
+            // Everything else either still decodes or fails typed.
+            let _ = decode_frame(&bytes);
+        }
+    }
+}
+
+#[test]
+fn fuzzed_event_batches_survive_the_frame_layer() {
+    let mut rng = Rng(0xBEEF_CAFE);
+    for _ in 0..50 {
+        let events: Vec<TraceEvent> =
+            (0..rng.below(48) + 1).map(|_| random_event(&mut rng)).collect();
+        let frame = Frame::Events(events);
+        assert_eq!(decode_frame(&encode_frame(&frame)).expect("decode"), frame);
+    }
+}

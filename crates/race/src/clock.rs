@@ -89,6 +89,19 @@ impl VectorClock {
     pub fn approx_bytes(&self) -> u64 {
         (self.slots.capacity() * 8) as u64
     }
+
+    /// Raw slot values (index = thread slot), for state snapshots. Pairs
+    /// with [`VectorClock::from_slots`]: `from_slots(vc.slot_values().to_vec())`
+    /// compares equal to `vc`, including trailing zeros, so a snapshot
+    /// round trip is exact.
+    pub fn slot_values(&self) -> &[u64] {
+        &self.slots
+    }
+
+    /// Rebuild a clock from values dumped by [`VectorClock::slot_values`].
+    pub fn from_slots(slots: Vec<u64>) -> VectorClock {
+        VectorClock { slots }
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,71 @@ struct TaskState {
 
 const SHARDS: usize = 64;
 
+/// One task's clock state in a [`RaceSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSnapshot {
+    /// Task id.
+    pub task: u32,
+    /// Assigned 12-bit thread slot.
+    pub tid: u16,
+    /// Raw vector-clock slots ([`VectorClock::slot_values`]).
+    pub clock: Vec<u64>,
+    /// Whether the task has ended.
+    pub ended: bool,
+}
+
+/// Read side of one location in a [`RaceSnapshot`] (FastTrack's
+/// epoch-or-shared-clock alternative).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadSnapshot {
+    /// Single last-read epoch with its byte range.
+    Epoch {
+        /// Reader's thread slot.
+        tid: u16,
+        /// Reader's scalar clock.
+        clock: u64,
+        /// Byte offset of the read within its granule.
+        offset: u8,
+        /// Byte size of the read.
+        size: u8,
+    },
+    /// Promoted concurrent-read vector clock (raw slots).
+    Shared(Vec<u64>),
+}
+
+/// One location's FastTrack state in a [`RaceSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocSnapshot {
+    /// Last-write thread slot.
+    pub write_tid: u16,
+    /// Last-write scalar clock.
+    pub write_clock: u64,
+    /// Byte offset of the last write within its granule.
+    pub write_offset: u8,
+    /// Byte size of the last write.
+    pub write_size: u8,
+    /// Read state.
+    pub read: ReadSnapshot,
+}
+
+/// Complete serializable state of a [`RaceEngine`], produced by
+/// [`RaceEngine::to_snapshot`] with every map sorted by key so equal
+/// engine states yield equal (hence byte-identical, once encoded)
+/// snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceSnapshot {
+    /// Task clocks, sorted by task id.
+    pub tasks: Vec<TaskSnapshot>,
+    /// Per-slot monotone clock floors (slot wrap-around support).
+    pub slot_floor: Vec<u64>,
+    /// Next raw slot number to allocate.
+    pub next_slot: u64,
+    /// Per-granule location states, sorted by granule address.
+    pub locs: Vec<(u64, LocSnapshot)>,
+    /// Lock release clocks, sorted by lock id.
+    pub locks: Vec<(u64, Vec<u64>)>,
+}
+
 /// A happens-before race detection engine.
 pub struct RaceEngine {
     tasks: Mutex<HashMap<u32, TaskState>>,
@@ -348,6 +413,117 @@ impl RaceEngine {
         }
     }
 
+    /// Dump the complete engine state as plain data for durable session
+    /// snapshots. Every map is emitted sorted by key so two dumps of
+    /// identical state are identical, independent of hash iteration order.
+    pub fn to_snapshot(&self) -> RaceSnapshot {
+        let tasks = self.tasks.lock();
+        let mut task_dump: Vec<TaskSnapshot> = tasks
+            .iter()
+            .map(|(&task, t)| TaskSnapshot {
+                task,
+                tid: t.tid,
+                clock: t.vc.slot_values().to_vec(),
+                ended: t.ended,
+            })
+            .collect();
+        drop(tasks);
+        task_dump.sort_unstable_by_key(|t| t.task);
+        let mut locs: Vec<(u64, LocSnapshot)> = Vec::new();
+        for s in &self.shards {
+            for (&granule, loc) in s.lock().iter() {
+                locs.push((
+                    granule,
+                    LocSnapshot {
+                        write_tid: loc.write.tid,
+                        write_clock: loc.write.clock,
+                        write_offset: loc.write_range.offset,
+                        write_size: loc.write_range.size,
+                        read: match &loc.read {
+                            ReadState::Epoch(e, r) => ReadSnapshot::Epoch {
+                                tid: e.tid,
+                                clock: e.clock,
+                                offset: r.offset,
+                                size: r.size,
+                            },
+                            ReadState::Shared(vc) => {
+                                ReadSnapshot::Shared(vc.slot_values().to_vec())
+                            }
+                        },
+                    },
+                ));
+            }
+        }
+        locs.sort_unstable_by_key(|&(g, _)| g);
+        let mut locks: Vec<(u64, Vec<u64>)> = self
+            .locks
+            .lock()
+            .iter()
+            .map(|(&l, vc)| (l, vc.slot_values().to_vec()))
+            .collect();
+        locks.sort_unstable_by_key(|&(l, _)| l);
+        RaceSnapshot {
+            tasks: task_dump,
+            slot_floor: self.slot_floor.lock().clone(),
+            next_slot: self.next_slot.load(Ordering::Relaxed),
+            locs,
+            locks,
+        }
+    }
+
+    /// Rebuild an engine from a [`RaceSnapshot`]. The root task is NOT
+    /// re-registered — the snapshot already carries it — so slot
+    /// assignment resumes exactly where the dumped engine left off.
+    pub fn from_snapshot(snap: &RaceSnapshot) -> RaceEngine {
+        let mut floors = snap.slot_floor.clone();
+        floors.resize(MAX_TIDS, 0);
+        let engine = RaceEngine {
+            tasks: Mutex::new(HashMap::new()),
+            slot_floor: Mutex::new(floors),
+            next_slot: AtomicU64::new(snap.next_slot),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            locks: Mutex::new(HashMap::new()),
+        };
+        {
+            let mut tasks = engine.tasks.lock();
+            for t in &snap.tasks {
+                tasks.insert(
+                    t.task,
+                    TaskState {
+                        tid: t.tid,
+                        vc: VectorClock::from_slots(t.clock.clone()),
+                        ended: t.ended,
+                    },
+                );
+            }
+        }
+        for (granule, loc) in &snap.locs {
+            engine.shard(*granule).lock().insert(
+                *granule,
+                LocState {
+                    write: Epoch { tid: loc.write_tid, clock: loc.write_clock },
+                    write_range: ByteRange { offset: loc.write_offset, size: loc.write_size },
+                    read: match &loc.read {
+                        ReadSnapshot::Epoch { tid, clock, offset, size } => ReadState::Epoch(
+                            Epoch { tid: *tid, clock: *clock },
+                            ByteRange { offset: *offset, size: *size },
+                        ),
+                        ReadSnapshot::Shared(slots) => {
+                            ReadState::Shared(VectorClock::from_slots(slots.clone()))
+                        }
+                    },
+                },
+            );
+        }
+        {
+            let mut locks = engine.locks.lock();
+            for (l, slots) in &snap.locks {
+                locks.insert(*l, VectorClock::from_slots(slots.clone()));
+            }
+        }
+        engine
+    }
+
     /// Approximate bytes held by clocks and location states (Fig. 9).
     pub fn approx_bytes(&self) -> u64 {
         let tasks = self.tasks.lock();
@@ -501,6 +677,34 @@ mod tests {
         e.acquire(2, 2); // a different lock
         let race = e.check_write(2, 0xB00, 8);
         assert!(race.is_some(), "disjoint locks provide no ordering");
+    }
+
+    #[test]
+    fn snapshot_restores_identical_behaviour_and_state() {
+        let e = RaceEngine::new();
+        e.fork(HOST, 1);
+        e.fork(HOST, 2);
+        e.check_read(1, 0x800, 8);
+        e.check_read(2, 0x800, 8); // promotes to a shared read clock
+        e.check_write(1, 0x900, 4);
+        e.acquire(1, 99);
+        e.release(1, 99);
+        e.end(2);
+        let snap = e.to_snapshot();
+        let r = RaceEngine::from_snapshot(&snap);
+        // State round trip is exact: re-snapshotting yields equal data.
+        assert_eq!(r.to_snapshot(), snap);
+        // Behaviour matches the live engine on the next events.
+        assert_eq!(e.epoch_of(HOST), r.epoch_of(HOST));
+        assert_eq!(e.epoch_of(1), r.epoch_of(1));
+        let live = e.check_write(HOST, 0x800, 8);
+        let rec = r.check_write(HOST, 0x800, 8);
+        assert_eq!(live, rec, "shared-read race must survive the snapshot");
+        assert!(live.is_some());
+        // Slot allocation resumes identically (no double-registered root).
+        e.fork(HOST, 3);
+        r.fork(HOST, 3);
+        assert_eq!(e.epoch_of(3), r.epoch_of(3));
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod clock;
 pub mod engine;
 
 pub use clock::{Epoch, VectorClock};
-pub use engine::{RaceEngine, RaceInfo};
+pub use engine::{LocSnapshot, RaceEngine, RaceInfo, RaceSnapshot, ReadSnapshot, TaskSnapshot};
 
 /// # Example
 ///

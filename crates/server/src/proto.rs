@@ -166,10 +166,15 @@ impl StatsSnapshot {
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
-    /// Client → server: open a session. Carries the client's wire version.
+    /// Client → server: open a session. Carries the client's wire version
+    /// and, optionally, a durable session id to resume. A bare 2-byte
+    /// payload (the pre-durability encoding) decodes as `resume: None`,
+    /// so old clients keep working.
     Hello {
         /// The client's [`WIRE_VERSION`].
         version: u16,
+        /// Durable session id to resume after a server crash/restart.
+        resume: Option<u64>,
     },
     /// Client → server: a batch of trace events for the open session.
     Events(Vec<TraceEvent>),
@@ -182,6 +187,17 @@ pub enum Frame {
     /// Client → server: request the full metrics registry rendered as
     /// Prometheus text exposition format.
     Metrics,
+    /// Client → server: serialize the open session's full analysis state
+    /// (the versioned snapshot bytes) for migration. Non-destructive —
+    /// the session keeps running.
+    Export,
+    /// Client → server: install exported snapshot bytes as a *new*
+    /// session on this server (the migration receive side).
+    Import {
+        /// Snapshot bytes produced by an `ExportReply` (or a snapshot
+        /// file from a data directory — same format).
+        state: Vec<u8>,
+    },
     /// Server → client: session opened.
     HelloAck {
         /// Server's wire version.
@@ -220,6 +236,17 @@ pub enum Frame {
     /// machine-readable, so clients and soak harnesses can assert the
     /// exact failure class.
     SessionFailed(SessionFailure),
+    /// Server → client: the open session's snapshot bytes (answer to
+    /// [`Frame::Export`]).
+    ExportReply {
+        /// Versioned snapshot bytes (`arbalest-store` format).
+        state: Vec<u8>,
+    },
+    /// Server → client: an [`Frame::Import`] was installed.
+    ImportReply {
+        /// Session id assigned to the imported state.
+        session: u64,
+    },
 }
 
 impl Frame {
@@ -231,6 +258,8 @@ impl Frame {
             Frame::Stats => 0x04,
             Frame::Shutdown => 0x05,
             Frame::Metrics => 0x06,
+            Frame::Export => 0x07,
+            Frame::Import { .. } => 0x08,
             Frame::HelloAck { .. } => 0x81,
             Frame::EventsAck { .. } => 0x82,
             Frame::Busy { .. } => 0x83,
@@ -240,6 +269,8 @@ impl Frame {
             Frame::Error { .. } => 0x87,
             Frame::MetricsReply(_) => 0x88,
             Frame::SessionFailed(_) => 0x89,
+            Frame::ExportReply { .. } => 0x8A,
+            Frame::ImportReply { .. } => 0x8B,
         }
     }
 
@@ -253,6 +284,8 @@ impl Frame {
             Frame::Stats => "stats",
             Frame::Shutdown => "shutdown",
             Frame::Metrics => "metrics",
+            Frame::Export => "export",
+            Frame::Import { .. } => "import",
             Frame::HelloAck { .. } => "hello_ack",
             Frame::EventsAck { .. } => "events_ack",
             Frame::Busy { .. } => "busy",
@@ -262,16 +295,30 @@ impl Frame {
             Frame::Error { .. } => "error",
             Frame::MetricsReply(_) => "metrics_reply",
             Frame::SessionFailed(_) => "session_failed",
+            Frame::ExportReply { .. } => "export_reply",
+            Frame::ImportReply { .. } => "import_reply",
         }
     }
 
     fn payload(&self) -> Vec<u8> {
         match self {
-            Frame::Hello { version } => version.to_le_bytes().to_vec(),
-            Frame::Events(events) => wire::encode_events(events),
-            Frame::Finish | Frame::Stats | Frame::Shutdown | Frame::Metrics | Frame::Ok => {
-                Vec::new()
+            Frame::Hello { version, resume } => {
+                let mut out = version.to_le_bytes().to_vec();
+                if let Some(id) = resume {
+                    out.push(1);
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                out
             }
+            Frame::Events(events) => wire::encode_events(events),
+            Frame::Finish
+            | Frame::Stats
+            | Frame::Shutdown
+            | Frame::Metrics
+            | Frame::Export
+            | Frame::Ok => Vec::new(),
+            Frame::Import { state } | Frame::ExportReply { state } => state.clone(),
+            Frame::ImportReply { session } => session.to_le_bytes().to_vec(),
             Frame::HelloAck { version, shards, session } => {
                 let mut out = Vec::with_capacity(12);
                 out.extend_from_slice(&version.to_le_bytes());
@@ -304,12 +351,32 @@ impl Frame {
     fn decode(ty: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
         let mut cur = Cursor::new(payload);
         let frame = match ty {
-            0x01 => Frame::Hello { version: cur.u16()? },
+            0x01 => {
+                let version = cur.u16()?;
+                let resume = if cur.is_empty() {
+                    None
+                } else {
+                    match cur.u8()? {
+                        0 => None,
+                        1 => Some(cur.u64()?),
+                        tag => {
+                            return Err(WireError::BadTag { what: "Hello resume", tag }.into())
+                        }
+                    }
+                };
+                Frame::Hello { version, resume }
+            }
             0x02 => Frame::Events(wire::decode_events(&mut cur)?),
             0x03 => Frame::Finish,
             0x04 => Frame::Stats,
             0x05 => Frame::Shutdown,
             0x06 => Frame::Metrics,
+            // Snapshot bytes carry their own magic/version/CRC, so the
+            // frame layer passes them through opaque.
+            0x07 => Frame::Export,
+            0x08 => return Ok(Frame::Import { state: payload.to_vec() }),
+            0x8A => return Ok(Frame::ExportReply { state: payload.to_vec() }),
+            0x8B => Frame::ImportReply { session: cur.u64()? },
             0x81 => Frame::HelloAck { version: cur.u16()?, shards: cur.u16()?, session: cur.u64()? },
             0x82 => Frame::EventsAck { accepted: cur.u32()? },
             0x83 => Frame::Busy { queue_depth: cur.u32()? },
@@ -468,20 +535,39 @@ mod tests {
     #[test]
     fn control_frames_round_trip() {
         for f in [
-            Frame::Hello { version: WIRE_VERSION },
+            Frame::Hello { version: WIRE_VERSION, resume: None },
+            Frame::Hello { version: WIRE_VERSION, resume: Some(42) },
             Frame::Finish,
             Frame::Stats,
             Frame::Shutdown,
             Frame::Metrics,
+            Frame::Export,
+            Frame::Import { state: vec![0xAB, 0x55, 0x00, 0x01] },
             Frame::HelloAck { version: 1, shards: 4, session: 99 },
             Frame::EventsAck { accepted: 512 },
             Frame::Busy { queue_depth: 7 },
             Frame::Ok,
             Frame::Error { message: "no session open".into() },
             Frame::MetricsReply("# TYPE arbalest_server_events_received_total counter\n".into()),
+            Frame::ExportReply { state: vec![1, 2, 3] },
+            Frame::ImportReply { session: 17 },
         ] {
             assert_eq!(round_trip(f.clone()), f);
         }
+    }
+
+    #[test]
+    fn bare_hello_payload_still_decodes_as_no_resume() {
+        // The pre-durability Hello: len 3, type 0x01, two version bytes.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.push(0x01);
+        bytes.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(
+            Frame::read_from(&mut cursor, &mut || true).unwrap(),
+            Frame::Hello { version: WIRE_VERSION, resume: None }
+        );
     }
 
     #[test]

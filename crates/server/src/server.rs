@@ -11,9 +11,11 @@
 use crate::proto::{Frame, ProtoError, WIRE_VERSION};
 use crate::shard::ShardPool;
 use crate::stats::GlobalStats;
-use arbalest_core::ArbalestConfig;
+use arbalest_core::{AnalysisSession, ArbalestConfig};
 use arbalest_obs::{Counter, Registry};
+use arbalest_store::{decode_session_snapshot, SessionLog, Store};
 use arbalest_sync::{Condvar, Mutex};
+use std::collections::HashSet;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -96,6 +98,14 @@ pub struct ServerConfig {
     /// Worker-side fault injection (shard panics, synthetic budget
     /// pressure) for chaos soaks. Disabled by default.
     pub faults: arbalest_offload::fault::FaultConfig,
+    /// Durable-session data directory. `Some` turns on write-ahead
+    /// logging of every accepted batch, snapshot/compaction per the
+    /// `store` triggers, and crash recovery of unfinished sessions at
+    /// startup. `None` (default) keeps the pre-durability behaviour.
+    pub data_dir: Option<PathBuf>,
+    /// Durability tuning (segment size, fsync policy, snapshot triggers,
+    /// storage fault injection); only read when `data_dir` is set.
+    pub store: arbalest_store::StoreConfig,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +122,8 @@ impl Default for ServerConfig {
             max_inflight_events: 0,
             max_session_bytes: 0,
             faults: arbalest_offload::fault::FaultConfig::disabled(),
+            data_dir: None,
+            store: arbalest_store::StoreConfig::default(),
         }
     }
 }
@@ -167,6 +179,14 @@ struct Shared {
     stats: Arc<GlobalStats>,
     registry: Registry,
     wire_metrics: WireMetrics,
+    /// Durable-session store; `None` when `data_dir` is unset.
+    store: Option<Arc<Store>>,
+    /// Detector configuration, needed to recover sessions that have no
+    /// snapshot yet.
+    detector: ArbalestConfig,
+    /// Sessions currently bound to a live connection. Resuming one of
+    /// these is refused — two writers on one WAL would interleave.
+    attached: Mutex<HashSet<u64>>,
     /// Connection-hardening knobs, copied out of the `ServerConfig`.
     idle_timeout: Duration,
     request_deadline: Duration,
@@ -185,7 +205,7 @@ struct Shared {
 /// Wire-layer counters shared by every connection handler.
 struct WireMetrics {
     /// Decoded client frames, labelled by frame type.
-    frames: [(&'static str, Counter); 6],
+    frames: [(&'static str, Counter); 8],
     /// Bytes read off client connections.
     rx_bytes: Counter,
 }
@@ -194,7 +214,7 @@ impl WireMetrics {
     fn new(reg: &Registry) -> WireMetrics {
         let c = |ty| reg.counter("arbalest_server_frames_total", &[("type", ty)]);
         WireMetrics {
-            frames: ["hello", "events", "finish", "stats", "shutdown", "metrics"]
+            frames: ["hello", "events", "finish", "stats", "shutdown", "metrics", "export", "import"]
                 .map(|ty| (ty, c(ty))),
             rx_bytes: reg.counter("arbalest_server_rx_bytes_total", &[]),
         }
@@ -278,6 +298,13 @@ impl Server {
 
         let registry = cfg.metrics.clone();
         let stats = Arc::new(GlobalStats::new(&registry));
+        let store = match &cfg.data_dir {
+            Some(dir) => Some(Arc::new(
+                Store::open(dir, cfg.store.clone(), &registry)
+                    .map_err(|e| std::io::Error::other(format!("open {}: {e}", dir.display())))?,
+            )),
+            None => None,
+        };
         let reaped = |reason| {
             registry.counter("arbalest_server_connections_reaped_total", &[("reason", reason)])
         };
@@ -288,6 +315,9 @@ impl Server {
             stats: stats.clone(),
             wire_metrics: WireMetrics::new(&registry),
             registry: registry.clone(),
+            store: store.clone(),
+            detector: cfg.detector.clone(),
+            attached: Mutex::new(HashSet::new()),
             idle_timeout: cfg.idle_timeout,
             request_deadline: cfg.request_deadline,
             max_frame: cfg.max_frame,
@@ -307,7 +337,30 @@ impl Server {
                 max_inflight_events: cfg.max_inflight_events,
                 faults: cfg.faults,
             },
+            store.clone(),
         ));
+
+        // Crash recovery: every session directory is an unfinished session.
+        // Rebuild each from snapshot + WAL tail and adopt it into the pool
+        // so a resuming client (`Hello { resume }`) finds it live. A
+        // session that fails to recover is left on disk for inspection and
+        // counted; it never becomes wrong in-memory state.
+        if let Some(store) = &store {
+            let recovered = store
+                .recover_all(&cfg.detector, &registry)
+                .map_err(|e| std::io::Error::other(format!("recover sessions: {e}")))?;
+            for (id, result) in recovered {
+                match result {
+                    Ok(rec) => pool.adopt_session(id, rec.session),
+                    Err(e) => registry
+                        .counter(
+                            "arbalest_store_recovery_failures_total",
+                            &[("error", e.label())],
+                        )
+                        .inc(),
+                }
+            }
+        }
 
         let accept_shared = shared.clone();
         let accept_pool = pool.clone();
@@ -429,10 +482,42 @@ enum ReapReason {
     Deadline,
 }
 
+/// Rebuild a resumed session's state. With a durable store and an
+/// on-disk directory, disk is the authority: drop any in-memory state
+/// and re-derive it from snapshot + WAL so the append point and the
+/// analyzer agree exactly. Otherwise fall back to live pool state
+/// (covers `Import`ed sessions on storeless servers).
+fn resume_session(
+    shared: &Arc<Shared>,
+    pool: &Arc<ShardPool>,
+    id: u64,
+) -> Result<(u64, Option<SessionLog>), String> {
+    if let Some(store) = &shared.store {
+        if store.session_dir(id).exists() {
+            pool.drop_session(id);
+            let rec = store
+                .recover_session(id, &shared.detector, &shared.registry)
+                .map_err(|e| format!("recover session {id}: {e}"))?;
+            let events = rec.events;
+            pool.adopt_session(id, rec.session);
+            let log = store
+                .open_log(id, events)
+                .map_err(|e| format!("open WAL for session {id}: {e}"))?;
+            return Ok((events, Some(log)));
+        }
+    }
+    match pool.session_events(id) {
+        Some(n) => Ok((n, None)),
+        None => Err(format!("unknown session {id}")),
+    }
+}
+
 fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardPool>) {
     let _ = stream.set_read_timeout(Duration::from_millis(100));
     let mut session: Option<u64> = None;
     let mut session_events: u64 = 0;
+    // WAL append handle for the connection's session (durable mode only).
+    let mut log: Option<SessionLog> = None;
 
     loop {
         // The watchdog rides the 100 ms read-timeout polls: while no byte
@@ -517,7 +602,7 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
         shared.wire_metrics.count_frame(&frame);
 
         let outcome: Result<Frame, String> = match frame {
-            Frame::Hello { version } => {
+            Frame::Hello { version, resume } => {
                 if version != WIRE_VERSION {
                     Err(format!("wire version {version} not supported (server speaks {WIRE_VERSION})"))
                 } else if session.is_some() {
@@ -525,14 +610,59 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
                 } else if shared.stopping() {
                     Err("server is shutting down".into())
                 } else {
-                    let id = pool.open_session();
-                    session = Some(id);
-                    session_events = 0;
-                    Ok(Frame::HelloAck {
-                        version: WIRE_VERSION,
-                        shards: pool.shards() as u16,
-                        session: id,
-                    })
+                    match resume {
+                        None => {
+                            let id = pool.open_session();
+                            // Before acking, make sure the WAL is
+                            // writable: an event acked without a durable
+                            // home would be a silent durability hole.
+                            let opened = match &shared.store {
+                                Some(store) => store
+                                    .open_log(id, 0)
+                                    .map(Some)
+                                    .map_err(|e| format!("open WAL for session {id}: {e}")),
+                                None => Ok(None),
+                            };
+                            match opened {
+                                Ok(l) => {
+                                    shared.attached.lock().insert(id);
+                                    session = Some(id);
+                                    session_events = 0;
+                                    log = l;
+                                    Ok(Frame::HelloAck {
+                                        version: WIRE_VERSION,
+                                        shards: pool.shards() as u16,
+                                        session: id,
+                                    })
+                                }
+                                Err(message) => Err(message),
+                            }
+                        }
+                        Some(id) => {
+                            // Two connections on one session would
+                            // interleave WAL appends; first writer wins.
+                            if !shared.attached.lock().insert(id) {
+                                Err(format!("session {id} is attached to another connection"))
+                            } else {
+                                match resume_session(shared, pool, id) {
+                                    Ok((events, l)) => {
+                                        session = Some(id);
+                                        session_events = events;
+                                        log = l;
+                                        Ok(Frame::HelloAck {
+                                            version: WIRE_VERSION,
+                                            shards: pool.shards() as u16,
+                                            session: id,
+                                        })
+                                    }
+                                    Err(message) => {
+                                        shared.attached.lock().remove(&id);
+                                        Err(message)
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
             }
             Frame::Events(events) => match session {
@@ -543,10 +673,32 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
                     if let Some(failure) = pool.session_failure(id) {
                         Ok(Frame::SessionFailed(failure))
                     } else {
+                        // Clone for the WAL before the pool consumes the
+                        // batch; only durable sessions pay the copy. The
+                        // pool goes first so a `Busy` refusal logs
+                        // nothing; the ack waits for the append, so a
+                        // crash can only lose *unacked* batches.
+                        let copy = log.as_ref().map(|_| events.clone());
                         match pool.submit_events(id, events) {
                             Ok(accepted) => {
                                 session_events += accepted as u64;
-                                Ok(Frame::EventsAck { accepted: accepted as u32 })
+                                let appended = match (log.as_mut(), copy) {
+                                    (Some(l), Some(batch)) => l.append(&batch).map(|()| {
+                                        if l.snapshot_due() {
+                                            pool.submit_snapshot(id);
+                                            l.mark_snapshot();
+                                        }
+                                    }),
+                                    _ => Ok(()),
+                                };
+                                match appended {
+                                    Ok(()) => Ok(Frame::EventsAck { accepted: accepted as u32 }),
+                                    // The batch reached the analyzer but
+                                    // not the log: never ack what a crash
+                                    // could lose. The client resubmits it
+                                    // after resuming.
+                                    Err(e) => Err(format!("WAL append failed: {e}")),
+                                }
                             }
                             Err(full) => Ok(Frame::Busy { queue_depth: full.depth }),
                         }
@@ -555,20 +707,87 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
             },
             Frame::Finish => match session.take() {
                 None => Err("Finish before Hello".into()),
-                Some(id) => match pool.submit_finish(id).recv() {
-                    Ok(Ok(reports)) => Ok(Frame::Reports(reports)),
-                    Ok(Err(failure)) => Ok(Frame::SessionFailed(failure)),
-                    // The worker died mid-Finish (reply sender dropped by
-                    // the unwind). The supervisor has already quarantined
-                    // the session and restarted the worker — ask again for
-                    // the typed reason.
-                    Err(_) => match pool.submit_finish(id).recv() {
-                        Ok(Ok(reports)) => Ok(Frame::Reports(reports)),
+                Some(id) => {
+                    let result = match pool.submit_finish(id).recv() {
+                        Ok(r) => Ok(r),
+                        // The worker died mid-Finish (reply sender dropped
+                        // by the unwind). The supervisor has already
+                        // quarantined the session and restarted the worker
+                        // — ask again for the typed reason.
+                        Err(_) => pool.submit_finish(id).recv(),
+                    };
+                    shared.attached.lock().remove(&id);
+                    log = None;
+                    match result {
+                        Ok(Ok(reports)) => {
+                            // Clean finish: the durable record has served
+                            // its purpose.
+                            if let Some(store) = &shared.store {
+                                let _ = store.remove_session(id);
+                            }
+                            Ok(Frame::Reports(reports))
+                        }
                         Ok(Err(failure)) => Ok(Frame::SessionFailed(failure)),
                         Err(_) => Err("analysis shard terminated".into()),
-                    },
-                },
+                    }
+                }
             },
+            Frame::Export => match session {
+                None => Err("Export before Hello".into()),
+                Some(id) => {
+                    let result = match pool.submit_export(id).recv() {
+                        Ok(r) => Ok(r),
+                        // Same two-shot retry as Finish: a worker unwind
+                        // drops the reply sender but the supervisor
+                        // restarts the shard.
+                        Err(_) => pool.submit_export(id).recv(),
+                    };
+                    match result {
+                        Ok(Ok(state)) => Ok(Frame::ExportReply { state }),
+                        Ok(Err(failure)) => Ok(Frame::SessionFailed(failure)),
+                        Err(_) => Err("analysis shard terminated".into()),
+                    }
+                }
+            },
+            Frame::Import { state } => {
+                if shared.stopping() {
+                    Err("server is shutting down".into())
+                } else {
+                    // Validate fully before any state is created; a
+                    // rejected import leaves no trace.
+                    match decode_session_snapshot(&state)
+                        .map_err(|e| format!("import rejected: {e}"))
+                        .and_then(|snap| {
+                            AnalysisSession::from_snapshot(&snap, shared.registry.clone())
+                                .map(|restored| (snap, restored))
+                                .map_err(|e| format!("import rejected: {e}"))
+                        }) {
+                        Err(message) => Err(message),
+                        Ok((snap, restored)) => {
+                            let id = pool.allocate_session_id();
+                            // Imported sessions become durable immediately
+                            // so a crash before the first resume still
+                            // recovers them.
+                            let persisted = match &shared.store {
+                                Some(store) => store
+                                    .write_snapshot(id, &snap)
+                                    .map(|_| ())
+                                    .map_err(|e| format!("persist import: {e}")),
+                                None => Ok(()),
+                            };
+                            match persisted {
+                                Ok(()) => {
+                                    pool.adopt_session(id, restored);
+                                    // Not bound to this connection: the
+                                    // client attaches via Hello{resume}.
+                                    Ok(Frame::ImportReply { session: id })
+                                }
+                                Err(message) => Err(message),
+                            }
+                        }
+                    }
+                }
+            }
             Frame::Stats => Ok(Frame::StatsReply(
                 shared.stats.snapshot(pool.queue_depths(), session_events),
             )),
@@ -592,7 +811,9 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
             | Frame::Ok
             | Frame::Error { .. }
             | Frame::MetricsReply(_)
-            | Frame::SessionFailed(_) => Err("client sent a server-role frame".into()),
+            | Frame::SessionFailed(_)
+            | Frame::ExportReply { .. }
+            | Frame::ImportReply { .. } => Err("client sent a server-role frame".into()),
         };
 
         let reply = match outcome {
@@ -604,8 +825,16 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
         }
     }
 
-    // A session abandoned mid-stream must not leak detector state.
+    // A disconnect leaves acked WAL bytes durable (the resume point) even
+    // under a lazy fsync policy.
+    if let Some(mut l) = log.take() {
+        let _ = l.sync();
+    }
+    // A session abandoned mid-stream must not leak detector state. Its
+    // durable record (if any) stays on disk: that is what `--resume` and
+    // startup recovery rebuild from.
     if let Some(id) = session {
         pool.submit_abort(id);
+        shared.attached.lock().remove(&id);
     }
 }

@@ -51,12 +51,23 @@ pub(crate) enum Job {
     Finish { session: u64, reply: mpsc::Sender<FinishResult>, queued: Instant },
     /// Drop a session that disconnected without `Finish`.
     Abort { session: u64, queued: Instant },
+    /// Persist the session's state to the store and compact its WAL.
+    /// Enqueued by the connection when a snapshot trigger fires; FIFO
+    /// ordering means every batch accepted before the trigger is analysed
+    /// first, so the snapshot's event count is exact.
+    Snapshot { session: u64, queued: Instant },
+    /// Serialize the session's state (non-destructively) for migration.
+    Export { session: u64, reply: mpsc::Sender<ExportResult>, queued: Instant },
     Stop,
 }
 
 /// What a `Finish` job answers: the session's findings, or the typed
 /// reason the server terminated it.
 pub type FinishResult = Result<Vec<Report>, SessionFailure>;
+
+/// What an `Export` job answers: the session's encoded snapshot bytes,
+/// or the typed reason the session is unexportable.
+pub type ExportResult = Result<Vec<u8>, SessionFailure>;
 
 /// Resource-governor and chaos knobs threaded from `ServerConfig` into
 /// the shard pool.
@@ -88,12 +99,20 @@ struct WaitHists {
     events: Histogram,
     finish: Histogram,
     abort: Histogram,
+    snapshot: Histogram,
+    export: Histogram,
 }
 
 impl WaitHists {
     fn new(reg: &Registry) -> WaitHists {
         let h = |kind| reg.histogram("arbalest_server_job_wait_nanos", &[("kind", kind)]);
-        WaitHists { events: h("events"), finish: h("finish"), abort: h("abort") }
+        WaitHists {
+            events: h("events"),
+            finish: h("finish"),
+            abort: h("abort"),
+            snapshot: h("snapshot"),
+            export: h("export"),
+        }
     }
 }
 
@@ -176,6 +195,9 @@ struct WorkerCtx {
     limits: ShardLimits,
     plan: FaultPlan,
     sup: SuperviseMetrics,
+    /// Durable store for `Snapshot` jobs; `None` when the server runs
+    /// without `--data-dir`.
+    store: Option<Arc<arbalest_store::Store>>,
 }
 
 /// `N` analysis worker threads with session-hash job routing.
@@ -201,6 +223,7 @@ impl ShardPool {
         stats: Arc<GlobalStats>,
         registry: &Registry,
         limits: ShardLimits,
+        store: Option<Arc<arbalest_store::Store>>,
     ) -> ShardPool {
         let shards = shards.clamp(1, 64);
         let states: Vec<Arc<ShardState>> = (0..shards)
@@ -228,6 +251,7 @@ impl ShardPool {
                     limits: limits.clone(),
                     plan: FaultPlan::new(limits.faults),
                     sup: sup.clone(),
+                    store: store.clone(),
                 };
                 std::thread::Builder::new()
                     .name(format!("arbalest-shard-{i}"))
@@ -256,6 +280,42 @@ impl ShardPool {
     pub fn open_session(&self) -> u64 {
         self.stats.sessions_started.inc();
         self.next_session.fetch_add(1, Relaxed)
+    }
+
+    /// Allocate a fresh id without counting a session start — for callers
+    /// that immediately [`adopt_session`](ShardPool::adopt_session) under
+    /// it (adopt counts the start).
+    pub fn allocate_session_id(&self) -> u64 {
+        self.next_session.fetch_add(1, Relaxed)
+    }
+
+    /// Install an already-built session (recovered from a data directory
+    /// or imported from an `Export`) under a fixed id. Future ids are
+    /// bumped past it so fresh sessions can never collide.
+    pub fn adopt_session(&self, session: u64, state: AnalysisSession) {
+        self.stats.sessions_started.inc();
+        self.next_session.fetch_max(session + 1, Relaxed);
+        self.state_of(session)
+            .sessions
+            .lock()
+            .insert(session, SessionSlot::Live(Box::new(SessionEntry { session: state, peak_bytes: 0 })));
+    }
+
+    /// Events fed so far to a live session, `None` if the pool holds no
+    /// live state for the id.
+    pub fn session_events(&self, session: u64) -> Option<u64> {
+        match self.state_of(session).sessions.lock().get(&session) {
+            Some(SessionSlot::Live(entry)) => Some(entry.session.events()),
+            _ => None,
+        }
+    }
+
+    /// Synchronously drop any in-memory state for a session (used before
+    /// re-adopting it from its durable state on resume).
+    pub fn drop_session(&self, session: u64) {
+        let state = self.state_of(session);
+        state.sessions.lock().remove(&session);
+        state.backlog.lock().remove(&session);
     }
 
     /// Number of shards.
@@ -323,6 +383,22 @@ impl ShardPool {
     /// Discard a session whose connection went away.
     pub fn submit_abort(&self, session: u64) {
         self.state_of(session).queue.push(Job::Abort { session, queued: Instant::now() });
+    }
+
+    /// Ask the session's worker to snapshot it to the store. Control job:
+    /// bypasses the queue cap (one per trigger firing, bounded by the
+    /// connection that enqueues it).
+    pub fn submit_snapshot(&self, session: u64) {
+        self.state_of(session).queue.push(Job::Snapshot { session, queued: Instant::now() });
+    }
+
+    /// Ask the session's worker for its encoded snapshot bytes. FIFO with
+    /// the shard queue, so every batch accepted before the export is in
+    /// the exported state. Non-destructive: the session keeps running.
+    pub fn submit_export(&self, session: u64) -> mpsc::Receiver<ExportResult> {
+        let (tx, rx) = mpsc::channel();
+        self.state_of(session).queue.push(Job::Export { session, reply: tx, queued: Instant::now() });
+        rx
     }
 
     /// Current depth of every shard queue; also refreshes the per-shard
@@ -470,6 +546,60 @@ fn worker_loop(ctx: &WorkerCtx) {
                 ctx.stats.sessions_finished.inc();
                 *ctx.state.current.lock() = None;
             }
+            Job::Snapshot { session, queued } => {
+                ctx.waits.snapshot.record_duration(queued.elapsed());
+                *ctx.state.current.lock() = Some(session);
+                // Out of the map while serializing, like Events: a panic
+                // mid-snapshot quarantines this session only.
+                let slot = ctx.state.sessions.lock().remove(&session);
+                if let Some(SessionSlot::Live(entry)) = slot {
+                    if let Some(store) = &ctx.store {
+                        let snap = entry.session.to_snapshot();
+                        // Snapshot first, compact only once it is durable;
+                        // a failed write just leaves the WAL longer.
+                        if store.write_snapshot(session, &snap).is_ok() {
+                            let _ = store.compact(session, snap.events);
+                        }
+                    }
+                    ctx.state.sessions.lock().insert(session, SessionSlot::Live(entry));
+                } else if let Some(slot) = slot {
+                    ctx.state.sessions.lock().insert(session, slot);
+                }
+                *ctx.state.current.lock() = None;
+            }
+            Job::Export { session, reply, queued } => {
+                ctx.waits.export.record_duration(queued.elapsed());
+                *ctx.state.current.lock() = Some(session);
+                let slot = ctx.state.sessions.lock().remove(&session);
+                match slot {
+                    Some(SessionSlot::Quarantined(failure)) => {
+                        let _ = reply.send(Err(failure.clone()));
+                        ctx.state
+                            .sessions
+                            .lock()
+                            .insert(session, SessionSlot::Quarantined(failure));
+                    }
+                    live => {
+                        // A session with no state yet exports as an empty
+                        // snapshot — same lazy materialization as Events.
+                        let entry = match live {
+                            Some(SessionSlot::Live(entry)) => entry,
+                            _ => Box::new(SessionEntry {
+                                session: AnalysisSession::with_registry(
+                                    ctx.detector.clone(),
+                                    ctx.registry.clone(),
+                                ),
+                                peak_bytes: 0,
+                            }),
+                        };
+                        let bytes =
+                            arbalest_store::encode_session_snapshot(&entry.session.to_snapshot());
+                        ctx.state.sessions.lock().insert(session, SessionSlot::Live(entry));
+                        let _ = reply.send(Ok(bytes));
+                    }
+                }
+                *ctx.state.current.lock() = None;
+            }
             Job::Stop => break,
         }
     }
@@ -537,7 +667,7 @@ mod tests {
         let reg = Registry::new();
         let stats = Arc::new(GlobalStats::new(&reg));
         (
-            ShardPool::new(shards, cap, ArbalestConfig::default(), stats.clone(), &reg, limits),
+            ShardPool::new(shards, cap, ArbalestConfig::default(), stats.clone(), &reg, limits, None),
             stats,
         )
     }

@@ -1,0 +1,294 @@
+//! Durable-session end-to-end tests: kill a server mid-stream, restart it
+//! on the same data directory, resume every session, and demand reports
+//! **byte-identical** to an uninterrupted in-process run — for all 56
+//! DRACC cases at seeded pseudo-random cut offsets. Plus live-reconnect
+//! resume, export/import migration, snapshot/compaction triggering, and
+//! clean-finish garbage collection.
+
+use arbalest_core::{AnalysisSession, ArbalestConfig};
+use arbalest_offload::prelude::*;
+use arbalest_offload::trace::{TraceEvent, TraceRecorder};
+use arbalest_server::{Client, ListenAddr, Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn record(bench: &arbalest_dracc::Benchmark) -> Vec<TraceEvent> {
+    let recorder = Arc::new(TraceRecorder::new());
+    let rt = Runtime::with_tool(Config::default(), recorder.clone());
+    bench.run(&rt);
+    recorder.take()
+}
+
+fn in_process(events: &[TraceEvent]) -> Vec<Report> {
+    let session = AnalysisSession::new(ArbalestConfig::default());
+    session.feed_batch(events);
+    session.finish()
+}
+
+fn render_all(reports: &[Report]) -> String {
+    reports.iter().map(|r| r.render()).collect()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "arbalest-durable-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_server(data_dir: &Path, shards: usize) -> Server {
+    Server::start(
+        &ListenAddr::Tcp("127.0.0.1:0".into()),
+        ServerConfig {
+            shards,
+            queue_cap: 64,
+            data_dir: Some(data_dir.to_path_buf()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind durable server")
+}
+
+/// Deterministic splitmix64 step (the tests must not depend on wall
+/// clock or OS entropy).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The acceptance criterion: every DRACC case, cut at a seeded offset,
+/// killed, recovered on a fresh server instance over the same data dir,
+/// resumed, and finished — reports must match an uninterrupted run
+/// byte-for-byte.
+#[test]
+fn kill_and_recover_every_dracc_case_at_seeded_offsets() {
+    let data_dir = tmp_dir("parity");
+    let mut rng = 0x5EED_u64;
+
+    // Phase 1: submit a seeded prefix of every benchmark, then abandon
+    // the connection (no Finish) and stop the server. Acked batches are
+    // in each session's WAL.
+    let mut pending: Vec<(u64, Vec<TraceEvent>, usize)> = Vec::new();
+    {
+        let server = durable_server(&data_dir, 4);
+        let addr = server.local_addr().clone();
+        for bench in arbalest_dracc::all() {
+            let events = record(&bench);
+            let cut = (splitmix(&mut rng) % (events.len() as u64 + 1)) as usize;
+            let mut client = Client::connect(&addr).expect("connect");
+            let id = client.hello().expect("hello");
+            for batch in events[..cut].chunks(32) {
+                client.send_events(batch).expect("send prefix");
+            }
+            pending.push((id, events, cut));
+            // Dropping the client without Finish is the "kill": the
+            // session's only live copy is now the data directory.
+        }
+        server.stop();
+    }
+
+    // Phase 2: a fresh server over the same directory recovers every
+    // session; resuming and finishing each must converge to the
+    // uninterrupted report.
+    let server = durable_server(&data_dir, 4);
+    let addr = server.local_addr().clone();
+    for (id, events, cut) in pending {
+        let expected = in_process(&events);
+        let mut client = Client::connect(&addr).expect("connect");
+        client.hello_resume(Some(id)).expect("resume");
+        let stats = client.stats().expect("stats");
+        assert_eq!(
+            stats.session_events, cut as u64,
+            "session {id}: recovered event count must equal the acked prefix"
+        );
+        for batch in events[cut..].chunks(32) {
+            client.send_events(batch).expect("send tail");
+        }
+        let got = client.finish().expect("finish");
+        assert_eq!(got, expected, "session {id}: reports diverged after recovery");
+        assert_eq!(render_all(&got), render_all(&expected), "session {id}: rendering diverged");
+    }
+    server.stop();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+/// Resume against the *same* server instance (disconnect, reconnect):
+/// disk stays the authority and the stream continues seamlessly.
+#[test]
+fn live_reconnect_resumes_from_the_wal() {
+    let data_dir = tmp_dir("reconnect");
+    let server = durable_server(&data_dir, 2);
+    let addr = server.local_addr().clone();
+
+    let bench = arbalest_dracc::by_id(22).expect("DRACC 22");
+    let events = record(&bench);
+    let expected = in_process(&events);
+    let cut = events.len() / 2;
+
+    let id = {
+        let mut client = Client::connect(&addr).expect("connect");
+        let id = client.hello().expect("hello");
+        for batch in events[..cut].chunks(16) {
+            client.send_events(batch).expect("send prefix");
+        }
+        id
+    }; // dropped without Finish
+
+    // The old handler unregisters the session as it tears down; an
+    // immediate reconnect can race that cleanup and see the single-writer
+    // guard still held. Retry briefly, as a real client would.
+    let mut client = Client::connect(&addr).expect("reconnect");
+    let mut attempts = 0;
+    loop {
+        match client.hello_resume(Some(id)) {
+            Ok(_) => break,
+            Err(e) if attempts < 50 => {
+                assert!(matches!(e, arbalest_server::ProtoError::Remote(_)), "{e:?}");
+                attempts += 1;
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                client = Client::connect(&addr).expect("reconnect retry");
+            }
+            Err(e) => panic!("resume never succeeded: {e:?}"),
+        }
+    }
+    assert_eq!(client.stats().expect("stats").session_events, cut as u64);
+    for batch in events[cut..].chunks(16) {
+        client.send_events(batch).expect("send tail");
+    }
+    assert_eq!(client.finish().expect("finish"), expected);
+    server.stop();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+/// A session resumed while still attached elsewhere is refused: two
+/// writers interleaving one WAL would corrupt the resume point.
+#[test]
+fn double_attach_is_refused() {
+    let data_dir = tmp_dir("doubleattach");
+    let server = durable_server(&data_dir, 1);
+    let addr = server.local_addr().clone();
+
+    let mut first = Client::connect(&addr).expect("connect");
+    let id = first.hello().expect("hello");
+
+    let mut second = Client::connect(&addr).expect("connect");
+    let err = second.hello_resume(Some(id)).expect_err("attached session must refuse resume");
+    assert!(matches!(err, arbalest_server::ProtoError::Remote(_)), "{err:?}");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+/// Export mid-session, import on a *different* server (no shared disk),
+/// resume the imported id there, finish both: identical reports.
+#[test]
+fn export_import_migrates_a_session_between_servers() {
+    let source = Server::start(
+        &ListenAddr::Tcp("127.0.0.1:0".into()),
+        ServerConfig { shards: 1, ..ServerConfig::default() },
+    )
+    .expect("bind source");
+    let target = Server::start(
+        &ListenAddr::Tcp("127.0.0.1:0".into()),
+        ServerConfig { shards: 1, ..ServerConfig::default() },
+    )
+    .expect("bind target");
+
+    let bench = arbalest_dracc::by_id(1).expect("DRACC 1");
+    let events = record(&bench);
+    let expected = in_process(&events);
+    let cut = events.len() / 2;
+
+    let mut src = Client::connect(source.local_addr()).expect("connect source");
+    src.hello().expect("hello");
+    for batch in events[..cut].chunks(16) {
+        src.send_events(batch).expect("send prefix");
+    }
+    let state = src.export().expect("export");
+    assert!(!state.is_empty());
+
+    let mut dst = Client::connect(target.local_addr()).expect("connect target");
+    let moved = dst.import(&state).expect("import");
+    // Import does not bind the session; attach explicitly.
+    let mut dst2 = Client::connect(target.local_addr()).expect("connect target");
+    dst2.hello_resume(Some(moved)).expect("resume imported");
+    assert_eq!(dst2.stats().expect("stats").session_events, cut as u64);
+    for batch in events[cut..].chunks(16) {
+        dst2.send_events(batch).expect("send tail");
+    }
+    assert_eq!(dst2.finish().expect("finish"), expected, "migrated session diverged");
+
+    // Garbage import bytes are rejected typed, creating nothing.
+    let err = dst.import(&[0u8; 16]).expect_err("garbage import must fail");
+    assert!(matches!(err, arbalest_server::ProtoError::Remote(_)), "{err:?}");
+
+    source.stop();
+    target.stop();
+}
+
+/// Parse one unlabelled sample's value out of Prometheus text.
+fn prom_value(prom: &str, name: &str) -> u64 {
+    prom.lines()
+        .find(|l| l.starts_with(&format!("{name} ")))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Snapshot triggers fire mid-stream, compaction prunes covered
+/// segments, the store's instruments land in the server's Prometheus
+/// export, and a clean Finish removes the session's durable state.
+#[test]
+fn snapshot_triggers_compaction_and_clean_finish_removes_state() {
+    let data_dir = tmp_dir("snaptrig");
+    let server = Server::start(
+        &ListenAddr::Tcp("127.0.0.1:0".into()),
+        ServerConfig {
+            shards: 1,
+            data_dir: Some(data_dir.to_path_buf()),
+            store: arbalest_store::StoreConfig {
+                // Tiny segments and an aggressive event trigger so even a
+                // short trace snapshots and compacts several times.
+                segment_bytes: 2048,
+                snapshot_every_events: 64,
+                ..arbalest_store::StoreConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().clone();
+
+    let bench = arbalest_dracc::by_id(22).expect("DRACC 22");
+    let events = record(&bench);
+    assert!(events.len() > 128, "need enough events to trip the trigger twice");
+    let expected = in_process(&events);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let got = client.submit_chunked(&events, 32).expect("submit");
+    assert_eq!(got, expected, "durable path must not perturb analysis");
+
+    let prom = client.metrics().expect("metrics");
+    assert!(
+        prom_value(&prom, "arbalest_store_snapshots_total") >= 1,
+        "snapshot trigger never fired:\n{prom}"
+    );
+    assert!(prom_value(&prom, "arbalest_store_wal_records_total") >= 1);
+    assert!(prom_value(&prom, "arbalest_store_wal_appended_bytes_total") > 0);
+
+    // Clean Finish: the session's durable record is gone, so a restart
+    // recovers nothing.
+    let sessions = data_dir.join("sessions");
+    let leftovers: Vec<_> = std::fs::read_dir(&sessions)
+        .map(|it| it.filter_map(|e| e.ok().map(|e| e.path())).collect())
+        .unwrap_or_default();
+    assert!(leftovers.is_empty(), "finished session left durable state: {leftovers:?}");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

@@ -227,7 +227,7 @@ fn wire_version_mismatch_still_fails_fast() {
     let server = start(ServerConfig { shards: 1, ..ServerConfig::default() });
     let addr = tcp_addr(&server);
     let mut raw = TcpStream::connect(&addr).expect("connect");
-    Frame::Hello { version: WIRE_VERSION + 1 }.write_to(&mut raw).expect("hello");
+    Frame::Hello { version: WIRE_VERSION + 1, resume: None }.write_to(&mut raw).expect("hello");
     let reply = Frame::read_from(&mut raw, &mut || true).expect("reply");
     assert!(matches!(reply, Frame::Error { .. }), "{reply:?}");
     server.stop();

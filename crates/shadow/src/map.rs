@@ -167,6 +167,46 @@ impl ShadowMemory {
             self.store(dst_addr + g * 8, slot, v);
         }
     }
+
+    /// Dump every resident page as a `(page_index, cells)` pair, sorted by
+    /// page index so two dumps of identical shadow state are identical
+    /// byte-for-byte regardless of hash-map iteration order. Cell layout
+    /// inside a page is `granule * slots + slot`, the same order
+    /// [`restore_pages`](Self::restore_pages) expects back.
+    pub fn snapshot_pages(&self) -> Vec<(u64, Vec<u64>)> {
+        let pages = self.pages.read();
+        let mut out: Vec<(u64, Vec<u64>)> = pages
+            .iter()
+            .map(|(&idx, p)| (idx, p.cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()))
+            .collect();
+        out.sort_unstable_by_key(|&(idx, _)| idx);
+        out
+    }
+
+    /// Replace all resident state with pages dumped by
+    /// [`snapshot_pages`](Self::snapshot_pages). Returns `false` (leaving
+    /// the shadow evicted-to-zero) if any page's cell count does not match
+    /// this shadow's `slots` layout — a snapshot from a different
+    /// configuration must never be installed as wrong state.
+    pub fn restore_pages(&self, dump: &[(u64, Vec<u64>)]) -> bool {
+        let expect = GRANULES_PER_PAGE * self.slots;
+        let mut pages = self.pages.write();
+        pages.clear();
+        for (idx, cells) in dump {
+            if cells.len() != expect {
+                pages.clear();
+                self.page_count.store(0, Ordering::Relaxed);
+                return false;
+            }
+            let page = ShadowPage::new(self.slots);
+            for (cell, &v) in page.cells.iter().zip(cells.iter()) {
+                cell.store(v, Ordering::Relaxed);
+            }
+            pages.insert(*idx, Arc::new(page));
+        }
+        self.page_count.store(pages.len(), Ordering::Relaxed);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +300,34 @@ mod tests {
         b.copy_range_from(&a, 0x100, 0x900, 16, 0);
         assert_eq!(b.load(0x900, 0), 42);
         assert_eq!(b.load(0x908, 0), 43);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_and_is_sorted() {
+        let s = ShadowMemory::new(2);
+        s.store(0x9000, 0, 7);
+        s.store(0x9000, 1, 8);
+        s.store(0x1000, 0, 9);
+        let dump = s.snapshot_pages();
+        assert_eq!(dump.len(), 2);
+        assert!(dump[0].0 < dump[1].0, "pages must be sorted by index");
+        let t = ShadowMemory::new(2);
+        assert!(t.restore_pages(&dump));
+        assert_eq!(t.load(0x9000, 0), 7);
+        assert_eq!(t.load(0x9000, 1), 8);
+        assert_eq!(t.load(0x1000, 0), 9);
+        assert_eq!(t.resident_bytes(), s.resident_bytes());
+        assert_eq!(t.snapshot_pages(), dump);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_layout() {
+        let s = ShadowMemory::new(1);
+        s.store(0x1000, 0, 1);
+        let dump = s.snapshot_pages();
+        let t = ShadowMemory::new(2);
+        assert!(!t.restore_pages(&dump));
+        assert_eq!(t.resident_bytes(), 0, "failed restore must leave zero state");
     }
 
     #[test]

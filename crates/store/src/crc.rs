@@ -1,0 +1,56 @@
+//! CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`), hand-rolled —
+//! the workspace builds hermetically, so the checksum every WAL record
+//! and snapshot trailer carries is defined here and nowhere else.
+
+/// The 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = make_table();
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 of `data` (IEEE: init `!0`, reflected, final xor `!0`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = b"arbalest wal record".to_vec();
+        let clean = crc32(&data);
+        for i in 0..data.len() {
+            data[i] ^= 1;
+            assert_ne!(crc32(&data), clean, "flip at byte {i} went undetected");
+            data[i] ^= 1;
+        }
+        assert_eq!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,78 @@
+//! `arbalest_store_*` observability instruments.
+//!
+//! Registered through [`Registry::state`](arbalest_obs::Registry::state)
+//! like the detector's pack, so a server sharing one registry across
+//! shards shows durability cost in the same Prometheus/JSON exports as
+//! everything else.
+
+use arbalest_obs::{Counter, Histogram, Registry};
+
+/// Instrument pack for WAL, snapshot, and recovery activity.
+#[derive(Debug)]
+pub struct StoreMetrics {
+    /// Payload + framing bytes appended to WALs
+    /// (`arbalest_store_wal_appended_bytes_total`).
+    pub wal_appended_bytes: Counter,
+    /// Records appended (`arbalest_store_wal_records_total`).
+    pub wal_records: Counter,
+    /// Completed fsyncs (`arbalest_store_fsyncs_total`).
+    pub fsyncs: Counter,
+    /// Fsyncs that failed or were injected to fail
+    /// (`arbalest_store_fsync_failures_total`).
+    pub fsync_failures: Counter,
+    /// Fsync latency in nanoseconds (`arbalest_store_fsync_nanos`).
+    pub fsync_latency: Histogram,
+    /// Snapshots written (`arbalest_store_snapshots_total`).
+    pub snapshots: Counter,
+    /// Encoded snapshot bytes written
+    /// (`arbalest_store_snapshot_bytes_total`).
+    pub snapshot_bytes: Counter,
+    /// Snapshot encode+write latency in nanoseconds
+    /// (`arbalest_store_snapshot_nanos`).
+    pub snapshot_duration: Histogram,
+    /// Sessions rebuilt from disk (`arbalest_store_recovered_sessions_total`).
+    pub recovered_sessions: Counter,
+    /// Events replayed from WAL tails during recovery
+    /// (`arbalest_store_recovered_events_total`).
+    pub recovered_events: Counter,
+    /// Bytes discarded by torn/corrupt-tail truncation
+    /// (`arbalest_store_truncated_bytes_total`).
+    pub truncated_bytes: Counter,
+    /// Recoveries that found a torn (incomplete) tail
+    /// (`arbalest_store_torn_tails_total`).
+    pub torn_tails: Counter,
+    /// Recoveries that found a CRC-corrupt record
+    /// (`arbalest_store_corrupt_records_total`).
+    pub corrupt_records: Counter,
+    /// WAL segments deleted by compaction
+    /// (`arbalest_store_segments_compacted_total`).
+    pub segments_compacted: Counter,
+    /// Injected storage faults by site
+    /// (`arbalest_store_injected_faults_total{site}`):
+    /// `[torn_tail, corrupt_record, fsync_fail]`.
+    pub injected: [Counter; 3],
+}
+
+impl StoreMetrics {
+    /// Register the pack in `reg` (all no-ops on a disabled registry).
+    pub fn new(reg: &Registry) -> StoreMetrics {
+        StoreMetrics {
+            wal_appended_bytes: reg.counter("arbalest_store_wal_appended_bytes_total", &[]),
+            wal_records: reg.counter("arbalest_store_wal_records_total", &[]),
+            fsyncs: reg.counter("arbalest_store_fsyncs_total", &[]),
+            fsync_failures: reg.counter("arbalest_store_fsync_failures_total", &[]),
+            fsync_latency: reg.histogram("arbalest_store_fsync_nanos", &[]),
+            snapshots: reg.counter("arbalest_store_snapshots_total", &[]),
+            snapshot_bytes: reg.counter("arbalest_store_snapshot_bytes_total", &[]),
+            snapshot_duration: reg.histogram("arbalest_store_snapshot_nanos", &[]),
+            recovered_sessions: reg.counter("arbalest_store_recovered_sessions_total", &[]),
+            recovered_events: reg.counter("arbalest_store_recovered_events_total", &[]),
+            truncated_bytes: reg.counter("arbalest_store_truncated_bytes_total", &[]),
+            torn_tails: reg.counter("arbalest_store_torn_tails_total", &[]),
+            corrupt_records: reg.counter("arbalest_store_corrupt_records_total", &[]),
+            segments_compacted: reg.counter("arbalest_store_segments_compacted_total", &[]),
+            injected: ["torn_tail", "corrupt_record", "fsync_fail"]
+                .map(|site| reg.counter("arbalest_store_injected_faults_total", &[("site", site)])),
+        }
+    }
+}
