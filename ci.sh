@@ -23,6 +23,12 @@ echo "==> arbalest lint all (static analyzer gate)"
 # Exit code enforces the contract: buggy models flagged, correct silent.
 ./target/release/arbalest lint all --quiet
 
+echo "==> arbalest fuzz-lint --seeds 64 (differential soundness gate)"
+# Generated programs + all 56 DRACC models through both detectors:
+# every static Must confirmed dynamically, every dynamic report
+# statically anticipated.
+./target/release/arbalest fuzz-lint --seeds 64 --quiet
+
 if [[ "${RUN_SOAK:-1}" == "1" ]]; then
     echo "==> fault-injection soak (ignored test, bounded)"
     cargo test -q --test soak -- --ignored

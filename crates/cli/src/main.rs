@@ -56,6 +56,8 @@ struct Options {
     metrics_out: Option<String>,
     trace_out: Option<String>,
     no_metrics: bool,
+    deny: Option<Severity>,
+    seeds: u64,
 }
 
 impl Default for Options {
@@ -72,6 +74,8 @@ impl Default for Options {
             metrics_out: None,
             trace_out: None,
             no_metrics: false,
+            deny: None,
+            seeds: 64,
         }
     }
 }
@@ -109,6 +113,11 @@ usage: arbalest <command> [options]
   spec <name|all>            run SPEC-like workload(s)
   lint <id|name|all>         static data-mapping analysis of a benchmark's
                              IR model (no execution)
+  fuzz-lint                  differential soundness gate: generated
+                             programs (--seeds) plus all DRACC IR models
+                             run under both the static analyzer and the
+                             dynamic detector; checks Must ⊆ dynamic and
+                             dynamic ⊆ May, prints the precision ratio
   certify <id|all>           Theorem-1 certification of DRACC benchmark(s)
   profile <id|all>           run DRACC benchmark(s) under the arbalest
                              detector and print a hot-path profile
@@ -171,6 +180,10 @@ options:
   --format text|json         report format for dracc/spec/lint (default text);
                              for stats: text|prom
   --faults seed=N,rate=P     deterministic fault injection (rate in [0,1])
+  --deny may|must            lint: exit 3 when any diagnostic at or above
+                             the given severity exists (may denies all)
+  --seeds <n>                fuzz-lint: number of generated programs
+                             (default 64)
   --metrics-out <file>       dracc/spec/profile: write the metrics registry
                              as JSON after the run
   --trace-out <file>         dracc/spec/profile: write captured span events
@@ -236,6 +249,19 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.trace_out = Some(it.next().ok_or("--trace-out needs a file path")?.clone());
             }
             "--no-metrics" => opts.no_metrics = true,
+            "--deny" => {
+                opts.deny = match it.next().map(String::as_str) {
+                    Some("may") => Some(Severity::May),
+                    Some("must") => Some(Severity::Must),
+                    other => return Err(format!("bad --deny {other:?} (want may|must)")),
+                };
+            }
+            "--seeds" => {
+                opts.seeds = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seeds needs a number")?;
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -491,10 +517,13 @@ fn cmd_lint(target: &str, opts: &Options) -> ExitCode {
     };
     let mut wrong = 0usize;
     let mut results = Vec::new();
+    let (mut total_must, mut total_may) = (0usize, 0usize);
     for item in &items {
         let diags = analyze(&item.program);
         let must = diags.iter().filter(|d| d.severity == Severity::Must).count();
         let may = diags.len() - must;
+        total_must += must;
+        total_may += may;
         // A correct program must draw nothing; a seeded bug must draw at
         // least one diagnostic (the data-dependent cases only a `may`).
         let ok = if item.bug_expected { !diags.is_empty() } else { diags.is_empty() };
@@ -537,7 +566,74 @@ fn cmd_lint(target: &str, opts: &Options) -> ExitCode {
         ]);
         println!("{}", doc.emit());
     }
-    if wrong == 0 {
+    if wrong != 0 {
+        return ExitCode::FAILURE;
+    }
+    // Exit-code policy: `--deny must` fails the run on any must-level
+    // diagnostic, `--deny may` on any diagnostic at all (exit 3), so CI
+    // can gate on "no findings" regardless of the expectation check.
+    let denied = match opts.deny {
+        Some(Severity::Must) => total_must > 0,
+        Some(Severity::May) => total_must + total_may > 0,
+        None => false,
+    };
+    if denied {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `arbalest fuzz-lint`: the differential soundness gate. Generated
+/// programs (`--seeds`) and all 56 DRACC IR models run through both the
+/// static analyzer and the dynamic detector; every static `Must` needs a
+/// dynamic confirmation and every dynamic report a static anticipation.
+fn cmd_fuzz_lint(opts: &Options) -> ExitCode {
+    use arbalest_static::differential::{check_program, check_seed, FuzzSummary};
+    let mut summary = FuzzSummary::default();
+    for seed in 0..opts.seeds {
+        summary.absorb(&check_seed(seed));
+    }
+    for b in arbalest_dracc::all() {
+        let model = arbalest_dracc::ir_models::ir_model(b.id).expect("model for every id");
+        summary.absorb(&check_program(&b.dracc_id(), &model, &arbalest_ir::Binding::new()));
+    }
+    if opts.format == OutputFormat::Json {
+        let doc = Json::obj(vec![
+            ("command", Json::Str("fuzz-lint".into())),
+            ("seeds", Json::int(opts.seeds)),
+            ("cases", Json::int(summary.cases as u64)),
+            ("static_must", Json::int(summary.static_must as u64)),
+            ("static_may", Json::int(summary.static_may as u64)),
+            ("dynamic", Json::int(summary.dynamic as u64)),
+            ("confirmed", Json::int(summary.confirmed as u64)),
+            ("precision", Json::Num(summary.precision())),
+            (
+                "violations",
+                Json::Arr(summary.violations.iter().map(|v| Json::Str(v.clone())).collect()),
+            ),
+        ]);
+        println!("{}", doc.emit());
+    } else {
+        if !opts.quiet {
+            for v in &summary.violations {
+                println!("VIOLATION {v}");
+            }
+        }
+        println!(
+            "fuzz-lint: {} cases ({} seeds + DRACC), {} must / {} may static, \
+             {} dynamic, {} confirmed, precision {:.2}: {}",
+            summary.cases,
+            opts.seeds,
+            summary.static_must,
+            summary.static_may,
+            summary.dynamic,
+            summary.confirmed,
+            summary.precision(),
+            if summary.ok() { "PASS" } else { "FAIL" },
+        );
+    }
+    if summary.ok() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -1352,6 +1448,16 @@ fn main() -> ExitCode {
             } else {
                 cmd_record(target, &opts)
             }
+        }
+        "fuzz-lint" => {
+            let opts = match parse_options(&args[1..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}\n");
+                    return usage();
+                }
+            };
+            cmd_fuzz_lint(&opts)
         }
         "dracc" | "spec" | "lint" | "certify" | "profile" => {
             let Some(target) = args.get(1) else { return usage() };

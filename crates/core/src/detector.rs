@@ -17,6 +17,7 @@ use arbalest_offload::events::{
     AccessEvent, DataOpEvent, DataOpKind, SrcLoc, SyncEvent, Tool, TransferEvent, TransferKind,
 };
 use arbalest_offload::report::{hints, PrevAccess, Report, ReportKind};
+use arbalest_offload::sections;
 use arbalest_race::RaceEngine;
 use arbalest_shadow::{IntervalTree, Layout, ShadowMemory};
 use arbalest_sync::{Mutex, RwLock};
@@ -778,11 +779,14 @@ impl Tool for Arbalest {
 
         // VSM range update. Clamp to the variable's extent so a
         // transfer-overflow does not scribble on a neighbour's shadow.
-        let (lo, hi) = match self.buffers.read().get(&ev.buffer.0) {
-            Some(info) => (ov_addr.max(info.ov_base), (ov_addr + ev.len).min(info.ov_end())),
-            None => (ov_addr, ov_addr + ev.len),
+        let clamped = match self.buffers.read().get(&ev.buffer.0) {
+            Some(info) => {
+                sections::intersect(ov_addr, ov_addr + ev.len, info.ov_base, info.ov_end())
+            }
+            None if ev.len > 0 => Some((ov_addr, ov_addr + ev.len)),
+            None => None,
         };
-        if lo < hi {
+        if let Some((lo, hi)) = clamped {
             let op = if ev.unified {
                 VsmOp::Flush(d)
             } else {

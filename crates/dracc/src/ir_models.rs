@@ -19,7 +19,7 @@
 //! other fifteen seeded bugs stay `must`.
 
 use crate::N;
-use arbalest_ir::{BufId, MapClause, Program, ProgramBuilder, Sect};
+use arbalest_ir::{Binding, BufId, Expr, MapClause, ParamId, Program, ProgramBuilder, Sect, Trip};
 use arbalest_offload::mapping::MapType;
 
 const NE: u64 = N as u64;
@@ -146,17 +146,18 @@ fn c08() -> Program {
     p.build()
 }
 
-fn c09() -> Program {
+fn s09() -> (Program, ParamId) {
     let mut p = pb(9);
+    let iters = p.param("iters", 1, Some(64));
     let a = p.buffer_init("a", 8, NE);
     p.enter_data(vec![to(a)]);
-    for _ in 0..3 {
+    p.loop_(Trip(Expr::param(iters)), |p| {
         p.target().map_to(a).reads(a).writes(a).done();
-    }
+    });
     p.exit_data(vec![from(a)]);
     p.host_read(a);
     p.taskwait();
-    p.build()
+    (p.build(), iters)
 }
 
 fn c10() -> Program {
@@ -198,10 +199,11 @@ fn c12() -> Program {
     p.build()
 }
 
-fn c13() -> Program {
+fn s13() -> (Program, ParamId) {
     let mut p = pb(13);
+    let iters = p.param("iters", 1, Some(64));
     let a = p.buffer_init("a", 8, NE);
-    for _ in 0..5 {
+    p.loop_(Trip(Expr::param(iters)), |p| {
         p.target()
             .map_tofrom(a)
             .nowait()
@@ -209,11 +211,11 @@ fn c13() -> Program {
             .reads(a)
             .writes(a)
             .done();
-    }
+    });
     p.taskwait();
     p.host_read(a);
     p.taskwait();
-    p.build()
+    (p.build(), iters)
 }
 
 fn c14() -> Program {
@@ -296,17 +298,18 @@ fn c20() -> Program {
     p.build()
 }
 
-fn c21() -> Program {
+fn s21() -> (Program, ParamId) {
     let mut p = pb(21);
+    let iters = p.param("iters", 1, Some(64));
     let a = p.buffer_init("a", 8, NE);
     p.data().map_tofrom(a).scope(|p| {
-        for _ in 0..2 {
+        p.loop_(Trip(Expr::param(iters)), |p| {
             p.target().map_tofrom(a).reads(a).writes(a).done();
-        }
+        });
     });
     p.host_read(a);
     p.taskwait();
-    p.build()
+    (p.build(), iters)
 }
 
 fn c35() -> Program {
@@ -400,15 +403,16 @@ fn c40() -> Program {
     p.build()
 }
 
-fn c41() -> Program {
+fn s41() -> (Program, ParamId) {
     let mut p = pb(41);
+    let iters = p.param("iters", 1, Some(64));
     let a = p.buffer_init("a", 8, NE);
-    for _ in 0..4 {
+    p.loop_(Trip(Expr::param(iters)), |p| {
         p.target().map_tofrom(a).reads(a).writes(a).done();
-    }
+    });
     p.host_read(a);
     p.taskwait();
-    p.build()
+    (p.build(), iters)
 }
 
 fn c42() -> Program {
@@ -420,19 +424,20 @@ fn c42() -> Program {
     p.build()
 }
 
-fn c43() -> Program {
+fn s43() -> (Program, ParamId) {
     let mut p = pb(43);
+    let iters = p.param("iters", 1, Some(64));
     let a = p.buffer_init("a", 8, NE);
     p.enter_data(vec![to(a)]);
-    for _ in 0..2 {
+    p.loop_(Trip(Expr::param(iters)), |p| {
         p.host_write(a);
         p.update_to(a);
         p.target().map_to(a).reads(a).done();
-    }
+    });
     p.exit_data(vec![release(a)]);
     p.host_read(a);
     p.taskwait();
-    p.build()
+    (p.build(), iters)
 }
 
 fn c44() -> Program {
@@ -542,21 +547,22 @@ fn c54() -> Program {
     p.build()
 }
 
-fn c55() -> Program {
+fn s55() -> (Program, ParamId) {
     let mut p = pb(55);
+    let iters = p.param("iters", 1, Some(64));
     let a = p.buffer_init("a", 8, NE);
     p.enter_data(vec![to(a)]);
-    for _ in 0..3 {
+    p.loop_(Trip(Expr::param(iters)), |p| {
         p.target().map_to(a).reads(a).writes(a).done();
         p.update_from(a);
         p.host_read(a);
         p.host_write(a);
         p.update_to(a);
-    }
+    });
     p.exit_data(vec![release(a)]);
     p.host_read(a);
     p.taskwait();
-    p.build()
+    (p.build(), iters)
 }
 
 fn c56() -> Program {
@@ -797,8 +803,45 @@ fn b051() -> Program {
     p.build()
 }
 
-/// The IR model for one benchmark id, if one exists (all 56 do).
+/// The trip count the historic (hand-unrolled) model of a loop-shaped
+/// benchmark used, for ids that have a loop-form symbolic model.
+fn historic_trip(id: u32) -> Option<u64> {
+    Some(match id {
+        9 => 3,
+        13 => 5,
+        21 => 2,
+        41 => 4,
+        43 => 2,
+        55 => 3,
+        _ => return None,
+    })
+}
+
+/// The loop-form symbolic model for a loop-shaped benchmark, paired
+/// with the binding that reproduces the historic unrolled shape. The
+/// static analyzer can check these once, for *every* trip count; the
+/// concrete [`ir_model`] is their instantiation.
+pub fn symbolic_model(id: u32) -> Option<(Program, Binding)> {
+    let trips = historic_trip(id)?;
+    let (p, iters) = match id {
+        9 => s09(),
+        13 => s13(),
+        21 => s21(),
+        41 => s41(),
+        43 => s43(),
+        55 => s55(),
+        _ => unreachable!("historic_trip covers exactly the loop ids"),
+    };
+    Some((p, Binding::new().set(iters, trips)))
+}
+
+/// The IR model for one benchmark id, if one exists (all 56 do). The
+/// loop-shaped benchmarks concretize their symbolic model at the
+/// historic trip count; the rest are straight-line programs.
 pub fn ir_model(id: u32) -> Option<Program> {
+    if let Some((p, b)) = symbolic_model(id) {
+        return Some(p.concretize(&b).expect("historic binding is in range"));
+    }
     let f: fn() -> Program = match id {
         1 => c01,
         2 => c02,
@@ -808,11 +851,9 @@ pub fn ir_model(id: u32) -> Option<Program> {
         6 => c06,
         7 => c07,
         8 => c08,
-        9 => c09,
         10 => c10,
         11 => c11,
         12 => c12,
-        13 => c13,
         14 => c14,
         15 => c15,
         16 => c16,
@@ -820,7 +861,6 @@ pub fn ir_model(id: u32) -> Option<Program> {
         18 => c18,
         19 => c19,
         20 => c20,
-        21 => c21,
         22 => b022,
         23 => b023,
         24 => b024,
@@ -840,9 +880,7 @@ pub fn ir_model(id: u32) -> Option<Program> {
         38 => c38,
         39 => c39,
         40 => c40,
-        41 => c41,
         42 => c42,
-        43 => c43,
         44 => c44,
         45 => c45,
         46 => c46,
@@ -854,7 +892,6 @@ pub fn ir_model(id: u32) -> Option<Program> {
         52 => c52,
         53 => c53,
         54 => c54,
-        55 => c55,
         56 => c56,
         _ => return None,
     };

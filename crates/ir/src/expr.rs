@@ -1,0 +1,346 @@
+//! Affine symbolic bounds: `Expr = c0 + Σ ci·param_i (+ ci·iv)`.
+//!
+//! Anywhere the IR used to carry a concrete `u64` section bound or buffer
+//! length it can now carry an [`Expr`] over declared program parameters
+//! ([`ParamDecl`]) and the innermost enclosing loop's induction variable
+//! (`iv`). The static checker reasons about these with interval
+//! arithmetic ([`Expr::range`]) and three-valued comparisons
+//! ([`Expr::le`] and friends return `None` when the parameter ranges
+//! cannot decide), and `Program::concretize` evaluates them to plain
+//! numbers once a [`crate::Binding`] fixes every parameter.
+//!
+//! The representation is canonical: terms are sorted by variable and
+//! zero coefficients are dropped, so structural equality (`==`, `Hash`)
+//! is semantic equality.
+
+use std::fmt;
+
+/// Index of a program parameter declaration within its `Program`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub u32);
+
+/// A declared program parameter with its assumed range. `max == None`
+/// means unbounded above. Analysis results hold for every binding inside
+/// the range; `concretize` rejects bindings outside it.
+#[derive(Debug, Clone)]
+pub struct ParamDecl {
+    /// Parameter name (for diagnostics).
+    pub name: String,
+    /// Smallest admissible value.
+    pub min: u64,
+    /// Largest admissible value, if bounded.
+    pub max: Option<u64>,
+}
+
+/// A symbolic variable: a declared parameter or the innermost enclosing
+/// loop's induction variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Var {
+    /// A program parameter.
+    Param(ParamId),
+    /// The innermost enclosing `Node::Loop`'s induction variable,
+    /// ranging over `0 .. trip`.
+    Iv,
+}
+
+/// An affine expression `c0 + Σ ci·var_i` with `i128` coefficients
+/// (wide enough that no `u64` bound arithmetic can overflow). Canonical:
+/// terms sorted by variable, no zero coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Expr {
+    c0: i128,
+    terms: Vec<(Var, i128)>,
+}
+
+impl Expr {
+    /// The constant zero.
+    pub const ZERO: Expr = Expr { c0: 0, terms: Vec::new() };
+
+    /// A constant expression.
+    pub fn lit(v: u64) -> Expr {
+        Expr { c0: v as i128, terms: Vec::new() }
+    }
+
+    /// A (possibly negative) constant expression.
+    pub fn lit_i(v: i128) -> Expr {
+        Expr { c0: v, terms: Vec::new() }
+    }
+
+    /// The parameter `p` with coefficient 1.
+    pub fn param(p: ParamId) -> Expr {
+        Expr { c0: 0, terms: vec![(Var::Param(p), 1)] }
+    }
+
+    /// The innermost loop induction variable with coefficient 1.
+    pub fn iv() -> Expr {
+        Expr { c0: 0, terms: vec![(Var::Iv, 1)] }
+    }
+
+    fn canon(mut self) -> Expr {
+        self.terms.sort_by_key(|&(v, _)| v);
+        self.terms.dedup_by(|(v2, c2), (v1, c1)| {
+            if v1 == v2 {
+                *c1 = c1.saturating_add(*c2);
+                true
+            } else {
+                false
+            }
+        });
+        self.terms.retain(|&(_, c)| c != 0);
+        self
+    }
+
+    /// `self + other`.
+    #[must_use]
+    pub fn add(&self, other: &Expr) -> Expr {
+        let mut e = self.clone();
+        e.c0 = e.c0.saturating_add(other.c0);
+        e.terms.extend(other.terms.iter().copied());
+        e.canon()
+    }
+
+    /// `self - other`.
+    #[must_use]
+    pub fn sub(&self, other: &Expr) -> Expr {
+        self.add(&other.scale(-1))
+    }
+
+    /// `self * k`.
+    #[must_use]
+    pub fn scale(&self, k: i128) -> Expr {
+        Expr {
+            c0: self.c0.saturating_mul(k),
+            terms: self.terms.iter().map(|&(v, c)| (v, c.saturating_mul(k))).collect(),
+        }
+        .canon()
+    }
+
+    /// `self + k`.
+    #[must_use]
+    pub fn add_const(&self, k: i128) -> Expr {
+        let mut e = self.clone();
+        e.c0 = e.c0.saturating_add(k);
+        e
+    }
+
+    /// The constant value, if the expression has no variable terms.
+    pub fn as_const(&self) -> Option<i128> {
+        self.terms.is_empty().then_some(self.c0)
+    }
+
+    /// Whether the expression mentions the loop induction variable.
+    pub fn uses_iv(&self) -> bool {
+        self.terms.iter().any(|&(v, _)| v == Var::Iv)
+    }
+
+    /// Every parameter the expression mentions.
+    pub fn params_used(&self) -> impl Iterator<Item = ParamId> + '_ {
+        self.terms.iter().filter_map(|&(v, _)| match v {
+            Var::Param(p) => Some(p),
+            Var::Iv => None,
+        })
+    }
+
+    /// Evaluate under a parameter valuation and an innermost-loop iv.
+    /// `None` when a mentioned parameter is unbound or `iv` is needed
+    /// but absent.
+    pub fn eval(&self, param: &dyn Fn(ParamId) -> Option<u64>, iv: Option<u64>) -> Option<i128> {
+        let mut acc = self.c0;
+        for &(v, c) in &self.terms {
+            let val = match v {
+                Var::Param(p) => param(p)?,
+                Var::Iv => iv?,
+            };
+            acc = acc.saturating_add(c.saturating_mul(val as i128));
+        }
+        Some(acc)
+    }
+
+    /// Interval bounds of the expression over the declared parameter
+    /// ranges, with the iv ranging over `iv_range` (defaults to
+    /// `[0, ∞)` when the caller has no trip information). `None` means
+    /// unbounded on that side.
+    pub fn range(
+        &self,
+        params: &[ParamDecl],
+        iv_range: Option<(u64, Option<u64>)>,
+    ) -> (Option<i128>, Option<i128>) {
+        let mut lo = Some(self.c0);
+        let mut hi = Some(self.c0);
+        for &(v, c) in &self.terms {
+            let (vmin, vmax) = match v {
+                Var::Param(p) => match params.get(p.0 as usize) {
+                    Some(d) => (d.min, d.max),
+                    None => (0, None),
+                },
+                Var::Iv => iv_range.unwrap_or((0, None)),
+            };
+            let at_min = c.saturating_mul(vmin as i128);
+            let at_max = vmax.map(|m| c.saturating_mul(m as i128));
+            let (term_lo, term_hi) = if c >= 0 { (Some(at_min), at_max) } else { (at_max, Some(at_min)) };
+            lo = match (lo, term_lo) {
+                (Some(a), Some(b)) => Some(a.saturating_add(b)),
+                _ => None,
+            };
+            hi = match (hi, term_hi) {
+                (Some(a), Some(b)) => Some(a.saturating_add(b)),
+                _ => None,
+            };
+        }
+        (lo, hi)
+    }
+
+    /// Three-valued `self <= other` over the parameter ranges.
+    pub fn le(&self, other: &Expr, params: &[ParamDecl]) -> Option<bool> {
+        if self == other {
+            return Some(true);
+        }
+        let diff = other.sub(self);
+        let (lo, hi) = diff.range(params, None);
+        if matches!(lo, Some(l) if l >= 0) {
+            Some(true)
+        } else if matches!(hi, Some(h) if h < 0) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Three-valued `self < other` over the parameter ranges.
+    pub fn lt(&self, other: &Expr, params: &[ParamDecl]) -> Option<bool> {
+        if self == other {
+            return Some(false);
+        }
+        let diff = other.sub(self);
+        let (lo, hi) = diff.range(params, None);
+        if matches!(lo, Some(l) if l >= 1) {
+            Some(true)
+        } else if matches!(hi, Some(h) if h <= 0) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Three-valued `self == other` over the parameter ranges.
+    pub fn eq_sym(&self, other: &Expr, params: &[ParamDecl]) -> Option<bool> {
+        if self == other {
+            return Some(true);
+        }
+        match (self.le(other, params), other.le(self, params)) {
+            (Some(true), Some(true)) => Some(true),
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Expr {
+    fn from(v: u64) -> Expr {
+        Expr::lit(v)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "{}", self.c0);
+        }
+        let mut first = true;
+        for &(v, c) in &self.terms {
+            if !first {
+                write!(f, " {} ", if c < 0 { "-" } else { "+" })?;
+            } else if c < 0 {
+                write!(f, "-")?;
+            }
+            first = false;
+            let mag = c.unsigned_abs();
+            if mag != 1 {
+                write!(f, "{mag}*")?;
+            }
+            match v {
+                Var::Param(p) => write!(f, "p{}", p.0)?,
+                Var::Iv => write!(f, "iv")?,
+            }
+        }
+        if self.c0 != 0 {
+            write!(f, " {} {}", if self.c0 < 0 { "-" } else { "+" }, self.c0.unsigned_abs())?;
+        }
+        Ok(())
+    }
+}
+
+/// Loop trip count: the body executes `trip` times with the iv running
+/// `0 .. trip`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trip(pub Expr);
+
+impl Trip {
+    /// A concrete trip count.
+    pub fn lit(n: u64) -> Trip {
+        Trip(Expr::lit(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Vec<ParamDecl> {
+        vec![
+            ParamDecl { name: "n".into(), min: 1, max: Some(100) },
+            ParamDecl { name: "m".into(), min: 0, max: None },
+        ]
+    }
+
+    #[test]
+    fn canonical_form_merges_terms() {
+        let n = ParamId(0);
+        let e = Expr::param(n).add(&Expr::param(n)).add_const(3);
+        let f = Expr::param(n).scale(2).add_const(3);
+        assert_eq!(e, f);
+        let zero = Expr::param(n).sub(&Expr::param(n));
+        assert_eq!(zero.as_const(), Some(0));
+    }
+
+    #[test]
+    fn eval_and_range() {
+        let ps = params();
+        let n = ParamId(0);
+        let m = ParamId(1);
+        let e = Expr::param(n).scale(4).add(&Expr::param(m)).add_const(2);
+        let val = e.eval(&|p| Some(if p == n { 10 } else { 7 }), None);
+        assert_eq!(val, Some(49));
+        assert_eq!(e.range(&ps, None), (Some(6), None));
+        let bounded = Expr::param(n).scale(4).add_const(2);
+        assert_eq!(bounded.range(&ps, None), (Some(6), Some(402)));
+        let negated = Expr::param(n).scale(-1);
+        assert_eq!(negated.range(&ps, None), (Some(-100), Some(-1)));
+    }
+
+    #[test]
+    fn three_valued_comparisons() {
+        let ps = params();
+        let n = Expr::param(ParamId(0)); // 1..=100
+        let m = Expr::param(ParamId(1)); // 0..
+        assert_eq!(Expr::lit(0).le(&n, &ps), Some(true));
+        assert_eq!(Expr::lit(1).le(&n, &ps), Some(true));
+        assert_eq!(Expr::lit(101).le(&n, &ps), Some(false));
+        assert_eq!(Expr::lit(50).le(&n, &ps), None);
+        assert_eq!(n.lt(&n.add_const(1), &ps), Some(true));
+        assert_eq!(n.eq_sym(&n, &ps), Some(true));
+        assert_eq!(n.eq_sym(&m, &ps), None);
+        assert_eq!(n.lt(&Expr::lit(0), &ps), Some(false));
+    }
+
+    #[test]
+    fn iv_ranges_from_zero() {
+        let ps = params();
+        let e = Expr::iv();
+        assert!(e.uses_iv());
+        assert_eq!(e.range(&ps, None), (Some(0), None));
+        assert_eq!(e.range(&ps, Some((0, Some(7)))), (Some(0), Some(7)));
+        assert_eq!(e.eval(&|_| None, Some(3)), Some(3));
+        assert_eq!(e.eval(&|_| None, None), None);
+    }
+}

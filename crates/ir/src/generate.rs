@@ -1,0 +1,394 @@
+//! Seeded generator of random well-formed offload programs.
+//!
+//! The generator drives `arbalest fuzz-lint`: every seed yields one
+//! deterministic `(Program, Binding)` pair that the static checker
+//! analyses and the [`crate::interp`] module executes, and the two
+//! verdicts are compared. The programs are *well-formed but not
+//! necessarily correct* — oversized sections, `alloc`/`from` maps whose
+//! device views are read uninitialised, stale host reads and redundant
+//! remaps are all in-distribution, because those are precisely the bug
+//! classes the detectors must agree on.
+//!
+//! Two structural guarantees keep the comparison deterministic:
+//!
+//! * every `nowait` target carries a `depend(out)` clause on a single
+//!   shared dependence object, so concurrent tasks form a totally
+//!   ordered chain (no scheduling-dependent reports), and
+//! * a `taskwait` precedes every host access and the program end.
+//!
+//! Mapping is balanced inside loops and branch arms (no `enter data`
+//! there), so the abstract present table converges in one pass.
+
+use crate::rng::SplitMix64;
+use crate::{Binding, BufId, Expr, ParamId, Program, ProgramBuilder, Sect, Trip};
+use arbalest_offload::mapping::MapType;
+
+/// Everything `fuzz-lint` needs for one case.
+pub struct GeneratedCase {
+    /// The (possibly symbolic) program.
+    pub program: Program,
+    /// A binding that concretizes it.
+    pub binding: Binding,
+}
+
+struct Gen {
+    r: SplitMix64,
+    bufs: Vec<(BufId, u64, u64)>, // (id, declared len, elem size)
+    param: Option<(ParamId, u64)>, // (id, bound value)
+    persistent: Vec<BufId>,
+    pending: bool,
+    dep_buf: BufId,
+}
+
+/// Generate the program for `seed`. Deterministic: equal seeds yield
+/// structurally equal programs and bindings.
+pub fn generate(seed: u64) -> GeneratedCase {
+    let mut r = SplitMix64::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xF022_D155);
+    let mut p = ProgramBuilder::new(&format!("fuzz-{seed:05}"));
+
+    // Parameters: a third of the programs are symbolic.
+    let param = if r.chance(1, 3) {
+        let id = p.param("n", 1, Some(6));
+        Some((id, r.range(1, 6)))
+    } else {
+        None
+    };
+
+    // 1–3 buffers.
+    let nbufs = r.range(1, 3);
+    let mut bufs = Vec::new();
+    for i in 0..nbufs {
+        let name = format!("b{i}");
+        // Element sizes that divide the 8-byte shadow granule, so that
+        // granule-aligned element sections stay byte-aligned transfers.
+        let elem = [4u64, 8][r.below(2) as usize];
+        let len = r.range(4, 16);
+        let id = match (param, r.below(4)) {
+            (Some((pid, _)), 0) => {
+                // parameter-sized: len = 4*n + c
+                let e = Expr::param(pid).scale(4).add_const(r.below(4) as i128);
+                if r.chance(1, 2) {
+                    p.buffer_init_sym(&name, elem, e)
+                } else {
+                    p.buffer_sym(&name, elem, e)
+                }
+            }
+            _ => match r.below(4) {
+                0 | 1 => p.buffer_init(&name, elem, len),
+                2 => p.buffer(&name, elem, len),
+                _ => p.buffer_init_may(&name, elem, len),
+            },
+        };
+        bufs.push((id, len, elem));
+    }
+
+    let dep_buf = bufs[0].0;
+    let mut g = Gen { r, bufs, param, persistent: Vec::new(), pending: false, dep_buf };
+
+    let items = g.r.range(2, 5);
+    for _ in 0..items {
+        g.item(&mut p, 0);
+    }
+    // Drain pendings, then observe results from the host.
+    g.sync(&mut p);
+    for _ in 0..g.r.range(1, 2) {
+        g.host_access(&mut p);
+    }
+    p.taskwait();
+
+    let mut binding = Binding::new().with_choices(seed ^ 0xC01F_11B5);
+    if let Some((pid, v)) = g.param {
+        binding = binding.set(pid, v);
+    }
+    GeneratedCase { program: p.try_build().expect("generator invariant"), binding }
+}
+
+impl Gen {
+    fn pick_buf(&mut self) -> (BufId, u64, u64) {
+        self.bufs[self.r.below(self.bufs.len() as u64) as usize]
+    }
+
+    fn sync(&mut self, p: &mut ProgramBuilder) {
+        if self.pending {
+            p.taskwait();
+            self.pending = false;
+        }
+    }
+
+    /// A random section over a buffer of length `len` with `elem`-byte
+    /// elements: mostly full, sometimes a strict sub-section,
+    /// occasionally oversized (the wrong-array-section bug class).
+    /// Section bounds stay 8-byte-granule-aligned so lowered transfers
+    /// respect the runtime's shadow-granule alignment contract.
+    fn section(&mut self, len: u64, elem: u64, allow_oversized: bool) -> Sect {
+        let ge = 8 / elem; // elements per shadow granule
+        match self.r.below(6) {
+            0 if len / 2 >= ge => {
+                let cells = len / ge; // whole granules inside the extent
+                let start = self.r.below(cells / 2 + 1).min(cells - 1) * ge;
+                let slen = self.r.range(1, cells - start / ge) * ge;
+                Sect::Elems { start, len: slen }
+            }
+            1 if allow_oversized => {
+                let total = len.div_ceil(ge) * ge + self.r.range(1, 2) * ge;
+                Sect::Elems { start: 0, len: total }
+            }
+            _ => Sect::Full,
+        }
+    }
+
+    fn item(&mut self, p: &mut ProgramBuilder, depth: u32) {
+        match self.r.below(12) {
+            0..=3 => self.target(p),
+            4 | 5 => self.data_region(p),
+            6 => {
+                if depth == 0 {
+                    self.enter(p);
+                } else {
+                    self.target(p);
+                }
+            }
+            7 => {
+                if depth == 0 {
+                    self.exit(p);
+                } else {
+                    self.target(p);
+                }
+            }
+            8 => self.update(p),
+            9 => {
+                if depth == 0 {
+                    self.loop_(p);
+                } else {
+                    self.target(p);
+                }
+            }
+            10 => {
+                if depth < 2 {
+                    self.branch(p, depth);
+                } else {
+                    self.target(p);
+                }
+            }
+            _ => {
+                self.sync(p);
+                self.host_access(p);
+            }
+        }
+    }
+
+    fn map_type(&mut self) -> MapType {
+        match self.r.below(8) {
+            0..=2 => MapType::ToFrom,
+            3 | 4 => MapType::To,
+            5 | 6 => MapType::From,
+            _ => MapType::Alloc,
+        }
+    }
+
+    fn target(&mut self, p: &mut ProgramBuilder) {
+        let n_access = self.r.range(1, 2);
+        let mut chosen = Vec::new();
+        for _ in 0..n_access {
+            let b = self.pick_buf();
+            if !chosen.contains(&b) {
+                chosen.push(b);
+            }
+        }
+        let nowait = self.r.chance(1, 5);
+        let mut t = p.target();
+        for &(b, len, elem) in &chosen {
+            if self.persistent.contains(&b) {
+                if self.r.chance(1, 2) {
+                    t = t.map_to(b); // redundant remap: rc++ only
+                }
+            } else {
+                let mt = self.map_type();
+                match self.section(len, elem, true) {
+                    Sect::Full => {
+                        t = match mt {
+                            MapType::To => t.map_to(b),
+                            MapType::From => t.map_from(b),
+                            MapType::ToFrom => t.map_tofrom(b),
+                            _ => t.map_alloc(b),
+                        }
+                    }
+                    Sect::Elems { start, len } => {
+                        t = match mt {
+                            MapType::To => t.map_to_sec(b, start, len),
+                            MapType::From => t.map_from_sec(b, start, len),
+                            MapType::ToFrom => t.map_tofrom_sec(b, start, len),
+                            _ => t.map_alloc_sec(b, start, len),
+                        }
+                    }
+                    Sect::Sym { .. } => unreachable!(),
+                }
+            }
+        }
+        if nowait {
+            // Total order over all nowait tasks: one shared out-dependence.
+            t = t.nowait().depend_write(self.dep_buf);
+            self.pending = true;
+        } else {
+            // Synchronous targets join the chain too — their entry
+            // transfers must not race with in-flight nowait tasks, or
+            // the dynamic run becomes scheduling-dependent.
+            t = t.depend_write(self.dep_buf);
+            self.pending = false;
+        }
+        let n_ops = self.r.range(1, 3);
+        for _ in 0..n_ops {
+            let (b, len, elem) = chosen[self.r.below(chosen.len() as u64) as usize];
+            let is_write = self.r.chance(1, 2);
+            let may = self.r.chance(1, 6);
+            let sect = self.section(len, elem, false);
+            t = match (sect, is_write, may) {
+                (Sect::Full, true, false) => t.writes(b),
+                (Sect::Full, true, true) => t.may_writes(b),
+                (Sect::Full, false, false) => t.reads(b),
+                (Sect::Full, false, true) => t.may_reads(b),
+                (Sect::Elems { start, len }, true, _) => t.writes_sec(b, start, len),
+                (Sect::Elems { start, len }, false, _) => t.reads_sec(b, start, len),
+                (Sect::Sym { .. }, ..) => unreachable!(),
+            };
+        }
+        t.done();
+    }
+
+    fn data_region(&mut self, p: &mut ProgramBuilder) {
+        let (b, len, _) = self.pick_buf();
+        let mapped_here = !self.persistent.contains(&b);
+        let mut d = p.data();
+        if mapped_here {
+            d = match self.map_type() {
+                MapType::To => d.map_to(b),
+                MapType::From => d.map_from(b),
+                MapType::ToFrom => d.map_tofrom(b),
+                _ => d.map_alloc(b),
+            };
+        } else {
+            d = d.map_to(b);
+        }
+        let _ = len;
+        let inner = self.r.range(1, 2);
+        // The region body: targets over the region-mapped buffer. Inner
+        // nowait tasks are joined before the region's exit maps run —
+        // unmapping under a live kernel is a scheduling-dependent race.
+        d.scope(|p| {
+            for _ in 0..inner {
+                self.target(p);
+            }
+            self.sync(p);
+        });
+    }
+
+    fn enter(&mut self, p: &mut ProgramBuilder) {
+        let (b, _, _) = self.pick_buf();
+        if self.persistent.contains(&b) {
+            return;
+        }
+        self.sync(p);
+        let mt = if self.r.chance(2, 3) { MapType::To } else { MapType::Alloc };
+        p.enter_data(vec![crate::MapClause { buf: b, map_type: mt, sect: Sect::Full }]);
+        self.persistent.push(b);
+    }
+
+    fn exit(&mut self, p: &mut ProgramBuilder) {
+        let Some(&b) = self.persistent.last() else { return };
+        self.sync(p);
+        let mt = if self.r.chance(1, 2) { MapType::From } else { MapType::Release };
+        p.exit_data(vec![crate::MapClause { buf: b, map_type: mt, sect: Sect::Full }]);
+        self.persistent.pop();
+    }
+
+    fn update(&mut self, p: &mut ProgramBuilder) {
+        let Some(&b) = self.persistent.first() else { return };
+        self.sync(p);
+        if self.r.chance(1, 2) {
+            p.update_to(b);
+        } else {
+            p.update_from(b);
+        }
+    }
+
+    fn loop_(&mut self, p: &mut ProgramBuilder) {
+        let trip = match self.param {
+            Some((pid, _)) if self.r.chance(1, 2) => Trip(Expr::param(pid)),
+            _ => Trip::lit(self.r.range(2, 3)),
+        };
+        let body = self.r.range(1, 2);
+        p.loop_(trip, |p| {
+            for _ in 0..body {
+                // Loop bodies stay map-balanced: plain targets only.
+                self.target(p);
+            }
+        });
+    }
+
+    fn branch(&mut self, p: &mut ProgramBuilder, depth: u32) {
+        let may_taken = self.r.chance(1, 2);
+        let then_n = self.r.range(1, 2);
+        let else_n = self.r.below(2);
+        // Branching on pending nowaits would make the taskwait placement
+        // path-dependent; sync first so each arm tracks only its own.
+        self.sync(p);
+        let (mut then_pending, mut else_pending) = (false, false);
+        // `if_` invokes both closures synchronously, one after the other,
+        // before returning; `self` is not touched in between, so the raw
+        // pointer is only dereferenced while the borrow is unique.
+        let this: *mut Gen = self;
+        p.if_(
+            may_taken,
+            |p| {
+                let g = unsafe { &mut *this };
+                for _ in 0..then_n {
+                    g.item(p, depth + 1);
+                }
+                then_pending = std::mem::replace(&mut g.pending, false);
+            },
+            |p| {
+                let g = unsafe { &mut *this };
+                for _ in 0..else_n {
+                    g.item(p, depth + 1);
+                }
+                else_pending = std::mem::replace(&mut g.pending, false);
+            },
+        );
+        // Either arm may leave tasks in flight on its path.
+        self.pending = then_pending || else_pending;
+    }
+
+    fn host_access(&mut self, p: &mut ProgramBuilder) {
+        let (b, len, elem) = self.pick_buf();
+        let write = self.r.chance(1, 3);
+        match (self.section(len, elem, false), write) {
+            (Sect::Elems { start, len }, true) => p.host_write_sec(b, start, len),
+            (Sect::Elems { start, len }, false) => p.host_read_sec(b, start, len),
+            (_, true) => p.host_write(b),
+            (_, false) => p.host_read(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_well_formed() {
+        for seed in 0..64 {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(format!("{:?}", a.program), format!("{:?}", b.program), "seed {seed}");
+            // the binding concretizes the program
+            let conc = a.program.concretize(&a.binding).expect("binding fits");
+            assert!(conc.is_concrete(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn some_programs_are_symbolic() {
+        let symbolic = (0..64).filter(|&s| !generate(s).program.params.is_empty()).count();
+        assert!(symbolic > 4, "expected symbolic programs in the mix, got {symbolic}");
+    }
+}

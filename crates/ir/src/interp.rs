@@ -1,0 +1,279 @@
+//! Deterministic IR interpreter: lowers a *concrete* [`Program`] onto
+//! the real offload runtime.
+//!
+//! This is the executable half of the differential oracle behind
+//! `arbalest fuzz-lint`: the static checker analyses a (possibly
+//! symbolic) program, the interpreter runs its concretization against
+//! the live runtime with the dynamic detector attached, and the two
+//! report streams are compared. Buffers are lowered byte-for-byte as
+//! `Buffer<u8>` (element `i` of size `z` becomes bytes
+//! `[i*z, (i+1)*z)`), so the shadow-memory geometry matches the IR's
+//! byte arithmetic exactly. `May` accesses and `May` host
+//! initialisation flip deterministic coins drawn from the binding's
+//! choice seed, so a run is reproducible from `(program, binding)`
+//! alone.
+
+use crate::rng::SplitMix64;
+use crate::{Binding, BufferDecl, Certainty, IrError, MapClause, Node, Program, Sect, TargetId};
+use arbalest_offload::buffer::Buffer;
+use arbalest_offload::mapping::{Map, MapType};
+use arbalest_offload::runtime::{Depend, Runtime, TaskHandle};
+use std::collections::HashMap;
+
+/// Run `program` on `rt`. Symbolic programs are concretized under
+/// `binding` first; concrete programs ignore the parameter values but
+/// still draw may-access coins from the choice seed. A trailing
+/// `taskwait` is always issued so every `nowait` construct completes
+/// before this returns.
+pub fn run(program: &Program, binding: &Binding, rt: &Runtime) -> Result<(), IrError> {
+    let storage;
+    let conc: &Program = if program.is_concrete() {
+        program
+    } else {
+        storage = program.concretize(binding)?;
+        &storage
+    };
+    let mut exec = Exec {
+        p: conc,
+        rt,
+        bufs: Vec::new(),
+        coins: SplitMix64::new(binding.choice_seed ^ 0x1A7E_C0DE_D00D_F00D),
+        handles: HashMap::new(),
+    };
+    exec.alloc_buffers();
+    exec.nodes(&conc.nodes)?;
+    rt.taskwait();
+    Ok(())
+}
+
+/// One kernel-body operation, captured for the `move` closure.
+struct KOp {
+    buf: Buffer<u8>,
+    lo: usize,
+    hi: usize,
+    is_write: bool,
+}
+
+struct Exec<'a> {
+    p: &'a Program,
+    rt: &'a Runtime,
+    bufs: Vec<Buffer<u8>>,
+    coins: SplitMix64,
+    handles: HashMap<TargetId, TaskHandle>,
+}
+
+impl Exec<'_> {
+    fn alloc_buffers(&mut self) {
+        for d in &self.p.buffers {
+            let byte_len = (d.elem_size * d.len) as usize;
+            let buf = self.rt.alloc::<u8>(&d.name, byte_len);
+            if let Some((c, sect)) = &d.host_init {
+                let do_init = *c == Certainty::Must || self.coins.chance(1, 2);
+                if do_init {
+                    let (lo, hi) = byte_span(sect, d);
+                    for i in lo..hi {
+                        self.rt.write(&buf, i as usize, 1u8);
+                    }
+                }
+            }
+            self.bufs.push(buf);
+        }
+    }
+
+    /// A map clause lowered to the runtime's byte-granular `Map`.
+    /// Sections are *not* clamped: an oversized IR section becomes an
+    /// oversized runtime section, exactly the §IV-D transfer-overflow
+    /// the dynamic detector must flag.
+    fn lower_map(&self, m: &MapClause) -> Map {
+        let d = self.p.decl(m.buf);
+        let b = &self.bufs[m.buf.0 as usize];
+        match &m.sect {
+            Sect::Full | Sect::Sym { .. } => match m.map_type {
+                MapType::To => Map::to(b),
+                MapType::From => Map::from(b),
+                MapType::ToFrom => Map::tofrom(b),
+                MapType::Alloc => Map::alloc(b),
+                MapType::Release => Map::release(b),
+                MapType::Delete => Map::delete(b),
+            },
+            Sect::Elems { start, len } => {
+                let s = (start * d.elem_size) as usize;
+                let l = (len * d.elem_size) as usize;
+                match m.map_type {
+                    MapType::To => Map::to_section(b, s, l),
+                    MapType::From => Map::from_section(b, s, l),
+                    MapType::ToFrom => Map::tofrom_section(b, s, l),
+                    MapType::Alloc => Map::alloc_section(b, s, l),
+                    // release/delete act on the whole present entry
+                    MapType::Release => Map::release(b),
+                    MapType::Delete => Map::delete(b),
+                }
+            }
+        }
+    }
+
+    fn nodes(&mut self, nodes: &[Node]) -> Result<(), IrError> {
+        for n in nodes {
+            match n {
+                Node::Target(t) => {
+                    let mut tb = self.rt.target().on_device(t.device);
+                    for m in &t.maps {
+                        tb = tb.map(self.lower_map(m));
+                    }
+                    for dep in &t.depends {
+                        let b = &self.bufs[dep.buf.0 as usize];
+                        tb = tb.depend(if dep.is_write {
+                            Depend::write(b)
+                        } else {
+                            Depend::read(b)
+                        });
+                    }
+                    if t.nowait {
+                        tb = tb.nowait();
+                    }
+                    let mut ops: Vec<KOp> = Vec::with_capacity(t.body.len());
+                    for a in &t.body {
+                        if a.certainty == Certainty::May && !self.coins.chance(1, 2) {
+                            continue;
+                        }
+                        let d = self.p.decl(a.buf);
+                        let (lo, hi) = byte_span(&a.sect, d);
+                        if lo < hi {
+                            ops.push(KOp {
+                                buf: self.bufs[a.buf.0 as usize],
+                                lo: lo as usize,
+                                hi: hi as usize,
+                                is_write: a.is_write,
+                            });
+                        }
+                    }
+                    let handle = tb.run(move |k| {
+                        for op in &ops {
+                            k.for_each(op.lo..op.hi, |k, i| {
+                                if op.is_write {
+                                    k.write(&op.buf, i, 1u8);
+                                } else {
+                                    let _ = k.read(&op.buf, i);
+                                }
+                            });
+                        }
+                    });
+                    if t.nowait {
+                        self.handles.insert(t.id, handle);
+                    }
+                }
+                Node::TargetData { device, maps, body } => {
+                    let rt = self.rt;
+                    let mut db = rt.target_data().on_device(*device);
+                    for m in maps {
+                        db = db.map(self.lower_map(m));
+                    }
+                    db.scope(|_| self.nodes(body))?;
+                }
+                Node::EnterData { device, maps } => {
+                    let lowered: Vec<Map> = maps.iter().map(|m| self.lower_map(m)).collect();
+                    self.rt.target_enter_data(*device, &lowered);
+                }
+                Node::ExitData { device, maps } => {
+                    let lowered: Vec<Map> = maps.iter().map(|m| self.lower_map(m)).collect();
+                    self.rt.target_exit_data(*device, &lowered);
+                }
+                Node::Update { device, to_device, buf } => {
+                    let b = &self.bufs[buf.0 as usize];
+                    if *to_device {
+                        self.rt.update_to_on(*device, b);
+                    } else {
+                        self.rt.update_from_on(*device, b);
+                    }
+                }
+                Node::Host(a) => {
+                    if a.certainty == Certainty::May && !self.coins.chance(1, 2) {
+                        continue;
+                    }
+                    let d = self.p.decl(a.buf);
+                    let (lo, hi) = byte_span(&a.sect, d);
+                    let b = &self.bufs[a.buf.0 as usize];
+                    for i in lo..hi {
+                        if a.is_write {
+                            self.rt.write(b, i as usize, 1u8);
+                        } else {
+                            let _ = self.rt.read(b, i as usize);
+                        }
+                    }
+                }
+                Node::Taskwait => {
+                    self.rt.taskwait();
+                    self.handles.clear();
+                }
+                Node::Wait { target } => {
+                    if let Some(h) = self.handles.remove(target) {
+                        h.wait();
+                    }
+                }
+                Node::If { .. } | Node::Loop { .. } => {
+                    // `run` concretizes first; control flow cannot reach here.
+                    unreachable!("control-flow node in a concrete program");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Byte span of an access/init section, clamped to the declared extent.
+fn byte_span(sect: &Sect, d: &BufferDecl) -> (u64, u64) {
+    let (lo, hi) = sect.resolve(d.len);
+    let (lo, hi) = (lo.min(d.len), hi.min(d.len));
+    (lo * d.elem_size, hi * d.elem_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+    use arbalest_offload::runtime::Config;
+    use arbalest_offload::trace::TraceRecorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn interpreter_registers_declared_buffers() {
+        let mut p = ProgramBuilder::new("interp-smoke");
+        let a = p.buffer_init("a", 8, 4);
+        let out = p.buffer("out", 4, 4);
+        p.target().map_to(a).map_from(out).reads(a).writes(out).done();
+        p.host_read(out);
+        let prog = p.build();
+
+        let rec = Arc::new(TraceRecorder::new());
+        let rt = Runtime::with_tool(Config::default(), rec.clone());
+        run(&prog, &Binding::new(), &rt).expect("interp");
+        let trace = rec.take();
+        let registered: Vec<String> = trace
+            .iter()
+            .filter_map(|ev| match ev {
+                arbalest_offload::trace::TraceEvent::BufferRegistered(info) => {
+                    Some(info.name.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(registered, vec!["a".to_string(), "out".to_string()]);
+    }
+
+    #[test]
+    fn interpreter_unrolls_symbolic_programs() {
+        let mut p = ProgramBuilder::new("interp-sym");
+        let n = p.param("n", 1, Some(8));
+        let a = p.buffer_init_sym("a", 8, crate::Expr::param(n));
+        p.loop_(crate::Trip(crate::Expr::param(n)), |p| {
+            p.target().map_tofrom(a).reads(a).writes(a).done();
+        });
+        p.taskwait();
+        let prog = p.build();
+        let rt = Runtime::new(Config::default());
+        run(&prog, &Binding::new().set(n, 3), &rt).expect("interp");
+        // 3 iterations * 8-byte elements * 3 elements were touched; the
+        // program ran clean (no runtime errors).
+        assert!(rt.errors().is_empty());
+    }
+}

@@ -55,6 +55,7 @@ pub mod mem;
 pub mod report;
 pub mod runtime;
 pub mod scalar;
+pub mod sections;
 pub mod trace;
 pub mod wire;
 

@@ -1,0 +1,176 @@
+//! Shared half-open byte-interval arithmetic.
+//!
+//! Three layers of the tool reason about `[lo, hi)` byte ranges: the IR's
+//! may/must cover sets (`arbalest_ir::Program::{covers, may_cover}`), the
+//! static checker's overlap pass, and the dynamic detector's shadow-range
+//! clamping. Each used to carry its own ad-hoc copy of the same interval
+//! algebra; this module is the single, unit-tested implementation they all
+//! route through.
+//!
+//! All intervals are half-open `(lo, hi)` with `lo <= hi`; `lo == hi` is
+//! the empty interval. Functions are total: empty and inverted inputs are
+//! treated as empty rather than panicking.
+
+/// Does `[a_lo, a_hi)` intersect `[b_lo, b_hi)`? Empty intervals overlap
+/// nothing, including themselves.
+#[must_use]
+pub fn overlaps(a_lo: u64, a_hi: u64, b_lo: u64, b_hi: u64) -> bool {
+    // Both must be non-empty: `a_lo < b_hi && b_lo < a_hi` alone would
+    // count an empty interval sitting strictly inside a non-empty one.
+    a_lo < a_hi && b_lo < b_hi && a_lo < b_hi && b_lo < a_hi
+}
+
+/// Intersection of two intervals, or `None` when they are disjoint (or
+/// either is empty).
+#[must_use]
+pub fn intersect(a_lo: u64, a_hi: u64, b_lo: u64, b_hi: u64) -> Option<(u64, u64)> {
+    let lo = a_lo.max(b_lo);
+    let hi = a_hi.min(b_hi);
+    if lo < hi {
+        Some((lo, hi))
+    } else {
+        None
+    }
+}
+
+/// Sort a set of intervals, drop empty ones, and merge overlapping or
+/// adjacent neighbours, leaving a minimal disjoint ascending cover.
+pub fn normalize(ranges: &mut Vec<(u64, u64)>) {
+    ranges.retain(|&(lo, hi)| lo < hi);
+    ranges.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+    for &(lo, hi) in ranges.iter() {
+        match out.last_mut() {
+            Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    *ranges = out;
+}
+
+/// Is `[lo, hi)` fully contained in the union of `ranges`? `ranges` need
+/// not be normalized. The empty query interval is trivially covered.
+#[must_use]
+pub fn covered_by(ranges: &[(u64, u64)], lo: u64, hi: u64) -> bool {
+    if lo >= hi {
+        return true;
+    }
+    let mut norm = ranges.to_vec();
+    normalize(&mut norm);
+    norm.iter().any(|&(rlo, rhi)| rlo <= lo && hi <= rhi)
+}
+
+/// Subtract `[lo, hi)` from a single interval `[a_lo, a_hi)`, yielding the
+/// zero, one, or two remaining pieces.
+#[must_use]
+pub fn subtract(a_lo: u64, a_hi: u64, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::with_capacity(2);
+    if a_lo >= a_hi {
+        return out;
+    }
+    if !overlaps(a_lo, a_hi, lo, hi) {
+        out.push((a_lo, a_hi));
+        return out;
+    }
+    if a_lo < lo {
+        out.push((a_lo, lo));
+    }
+    if hi < a_hi {
+        out.push((hi, a_hi));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_basics() {
+        assert!(overlaps(0, 10, 5, 15));
+        assert!(overlaps(5, 15, 0, 10));
+        assert!(!overlaps(0, 10, 10, 20)); // adjacency is not overlap
+        assert!(!overlaps(0, 0, 0, 10)); // empty overlaps nothing
+        assert!(!overlaps(3, 3, 3, 3));
+    }
+
+    #[test]
+    fn intersect_matches_overlap() {
+        assert_eq!(intersect(0, 10, 5, 15), Some((5, 10)));
+        assert_eq!(intersect(5, 15, 0, 10), Some((5, 10)));
+        assert_eq!(intersect(0, 10, 10, 20), None);
+        assert_eq!(intersect(0, 0, 0, 10), None);
+    }
+
+    #[test]
+    fn normalize_merges_and_sorts() {
+        let mut v = vec![(10, 20), (0, 5), (4, 12), (30, 30), (25, 26)];
+        normalize(&mut v);
+        assert_eq!(v, vec![(0, 20), (25, 26)]);
+        // adjacent intervals fuse
+        let mut v = vec![(0, 5), (5, 9)];
+        normalize(&mut v);
+        assert_eq!(v, vec![(0, 9)]);
+    }
+
+    #[test]
+    fn coverage_spans_merged_pieces() {
+        let ranges = [(0, 5), (5, 9)];
+        assert!(covered_by(&ranges, 2, 8));
+        assert!(covered_by(&ranges, 0, 9));
+        assert!(!covered_by(&ranges, 2, 10));
+        assert!(covered_by(&ranges, 7, 7)); // empty query
+        assert!(!covered_by(&[], 0, 1));
+    }
+
+    #[test]
+    fn subtract_splits() {
+        assert_eq!(subtract(0, 10, 3, 6), vec![(0, 3), (6, 10)]);
+        assert_eq!(subtract(0, 10, 0, 10), vec![]);
+        assert_eq!(subtract(0, 10, 10, 20), vec![(0, 10)]);
+        assert_eq!(subtract(0, 10, 5, 20), vec![(0, 5)]);
+        assert_eq!(subtract(0, 10, 0, 5), vec![(5, 10)]);
+        assert_eq!(subtract(4, 4, 0, 10), vec![]);
+    }
+
+    /// Seeded property sweep: overlap symmetry, overlap ⇔ intersect,
+    /// subtraction partitions, and normalize preserves pointwise
+    /// membership.
+    #[test]
+    fn property_sweep() {
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let iv = move |m: &mut dyn FnMut() -> u64| {
+            let lo = m() % 64;
+            (lo, lo + m() % 16)
+        };
+        for _ in 0..4096 {
+            let (alo, ahi) = iv(&mut next);
+            let (blo, bhi) = iv(&mut next);
+            // symmetry
+            assert_eq!(overlaps(alo, ahi, blo, bhi), overlaps(blo, bhi, alo, ahi));
+            // overlap iff non-empty intersection
+            assert_eq!(overlaps(alo, ahi, blo, bhi), intersect(alo, ahi, blo, bhi).is_some());
+            // subtraction + intersection partition [alo, ahi)
+            let mut pieces = subtract(alo, ahi, blo, bhi);
+            pieces.extend(intersect(alo, ahi, blo, bhi));
+            let total: u64 = pieces.iter().map(|&(l, h)| h - l).sum();
+            assert_eq!(total, ahi - alo);
+            // normalize preserves pointwise membership
+            let raw = vec![(alo, ahi), (blo, bhi)];
+            let mut norm = raw.clone();
+            normalize(&mut norm);
+            for p in 0..96 {
+                let in_raw = raw.iter().any(|&(l, h)| l <= p && p < h);
+                let in_norm = norm.iter().any(|&(l, h)| l <= p && p < h);
+                assert_eq!(in_raw, in_norm, "point {p}");
+            }
+        }
+    }
+}

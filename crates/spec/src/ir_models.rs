@@ -1,16 +1,25 @@
-//! Hand-authored IR descriptions of the five SPEC-ACCEL-like workloads.
+//! Symbolic IR descriptions of the five SPEC-ACCEL-like workloads.
 //!
-//! The models are parameterized by [`Preset`], using the same dimension
-//! functions as the runtime programs so buffer lengths and iteration
-//! counts always agree with what actually runs. Kernel access sets
-//! over-approximate the real ones: the stencil's interior-only writes
-//! become whole-grid *may*-writes (every written element is inside the
-//! grid, and the `update from` before the host checksum restores full
-//! host visibility either way), and gathers with computed indices become
-//! whole-buffer reads.
+//! Each workload has ONE loop-form, symbolic-length model: buffer
+//! extents and iteration counts are program parameters, and a
+//! [`SymModel`] carries the recipe that binds them from a [`Preset`]
+//! (using the same dimension functions as the runtime programs, so the
+//! concretized lengths always agree with what actually runs). The
+//! static analyzer checks the symbolic program once — the verdict then
+//! holds for *every* preset — while [`ir_model`] instantiates it for
+//! trace validation and per-preset lint runs.
+//!
+//! Kernel access sets over-approximate the real ones. The ping-pong
+//! stencils (`postencil`, `polbm`) use a *parity-free* loop body: which
+//! grid is source and which is destination depends on the step parity,
+//! which an affine loop model cannot express, so each step reads both
+//! grids and may-write both. Every real access is inside that cover,
+//! and the `update from` of both grids before the host checksum
+//! restores full host visibility either way. Gathers with computed
+//! indices become whole-buffer reads, as before.
 
 use crate::{pcg, polbm, pomriq, postencil, Preset};
-use arbalest_ir::{BufId, MapClause, Program, ProgramBuilder, Sect};
+use arbalest_ir::{Binding, BufId, Expr, MapClause, ParamId, Program, ProgramBuilder, Sect, Trip};
 use arbalest_offload::mapping::MapType;
 
 fn to(buf: BufId) -> MapClause {
@@ -20,58 +29,109 @@ fn release(buf: BufId) -> MapClause {
     MapClause { buf, map_type: MapType::Release, sect: Sect::Full }
 }
 
-fn m_postencil(preset: Preset) -> Program {
-    let (nx, ny, nz, iters) = postencil::dims(preset);
-    let len = (nx * ny * nz) as u64;
+/// How one parameter gets its value from a preset.
+type Binder = (ParamId, fn(Preset) -> u64);
+
+/// A symbolic workload model: the loop-form program plus the recipe
+/// that binds its parameters from a [`Preset`].
+pub struct SymModel {
+    /// The symbolic program (loop trips and buffer extents are params).
+    pub program: Program,
+    binders: Vec<Binder>,
+}
+
+impl SymModel {
+    /// The parameter binding for one preset.
+    pub fn binding(&self, preset: Preset) -> Binding {
+        self.binders.iter().fold(Binding::new(), |b, (p, f)| b.set(*p, f(preset)))
+    }
+}
+
+fn s_postencil() -> SymModel {
     let mut p = ProgramBuilder::new("postencil");
-    let a0 = p.buffer_init("a0", 8, len);
-    let anext = p.buffer_init("anext", 8, len);
+    let cells = p.param("cells", 1, None);
+    let iters = p.param("iters", 1, Some(4096));
+    let a0 = p.buffer_init_sym("a0", 8, Expr::param(cells));
+    let anext = p.buffer_init_sym("anext", 8, Expr::param(cells));
     p.enter_data(vec![to(a0), to(anext)]);
-    for step in 0..iters {
-        let (src, dst) = if step % 2 == 0 { (a0, anext) } else { (anext, a0) };
-        // The stencil writes only the grid interior; a whole-grid
-        // may-write is the sound single-interval abstraction.
-        p.target().map_to(src).map_to(dst).reads(src).may_writes(dst).done();
-    }
-    let last = if iters % 2 == 0 { a0 } else { anext };
-    p.update_from(last);
+    // Parity-free ping-pong: each step reads the current grid and
+    // may-write the other; which is which alternates with the step.
+    p.loop_(Trip(Expr::param(iters)), |p| {
+        p.target()
+            .map_to(a0)
+            .map_to(anext)
+            .reads(a0)
+            .reads(anext)
+            .may_writes(a0)
+            .may_writes(anext)
+            .done();
+    });
+    p.update_from(a0);
+    p.update_from(anext);
     p.exit_data(vec![release(a0), release(anext)]);
-    p.host_read(last);
-    p.build()
-}
-
-fn m_polbm(preset: Preset) -> Program {
-    let (n, steps) = polbm::dims(preset);
-    let len = (n * n * 5) as u64;
-    let mut p = ProgramBuilder::new("polbm");
-    let cur = p.buffer_init("f_cur", 8, len);
-    let next = p.buffer_init("f_next", 8, len);
-    p.enter_data(vec![to(cur), to(next)]);
-    for step in 0..steps {
-        let (src, dst) = if step % 2 == 0 { (cur, next) } else { (next, cur) };
-        p.target().map_to(src).map_to(dst).reads(src).writes(dst).done();
+    p.host_read(a0);
+    p.host_read(anext);
+    SymModel {
+        program: p.build(),
+        binders: vec![
+            (cells, |pr| {
+                let (nx, ny, nz, _) = postencil::dims(pr);
+                (nx * ny * nz) as u64
+            }),
+            (iters, |pr| postencil::dims(pr).3 as u64),
+        ],
     }
-    let last = if steps % 2 == 0 { cur } else { next };
-    p.update_from(last);
-    p.exit_data(vec![release(cur), release(next)]);
-    p.host_read(last);
-    p.build()
 }
 
-fn m_pomriq(preset: Preset) -> Program {
-    let (v, s) = pomriq::dims(preset);
-    let (v, s) = (v as u64, s as u64);
+fn s_polbm() -> SymModel {
+    let mut p = ProgramBuilder::new("polbm");
+    let cells = p.param("cells", 1, None);
+    let steps = p.param("steps", 1, Some(4096));
+    let cur = p.buffer_init_sym("f_cur", 8, Expr::param(cells));
+    let next = p.buffer_init_sym("f_next", 8, Expr::param(cells));
+    p.enter_data(vec![to(cur), to(next)]);
+    // Same parity-free double-buffer abstraction as the stencil.
+    p.loop_(Trip(Expr::param(steps)), |p| {
+        p.target()
+            .map_to(cur)
+            .map_to(next)
+            .reads(cur)
+            .reads(next)
+            .may_writes(cur)
+            .may_writes(next)
+            .done();
+    });
+    p.update_from(cur);
+    p.update_from(next);
+    p.exit_data(vec![release(cur), release(next)]);
+    p.host_read(cur);
+    p.host_read(next);
+    SymModel {
+        program: p.build(),
+        binders: vec![
+            (cells, |pr| {
+                let (n, _) = polbm::dims(pr);
+                (n * n * 5) as u64
+            }),
+            (steps, |pr| polbm::dims(pr).1 as u64),
+        ],
+    }
+}
+
+fn s_pomriq() -> SymModel {
     let mut p = ProgramBuilder::new("pomriq");
-    let kx = p.buffer_init("kx", 8, s);
-    let ky = p.buffer_init("ky", 8, s);
-    let kz = p.buffer_init("kz", 8, s);
-    let phi_r = p.buffer_init("phiR", 8, s);
-    let phi_i = p.buffer_init("phiI", 8, s);
-    let x = p.buffer_init("x", 8, v);
-    let y = p.buffer_init("y", 8, v);
-    let z = p.buffer_init("z", 8, v);
-    let qr = p.buffer("Qr", 8, v);
-    let qi = p.buffer("Qi", 8, v);
+    let v = p.param("voxels", 1, None);
+    let s = p.param("samples", 1, None);
+    let kx = p.buffer_init_sym("kx", 8, Expr::param(s));
+    let ky = p.buffer_init_sym("ky", 8, Expr::param(s));
+    let kz = p.buffer_init_sym("kz", 8, Expr::param(s));
+    let phi_r = p.buffer_init_sym("phiR", 8, Expr::param(s));
+    let phi_i = p.buffer_init_sym("phiI", 8, Expr::param(s));
+    let x = p.buffer_init_sym("x", 8, Expr::param(v));
+    let y = p.buffer_init_sym("y", 8, Expr::param(v));
+    let z = p.buffer_init_sym("z", 8, Expr::param(v));
+    let qr = p.buffer_sym("Qr", 8, Expr::param(v));
+    let qi = p.buffer_sym("Qi", 8, Expr::param(v));
     p.target()
         .map_to(kx)
         .map_to(ky)
@@ -96,10 +156,17 @@ fn m_pomriq(preset: Preset) -> Program {
         .done();
     p.host_read(qr);
     p.host_read(qi);
-    p.build()
+    SymModel {
+        program: p.build(),
+        binders: vec![
+            (v, |pr| pomriq::dims(pr).0 as u64),
+            (s, |pr| pomriq::dims(pr).1 as u64),
+        ],
+    }
 }
 
-fn m_pep(_preset: Preset) -> Program {
+fn s_pep() -> SymModel {
+    // The tally sizes are preset-independent; the model has no params.
     let mut p = ProgramBuilder::new("pep");
     let counts = p.buffer("counts", 8, 10);
     let sums = p.buffer("sums", 8, 2);
@@ -111,18 +178,18 @@ fn m_pep(_preset: Preset) -> Program {
         .writes(sums)
         .done();
     p.host_read_sec(sums, 0, 1);
-    p.build()
+    SymModel { program: p.build(), binders: Vec::new() }
 }
 
-fn m_pcg(preset: Preset) -> Program {
-    let (n, iters) = pcg::dims(preset);
-    let n = n as u64;
+fn s_pcg() -> SymModel {
     let mut pr = ProgramBuilder::new("pcg");
-    let b = pr.buffer_init("b", 8, n);
-    let x = pr.buffer_init("x", 8, n);
-    let r = pr.buffer_init("r", 8, n);
-    let p = pr.buffer_init("p", 8, n);
-    let q = pr.buffer_init("q", 8, n);
+    let n = pr.param("n", 1, None);
+    let iters = pr.param("iters", 1, Some(4096));
+    let b = pr.buffer_init_sym("b", 8, Expr::param(n));
+    let x = pr.buffer_init_sym("x", 8, Expr::param(n));
+    let r = pr.buffer_init_sym("r", 8, Expr::param(n));
+    let p = pr.buffer_init_sym("p", 8, Expr::param(n));
+    let q = pr.buffer_init_sym("q", 8, Expr::param(n));
     let scalars = pr.buffer("scalars", 8, 2);
     pr.data()
         .map_to(b)
@@ -146,7 +213,7 @@ fn m_pcg(preset: Preset) -> Program {
                 .done();
             pr.update_from(scalars);
             pr.host_read_sec(scalars, 0, 1);
-            for _ in 0..iters {
+            pr.loop_(Trip(Expr::param(iters)), |pr| {
                 // q = A p; pq = p·q.
                 pr.target()
                     .map_to(p)
@@ -178,21 +245,34 @@ fn m_pcg(preset: Preset) -> Program {
                 pr.host_read_sec(scalars, 0, 1);
                 // p = r + beta p.
                 pr.target().map_to(p).map_to(r).reads(r).reads(p).writes(p).done();
-            }
+            });
         });
-    pr.build()
+    SymModel {
+        program: pr.build(),
+        binders: vec![
+            (n, |p| pcg::dims(p).0 as u64),
+            (iters, |p| pcg::dims(p).1 as u64),
+        ],
+    }
 }
 
-/// The IR model for one workload name at a preset.
-pub fn ir_model(name: &str, preset: Preset) -> Option<Program> {
+/// The symbolic model for one workload name.
+pub fn symbolic_model(name: &str) -> Option<SymModel> {
     match name {
-        "postencil" => Some(m_postencil(preset)),
-        "polbm" => Some(m_polbm(preset)),
-        "pomriq" => Some(m_pomriq(preset)),
-        "pep" => Some(m_pep(preset)),
-        "pcg" => Some(m_pcg(preset)),
+        "postencil" => Some(s_postencil()),
+        "polbm" => Some(s_polbm()),
+        "pomriq" => Some(s_pomriq()),
+        "pep" => Some(s_pep()),
+        "pcg" => Some(s_pcg()),
         _ => None,
     }
+}
+
+/// The concrete IR model for one workload name at a preset — the
+/// symbolic model instantiated with that preset's dimensions.
+pub fn ir_model(name: &str, preset: Preset) -> Option<Program> {
+    let m = symbolic_model(name)?;
+    Some(m.program.concretize(&m.binding(preset)).expect("preset binding is in range"))
 }
 
 /// IR models for all five workloads at a preset.
@@ -221,5 +301,16 @@ mod tests {
         let small = ir_model("postencil", Preset::Small).unwrap();
         let test = ir_model("postencil", Preset::Test).unwrap();
         assert!(small.buffers[0].len > test.buffers[0].len);
+    }
+
+    #[test]
+    fn symbolic_models_concretize_at_every_preset() {
+        for w in crate::workloads() {
+            let m = symbolic_model(w.name).expect("symbolic model");
+            for preset in [Preset::Test, Preset::Small, Preset::Medium] {
+                let c = m.program.concretize(&m.binding(preset)).expect("in range");
+                assert!(c.is_concrete(), "{} at {preset:?}", w.name);
+            }
+        }
     }
 }

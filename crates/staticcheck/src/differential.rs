@@ -1,0 +1,220 @@
+//! Differential fuzzing oracle behind `arbalest fuzz-lint`.
+//!
+//! For each case — a seeded random program from
+//! [`arbalest_ir::generate`] or any hand-authored IR model — the static
+//! analyzer runs over the *original* (possibly symbolic) program while
+//! the [`arbalest_ir::interp`] interpreter executes its concretization
+//! on the real runtime with the dynamic detector attached. The two
+//! report streams are then compared on `(class, buffer)` pairs, where
+//! the UUM and USD kinds collapse into one read-fault class: the static
+//! verdict's kind comes from the intersected loop invariant while the
+//! dynamic one reflects the actual iteration that faulted, so the kinds
+//! can legitimately differ even when both tools agree a read faults.
+//!
+//! Two invariants must hold for every case:
+//!
+//! 1. **Soundness of `Must`** — every static `Must` diagnostic is
+//!    confirmed by a dynamic report on the same `(class, buffer)`.
+//! 2. **Completeness of `May`** — every dynamic report (in the static
+//!    vocabulary) appears statically at some severity.
+//!
+//! One carve-out: when *either* tool reports a data race on a buffer,
+//! that buffer's read-fault and bounds classes are excluded from both
+//! invariants. Under a race the dynamic schedule decides whether a read
+//! observes a transfer at all, so per-run reports on that buffer are
+//! not a ground truth either verdict must match. The race class itself
+//! is still compared: a dynamic race must be statically anticipated.
+//!
+//! The summary also records the *precision ratio*: the fraction of all
+//! static diagnostics that the dynamic run confirmed. Ratios below 1.0
+//! quantify the May-noise the §VI-G argument predicts for a static
+//! tool; invariant violations, by contrast, are bugs.
+
+use crate::{analyze, Severity};
+use arbalest_core::{Arbalest, ArbalestConfig};
+use arbalest_ir::{generate, interp, Binding, Program};
+use arbalest_offload::report::ReportKind;
+use arbalest_offload::runtime::{Config, Runtime};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Collapse a report kind into the comparison class, or `None` when the
+/// kind is outside the static analyzer's vocabulary (those dynamic
+/// reports are not the oracle's business).
+fn class(kind: ReportKind) -> Option<&'static str> {
+    match kind {
+        ReportKind::MappingUum | ReportKind::MappingUsd => Some("read-fault"),
+        ReportKind::MappingOverflow => Some("bounds"),
+        ReportKind::DataRace => Some("race"),
+        _ => None,
+    }
+}
+
+/// Outcome of one differential case.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Program name (e.g. `fuzz-00042` or a DRACC id).
+    pub name: String,
+    /// Static diagnostics at `Must` severity.
+    pub static_must: usize,
+    /// Static diagnostics at `May` severity.
+    pub static_may: usize,
+    /// Dynamic reports within the static vocabulary.
+    pub dynamic: usize,
+    /// Static diagnostics (any severity) confirmed dynamically.
+    pub confirmed: usize,
+    /// Invariant violations, empty when the case passes.
+    pub violations: Vec<String>,
+}
+
+impl CaseOutcome {
+    /// Did both invariants hold?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Aggregate over a batch of cases.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzSummary {
+    /// Cases checked.
+    pub cases: usize,
+    /// Total static `Must` diagnostics.
+    pub static_must: usize,
+    /// Total static `May` diagnostics.
+    pub static_may: usize,
+    /// Total in-vocabulary dynamic reports.
+    pub dynamic: usize,
+    /// Static diagnostics confirmed dynamically.
+    pub confirmed: usize,
+    /// Every invariant violation, prefixed with its case name.
+    pub violations: Vec<String>,
+}
+
+impl FuzzSummary {
+    /// Did every case satisfy both invariants?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Confirmed static diagnostics over all static diagnostics (1.0
+    /// when there were none).
+    pub fn precision(&self) -> f64 {
+        let total = self.static_must + self.static_may;
+        if total == 0 {
+            1.0
+        } else {
+            self.confirmed as f64 / total as f64
+        }
+    }
+
+    /// Fold one case into the aggregate.
+    pub fn absorb(&mut self, c: &CaseOutcome) {
+        self.cases += 1;
+        self.static_must += c.static_must;
+        self.static_may += c.static_may;
+        self.dynamic += c.dynamic;
+        self.confirmed += c.confirmed;
+        self.violations.extend(c.violations.iter().map(|v| format!("{}: {v}", c.name)));
+    }
+}
+
+/// Run one program through both detectors and compare. `binding`
+/// concretizes a symbolic program for the dynamic run; the static
+/// analyzer always sees the original.
+pub fn check_program(name: &str, program: &Program, binding: &Binding) -> CaseOutcome {
+    let diags = analyze(program);
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default(), tool);
+    let mut violations = Vec::new();
+    if let Err(e) = interp::run(program, binding, &rt) {
+        violations.push(format!("interpreter error: {e}"));
+    }
+    let dynamic: BTreeSet<(&'static str, String)> = rt
+        .reports()
+        .iter()
+        .filter_map(|r| Some((class(r.kind)?, r.buffer.clone()?)))
+        .collect();
+
+    let static_any: BTreeSet<(&'static str, String)> = diags
+        .iter()
+        .filter_map(|d| Some((class(d.kind)?, d.buffer.clone())))
+        .collect();
+    let static_must: BTreeSet<(&'static str, String)> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Must)
+        .filter_map(|d| Some((class(d.kind)?, d.buffer.clone())))
+        .collect();
+
+    // Buffers with a race verdict (either side): their non-race classes
+    // are schedule-dependent and exempt from the invariants.
+    let raced: BTreeSet<&String> = static_any
+        .iter()
+        .chain(dynamic.iter())
+        .filter(|(c, _)| *c == "race")
+        .map(|(_, b)| b)
+        .collect();
+
+    for (c, b) in &static_must {
+        if *c != "race" && raced.contains(b) {
+            continue;
+        }
+        if !dynamic.contains(&(*c, b.clone())) {
+            violations.push(format!("static Must {c} on '{b}' has no dynamic confirmation"));
+        }
+    }
+    for (c, b) in &dynamic {
+        if *c != "race" && raced.contains(b) {
+            continue;
+        }
+        if !static_any.contains(&(*c, b.clone())) {
+            violations.push(format!("dynamic {c} on '{b}' missed by the static analyzer"));
+        }
+    }
+    let confirmed = static_any.iter().filter(|k| dynamic.contains(*k)).count();
+    CaseOutcome {
+        name: name.to_string(),
+        static_must: diags.iter().filter(|d| d.severity == Severity::Must).count(),
+        static_may: diags.iter().filter(|d| d.severity == Severity::May).count(),
+        dynamic: dynamic.len(),
+        confirmed,
+        violations,
+    }
+}
+
+/// Check one generated seed.
+pub fn check_seed(seed: u64) -> CaseOutcome {
+    let case = generate::generate(seed);
+    check_program(&format!("fuzz-{seed:05}"), &case.program, &case.binding)
+}
+
+/// Run seeds `0..n` and aggregate.
+pub fn fuzz(n: u64) -> FuzzSummary {
+    let mut s = FuzzSummary::default();
+    for seed in 0..n {
+        s.absorb(&check_seed(seed));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_invariants_hold_over_the_seed_range() {
+        let s = fuzz(32);
+        assert_eq!(s.cases, 32);
+        assert!(s.ok(), "violations: {:#?}", s.violations);
+        assert!(s.precision() > 0.0);
+    }
+
+    #[test]
+    fn outcomes_are_reproducible() {
+        let a = check_seed(7);
+        let b = check_seed(7);
+        assert_eq!(a.static_must, b.static_must);
+        assert_eq!(a.static_may, b.static_may);
+        assert_eq!(a.dynamic, b.dynamic);
+    }
+}

@@ -10,33 +10,61 @@
 //! operation applies [`arbalest_core::vsm::apply`] componentwise, a
 //! data-dependent one joins the result with the unchanged state.
 //!
+//! Programs may carry control flow and symbolic bounds:
+//!
+//! * `Node::If` analyses both arms from the same entry state and joins
+//!   them at the merge point (may-union, must-intersection);
+//!   diagnostics raised inside an arm are demoted to `May`.
+//! * `Node::Loop` is widened to a fixpoint: the body is re-analysed
+//!   from the accumulated invariant until the abstract state stops
+//!   changing, then one emitting pass runs from the invariant. A `Must`
+//!   fact that survives one abstract iteration stays `Must`; anything
+//!   clobbered on any path decays to `May`. When the trip count's lower
+//!   bound is zero the post-state is the invariant itself and body
+//!   diagnostics are demoted to `May`.
+//! * Array sections and buffer extents may be affine
+//!   [`arbalest_ir::Expr`]s over program parameters and the innermost
+//!   loop's induction variable. Bounds are compared with three-valued
+//!   interval arithmetic; whenever two bounds are incomparable the
+//!   affected buffer state collapses to a single joined segment and the
+//!   operation applies as `May` — a sound fallback that never
+//!   manufactures a `Must` fact.
+//!
 //! Faulting reads are classified by severity:
 //!
 //! * [`Severity::Must`] — the read's location is invalid in the *may*
 //!   state, so every execution reaching it faults. The soundness
-//!   contract (enforced by `tests/static_soundness.rs`) is that each
-//!   such diagnostic is confirmed by the dynamic detector.
+//!   contract (enforced by `tests/static_soundness.rs` and the
+//!   `arbalest fuzz-lint` differential oracle in [`differential`]) is
+//!   that each such diagnostic is confirmed by the dynamic detector.
 //! * [`Severity::May`] — data-dependent: invalid only in the *must*
 //!   state, or on a data-dependent access. These are the cases §VI-G
 //!   says a static tool cannot decide.
 //!
-//! Table I map-type/refcount semantics run over a concrete present
-//! table (the benchmarks' mapping structure is deterministic), array
-//! sections get interval arithmetic for the BO extension, and a
-//! worklist pass over the `depend`/`nowait` task graph orders pending
-//! device tasks — unordered overlapping effects surface as `May` data
-//! races. Diagnostics carry the same `suggested_fix` vocabulary
-//! ([`arbalest_offload::report::hints`]) as dynamic reports.
+//! Table I map-type/refcount semantics run over an abstract present
+//! table (entries carry symbolic section bounds, a saturating refcount
+//! with an exactness bit, and a `sure` presence bit so joins stay
+//! sound), array sections get interval arithmetic for the BO extension,
+//! and a worklist pass over the `depend`/`nowait` task graph orders
+//! pending device tasks — unordered overlapping effects surface as
+//! `May` data races. Diagnostics carry the same `suggested_fix`
+//! vocabulary ([`arbalest_offload::report::hints`]) as dynamic reports.
 
 #![warn(missing_docs)]
+
+pub mod differential;
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use arbalest_core::vsm::{self, StorageLoc, ViolationKind, VsmOp};
-use arbalest_ir::{Access, BufId, Certainty, MapClause, Node, Program, TargetNode};
+use arbalest_ir::{
+    Access, BufId, Certainty, DependClause, Expr, MapClause, Node, ParamDecl, Program, TargetId,
+    TargetNode, Trip,
+};
 use arbalest_offload::addr::DeviceId;
 use arbalest_offload::mapping::MapType;
 use arbalest_offload::report::{hints, Report, ReportKind};
+use arbalest_offload::sections;
 use arbalest_shadow::GranuleState;
 
 /// How certain the analyzer is that a diagnostic fires at runtime.
@@ -82,7 +110,9 @@ pub struct Diagnostic {
     pub buffer: String,
     /// Device on whose view the fault occurs (host for OV reads).
     pub device: DeviceId,
-    /// Affected element interval `[lo, hi)`.
+    /// Affected element interval `[lo, hi)`. Symbolic bounds are
+    /// projected to a conservative numeric hull; exact for concrete
+    /// programs.
     pub section: (u64, u64),
     /// Human-readable description.
     pub message: String,
@@ -135,6 +165,9 @@ struct Abs {
 
 impl Abs {
     const BOTTOM: Abs = Abs { must_valid: 0, must_init: 0, may_valid: 0, may_init: 0 };
+    /// No must-facts, every may-fact: the absorbing top of the lattice,
+    /// used to force loop convergence if widening ever stalls.
+    const TOP: Abs = Abs { must_valid: 0, must_init: 0, may_valid: 0xFF, may_init: 0xFF };
 
     fn gran(valid: u8, init: u8) -> GranuleState {
         GranuleState { valid_mask: valid, init_mask: init, ..Default::default() }
@@ -193,63 +226,264 @@ impl Abs {
 }
 
 // ---------------------------------------------------------------------
+// Three-valued symbolic bound arithmetic
+// ---------------------------------------------------------------------
+
+/// Comparison context: the program's parameter ranges plus the
+/// innermost loop's induction-variable range (absent outside loops).
+#[derive(Clone, Copy)]
+struct Cx<'p> {
+    params: &'p [ParamDecl],
+    iv: Option<(u64, Option<u64>)>,
+}
+
+impl Cx<'_> {
+    /// Three-valued `a <= b`, with the iv bounded by the enclosing trip.
+    fn le(&self, a: &Expr, b: &Expr) -> Option<bool> {
+        if a == b {
+            return Some(true);
+        }
+        let (lo, hi) = b.sub(a).range(self.params, self.iv);
+        if matches!(lo, Some(l) if l >= 0) {
+            Some(true)
+        } else if matches!(hi, Some(h) if h < 0) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Three-valued `a < b`.
+    fn lt(&self, a: &Expr, b: &Expr) -> Option<bool> {
+        if a == b {
+            return Some(false);
+        }
+        let (lo, hi) = b.sub(a).range(self.params, self.iv);
+        if matches!(lo, Some(l) if l >= 1) {
+            Some(true)
+        } else if matches!(hi, Some(h) if h <= 0) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Conservative lower numeric projection of a bound (exact for
+    /// constants), for diagnostics and the race pass.
+    fn proj_lo(&self, e: &Expr) -> u64 {
+        match e.range(self.params, self.iv).0 {
+            Some(v) => v.clamp(0, u64::MAX as i128) as u64,
+            None => 0,
+        }
+    }
+
+    /// Conservative upper numeric projection of a bound (exact for
+    /// constants).
+    fn proj_hi(&self, e: &Expr) -> u64 {
+        match e.range(self.params, self.iv).1 {
+            Some(v) => v.clamp(0, u64::MAX as i128) as u64,
+            None => u64::MAX,
+        }
+    }
+
+    /// `min(a, b)` with an exactness flag; on incomparable bounds the
+    /// second operand wins and the result is marked inexact.
+    fn min_of(&self, a: &Expr, b: &Expr) -> (Expr, bool) {
+        match self.le(a, b) {
+            Some(true) => (a.clone(), true),
+            Some(false) => (b.clone(), true),
+            None => (b.clone(), false),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Section-partitioned buffer state
 // ---------------------------------------------------------------------
 
-/// Per-buffer abstract state: a partition of `[0, len)` (element units)
-/// into maximal segments of equal [`Abs`] state.
+/// Per-buffer abstract state: a partition of `[0, extent)` (element
+/// units, symbolic) into segments of equal [`Abs`] state. Segment
+/// boundaries are affine expressions; splitting requires the relevant
+/// three-valued comparisons to decide, and falls back to a single
+/// joined segment (with the operation applied as `May`) when they do
+/// not.
+#[derive(Debug, Clone, PartialEq)]
 struct BufState {
-    len: u64,
-    segs: Vec<(u64, u64, Abs)>,
+    extent: Expr,
+    segs: Vec<(Expr, Expr, Abs)>,
 }
 
 impl BufState {
-    fn new(len: u64, init: Abs) -> BufState {
-        BufState { len, segs: if len > 0 { vec![(0, len, init)] } else { Vec::new() } }
+    fn new(extent: Expr, init: Abs) -> BufState {
+        let segs = if extent.as_const() == Some(0) {
+            Vec::new()
+        } else {
+            vec![(Expr::ZERO, extent.clone(), init)]
+        };
+        BufState { extent, segs }
     }
 
-    fn split_at(&mut self, x: u64) {
-        if x == 0 || x >= self.len {
-            return;
-        }
-        if let Some(i) = self.segs.iter().position(|&(lo, hi, _)| lo < x && x < hi) {
-            let (lo, hi, s) = self.segs[i];
-            self.segs[i] = (lo, x, s);
-            self.segs.insert(i + 1, (x, hi, s));
-        }
+    fn join_all(&self) -> Abs {
+        let mut it = self.segs.iter();
+        let first = match it.next() {
+            Some(s) => s.2,
+            None => Abs::BOTTOM,
+        };
+        it.fold(first, |a, s| a.join(s.2))
     }
 
-    /// Apply `f` to every segment of `[lo, hi)`, splitting at the
-    /// boundaries and re-merging equal neighbours afterwards.
-    fn apply_range(&mut self, lo: u64, hi: u64, mut f: impl FnMut(Abs) -> Abs) {
-        let (lo, hi) = (lo.min(self.len), hi.min(self.len));
-        if lo >= hi {
-            return;
-        }
-        self.split_at(lo);
-        self.split_at(hi);
-        for seg in &mut self.segs {
-            if seg.0 >= lo && seg.1 <= hi {
-                seg.2 = f(seg.2);
+    /// Collapse to a single segment holding the join of every segment.
+    fn collapse(&mut self) {
+        let a = self.join_all();
+        *self = BufState::new(self.extent.clone(), a);
+    }
+
+    /// The partition with every bound constant, if fully concrete.
+    fn const_segs(&self) -> Option<Vec<(u64, u64, Abs)>> {
+        self.segs
+            .iter()
+            .map(|(lo, hi, s)| match (lo.as_const(), hi.as_const()) {
+                (Some(l), Some(h)) if l >= 0 && h >= l => Some((l as u64, h as u64, *s)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Join with `other`. Identical partitions join pointwise; fully
+    /// concrete partitions are refined on the union of their cut
+    /// points; anything else collapses both sides first (sound).
+    fn join(&mut self, other: &BufState, _cx: &Cx) {
+        let same = self.segs.len() == other.segs.len()
+            && self.segs.iter().zip(&other.segs).all(|(a, b)| a.0 == b.0 && a.1 == b.1);
+        if same {
+            for (a, b) in self.segs.iter_mut().zip(&other.segs) {
+                a.2 = a.2.join(b.2);
             }
+            self.merge();
+            return;
+        }
+        if let (Some(a), Some(b)) = (self.const_segs(), other.const_segs()) {
+            let mut cuts: Vec<u64> = Vec::new();
+            for &(lo, hi, _) in a.iter().chain(b.iter()) {
+                cuts.push(lo);
+                cuts.push(hi);
+            }
+            cuts.sort_unstable();
+            cuts.dedup();
+            let at = |segs: &[(u64, u64, Abs)], x: u64| {
+                segs.iter().find(|&&(lo, hi, _)| lo <= x && x < hi).map(|s| s.2)
+            };
+            let mut segs = Vec::new();
+            for w in cuts.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                let s = match (at(&a, lo), at(&b, lo)) {
+                    (Some(x), Some(y)) => x.join(y),
+                    (Some(x), None) | (None, Some(x)) => x,
+                    (None, None) => continue,
+                };
+                segs.push((Expr::lit(lo), Expr::lit(hi), s));
+            }
+            self.segs = segs;
+            self.merge();
+            return;
+        }
+        let mut o = other.clone();
+        o.collapse();
+        self.collapse();
+        if let (Some(a), Some(b)) = (self.segs.first_mut(), o.segs.first()) {
+            a.2 = a.2.join(b.2);
+        }
+    }
+
+    /// Split the partition at `x`. Returns `false` when the position of
+    /// `x` relative to some boundary cannot be decided.
+    fn split_at(&mut self, x: &Expr, cx: &Cx) -> bool {
+        for i in 0..self.segs.len() {
+            let (lo, hi) = (self.segs[i].0.clone(), self.segs[i].1.clone());
+            if cx.le(x, &lo) == Some(true) {
+                return true; // at or before an existing boundary
+            }
+            if cx.le(&hi, x) == Some(true) {
+                continue; // beyond this segment
+            }
+            if cx.lt(&lo, x) == Some(true) && cx.lt(x, &hi) == Some(true) {
+                let s = self.segs[i].2;
+                self.segs[i].1 = x.clone();
+                self.segs.insert(i + 1, (x.clone(), hi, s));
+                return true;
+            }
+            return false;
+        }
+        true // at or past the extent: nothing to split
+    }
+
+    /// Apply `f` to every segment of `[lo, hi)`. `exact` applies `f`
+    /// directly; otherwise (data-dependent path or imprecise bounds)
+    /// the result joins with the unchanged state. Incomparable bounds
+    /// collapse the partition and apply `f` as `May` over the whole
+    /// extent — sound for both the affected and unaffected region.
+    fn apply_range(&mut self, lo: &Expr, hi: &Expr, exact: bool, cx: &Cx, f: impl Fn(Abs) -> Abs) {
+        if cx.le(hi, lo) == Some(true) || cx.le(&self.extent, lo) == Some(true) {
+            return; // provably empty
+        }
+        if !self.split_at(lo, cx) || !self.split_at(hi, cx) {
+            self.fallback(&f);
+            return;
+        }
+        let mut inside = Vec::new();
+        for (i, seg) in self.segs.iter().enumerate() {
+            match (cx.le(lo, &seg.0), cx.le(&seg.1, hi)) {
+                (Some(true), Some(true)) => inside.push(i),
+                (Some(false), _) | (_, Some(false)) => {}
+                _ => {
+                    self.fallback(&f);
+                    return;
+                }
+            }
+        }
+        for i in inside {
+            let s = self.segs[i].2;
+            self.segs[i].2 = if exact { f(s) } else { s.join(f(s)) };
         }
         self.merge();
     }
 
-    /// The segments overlapping `[lo, hi)`, clipped to it.
-    fn view(&self, lo: u64, hi: u64) -> Vec<(u64, u64, Abs)> {
-        let (lo, hi) = (lo.min(self.len), hi.min(self.len));
-        self.segs
-            .iter()
-            .filter(|&&(slo, shi, _)| shi > lo && slo < hi)
-            .map(|&(slo, shi, s)| (slo.max(lo), shi.min(hi), s))
-            .collect()
+    /// Sound fallback: one joined segment, `f` applied as `May`.
+    fn fallback(&mut self, f: &impl Fn(Abs) -> Abs) {
+        let a = self.join_all();
+        *self = BufState::new(self.extent.clone(), a.join(f(a)));
+    }
+
+    /// The segments of `[lo, hi)` with numeric bound projections, plus
+    /// an exactness flag (`false` when the overlapping segments could
+    /// not be identified and the whole joined state is returned).
+    fn view(&self, lo: &Expr, hi: &Expr, cx: &Cx) -> (Vec<(u64, u64, Abs)>, bool) {
+        if cx.le(hi, lo) == Some(true) || cx.le(&self.extent, lo) == Some(true) {
+            return (Vec::new(), true);
+        }
+        let blur =
+            |s: &BufState| (vec![(cx.proj_lo(lo), cx.proj_hi(hi), s.join_all())], false);
+        let mut probe = self.clone();
+        if !probe.split_at(lo, cx) || !probe.split_at(hi, cx) {
+            return blur(self);
+        }
+        let mut out = Vec::new();
+        for seg in &probe.segs {
+            match (cx.le(lo, &seg.0), cx.le(&seg.1, hi)) {
+                (Some(true), Some(true)) => {
+                    out.push((cx.proj_lo(&seg.0), cx.proj_hi(&seg.1), seg.2));
+                }
+                (Some(false), _) | (_, Some(false)) => {}
+                _ => return blur(self),
+            }
+        }
+        (out, true)
     }
 
     fn merge(&mut self) {
         self.segs.dedup_by(|next, prev| {
             if prev.1 == next.0 && prev.2 == next.2 {
-                prev.1 = next.1;
+                prev.1 = next.1.clone();
                 true
             } else {
                 false
@@ -259,21 +493,50 @@ impl BufState {
 }
 
 // ---------------------------------------------------------------------
-// Concrete mapping structure (Table I)
+// Abstract mapping structure (Table I)
 // ---------------------------------------------------------------------
 
 /// A present-table entry: the mapped element interval as written in the
 /// creating map clause (possibly exceeding the declared extent — that
-/// is the BO bug class) plus the reference count.
-#[derive(Debug, Clone, Copy)]
+/// is the BO bug class) plus the reference count. Joins at merge points
+/// may make the section, the refcount, or the presence itself
+/// uncertain; the flags keep later transfers sound (`May`) instead of
+/// definite.
+#[derive(Debug, Clone, PartialEq)]
 struct Entry {
-    lo: u64,
-    hi: u64,
-    rc: u32,
+    lo: Expr,
+    hi: Expr,
+    /// The section bounds hold on every path reaching here.
+    sect_exact: bool,
+    /// Reference count, saturating at [`Entry::RC_CAP`]. When
+    /// `rc_exact` is false this is a *lower bound* on the true count
+    /// (joins take the minimum, saturation only loses increments), so
+    /// `rc > 0` after a decrement still certainly suppresses the exit
+    /// transfer.
+    rc: u8,
+    rc_exact: bool,
+    /// The entry is present on every path reaching here.
+    sure: bool,
 }
 
-/// One effect of a construct, for the nowait conflict pass.
-#[derive(Debug, Clone, Copy)]
+impl Entry {
+    const RC_CAP: u8 = 8;
+}
+
+fn join_entry(a: &Entry, b: &Entry, extent: &Expr) -> Entry {
+    let (lo, hi, sect_exact) = if a.lo == b.lo && a.hi == b.hi {
+        (a.lo.clone(), a.hi.clone(), a.sect_exact && b.sect_exact)
+    } else {
+        (Expr::ZERO, extent.clone(), false)
+    };
+    let (rc, rc_exact) =
+        if a.rc == b.rc { (a.rc, a.rc_exact && b.rc_exact) } else { (a.rc.min(b.rc), false) };
+    Entry { lo, hi, sect_exact, rc, rc_exact, sure: a.sure && b.sure }
+}
+
+/// One effect of a construct, for the nowait conflict pass. Bounds are
+/// conservative numeric projections of the symbolic section.
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct EffectRange {
     buf: BufId,
     lo: u64,
@@ -282,48 +545,75 @@ struct EffectRange {
 }
 
 /// A submitted-but-unjoined `nowait` target.
+#[derive(Debug, Clone, PartialEq)]
 struct Pending {
     seq: u64,
-    id: arbalest_ir::TargetId,
-    depends: Vec<arbalest_ir::DependClause>,
+    id: TargetId,
+    depends: Vec<DependClause>,
     effects: Vec<EffectRange>,
 }
 
-// ---------------------------------------------------------------------
-// The interpreter
-// ---------------------------------------------------------------------
-
-struct Analyzer<'a> {
-    p: &'a Program,
+/// The joinable abstract state: buffer partitions, present table, and
+/// pending nowait tasks. Diagnostics accumulate outside of it.
+#[derive(Debug, Clone, PartialEq)]
+struct State {
     bufs: Vec<BufState>,
     present: BTreeMap<(u16, u32), Entry>,
     pending: Vec<Pending>,
+}
+
+// ---------------------------------------------------------------------
+// The abstract interpreter
+// ---------------------------------------------------------------------
+
+/// Bound on widening rounds per loop. The domain is finite (masks,
+/// saturating refcounts, monotone flags, a bounded cut set), so the
+/// fixpoint terminates well inside this; the bound plus the terminal
+/// top-forcing below is a belt-and-braces guarantee.
+const LOOP_FIXPOINT_BOUND: usize = 64;
+
+struct Analyzer<'a> {
+    p: &'a Program,
+    st: State,
     next_seq: u64,
+    /// Innermost-first stack of loop iv ranges `[0, trip)`.
+    iv: Vec<(u64, Option<u64>)>,
+    /// Non-zero while exploring a path that may not execute (an `If`
+    /// arm, or a possibly-zero-trip loop body): demotes diagnostics.
+    may_ctx: u32,
+    /// Non-zero during silent fixpoint rounds: suppresses diagnostics.
+    silent: u32,
     diags: Vec<Diagnostic>,
     seen: BTreeSet<(&'static str, String, u64, u64, Severity)>,
 }
 
 impl<'a> Analyzer<'a> {
     fn new(p: &'a Program) -> Analyzer<'a> {
+        let cx = Cx { params: &p.params, iv: None };
         let bufs = p
             .buffers
             .iter()
             .map(|d| {
-                let mut st = BufState::new(d.len, Abs::BOTTOM);
-                if let Some((c, sect)) = d.host_init {
-                    let (lo, hi) = sect.resolve(d.len);
-                    let host = StorageLoc::Host;
-                    st.apply_range(lo, hi, |a| a.step(VsmOp::Write(host), c));
+                let extent = d.extent();
+                let mut st = BufState::new(extent.clone(), Abs::BOTTOM);
+                if let Some((c, sect)) = &d.host_init {
+                    let (lo, hi) = sect.resolve_sym(&extent);
+                    let (hi, hx) = cx.min_of(&hi, &extent);
+                    let exact = hx && *c == Certainty::Must;
+                    st.apply_range(&lo, &hi, exact, &cx, |a| {
+                        a.step(VsmOp::Write(StorageLoc::Host), *c)
+                    });
                 }
                 st
             })
             .collect();
         Analyzer {
             p,
-            bufs,
-            present: BTreeMap::new(),
-            pending: Vec::new(),
+            st: State { bufs, present: BTreeMap::new(), pending: Vec::new() },
             next_seq: 0,
+            iv: Vec::new(),
+            may_ctx: 0,
+            silent: 0,
             diags: Vec::new(),
             seen: BTreeSet::new(),
         }
@@ -335,6 +625,10 @@ impl<'a> Analyzer<'a> {
                 .cmp(&(b.severity, &b.buffer, b.section, b.kind.label()))
         });
         self.diags
+    }
+
+    fn cx(&self) -> Cx<'a> {
+        Cx { params: &self.p.params, iv: self.iv.last().copied() }
     }
 
     fn name(&self, b: BufId) -> &str {
@@ -352,6 +646,10 @@ impl<'a> Analyzer<'a> {
         message: String,
         suggested_fix: String,
     ) {
+        if self.silent > 0 {
+            return;
+        }
+        let severity = if self.may_ctx > 0 { Severity::May } else { severity };
         let key = (kind.label(), self.name(buf).to_string(), section.0, section.1, severity);
         if self.seen.insert(key) {
             self.diags.push(Diagnostic {
@@ -364,6 +662,45 @@ impl<'a> Analyzer<'a> {
                 suggested_fix,
             });
         }
+    }
+
+    // ---- state joining ----
+
+    fn join_state(&self, into: &mut State, other: &State) {
+        let cx = self.cx();
+        for (a, b) in into.bufs.iter_mut().zip(&other.bufs) {
+            a.join(b, &cx);
+        }
+        let mut present = BTreeMap::new();
+        for (k, ea) in &into.present {
+            match other.present.get(k) {
+                Some(eb) => {
+                    let extent = self.p.decl(BufId(k.1)).extent();
+                    present.insert(*k, join_entry(ea, eb, &extent));
+                }
+                None => {
+                    let mut e = ea.clone();
+                    e.sure = false;
+                    e.rc_exact = false;
+                    present.insert(*k, e);
+                }
+            }
+        }
+        for (k, eb) in &other.present {
+            if !into.present.contains_key(k) {
+                let mut e = eb.clone();
+                e.sure = false;
+                e.rc_exact = false;
+                present.insert(*k, e);
+            }
+        }
+        into.present = present;
+        for t in &other.pending {
+            if !into.pending.iter().any(|x| x.seq == t.seq) {
+                into.pending.push(t.clone());
+            }
+        }
+        into.pending.sort_by_key(|t| t.seq);
     }
 
     // ---- node dispatch ----
@@ -405,35 +742,136 @@ impl<'a> Analyzer<'a> {
                     self.race_check(&effects, &BTreeSet::new());
                 }
                 Node::Host(a) => {
-                    let decl = self.p.decl(a.buf);
-                    let (lo, hi) = a.sect.resolve(decl.len);
-                    let effects = vec![EffectRange {
-                        buf: a.buf,
-                        lo: lo.min(decl.len),
-                        hi: hi.min(decl.len),
-                        is_write: a.is_write,
-                    }];
+                    let effects = vec![self.effect_of(a)];
                     self.race_check(&effects, &BTreeSet::new());
                     self.host_access(a);
                 }
-                Node::Taskwait => self.pending.clear(),
+                Node::Taskwait => self.st.pending.clear(),
                 Node::Wait { target } => {
                     // Completion of a task implies completion of its
                     // transitive depend-predecessors.
-                    if let Some(i) = self.pending.iter().position(|t| t.id == *target) {
-                        let preds = self.preds_of(&self.pending[i].depends, self.pending[i].seq);
-                        self.pending
-                            .retain(|t| t.id != *target && !preds.contains(&t.seq));
+                    if let Some(i) = self.st.pending.iter().position(|t| t.id == *target) {
+                        let preds =
+                            self.preds_of(&self.st.pending[i].depends, self.st.pending[i].seq);
+                        self.st.pending.retain(|t| t.id != *target && !preds.contains(&t.seq));
                     }
                 }
+                Node::If { then_, else_, .. } => {
+                    let snap = self.st.clone();
+                    self.may_ctx += 1;
+                    self.exec_nodes(then_);
+                    let then_out = std::mem::replace(&mut self.st, snap);
+                    self.exec_nodes(else_);
+                    self.may_ctx -= 1;
+                    let mut merged = std::mem::replace(
+                        &mut self.st,
+                        State { bufs: Vec::new(), present: BTreeMap::new(), pending: Vec::new() },
+                    );
+                    self.join_state(&mut merged, &then_out);
+                    self.st = merged;
+                }
+                Node::Loop { trip, body } => self.exec_loop(trip, body),
             }
         }
     }
 
+    /// Widen a loop body to a fixpoint invariant, then run one emitting
+    /// pass from the invariant. See the module docs for the rule.
+    fn exec_loop(&mut self, trip: &Trip, body: &[Node]) {
+        let cx = self.cx();
+        let (tlo, thi) = trip.0.range(cx.params, cx.iv);
+        let tmin = tlo.map(|v| v.clamp(0, u64::MAX as i128) as u64).unwrap_or(0);
+        let tmax = thi.map(|v| v.clamp(0, u64::MAX as i128) as u64);
+        if tmax == Some(0) {
+            return; // the body never executes
+        }
+        let iv_range = (0, tmax.map(|t| t.saturating_sub(1)));
+        let entry_seq = self.next_seq;
+        let mut inv = self.st.clone();
+        let mut converged = false;
+        self.silent += 1;
+        for round in 0..LOOP_FIXPOINT_BOUND {
+            self.st = inv.clone();
+            self.next_seq = entry_seq;
+            self.iv.push(iv_range);
+            self.exec_nodes(body);
+            self.iv.pop();
+            let mut next = inv.clone();
+            let body_out = std::mem::replace(
+                &mut self.st,
+                State { bufs: Vec::new(), present: BTreeMap::new(), pending: Vec::new() },
+            );
+            self.join_state(&mut next, &body_out);
+            if next == inv {
+                converged = true;
+                break;
+            }
+            inv = next;
+            if round + 1 == LOOP_FIXPOINT_BOUND / 2 {
+                // Halfway without converging: collapse buffer
+                // partitions to accelerate (monotone, hence sound).
+                for bs in &mut inv.bufs {
+                    bs.collapse();
+                }
+            }
+        }
+        if !converged {
+            // Terminal widening: no must-facts survive, every may-fact
+            // holds, the present table is fully uncertain. This is an
+            // absorbing post-fixpoint of every transfer.
+            for bs in &mut inv.bufs {
+                *bs = BufState::new(bs.extent.clone(), Abs::TOP);
+            }
+            let keys: Vec<(u16, u32)> = inv.present.keys().copied().collect();
+            for k in keys {
+                let extent = self.p.decl(BufId(k.1)).extent();
+                inv.present.insert(
+                    k,
+                    Entry {
+                        lo: Expr::ZERO,
+                        hi: extent,
+                        sect_exact: false,
+                        rc: 0,
+                        rc_exact: false,
+                        sure: false,
+                    },
+                );
+            }
+        }
+        self.silent -= 1;
+        // Emitting pass from the invariant.
+        self.st = inv.clone();
+        self.next_seq = entry_seq;
+        let zero_possible = tmin == 0;
+        if zero_possible {
+            self.may_ctx += 1;
+        }
+        self.iv.push(iv_range);
+        self.exec_nodes(body);
+        self.iv.pop();
+        if zero_possible {
+            self.may_ctx -= 1;
+            // The loop may not run at all: the post-state is the
+            // invariant, which subsumes the entry state.
+            self.st = inv;
+        }
+        // With trip >= 1 the post-state is body(invariant): a Must fact
+        // surviving one abstract iteration stays Must.
+    }
+
+    /// Conservative numeric effect of an access, for the race pass.
+    fn effect_of(&self, a: &Access) -> EffectRange {
+        let cx = self.cx();
+        let extent = self.p.decl(a.buf).extent();
+        let (lo, hi) = a.sect.resolve_sym(&extent);
+        let (lo, _) = cx.min_of(&lo, &extent);
+        let (hi, _) = cx.min_of(&hi, &extent);
+        EffectRange { buf: a.buf, lo: cx.proj_lo(&lo), hi: cx.proj_hi(&hi), is_write: a.is_write }
+    }
+
     fn exec_target(&mut self, t: &TargetNode) {
         if t.device.is_host() {
-            // A host-device target runs on the OV directly; the corpus
-            // uses it without map clauses (c14-style).
+            // A host-device target runs on the OV directly.
             for a in &t.body {
                 self.host_access(a);
             }
@@ -445,14 +883,7 @@ impl<'a> Analyzer<'a> {
             self.map_entry(t.device, m, &mut effects);
         }
         for a in &t.body {
-            let decl = self.p.decl(a.buf);
-            let (lo, hi) = a.sect.resolve(decl.len);
-            effects.push(EffectRange {
-                buf: a.buf,
-                lo: lo.min(decl.len),
-                hi: hi.min(decl.len),
-                is_write: a.is_write,
-            });
+            effects.push(self.effect_of(a));
             self.device_access(t.device, a);
         }
         for m in &t.maps {
@@ -462,26 +893,30 @@ impl<'a> Analyzer<'a> {
         if t.nowait {
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.pending.push(Pending { seq, id: t.id, depends: t.depends.clone(), effects });
+            // Re-submission of the same abstract task (a later fixpoint
+            // round) replaces the previous copy instead of duplicating.
+            self.st.pending.retain(|p| p.seq != seq);
+            self.st.pending.push(Pending { seq, id: t.id, depends: t.depends.clone(), effects });
+            self.st.pending.sort_by_key(|p| p.seq);
         } else {
             // A synchronous dependent target joins its predecessors.
-            self.pending.retain(|p| !ordered.contains(&p.seq));
+            self.st.pending.retain(|p| !ordered.contains(&p.seq));
         }
     }
 
     // ---- the depend/nowait task graph ----
 
-    /// The pending tasks ordered before a construct with `depends`
-    /// submitted at sequence `before`, transitively closed with a
-    /// worklist over depend-clause conflicts.
-    fn preds_of(&self, depends: &[arbalest_ir::DependClause], before: u64) -> BTreeSet<u64> {
-        fn conflicts(a: &[arbalest_ir::DependClause], b: &[arbalest_ir::DependClause]) -> bool {
+    /// The pending tasks ordered before a construct carrying `depends`,
+    /// transitively closed with a worklist over depend-clause
+    /// conflicts. `before` bounds the sequence numbers considered.
+    fn preds_of(&self, depends: &[DependClause], before: u64) -> BTreeSet<u64> {
+        fn conflicts(a: &[DependClause], b: &[DependClause]) -> bool {
             a.iter().any(|x| b.iter().any(|y| x.buf == y.buf && (x.is_write || y.is_write)))
         }
         let mut ordered: BTreeSet<u64> = BTreeSet::new();
-        let mut work: Vec<(u64, Vec<arbalest_ir::DependClause>)> = vec![(before, depends.to_vec())];
+        let mut work: Vec<(u64, Vec<DependClause>)> = vec![(before, depends.to_vec())];
         while let Some((limit, deps)) = work.pop() {
-            for p in &self.pending {
+            for p in &self.st.pending {
                 if p.seq < limit && !ordered.contains(&p.seq) && conflicts(&p.depends, &deps) {
                     ordered.insert(p.seq);
                     work.push((p.seq, p.depends.clone()));
@@ -495,7 +930,7 @@ impl<'a> Analyzer<'a> {
     /// task not ordered before it: a data-dependent race.
     fn race_check(&mut self, effects: &[EffectRange], ordered: &BTreeSet<u64>) {
         let mut found: Vec<(BufId, u64, u64)> = Vec::new();
-        for p in &self.pending {
+        for p in &self.st.pending {
             if ordered.contains(&p.seq) {
                 continue;
             }
@@ -503,8 +938,7 @@ impl<'a> Analyzer<'a> {
                 for pe in &p.effects {
                     if e.buf == pe.buf
                         && (e.is_write || pe.is_write)
-                        && e.lo < pe.hi
-                        && pe.lo < e.hi
+                        && sections::overlaps(e.lo, e.hi, pe.lo, pe.hi)
                     {
                         found.push((e.buf, e.lo.max(pe.lo), e.hi.min(pe.hi)));
                     }
@@ -534,76 +968,137 @@ impl<'a> Analyzer<'a> {
         if matches!(m.map_type, MapType::Release | MapType::Delete) {
             return; // no entry-side effect
         }
+        let cx = self.cx();
         let key = (device.0, m.buf.0);
-        if let Some(e) = self.present.get_mut(&key) {
-            e.rc += 1;
-            return;
-        }
         let decl = self.p.decl(m.buf);
-        let (lo, hi) = m.sect.resolve(decl.len);
-        self.present.insert(key, Entry { lo, hi, rc: 1 });
-        let (clo, chi) = (lo.min(decl.len), hi.min(decl.len));
-        let dev = device.0 as u8;
-        self.bufs[m.buf.0 as usize].apply_range(clo, chi, |a| a.step_must(VsmOp::Allocate(dev)));
-        if m.map_type.copies_to_device() {
-            if hi > decl.len {
-                let msg = format!(
-                    "entry transfer of '{}'[{lo}..{hi}] exceeds the variable's extent ({} elements)",
-                    decl.name, decl.len
-                );
-                let fix = hints::shrink_section(&decl.name);
-                self.emit(
-                    Severity::Must,
-                    ReportKind::MappingOverflow,
-                    m.buf,
-                    device,
-                    (lo, hi),
-                    msg,
-                    fix,
+        let extent = decl.extent();
+        let (lo, hi) = m.sect.resolve_sym(&extent);
+        let mut creation_sure = true;
+        match self.st.present.get_mut(&key) {
+            Some(e) if e.sure => {
+                // Table I: an existing entry only gains a reference.
+                e.rc = e.rc.saturating_add(1);
+                if e.rc >= Entry::RC_CAP {
+                    e.rc = Entry::RC_CAP;
+                    e.rc_exact = false;
+                }
+                return;
+            }
+            Some(e) => {
+                // May-present: the clause either increments an existing
+                // entry or creates one. Afterwards presence is certain;
+                // the count is a lower bound and the section joins.
+                if e.lo != lo || e.hi != hi {
+                    e.lo = Expr::ZERO;
+                    e.hi = extent.clone();
+                    e.sect_exact = false;
+                }
+                e.rc = 1;
+                e.rc_exact = false;
+                e.sure = true;
+                creation_sure = false;
+            }
+            None => {
+                self.st.present.insert(
+                    key,
+                    Entry {
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                        sect_exact: true,
+                        rc: 1,
+                        rc_exact: true,
+                        sure: true,
+                    },
                 );
             }
-            self.bufs[m.buf.0 as usize]
-                .apply_range(clo, chi, |a| a.step_must(VsmOp::UpdateToDevice(dev)));
-            effects.push(EffectRange { buf: m.buf, lo: clo, hi: chi, is_write: true });
+        }
+        let (clo, lx) = cx.min_of(&lo, &extent);
+        let (chi, hx) = cx.min_of(&hi, &extent);
+        let exact = lx && hx && creation_sure;
+        let dev = device.0 as u8;
+        self.st.bufs[m.buf.0 as usize]
+            .apply_range(&clo, &chi, exact, &cx, |a| a.step_must(VsmOp::Allocate(dev)));
+        if m.map_type.copies_to_device() {
+            let overflow = cx.lt(&extent, &hi);
+            if overflow != Some(false) {
+                let (plo, phi) = (cx.proj_lo(&lo), cx.proj_hi(&hi));
+                let msg = format!(
+                    "entry transfer of '{}'[{plo}..{phi}] exceeds the variable's extent ({} elements)",
+                    decl.name,
+                    cx.proj_lo(&extent)
+                );
+                let sev = if overflow == Some(true) { Severity::Must } else { Severity::May };
+                let fix = hints::shrink_section(&decl.name);
+                self.emit(sev, ReportKind::MappingOverflow, m.buf, device, (plo, phi), msg, fix);
+            }
+            self.st.bufs[m.buf.0 as usize]
+                .apply_range(&clo, &chi, exact, &cx, |a| a.step_must(VsmOp::UpdateToDevice(dev)));
+            effects.push(EffectRange {
+                buf: m.buf,
+                lo: cx.proj_lo(&clo),
+                hi: cx.proj_hi(&chi),
+                is_write: true,
+            });
         }
     }
 
     fn map_exit(&mut self, device: DeviceId, m: &MapClause, effects: &mut Vec<EffectRange>) {
         let key = (device.0, m.buf.0);
-        let Some(e) = self.present.get_mut(&key) else {
+        let Some(e) = self.st.present.get_mut(&key) else {
             return; // exit over an absent entry is a no-op
         };
         e.rc = if m.map_type == MapType::Delete { 0 } else { e.rc.saturating_sub(1) };
         if e.rc > 0 {
+            // An inexact count is a lower bound on the true count, so a
+            // positive remainder suppresses the transfer on every path.
             return;
         }
-        let entry = self.present.remove(&key).expect("entry just seen");
+        let final_exit = e.rc_exact && e.sure;
+        let entry = if final_exit {
+            self.st.present.remove(&key).expect("entry just found")
+        } else {
+            // The exit may or may not be the final one; the entry stays
+            // only may-present and the transfer applies as May.
+            e.sure = false;
+            e.rc_exact = false;
+            e.clone()
+        };
+        let cx = self.cx();
         let decl = self.p.decl(m.buf);
-        let (clo, chi) = (entry.lo.min(decl.len), entry.hi.min(decl.len));
+        let extent = decl.extent();
+        let (clo, lx) = cx.min_of(&entry.lo, &extent);
+        let (chi, hx) = cx.min_of(&entry.hi, &extent);
+        let exact = final_exit && entry.sect_exact && lx && hx;
         let dev = device.0 as u8;
         if m.map_type.copies_from_device() {
             // The exit transfer moves the *entry's* recorded section.
-            if entry.hi > decl.len {
+            let overflow = cx.lt(&extent, &entry.hi);
+            if overflow != Some(false) && entry.sect_exact {
+                let (plo, phi) = (cx.proj_lo(&entry.lo), cx.proj_hi(&entry.hi));
                 let msg = format!(
-                    "exit transfer of '{}'[{}..{}] exceeds the variable's extent ({} elements)",
-                    decl.name, entry.lo, entry.hi, decl.len
+                    "exit transfer of '{}'[{plo}..{phi}] exceeds the variable's extent ({} elements)",
+                    decl.name,
+                    cx.proj_lo(&extent)
                 );
+                let sev = if overflow == Some(true) && final_exit {
+                    Severity::Must
+                } else {
+                    Severity::May
+                };
                 let fix = hints::shrink_section(&decl.name);
-                self.emit(
-                    Severity::Must,
-                    ReportKind::MappingOverflow,
-                    m.buf,
-                    device,
-                    (entry.lo, entry.hi),
-                    msg,
-                    fix,
-                );
+                self.emit(sev, ReportKind::MappingOverflow, m.buf, device, (plo, phi), msg, fix);
             }
-            self.bufs[m.buf.0 as usize]
-                .apply_range(clo, chi, |a| a.step_must(VsmOp::UpdateFromDevice(dev)));
-            effects.push(EffectRange { buf: m.buf, lo: clo, hi: chi, is_write: true });
+            self.st.bufs[m.buf.0 as usize]
+                .apply_range(&clo, &chi, exact, &cx, |a| a.step_must(VsmOp::UpdateFromDevice(dev)));
+            effects.push(EffectRange {
+                buf: m.buf,
+                lo: cx.proj_lo(&clo),
+                hi: cx.proj_hi(&chi),
+                is_write: true,
+            });
         }
-        self.bufs[m.buf.0 as usize].apply_range(clo, chi, |a| a.step_must(VsmOp::Release(dev)));
+        self.st.bufs[m.buf.0 as usize]
+            .apply_range(&clo, &chi, exact, &cx, |a| a.step_must(VsmOp::Release(dev)));
     }
 
     fn update(
@@ -614,49 +1109,62 @@ impl<'a> Analyzer<'a> {
         effects: &mut Vec<EffectRange>,
     ) {
         let key = (device.0, buf.0);
-        let Some(entry) = self.present.get(&key).copied() else {
+        let Some(entry) = self.st.present.get(&key).cloned() else {
             return; // update of an unmapped variable is a no-op
         };
+        let cx = self.cx();
         let decl = self.p.decl(buf);
-        if entry.hi > decl.len {
+        let extent = decl.extent();
+        let overflow = cx.lt(&extent, &entry.hi);
+        if overflow != Some(false) && entry.sect_exact {
+            let (plo, phi) = (cx.proj_lo(&entry.lo), cx.proj_hi(&entry.hi));
             let msg = format!(
-                "update transfer of '{}'[{}..{}] exceeds the variable's extent ({} elements)",
-                decl.name, entry.lo, entry.hi, decl.len
+                "update transfer of '{}'[{plo}..{phi}] exceeds the variable's extent ({} elements)",
+                decl.name,
+                cx.proj_lo(&extent)
             );
+            let sev =
+                if overflow == Some(true) && entry.sure { Severity::Must } else { Severity::May };
             let fix = hints::shrink_section(&decl.name);
-            self.emit(
-                Severity::Must,
-                ReportKind::MappingOverflow,
-                buf,
-                device,
-                (entry.lo, entry.hi),
-                msg,
-                fix,
-            );
+            self.emit(sev, ReportKind::MappingOverflow, buf, device, (plo, phi), msg, fix);
         }
-        let (clo, chi) = (entry.lo.min(decl.len), entry.hi.min(decl.len));
+        let (clo, lx) = cx.min_of(&entry.lo, &extent);
+        let (chi, hx) = cx.min_of(&entry.hi, &extent);
+        let exact = entry.sure && entry.sect_exact && lx && hx;
         let dev = device.0 as u8;
         let op = if to_device { VsmOp::UpdateToDevice(dev) } else { VsmOp::UpdateFromDevice(dev) };
-        self.bufs[buf.0 as usize].apply_range(clo, chi, |a| a.step_must(op));
-        effects.push(EffectRange { buf, lo: clo, hi: chi, is_write: true });
+        self.st.bufs[buf.0 as usize].apply_range(&clo, &chi, exact, &cx, |a| a.step_must(op));
+        effects.push(EffectRange {
+            buf,
+            lo: cx.proj_lo(&clo),
+            hi: cx.proj_hi(&chi),
+            is_write: true,
+        });
     }
 
     // ---- accesses ----
 
     fn host_access(&mut self, a: &Access) {
-        let decl = self.p.decl(a.buf);
-        let (lo, hi) = a.sect.resolve(decl.len);
-        let (lo, hi) = (lo.min(decl.len), hi.min(decl.len));
-        self.vsm_access(a, DeviceId::HOST, StorageLoc::Host, lo, hi);
+        let cx = self.cx();
+        let extent = self.p.decl(a.buf).extent();
+        let (lo, hi) = a.sect.resolve_sym(&extent);
+        let (lo, lx) = cx.min_of(&lo, &extent);
+        let (hi, hx) = cx.min_of(&hi, &extent);
+        self.vsm_access(a, DeviceId::HOST, StorageLoc::Host, &lo, &hi, lx && hx);
     }
 
     fn device_access(&mut self, device: DeviceId, a: &Access) {
+        let cx = self.cx();
         let decl = self.p.decl(a.buf);
-        let (lo, hi) = a.sect.resolve(decl.len);
-        let (lo, hi) = (lo.min(decl.len), hi.min(decl.len));
-        let Some(entry) = self.present.get(&(device.0, a.buf.0)).copied() else {
+        let extent = decl.extent();
+        let (rlo, rhi) = a.sect.resolve_sym(&extent);
+        let (lo, lx) = cx.min_of(&rlo, &extent);
+        let (hi, hx) = cx.min_of(&rhi, &extent);
+        let sect_exact = lx && hx;
+        let Some(entry) = self.st.present.get(&(device.0, a.buf.0)).cloned() else {
+            let (plo, phi) = (cx.proj_lo(&lo), cx.proj_hi(&hi));
             let msg = format!(
-                "kernel {} '{}'[{lo}..{hi}] on {device} with no mapping present",
+                "kernel {} '{}'[{plo}..{phi}] on {device} with no mapping present",
                 if a.is_write { "writes" } else { "reads" },
                 decl.name
             );
@@ -665,48 +1173,93 @@ impl<'a> Analyzer<'a> {
                 ReportKind::MappingOverflow,
                 a.buf,
                 device,
-                (lo, hi),
+                (plo, phi),
                 msg,
                 hints::ADD_MAP.to_string(),
             );
             return;
         };
-        if lo < entry.lo || hi > entry.hi.min(decl.len) {
+        if !entry.sure {
+            // The mapping may be absent on some path.
+            let (plo, phi) = (cx.proj_lo(&lo), cx.proj_hi(&hi));
             let msg = format!(
-                "kernel access to '{}'[{lo}..{hi}] lies outside the mapped section [{}..{}]",
-                decl.name,
-                entry.lo,
-                entry.hi.min(decl.len)
+                "kernel {} '{}'[{plo}..{phi}] on {device} with no mapping present",
+                if a.is_write { "writes" } else { "reads" },
+                decl.name
             );
             self.emit(
-                Severity::of(a.certainty),
+                Severity::May,
                 ReportKind::MappingOverflow,
                 a.buf,
                 device,
-                (lo, hi),
+                (plo, phi),
+                msg,
+                hints::ADD_MAP.to_string(),
+            );
+        }
+        let (ehi, ex) = cx.min_of(&entry.hi, &extent);
+        let below = cx.lt(&lo, &entry.lo);
+        let above = cx.lt(&ehi, &hi);
+        let outside = match (below, above) {
+            (Some(false), Some(false)) => Some(false),
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            _ => None,
+        };
+        if outside != Some(false) && entry.sect_exact {
+            let definite = outside == Some(true) && entry.sure && sect_exact;
+            let (plo, phi) = (cx.proj_lo(&lo), cx.proj_hi(&hi));
+            let msg = format!(
+                "kernel access to '{}'[{plo}..{phi}] lies outside the mapped section [{}..{}]",
+                decl.name,
+                cx.proj_lo(&entry.lo),
+                cx.proj_hi(&ehi)
+            );
+            let sev = if definite { Severity::of(a.certainty) } else { Severity::May };
+            self.emit(
+                sev,
+                ReportKind::MappingOverflow,
+                a.buf,
+                device,
+                (plo, phi),
                 msg,
                 hints::CHECK_BOUNDS.to_string(),
             );
         }
-        let (lo, hi) = (lo.max(entry.lo), hi.min(entry.hi.min(decl.len)));
-        if lo < hi {
-            self.vsm_access(a, device, StorageLoc::Device(device.0 as u8), lo, hi);
-        }
+        // Clamp the modelled access to the mapped section.
+        let (alo, ax) = match cx.le(&entry.lo, &lo) {
+            Some(true) => (lo.clone(), true),
+            Some(false) => (entry.lo.clone(), true),
+            None => (entry.lo.clone(), false),
+        };
+        let (ahi, bx) = cx.min_of(&hi, &ehi);
+        let exact = sect_exact && entry.sect_exact && entry.sure && ex && ax && bx;
+        self.vsm_access(a, device, StorageLoc::Device(device.0 as u8), &alo, &ahi, exact);
     }
 
-    fn vsm_access(&mut self, a: &Access, device: DeviceId, loc: StorageLoc, lo: u64, hi: u64) {
-        if lo >= hi {
+    fn vsm_access(
+        &mut self,
+        a: &Access,
+        device: DeviceId,
+        loc: StorageLoc,
+        lo: &Expr,
+        hi: &Expr,
+        exact: bool,
+    ) {
+        let cx = self.cx();
+        if cx.le(hi, lo) == Some(true) {
             return;
         }
         if a.is_write {
-            self.bufs[a.buf.0 as usize]
-                .apply_range(lo, hi, |s| s.step(VsmOp::Write(loc), a.certainty));
+            self.st.bufs[a.buf.0 as usize]
+                .apply_range(lo, hi, exact, &cx, |s| s.step(VsmOp::Write(loc), a.certainty));
             return;
         }
         // Reads never mutate abstract state; check each distinct segment.
+        let (view, vexact) = self.st.bufs[a.buf.0 as usize].view(lo, hi, &cx);
         let mut faults: Vec<(u64, u64, Severity, ViolationKind)> = Vec::new();
-        for (slo, shi, abs) in self.bufs[a.buf.0 as usize].view(lo, hi) {
+        for (slo, shi, abs) in view {
             if let Some((sev, kind)) = abs.check_read(loc.bit(), a.certainty) {
+                let sev = if exact && vexact { sev } else { Severity::May };
                 faults.push((slo, shi, sev, kind));
             }
         }
@@ -719,8 +1272,7 @@ impl<'a> Analyzer<'a> {
                 Severity::Must => "reads",
                 Severity::May => "may read",
             };
-            let msg =
-                format!("'{}'[{slo}..{shi}] {verb} {what} on {device}", self.name(a.buf));
+            let msg = format!("'{}'[{slo}..{shi}] {verb} {what} on {device}", self.name(a.buf));
             let fix = hints::for_read(kind, device).to_string();
             self.emit(sev, kind, a.buf, device, (slo, shi), msg, fix);
         }
@@ -730,7 +1282,7 @@ impl<'a> Analyzer<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use arbalest_ir::{ProgramBuilder, Sect};
+    use arbalest_ir::{Binding, ProgramBuilder, Sect};
 
     fn kinds(diags: &[Diagnostic]) -> Vec<(Severity, ReportKind)> {
         diags.iter().map(|d| (d.severity, d.kind)).collect()
@@ -809,11 +1361,8 @@ mod tests {
         let mut p = ProgramBuilder::new("may-uum");
         let mut q = ProgramBuilder::new("must-uum");
         for (b, init_known) in [(&mut p, true), (&mut q, false)] {
-            let a = if init_known {
-                b.buffer_init_may("a", 8, 16)
-            } else {
-                b.buffer("a", 8, 16)
-            };
+            let a =
+                if init_known { b.buffer_init_may("a", 8, 16) } else { b.buffer("a", 8, 16) };
             b.target().map_to(a).reads(a).done();
         }
         assert_eq!(kinds(&analyze(&p.build())), vec![(Severity::May, ReportKind::MappingUum)]);
@@ -923,5 +1472,193 @@ mod tests {
         assert!(text.contains("mapping-issue(UUM)"), "{text}");
         assert!(text.contains("Suggested fix"), "{text}");
         assert!(r.message.starts_with("[must]"));
+    }
+
+    // ---- control flow ----
+
+    #[test]
+    fn branch_arm_that_skips_copy_back_demotes_to_may() {
+        // One arm leaves the host copy stale, the other never runs the
+        // kernel: the merge carries the stale fact only as May.
+        let mut p = ProgramBuilder::new("branch");
+        let a = p.buffer_init("a", 8, 16);
+        p.if_(
+            true,
+            |p| {
+                p.target().map_to(a).reads(a).writes(a).done();
+            },
+            |_| {},
+        );
+        p.host_read(a);
+        let d = analyze(&p.build());
+        assert_eq!(kinds(&d), vec![(Severity::May, ReportKind::MappingUsd)]);
+    }
+
+    #[test]
+    fn identical_branch_arms_keep_must_facts() {
+        // Both arms leave the host copy stale, so the post-branch read
+        // still faults on every execution.
+        let mut p = ProgramBuilder::new("branch-same");
+        let a = p.buffer_init("a", 8, 16);
+        p.if_(
+            true,
+            |p| {
+                p.target().map_to(a).reads(a).writes(a).done();
+            },
+            |p| {
+                p.target().map_to(a).reads(a).writes(a).done();
+            },
+        );
+        p.host_read(a);
+        let d = analyze(&p.build());
+        assert_eq!(kinds(&d), vec![(Severity::Must, ReportKind::MappingUsd)]);
+    }
+
+    #[test]
+    fn loop_carried_must_survives_widening() {
+        // The body maps, mutates and unmaps every iteration; the final
+        // host read of the never-copied-back buffer stays Must. The
+        // loop-carried staleness also surfaces: from iteration 2 on the
+        // entry transfer re-ships the stale host copy, so the device
+        // read is possibly stale (May — iteration 1 is clean).
+        let mut p = ProgramBuilder::new("loop-usd");
+        let a = p.buffer_init("a", 8, 16);
+        p.loop_n(4, |p| {
+            p.target().map_to(a).reads(a).writes(a).done();
+        });
+        p.host_read(a);
+        let d = analyze(&p.build());
+        assert_eq!(
+            kinds(&d),
+            vec![(Severity::Must, ReportKind::MappingUsd), (Severity::May, ReportKind::MappingUsd)]
+        );
+        assert_eq!(d[0].device, DeviceId::HOST);
+    }
+
+    #[test]
+    fn zero_trip_loop_demotes_to_may() {
+        // With n possibly 0 the device may never write, so the host
+        // read is only possibly stale.
+        let mut p = ProgramBuilder::new("loop-zero");
+        let n = p.param("n", 0, Some(4));
+        let a = p.buffer_init("a", 8, 16);
+        p.loop_(Trip(Expr::param(n)), |p| {
+            p.target().map_to(a).reads(a).writes(a).done();
+        });
+        p.host_read(a);
+        let d = analyze(&p.build());
+        assert_eq!(kinds(&d), vec![(Severity::May, ReportKind::MappingUsd)]);
+    }
+
+    #[test]
+    fn loop_fixpoint_converges_on_nowait_chains() {
+        // A nowait target with a self-conflicting depend chain inside a
+        // loop orders itself across iterations: no race.
+        let mut p = ProgramBuilder::new("loop-chain");
+        let a = p.buffer_init("a", 8, 16);
+        p.data().map_tofrom(a).scope(|p| {
+            p.loop_n(5, |p| {
+                p.target().map_to(a).nowait().depend_write(a).reads(a).writes(a).done();
+            });
+            p.taskwait();
+        });
+        p.host_read(a);
+        assert!(analyze(&p.build()).is_empty());
+    }
+
+    #[test]
+    fn unordered_nowait_loop_races_itself() {
+        let mut p = ProgramBuilder::new("loop-race");
+        let a = p.buffer_init("a", 8, 16);
+        p.data().map_tofrom(a).scope(|p| {
+            p.loop_n(3, |p| {
+                p.target().map_to(a).nowait().writes(a).done();
+            });
+            p.taskwait();
+        });
+        p.host_read(a);
+        let d = analyze(&p.build());
+        assert_eq!(kinds(&d), vec![(Severity::May, ReportKind::DataRace)]);
+    }
+
+    // ---- symbolic bounds ----
+
+    #[test]
+    fn symbolic_extent_program_analyzes_clean() {
+        let mut p = ProgramBuilder::new("sym-clean");
+        let n = p.param("n", 1, Some(64));
+        let a = p.buffer_init_sym("a", 8, Expr::param(n));
+        let out = p.buffer_sym("out", 8, Expr::param(n));
+        p.loop_(Trip(Expr::param(n)), |p| {
+            p.target().map_to(a).map_from(out).reads(a).writes(out).done();
+        });
+        p.host_read(out);
+        assert!(analyze(&p.build()).is_empty());
+    }
+
+    #[test]
+    fn symbolic_overflow_is_flagged_by_interval_arithmetic() {
+        // Section [0, n+4) over a buffer of extent n overflows for every
+        // admissible n.
+        let mut p = ProgramBuilder::new("sym-bo");
+        let n = p.param("n", 1, Some(64));
+        let a = p.buffer_init_sym("a", 8, Expr::param(n));
+        p.target()
+            .map_sym(a, MapType::To, Expr::ZERO, Expr::param(n).add_const(4))
+            .reads(a)
+            .done();
+        let d = analyze(&p.build());
+        assert_eq!(kinds(&d), vec![(Severity::Must, ReportKind::MappingOverflow)]);
+    }
+
+    #[test]
+    fn incomparable_bounds_fall_back_to_may() {
+        // Section [0, m) over extent n: the parameter ranges overlap, so
+        // the overflow cannot be decided — it must surface as May,
+        // never Must.
+        let mut p = ProgramBuilder::new("sym-may-bo");
+        let n = p.param("n", 1, Some(64));
+        let m = p.param("m", 1, Some(64));
+        let a = p.buffer_init_sym("a", 8, Expr::param(n));
+        p.target().map_sym(a, MapType::To, Expr::ZERO, Expr::param(m)).reads(a).done();
+        let d = analyze(&p.build());
+        assert!(!d.is_empty());
+        assert!(d.iter().all(|x| x.severity == Severity::May), "{d:?}");
+    }
+
+    #[test]
+    fn symbolic_analysis_agrees_with_instantiation() {
+        // The symbolic verdict must over-approximate every admissible
+        // concretization: each concrete finding appears symbolically
+        // (same kind and buffer), and each symbolic Must is confirmed
+        // as a concrete finding for every binding.
+        let mut p = ProgramBuilder::new("sym-agree");
+        let n = p.param("n", 1, Some(6));
+        let a = p.buffer_init_sym("a", 8, Expr::param(n));
+        p.loop_(Trip(Expr::param(n)), |p| {
+            p.target().map_to(a).reads(a).writes(a).done();
+        });
+        p.host_read(a);
+        let sym = p.build();
+        let sd = analyze(&sym);
+        assert!(
+            sd.iter().any(|d| d.severity == Severity::Must && d.kind == ReportKind::MappingUsd)
+        );
+        for v in 1..=6u64 {
+            let conc = sym.concretize(&Binding::new().set(n, v)).expect("concretize");
+            let cd = analyze(&conc);
+            for c in &cd {
+                assert!(
+                    sd.iter().any(|s| s.kind == c.kind && s.buffer == c.buffer),
+                    "n={v}: concrete {c:?} missing symbolically"
+                );
+            }
+            for s in sd.iter().filter(|s| s.severity == Severity::Must) {
+                assert!(
+                    cd.iter().any(|c| c.kind == s.kind && c.buffer == s.buffer),
+                    "n={v}: symbolic Must {s:?} not confirmed concretely"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,88 @@
+//! Symbolic-vs-instantiation agreement for the loop-form IR models.
+//!
+//! The static analyzer checks each symbolic model once; these tests pin
+//! the contract that makes that single check meaningful:
+//!
+//! * analyzing the symbolic program over-approximates analyzing any
+//!   concrete instantiation (same `(kind, buffer)` vocabulary), and
+//! * every symbolic `Must` diagnostic survives instantiation — a
+//!   verdict claimed for *all* trip counts must hold at each one.
+//!
+//! The six loop-shaped DRACC benchmarks are swept over a range of trip
+//! counts; the five SPEC workloads over every preset.
+
+use arbalest_ir::Binding;
+use arbalest_spec::Preset;
+use arbalest_static::{analyze, Severity};
+use std::collections::BTreeSet;
+
+type Key = (&'static str, String);
+
+fn keys(diags: &[arbalest_static::Diagnostic]) -> BTreeSet<Key> {
+    diags.iter().map(|d| (d.kind.label(), d.buffer.clone())).collect()
+}
+
+fn must_keys(diags: &[arbalest_static::Diagnostic]) -> BTreeSet<Key> {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Must)
+        .map(|d| (d.kind.label(), d.buffer.clone()))
+        .collect()
+}
+
+fn assert_agreement(name: &str, symbolic: &arbalest_ir::Program, binding: &Binding) {
+    let sym = analyze(symbolic);
+    let concrete = symbolic.concretize(binding).expect("binding in range");
+    let conc = analyze(&concrete);
+    let (sym_any, sym_must, conc_any) = (keys(&sym), must_keys(&sym), keys(&conc));
+    for k in &conc_any {
+        assert!(
+            sym_any.contains(k),
+            "{name}: concrete finding {k:?} missing from the symbolic analysis"
+        );
+    }
+    for k in &sym_must {
+        assert!(
+            conc_any.contains(k),
+            "{name}: symbolic Must {k:?} not reproduced by the instantiation"
+        );
+    }
+}
+
+#[test]
+fn dracc_loop_models_agree_with_every_instantiation() {
+    let loop_ids = [9u32, 13, 21, 41, 43, 55];
+    for id in loop_ids {
+        let (program, _historic) =
+            arbalest_dracc::ir_models::symbolic_model(id).expect("loop-form model");
+        let iters = arbalest_ir::ParamId(0);
+        assert!(!program.is_concrete(), "DRACC {id}: model should be symbolic");
+        for trips in 1..=6 {
+            let binding = Binding::new().set(iters, trips);
+            assert_agreement(&format!("DRACC {id} @ trips={trips}"), &program, &binding);
+        }
+    }
+}
+
+#[test]
+fn dracc_loop_models_stay_silent_symbolically() {
+    // All six loop benchmarks are correct programs: the single symbolic
+    // check must clear them for every admissible trip count.
+    for id in [9u32, 13, 21, 41, 43, 55] {
+        let (program, _) = arbalest_dracc::ir_models::symbolic_model(id).expect("model");
+        let diags = analyze(&program);
+        assert!(diags.is_empty(), "DRACC {id}: {:?}", diags[0]);
+    }
+}
+
+#[test]
+fn spec_models_agree_at_every_preset() {
+    for w in arbalest_spec::workloads() {
+        let m = arbalest_spec::ir_models::symbolic_model(w.name).expect("model");
+        let sym = analyze(&m.program);
+        assert!(sym.is_empty(), "{}: symbolic diagnostic {:?}", w.name, sym[0]);
+        for preset in [Preset::Test, Preset::Small, Preset::Medium] {
+            assert_agreement(&format!("{} @ {preset:?}", w.name), &m.program, &m.binding(preset));
+        }
+    }
+}
