@@ -60,6 +60,9 @@ echo "$STATS_OUT" | grep -q "1 finished" \
 PROM_OUT="$("$ARB" stats --format prom --connect "unix:$SOCK")"
 echo "$PROM_OUT" | grep -q "^arbalest_server_sessions_finished_total 1$" \
     || { echo "prometheus export disagrees with stats"; exit 1; }
+# The live scrape must pass the text-exposition conformance checker.
+echo "$PROM_OUT" | "$ARB" check-prom \
+    || { echo "prometheus export failed conformance"; exit 1; }
 "$ARB" stop --connect "unix:$SOCK"
 # Clean drain must finish well inside the timeout's budget.
 wait "$SERVE_PID" || { echo "server exited non-zero"; exit 1; }
@@ -110,6 +113,39 @@ wait "$SERVE_PID" || { echo "durable server exited non-zero"; exit 1; }
 trap - EXIT
 rm -rf "$DSOCK" "$DTRACE" "$DATA"
 echo "    crash-recovery smoke OK"
+
+echo "==> causal-tracing smoke (serve --trace-dir, 30s budget)"
+TSOCK="$(mktemp -u /tmp/arbalest-ci-XXXXXX.sock)"
+TDIR="$(mktemp -d /tmp/arbalest-ci-XXXXXX.traces)"
+timeout 30 "$ARB" serve --listen "unix:$TSOCK" --shards 2 --trace-dir "$TDIR" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$TSOCK" "$TDIR"' EXIT
+for _ in $(seq 1 50); do [[ -S "$TSOCK" ]] && break; sleep 0.1; done
+[[ -S "$TSOCK" ]] || { echo "tracing server never bound $TSOCK"; exit 1; }
+"$ARB" submit 22 --connect "unix:$TSOCK" --trace --quiet
+TRACE_FILE="$(ls "$TDIR"/session-*.json 2>/dev/null | head -1)"
+[[ -n "$TRACE_FILE" ]] || { echo "traced session wrote no trace file in $TDIR"; exit 1; }
+# The file must be a well-formed Perfetto document with linked causal ids,
+# and carry every leg of the batch pipeline.
+"$ARB" check-trace "$TRACE_FILE"
+for leg in client_submit wal_append shard_job detector_feed; do
+    # wal_append only appears with --data-dir; skip it on this instance.
+    [[ "$leg" == "wal_append" ]] && continue
+    grep -q "\"name\":\"$leg\"" "$TRACE_FILE" \
+        || { echo "trace file missing $leg spans"; exit 1; }
+done
+"$ARB" stop --connect "unix:$TSOCK"
+wait "$SERVE_PID" || { echo "tracing server exited non-zero"; exit 1; }
+trap - EXIT
+rm -rf "$TSOCK" "$TDIR"
+echo "    causal-tracing smoke OK"
+
+echo "==> arbalest explain smoke (provenance chains agree with hints)"
+EXPLAIN_OUT="$("$ARB" explain 22)"
+echo "$EXPLAIN_OUT" | grep -q "causal VSM history" \
+    || { echo "explain 22 produced no provenance chain"; exit 1; }
+echo "$EXPLAIN_OUT" | grep -q "read_target" \
+    || { echo "explain 22 chain lacks the faulting read"; exit 1; }
 
 echo "==> observability smoke (metrics + trace dumps parse)"
 METRICS="$(mktemp /tmp/arbalest-ci-XXXXXX.metrics.json)"

@@ -55,6 +55,7 @@ impl ReportSink {
             // Baselines have no mapping context of their own; attach the
             // kind's default hint so no report ships without one.
             suggested_fix: Some(hints::default_for(kind, device).to_string()),
+            provenance: Vec::new(),
         });
     }
 

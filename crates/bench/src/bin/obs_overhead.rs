@@ -34,10 +34,10 @@ use std::time::Instant;
 
 /// One full DRACC sweep with every detector and runtime recording into
 /// `reg`; returns the wall time in seconds.
-fn sweep(reg: &Registry) -> f64 {
+fn sweep(reg: &Registry, cfg: &ArbalestConfig) -> f64 {
     let start = Instant::now();
     for b in arbalest_dracc::all() {
-        let tool = Arc::new(Arbalest::with_registry(ArbalestConfig::default(), reg.clone()));
+        let tool = Arc::new(Arbalest::with_registry(cfg.clone(), reg.clone()));
         let rt = Runtime::with_tool(Config::default().metrics(reg.clone()), tool);
         b.run(&rt);
     }
@@ -70,20 +70,32 @@ fn main() {
     let cases = arbalest_dracc::all().len();
 
     // A fresh registry per enabled sweep so series-registration cost is
-    // included in the measurement.
-    let run_off = || sweep(&Registry::disabled());
-    let run_on = || sweep(&Registry::new());
+    // included in the measurement. Three rungs on the ladder:
+    //   off   — Registry::disabled(), the uninstrumented floor;
+    //   on    — live metrics + span timing (the ≤ budget%-gated default);
+    //   prov  — metrics plus per-buffer VSM provenance capture, the
+    //           `arbalest explain` configuration (opt-in, reported but
+    //           not gated: explain runs are diagnostic, not production).
+    let prov_cfg = ArbalestConfig { provenance: true, ..ArbalestConfig::default() };
+    let run_off = || sweep(&Registry::disabled(), &ArbalestConfig::default());
+    let run_on = || sweep(&Registry::new(), &ArbalestConfig::default());
+    let run_prov = || sweep(&Registry::new(), &prov_cfg);
 
     // Warm up caches and the allocator outside the measurement.
     let _ = run_off();
     let _ = run_on();
+    let _ = run_prov();
 
     let mut ratios = Vec::with_capacity(reps);
+    let mut prov_ratios = Vec::with_capacity(reps);
     let mut best_off = f64::MAX;
     let mut best_on = f64::MAX;
+    let mut best_prov = f64::MAX;
     for i in 0..reps {
         // Alternate which side goes first so a systematic cache/frequency
-        // advantage of the second sweep cancels across pairs.
+        // advantage of the second sweep cancels across pairs. The gated
+        // off/on pair stays *adjacent* — anything in between sees a
+        // different machine state and poisons the ratio.
         let (off, on) = if i % 2 == 0 {
             let off = run_off();
             (off, run_on())
@@ -95,13 +107,32 @@ fn main() {
         best_off = best_off.min(off);
         best_on = best_on.min(on);
     }
-    ratios.sort_by(|a, b| a.partial_cmp(b).expect("sweep times are finite"));
-    let overhead_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+    // The informational provenance ladder runs as its own paired loop so
+    // its allocation churn cannot leak into the gated measurement above.
+    for i in 0..reps {
+        let (off, prov) = if i % 2 == 0 {
+            let off = run_off();
+            (off, run_prov())
+        } else {
+            let prov = run_prov();
+            (run_off(), prov)
+        };
+        prov_ratios.push(prov / off);
+        best_prov = best_prov.min(prov);
+    }
+    let median = |r: &mut Vec<f64>| {
+        r.sort_by(|a, b| a.partial_cmp(b).expect("sweep times are finite"));
+        (r[r.len() / 2] - 1.0) * 100.0
+    };
+    let overhead_pct = median(&mut ratios);
+    let prov_overhead_pct = median(&mut prov_ratios);
 
     println!("OBSERVABILITY OVERHEAD ({cases}-case DRACC sweep, median of {reps} paired ratios)");
-    println!("  uninstrumented: {:>9.3} ms  (best sweep)", best_off * 1e3);
-    println!("  instrumented:   {:>9.3} ms  (best sweep)", best_on * 1e3);
-    println!("  overhead:       {overhead_pct:>8.2} %   (budget {budget}%)");
+    println!("  uninstrumented:       {:>9.3} ms  (best sweep)", best_off * 1e3);
+    println!("  instrumented:         {:>9.3} ms  (best sweep)", best_on * 1e3);
+    println!("  with provenance:      {:>9.3} ms  (best sweep)", best_prov * 1e3);
+    println!("  overhead:             {overhead_pct:>8.2} %   (budget {budget}%)");
+    println!("  provenance overhead:  {prov_overhead_pct:>8.2} %   (informational)");
 
     let entry = Json::obj(vec![
         ("bench", Json::Str("obs_overhead".into())),
@@ -109,7 +140,9 @@ fn main() {
         ("reps", Json::int(reps as u64)),
         ("uninstrumented_s", Json::Num(best_off)),
         ("instrumented_s", Json::Num(best_on)),
+        ("provenance_s", Json::Num(best_prov)),
         ("overhead_pct", Json::Num(overhead_pct)),
+        ("provenance_overhead_pct", Json::Num(prov_overhead_pct)),
         ("budget_pct", Json::Num(budget)),
         ("pass", Json::Bool(overhead_pct <= budget)),
     ]);

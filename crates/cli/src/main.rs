@@ -7,6 +7,10 @@
 //! arbalest certify <id|all>              Theorem-1 certification of DRACC
 //! arbalest profile <id|all>              run DRACC under the detector and
 //!                                        print a hot-path profile
+//! arbalest explain <id> [--report N]     re-run with VSM provenance capture
+//!                                        and print each report's causal chain
+//! arbalest check-prom [file]             validate Prometheus text exposition
+//! arbalest check-trace <file>            validate a Perfetto trace file
 //! arbalest serve [options]               long-lived analysis service
 //! arbalest submit <trace|id> [options]   analyse a trace on a server
 //! arbalest record <id> -o <file>         capture a DRACC trace to a file
@@ -58,6 +62,8 @@ struct Options {
     no_metrics: bool,
     deny: Option<Severity>,
     seeds: u64,
+    /// explain: which report of the case to explain (default: all).
+    report: Option<usize>,
 }
 
 impl Default for Options {
@@ -76,6 +82,7 @@ impl Default for Options {
             no_metrics: false,
             deny: None,
             seeds: 64,
+            report: None,
         }
     }
 }
@@ -121,6 +128,14 @@ usage: arbalest <command> [options]
   certify <id|all>           Theorem-1 certification of DRACC benchmark(s)
   profile <id|all>           run DRACC benchmark(s) under the arbalest
                              detector and print a hot-path profile
+                             (--format json for a machine-readable one)
+  explain <id>               re-run a DRACC benchmark with VSM provenance
+                             capture and print, for each report, the causal
+                             chain of validity-state edges that led to it
+  check-prom [file]          validate Prometheus text exposition from a
+                             file or stdin (conformance gate for scrapes)
+  check-trace <file>         validate a Chrome/Perfetto trace file written
+                             by serve --trace-dir (well-formedness gate)
   serve                      run the analysis service (see --listen, --shards)
   submit <trace-file|id>     stream a trace (or a DRACC benchmark's trace)
                              to a server and print its reports
@@ -155,6 +170,13 @@ options:
   --data-dir <dir>           serve: write-ahead log every accepted batch
                              under <dir>, recover unfinished sessions at
                              startup (default: no durability)
+  --trace-dir <dir>          serve: write each cleanly finished *traced*
+                             session's span tree to <dir>/session-<id>.json
+                             (Chrome/Perfetto JSON; untraced sessions write
+                             nothing)
+  --trace                    submit: stamp every batch with a fresh root
+                             span context so the server records the causal
+                             tree (client_submit -> wal_append/shard_job)
   --snapshot-every-bytes <n> serve: snapshot+compact a session after this
                              many WAL bytes, K/M/G ok (default 0 = off)
   --snapshot-every-events <n> serve: snapshot+compact after this many
@@ -177,8 +199,10 @@ options:
   --serialize                serialize nowait kernels (analysis schedule)
   --team <n>                 kernel team size
   --quiet                    summary only, no rendered reports
-  --format text|json         report format for dracc/spec/lint (default text);
-                             for stats: text|prom
+  --format text|json         report format for dracc/spec/lint/profile/
+                             explain (default text); for stats: text|prom
+  --report <n>               explain: explain only the n-th report
+                             (0-based; default: all reports of the case)
   --faults seed=N,rate=P     deterministic fault injection (rate in [0,1])
   --deny may|must            lint: exit 3 when any diagnostic at or above
                              the given severity exists (may denies all)
@@ -262,6 +286,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--seeds needs a number")?;
             }
+            "--report" => {
+                opts.report = Some(
+                    it.next().and_then(|s| s.parse().ok()).ok_or("--report needs an index")?,
+                );
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -320,6 +349,13 @@ fn write_observability(
             out.push('\n');
         }
         std::fs::write(path, out).map_err(|e| format!("write {path}: {e}"))?;
+        let dropped = reg.dropped_spans();
+        if dropped > 0 {
+            eprintln!(
+                "warning: flight recorder overwrote {dropped} span(s) during the run; \
+                 {path} is incomplete (counted in arbalest_obs_dropped_spans_total)"
+            );
+        }
     }
     Ok(())
 }
@@ -701,7 +737,21 @@ fn cmd_profile(target: &str, opts: &Options) -> ExitCode {
     }
     let wall = start.elapsed();
     let spans = reg.drain_spans();
-    print_profile(&reg.snapshot(), &spans, benches.len(), reports, wall);
+    if opts.format == OutputFormat::Json {
+        // Same registry snapshot the text profile reads, as one document a
+        // dashboard can ingest without scraping the table layout.
+        let doc = Json::obj(vec![
+            ("command", Json::Str("profile".into())),
+            ("benchmarks", Json::int(benches.len() as u64)),
+            ("reports", Json::int(reports as u64)),
+            ("seconds", Json::Num(wall.as_secs_f64())),
+            ("metrics", metrics_json(&reg.snapshot())),
+            ("spans", Json::Arr(spans.iter().map(span_json).collect())),
+        ]);
+        println!("{}", doc.emit());
+    } else {
+        print_profile(&reg.snapshot(), &spans, benches.len(), reports, wall);
+    }
     if let Err(e) = write_observability(&reg, &spans, opts) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
@@ -794,6 +844,209 @@ fn print_profile(
     println!("\nflight recorder: {} span event(s) captured", spans.len());
 }
 
+/// `arbalest explain <id>`: re-run one DRACC benchmark with the detector's
+/// VSM provenance capture enabled and print, for each report, the causal
+/// chain of validity-state edges (oldest first) that carried the buffer
+/// into the faulting state. The rendered report itself is byte-identical
+/// to a default run — provenance rides alongside, never inside it.
+fn cmd_explain(target: &str, opts: &Options) -> ExitCode {
+    let Some(bench) = target.parse::<u32>().ok().and_then(arbalest_dracc::by_id) else {
+        eprintln!("unknown benchmark id '{target}' (explain takes one DRACC id)");
+        return ExitCode::from(2);
+    };
+    let reg = registry_for(opts);
+    let cfg = Config::default()
+        .team_size(opts.team)
+        .unified(opts.unified)
+        .serialize(opts.serialize)
+        .metrics(reg.clone());
+    let tool = Arc::new(Arbalest::with_registry(
+        ArbalestConfig { provenance: true, ..ArbalestConfig::default() },
+        reg.clone(),
+    ));
+    let rt = Runtime::with_tool(cfg, tool);
+    bench.run(&rt);
+    let reports = rt.reports();
+    if reports.is_empty() {
+        println!("{}: no reports — nothing to explain", bench.dracc_id());
+        return ExitCode::SUCCESS;
+    }
+    let picked: Vec<(usize, _)> = match opts.report {
+        Some(n) => match reports.get(n) {
+            Some(r) => vec![(n, r)],
+            None => {
+                eprintln!(
+                    "--report {n} out of range: {} produced {} report(s)",
+                    bench.dracc_id(),
+                    reports.len()
+                );
+                return ExitCode::from(2);
+            }
+        },
+        None => reports.iter().enumerate().collect(),
+    };
+    if opts.format == OutputFormat::Json {
+        let doc = Json::obj(vec![
+            ("command", Json::Str("explain".into())),
+            ("benchmark", Json::Str(bench.dracc_id())),
+            ("reports", Json::Arr(picked.iter().map(|(_, r)| r.to_json()).collect())),
+        ]);
+        println!("{}", doc.emit());
+        return ExitCode::SUCCESS;
+    }
+    for (i, r) in &picked {
+        print!("{}", r.render());
+        if r.provenance.is_empty() {
+            println!("report {i}: no VSM provenance recorded for this report kind");
+        } else {
+            println!(
+                "report {i}: causal VSM history ({} edge(s), oldest first)",
+                r.provenance.len()
+            );
+            for (j, step) in r.provenance.iter().enumerate() {
+                println!("  {:>2}. {}", j + 1, step.describe());
+            }
+        }
+        println!();
+    }
+    println!(
+        "{}: explained {} of {} report(s)",
+        bench.dracc_id(),
+        picked.len(),
+        reports.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `arbalest check-prom [file]`: run Prometheus text exposition (from a
+/// file or stdin) through the conformance checker — the same gate the
+/// exposition unit tests apply, available to shell pipelines so CI can
+/// validate a live `stats --format prom` scrape.
+fn cmd_check_prom(path: Option<&str>) -> ExitCode {
+    let text = match path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("read {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("read stdin: {e}");
+                return ExitCode::from(2);
+            }
+            buf
+        }
+    };
+    match arbalest_obs::check_exposition(&text) {
+        Ok(s) => {
+            println!(
+                "prometheus exposition OK: {} familie(s), {} sample(s), {} histogram(s) verified",
+                s.families, s.samples, s.histograms
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("prometheus exposition INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validate one Chrome/Perfetto trace-event document: the `traceEvents`
+/// envelope, per-event required fields, and the causal-id hex encoding on
+/// every slice. Returns (slices, distinct trace ids, root spans).
+fn check_trace_text(text: &str) -> Result<(usize, usize, usize), String> {
+    let doc = Json::parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("no traceEvents array at the top level")?;
+    let is_hex = |s: &str, width: usize| {
+        s.len() == width && s.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    };
+    let mut slices = 0usize;
+    let mut traces = std::collections::BTreeSet::new();
+    let mut roots = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        e.get("name").and_then(Json::as_str).ok_or(format!("event {i}: missing name"))?;
+        e.get("pid").and_then(Json::as_u64).ok_or(format!("event {i}: missing pid"))?;
+        let ph = e.get("ph").and_then(Json::as_str).ok_or(format!("event {i}: missing ph"))?;
+        match ph {
+            "M" => {} // process/thread metadata carries no timing or args
+            "X" => {
+                e.get("tid")
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("event {i}: slice missing tid"))?;
+                for key in ["ts", "dur"] {
+                    match e.get(key) {
+                        Some(Json::Num(_)) => {}
+                        _ => return Err(format!("event {i}: slice missing numeric {key}")),
+                    }
+                }
+                let args = e.get("args").ok_or(format!("event {i}: slice missing args"))?;
+                let field = |k: &str, width: usize| {
+                    let v = args
+                        .get(k)
+                        .and_then(Json::as_str)
+                        .ok_or(format!("event {i}: args.{k} missing"))?;
+                    if !is_hex(v, width) {
+                        return Err(format!(
+                            "event {i}: args.{k} '{v}' is not {width}-digit lowercase hex"
+                        ));
+                    }
+                    Ok(v.to_string())
+                };
+                let trace = field("trace", 32)?;
+                field("span", 16)?;
+                let parent = field("parent", 16)?;
+                if trace.bytes().all(|b| b == b'0') {
+                    return Err(format!("event {i}: zero trace id on a slice"));
+                }
+                slices += 1;
+                traces.insert(trace);
+                if parent.bytes().all(|b| b == b'0') {
+                    roots += 1;
+                }
+            }
+            other => return Err(format!("event {i}: unexpected ph '{other}' (want X or M)")),
+        }
+    }
+    if slices == 0 {
+        return Err("no ph:\"X\" slices in traceEvents".into());
+    }
+    Ok((slices, traces.len(), roots))
+}
+
+/// `arbalest check-trace <file>`: well-formedness gate for the trace files
+/// `serve --trace-dir` writes, so CI smoke tests can assert the causal
+/// tree landed without hand-parsing JSON.
+fn cmd_check_trace(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match check_trace_text(&text) {
+        Ok((slices, traces, roots)) => {
+            println!(
+                "{path}: perfetto trace OK: {slices} slice(s) across {traces} trace id(s), \
+                 {roots} root span(s)"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID perfetto trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Options for the networked subcommands (`serve`, `submit`, `record`,
 /// `stats`, `stop`).
 struct NetOptions {
@@ -824,6 +1077,11 @@ struct NetOptions {
     deadline: Option<std::time::Duration>,
     /// serve: durable-session data directory (`None` = no durability).
     data_dir: Option<String>,
+    /// serve: directory for per-session Perfetto trace files (`None` = the
+    /// server still buffers spans for `TraceSnapshot`, but writes nothing).
+    trace_dir: Option<String>,
+    /// submit: stamp batches with root span contexts (causal tracing).
+    trace: bool,
     /// serve: snapshot a session after this many WAL bytes (0 = off).
     snapshot_every_bytes: u64,
     /// serve: snapshot a session after this many events (0 = off).
@@ -859,6 +1117,8 @@ impl Default for NetOptions {
             faults: FaultConfig::disabled(),
             deadline: None,
             data_dir: None,
+            trace_dir: None,
+            trace: false,
             snapshot_every_bytes: 0,
             snapshot_every_events: 0,
             fsync: arbalest_store::FsyncPolicy::default(),
@@ -962,6 +1222,10 @@ fn parse_net_options(args: &[String]) -> Result<NetOptions, String> {
             "--data-dir" => {
                 opts.data_dir = Some(it.next().ok_or("--data-dir needs a directory")?.clone());
             }
+            "--trace-dir" => {
+                opts.trace_dir = Some(it.next().ok_or("--trace-dir needs a directory")?.clone());
+            }
+            "--trace" => opts.trace = true,
             "--snapshot-every-bytes" => {
                 opts.snapshot_every_bytes = it
                     .next()
@@ -1072,6 +1336,7 @@ fn cmd_serve(opts: &NetOptions) -> ExitCode {
         drain_deadline: opts.drain_deadline,
         faults: opts.faults,
         data_dir: opts.data_dir.clone().map(std::path::PathBuf::from),
+        trace_dir: opts.trace_dir.clone().map(std::path::PathBuf::from),
         store: arbalest_store::StoreConfig {
             fsync: opts.fsync,
             snapshot_every_bytes: opts.snapshot_every_bytes,
@@ -1082,6 +1347,9 @@ fn cmd_serve(opts: &NetOptions) -> ExitCode {
     };
     match Server::start(&addr, cfg) {
         Ok(server) => {
+            if let Some(dir) = &opts.trace_dir {
+                println!("arbalest-serve tracing finished sessions into {dir}");
+            }
             match &opts.data_dir {
                 Some(dir) => println!(
                     "arbalest-serve listening on {} ({} shards, durable in {dir}, fsync {})",
@@ -1125,6 +1393,12 @@ fn cmd_submit(target: &str, opts: &NetOptions) -> ExitCode {
         }
     };
     let result = connect(opts).and_then(|mut client| {
+        if opts.trace {
+            // The registry's own spans are discarded on exit; what matters
+            // is the contexts stamped on the wire, which the server records
+            // into its trace sink (and --trace-dir file, if configured).
+            client = client.with_tracing(Registry::new());
+        }
         let id = match opts.resume {
             None => client.hello().map_err(|e| e.to_string())?,
             Some(id) => {
@@ -1459,7 +1733,15 @@ fn main() -> ExitCode {
             };
             cmd_fuzz_lint(&opts)
         }
-        "dracc" | "spec" | "lint" | "certify" | "profile" => {
+        "check-prom" => cmd_check_prom(args.get(1).map(String::as_str)),
+        "check-trace" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("check-trace needs a trace file\n");
+                return usage();
+            };
+            cmd_check_trace(path)
+        }
+        "dracc" | "spec" | "lint" | "certify" | "profile" | "explain" => {
             let Some(target) = args.get(1) else { return usage() };
             let opts = match parse_options(&args[2..]) {
                 Ok(o) => o,
@@ -1473,6 +1755,7 @@ fn main() -> ExitCode {
                 "spec" => cmd_spec(target, &opts),
                 "lint" => cmd_lint(target, &opts),
                 "profile" => cmd_profile(target, &opts),
+                "explain" => cmd_explain(target, &opts),
                 _ => cmd_certify(target, &opts),
             }
         }

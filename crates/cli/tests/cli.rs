@@ -163,3 +163,126 @@ impl ParseOk for Json {
         Json::parse(text).is_ok()
     }
 }
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("arbalest-cli-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn explain_reconstructs_the_must_class_vsm_path() {
+    // DRACC 22 (UUM, statically a `must`): the chain has to walk the
+    // stable VSM vocabulary from the host write that never mapped over,
+    // through the alloc, to the faulting target read — and the rendered
+    // report (with its §III-C hint) must still lead the output.
+    let (ok, stdout, _) = run(&["explain", "22"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("mapping-issue(UUM)"));
+    assert!(stdout.contains("Suggested fix"));
+    assert!(stdout.contains("causal VSM history"));
+    assert!(stdout.contains("write_host"), "{stdout}");
+    assert!(stdout.contains("invalid -> host"), "{stdout}");
+    assert!(stdout.contains("read_target"), "{stdout}");
+    // The last edge is the faulting access itself, at the report's line.
+    assert!(stdout.contains("buggy.rs:158"), "{stdout}");
+}
+
+#[test]
+fn explain_reconstructs_the_may_class_vsm_path() {
+    // DRACC 50 (statically demoted to `may`, §VI-G): dynamically the
+    // uninitialised input is real, and the chain shows why — the buffer
+    // never left `invalid` before the target read.
+    let (ok, stdout, _) = run(&["explain", "50"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("mapping-issue(UUM)"));
+    assert!(stdout.contains("causal VSM history"));
+    assert!(stdout.contains("read_target"), "{stdout}");
+    assert!(stdout.contains("invalid -> invalid"), "{stdout}");
+}
+
+#[test]
+fn explain_json_carries_the_provenance_chain() {
+    let (ok, stdout, _) = run(&["explain", "22", "--report", "0", "--format", "json"]);
+    assert!(ok);
+    let doc = Json::parse(&stdout).expect("valid JSON");
+    let reports = doc.get("reports").and_then(Json::as_arr).expect("reports");
+    assert_eq!(reports.len(), 1);
+    let chain = reports[0].get("provenance").and_then(Json::as_arr).expect("provenance");
+    assert!(!chain.is_empty());
+    for step in chain {
+        for key in ["op", "from", "to"] {
+            assert!(step.get(key).and_then(Json::as_str).is_some(), "step missing {key}");
+        }
+    }
+}
+
+#[test]
+fn explain_rejects_an_out_of_range_report_index() {
+    let (ok, _, stderr) = run(&["explain", "22", "--report", "99"]);
+    assert!(!ok);
+    assert!(stderr.contains("out of range"), "{stderr}");
+}
+
+#[test]
+fn check_prom_gates_exposition_conformance() {
+    let good = temp_path("prom-good");
+    std::fs::write(
+        &good,
+        "# HELP demo_total a demo counter\n# TYPE demo_total counter\ndemo_total 3\n",
+    )
+    .unwrap();
+    let (ok, stdout, _) = run(&["check-prom", good.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("OK"), "{stdout}");
+
+    // A sample with no preceding TYPE line is a conformance violation.
+    let bad = temp_path("prom-bad");
+    std::fs::write(&bad, "orphan_total 1\n").unwrap();
+    let (ok, _, stderr) = run(&["check-prom", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("INVALID"), "{stderr}");
+    let _ = std::fs::remove_file(good);
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn check_trace_accepts_real_spans_and_rejects_malformed_files() {
+    // A genuine trace document out of the flight recorder must pass.
+    let reg = arbalest_obs::Registry::new();
+    {
+        let parent = reg.span(reg.span_name("outer"));
+        let _child = reg.span_child(reg.span_name("inner"), parent.context());
+    }
+    let spans = reg.drain_spans();
+    assert!(!spans.is_empty());
+    let good = temp_path("trace-good.json");
+    std::fs::write(&good, arbalest_obs::chrome_trace_json(&spans)).unwrap();
+    let (ok, stdout, _) = run(&["check-trace", good.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("perfetto trace OK"), "{stdout}");
+
+    // No slices at all, and outright non-JSON, must both fail typed.
+    let empty = temp_path("trace-empty.json");
+    std::fs::write(&empty, "{\"traceEvents\":[]}").unwrap();
+    let (ok, _, stderr) = run(&["check-trace", empty.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("INVALID"), "{stderr}");
+
+    let junk = temp_path("trace-junk.json");
+    std::fs::write(&junk, "not json at all").unwrap();
+    let (ok, _, stderr) = run(&["check-trace", junk.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("not JSON"), "{stderr}");
+    for f in [good, empty, junk] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn profile_json_is_machine_readable() {
+    let (ok, stdout, _) = run(&["profile", "22", "--format", "json"]);
+    assert!(ok);
+    let doc = Json::parse(&stdout).expect("valid JSON");
+    assert_eq!(doc.get("command").and_then(Json::as_str), Some("profile"));
+    assert!(doc.get("metrics").is_some(), "metrics document embedded");
+    assert!(doc.get("spans").and_then(Json::as_arr).is_some(), "span list embedded");
+}

@@ -16,7 +16,7 @@ use arbalest_offload::buffer::{BufferId, BufferInfo};
 use arbalest_offload::events::{
     AccessEvent, DataOpEvent, DataOpKind, SrcLoc, SyncEvent, Tool, TransferEvent, TransferKind,
 };
-use arbalest_offload::report::{hints, PrevAccess, Report, ReportKind};
+use arbalest_offload::report::{hints, PrevAccess, ProvenanceStep, Report, ReportKind};
 use arbalest_offload::sections;
 use arbalest_race::RaceEngine;
 use arbalest_shadow::{IntervalTree, Layout, ShadowMemory};
@@ -25,6 +25,11 @@ use std::collections::{HashMap, HashSet};
 
 /// Deduplication key: (kind, buffer, file, line).
 type ReportKey = (ReportKind, Option<u32>, &'static str, u32);
+
+/// Edges kept per buffer when provenance capture is on. A mapping-issue
+/// story is short (map, transfer, a few accesses); the ring only has to
+/// outlive the window between the decisive edges and the faulting read.
+const PROV_RING_CAP: usize = 16;
 
 /// Interval payload: which buffer a CV belongs to and where its OV lives.
 #[derive(Debug, Clone, Copy)]
@@ -46,11 +51,22 @@ pub struct ArbalestConfig {
     pub lookup_cache: bool,
     /// Stop recording after this many distinct reports.
     pub max_reports: usize,
+    /// Capture per-buffer VSM edge provenance and attach the causal chain
+    /// to UUM/USD reports (the `arbalest explain` feed). Off by default:
+    /// recording allocates per edge, and default-config reports must stay
+    /// byte-identical with or without the feature compiled in.
+    pub provenance: bool,
 }
 
 impl Default for ArbalestConfig {
     fn default() -> Self {
-        ArbalestConfig { accelerators: 1, check_races: true, lookup_cache: true, max_reports: 1024 }
+        ArbalestConfig {
+            accelerators: 1,
+            check_races: true,
+            lookup_cache: true,
+            max_reports: 1024,
+            provenance: false,
+        }
     }
 }
 
@@ -314,6 +330,11 @@ pub struct Arbalest {
     buffers: RwLock<HashMap<u32, BufferInfo>>,
     reports: Mutex<Vec<Report>>,
     seen: Mutex<HashSet<ReportKey>>,
+    /// Per-buffer bounded rings of VSM edges, recorded only when
+    /// [`ArbalestConfig::provenance`] is on; cloned into UUM/USD reports.
+    prov: Mutex<HashMap<u32, std::collections::VecDeque<ProvenanceStep>>>,
+    /// Logical clock stamped on provenance edges (event order, not time).
+    prov_clock: std::sync::atomic::AtomicU64,
     stats: ArbalestStats,
     metrics: std::sync::Arc<DetectorMetrics>,
     registry: arbalest_obs::Registry,
@@ -355,6 +376,8 @@ impl Arbalest {
             buffers: RwLock::new(HashMap::new()),
             reports: Mutex::new(Vec::new()),
             seen: Mutex::new(HashSet::new()),
+            prov: Mutex::new(HashMap::new()),
+            prov_clock: std::sync::atomic::AtomicU64::new(0),
             stats: ArbalestStats::new(&reg, metrics.clone()),
             metrics,
             registry: reg,
@@ -451,6 +474,10 @@ impl Arbalest {
             check_races: snap.check_races,
             lookup_cache: snap.lookup_cache,
             max_reports: snap.max_reports as usize,
+            // Provenance rings are transient working memory, deliberately
+            // excluded from snapshots (the feature is off on every durable
+            // path); a restored detector restarts with capture off.
+            provenance: false,
         };
         let layout = Layout::for_accelerators(cfg.accelerators);
         let metrics = reg.state(DetectorMetrics::new);
@@ -486,6 +513,8 @@ impl Arbalest {
             buffers: RwLock::new(buffers),
             reports: Mutex::new(snap.reports.clone()),
             seen: Mutex::new(seen),
+            prov: Mutex::new(HashMap::new()),
+            prov_clock: std::sync::atomic::AtomicU64::new(0),
             stats: ArbalestStats::new(&reg, metrics.clone()),
             metrics,
             registry: reg,
@@ -526,6 +555,7 @@ impl Arbalest {
         loc: Option<SrcLoc>,
         prev: Option<PrevAccess>,
         suggested_fix: Option<String>,
+        provenance: Vec<ProvenanceStep>,
     ) {
         let key = (
             kind,
@@ -549,7 +579,55 @@ impl Arbalest {
             loc,
             prev,
             suggested_fix,
+            provenance,
         });
+    }
+
+    /// Record one VSM edge in the buffer's provenance ring (bounded at
+    /// [`PROV_RING_CAP`] — old edges fall off the front). No-op unless
+    /// [`ArbalestConfig::provenance`] is on.
+    fn prov_note(
+        &self,
+        buffer: Option<BufferId>,
+        op: VsmOp,
+        from: vsm::NamedState,
+        to: vsm::NamedState,
+        loc: Option<SrcLoc>,
+        tid: u16,
+    ) {
+        if !self.cfg.provenance {
+            return;
+        }
+        let Some(buffer) = buffer else { return };
+        let clock = self.prov_clock.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let step = ProvenanceStep {
+            op: VSM_OP_LABELS[vsm_op_index(op)].to_string(),
+            from: VSM_STATE_LABELS[vsm_state_index(from)].to_string(),
+            to: VSM_STATE_LABELS[vsm_state_index(to)].to_string(),
+            loc,
+            tid,
+            clock,
+        };
+        let mut prov = self.prov.lock();
+        let ring = prov.entry(buffer.0).or_default();
+        if ring.len() >= PROV_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(step);
+    }
+
+    /// The buffer's current provenance chain, oldest edge first; empty
+    /// when capture is off or nothing was recorded.
+    fn prov_chain(&self, buffer: Option<BufferId>) -> Vec<ProvenanceStep> {
+        if !self.cfg.provenance {
+            return Vec::new();
+        }
+        let Some(buffer) = buffer else { return Vec::new() };
+        self.prov
+            .lock()
+            .get(&buffer.0)
+            .map(|ring| ring.iter().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// Resolve a device (CV) address to its owning interval, through the
@@ -591,7 +669,7 @@ impl Arbalest {
         let mut violation = None;
         // The closure may re-run on CAS contention, so per-edge counting
         // happens *after* commit, from the old word that actually won.
-        let (old, _, retries) = self.shadow.update_counted(key & !7, 0, |w| {
+        let (old, new, retries) = self.shadow.update_counted(key & !7, 0, |w| {
             let state = self.layout.decode(w);
             let (mut next, v) = vsm::apply(state, op);
             violation = v;
@@ -606,12 +684,32 @@ impl Arbalest {
         });
         let old_state = self.layout.decode(old);
         self.metrics.note_transition(vsm::named(old_state), op, retries);
+        if self.cfg.provenance {
+            if let Some(ev) = ev {
+                self.prov_note(
+                    ev.buffer,
+                    op,
+                    vsm::named(old_state),
+                    vsm::named(self.layout.decode(new)),
+                    Some(ev.loc),
+                    epoch.tid,
+                );
+            }
+        }
         let prev =
             PrevAccess { tid: old_state.tid, clock: old_state.clock, is_write: old_state.is_write };
         (violation, prev)
     }
 
-    fn vsm_range(&self, ov_addr: u64, len: u64, op: VsmOp) {
+    /// Apply a VSM operation across a granule range; returns the first
+    /// granule's `(from, to)` named states (the representative edge for
+    /// provenance capture), or `None` for an empty range.
+    fn vsm_range(
+        &self,
+        ov_addr: u64,
+        len: u64,
+        op: VsmOp,
+    ) -> Option<(vsm::NamedState, vsm::NamedState)> {
         let mut a = ov_addr & !7;
         let end = ov_addr + len;
         // Accumulate locally and flush once: range ops dominate transition
@@ -619,16 +717,22 @@ impl Arbalest {
         // observability budget cannot afford.
         let mut by_from = [0u64; 4];
         let mut retries_total = 0u64;
+        let mut first_edge = None;
         while a < end {
-            let (old, _, retries) = self.shadow.update_counted(a, 0, |w| {
+            let (old, new, retries) = self.shadow.update_counted(a, 0, |w| {
                 let state = self.layout.decode(w);
                 vsm::apply(state, op).0.pipe_encode(self.layout)
             });
             by_from[vsm_state_index(vsm::named(self.layout.decode(old)))] += 1;
+            if first_edge.is_none() {
+                first_edge =
+                    Some((vsm::named(self.layout.decode(old)), vsm::named(self.layout.decode(new))));
+            }
             retries_total += u64::from(retries);
             a += 8;
         }
         self.metrics.note_transitions(op, &by_from, retries_total);
+        first_edge
     }
 
     fn race_access(&self, ev: &AccessEvent) {
@@ -658,6 +762,7 @@ impl Arbalest {
                 Some(ev.loc),
                 Some(PrevAccess { tid: r.prev_tid, clock: r.prev_clock, is_write: r.prev_was_write }),
                 Some(hints::ORDER_ACCESSES.into()),
+                Vec::new(),
             );
         }
     }
@@ -695,13 +800,19 @@ impl Tool for Arbalest {
                     ev.cv_base + ev.len,
                     CvInfo { buffer: ev.buffer, ov_addr: ev.ov_addr },
                 );
-                self.vsm_range(ev.ov_addr, ev.len, VsmOp::Allocate(d));
+                let op = VsmOp::Allocate(d);
+                if let Some((from, to)) = self.vsm_range(ev.ov_addr, ev.len, op) {
+                    self.prov_note(Some(ev.buffer), op, from, to, None, ev.task.0 as u16);
+                }
             }
             DataOpKind::CvDelete => {
                 self.metrics.present_ops[1].inc();
                 self.intervals.write().remove(ev.cv_base);
                 *self.cache.write() = None;
-                self.vsm_range(ev.ov_addr, ev.len, VsmOp::Release(d));
+                let op = VsmOp::Release(d);
+                if let Some((from, to)) = self.vsm_range(ev.ov_addr, ev.len, op) {
+                    self.prov_note(Some(ev.buffer), op, from, to, None, ev.task.0 as u16);
+                }
             }
         }
     }
@@ -740,6 +851,7 @@ impl Tool for Arbalest {
                     None,
                     None,
                     Some(hints::shrink_section(&info.name)),
+                    Vec::new(),
                 );
             }
         }
@@ -772,6 +884,7 @@ impl Tool for Arbalest {
                             is_write: r.prev_was_write,
                         }),
                         Some(hints::SYNC_BEFORE_TRANSFER.into()),
+                        Vec::new(),
                     );
                 }
             }
@@ -799,7 +912,9 @@ impl Tool for Arbalest {
                     },
                 }
             };
-            self.vsm_range(lo, hi - lo, op);
+            if let Some((from, to)) = self.vsm_range(lo, hi - lo, op) {
+                self.prov_note(Some(ev.buffer), op, from, to, None, ev.task.0 as u16);
+            }
         }
     }
 
@@ -821,6 +936,7 @@ impl Tool for Arbalest {
                     Some(ev.loc),
                     None,
                     Some(hints::ADD_MAP.into()),
+                    Vec::new(),
                 );
                 return;
             }
@@ -836,6 +952,7 @@ impl Tool for Arbalest {
                         Some(ev.loc),
                         None,
                         Some(hints::CHECK_BOUNDS.into()),
+                        Vec::new(),
                     );
                     return;
                 }
@@ -859,6 +976,7 @@ impl Tool for Arbalest {
                                 Some(ev.loc),
                                 None,
                                 Some(hints::CHECK_SECTION.into()),
+                                Vec::new(),
                             );
                             return;
                         }
@@ -904,6 +1022,7 @@ impl Tool for Arbalest {
                 Some(ev.loc),
                 Some(prev),
                 Some(fix.to_string()),
+                self.prov_chain(ev.buffer),
             );
         }
     }
@@ -999,6 +1118,115 @@ mod tests {
         let _stale = rt.read(&a, 0);
         assert_eq!(kinds(&tool), vec![ReportKind::MappingUsd]);
         assert!(tool.reports()[0].suggested_fix.as_deref().unwrap().contains("tofrom"));
+    }
+
+    #[test]
+    fn provenance_chain_tells_the_uum_story() {
+        // Figure 1 shape with provenance capture on: the report must carry
+        // the causal VSM walk — alloc (invalid stays invalid on the read
+        // path) followed by the faulting device read.
+        let (rt, tool) =
+            harness(ArbalestConfig { provenance: true, ..Default::default() });
+        let b = rt.alloc_with::<f64>("b", 32, |_| 1.0);
+        let c = rt.alloc_with::<f64>("c", 32, |_| 0.0);
+        rt.target().map(Map::alloc(&b)).map(Map::tofrom(&c)).run(move |k| {
+            k.for_each(0..32, |k, i| {
+                let v = k.read(&b, i);
+                k.write(&c, i, v);
+            });
+        });
+        let reports = tool.reports();
+        let r = reports.iter().find(|r| r.kind == ReportKind::MappingUum).unwrap();
+        assert!(!r.provenance.is_empty(), "provenance chain missing");
+        let ops: Vec<&str> = r.provenance.iter().map(|s| s.op.as_str()).collect();
+        assert!(ops.contains(&"alloc"), "{ops:?}");
+        assert!(ops.contains(&"read_target"), "{ops:?}");
+        // Edges are in causal order (clock strictly increases) and use the
+        // stable state vocabulary.
+        for w in r.provenance.windows(2) {
+            assert!(w[0].clock < w[1].clock);
+        }
+        for s in &r.provenance {
+            assert!(VSM_STATE_LABELS.contains(&s.from.as_str()), "{s:?}");
+            assert!(VSM_STATE_LABELS.contains(&s.to.as_str()), "{s:?}");
+        }
+        // The faulting read's edge carries its source location.
+        let last = r.provenance.last().unwrap();
+        assert_eq!(last.op, "read_target");
+        assert!(last.loc.is_some());
+    }
+
+    #[test]
+    fn provenance_chain_tells_the_usd_story() {
+        // Figure 2 shape: the chain must show the device write followed by
+        // the stale host read, matching the USD hint's vocabulary.
+        let (rt, tool) =
+            harness(ArbalestConfig { provenance: true, ..Default::default() });
+        let a = rt.alloc_init::<i64>("a", &[1]);
+        rt.target().map(Map::to(&a)).run(move |k| {
+            k.for_each(0..1, |k, _| {
+                let v = k.read(&a, 0);
+                k.write(&a, 0, v + 1);
+            });
+        });
+        let _stale = rt.read(&a, 0);
+        let reports = tool.reports();
+        let r = reports.iter().find(|r| r.kind == ReportKind::MappingUsd).unwrap();
+        let ops: Vec<&str> = r.provenance.iter().map(|s| s.op.as_str()).collect();
+        assert!(ops.contains(&"update_target"), "{ops:?}");
+        assert!(ops.contains(&"write_target"), "{ops:?}");
+        assert_eq!(ops.last(), Some(&"read_host"), "{ops:?}");
+        // The decisive edge: the device write left the fresh value on the
+        // target, which is exactly what the USD_HOST hint says.
+        let w = r.provenance.iter().find(|s| s.op == "write_target").unwrap();
+        assert_eq!(w.to, "target");
+        assert!(r.suggested_fix.as_deref().unwrap().contains("update from"));
+    }
+
+    #[test]
+    fn provenance_off_leaves_reports_untouched() {
+        // The same buggy trace with capture off and on: identical reports
+        // except for the chain itself (off ⇒ empty).
+        let run = |provenance: bool| {
+            let (rt, tool) = harness(ArbalestConfig { provenance, ..Default::default() });
+            let b = rt.alloc_with::<f64>("b", 32, |_| 1.0);
+            rt.target().map(Map::alloc(&b)).run(move |k| {
+                k.for_each(0..32, |k, i| {
+                    let _ = k.read(&b, i);
+                });
+            });
+            tool.reports()
+        };
+        let off = run(false);
+        let on = run(true);
+        assert!(off.iter().all(|r| r.provenance.is_empty()));
+        assert!(on.iter().any(|r| !r.provenance.is_empty()));
+        let mut stripped = on.clone();
+        for r in &mut stripped {
+            r.provenance.clear();
+        }
+        assert_eq!(off, stripped);
+        // render() ignores the chain entirely.
+        assert_eq!(off[0].render(), on[0].render());
+    }
+
+    #[test]
+    fn provenance_ring_is_bounded() {
+        let (rt, tool) =
+            harness(ArbalestConfig { provenance: true, ..Default::default() });
+        let a = rt.alloc_init::<i64>("a", &[1]);
+        // Far more edges than the ring holds: repeated map/unmap churn.
+        for _ in 0..PROV_RING_CAP * 4 {
+            rt.target().map(Map::to(&a)).run(move |k| {
+                k.for_each(0..1, |k, _| {
+                    let _ = k.read(&a, 0);
+                });
+            });
+        }
+        let _stale_check = rt.read(&a, 0);
+        for r in tool.reports() {
+            assert!(r.provenance.len() <= PROV_RING_CAP, "{}", r.provenance.len());
+        }
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Chrome trace-event JSON export, loadable in Perfetto and
+//! `chrome://tracing`.
+//!
+//! The format is the Trace Event Format's JSON Object variant: a
+//! top-level object whose `traceEvents` array holds one object per
+//! event. Each completed span becomes a `ph:"X"` *complete* event —
+//! start timestamp plus duration, both in microseconds — so no
+//! begin/end pairing discipline is required of a lossy flight recorder
+//! (a dropped begin cannot orphan an end). One `ph:"M"` metadata event
+//! names the process. Trace, span, and parent ids ride in `args` as
+//! fixed-width hex strings, so Perfetto's flow/args UI shows the causal
+//! identity of every slice.
+//!
+//! Everything is hand-emitted (this crate is std-only); the output is
+//! plain ASCII.
+
+use crate::span::SpanEvent;
+
+/// Append a JSON string literal (quotes included) with escaping.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Nanoseconds rendered as a decimal microsecond timestamp (`ts`/`dur`
+/// fields are microseconds in the trace-event format; fractional digits
+/// keep nanosecond precision).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Render drained span events as Chrome trace-event JSON.
+///
+/// The result is a complete, self-contained JSON document; write it to
+/// a `.json` file and open it in <https://ui.perfetto.dev> or
+/// `chrome://tracing`. Events are emitted in start-time order.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let pid = std::process::id();
+    let mut out = String::with_capacity(events.len() * 160 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    // Process-name metadata event first.
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"arbalest\"}}}}"
+    ));
+    let mut sorted: Vec<&SpanEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.start_ns);
+    for e in sorted {
+        out.push(',');
+        out.push_str("{\"name\":");
+        push_json_str(&mut out, e.name);
+        out.push_str(",\"cat\":\"arbalest\",\"ph\":\"X\",\"ts\":");
+        out.push_str(&micros(e.start_ns));
+        out.push_str(",\"dur\":");
+        out.push_str(&micros(e.dur_ns));
+        out.push_str(&format!(",\"pid\":{pid},\"tid\":{}", e.tid));
+        out.push_str(&format!(
+            ",\"args\":{{\"trace\":\"{:032x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\"}}}}",
+            e.trace, e.span, e.parent
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_events() -> Vec<SpanEvent> {
+        let r = Registry::new();
+        let root = r.span(r.span_name("root"));
+        {
+            let _child = r.span_child(r.span_name("child \"quoted\""), root.context());
+        }
+        drop(root);
+        r.drain_spans()
+    }
+
+    #[test]
+    fn emits_one_x_event_per_span_plus_metadata() {
+        let events = sample_events();
+        let json = chrome_trace_json(&events);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), events.len());
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 1);
+        assert!(json.contains("\"displayTimeUnit\":\"ns\""));
+        // Escaping of the quoted name.
+        assert!(json.contains("child \\\"quoted\\\""));
+        // Every X event carries the causal ids.
+        for e in &events {
+            assert!(json.contains(&format!("\"span\":\"{:016x}\"", e.span)));
+            assert!(json.contains(&format!("\"trace\":\"{:032x}\"", e.trace)));
+        }
+    }
+
+    #[test]
+    fn timestamps_are_microseconds_with_ns_precision() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1000), "1.000");
+        assert_eq!(micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn empty_drain_still_yields_a_valid_document() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 1);
+    }
+}

@@ -1,0 +1,350 @@
+//! Prometheus text-exposition (version 0.0.4) conformance checking.
+//!
+//! [`Snapshot::to_prometheus`](crate::Snapshot::to_prometheus) promises
+//! scrape-able output; this module is the promise's teeth. The checker
+//! validates structure, not values: metric and label *naming* against
+//! the Prometheus grammar, label-value *escaping*, `# HELP`/`# TYPE`
+//! comment shape and placement (a family's `TYPE` precedes its samples
+//! and appears once), sample syntax, and histogram invariants — every
+//! `_bucket` series cumulative and non-decreasing in `le` order, with
+//! `+Inf` equal to `_count`. It is shared by the exporter's conformance
+//! test and the `arbalest check-prom` CLI entry point that CI scrapes
+//! live server output through.
+
+use std::collections::{BTreeMap, HashSet};
+
+/// What a successful conformance pass saw — handy for asserting a scrape
+/// was non-trivial.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ExpoSummary {
+    /// Metric families with a `# TYPE` line.
+    pub families: usize,
+    /// Total sample lines.
+    pub samples: usize,
+    /// Histogram families whose bucket invariants were verified.
+    pub histograms: usize,
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse `{k="v",...}`; returns the label pairs and the byte offset one
+/// past the closing `}`. Validates escaping: only `\\`, `\"`, and `\n`
+/// are legal escapes in a label value.
+fn parse_labels(s: &str) -> Result<(Vec<(String, String)>, usize), String> {
+    let bytes = s.as_bytes();
+    debug_assert_eq!(bytes[0], b'{');
+    let mut labels = Vec::new();
+    let mut i = 1;
+    loop {
+        if i >= bytes.len() {
+            return Err("unterminated label set".into());
+        }
+        if bytes[i] == b'}' {
+            return Ok((labels, i + 1));
+        }
+        // label name
+        let name_start = i;
+        while i < bytes.len() && bytes[i] != b'=' {
+            i += 1;
+        }
+        let name = &s[name_start..i];
+        if !valid_label_name(name) {
+            return Err(format!("invalid label name '{name}'"));
+        }
+        i += 1; // '='
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return Err(format!("label '{name}' value is not quoted"));
+        }
+        i += 1;
+        let mut value = String::new();
+        loop {
+            if i >= bytes.len() {
+                return Err(format!("unterminated value for label '{name}'"));
+            }
+            match bytes[i] {
+                b'"' => break,
+                b'\\' => {
+                    i += 1;
+                    match bytes.get(i) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        other => {
+                            return Err(format!(
+                                "illegal escape '\\{}' in value of label '{name}'",
+                                other.map(|&b| b as char).unwrap_or('?')
+                            ))
+                        }
+                    }
+                    i += 1;
+                }
+                b'\n' => return Err(format!("raw newline in value of label '{name}'")),
+                _ => {
+                    // Multi-byte UTF-8 is legal; copy the full char.
+                    let c = s[i..].chars().next().expect("in-bounds char");
+                    value.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        i += 1; // closing quote
+        labels.push((name.to_string(), value));
+        if i < bytes.len() && bytes[i] == b',' {
+            i += 1;
+        }
+    }
+}
+
+/// The family a sample name belongs to, unwrapping histogram suffixes.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    name
+}
+
+/// Validate Prometheus text-exposition output. Returns a summary of what
+/// was checked, or the first conformance violation found (with its line
+/// number) as an error string.
+pub fn check_exposition(text: &str) -> Result<ExpoSummary, String> {
+    let mut summary = ExpoSummary::default();
+    // family -> declared kind ("counter" | "gauge" | "histogram" | ...)
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+    // histogram family -> ordered (le, labels-sans-le, cumulative count)
+    #[allow(clippy::type_complexity)]
+    let mut hist_buckets: BTreeMap<(String, String), Vec<(f64, u64)>> = BTreeMap::new();
+    let mut hist_counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let err = |msg: String| format!("line {n}: {msg}");
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let rest = comment.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(err(format!("TYPE declares invalid metric name '{name}'")));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(err(format!("TYPE declares unknown kind '{kind}'")));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(err(format!("duplicate TYPE line for family '{name}'")));
+                }
+                summary.families += 1;
+            } else if let Some(decl) = rest.strip_prefix("HELP ") {
+                let name = decl.split(' ').next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(err(format!("HELP declares invalid metric name '{name}'")));
+                }
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| err("sample line has no value".into()))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(err(format!("invalid metric name '{name}'")));
+        }
+        let (labels, after) = if line.as_bytes()[name_end] == b'{' {
+            let (labels, used) =
+                parse_labels(&line[name_end..]).map_err(|e| err(format!("{name}: {e}")))?;
+            (labels, name_end + used)
+        } else {
+            (Vec::new(), name_end)
+        };
+        let value_str = line[after..].trim();
+        let value_tok = value_str.split(' ').next().unwrap_or("");
+        let value: f64 = match value_tok {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v.parse().map_err(|_| err(format!("{name}: unparsable value '{v}'")))?,
+        };
+        summary.samples += 1;
+
+        // A family's TYPE must precede its samples.
+        let family = family_of(name);
+        let declared = types.get(family).or_else(|| types.get(name));
+        let Some(kind) = declared else {
+            return Err(err(format!("sample '{name}' precedes (or lacks) its TYPE line")));
+        };
+
+        // Series uniqueness: one sample per (name, labels).
+        let mut sorted = labels.clone();
+        sorted.sort();
+        let series_key = format!("{name}{sorted:?}");
+        if !seen_series.insert(series_key) {
+            return Err(err(format!("duplicate sample for series '{name}' {sorted:?}")));
+        }
+
+        // Counters and histogram components must be non-negative.
+        if (kind == "counter" || kind == "histogram") && value < 0.0 {
+            return Err(err(format!("'{name}' is negative ({value})")));
+        }
+
+        if kind == "histogram" {
+            let rest_labels: Vec<&(String, String)> =
+                sorted.iter().filter(|(k, _)| k != "le").collect();
+            let group = (family.to_string(), format!("{rest_labels:?}"));
+            if name.ends_with("_bucket") {
+                let le = sorted
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| err(format!("'{name}' bucket lacks an le label")))?;
+                let bound: f64 = match le.1.as_str() {
+                    "+Inf" => f64::INFINITY,
+                    v => v.parse().map_err(|_| err(format!("'{name}' le '{v}' unparsable")))?,
+                };
+                hist_buckets.entry(group).or_default().push((bound, value as u64));
+            } else if name.ends_with("_count") {
+                hist_counts.insert(group, value as u64);
+            }
+        }
+    }
+
+    // Histogram invariants: le strictly increasing as emitted, counts
+    // cumulative (non-decreasing), +Inf present and equal to _count.
+    for ((family, labels), buckets) in &hist_buckets {
+        summary.histograms += 1;
+        for w in buckets.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!(
+                    "histogram '{family}' {labels}: le bounds not increasing ({} after {})",
+                    w[1].0, w[0].0
+                ));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!(
+                    "histogram '{family}' {labels}: bucket counts not cumulative ({} after {})",
+                    w[1].1, w[0].1
+                ));
+            }
+        }
+        let last = buckets.last().expect("grouped families are non-empty");
+        if !last.0.is_infinite() {
+            return Err(format!("histogram '{family}' {labels}: missing +Inf bucket"));
+        }
+        if let Some(count) = hist_counts.get(&(family.clone(), labels.clone())) {
+            if last.1 != *count {
+                return Err(format!(
+                    "histogram '{family}' {labels}: +Inf bucket {} != _count {count}",
+                    last.1
+                ));
+            }
+        } else {
+            return Err(format!("histogram '{family}' {labels}: missing _count sample"));
+        }
+    }
+
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn real_exporter_output_conforms() {
+        let r = Registry::new();
+        r.counter("arbalest_test_total", &[("kind", "a\"b\\c")]).add(3);
+        r.counter("arbalest_test_total", &[("kind", "plain")]).inc();
+        r.gauge("arbalest_test_depth", &[("shard", "0")]).set(7);
+        let h = r.histogram("arbalest_test_lat_nanos", &[("op", "x")]);
+        for v in [0, 1, 3, 900, 70_000] {
+            h.record(v);
+        }
+        let text = r.snapshot().to_prometheus();
+        let summary = check_exposition(&text).expect("exporter output must conform");
+        assert_eq!(summary.families, 3);
+        assert_eq!(summary.histograms, 1);
+        assert!(summary.samples >= 5);
+    }
+
+    #[test]
+    fn empty_exposition_is_fine() {
+        assert_eq!(check_exposition("").unwrap(), ExpoSummary::default());
+    }
+
+    #[test]
+    fn bad_metric_name_is_rejected() {
+        let text = "# TYPE 9bad counter\n9bad 1\n";
+        assert!(check_exposition(text).unwrap_err().contains("invalid metric name"));
+    }
+
+    #[test]
+    fn sample_without_type_is_rejected() {
+        let text = "arbalest_orphan_total 1\n";
+        assert!(check_exposition(text).unwrap_err().contains("TYPE"));
+    }
+
+    #[test]
+    fn duplicate_series_is_rejected() {
+        let text = "# TYPE a counter\na{k=\"v\"} 1\na{k=\"v\"} 2\n";
+        assert!(check_exposition(text).unwrap_err().contains("duplicate sample"));
+    }
+
+    #[test]
+    fn illegal_escape_is_rejected() {
+        let text = "# TYPE a counter\na{k=\"bad\\q\"} 1\n";
+        assert!(check_exposition(text).unwrap_err().contains("illegal escape"));
+    }
+
+    #[test]
+    fn non_cumulative_histogram_is_rejected() {
+        let text = concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 5\n",
+            "h_bucket{le=\"2\"} 3\n",
+            "h_bucket{le=\"+Inf\"} 5\n",
+            "h_sum 9\nh_count 5\n",
+        );
+        assert!(check_exposition(text).unwrap_err().contains("not cumulative"));
+    }
+
+    #[test]
+    fn inf_bucket_must_match_count() {
+        let text = concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 2\n",
+            "h_bucket{le=\"+Inf\"} 2\n",
+            "h_sum 2\nh_count 3\n",
+        );
+        assert!(check_exposition(text).unwrap_err().contains("!= _count"));
+    }
+
+    #[test]
+    fn missing_inf_bucket_is_rejected() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 2\nh_count 2\n";
+        assert!(check_exposition(text).unwrap_err().contains("+Inf"));
+    }
+}

@@ -31,12 +31,16 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
+pub mod expo;
 mod hist;
 mod registry;
 mod snapshot;
 mod span;
 
+pub use chrome::chrome_trace_json;
+pub use expo::check_exposition;
 pub use hist::{bucket_index, bucket_upper_bound, HistSnapshot, Histogram, BUCKETS};
 pub use registry::{Counter, Gauge, Registry};
 pub use snapshot::{MetricId, Snapshot};
-pub use span::{Span, SpanEvent, SpanName};
+pub use span::{Span, SpanContext, SpanEvent, SpanName};

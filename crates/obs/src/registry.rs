@@ -8,7 +8,7 @@ use std::time::Instant;
 
 use crate::hist::{HistCore, Histogram};
 use crate::snapshot::{MetricId, Snapshot};
-use crate::span::{FlightRecorder, Span, SpanEvent, SpanName};
+use crate::span::{FlightRecorder, Span, SpanContext, SpanEvent, SpanName};
 
 /// Key under which a metric is deduplicated: name plus sorted labels.
 pub(crate) type Key = (String, Vec<(String, String)>);
@@ -304,8 +304,9 @@ impl Registry {
         SpanName((names.len() - 1) as u32)
     }
 
-    /// Start a span; its wall time lands in the flight recorder when the
-    /// guard drops. No-op (and no `Instant::now()`) when disabled.
+    /// Start a root span (fresh trace id); its wall time lands in the
+    /// flight recorder when the guard drops. No-op (and no
+    /// `Instant::now()`) when disabled.
     pub fn span(&self, name: SpanName) -> Span {
         Span::start(self, name, None)
     }
@@ -316,15 +317,49 @@ impl Registry {
         Span::start(self, name, Some(hist.clone()))
     }
 
+    /// Start a child span of `parent`: same trace id, fresh span id,
+    /// parent link to `parent`'s span. This is the cross-thread (and
+    /// cross-process) handoff: pass the parent's [`SpanContext`] by
+    /// value and start the continuation wherever the work resumed. If
+    /// `parent` is untraced, the span becomes a fresh root instead.
+    pub fn span_child(&self, name: SpanName, parent: SpanContext) -> Span {
+        let ctx = if parent.is_traced() { Some(parent.child()) } else { None };
+        Span::start_with(self, name, None, ctx)
+    }
+
+    /// Start a span with an *exact* context — trace, span, and parent id
+    /// taken verbatim. Used when recording a span on behalf of a remote
+    /// peer that already minted the ids (the server materialises the
+    /// client's submit span from the context stamped on the wire).
+    pub fn span_at(&self, name: SpanName, ctx: SpanContext) -> Span {
+        Span::start_with(self, name, None, Some(ctx))
+    }
+
     /// Drain the flight recorder: returns buffered span events sorted by
     /// start time and resets the rings. Concurrent recording may tear
     /// individual slots; this is a diagnostic stream, not an audit log.
+    /// Records lost to ring overwrite since the last drain are folded
+    /// into the `arbalest_obs_dropped_spans_total` counter.
     pub fn drain_spans(&self) -> Vec<SpanEvent> {
         let Some(rec) = self.inner.recorder.get() else {
             return Vec::new();
         };
-        let names = self.inner.names.lock().unwrap();
-        rec.drain(&names)
+        let (events, lost) = {
+            let names = self.inner.names.lock().unwrap();
+            rec.drain(&names)
+        };
+        if lost > 0 {
+            self.counter("arbalest_obs_dropped_spans_total", &[]).add(lost);
+        }
+        events
+    }
+
+    /// Span records lost to ring overwrite so far (drained or not). A
+    /// nonzero value means a span dump is incomplete: the flight
+    /// recorder keeps only the most recent 1024 records per ring
+    /// between drains.
+    pub fn dropped_spans(&self) -> u64 {
+        self.inner.recorder.get().map(FlightRecorder::dropped).unwrap_or(0)
     }
 
     pub(crate) fn inner(&self) -> &Arc<Inner> {

@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 
 use crate::addr::DeviceId;
 use crate::events::SrcLoc;
-use crate::report::{PrevAccess, Report, ReportKind};
+use crate::report::{PrevAccess, ProvenanceStep, Report, ReportKind};
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -337,6 +337,37 @@ impl Report {
             "suggested_fix",
             self.suggested_fix.as_ref().map_or(Json::Null, |f| Json::Str(f.clone())),
         ));
+        // Provenance only appears when the detector captured a chain
+        // (off by default), so default-config JSON output is unchanged.
+        if !self.provenance.is_empty() {
+            pairs.push((
+                "provenance",
+                Json::Arr(
+                    self.provenance
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("op", Json::Str(s.op.clone())),
+                                ("from", Json::Str(s.from.clone())),
+                                ("to", Json::Str(s.to.clone())),
+                                (
+                                    "loc",
+                                    s.loc.map_or(Json::Null, |l| {
+                                        Json::obj(vec![
+                                            ("file", Json::Str(l.file.to_string())),
+                                            ("line", Json::int(l.line as u64)),
+                                            ("column", Json::int(l.column as u64)),
+                                        ])
+                                    }),
+                                ),
+                                ("tid", Json::int(s.tid as u64)),
+                                ("clock", Json::int(s.clock)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         Json::obj(pairs)
     }
 
@@ -377,6 +408,43 @@ impl Report {
             loc,
             prev,
             suggested_fix: v.get("suggested_fix").and_then(Json::as_str).map(str::to_string),
+            provenance: match v.get("provenance") {
+                Some(Json::Arr(steps)) => steps
+                    .iter()
+                    .map(|s| {
+                        Ok(ProvenanceStep {
+                            op: s
+                                .get("op")
+                                .and_then(Json::as_str)
+                                .ok_or("missing `provenance.op`")?
+                                .to_string(),
+                            from: s
+                                .get("from")
+                                .and_then(Json::as_str)
+                                .ok_or("missing `provenance.from`")?
+                                .to_string(),
+                            to: s
+                                .get("to")
+                                .and_then(Json::as_str)
+                                .ok_or("missing `provenance.to`")?
+                                .to_string(),
+                            loc: match s.get("loc") {
+                                Some(l @ Json::Obj(_)) => Some(SrcLoc::intern(
+                                    l.get("file")
+                                        .and_then(Json::as_str)
+                                        .ok_or("missing `provenance.loc.file`")?,
+                                    l.get("line").and_then(Json::as_u64).unwrap_or(0) as u32,
+                                    l.get("column").and_then(Json::as_u64).unwrap_or(0) as u32,
+                                )),
+                                _ => None,
+                            },
+                            tid: s.get("tid").and_then(Json::as_u64).unwrap_or(0) as u16,
+                            clock: s.get("clock").and_then(Json::as_u64).unwrap_or(0),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                _ => Vec::new(),
+            },
         })
     }
 }
@@ -484,6 +552,9 @@ pub fn span_json(e: &arbalest_obs::SpanEvent) -> Json {
         ("tid", Json::int(u64::from(e.tid))),
         ("start_ns", Json::int(e.start_ns)),
         ("dur_ns", Json::int(e.dur_ns)),
+        ("trace", Json::Str(format!("{:032x}", e.trace))),
+        ("span", Json::Str(format!("{:016x}", e.span))),
+        ("parent", Json::Str(format!("{:016x}", e.parent))),
     ])
 }
 
@@ -535,6 +606,14 @@ mod tests {
             loc: Some(SrcLoc::intern("bench.rs", 42, 7)),
             prev: Some(PrevAccess { tid: 3, clock: 99, is_write: true }),
             suggested_fix: Some("use target update from".to_string()),
+            provenance: vec![ProvenanceStep {
+                op: "update_target".into(),
+                from: "host".into(),
+                to: "consistent".into(),
+                loc: Some(SrcLoc::intern("bench.rs", 12, 1)),
+                tid: 0,
+                clock: 4,
+            }],
         };
         let back = Report::from_json(&Json::parse(&r.to_json().emit()).unwrap()).unwrap();
         assert_eq!(back.tool, r.tool);
@@ -547,6 +626,27 @@ mod tests {
         assert_eq!(back.loc.unwrap().line, 42);
         assert_eq!(back.prev.unwrap().clock, 99);
         assert_eq!(back.suggested_fix, r.suggested_fix);
+        assert_eq!(back.provenance, r.provenance);
+    }
+
+    #[test]
+    fn provenance_key_is_absent_when_chain_is_empty() {
+        let r = Report {
+            tool: "arbalest",
+            kind: ReportKind::MappingUum,
+            message: String::new(),
+            buffer: None,
+            device: DeviceId::HOST,
+            addr: 0,
+            size: 0,
+            loc: None,
+            prev: None,
+            suggested_fix: None,
+            provenance: Vec::new(),
+        };
+        let text = r.to_json().emit();
+        assert!(!text.contains("provenance"));
+        assert!(Report::from_json(&Json::parse(&text).unwrap()).unwrap().provenance.is_empty());
     }
 
     #[test]
@@ -562,6 +662,7 @@ mod tests {
             loc: None,
             prev: None,
             suggested_fix: None,
+            provenance: Vec::new(),
         };
         let back = Report::from_json(&Json::parse(&r.to_json().emit()).unwrap()).unwrap();
         assert_eq!(back.tool, "custom-tool");

@@ -117,6 +117,45 @@ pub struct PrevAccess {
     pub is_write: bool,
 }
 
+/// One edge of the detector's Validity State Machine walk, recorded when
+/// provenance capture is enabled.
+///
+/// A chain of these attached to a [`Report`] reconstructs *why* the
+/// detector reached the faulting state: which operations moved the
+/// buffer's validity mask, in order, and where each came from in the
+/// source. The vocabulary of `op`/`from`/`to` matches the detector's
+/// stable VSM label sets (`read_host`, `write_target`, ... / `invalid`,
+/// `host`, `target`, `consistent`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvenanceStep {
+    /// VSM operation label that took this edge.
+    pub op: String,
+    /// Validity state name before the edge.
+    pub from: String,
+    /// Validity state name after the edge.
+    pub to: String,
+    /// Source location of the operation, when captured.
+    pub loc: Option<SrcLoc>,
+    /// Thread-slot id that performed the operation.
+    pub tid: u16,
+    /// Detector logical clock at the time of the operation.
+    pub clock: u64,
+}
+
+impl ProvenanceStep {
+    /// One-line human rendering, used by `arbalest explain`.
+    pub fn describe(&self) -> String {
+        let at = match self.loc {
+            Some(l) => format!(" at {}:{}", l.file, l.line),
+            None => String::new(),
+        };
+        format!(
+            "{}{} by T{} @clock {}: {} -> {}",
+            self.op, at, self.tid, self.clock, self.from, self.to
+        )
+    }
+}
+
 /// One detector finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Report {
@@ -140,6 +179,11 @@ pub struct Report {
     pub prev: Option<PrevAccess>,
     /// A suggested repair, in the spirit of §III-C.
     pub suggested_fix: Option<String>,
+    /// Causal VSM edge chain that led to this finding. Empty unless the
+    /// detector ran with provenance capture enabled (off by default);
+    /// deliberately excluded from [`Report::render`] so default-config
+    /// textual output is unchanged by the feature.
+    pub provenance: Vec<ProvenanceStep>,
 }
 
 impl Report {
@@ -306,6 +350,7 @@ mod tests {
             loc: None,
             prev: Some(PrevAccess { tid: 3, clock: 17, is_write: true }),
             suggested_fix: Some("change map-type of 'a' to tofrom".into()),
+            provenance: Vec::new(),
         };
         let text = r.render();
         assert!(text.contains("ThreadSanitizer"));
@@ -328,6 +373,7 @@ mod tests {
             loc: None,
             prev: None,
             suggested_fix: None,
+            provenance: Vec::new(),
         };
         let reports =
             vec![mk(ReportKind::MappingUum), mk(ReportKind::DataRace), mk(ReportKind::MappingUum)];
@@ -349,6 +395,7 @@ mod tests {
             loc: None,
             prev: None,
             suggested_fix: None,
+            provenance: Vec::new(),
         };
         assert_eq!(mk("x").dedup_key(), mk("y").dedup_key());
     }

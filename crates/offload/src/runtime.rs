@@ -528,6 +528,7 @@ impl Runtime {
                     loc: Some(SrcLoc::caller()),
                     prev: None,
                     suggested_fix: Some(format!("remove the duplicate free of '{}'", info.name)),
+                    provenance: Vec::new(),
                 });
                 Err(e)
             }

@@ -20,7 +20,7 @@ use crate::events::{
     AccessEvent, ConstructEvent, DataOpEvent, DataOpKind, SrcLoc, SyncEvent, TaskId,
     TransferEvent, TransferKind,
 };
-use crate::report::{PrevAccess, Report, ReportKind};
+use crate::report::{PrevAccess, ProvenanceStep, Report, ReportKind};
 use crate::trace::TraceEvent;
 use std::fmt;
 
@@ -540,6 +540,32 @@ pub fn encode_report(r: &Report, out: &mut Vec<u8>) {
         None => out.push(0),
     }
     put_opt_str(out, &r.suggested_fix);
+    // Trailing provenance extension (introduced with the explainable
+    // diagnostics work). The tag byte is always present; old decoders
+    // never saw report bytes followed by trailing data because reports
+    // only ride inside count-prefixed lists that are themselves the last
+    // field of their frame, so growing the record here is safe at a
+    // wire-version bump boundary.
+    if r.provenance.is_empty() {
+        out.push(0);
+    } else {
+        out.push(1);
+        put_u32(out, r.provenance.len() as u32);
+        for step in &r.provenance {
+            put_str(out, &step.op);
+            put_str(out, &step.from);
+            put_str(out, &step.to);
+            match step.loc {
+                Some(loc) => {
+                    out.push(1);
+                    put_loc(out, loc);
+                }
+                None => out.push(0),
+            }
+            put_u16(out, step.tid);
+            put_u64(out, step.clock);
+        }
+    }
 }
 
 /// Decode one report. The tool name is re-interned so the decoded report
@@ -569,6 +595,31 @@ pub fn decode_report(cur: &mut Cursor<'_>) -> Result<Report, WireError> {
             tag => return Err(WireError::BadTag { what: "Option<PrevAccess>", tag }),
         },
         suggested_fix: get_opt_str(cur)?,
+        provenance: match cur.u8()? {
+            0 => Vec::new(),
+            1 => {
+                let n = cur.count("provenance chain")?;
+                let mut steps = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    steps.push(ProvenanceStep {
+                        op: cur.string()?,
+                        from: cur.string()?,
+                        to: cur.string()?,
+                        loc: match cur.u8()? {
+                            0 => None,
+                            1 => Some(get_loc(cur)?),
+                            tag => {
+                                return Err(WireError::BadTag { what: "Option<SrcLoc>", tag })
+                            }
+                        },
+                        tid: cur.u16()?,
+                        clock: cur.u64()?,
+                    });
+                }
+                steps
+            }
+            tag => return Err(WireError::BadTag { what: "provenance", tag }),
+        },
     })
 }
 
@@ -610,6 +661,66 @@ pub fn decode_reports(cur: &mut Cursor<'_>) -> Result<Vec<Report>, WireError> {
         reports.push(decode_report(cur)?);
     }
     Ok(reports)
+}
+
+/// Serialize a [`SpanContext`](arbalest_obs::SpanContext): the 128-bit
+/// trace id as two little-endian u64 halves (high first), then the span
+/// and parent ids.
+pub fn put_span_context(out: &mut Vec<u8>, ctx: arbalest_obs::SpanContext) {
+    put_u64(out, (ctx.trace >> 64) as u64);
+    put_u64(out, ctx.trace as u64);
+    put_u64(out, ctx.span);
+    put_u64(out, ctx.parent);
+}
+
+/// Decode a [`SpanContext`](arbalest_obs::SpanContext).
+pub fn get_span_context(cur: &mut Cursor<'_>) -> Result<arbalest_obs::SpanContext, WireError> {
+    let hi = cur.u64()?;
+    let lo = cur.u64()?;
+    Ok(arbalest_obs::SpanContext {
+        trace: (hi as u128) << 64 | lo as u128,
+        span: cur.u64()?,
+        parent: cur.u64()?,
+    })
+}
+
+/// Serialize a count-prefixed span-event list (the payload of the
+/// server's `TraceSnapshotReply` frame).
+pub fn encode_span_events(events: &[arbalest_obs::SpanEvent], out: &mut Vec<u8>) {
+    put_u32(out, events.len() as u32);
+    for e in events {
+        put_str(out, e.name);
+        put_u32(out, e.tid);
+        put_u64(out, e.start_ns);
+        put_u64(out, e.dur_ns);
+        put_span_context(out, e.context());
+    }
+}
+
+/// Decode a count-prefixed span-event list. Span names are re-interned
+/// (the vocabulary is a tiny closed set per build) so the decoded events
+/// keep the `&'static str` field of the original.
+pub fn decode_span_events(cur: &mut Cursor<'_>) -> Result<Vec<arbalest_obs::SpanEvent>, WireError> {
+    let n = cur.count("span event list")?;
+    let mut events = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let name = cur.string()?;
+        let name = SrcLoc::intern(&name, 0, 0).file;
+        let tid = cur.u32()?;
+        let start_ns = cur.u64()?;
+        let dur_ns = cur.u64()?;
+        let ctx = get_span_context(cur)?;
+        events.push(arbalest_obs::SpanEvent {
+            name,
+            tid,
+            start_ns,
+            dur_ns,
+            trace: ctx.trace,
+            span: ctx.span,
+            parent: ctx.parent,
+        });
+    }
+    Ok(events)
 }
 
 /// Serialize a whole trace as a standalone file: magic, version, events.
@@ -688,6 +799,107 @@ mod tests {
             report_kind(REPORT_KIND_COUNT as u8),
             Err(WireError::BadTag { what: "ReportKind", .. })
         ));
+    }
+
+    #[test]
+    fn report_provenance_round_trips() {
+        let mut r = Report {
+            tool: "arbalest",
+            kind: ReportKind::MappingUsd,
+            message: "stale read".into(),
+            buffer: Some("a".into()),
+            device: DeviceId::HOST,
+            addr: 0x1000,
+            size: 8,
+            loc: Some(SrcLoc::intern("a.c", 30, 3)),
+            prev: None,
+            suggested_fix: None,
+            provenance: Vec::new(),
+        };
+        // Empty chain: one tag byte, decodes back to empty.
+        let mut bytes = Vec::new();
+        encode_report(&r, &mut bytes);
+        let mut cur = Cursor::new(&bytes);
+        let back = decode_report(&mut cur).unwrap();
+        assert!(cur.is_empty());
+        assert_eq!(back, r);
+
+        r.provenance = vec![
+            ProvenanceStep {
+                op: "update_target".into(),
+                from: "host".into(),
+                to: "consistent".into(),
+                loc: Some(SrcLoc::intern("a.c", 12, 1)),
+                tid: 0,
+                clock: 3,
+            },
+            ProvenanceStep {
+                op: "write_target".into(),
+                from: "consistent".into(),
+                to: "target".into(),
+                loc: None,
+                tid: 2,
+                clock: 9,
+            },
+        ];
+        let mut bytes = Vec::new();
+        encode_report(&r, &mut bytes);
+        let mut cur = Cursor::new(&bytes);
+        let back = decode_report(&mut cur).unwrap();
+        assert!(cur.is_empty());
+        assert_eq!(back, r);
+
+        // A bad provenance tag is a typed error, not a panic.
+        let last = bytes.len() - 1;
+        let cut = &bytes[..last - 2]; // strip clock tail, corrupt mid-chain
+        assert!(decode_report(&mut Cursor::new(cut)).is_err());
+        let _ = last;
+    }
+
+    #[test]
+    fn span_events_round_trip_and_reintern_names() {
+        let events = vec![
+            arbalest_obs::SpanEvent {
+                name: SrcLoc::intern("client_submit", 0, 0).file,
+                tid: 1,
+                start_ns: 100,
+                dur_ns: 50,
+                trace: 0xABCD_0000_0000_0000_0000_0000_0000_0001,
+                span: 7,
+                parent: 0,
+            },
+            arbalest_obs::SpanEvent {
+                name: SrcLoc::intern("shard_job", 0, 0).file,
+                tid: 9,
+                start_ns: 120,
+                dur_ns: 10,
+                trace: 0xABCD_0000_0000_0000_0000_0000_0000_0001,
+                span: 8,
+                parent: 7,
+            },
+        ];
+        let mut bytes = Vec::new();
+        encode_span_events(&events, &mut bytes);
+        let mut cur = Cursor::new(&bytes);
+        let back = decode_span_events(&mut cur).unwrap();
+        assert!(cur.is_empty());
+        assert_eq!(back, events);
+        // The 128-bit trace id survives the two-halves encoding.
+        assert_eq!(back[0].trace, events[0].trace);
+    }
+
+    #[test]
+    fn span_context_round_trips() {
+        let ctx = arbalest_obs::SpanContext {
+            trace: u128::MAX - 5,
+            span: u64::MAX - 1,
+            parent: 42,
+        };
+        let mut out = Vec::new();
+        put_span_context(&mut out, ctx);
+        let mut cur = Cursor::new(&out);
+        assert_eq!(get_span_context(&mut cur).unwrap(), ctx);
+        assert!(cur.is_empty());
     }
 
     #[test]

@@ -347,8 +347,9 @@ fn trailing_garbage_is_rejected() {
 // type-tag assignment is a bijection, and truncation or corruption of any
 // frame yields a typed error — never a panic. Covers the frames added
 // after the original protocol (Metrics 0x06, MetricsReply 0x88,
-// SessionFailed 0x89) and the durability admin pair (Export 0x07 /
-// Import 0x08 with their replies 0x8A / 0x8B).
+// SessionFailed 0x89), the durability admin pair (Export 0x07 /
+// Import 0x08 with their replies 0x8A / 0x8B), and the tracing admin
+// pair (TraceSnapshot 0x09 / TraceSnapshotReply 0x8C).
 // ---------------------------------------------------------------------------
 
 use arbalest_server::proto::{Frame, ProtoError, StatsSnapshot, WIRE_VERSION};
@@ -360,13 +361,25 @@ fn frame_exemplars() -> Vec<(u8, Frame)> {
     vec![
         (0x01, Frame::Hello { version: WIRE_VERSION, resume: None }),
         (0x01, Frame::Hello { version: WIRE_VERSION, resume: Some(0xDEAD_BEEF_u64) }),
-        (0x02, Frame::Events(exemplars())),
+        (0x02, Frame::Events { events: exemplars(), ctx: None }),
+        (
+            0x02,
+            Frame::Events {
+                events: exemplars(),
+                ctx: Some(arbalest_obs::SpanContext {
+                    trace: 0xDEAD_BEEF_0000_0001_u128 << 64 | 7,
+                    span: 0x1234_5678,
+                    parent: 0,
+                }),
+            },
+        ),
         (0x03, Frame::Finish),
         (0x04, Frame::Stats),
         (0x05, Frame::Shutdown),
         (0x06, Frame::Metrics),
         (0x07, Frame::Export),
         (0x08, Frame::Import { state: vec![0xAB, 0x55, 0x00, 0x01] }),
+        (0x09, Frame::TraceSnapshot),
         (0x81, Frame::HelloAck { version: WIRE_VERSION, shards: 8, session: 42 }),
         (0x82, Frame::EventsAck { accepted: 1024 }),
         (0x83, Frame::Busy { queue_depth: 17 }),
@@ -398,6 +411,19 @@ fn frame_exemplars() -> Vec<(u8, Frame)> {
         (0x89, Frame::SessionFailed(SessionFailure::DeadlineExceeded { limit_ms: 30_000 })),
         (0x8A, Frame::ExportReply { state: vec![b'A', b'B', b'S', b'S', 1, 0] }),
         (0x8B, Frame::ImportReply { session: u64::MAX }),
+        (0x8C, Frame::TraceSnapshotReply(Vec::new())),
+        (
+            0x8C,
+            Frame::TraceSnapshotReply(vec![arbalest_obs::SpanEvent {
+                name: "shard_job",
+                tid: 3,
+                start_ns: 100,
+                dur_ns: 25,
+                trace: 42,
+                span: 9,
+                parent: 4,
+            }]),
+        ),
     ]
 }
 
@@ -445,7 +471,7 @@ fn frame_tag_assignment_is_a_bijection() {
 
 #[test]
 fn unknown_frame_tags_are_typed_errors() {
-    for tag in [0x00u8, 0x09, 0x7F, 0x80, 0x8C, 0xFF] {
+    for tag in [0x00u8, 0x0A, 0x7F, 0x80, 0x8D, 0xFF] {
         let bytes = [2u32.to_le_bytes().as_slice(), &[tag, 0]].concat();
         match decode_frame(&bytes) {
             Err(ProtoError::Wire(WireError::BadTag { .. })) => {}
@@ -499,7 +525,7 @@ fn fuzzed_event_batches_survive_the_frame_layer() {
     for _ in 0..50 {
         let events: Vec<TraceEvent> =
             (0..rng.below(48) + 1).map(|_| random_event(&mut rng)).collect();
-        let frame = Frame::Events(events);
+        let frame = Frame::Events { events, ctx: None };
         assert_eq!(decode_frame(&encode_frame(&frame)).expect("decode"), frame);
     }
 }

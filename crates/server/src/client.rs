@@ -9,6 +9,7 @@
 
 use crate::proto::{Frame, ProtoError, StatsSnapshot, WIRE_VERSION};
 use crate::server::ListenAddr;
+use arbalest_obs::{Registry, SpanContext, SpanEvent};
 use arbalest_offload::report::Report;
 use arbalest_offload::trace::TraceEvent;
 use std::io::{Read, Write};
@@ -27,6 +28,9 @@ pub struct Client {
     stream: Box<dyn Transport>,
     session: Option<u64>,
     deadline: Option<Duration>,
+    /// Registry for client-side causal tracing; disabled by default, so
+    /// untraced clients stamp no contexts and record no spans.
+    tracer: Registry,
 }
 
 impl Client {
@@ -46,12 +50,22 @@ impl Client {
             }
             ListenAddr::Unix(path) => Box::new(UnixStream::connect(path)?),
         };
-        Ok(Client { stream, session: None, deadline: None })
+        Ok(Client { stream, session: None, deadline: None, tracer: Registry::disabled() })
     }
 
     /// Wrap an already-connected byte stream (used by in-process tests).
     pub fn from_stream(stream: impl Read + Write + Send + 'static) -> Client {
-        Client { stream: Box::new(stream), session: None, deadline: None }
+        Client { stream: Box::new(stream), session: None, deadline: None, tracer: Registry::disabled() }
+    }
+
+    /// Enable causal tracing: every subsequent batch is stamped with a
+    /// fresh root [`SpanContext`] on the wire, and the client records a
+    /// matching `client_submit` span (same ids) into `reg`'s flight
+    /// recorder — so a client-side drain and the server's trace file
+    /// describe the same tree.
+    pub fn with_tracing(mut self, reg: Registry) -> Client {
+        self.tracer = reg;
+        self
     }
 
     /// Bound every subsequent operation (including its `Busy` retry loop)
@@ -102,6 +116,22 @@ impl Client {
         if batch.is_empty() {
             return Ok(());
         }
+        // One root context per batch; the client records its own
+        // `client_submit` span at exactly those ids, so a `Busy` retry
+        // loop shows up as one long span, not N.
+        let ctx = self.tracer.is_enabled().then(SpanContext::new_root);
+        let span =
+            ctx.map(|c| self.tracer.span_at(self.tracer.span_name("client_submit"), c));
+        let result = self.send_events_with(batch, ctx);
+        drop(span);
+        result
+    }
+
+    fn send_events_with(
+        &mut self,
+        batch: &[TraceEvent],
+        ctx: Option<SpanContext>,
+    ) -> Result<(), ProtoError> {
         let started = std::time::Instant::now();
         let mut backoff = Duration::from_millis(1);
         for _ in 0..Self::MAX_BUSY_RETRIES {
@@ -110,7 +140,7 @@ impl Client {
                     return Err(ProtoError::DeadlineExceeded { limit });
                 }
             }
-            match self.call(&Frame::Events(batch.to_vec()))? {
+            match self.call(&Frame::Events { events: batch.to_vec(), ctx })? {
                 Frame::EventsAck { .. } => return Ok(()),
                 Frame::Busy { .. } => {
                     std::thread::sleep(backoff);
@@ -187,6 +217,16 @@ impl Client {
         match self.call(&Frame::Import { state: state.to_vec() })? {
             Frame::ImportReply { session } => Ok(session),
             _ => Err(ProtoError::Unexpected("wanted ImportReply")),
+        }
+    }
+
+    /// Fetch the server's most recent completed trace spans (any
+    /// session): the `TraceSnapshot` admin frame. Useful for inspecting a
+    /// live server without waiting for a session's trace file.
+    pub fn trace_snapshot(&mut self) -> Result<Vec<SpanEvent>, ProtoError> {
+        match self.call(&Frame::TraceSnapshot)? {
+            Frame::TraceSnapshotReply(spans) => Ok(spans),
+            _ => Err(ProtoError::Unexpected("wanted TraceSnapshotReply")),
         }
     }
 

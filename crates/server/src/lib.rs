@@ -21,6 +21,8 @@
 //! * [`stats`] — global counters behind the `Stats` frame.
 //! * [`server`] — listeners, connection hardening (idle reaper, request
 //!   deadlines, frame/inflight limits), graceful drain.
+//! * [`tracesink`] — per-session causal-span collection behind
+//!   `--trace-dir` and the `TraceSnapshot` admin frame.
 //! * [`client`] — the client library used by `arbalest submit` and tests.
 
 #![warn(missing_docs)]
@@ -31,6 +33,7 @@ pub mod shard;
 pub mod stats;
 pub mod server;
 pub mod supervise;
+pub mod tracesink;
 
 pub use client::Client;
 pub use proto::{Frame, ProtoError, StatsSnapshot, MAX_FRAME, WIRE_VERSION};

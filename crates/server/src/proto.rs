@@ -24,6 +24,7 @@ use crate::supervise::SessionFailure;
 use arbalest_offload::report::Report;
 use arbalest_offload::trace::TraceEvent;
 use arbalest_offload::wire::{self, Cursor, WireError, REPORT_KIND_COUNT};
+use arbalest_obs::{SpanContext, SpanEvent};
 use std::io::{Read, Write};
 
 pub use arbalest_offload::wire::WIRE_VERSION;
@@ -177,7 +178,17 @@ pub enum Frame {
         resume: Option<u64>,
     },
     /// Client → server: a batch of trace events for the open session.
-    Events(Vec<TraceEvent>),
+    /// Optionally stamped with the client's [`SpanContext`] for the
+    /// submit, so server-side work (shard job, WAL append, detector feed)
+    /// joins the client's causal trace tree. A bare event-batch payload
+    /// (the pre-tracing encoding) decodes as `ctx: None`, so old clients
+    /// keep working.
+    Events {
+        /// The trace events.
+        events: Vec<TraceEvent>,
+        /// Client-minted causal identity of this submit, if tracing.
+        ctx: Option<SpanContext>,
+    },
     /// Client → server: end of stream; request the session's reports.
     Finish,
     /// Client → server: request counters.
@@ -191,6 +202,9 @@ pub enum Frame {
     /// (the versioned snapshot bytes) for migration. Non-destructive —
     /// the session keeps running.
     Export,
+    /// Client → server: pull the server's recent span tree (the bounded
+    /// server-global span buffer) for remote trace inspection.
+    TraceSnapshot,
     /// Client → server: install exported snapshot bytes as a *new*
     /// session on this server (the migration receive side).
     Import {
@@ -247,19 +261,23 @@ pub enum Frame {
         /// Session id assigned to the imported state.
         session: u64,
     },
+    /// Server → client: the server's recent spans (answer to
+    /// [`Frame::TraceSnapshot`]), oldest first.
+    TraceSnapshotReply(Vec<SpanEvent>),
 }
 
 impl Frame {
     fn type_byte(&self) -> u8 {
         match self {
             Frame::Hello { .. } => 0x01,
-            Frame::Events(_) => 0x02,
+            Frame::Events { .. } => 0x02,
             Frame::Finish => 0x03,
             Frame::Stats => 0x04,
             Frame::Shutdown => 0x05,
             Frame::Metrics => 0x06,
             Frame::Export => 0x07,
             Frame::Import { .. } => 0x08,
+            Frame::TraceSnapshot => 0x09,
             Frame::HelloAck { .. } => 0x81,
             Frame::EventsAck { .. } => 0x82,
             Frame::Busy { .. } => 0x83,
@@ -271,6 +289,7 @@ impl Frame {
             Frame::SessionFailed(_) => 0x89,
             Frame::ExportReply { .. } => 0x8A,
             Frame::ImportReply { .. } => 0x8B,
+            Frame::TraceSnapshotReply(_) => 0x8C,
         }
     }
 
@@ -279,13 +298,14 @@ impl Frame {
     pub fn label(&self) -> &'static str {
         match self {
             Frame::Hello { .. } => "hello",
-            Frame::Events(_) => "events",
+            Frame::Events { .. } => "events",
             Frame::Finish => "finish",
             Frame::Stats => "stats",
             Frame::Shutdown => "shutdown",
             Frame::Metrics => "metrics",
             Frame::Export => "export",
             Frame::Import { .. } => "import",
+            Frame::TraceSnapshot => "trace_snapshot",
             Frame::HelloAck { .. } => "hello_ack",
             Frame::EventsAck { .. } => "events_ack",
             Frame::Busy { .. } => "busy",
@@ -297,6 +317,7 @@ impl Frame {
             Frame::SessionFailed(_) => "session_failed",
             Frame::ExportReply { .. } => "export_reply",
             Frame::ImportReply { .. } => "import_reply",
+            Frame::TraceSnapshotReply(_) => "trace_snapshot_reply",
         }
     }
 
@@ -310,12 +331,20 @@ impl Frame {
                 }
                 out
             }
-            Frame::Events(events) => wire::encode_events(events),
+            Frame::Events { events, ctx } => {
+                let mut out = wire::encode_events(events);
+                if let Some(ctx) = ctx {
+                    out.push(1);
+                    wire::put_span_context(&mut out, *ctx);
+                }
+                out
+            }
             Frame::Finish
             | Frame::Stats
             | Frame::Shutdown
             | Frame::Metrics
             | Frame::Export
+            | Frame::TraceSnapshot
             | Frame::Ok => Vec::new(),
             Frame::Import { state } | Frame::ExportReply { state } => state.clone(),
             Frame::ImportReply { session } => session.to_le_bytes().to_vec(),
@@ -345,6 +374,11 @@ impl Frame {
                 failure.encode(&mut out);
                 out
             }
+            Frame::TraceSnapshotReply(events) => {
+                let mut out = Vec::new();
+                wire::encode_span_events(events, &mut out);
+                out
+            }
         }
     }
 
@@ -366,7 +400,23 @@ impl Frame {
                 };
                 Frame::Hello { version, resume }
             }
-            0x02 => Frame::Events(wire::decode_events(&mut cur)?),
+            0x02 => {
+                let events = wire::decode_events(&mut cur)?;
+                // Trailing span-context extension (same backward-compatible
+                // trick as `Hello{resume}`): absent bytes mean untraced.
+                let ctx = if cur.is_empty() {
+                    None
+                } else {
+                    match cur.u8()? {
+                        0 => None,
+                        1 => Some(wire::get_span_context(&mut cur)?),
+                        tag => {
+                            return Err(WireError::BadTag { what: "Events ctx", tag }.into())
+                        }
+                    }
+                };
+                Frame::Events { events, ctx }
+            }
             0x03 => Frame::Finish,
             0x04 => Frame::Stats,
             0x05 => Frame::Shutdown,
@@ -374,6 +424,7 @@ impl Frame {
             // Snapshot bytes carry their own magic/version/CRC, so the
             // frame layer passes them through opaque.
             0x07 => Frame::Export,
+            0x09 => Frame::TraceSnapshot,
             0x08 => return Ok(Frame::Import { state: payload.to_vec() }),
             0x8A => return Ok(Frame::ExportReply { state: payload.to_vec() }),
             0x8B => Frame::ImportReply { session: cur.u64()? },
@@ -386,6 +437,7 @@ impl Frame {
             0x87 => Frame::Error { message: cur.string()? },
             0x88 => Frame::MetricsReply(cur.string()?),
             0x89 => Frame::SessionFailed(SessionFailure::decode(&mut cur)?),
+            0x8C => Frame::TraceSnapshotReply(wire::decode_span_events(&mut cur)?),
             tag => return Err(WireError::BadTag { what: "Frame", tag }.into()),
         };
         if !cur.is_empty() {
@@ -552,6 +604,48 @@ mod tests {
             Frame::ExportReply { state: vec![1, 2, 3] },
             Frame::ImportReply { session: 17 },
         ] {
+            assert_eq!(round_trip(f.clone()), f);
+        }
+    }
+
+    #[test]
+    fn events_frames_round_trip_with_and_without_ctx() {
+        let ctx = SpanContext { trace: 77u128 << 64 | 5, span: 9, parent: 2 };
+        for f in [
+            Frame::Events { events: vec![], ctx: None },
+            Frame::Events { events: vec![], ctx: Some(ctx) },
+        ] {
+            assert_eq!(round_trip(f.clone()), f);
+        }
+    }
+
+    #[test]
+    fn bare_events_payload_still_decodes_as_untraced() {
+        // The pre-tracing Events frame: just the count-prefixed batch.
+        let payload = wire::encode_events(&[]);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(1 + payload.len() as u32).to_le_bytes());
+        bytes.push(0x02);
+        bytes.extend_from_slice(&payload);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(
+            Frame::read_from(&mut cursor, &mut || true).unwrap(),
+            Frame::Events { events: vec![], ctx: None }
+        );
+    }
+
+    #[test]
+    fn trace_snapshot_frames_round_trip() {
+        let events = vec![arbalest_obs::SpanEvent {
+            name: arbalest_offload::events::SrcLoc::intern("wal_append", 0, 0).file,
+            tid: 3,
+            start_ns: 10,
+            dur_ns: 4,
+            trace: 1,
+            span: 2,
+            parent: 0,
+        }];
+        for f in [Frame::TraceSnapshot, Frame::TraceSnapshotReply(events)] {
             assert_eq!(round_trip(f.clone()), f);
         }
     }

@@ -11,6 +11,7 @@
 use crate::proto::{Frame, ProtoError, WIRE_VERSION};
 use crate::shard::ShardPool;
 use crate::stats::GlobalStats;
+use crate::tracesink::TraceSink;
 use arbalest_core::{AnalysisSession, ArbalestConfig};
 use arbalest_obs::{Counter, Registry};
 use arbalest_store::{decode_session_snapshot, SessionLog, Store};
@@ -106,6 +107,12 @@ pub struct ServerConfig {
     /// Durability tuning (segment size, fsync policy, snapshot triggers,
     /// storage fault injection); only read when `data_dir` is set.
     pub store: arbalest_store::StoreConfig,
+    /// Per-session trace output directory. `Some` makes the server write
+    /// `session-<id>.json` (Chrome trace-event / Perfetto format) for
+    /// every cleanly finished session whose client stamped its batches
+    /// with span contexts. `None` (default) still collects spans for the
+    /// `TraceSnapshot` frame but writes no files.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -124,6 +131,7 @@ impl Default for ServerConfig {
             faults: arbalest_offload::fault::FaultConfig::disabled(),
             data_dir: None,
             store: arbalest_store::StoreConfig::default(),
+            trace_dir: None,
         }
     }
 }
@@ -187,6 +195,10 @@ struct Shared {
     /// Sessions currently bound to a live connection. Resuming one of
     /// these is refused — two writers on one WAL would interleave.
     attached: Mutex<HashSet<u64>>,
+    /// Where completed trace spans are collected (per session + recent).
+    sink: Arc<TraceSink>,
+    /// Per-session trace file output directory, when configured.
+    trace_dir: Option<PathBuf>,
     /// Connection-hardening knobs, copied out of the `ServerConfig`.
     idle_timeout: Duration,
     request_deadline: Duration,
@@ -205,7 +217,7 @@ struct Shared {
 /// Wire-layer counters shared by every connection handler.
 struct WireMetrics {
     /// Decoded client frames, labelled by frame type.
-    frames: [(&'static str, Counter); 8],
+    frames: [(&'static str, Counter); 9],
     /// Bytes read off client connections.
     rx_bytes: Counter,
 }
@@ -214,8 +226,18 @@ impl WireMetrics {
     fn new(reg: &Registry) -> WireMetrics {
         let c = |ty| reg.counter("arbalest_server_frames_total", &[("type", ty)]);
         WireMetrics {
-            frames: ["hello", "events", "finish", "stats", "shutdown", "metrics", "export", "import"]
-                .map(|ty| (ty, c(ty))),
+            frames: [
+                "hello",
+                "events",
+                "finish",
+                "stats",
+                "shutdown",
+                "metrics",
+                "export",
+                "import",
+                "trace_snapshot",
+            ]
+            .map(|ty| (ty, c(ty))),
             rx_bytes: reg.counter("arbalest_server_rx_bytes_total", &[]),
         }
     }
@@ -308,6 +330,7 @@ impl Server {
         let reaped = |reason| {
             registry.counter("arbalest_server_connections_reaped_total", &[("reason", reason)])
         };
+        let sink = Arc::new(TraceSink::new(&registry));
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             stop_signal: (Mutex::new(false), Condvar::new()),
@@ -318,6 +341,8 @@ impl Server {
             store: store.clone(),
             detector: cfg.detector.clone(),
             attached: Mutex::new(HashSet::new()),
+            sink: sink.clone(),
+            trace_dir: cfg.trace_dir.clone(),
             idle_timeout: cfg.idle_timeout,
             request_deadline: cfg.request_deadline,
             max_frame: cfg.max_frame,
@@ -338,20 +363,32 @@ impl Server {
                 faults: cfg.faults,
             },
             store.clone(),
+            sink.clone(),
         ));
 
         // Crash recovery: every session directory is an unfinished session.
         // Rebuild each from snapshot + WAL tail and adopt it into the pool
         // so a resuming client (`Hello { resume }`) finds it live. A
         // session that fails to recover is left on disk for inspection and
-        // counted; it never becomes wrong in-memory state.
+        // counted; it never becomes wrong in-memory state. The whole pass
+        // is one `server_recovery` trace with an `adopt_session` child per
+        // recovered session, so a startup stall is attributable.
         if let Some(store) = &store {
+            let recovery_span = registry.span(registry.span_name("server_recovery"));
+            let recovery_ctx = recovery_span.context();
             let recovered = store
                 .recover_all(&cfg.detector, &registry)
                 .map_err(|e| std::io::Error::other(format!("recover sessions: {e}")))?;
             for (id, result) in recovered {
                 match result {
-                    Ok(rec) => pool.adopt_session(id, rec.session),
+                    Ok(rec) => {
+                        let adopt =
+                            registry.span_child(registry.span_name("adopt_session"), recovery_ctx);
+                        pool.adopt_session(id, rec.session);
+                        if let Some(ev) = adopt.end() {
+                            sink.record(id, ev);
+                        }
+                    }
                     Err(e) => registry
                         .counter(
                             "arbalest_store_recovery_failures_total",
@@ -359,6 +396,9 @@ impl Server {
                         )
                         .inc(),
                 }
+            }
+            if let Some(ev) = recovery_span.end() {
+                sink.record_global(ev);
             }
         }
 
@@ -665,7 +705,7 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
                     }
                 }
             }
-            Frame::Events(events) => match session {
+            Frame::Events { events, ctx } => match session {
                 None => Err("Events before Hello".into()),
                 Some(id) => {
                     // A quarantined session (shard panic, budget) answers
@@ -673,22 +713,43 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
                     if let Some(failure) = pool.session_failure(id) {
                         Ok(Frame::SessionFailed(failure))
                     } else {
+                        // A traced batch: re-record the client-minted
+                        // context verbatim (`span_at`) as the
+                        // `client_submit` root of the server-side tree, so
+                        // the WAL append and the shard job parent to the
+                        // exact ids the client stamped on the wire.
+                        let root = ctx.filter(|c| c.is_traced());
+                        let submit_span = root.map(|c| {
+                            shared.registry.span_at(shared.registry.span_name("client_submit"), c)
+                        });
                         // Clone for the WAL before the pool consumes the
                         // batch; only durable sessions pay the copy. The
                         // pool goes first so a `Busy` refusal logs
                         // nothing; the ack waits for the append, so a
                         // crash can only lose *unacked* batches.
                         let copy = log.as_ref().map(|_| events.clone());
-                        match pool.submit_events(id, events) {
+                        let outcome = match pool.submit_events(id, events, root) {
                             Ok(accepted) => {
                                 session_events += accepted as u64;
                                 let appended = match (log.as_mut(), copy) {
-                                    (Some(l), Some(batch)) => l.append(&batch).map(|()| {
-                                        if l.snapshot_due() {
-                                            pool.submit_snapshot(id);
-                                            l.mark_snapshot();
+                                    (Some(l), Some(batch)) => {
+                                        let wal_span = root.map(|c| {
+                                            shared.registry.span_child(
+                                                shared.registry.span_name("wal_append"),
+                                                c,
+                                            )
+                                        });
+                                        let appended = l.append(&batch).map(|()| {
+                                            if l.snapshot_due() {
+                                                pool.submit_snapshot(id, root);
+                                                l.mark_snapshot();
+                                            }
+                                        });
+                                        if let Some(ev) = wal_span.and_then(|s| s.end()) {
+                                            shared.sink.record(id, ev);
                                         }
-                                    }),
+                                        appended
+                                    }
                                     _ => Ok(()),
                                 };
                                 match appended {
@@ -701,7 +762,11 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
                                 }
                             }
                             Err(full) => Ok(Frame::Busy { queue_depth: full.depth }),
+                        };
+                        if let Some(ev) = submit_span.and_then(|s| s.end()) {
+                            shared.sink.record(id, ev);
                         }
+                        outcome
                     }
                 }
             },
@@ -725,9 +790,27 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
                             if let Some(store) = &shared.store {
                                 let _ = store.remove_session(id);
                             }
+                            // By FIFO the worker finished every traced
+                            // batch before answering Finish, so the
+                            // session's span tree is complete: write it
+                            // out (if a trace dir is configured) and free
+                            // the buffer either way.
+                            let spans = shared.sink.take_session(id);
+                            if let Some(dir) = &shared.trace_dir {
+                                if !spans.is_empty() {
+                                    let _ = std::fs::create_dir_all(dir);
+                                    let _ = std::fs::write(
+                                        dir.join(format!("session-{id}.json")),
+                                        arbalest_obs::chrome_trace_json(&spans),
+                                    );
+                                }
+                            }
                             Ok(Frame::Reports(reports))
                         }
-                        Ok(Err(failure)) => Ok(Frame::SessionFailed(failure)),
+                        Ok(Err(failure)) => {
+                            shared.sink.drop_session(id);
+                            Ok(Frame::SessionFailed(failure))
+                        }
                         Err(_) => Err("analysis shard terminated".into()),
                     }
                 }
@@ -796,6 +879,7 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
                 let _ = pool.queue_depths();
                 Ok(Frame::MetricsReply(shared.registry.snapshot().to_prometheus()))
             }
+            Frame::TraceSnapshot => Ok(Frame::TraceSnapshotReply(shared.sink.recent())),
             Frame::Shutdown => {
                 let _ = Frame::Ok.write_to(&mut stream);
                 shared.request_stop();
@@ -813,7 +897,8 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
             | Frame::MetricsReply(_)
             | Frame::SessionFailed(_)
             | Frame::ExportReply { .. }
-            | Frame::ImportReply { .. } => Err("client sent a server-role frame".into()),
+            | Frame::ImportReply { .. }
+            | Frame::TraceSnapshotReply(_) => Err("client sent a server-role frame".into()),
         };
 
         let reply = match outcome {
@@ -836,5 +921,6 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>, pool: &Arc<ShardP
     if let Some(id) = session {
         pool.submit_abort(id);
         shared.attached.lock().remove(&id);
+        shared.sink.drop_session(id);
     }
 }

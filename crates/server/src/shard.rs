@@ -32,9 +32,10 @@
 
 use crate::stats::GlobalStats;
 use crate::supervise::{panic_message, SessionFailure, SuperviseMetrics};
+use crate::tracesink::TraceSink;
 use arbalest_core::session::AnalysisSession;
 use arbalest_core::ArbalestConfig;
-use arbalest_obs::{Gauge, Histogram, Registry};
+use arbalest_obs::{Gauge, Histogram, Registry, SpanContext, SpanName};
 use arbalest_offload::fault::{FaultConfig, FaultOutcome, FaultPlan, FaultSite};
 use arbalest_offload::report::Report;
 use arbalest_offload::trace::TraceEvent;
@@ -47,15 +48,19 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 pub(crate) enum Job {
-    Events { session: u64, events: Vec<TraceEvent>, queued: Instant },
+    /// Analyse a batch. `ctx` is the client-minted span context of the
+    /// submitting `Events` frame (when the client traced it); the worker
+    /// records its analysis as `shard_job`/`detector_feed` child spans.
+    Events { session: u64, events: Vec<TraceEvent>, ctx: Option<SpanContext>, queued: Instant },
     Finish { session: u64, reply: mpsc::Sender<FinishResult>, queued: Instant },
     /// Drop a session that disconnected without `Finish`.
     Abort { session: u64, queued: Instant },
     /// Persist the session's state to the store and compact its WAL.
     /// Enqueued by the connection when a snapshot trigger fires; FIFO
     /// ordering means every batch accepted before the trigger is analysed
-    /// first, so the snapshot's event count is exact.
-    Snapshot { session: u64, queued: Instant },
+    /// first, so the snapshot's event count is exact. `ctx` is the span
+    /// context of the batch whose append tripped the trigger.
+    Snapshot { session: u64, ctx: Option<SpanContext>, queued: Instant },
     /// Serialize the session's state (non-destructively) for migration.
     Export { session: u64, reply: mpsc::Sender<ExportResult>, queued: Instant },
     Stop,
@@ -198,6 +203,13 @@ struct WorkerCtx {
     /// Durable store for `Snapshot` jobs; `None` when the server runs
     /// without `--data-dir`.
     store: Option<Arc<arbalest_store::Store>>,
+    /// Where completed analysis spans land (per-session + recent ring).
+    sink: Arc<TraceSink>,
+    /// Pre-interned span names, so the per-batch hot path skips the
+    /// registry's name-table lock.
+    shard_job_name: SpanName,
+    detector_feed_name: SpanName,
+    snapshot_write_name: SpanName,
 }
 
 /// `N` analysis worker threads with session-hash job routing.
@@ -216,6 +228,7 @@ impl ShardPool {
     /// `queue_cap` event batches. Finished sessions fold their report
     /// counts into `stats`; per-session detectors and the pool's own
     /// wait/depth/supervision metrics all record into `registry`.
+    #[allow(clippy::too_many_arguments)] // one dependency per subsystem, built once by Server::start
     pub fn new(
         shards: usize,
         queue_cap: usize,
@@ -224,6 +237,7 @@ impl ShardPool {
         registry: &Registry,
         limits: ShardLimits,
         store: Option<Arc<arbalest_store::Store>>,
+        sink: Arc<TraceSink>,
     ) -> ShardPool {
         let shards = shards.clamp(1, 64);
         let states: Vec<Arc<ShardState>> = (0..shards)
@@ -252,6 +266,10 @@ impl ShardPool {
                     plan: FaultPlan::new(limits.faults),
                     sup: sup.clone(),
                     store: store.clone(),
+                    sink: sink.clone(),
+                    shard_job_name: registry.span_name("shard_job"),
+                    detector_feed_name: registry.span_name("detector_feed"),
+                    snapshot_write_name: registry.span_name("snapshot_write"),
                 };
                 std::thread::Builder::new()
                     .name(format!("arbalest-shard-{i}"))
@@ -343,7 +361,12 @@ impl ShardPool {
     /// Offer an event batch to the session's shard. Refused (nothing
     /// enqueued, nothing analysed) when the queue is at capacity or the
     /// session's inflight-event backlog is at its limit.
-    pub fn submit_events(&self, session: u64, events: Vec<TraceEvent>) -> Result<usize, QueueFull> {
+    pub fn submit_events(
+        &self,
+        session: u64,
+        events: Vec<TraceEvent>,
+        ctx: Option<SpanContext>,
+    ) -> Result<usize, QueueFull> {
         let state = self.state_of(session);
         let accepted = events.len();
         {
@@ -363,7 +386,7 @@ impl ShardPool {
                 self.stats.busy_rejections.inc();
                 return Err(QueueFull { depth: state.queue.depth() });
             }
-            jobs.push_back(Job::Events { session, events, queued: Instant::now() });
+            jobs.push_back(Job::Events { session, events, ctx, queued: Instant::now() });
             *backlog.entry(session).or_insert(0) += accepted as u64;
         }
         state.queue.not_empty.notify_one();
@@ -388,8 +411,8 @@ impl ShardPool {
     /// Ask the session's worker to snapshot it to the store. Control job:
     /// bypasses the queue cap (one per trigger firing, bounded by the
     /// connection that enqueues it).
-    pub fn submit_snapshot(&self, session: u64) {
-        self.state_of(session).queue.push(Job::Snapshot { session, queued: Instant::now() });
+    pub fn submit_snapshot(&self, session: u64, ctx: Option<SpanContext>) {
+        self.state_of(session).queue.push(Job::Snapshot { session, ctx, queued: Instant::now() });
     }
 
     /// Ask the session's worker for its encoded snapshot bytes. FIFO with
@@ -461,9 +484,16 @@ fn supervise_worker(ctx: &WorkerCtx) {
 fn worker_loop(ctx: &WorkerCtx) {
     loop {
         match ctx.state.queue.pop() {
-            Job::Events { session, events, queued } => {
+            Job::Events { session, events, ctx: trace_ctx, queued } => {
                 ctx.waits.events.record_duration(queued.elapsed());
                 *ctx.state.current.lock() = Some(session);
+                // The analysis leg of a traced batch: a `shard_job` span
+                // parented to the client's submit span, teed into the sink
+                // (the registry ring alone could overwrite it before the
+                // session finishes).
+                let shard_span = trace_ctx
+                    .filter(|c| c.is_traced())
+                    .map(|c| ctx.registry.span_child(ctx.shard_job_name, c));
                 let fed = events.len() as u64;
                 let slot = ctx.state.sessions.lock().remove(&session);
                 match slot {
@@ -494,7 +524,13 @@ fn worker_loop(ctx: &WorkerCtx) {
                         if ctx.plan.decide(FaultSite::ShardPanic) != FaultOutcome::None {
                             panic!("injected shard panic (session {session})");
                         }
+                        let feed_span = shard_span
+                            .as_ref()
+                            .map(|s| ctx.registry.span_child(ctx.detector_feed_name, s.context()));
                         entry.session.feed_batch(&events);
+                        if let Some(ev) = feed_span.and_then(|s| s.end()) {
+                            ctx.sink.record(session, ev);
+                        }
                         let verdict = govern_budget(ctx, session, &mut entry, fed);
                         let slot = match verdict {
                             None => SessionSlot::Live(entry),
@@ -505,6 +541,9 @@ fn worker_loop(ctx: &WorkerCtx) {
                 }
                 if let Some(b) = ctx.state.backlog.lock().get_mut(&session) {
                     *b = b.saturating_sub(fed);
+                }
+                if let Some(ev) = shard_span.and_then(|s| s.end()) {
+                    ctx.sink.record(session, ev);
                 }
                 *ctx.state.current.lock() = None;
             }
@@ -546,9 +585,12 @@ fn worker_loop(ctx: &WorkerCtx) {
                 ctx.stats.sessions_finished.inc();
                 *ctx.state.current.lock() = None;
             }
-            Job::Snapshot { session, queued } => {
+            Job::Snapshot { session, ctx: trace_ctx, queued } => {
                 ctx.waits.snapshot.record_duration(queued.elapsed());
                 *ctx.state.current.lock() = Some(session);
+                let snap_span = trace_ctx
+                    .filter(|c| c.is_traced())
+                    .map(|c| ctx.registry.span_child(ctx.snapshot_write_name, c));
                 // Out of the map while serializing, like Events: a panic
                 // mid-snapshot quarantines this session only.
                 let slot = ctx.state.sessions.lock().remove(&session);
@@ -564,6 +606,9 @@ fn worker_loop(ctx: &WorkerCtx) {
                     ctx.state.sessions.lock().insert(session, SessionSlot::Live(entry));
                 } else if let Some(slot) = slot {
                     ctx.state.sessions.lock().insert(session, slot);
+                }
+                if let Some(ev) = snap_span.and_then(|s| s.end()) {
+                    ctx.sink.record(session, ev);
                 }
                 *ctx.state.current.lock() = None;
             }
@@ -666,8 +711,18 @@ mod tests {
     fn pool_with(shards: usize, cap: usize, limits: ShardLimits) -> (ShardPool, Arc<GlobalStats>) {
         let reg = Registry::new();
         let stats = Arc::new(GlobalStats::new(&reg));
+        let sink = Arc::new(TraceSink::new(&reg));
         (
-            ShardPool::new(shards, cap, ArbalestConfig::default(), stats.clone(), &reg, limits, None),
+            ShardPool::new(
+                shards,
+                cap,
+                ArbalestConfig::default(),
+                stats.clone(),
+                &reg,
+                limits,
+                None,
+                sink,
+            ),
             stats,
         )
     }
@@ -688,7 +743,7 @@ mod tests {
         }
         let mut refused = 0;
         for i in 0..10u64 {
-            if pool.submit_events(session, vec![pool_alloc_event(i)]).is_err() {
+            if pool.submit_events(session, vec![pool_alloc_event(i)], None).is_err() {
                 refused += 1;
             }
         }
@@ -704,7 +759,7 @@ mod tests {
         let (pool, stats) = pool(2, 1024);
         let session = pool.open_session();
         for i in 0..100u64 {
-            pool.submit_events(session, vec![pool_alloc_event(i)]).unwrap();
+            pool.submit_events(session, vec![pool_alloc_event(i)], None).unwrap();
         }
         let reports = pool.submit_finish(session).recv().unwrap().unwrap();
         assert!(reports.is_empty());
@@ -718,7 +773,7 @@ mod tests {
         let (pool, stats) = pool(4, 64);
         for _ in 0..32 {
             let s = pool.open_session();
-            pool.submit_events(s, vec![pool_alloc_event(s)]).unwrap();
+            pool.submit_events(s, vec![pool_alloc_event(s)], None).unwrap();
             pool.submit_abort(s);
         }
         pool.shutdown(); // must not hang; all queues drain
@@ -735,10 +790,10 @@ mod tests {
         while pool.states[0].queue.depth() != 0 {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
-        assert!(pool.submit_events(session, vec![pool_alloc_event(0), pool_alloc_event(1)]).is_ok());
-        assert!(pool.submit_events(session, vec![pool_alloc_event(2)]).is_ok());
+        assert!(pool.submit_events(session, vec![pool_alloc_event(0), pool_alloc_event(1)], None).is_ok());
+        assert!(pool.submit_events(session, vec![pool_alloc_event(2)], None).is_ok());
         // Backlog is now 3 == cap: the next batch is refused.
-        let err = pool.submit_events(session, vec![pool_alloc_event(3)]).unwrap_err();
+        let err = pool.submit_events(session, vec![pool_alloc_event(3)], None).unwrap_err();
         assert!(err.depth >= 2);
         assert_eq!(stats.busy_rejections.get(), 1);
         pool.shutdown();
@@ -753,7 +808,7 @@ mod tests {
             ShardLimits { faults: FaultConfig::new(7, 1.0), ..Default::default() },
         );
         let victim = pool.open_session();
-        pool.submit_events(victim, vec![pool_alloc_event(1)]).unwrap();
+        pool.submit_events(victim, vec![pool_alloc_event(1)], None).unwrap();
         // The restarted worker answers Finish with the typed failure.
         let failure = pool.submit_finish(victim).recv().unwrap().unwrap_err();
         assert!(
@@ -789,7 +844,7 @@ mod tests {
         let (pool, _stats) =
             pool_with(1, 1024, ShardLimits { max_session_bytes: 1, ..Default::default() });
         let session = pool.open_session();
-        pool.submit_events(session, shadowy_trace()).unwrap();
+        pool.submit_events(session, shadowy_trace(), None).unwrap();
         let failure = pool.submit_finish(session).recv().unwrap().unwrap_err();
         assert!(
             matches!(failure, SessionFailure::BudgetExceeded { budget_bytes: 1, .. }),

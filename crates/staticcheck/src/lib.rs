@@ -136,6 +136,7 @@ impl Diagnostic {
             loc: None,
             prev: None,
             suggested_fix: Some(self.suggested_fix.clone()),
+            provenance: Vec::new(),
         }
     }
 }
