@@ -29,6 +29,18 @@ echo "==> arbalest fuzz-lint --seeds 64 (differential soundness gate)"
 # statically anticipated.
 ./target/release/arbalest fuzz-lint --seeds 64 --quiet
 
+echo "==> arbalest fix all (repair synthesis gate)"
+# Every model convicted at Must needs a synthesized repair clearing
+# both oracles (static re-check clean, zero dynamic reports).
+./target/release/arbalest fix all --quiet
+
+echo "==> arbalest optimize (SPEC report-parity gate)"
+# Transfer minimization must hold diagnostics byte-identical; the
+# --apply-check re-verification fails the run on any parity break.
+for w in postencil polbm pomriq pep pcg; do
+    ./target/release/arbalest optimize "spec/$w" --apply-check --quiet
+done
+
 if [[ "${RUN_SOAK:-1}" == "1" ]]; then
     echo "==> fault-injection soak (ignored test, bounded)"
     cargo test -q --test soak -- --ignored

@@ -4,6 +4,8 @@
 //! arbalest list                          enumerate benchmarks & workloads
 //! arbalest dracc <id|all> [options]      run DRACC benchmark(s)
 //! arbalest spec <name|all> [options]     run a SPEC-like workload
+//! arbalest fix <id|name|all>             synthesize verified mapping repairs
+//! arbalest optimize <id|name|all>        minimize transfers, proving parity
 //! arbalest certify <id|all>              Theorem-1 certification of DRACC
 //! arbalest profile <id|all>              run DRACC under the detector and
 //!                                        print a hot-path profile
@@ -64,6 +66,9 @@ struct Options {
     seeds: u64,
     /// explain: which report of the case to explain (default: all).
     report: Option<usize>,
+    /// fix/optimize: re-run both oracles on the patched program and
+    /// include the differential verdict in the output.
+    apply_check: bool,
 }
 
 impl Default for Options {
@@ -83,6 +88,7 @@ impl Default for Options {
             deny: None,
             seeds: 64,
             report: None,
+            apply_check: false,
         }
     }
 }
@@ -125,6 +131,16 @@ usage: arbalest <command> [options]
                              run under both the static analyzer and the
                              dynamic detector; checks Must ⊆ dynamic and
                              dynamic ⊆ May, prints the precision ratio
+  fix <id|name|all>          synthesize a verified mapping repair for each
+                             statically convicted model: candidate patches
+                             over the IR are ranked by size then modeled
+                             transfer bytes and accepted only when both
+                             the static re-check and the dynamic detector
+                             come back clean (prints a unified IR diff)
+  optimize <id|name|all>     delete or narrow provably redundant transfers
+                             (tofrom -> to, dead updates, oversized
+                             sections) while proving byte-identical
+                             diagnostics before and after
   certify <id|all>           Theorem-1 certification of DRACC benchmark(s)
   profile <id|all>           run DRACC benchmark(s) under the arbalest
                              detector and print a hot-path profile
@@ -208,6 +224,9 @@ options:
                              the given severity exists (may denies all)
   --seeds <n>                fuzz-lint: number of generated programs
                              (default 64)
+  --apply-check              fix/optimize: independently re-run the
+                             differential oracle (static + dynamic) on
+                             each patched program and report its verdict
   --metrics-out <file>       dracc/spec/profile: write the metrics registry
                              as JSON after the run
   --trace-out <file>         dracc/spec/profile: write captured span events
@@ -291,6 +310,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     it.next().and_then(|s| s.parse().ok()).ok_or("--report needs an index")?,
                 );
             }
+            "--apply-check" => opts.apply_check = true,
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -534,6 +554,20 @@ fn lint_items(target: &str, opts: &Options) -> Result<Vec<LintItem>, String> {
         );
         return Ok(items);
     }
+    // Qualified forms pin the namespace: `dracc/21`, `spec/pep`.
+    if let Some(rest) = target.strip_prefix("dracc/") {
+        return rest
+            .parse::<u32>()
+            .ok()
+            .and_then(arbalest_dracc::by_id)
+            .map(|b| vec![dracc_item(&b)])
+            .ok_or_else(|| format!("'{rest}' is not a DRACC benchmark id"));
+    }
+    if let Some(rest) = target.strip_prefix("spec/") {
+        return spec_item(rest)
+            .map(|item| vec![item])
+            .ok_or_else(|| format!("'{rest}' is not a SPEC workload name"));
+    }
     if let Some(b) = target.parse::<u32>().ok().and_then(arbalest_dracc::by_id) {
         return Ok(vec![dracc_item(&b)]);
     }
@@ -626,13 +660,17 @@ fn cmd_lint(target: &str, opts: &Options) -> ExitCode {
 /// dynamic confirmation and every dynamic report a static anticipation.
 fn cmd_fuzz_lint(opts: &Options) -> ExitCode {
     use arbalest_static::differential::{check_program, check_seed, FuzzSummary};
-    let mut summary = FuzzSummary::default();
+    let mut cases = Vec::new();
     for seed in 0..opts.seeds {
-        summary.absorb(&check_seed(seed));
+        cases.push(check_seed(seed));
     }
     for b in arbalest_dracc::all() {
         let model = arbalest_dracc::ir_models::ir_model(b.id).expect("model for every id");
-        summary.absorb(&check_program(&b.dracc_id(), &model, &arbalest_ir::Binding::new()));
+        cases.push(check_program(&b.dracc_id(), &model, &arbalest_ir::Binding::new()));
+    }
+    let mut summary = FuzzSummary::default();
+    for c in &cases {
+        summary.absorb(c);
     }
     if opts.format == OutputFormat::Json {
         let doc = Json::obj(vec![
@@ -644,6 +682,7 @@ fn cmd_fuzz_lint(opts: &Options) -> ExitCode {
             ("dynamic", Json::int(summary.dynamic as u64)),
             ("confirmed", Json::int(summary.confirmed as u64)),
             ("precision", Json::Num(summary.precision())),
+            ("verdicts", Json::Arr(cases.iter().map(case_json).collect())),
             (
                 "violations",
                 Json::Arr(summary.violations.iter().map(|v| Json::Str(v.clone())).collect()),
@@ -670,6 +709,215 @@ fn cmd_fuzz_lint(opts: &Options) -> ExitCode {
         );
     }
     if summary.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// One differential verdict as JSON — shared between `fuzz-lint
+/// --format json` (the per-case `verdicts` array) and the `fix
+/// --apply-check` re-verification of each patched program.
+fn case_json(c: &arbalest_static::differential::CaseOutcome) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(c.name.clone())),
+        ("static_must", Json::int(c.static_must as u64)),
+        ("static_may", Json::int(c.static_may as u64)),
+        ("dynamic", Json::int(c.dynamic as u64)),
+        ("confirmed", Json::int(c.confirmed as u64)),
+        ("ok", Json::Bool(c.ok())),
+        (
+            "violations",
+            Json::Arr(c.violations.iter().map(|v| Json::Str(v.clone())).collect()),
+        ),
+    ])
+}
+
+/// `arbalest fix`: synthesize a verified mapping repair for every
+/// statically convicted model in the target set. A program counts as a
+/// failure when the analyzer convicts it at `Must` but no candidate
+/// patch clears both oracles, or when `--apply-check` re-verification
+/// of an accepted patch disagrees.
+fn cmd_fix(target: &str, opts: &Options) -> ExitCode {
+    use arbalest_static::repair::synthesize_fix;
+    let items = match lint_items(target, opts) {
+        Ok(items) => items,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let binding = arbalest_ir::Binding::new();
+    let mut wrong = 0usize;
+    let mut results = Vec::new();
+    for item in &items {
+        let out = synthesize_fix(&item.program.name, &item.program, &binding);
+        // `--apply-check`: re-run the full differential oracle on the
+        // patched program, independently of the synthesis loop's own
+        // acceptance test.
+        let verdict = if opts.apply_check {
+            let checked = out.patched.as_ref().unwrap_or(&item.program);
+            Some(arbalest_static::differential::check_program(&out.name, checked, &binding))
+        } else {
+            None
+        };
+        let verified = verdict.as_ref().map(|v| v.ok());
+        if !out.ok() || verified == Some(false) {
+            wrong += 1;
+        }
+        if opts.format == OutputFormat::Json {
+            let patch = match (&out.patch, &out.patched) {
+                (Some(p), Some(_)) => {
+                    p.to_json(&item.program).unwrap_or(Json::Null)
+                }
+                _ => Json::Null,
+            };
+            let mut fields = vec![
+                ("program", Json::Str(out.name.clone())),
+                ("baseline_must", Json::int(out.baseline_must as u64)),
+                ("baseline_may", Json::int(out.baseline_may as u64)),
+                ("repaired", Json::Bool(out.repaired())),
+                ("candidates_tried", Json::int(out.candidates_tried as u64)),
+                ("bytes_before", Json::int(out.bytes_before)),
+                ("bytes_after", Json::int(out.bytes_after)),
+                ("patch", patch),
+                ("diff", Json::Str(out.diff.clone())),
+            ];
+            if let Some(v) = &verdict {
+                fields.push(("verdict", case_json(v)));
+            }
+            results.push(Json::obj(fields));
+        } else {
+            if !opts.quiet && !out.diff.is_empty() {
+                print!("{}", out.diff);
+            }
+            let status = if out.clean() {
+                "clean".to_string()
+            } else if out.repaired() {
+                let patch = out.patch.as_ref().expect("repaired implies patch");
+                format!(
+                    "REPAIRED ({} edit{}, {} candidates, bytes {} -> {})",
+                    patch.edits.len(),
+                    if patch.edits.len() == 1 { "" } else { "s" },
+                    out.candidates_tried,
+                    out.bytes_before,
+                    out.bytes_after,
+                )
+            } else {
+                format!("UNREPAIRED ({} candidates exhausted)", out.candidates_tried)
+            };
+            let check = match verified {
+                Some(true) => "  [apply-check: verified]",
+                Some(false) => "  [apply-check: FAILED]",
+                None => "",
+            };
+            println!(
+                "{:<14} {:>2} must, {:>2} may  {status}{check}",
+                out.name, out.baseline_must, out.baseline_may
+            );
+        }
+    }
+    if opts.format == OutputFormat::Json {
+        let doc = Json::obj(vec![
+            ("command", Json::Str("fix".into())),
+            ("results", Json::Arr(results)),
+        ]);
+        println!("{}", doc.emit());
+    }
+    if wrong == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `arbalest optimize`: delete or narrow provably redundant transfers
+/// while holding the diagnostic surface fixed. Parity is enforced by
+/// the engine (every accepted edit keeps static diagnostics
+/// byte-identical and dynamic reports unchanged), so the command only
+/// fails when `--apply-check` re-verification disagrees.
+fn cmd_optimize(target: &str, opts: &Options) -> ExitCode {
+    use arbalest_static::repair::minimize_transfers;
+    let items = match lint_items(target, opts) {
+        Ok(items) => items,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let binding = arbalest_ir::Binding::new();
+    let mut wrong = 0usize;
+    let mut results = Vec::new();
+    let (mut total_before, mut total_after) = (0u64, 0u64);
+    for item in &items {
+        let out = minimize_transfers(&item.program.name, &item.program, &binding);
+        total_before += out.bytes_before;
+        total_after += out.bytes_after;
+        let verdict = if opts.apply_check {
+            Some(arbalest_static::differential::check_program(&out.name, &out.patched, &binding))
+        } else {
+            None
+        };
+        let verified = verdict.as_ref().map(|v| v.ok());
+        if verified == Some(false) {
+            wrong += 1;
+        }
+        if opts.format == OutputFormat::Json {
+            let patch = out.patch.to_json(&item.program).unwrap_or(Json::Null);
+            let mut fields = vec![
+                ("program", Json::Str(out.name.clone())),
+                ("bytes_before", Json::int(out.bytes_before)),
+                ("bytes_after", Json::int(out.bytes_after)),
+                ("saved", Json::int(out.saved())),
+                ("edits", Json::int(out.patch.edits.len() as u64)),
+                ("rounds", Json::int(out.rounds as u64)),
+                ("patch", patch),
+                ("diff", Json::Str(out.diff.clone())),
+            ];
+            if let Some(v) = &verdict {
+                fields.push(("verdict", case_json(v)));
+            }
+            results.push(Json::obj(fields));
+        } else {
+            if !opts.quiet && !out.diff.is_empty() {
+                print!("{}", out.diff);
+            }
+            let check = match verified {
+                Some(true) => "  [apply-check: verified]",
+                Some(false) => "  [apply-check: FAILED]",
+                None => "",
+            };
+            println!(
+                "{:<14} bytes {:>7} -> {:>7}  saved {:>7}  ({} edit{}, {} round{}){check}",
+                out.name,
+                out.bytes_before,
+                out.bytes_after,
+                out.saved(),
+                out.patch.edits.len(),
+                if out.patch.edits.len() == 1 { "" } else { "s" },
+                out.rounds,
+                if out.rounds == 1 { "" } else { "s" },
+            );
+        }
+    }
+    if opts.format == OutputFormat::Json {
+        let doc = Json::obj(vec![
+            ("command", Json::Str("optimize".into())),
+            ("bytes_before", Json::int(total_before)),
+            ("bytes_after", Json::int(total_after)),
+            ("saved", Json::int(total_before - total_after)),
+            ("results", Json::Arr(results)),
+        ]);
+        println!("{}", doc.emit());
+    } else if items.len() > 1 {
+        println!(
+            "total          bytes {:>7} -> {:>7}  saved {:>7}",
+            total_before,
+            total_after,
+            total_before - total_after
+        );
+    }
+    if wrong == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -1741,7 +1989,7 @@ fn main() -> ExitCode {
             };
             cmd_check_trace(path)
         }
-        "dracc" | "spec" | "lint" | "certify" | "profile" | "explain" => {
+        "dracc" | "spec" | "lint" | "fix" | "optimize" | "certify" | "profile" | "explain" => {
             let Some(target) = args.get(1) else { return usage() };
             let opts = match parse_options(&args[2..]) {
                 Ok(o) => o,
@@ -1754,6 +2002,8 @@ fn main() -> ExitCode {
                 "dracc" => cmd_dracc(target, &opts),
                 "spec" => cmd_spec(target, &opts),
                 "lint" => cmd_lint(target, &opts),
+                "fix" => cmd_fix(target, &opts),
+                "optimize" => cmd_optimize(target, &opts),
                 "profile" => cmd_profile(target, &opts),
                 "explain" => cmd_explain(target, &opts),
                 _ => cmd_certify(target, &opts),

@@ -278,6 +278,92 @@ fn check_trace_accepts_real_spans_and_rejects_malformed_files() {
 }
 
 #[test]
+fn fix_repairs_a_convicted_model_and_shows_the_diff() {
+    let (ok, stdout, _) = run(&["fix", "22"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("REPAIRED (1 edit"), "{stdout}");
+    assert!(stdout.contains("-target map(to: a) map(alloc: b)"), "{stdout}");
+    assert!(stdout.contains("+target map(to: a) map(to: b)"), "{stdout}");
+}
+
+#[test]
+fn fix_leaves_clean_and_may_only_models_alone() {
+    // The qualified target form pins the namespace (README transcript).
+    let (ok, stdout, _) = run(&["fix", "dracc/21"]);
+    assert!(ok);
+    assert!(stdout.contains("clean"), "{stdout}");
+    // DRACC 50 is statically `may`-only (§VI-G): no invented repair.
+    let (ok, stdout, _) = run(&["fix", "50"]);
+    assert!(ok);
+    assert!(stdout.contains(" 0 must,  1 may  clean"), "{stdout}");
+}
+
+#[test]
+fn fix_all_repairs_every_must_buggy_model() {
+    let (ok, stdout, _) = run(&["fix", "all", "--quiet"]);
+    assert!(ok, "every Must conviction must get a verified repair\n{stdout}");
+    assert_eq!(stdout.matches("REPAIRED").count(), 15, "{stdout}");
+    assert!(!stdout.contains("UNREPAIRED"), "{stdout}");
+    assert_eq!(stdout.lines().count(), 61, "56 DRACC + 5 SPEC rows");
+}
+
+#[test]
+fn fix_json_carries_patch_and_apply_check_verdict() {
+    let (ok, stdout, _) = run(&["fix", "33", "--format", "json", "--apply-check"]);
+    assert!(ok);
+    let doc = Json::parse(&stdout).expect("valid JSON");
+    assert_eq!(doc.get("command").and_then(Json::as_str), Some("fix"));
+    let results = doc.get("results").and_then(Json::as_arr).expect("results");
+    assert_eq!(results.len(), 1);
+    let r = &results[0];
+    assert_eq!(r.get("repaired").and_then(Json::as_bool), Some(true));
+    let edits = r.get("patch").and_then(|p| p.get("edits")).and_then(Json::as_arr).expect("edits");
+    assert_eq!(edits.len(), 1);
+    assert!(edits[0].get("op").and_then(Json::as_str).is_some());
+    assert!(edits[0].get("describe").and_then(Json::as_str).is_some());
+    // `--apply-check` embeds the same verdict shape fuzz-lint emits.
+    let verdict = r.get("verdict").expect("verdict present under --apply-check");
+    assert_eq!(verdict.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(verdict.get("static_must").and_then(Json::as_u64), Some(0));
+}
+
+#[test]
+fn optimize_sheds_redundant_transfers_with_parity() {
+    let (ok, stdout, _) = run(&["optimize", "spec/pep", "--apply-check"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("saved"), "{stdout}");
+    assert!(stdout.contains("[apply-check: verified]"), "{stdout}");
+    assert!(stdout.contains("map(alloc: counts)"), "{stdout}");
+}
+
+#[test]
+fn optimize_json_reports_totals() {
+    let (ok, stdout, _) = run(&["optimize", "pep", "--format", "json"]);
+    assert!(ok);
+    let doc = Json::parse(&stdout).expect("valid JSON");
+    assert_eq!(doc.get("command").and_then(Json::as_str), Some("optimize"));
+    let saved = doc.get("saved").and_then(Json::as_u64).expect("saved");
+    assert!(saved > 0, "{stdout}");
+    let results = doc.get("results").and_then(Json::as_arr).expect("results");
+    assert!(results[0].get("patch").and_then(|p| p.get("edits")).is_some());
+}
+
+#[test]
+fn fuzz_lint_json_carries_precision_and_per_case_verdicts() {
+    let (ok, stdout, _) = run(&["fuzz-lint", "--seeds", "4", "--format", "json"]);
+    assert!(ok);
+    let doc = Json::parse(&stdout).expect("valid JSON");
+    assert!(doc.get("precision").is_some(), "precision ratio in the document");
+    let verdicts = doc.get("verdicts").and_then(Json::as_arr).expect("verdicts");
+    // 4 generated seeds + all 56 DRACC models, one verdict each.
+    assert_eq!(verdicts.len(), 60, "{stdout}");
+    for v in verdicts {
+        assert!(v.get("name").and_then(Json::as_str).is_some());
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    }
+}
+
+#[test]
 fn profile_json_is_machine_readable() {
     let (ok, stdout, _) = run(&["profile", "22", "--format", "json"]);
     assert!(ok);

@@ -1,0 +1,93 @@
+//! Golden-file tests for repair synthesis over the must-buggy suite.
+//!
+//! Every DRACC model the static analyzer convicts at `Must` severity
+//! must get a synthesized repair passing both oracles (static: zero
+//! `Must`, no new `May`; dynamic: zero reports on the real runtime),
+//! and the rendered unified IR diff must match its golden byte for
+//! byte — the pretty-printer is part of the user-facing contract.
+//!
+//! Regenerate with `ARBALEST_REGEN_GOLDENS=1 cargo test -p
+//! arbalest-dracc --test repair_goldens` after an intentional change,
+//! then review the diffs like any other source edit.
+
+use arbalest_dracc::ir_models;
+use arbalest_ir::Binding;
+use arbalest_static::repair::{minimize_transfers, synthesize_fix};
+
+/// The 15 benchmarks whose seeded bug draws a `Must` static verdict
+/// (DRACC 50 stays `May`-only per §VI-G and is deliberately absent).
+const MUST_BUGGY: [u32; 15] = [22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 49, 51];
+
+fn golden_path(id: u32) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens/repair")
+        .join(format!("DRACC_OMP_{id:03}.diff"))
+}
+
+#[test]
+fn every_must_buggy_model_has_a_verified_byte_stable_repair() {
+    let regen = std::env::var_os("ARBALEST_REGEN_GOLDENS").is_some();
+    let mut failures = Vec::new();
+    for id in MUST_BUGGY {
+        let program = ir_models::ir_model(id).expect("model exists");
+        let out = synthesize_fix(&program.name, &program, &Binding::new());
+        assert!(out.baseline_must > 0, "{}: expected a Must conviction", program.name);
+        assert!(
+            out.repaired(),
+            "{}: no candidate of {} cleared both oracles",
+            program.name,
+            out.candidates_tried
+        );
+        let patch = out.patch.as_ref().unwrap();
+        // Every seeded bug repairs with one edit except 51, whose value
+        // must thread across two target phases (copy back, then copy in).
+        let want_edits = if id == 51 { 2 } else { 1 };
+        assert_eq!(patch.edits.len(), want_edits, "{}: unexpected patch size", program.name);
+        assert!(!out.diff.is_empty(), "{}: empty diff", program.name);
+        let path = golden_path(id);
+        if regen {
+            std::fs::write(&path, &out.diff).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: missing golden {}: {e}", program.name, path.display()));
+        if out.diff != want {
+            failures.push(format!(
+                "{}: rendered diff drifted from golden\n--- golden\n{want}\n--- rendered\n{}",
+                program.name, out.diff
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+#[test]
+fn correct_models_have_nothing_to_fix() {
+    for id in [1, 2, 8, 21, 56] {
+        let program = ir_models::ir_model(id).expect("model exists");
+        let out = synthesize_fix(&program.name, &program, &Binding::new());
+        assert!(out.clean(), "{}: unexpectedly convicted", program.name);
+        assert!(out.patch.is_none());
+    }
+}
+
+#[test]
+fn the_data_dependent_case_is_left_to_the_dynamic_tool() {
+    // DRACC 50 (§VI-G): statically `May`-only, so `fix` must not invent
+    // a repair for a bug that may not exist.
+    let program = ir_models::ir_model(50).expect("model exists");
+    let out = synthesize_fix(&program.name, &program, &Binding::new());
+    assert_eq!(out.baseline_must, 0);
+    assert!(out.baseline_may > 0);
+    assert!(out.clean() && out.patch.is_none());
+}
+
+#[test]
+fn optimize_reduces_transfers_on_a_correct_model_with_parity() {
+    // DRACC 8 copies its buffer back at region exit although an inner
+    // `update from` already delivered the value the host reads.
+    let program = ir_models::ir_model(8).expect("model exists");
+    let out = minimize_transfers(&program.name, &program, &Binding::new());
+    assert!(out.saved() > 0, "{}: no savings found", program.name);
+    assert!(!out.patch.edits.is_empty());
+}

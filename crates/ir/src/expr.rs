@@ -175,6 +175,10 @@ impl Expr {
                 },
                 Var::Iv => iv_range.unwrap_or((0, None)),
             };
+            // An adversarial declaration can invert its range (max < min).
+            // No binding satisfies it, so any sound answer is fine — drop
+            // the upper bound rather than reasoning from a lie.
+            let vmax = vmax.filter(|&m| m >= vmin);
             let at_min = c.saturating_mul(vmin as i128);
             let at_max = vmax.map(|m| c.saturating_mul(m as i128));
             let (term_lo, term_hi) = if c >= 0 { (Some(at_min), at_max) } else { (at_max, Some(at_min)) };
@@ -331,6 +335,81 @@ mod tests {
         assert_eq!(n.eq_sym(&n, &ps), Some(true));
         assert_eq!(n.eq_sym(&m, &ps), None);
         assert_eq!(n.lt(&Expr::lit(0), &ps), Some(false));
+    }
+
+    #[test]
+    fn saturating_arithmetic_cannot_wrap() {
+        let ps = params();
+        let n = ParamId(0);
+        // Scaling a near-max constant saturates instead of wrapping.
+        let huge = Expr::lit_i(i128::MAX - 1).scale(3);
+        assert_eq!(huge.as_const(), Some(i128::MAX));
+        assert_eq!(huge.add_const(1).as_const(), Some(i128::MAX));
+        let tiny = Expr::lit_i(i128::MIN + 1).scale(5);
+        assert_eq!(tiny.as_const(), Some(i128::MIN));
+        // Interval evaluation with a huge coefficient over a huge range
+        // saturates on both sides and stays ordered (lo <= hi).
+        let e = Expr::param(n).scale(i128::MAX).add_const(i128::MAX);
+        let (lo, hi) = e.range(&ps, None);
+        assert_eq!(hi, Some(i128::MAX));
+        assert!(lo.unwrap() <= hi.unwrap());
+        // Merging terms saturates too.
+        let merged = e.add(&Expr::param(n).scale(i128::MAX));
+        let (_, hi2) = merged.range(&ps, None);
+        assert_eq!(hi2, Some(i128::MAX));
+        // eval saturates with large bound values.
+        let v = e.eval(&|_| Some(u64::MAX), None);
+        assert_eq!(v, Some(i128::MAX));
+    }
+
+    #[test]
+    fn empty_and_inverted_param_ranges_stay_sound() {
+        // A point range (min == max) evaluates exactly.
+        let point = vec![ParamDecl { name: "k".into(), min: 7, max: Some(7) }];
+        let k = Expr::param(ParamId(0));
+        assert_eq!(k.range(&point, None), (Some(7), Some(7)));
+        assert_eq!(k.le(&Expr::lit(7), &point), Some(true));
+        assert_eq!(k.lt(&Expr::lit(7), &point), Some(false));
+        assert_eq!(k.eq_sym(&Expr::lit(7), &point), Some(true));
+        // An inverted declaration (max < min: satisfied by no binding)
+        // must not produce an inverted interval; the upper bound is
+        // dropped instead.
+        let inverted = vec![ParamDecl { name: "k".into(), min: 10, max: Some(2) }];
+        let (lo, hi) = k.range(&inverted, None);
+        assert_eq!(lo, Some(10));
+        assert_eq!(hi, None);
+        let (nlo, nhi) = k.scale(-1).range(&inverted, None);
+        assert_eq!(nlo, None);
+        assert_eq!(nhi, Some(-10));
+        // Same guard for an inverted iv range.
+        assert_eq!(Expr::iv().range(&inverted, Some((5, Some(1)))), (Some(5), None));
+        // An undeclared parameter is treated as [0, ∞), never a panic.
+        let dangling = Expr::param(ParamId(9));
+        assert_eq!(dangling.range(&point, None), (Some(0), None));
+    }
+
+    #[test]
+    fn three_valued_comparisons_at_extremes() {
+        // Unbounded-above parameter: only one-sided answers are decided.
+        let ps = vec![ParamDecl { name: "m".into(), min: 0, max: None }];
+        let m = Expr::param(ParamId(0));
+        assert_eq!(m.le(&m.add_const(-1), &ps), Some(false));
+        assert_eq!(m.lt(&m, &ps), Some(false));
+        assert_eq!(m.le(&Expr::lit(5), &ps), None);
+        assert_eq!(Expr::lit(0).le(&m, &ps), Some(true));
+        assert_eq!(m.eq_sym(&Expr::lit(5), &ps), None);
+        // Saturated differences still order correctly: MAX vs MIN.
+        let hi = Expr::lit_i(i128::MAX);
+        let lo = Expr::lit_i(i128::MIN);
+        assert_eq!(lo.le(&hi, &[]), Some(true));
+        assert_eq!(hi.le(&lo, &[]), Some(false));
+        assert_eq!(hi.lt(&hi, &[]), Some(false));
+        assert_eq!(hi.eq_sym(&lo, &[]), Some(false));
+        // A difference that saturates to MAX on both sides must not be
+        // misread as equality.
+        let a = Expr::param(ParamId(0)).scale(i128::MAX);
+        assert_eq!(Expr::lit(0).le(&a, &ps), Some(true));
+        assert_eq!(a.le(&Expr::lit(0), &ps), None);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 pub mod expr;
 pub mod generate;
 pub mod interp;
+pub mod patch;
 pub mod rng;
 
 use arbalest_offload::addr::DeviceId;

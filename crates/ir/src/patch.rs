@@ -1,0 +1,728 @@
+//! IR edit representation for repair synthesis and transfer minimization.
+//!
+//! A [`Patch`] is an ordered list of [`Edit`]s over a [`Program`]'s
+//! construct tree. Edits address nodes by *paths*: a path is the sequence
+//! of child indices walked from the top-level node list, descending only
+//! through [`Node::TargetData`] and [`Node::Loop`] bodies (branch arms are
+//! not addressable — the repair engine never needs to edit inside an
+//! `if`, and keeping paths linear keeps application unambiguous).
+//!
+//! The module also carries the patch pretty-printer: a stable line
+//! renderer for programs ([`render_program`]) and an LCS-based unified
+//! diff ([`unified_diff`]), so `arbalest fix` can show a byte-stable
+//! "IR diff" for every synthesized repair and golden tests can assert it.
+
+use crate::{BufId, Certainty, MapClause, Node, Program, Sect};
+use arbalest_offload::json::Json;
+use arbalest_offload::mapping::MapType;
+use std::fmt;
+
+/// Why a patch failed to apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchError {
+    /// A path addressed no node (index out of range, or descent through a
+    /// node that has no addressable body).
+    BadPath {
+        /// The offending path.
+        path: Vec<usize>,
+    },
+    /// A clause index addressed no map clause on the target node.
+    BadClause {
+        /// Path of the node whose clause list was indexed.
+        path: Vec<usize>,
+        /// The offending clause index.
+        clause: usize,
+    },
+    /// A buffer id outside the program's declaration table.
+    NoSuchBuffer {
+        /// The offending buffer id.
+        buf: u32,
+    },
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchError::BadPath { path } => write!(f, "patch path {path:?} addresses no node"),
+            PatchError::BadClause { path, clause } => {
+                write!(f, "node at {path:?} has no map clause #{clause}")
+            }
+            PatchError::NoSuchBuffer { buf } => write!(f, "no buffer #{buf} in the program"),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// One atomic edit of a program. The vocabulary matches the repair
+/// engine's synthesis lattice: strengthen/weaken a map-type, fix a map
+/// section, add a missing clause, insert an `update` or a sync, drop a
+/// redundant node, or record host initialisation.
+#[derive(Debug, Clone)]
+pub enum Edit {
+    /// Replace the map-type of clause `clause` on the node at `path`.
+    SetMapType {
+        /// Path of the mapping construct.
+        path: Vec<usize>,
+        /// Index into the node's clause list.
+        clause: usize,
+        /// The new map-type.
+        map_type: MapType,
+    },
+    /// Replace the section of clause `clause` on the node at `path`.
+    SetMapSect {
+        /// Path of the mapping construct.
+        path: Vec<usize>,
+        /// Index into the node's clause list.
+        clause: usize,
+        /// The new section.
+        sect: Sect,
+    },
+    /// Append a map clause to the node at `path`.
+    AddMapClause {
+        /// Path of the mapping construct.
+        path: Vec<usize>,
+        /// The clause to append.
+        clause: MapClause,
+    },
+    /// Insert `target update to(...)`/`from(...)` at position `at` — the
+    /// last path element is the insertion index into the parent body.
+    InsertUpdate {
+        /// Insertion point (parent path + index, `0..=len`).
+        at: Vec<usize>,
+        /// `update to` (host → device) vs `update from`.
+        to_device: bool,
+        /// The transferred buffer.
+        buf: BufId,
+    },
+    /// Insert a `taskwait` at position `at` (same addressing as
+    /// [`Edit::InsertUpdate`]), syncing pending `nowait` constructs
+    /// before a host access.
+    InsertTaskwait {
+        /// Insertion point (parent path + index, `0..=len`).
+        at: Vec<usize>,
+    },
+    /// Remove the node at `at` (used by `optimize` to drop a dead
+    /// `update`).
+    RemoveNode {
+        /// Path of the node to remove.
+        at: Vec<usize>,
+    },
+    /// Mark a buffer as definitely host-initialised before the first
+    /// construct (the "add the missing init loop" repair for UUM on a
+    /// never-written original variable).
+    SetHostInit {
+        /// The buffer to initialise.
+        buf: BufId,
+    },
+}
+
+/// An ordered list of edits. Edits apply sequentially, each against the
+/// program produced by its predecessors, so a greedy engine can simply
+/// accumulate the edits it accepted.
+#[derive(Debug, Clone, Default)]
+pub struct Patch {
+    /// The edits, in application order.
+    pub edits: Vec<Edit>,
+}
+
+impl Patch {
+    /// A patch of a single edit.
+    pub fn single(edit: Edit) -> Patch {
+        Patch { edits: vec![edit] }
+    }
+
+    /// Apply all edits to `p`, returning the patched program (the input
+    /// is untouched).
+    pub fn apply(&self, p: &Program) -> Result<Program, PatchError> {
+        let mut out = p.clone();
+        for e in &self.edits {
+            apply_edit(e, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// One human line per edit, described against the program each edit
+    /// actually applies to (edits later in the list see their
+    /// predecessors' effects).
+    pub fn describe(&self, p: &Program) -> Result<Vec<String>, PatchError> {
+        let mut cur = p.clone();
+        let mut lines = Vec::with_capacity(self.edits.len());
+        for e in &self.edits {
+            lines.push(describe_edit(e, &cur)?);
+            apply_edit(e, &mut cur)?;
+        }
+        Ok(lines)
+    }
+
+    /// Unified "IR diff" between `p` and the patched program.
+    pub fn render_diff(&self, p: &Program) -> Result<String, PatchError> {
+        let patched = self.apply(p)?;
+        let old = render_program(p);
+        let new = render_program(&patched);
+        Ok(unified_diff(&old, &new, &p.name, 3))
+    }
+
+    /// JSON document for `--format json`: the edit list (op, addressing,
+    /// payload, human description).
+    pub fn to_json(&self, p: &Program) -> Result<Json, PatchError> {
+        let mut cur = p.clone();
+        let mut edits = Vec::with_capacity(self.edits.len());
+        for e in &self.edits {
+            edits.push(edit_json(e, &cur)?);
+            apply_edit(e, &mut cur)?;
+        }
+        Ok(Json::obj(vec![("edits", Json::Arr(edits))]))
+    }
+}
+
+fn path_json(path: &[usize]) -> Json {
+    Json::Arr(path.iter().map(|&i| Json::int(i as u64)).collect())
+}
+
+fn edit_json(e: &Edit, p: &Program) -> Result<Json, PatchError> {
+    let describe = describe_edit(e, p)?;
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    match e {
+        Edit::SetMapType { path, clause, map_type } => {
+            fields.push(("op".to_string(), Json::str("set-map-type")));
+            fields.push(("path".to_string(), path_json(path)));
+            fields.push(("clause".to_string(), Json::int(*clause as u64)));
+            fields.push(("map_type".to_string(), Json::str(map_type)));
+        }
+        Edit::SetMapSect { path, clause, sect } => {
+            fields.push(("op".to_string(), Json::str("set-map-sect")));
+            fields.push(("path".to_string(), path_json(path)));
+            fields.push(("clause".to_string(), Json::int(*clause as u64)));
+            fields.push(("sect".to_string(), Json::str(sect_suffix(sect))));
+        }
+        Edit::AddMapClause { path, clause } => {
+            fields.push(("op".to_string(), Json::str("add-map-clause")));
+            fields.push(("path".to_string(), path_json(path)));
+            fields.push(("map_type".to_string(), Json::str(clause.map_type)));
+            fields.push(("buffer".to_string(), Json::str(buf_name(p, clause.buf)?)));
+            fields.push(("sect".to_string(), Json::str(sect_suffix(&clause.sect))));
+        }
+        Edit::InsertUpdate { at, to_device, buf } => {
+            fields.push(("op".to_string(), Json::str("insert-update")));
+            fields.push(("path".to_string(), path_json(at)));
+            fields.push(("direction".to_string(), Json::str(if *to_device { "to" } else { "from" })));
+            fields.push(("buffer".to_string(), Json::str(buf_name(p, *buf)?)));
+        }
+        Edit::InsertTaskwait { at } => {
+            fields.push(("op".to_string(), Json::str("insert-taskwait")));
+            fields.push(("path".to_string(), path_json(at)));
+        }
+        Edit::RemoveNode { at } => {
+            fields.push(("op".to_string(), Json::str("remove-node")));
+            fields.push(("path".to_string(), path_json(at)));
+        }
+        Edit::SetHostInit { buf } => {
+            fields.push(("op".to_string(), Json::str("set-host-init")));
+            fields.push(("buffer".to_string(), Json::str(buf_name(p, *buf)?)));
+        }
+    }
+    fields.push(("describe".to_string(), Json::Str(describe)));
+    Ok(Json::Obj(fields))
+}
+
+fn buf_name(p: &Program, buf: BufId) -> Result<&str, PatchError> {
+    p.buffers
+        .get(buf.0 as usize)
+        .map(|d| d.name.as_str())
+        .ok_or(PatchError::NoSuchBuffer { buf: buf.0 })
+}
+
+/// The node's map-clause list, for the four mapping constructs.
+fn maps_of_mut(n: &mut Node) -> Option<&mut Vec<MapClause>> {
+    match n {
+        Node::Target(t) => Some(&mut t.maps),
+        Node::TargetData { maps, .. } | Node::EnterData { maps, .. } | Node::ExitData { maps, .. } => Some(maps),
+        _ => None,
+    }
+}
+
+/// Immutable twin of [`maps_of_mut`].
+fn maps_of(n: &Node) -> Option<&Vec<MapClause>> {
+    match n {
+        Node::Target(t) => Some(&t.maps),
+        Node::TargetData { maps, .. } | Node::EnterData { maps, .. } | Node::ExitData { maps, .. } => Some(maps),
+        _ => None,
+    }
+}
+
+fn node_at_mut<'a>(nodes: &'a mut [Node], path: &[usize], full: &[usize]) -> Result<&'a mut Node, PatchError> {
+    let bad = || PatchError::BadPath { path: full.to_vec() };
+    let (&i, rest) = path.split_first().ok_or_else(bad)?;
+    let n = nodes.get_mut(i).ok_or_else(bad)?;
+    if rest.is_empty() {
+        return Ok(n);
+    }
+    match n {
+        Node::TargetData { body, .. } | Node::Loop { body, .. } => node_at_mut(body, rest, full),
+        _ => Err(bad()),
+    }
+}
+
+/// Resolve the node a full path addresses, immutably.
+pub fn node_at<'a>(p: &'a Program, path: &[usize]) -> Option<&'a Node> {
+    let mut nodes = &p.nodes;
+    let (last, parents) = path.split_last()?;
+    for &i in parents {
+        match nodes.get(i)? {
+            Node::TargetData { body, .. } | Node::Loop { body, .. } => nodes = body,
+            _ => return None,
+        }
+    }
+    nodes.get(*last)
+}
+
+fn body_at_mut<'a>(nodes: &'a mut Vec<Node>, path: &[usize], full: &[usize]) -> Result<&'a mut Vec<Node>, PatchError> {
+    let bad = || PatchError::BadPath { path: full.to_vec() };
+    match path.split_first() {
+        None => Ok(nodes),
+        Some((&i, rest)) => match nodes.get_mut(i).ok_or_else(bad)? {
+            Node::TargetData { body, .. } | Node::Loop { body, .. } => body_at_mut(body, rest, full),
+            _ => Err(bad()),
+        },
+    }
+}
+
+fn apply_edit(e: &Edit, p: &mut Program) -> Result<(), PatchError> {
+    match e {
+        Edit::SetMapType { path, clause, map_type } => {
+            let n = node_at_mut(&mut p.nodes, path, path)?;
+            let maps = maps_of_mut(n).ok_or(PatchError::BadPath { path: path.clone() })?;
+            let c = maps.get_mut(*clause).ok_or(PatchError::BadClause { path: path.clone(), clause: *clause })?;
+            c.map_type = *map_type;
+        }
+        Edit::SetMapSect { path, clause, sect } => {
+            let n = node_at_mut(&mut p.nodes, path, path)?;
+            let maps = maps_of_mut(n).ok_or(PatchError::BadPath { path: path.clone() })?;
+            let c = maps.get_mut(*clause).ok_or(PatchError::BadClause { path: path.clone(), clause: *clause })?;
+            c.sect = sect.clone();
+        }
+        Edit::AddMapClause { path, clause } => {
+            if clause.buf.0 as usize >= p.buffers.len() {
+                return Err(PatchError::NoSuchBuffer { buf: clause.buf.0 });
+            }
+            let n = node_at_mut(&mut p.nodes, path, path)?;
+            let maps = maps_of_mut(n).ok_or(PatchError::BadPath { path: path.clone() })?;
+            maps.push(clause.clone());
+        }
+        Edit::InsertUpdate { at, to_device, buf } => {
+            if buf.0 as usize >= p.buffers.len() {
+                return Err(PatchError::NoSuchBuffer { buf: buf.0 });
+            }
+            let (pos, parents) = at.split_last().ok_or(PatchError::BadPath { path: at.clone() })?;
+            let body = body_at_mut(&mut p.nodes, parents, at)?;
+            if *pos > body.len() {
+                return Err(PatchError::BadPath { path: at.clone() });
+            }
+            body.insert(
+                *pos,
+                Node::Update { device: arbalest_offload::addr::DeviceId::ACCEL0, to_device: *to_device, buf: *buf },
+            );
+        }
+        Edit::InsertTaskwait { at } => {
+            let (pos, parents) = at.split_last().ok_or(PatchError::BadPath { path: at.clone() })?;
+            let body = body_at_mut(&mut p.nodes, parents, at)?;
+            if *pos > body.len() {
+                return Err(PatchError::BadPath { path: at.clone() });
+            }
+            body.insert(*pos, Node::Taskwait);
+        }
+        Edit::RemoveNode { at } => {
+            let (pos, parents) = at.split_last().ok_or(PatchError::BadPath { path: at.clone() })?;
+            let body = body_at_mut(&mut p.nodes, parents, at)?;
+            if *pos >= body.len() {
+                return Err(PatchError::BadPath { path: at.clone() });
+            }
+            body.remove(*pos);
+        }
+        Edit::SetHostInit { buf } => {
+            let d = p.buffers.get_mut(buf.0 as usize).ok_or(PatchError::NoSuchBuffer { buf: buf.0 })?;
+            d.host_init = Some((Certainty::Must, Sect::Full));
+        }
+    }
+    Ok(())
+}
+
+fn describe_edit(e: &Edit, p: &Program) -> Result<String, PatchError> {
+    Ok(match e {
+        Edit::SetMapType { path, clause, map_type } => {
+            let (name, old) = clause_info(p, path, *clause)?;
+            format!("map({old}: {name}) -> map({map_type}: {name})")
+        }
+        Edit::SetMapSect { path, clause, sect } => {
+            let (name, _) = clause_info(p, path, *clause)?;
+            let old = clause_sect(p, path, *clause)?;
+            format!("map section {name}{} -> {name}{}", sect_suffix(&old), sect_suffix(sect))
+        }
+        Edit::AddMapClause { path: _, clause } => {
+            let name = buf_name(p, clause.buf)?;
+            format!("add map({}: {name}{})", clause.map_type, sect_suffix(&clause.sect))
+        }
+        Edit::InsertUpdate { at: _, to_device, buf } => {
+            let name = buf_name(p, *buf)?;
+            format!("insert target update {}({name})", if *to_device { "to" } else { "from" })
+        }
+        Edit::InsertTaskwait { .. } => "insert taskwait".to_string(),
+        Edit::RemoveNode { at } => {
+            let n = node_at(p, at).ok_or(PatchError::BadPath { path: at.clone() })?;
+            format!("remove {}", node_head(n, p))
+        }
+        Edit::SetHostInit { buf } => {
+            let name = buf_name(p, *buf)?;
+            format!("initialise {name} on the host before the first construct")
+        }
+    })
+}
+
+fn clause_info<'a>(p: &'a Program, path: &[usize], clause: usize) -> Result<(&'a str, MapType), PatchError> {
+    let n = node_at(p, path).ok_or(PatchError::BadPath { path: path.to_vec() })?;
+    let maps = maps_of(n).ok_or(PatchError::BadPath { path: path.to_vec() })?;
+    let c = maps.get(clause).ok_or(PatchError::BadClause { path: path.to_vec(), clause })?;
+    Ok((buf_name(p, c.buf)?, c.map_type))
+}
+
+fn clause_sect(p: &Program, path: &[usize], clause: usize) -> Result<Sect, PatchError> {
+    let n = node_at(p, path).ok_or(PatchError::BadPath { path: path.to_vec() })?;
+    let maps = maps_of(n).ok_or(PatchError::BadPath { path: path.to_vec() })?;
+    let c = maps.get(clause).ok_or(PatchError::BadClause { path: path.to_vec(), clause })?;
+    Ok(c.sect.clone())
+}
+
+/// Walk every node of the construct tree in program order, handing the
+/// visitor each node's full path (the addressing [`Edit`]s use). Branch
+/// arms are walked too — with the *parent `if`'s* path, since arms are
+/// not independently addressable.
+pub fn walk_paths<F: FnMut(&[usize], &Node)>(p: &Program, f: &mut F) {
+    fn go<F: FnMut(&[usize], &Node)>(nodes: &[Node], prefix: &mut Vec<usize>, f: &mut F) {
+        for (i, n) in nodes.iter().enumerate() {
+            prefix.push(i);
+            f(prefix, n);
+            match n {
+                Node::TargetData { body, .. } | Node::Loop { body, .. } => go(body, prefix, f),
+                Node::If { then_, else_, .. } => {
+                    // Arms share the `if`'s own path: visible, not editable.
+                    let at = prefix.clone();
+                    for m in then_.iter().chain(else_) {
+                        f(&at, m);
+                    }
+                }
+                _ => {}
+            }
+            prefix.pop();
+        }
+    }
+    let mut prefix = Vec::new();
+    go(&p.nodes, &mut prefix, f);
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printer: stable line rendering + unified diff.
+// ---------------------------------------------------------------------------
+
+/// Render a section as the `[start:len]` suffix of OpenMP array-section
+/// syntax; `Full` renders as the bare name (empty suffix).
+pub fn sect_suffix(s: &Sect) -> String {
+    match s {
+        Sect::Full => String::new(),
+        Sect::Elems { start, len } => format!("[{start}:{len}]"),
+        Sect::Sym { start, len } => format!("[{start}:{len}]"),
+    }
+}
+
+fn map_str(p: &Program, c: &MapClause) -> String {
+    let name = p.buffers.get(c.buf.0 as usize).map(|d| d.name.as_str()).unwrap_or("?");
+    format!("map({}: {name}{})", c.map_type, sect_suffix(&c.sect))
+}
+
+fn access_str(p: &Program, a: &crate::Access) -> String {
+    let name = p.buffers.get(a.buf.0 as usize).map(|d| d.name.as_str()).unwrap_or("?");
+    let may = if a.certainty == Certainty::May { "may-" } else { "" };
+    let rw = if a.is_write { "write" } else { "read" };
+    format!("{may}{rw} {name}{}", sect_suffix(&a.sect))
+}
+
+fn device_suffix(d: arbalest_offload::addr::DeviceId) -> String {
+    if d == arbalest_offload::addr::DeviceId::ACCEL0 {
+        String::new()
+    } else {
+        format!(" device({})", d.0)
+    }
+}
+
+/// First line of a node's rendering (no body, no trailing `{`) — used by
+/// edit descriptions ("remove target update from(a)").
+fn node_head(n: &Node, p: &Program) -> String {
+    match n {
+        Node::Target(t) => {
+            let mut s = format!("target{}", device_suffix(t.device));
+            if t.nowait {
+                s.push_str(" nowait");
+            }
+            for d in &t.depends {
+                s.push_str(&format!(" depend({}: {})", if d.is_write { "out" } else { "in" }, p.buffers.get(d.buf.0 as usize).map(|b| b.name.as_str()).unwrap_or("?")));
+            }
+            for c in &t.maps {
+                s.push(' ');
+                s.push_str(&map_str(p, c));
+            }
+            s
+        }
+        Node::TargetData { device, maps, .. } => {
+            let mut s = format!("target data{}", device_suffix(*device));
+            for c in maps {
+                s.push(' ');
+                s.push_str(&map_str(p, c));
+            }
+            s
+        }
+        Node::EnterData { device, maps } => {
+            let mut s = format!("target enter data{}", device_suffix(*device));
+            for c in maps {
+                s.push(' ');
+                s.push_str(&map_str(p, c));
+            }
+            s
+        }
+        Node::ExitData { device, maps } => {
+            let mut s = format!("target exit data{}", device_suffix(*device));
+            for c in maps {
+                s.push(' ');
+                s.push_str(&map_str(p, c));
+            }
+            s
+        }
+        Node::Update { device, to_device, buf } => {
+            let name = p.buffers.get(buf.0 as usize).map(|d| d.name.as_str()).unwrap_or("?");
+            format!(
+                "target update {}({name}){}",
+                if *to_device { "to" } else { "from" },
+                device_suffix(*device)
+            )
+        }
+        Node::Host(a) => format!("host {}", access_str(p, a)),
+        Node::Taskwait => "taskwait".to_string(),
+        Node::Wait { target } => format!("wait target#{}", target.0),
+        Node::If { may_taken, .. } => format!("if{}", if *may_taken { " may" } else { "" }),
+        Node::Loop { trip, .. } => format!("loop {}", trip.0),
+    }
+}
+
+/// Render a program as stable lines: header, parameters, buffer
+/// declarations, then the construct tree (two-space indent per level).
+/// The output is deterministic — golden tests assert it byte-for-byte.
+pub fn render_program(p: &Program) -> Vec<String> {
+    let mut out = Vec::new();
+    out.push(format!("program {}", p.name));
+    for d in &p.params {
+        match d.max {
+            Some(max) => out.push(format!("param {} in [{}, {max}]", d.name, d.min)),
+            None => out.push(format!("param {} >= {}", d.name, d.min)),
+        }
+    }
+    for d in &p.buffers {
+        let len = match &d.sym_len {
+            Some(e) => e.to_string(),
+            None => d.len.to_string(),
+        };
+        let mut line = format!("buffer {}: {}B x {len}", d.name, d.elem_size);
+        if let Some((c, s)) = &d.host_init {
+            let may = if *c == Certainty::May { "may-" } else { "" };
+            line.push_str(&format!(", {may}host-init{}", sect_suffix(s)));
+        }
+        out.push(line);
+    }
+    fn go(nodes: &[Node], depth: usize, p: &Program, out: &mut Vec<String>) {
+        let pad = "  ".repeat(depth);
+        for n in nodes {
+            match n {
+                Node::Target(t) => {
+                    if t.body.is_empty() {
+                        out.push(format!("{pad}{} {{}}", node_head(n, p)));
+                    } else {
+                        out.push(format!("{pad}{} {{", node_head(n, p)));
+                        for a in &t.body {
+                            out.push(format!("{pad}  {}", access_str(p, a)));
+                        }
+                        out.push(format!("{pad}}}"));
+                    }
+                }
+                Node::TargetData { body, .. } | Node::Loop { body, .. } => {
+                    out.push(format!("{pad}{} {{", node_head(n, p)));
+                    go(body, depth + 1, p, out);
+                    out.push(format!("{pad}}}"));
+                }
+                Node::If { then_, else_, .. } => {
+                    out.push(format!("{pad}{} {{", node_head(n, p)));
+                    go(then_, depth + 1, p, out);
+                    if !else_.is_empty() {
+                        out.push(format!("{pad}}} else {{"));
+                        go(else_, depth + 1, p, out);
+                    }
+                    out.push(format!("{pad}}}"));
+                }
+                _ => out.push(format!("{pad}{}", node_head(n, p))),
+            }
+        }
+    }
+    go(&p.nodes, 0, p, &mut out);
+    out
+}
+
+/// A classic LCS-based unified diff over rendered lines, with `context`
+/// lines of context and `--- a/… +++ b/…` headers. Quadratic, which is
+/// fine: rendered IR programs are tens of lines.
+pub fn unified_diff(old: &[String], new: &[String], name: &str, context: usize) -> String {
+    // LCS table.
+    let (n, m) = (old.len(), new.len());
+    let mut lcs = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if old[i] == new[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    // Walk into an edit script: (tag, old_idx, new_idx); tag ' ', '-', '+'.
+    let mut script: Vec<(char, usize, usize)> = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if old[i] == new[j] {
+            script.push((' ', i, j));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            script.push(('-', i, j));
+            i += 1;
+        } else {
+            script.push(('+', i, j));
+            j += 1;
+        }
+    }
+    while i < n {
+        script.push(('-', i, j));
+        i += 1;
+    }
+    while j < m {
+        script.push(('+', i, j));
+        j += 1;
+    }
+    if script.iter().all(|&(t, _, _)| t == ' ') {
+        return String::new();
+    }
+    // Group changed runs into hunks with `context` lines around them.
+    let changed: Vec<usize> = script
+        .iter()
+        .enumerate()
+        .filter(|(_, &(t, _, _))| t != ' ')
+        .map(|(k, _)| k)
+        .collect();
+    let mut out = String::new();
+    out.push_str(&format!("--- a/{name}\n+++ b/{name}\n"));
+    let mut k = 0;
+    while k < changed.len() {
+        let start = changed[k].saturating_sub(context);
+        let mut end = changed[k] + context;
+        let mut k2 = k + 1;
+        while k2 < changed.len() && changed[k2] <= end + context + 1 {
+            end = changed[k2] + context;
+            k2 += 1;
+        }
+        let end = end.min(script.len().saturating_sub(1));
+        // Hunk header positions are 1-based; empty sides render as 0.
+        let (o_start, n_start) = (script[start].1, script[start].2);
+        let o_count = script[start..=end].iter().filter(|&&(t, _, _)| t != '+').count();
+        let n_count = script[start..=end].iter().filter(|&&(t, _, _)| t != '-').count();
+        let o_disp = if o_count == 0 { o_start } else { o_start + 1 };
+        let n_disp = if n_count == 0 { n_start } else { n_start + 1 };
+        out.push_str(&format!("@@ -{o_disp},{o_count} +{n_disp},{n_count} @@\n"));
+        for &(t, oi, nj) in &script[start..=end] {
+            let line = match t {
+                '-' | ' ' => &old[oi],
+                _ => &new[nj],
+            };
+            out.push(t);
+            out.push_str(line);
+            out.push('\n');
+        }
+        k = k2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    fn toy() -> Program {
+        let mut p = ProgramBuilder::new("toy");
+        let a = p.buffer_init("a", 8, 4);
+        p.target().map_alloc(a).reads(a).done();
+        p.host_read(a);
+        p.build()
+    }
+
+    #[test]
+    fn set_map_type_applies_and_describes() {
+        let p = toy();
+        let patch = Patch::single(Edit::SetMapType { path: vec![0], clause: 0, map_type: MapType::To });
+        let q = patch.apply(&p).unwrap();
+        match &q.nodes[0] {
+            Node::Target(t) => assert!(matches!(t.maps[0].map_type, MapType::To)),
+            _ => panic!(),
+        }
+        assert_eq!(patch.describe(&p).unwrap(), vec!["map(alloc: a) -> map(to: a)"]);
+        let diff = patch.render_diff(&p).unwrap();
+        assert!(diff.contains("-target map(alloc: a) {"), "{diff}");
+        assert!(diff.contains("+target map(to: a) {"), "{diff}");
+    }
+
+    #[test]
+    fn insert_and_remove_round_trip() {
+        let p = toy();
+        let ins = Patch::single(Edit::InsertUpdate { at: vec![1], to_device: false, buf: BufId(0) });
+        let q = ins.apply(&p).unwrap();
+        assert_eq!(q.nodes.len(), 3);
+        assert!(matches!(q.nodes[1], Node::Update { to_device: false, .. }));
+        let rm = Patch::single(Edit::RemoveNode { at: vec![1] });
+        let r = rm.apply(&q).unwrap();
+        assert_eq!(r.nodes.len(), 2);
+        assert_eq!(render_program(&r), render_program(&p));
+    }
+
+    #[test]
+    fn bad_paths_are_typed_errors() {
+        let p = toy();
+        let e = Patch::single(Edit::RemoveNode { at: vec![9] }).apply(&p).unwrap_err();
+        assert!(matches!(e, PatchError::BadPath { .. }));
+        let e = Patch::single(Edit::SetMapType { path: vec![0], clause: 7, map_type: MapType::To })
+            .apply(&p)
+            .unwrap_err();
+        assert!(matches!(e, PatchError::BadClause { .. }));
+        let e = Patch::single(Edit::SetHostInit { buf: BufId(9) }).apply(&p).unwrap_err();
+        assert!(matches!(e, PatchError::NoSuchBuffer { .. }));
+    }
+
+    #[test]
+    fn unified_diff_is_empty_for_identical_inputs() {
+        let lines = render_program(&toy());
+        assert_eq!(unified_diff(&lines, &lines, "toy", 3), "");
+    }
+
+    #[test]
+    fn set_host_init_marks_the_declaration() {
+        let mut b = ProgramBuilder::new("uninit");
+        let a = b.buffer("a", 8, 4);
+        b.target().map_alloc(a).reads(a).done();
+        let p = b.build();
+        let q = Patch::single(Edit::SetHostInit { buf: a }).apply(&p).unwrap();
+        assert!(matches!(q.buffers[0].host_init, Some((Certainty::Must, Sect::Full))));
+    }
+}

@@ -42,6 +42,13 @@ impl Json {
         Json::Num(n as f64)
     }
 
+    /// String convenience constructor — accepts anything with a
+    /// `Display` (patch serializers hand it map-types, sections, and
+    /// pre-rendered descriptions alike).
+    pub fn str(s: impl std::fmt::Display) -> Json {
+        Json::Str(s.to_string())
+    }
+
     /// Look a key up in an object.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {

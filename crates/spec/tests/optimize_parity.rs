@@ -1,0 +1,40 @@
+//! Expected-optimization goldens for the SPEC workload models.
+//!
+//! `arbalest optimize` must keep report parity on all five workloads
+//! (byte-identical static diagnostics, identical dynamic reports) and
+//! find real transfer savings where the models provably over-copy:
+//! `pep` copies back a scratch histogram nobody reads on the host, and
+//! `pcg` copies its solution vector back eagerly although the per-
+//! iteration `update from` already delivers the residual the host
+//! checks. The stencil, by contrast, ping-pongs both grids through
+//! per-iteration updates the host reads every sweep — every transfer is
+//! load-bearing and must be left alone.
+
+use arbalest_ir::Binding;
+use arbalest_spec::ir_models::ir_model;
+use arbalest_spec::Preset;
+use arbalest_static::repair::minimize_transfers;
+use arbalest_static::{analyze, Severity};
+
+#[test]
+fn optimize_keeps_parity_and_sheds_redundant_transfers() {
+    let mut saved = std::collections::BTreeMap::new();
+    for name in ["postencil", "polbm", "pomriq", "pep", "pcg"] {
+        let p = ir_model(name, Preset::Test).expect("model exists");
+        let before = analyze(&p);
+        let out = minimize_transfers(&p.name, &p, &Binding::new());
+        let after = analyze(&out.patched);
+        assert_eq!(before.len(), after.len(), "{name}: diagnostic count drifted");
+        assert!(
+            after.iter().all(|d| d.severity != Severity::Must),
+            "{name}: optimization introduced a Must diagnostic"
+        );
+        assert!(out.bytes_after <= out.bytes_before, "{name}");
+        saved.insert(name, (out.saved(), out.patch.edits.len(), out.rounds));
+    }
+    // Redundant copies are found where they exist...
+    assert!(saved["pep"].0 > 0, "pep: no savings, {saved:?}");
+    assert!(saved["pcg"].0 > 0, "pcg: no savings, {saved:?}");
+    // ...and needed ones are pinned by parity.
+    assert_eq!(saved["postencil"], (0, 0, 0), "postencil must stay untouched");
+}

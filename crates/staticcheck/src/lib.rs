@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod differential;
+pub mod repair;
 
 use std::collections::{BTreeMap, BTreeSet};
 

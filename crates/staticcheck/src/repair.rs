@@ -1,0 +1,873 @@
+//! Repair synthesis and transfer minimization over static diagnostics.
+//!
+//! `arbalest fix` closes the detect→repair loop: the per-diagnostic
+//! validity facts out of the worklist fixpoint ([`facts`]) seed a
+//! candidate walk over the [`arbalest_ir::patch`] edit lattice —
+//! strengthen a map-type, clamp a map section, insert an `update` or a
+//! sync, add a missing clause or host initialisation — and every
+//! candidate must clear the same double oracle `fuzz-lint` enforces:
+//!
+//! 1. **Static**: re-running [`analyze`] on the patched program yields
+//!    zero `Must` diagnostics and no `May` diagnostic whose
+//!    `(kind, buffer)` key is new relative to the baseline.
+//! 2. **Dynamic**: the concretized patched program executes on the real
+//!    offload runtime with the ARBALEST detector attached and produces
+//!    zero reports.
+//!
+//! Candidates are ranked by a cost model — patch size first, then the
+//! modeled transfer volume ([`modeled_transfer_bytes`], which walks the
+//! construct tree with a reference-counted present table and evaluates
+//! symbolic section bounds by `Expr` interval arithmetic) — so the
+//! accepted repair is the smallest, cheapest one that verifies.
+//!
+//! `arbalest optimize` runs the same machinery in reverse
+//! ([`minimize_transfers`]): weaken `tofrom → to`, demote a copy to
+//! `alloc`, drop a dead `update`, shrink a mapped section to the accessed
+//! interval — accepting an edit only if it strictly reduces modeled bytes
+//! while keeping the static diagnostic list byte-identical and the
+//! dynamic report stream unchanged (report parity).
+
+use crate::{analyze, Diagnostic, Severity};
+use arbalest_core::{Arbalest, ArbalestConfig};
+use arbalest_ir::patch::{walk_paths, Edit, Patch};
+use arbalest_ir::{interp, Binding, BufId, BufferDecl, Certainty, MapClause, Node, Program, Sect};
+use arbalest_offload::mapping::MapType;
+use arbalest_offload::report::ReportKind;
+use arbalest_offload::runtime::{Config, Runtime};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Validity facts.
+// ---------------------------------------------------------------------------
+
+/// One diagnostic projected into the shape candidate enumeration keys
+/// on: which buffer, which violation class, which side of the mapping,
+/// at what severity.
+#[derive(Debug, Clone)]
+pub struct ValidityFact {
+    /// Affected buffer id (resolved from the diagnostic's name).
+    pub buf: BufId,
+    /// Affected buffer's registration name.
+    pub buffer: String,
+    /// Violation class.
+    pub kind: ReportKind,
+    /// `Must` (repair target) vs `May` (preserved, never widened).
+    pub severity: Severity,
+    /// True when the invalid read is on the host view (OV side).
+    pub host_side: bool,
+    /// Affected element interval `[lo, hi)`.
+    pub section: (u64, u64),
+}
+
+/// Project the analyzer's diagnostics into [`ValidityFact`]s, dropping
+/// any whose buffer name no longer resolves (cannot happen for
+/// diagnostics of the same program, but the API stays total).
+pub fn facts(p: &Program, diags: &[Diagnostic]) -> Vec<ValidityFact> {
+    diags
+        .iter()
+        .filter_map(|d| {
+            let buf = p.buffers.iter().position(|b| b.name == d.buffer)?;
+            Some(ValidityFact {
+                buf: BufId(buf as u32),
+                buffer: d.buffer.clone(),
+                kind: d.kind,
+                severity: d.severity,
+                host_side: d.device.is_host(),
+                section: d.section,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Cost model: modeled transfer bytes.
+// ---------------------------------------------------------------------------
+
+/// Upper hull of the declared length in elements.
+fn decl_len_hull(p: &Program, d: &BufferDecl) -> u64 {
+    match &d.sym_len {
+        Some(e) => e
+            .range(&p.params, None)
+            .1
+            .map(|v| v.max(0) as u64)
+            .unwrap_or(d.len),
+        None => d.len,
+    }
+}
+
+/// Conservative `[lo, hi)` element bounds of a section, using interval
+/// arithmetic for symbolic bounds. `Elems` is deliberately *not* clamped
+/// to the declaration: an oversized section transfers oversized bytes,
+/// and the cost model must see that.
+fn sect_bounds(p: &Program, d: &BufferDecl, s: &Sect) -> (u64, u64) {
+    match s {
+        Sect::Full => (0, decl_len_hull(p, d)),
+        Sect::Elems { start, len } => (*start, start.saturating_add(*len)),
+        Sect::Sym { start, len } => {
+            let lo = start.range(&p.params, None).0.map(|v| v.max(0) as u64).unwrap_or(0);
+            let ln = len
+                .range(&p.params, None)
+                .1
+                .map(|v| v.max(0) as u64)
+                .unwrap_or_else(|| decl_len_hull(p, d));
+            (lo, lo.saturating_add(ln))
+        }
+    }
+}
+
+/// Modeled bytes moved by one mapped section.
+fn sect_bytes(p: &Program, buf: BufId, s: &Sect) -> u64 {
+    let d = &p.buffers[buf.0 as usize];
+    let (lo, hi) = sect_bounds(p, d, s);
+    hi.saturating_sub(lo).saturating_mul(d.elem_size)
+}
+
+#[derive(Default, Clone)]
+struct TransferSim {
+    /// `(device, buffer) -> (mapped section bytes, refcount)`.
+    present: BTreeMap<(u16, u32), (u64, u32)>,
+    bytes: u64,
+}
+
+impl TransferSim {
+    fn entry(&mut self, p: &Program, dev: u16, c: &MapClause) {
+        let key = (dev, c.buf.0);
+        if let Some(e) = self.present.get_mut(&key) {
+            e.1 += 1;
+            return;
+        }
+        let b = sect_bytes(p, c.buf, &c.sect);
+        if c.map_type.copies_to_device() {
+            self.bytes = self.bytes.saturating_add(b);
+        }
+        if !matches!(c.map_type, MapType::Release | MapType::Delete) {
+            self.present.insert(key, (b, 1));
+        }
+    }
+
+    fn exit(&mut self, dev: u16, c: &MapClause) {
+        let key = (dev, c.buf.0);
+        let Some(e) = self.present.get_mut(&key) else { return };
+        if matches!(c.map_type, MapType::Delete) {
+            e.1 = 0;
+        } else {
+            e.1 = e.1.saturating_sub(1);
+        }
+        if e.1 == 0 {
+            let b = e.0;
+            self.present.remove(&key);
+            if c.map_type.copies_from_device() {
+                self.bytes = self.bytes.saturating_add(b);
+            }
+        }
+    }
+
+    fn run(&mut self, p: &Program, nodes: &[Node]) {
+        for n in nodes {
+            match n {
+                Node::Target(t) => {
+                    let d = t.device.0;
+                    for c in &t.maps {
+                        self.entry(p, d, c);
+                    }
+                    for c in &t.maps {
+                        self.exit(d, c);
+                    }
+                }
+                Node::TargetData { device, maps, body } => {
+                    for c in maps {
+                        self.entry(p, device.0, c);
+                    }
+                    self.run(p, body);
+                    for c in maps {
+                        self.exit(device.0, c);
+                    }
+                }
+                Node::EnterData { device, maps } => {
+                    for c in maps {
+                        self.entry(p, device.0, c);
+                    }
+                }
+                Node::ExitData { device, maps } => {
+                    for c in maps {
+                        self.exit(device.0, c);
+                    }
+                }
+                Node::Update { device, buf, .. } => {
+                    if let Some(e) = self.present.get(&(device.0, buf.0)) {
+                        self.bytes = self.bytes.saturating_add(e.0);
+                    }
+                }
+                Node::Loop { trip, body } => {
+                    // One symbolic iteration stands in for all: the bytes it
+                    // moves scale by the trip hull (present-table state after
+                    // the first iteration persists, which matches steady-state
+                    // mapping behaviour and keeps the estimate cheap).
+                    let before = self.bytes;
+                    self.run(p, body);
+                    let delta = self.bytes - before;
+                    let (lo, hi) = trip.0.range(&p.params, None);
+                    let reps = hi.or(lo).map(|v| v.max(0) as u64).unwrap_or(1);
+                    self.bytes = before.saturating_add(delta.saturating_mul(reps));
+                }
+                Node::If { then_, else_, .. } => {
+                    // Take the costlier arm; keep the then-arm's table.
+                    let mut alt = self.clone();
+                    self.run(p, then_);
+                    alt.run(p, else_);
+                    self.bytes = self.bytes.max(alt.bytes);
+                }
+                Node::Host(_) | Node::Taskwait | Node::Wait { .. } => {}
+            }
+        }
+    }
+}
+
+/// Modeled host↔device transfer volume of a program, in bytes: a
+/// present-table walk of the construct tree applying Table I semantics
+/// (entry copy for `to`/`tofrom` on first map, exit copy for
+/// `from`/`tofrom` on last unmap, per-`update` copies of the mapped
+/// section), with symbolic bounds resolved to their interval hulls.
+/// This is the repair cost model's second key and the quantity
+/// `arbalest optimize` minimizes.
+pub fn modeled_transfer_bytes(p: &Program) -> u64 {
+    let mut sim = TransferSim::default();
+    sim.run(p, &p.nodes);
+    sim.bytes
+}
+
+// ---------------------------------------------------------------------------
+// Oracles.
+// ---------------------------------------------------------------------------
+
+/// Stable fingerprint of one diagnostic, for byte-identical parity.
+fn diag_line(d: &Diagnostic) -> String {
+    format!(
+        "[{}] {} {} {:?} on {} | {} | {}",
+        d.severity.label(),
+        d.kind.label(),
+        d.buffer,
+        d.section,
+        d.device,
+        d.message,
+        d.suggested_fix
+    )
+}
+
+/// Static acceptance for a repair: zero `Must`, and every remaining
+/// `May` key already existed in the baseline.
+fn static_fix_ok(baseline: &[Diagnostic], patched: &[Diagnostic]) -> bool {
+    if patched.iter().any(|d| d.severity == Severity::Must) {
+        return false;
+    }
+    let base: BTreeSet<(&str, &str)> =
+        baseline.iter().map(|d| (d.kind.label(), d.buffer.as_str())).collect();
+    patched.iter().all(|d| base.contains(&(d.kind.label(), d.buffer.as_str())))
+}
+
+/// Execute the (concretized) program on the real offload runtime with
+/// the ARBALEST detector attached; return the sorted report keys, or the
+/// interpreter error rendered.
+fn dynamic_keys(p: &Program, b: &Binding) -> Result<Vec<String>, String> {
+    let tool = Arc::new(Arbalest::new(ArbalestConfig::default()));
+    let rt = Runtime::with_tool(Config::default(), tool);
+    interp::run(p, b, &rt).map_err(|e| e.to_string())?;
+    let mut keys: Vec<String> = rt
+        .reports()
+        .iter()
+        .map(|r| format!("{} {}", r.kind.label(), r.buffer.clone().unwrap_or_default()))
+        .collect();
+    keys.sort();
+    Ok(keys)
+}
+
+// ---------------------------------------------------------------------------
+// Candidate enumeration.
+// ---------------------------------------------------------------------------
+
+/// A map-clause site: the owning node's path plus the clause index.
+struct ClauseSite {
+    path: Vec<usize>,
+    clause: usize,
+    map_type: MapType,
+    sect: Sect,
+}
+
+fn clause_sites(p: &Program, buf: BufId) -> Vec<ClauseSite> {
+    let mut out = Vec::new();
+    walk_paths(p, &mut |path, n| {
+        let maps = match n {
+            Node::Target(t) => &t.maps,
+            Node::TargetData { maps, .. } | Node::EnterData { maps, .. } | Node::ExitData { maps, .. } => maps,
+            _ => return,
+        };
+        for (i, c) in maps.iter().enumerate() {
+            if c.buf == buf {
+                out.push(ClauseSite {
+                    path: path.to_vec(),
+                    clause: i,
+                    map_type: c.map_type,
+                    sect: c.sect.clone(),
+                });
+            }
+        }
+    });
+    out
+}
+
+/// Paths of every `Host` access of `buf` matching `is_write`.
+fn host_sites(p: &Program, buf: BufId, is_write: bool) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    walk_paths(p, &mut |path, n| {
+        if let Node::Host(a) = n {
+            if a.buf == buf && a.is_write == is_write {
+                out.push(path.to_vec());
+            }
+        }
+    });
+    out
+}
+
+/// Paths of every `Target` whose kernel reads `buf`.
+fn target_read_sites(p: &Program, buf: BufId) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    walk_paths(p, &mut |path, n| {
+        if let Node::Target(t) = n {
+            if t.body.iter().any(|a| a.buf == buf && !a.is_write) {
+                out.push(path.to_vec());
+            }
+        }
+    });
+    out
+}
+
+/// Clamp an oversized section to the declared extent.
+fn clamped_sect(p: &Program, buf: BufId, s: &Sect) -> Option<Sect> {
+    let d = &p.buffers[buf.0 as usize];
+    let extent = decl_len_hull(p, d);
+    let (lo, hi) = sect_bounds(p, d, s);
+    if hi <= extent {
+        return None;
+    }
+    let start = lo.min(extent);
+    Some(Sect::Elems { start, len: extent - start })
+}
+
+/// Repair candidates for one `Must` fact, in the synthesis-lattice order
+/// the cost model then refines. Keys are stable strings used for
+/// dedup and deterministic tie-breaking.
+fn fix_candidates(p: &Program, f: &ValidityFact, out: &mut BTreeMap<String, Patch>) {
+    let sites = clause_sites(p, f.buf);
+    match f.kind {
+        ReportKind::MappingUum | ReportKind::MappingUsd => {
+            for s in &sites {
+                // Strengthen the map-type so the needed copy happens.
+                let stronger: &[MapType] = match s.map_type {
+                    MapType::Alloc => &[MapType::To, MapType::ToFrom],
+                    MapType::From => &[MapType::ToFrom],
+                    MapType::To => &[MapType::ToFrom],
+                    // A release that should have copied back: on its own it
+                    // fixes a host-side read, and paired with a later
+                    // copy-in it threads a value between two target phases.
+                    MapType::Release => &[MapType::From],
+                    _ => &[],
+                };
+                for &t in stronger {
+                    // `tofrom`/`from` halves only matter when some read is
+                    // downstream of the copy they add; the oracles reject
+                    // the useless ones, this gate just prunes noise.
+                    if f.host_side || t.copies_to_device() || matches!(s.map_type, MapType::Release) {
+                        out.insert(
+                            format!("type {:?}#{} {t}", s.path, s.clause),
+                            Patch::single(Edit::SetMapType {
+                                path: s.path.clone(),
+                                clause: s.clause,
+                                map_type: t,
+                            }),
+                        );
+                    }
+                }
+            }
+            if f.host_side {
+                // Sync the OV before the faulting host read.
+                for at in host_sites(p, f.buf, false) {
+                    out.insert(
+                        format!("updfrom {at:?}"),
+                        Patch::single(Edit::InsertUpdate { at, to_device: false, buf: f.buf }),
+                    );
+                }
+            } else {
+                // Refresh the CV before the faulting kernel.
+                for at in target_read_sites(p, f.buf) {
+                    out.insert(
+                        format!("updto {at:?}"),
+                        Patch::single(Edit::InsertUpdate { at, to_device: true, buf: f.buf }),
+                    );
+                }
+                // A kernel with no clause at all for the buffer is missing
+                // its mapping outright.
+                for at in target_read_sites(p, f.buf) {
+                    if !sites.iter().any(|s| s.path == at) {
+                        out.insert(
+                            format!("addmap {at:?}"),
+                            Patch::single(Edit::AddMapClause {
+                                path: at,
+                                clause: MapClause { buf: f.buf, map_type: MapType::To, sect: Sect::Full },
+                            }),
+                        );
+                    }
+                }
+            }
+            // UUM on a buffer the host never definitely initialises: the
+            // missing init loop is the repair (§VI-G's data-dependent case
+            // collapses to `Must` init).
+            let decl = &p.buffers[f.buf.0 as usize];
+            if !matches!(decl.host_init, Some((Certainty::Must, _))) {
+                out.insert(format!("hostinit {}", f.buf.0), Patch::single(Edit::SetHostInit { buf: f.buf }));
+            }
+        }
+        ReportKind::MappingOverflow => {
+            for s in &sites {
+                if let Some(sect) = clamped_sect(p, f.buf, &s.sect) {
+                    out.insert(
+                        format!("sect {:?}#{}", s.path, s.clause),
+                        Patch::single(Edit::SetMapSect { path: s.path.clone(), clause: s.clause, sect }),
+                    );
+                }
+            }
+        }
+        ReportKind::DataRace => {
+            // Sync before each racing host access.
+            for at in host_sites(p, f.buf, false).into_iter().chain(host_sites(p, f.buf, true)) {
+                out.insert(format!("taskwait {at:?}"), Patch::single(Edit::InsertTaskwait { at }));
+            }
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fix synthesis.
+// ---------------------------------------------------------------------------
+
+/// Result of [`synthesize_fix`] on one program.
+#[derive(Debug, Clone)]
+pub struct FixOutcome {
+    /// Program name.
+    pub name: String,
+    /// Baseline `Must` diagnostics.
+    pub baseline_must: usize,
+    /// Baseline `May` diagnostics.
+    pub baseline_may: usize,
+    /// The accepted repair, when one was needed and found.
+    pub patch: Option<Patch>,
+    /// The repaired program.
+    pub patched: Option<Program>,
+    /// Unified IR diff of the accepted repair (empty when none).
+    pub diff: String,
+    /// Candidates enumerated (verified or not).
+    pub candidates_tried: usize,
+    /// Modeled transfer bytes before the repair.
+    pub bytes_before: u64,
+    /// Modeled transfer bytes after the repair (== before when none).
+    pub bytes_after: u64,
+}
+
+impl FixOutcome {
+    /// No `Must` diagnostics to begin with.
+    pub fn clean(&self) -> bool {
+        self.baseline_must == 0
+    }
+
+    /// A verified repair was synthesized.
+    pub fn repaired(&self) -> bool {
+        self.patch.is_some()
+    }
+
+    /// The program is clean or was repaired — the `fix all` gate.
+    pub fn ok(&self) -> bool {
+        self.clean() || self.repaired()
+    }
+}
+
+/// Synthesize a verified repair for every `Must` diagnostic of
+/// `program`. Candidates are single edits first (then pairs, should no
+/// single edit clear both oracles), ranked by patch size then modeled
+/// transfer bytes; the first candidate accepted by both oracles wins.
+pub fn synthesize_fix(name: &str, program: &Program, binding: &Binding) -> FixOutcome {
+    let baseline = analyze(program);
+    let baseline_must = baseline.iter().filter(|d| d.severity == Severity::Must).count();
+    let baseline_may = baseline.len() - baseline_must;
+    let bytes_before = modeled_transfer_bytes(program);
+    let mut outcome = FixOutcome {
+        name: name.to_string(),
+        baseline_must,
+        baseline_may,
+        patch: None,
+        patched: None,
+        diff: String::new(),
+        candidates_tried: 0,
+        bytes_before,
+        bytes_after: bytes_before,
+    };
+    if baseline_must == 0 {
+        return outcome;
+    }
+
+    let mut candidates: BTreeMap<String, Patch> = BTreeMap::new();
+    for f in facts(program, &baseline) {
+        if f.severity == Severity::Must {
+            fix_candidates(program, &f, &mut candidates);
+        }
+    }
+    // Fallback tier: pair up the single edits (bounded) in case no
+    // single edit repairs a program with several independent faults.
+    let singles: Vec<(String, Patch)> = candidates.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    for (i, (ka, a)) in singles.iter().enumerate().take(12) {
+        for (kb, b) in singles.iter().skip(i + 1).take(12) {
+            let mut edits = a.edits.clone();
+            edits.extend(b.edits.iter().cloned());
+            candidates.insert(format!("pair {ka} + {kb}"), Patch { edits });
+        }
+    }
+
+    // Rank: patch size, then modeled bytes of the patched program, then
+    // the stable key. Unapplicable candidates drop out here.
+    let mut ranked: Vec<(usize, u64, String, Patch, Program)> = Vec::new();
+    for (key, patch) in candidates {
+        let Ok(patched) = patch.apply(program) else { continue };
+        ranked.push((patch.edits.len(), modeled_transfer_bytes(&patched), key, patch, patched));
+    }
+    ranked.sort_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
+    outcome.candidates_tried = ranked.len();
+
+    for (_, bytes_after, _, patch, patched) in ranked {
+        if !static_fix_ok(&baseline, &analyze(&patched)) {
+            continue;
+        }
+        match dynamic_keys(&patched, binding) {
+            Ok(keys) if keys.is_empty() => {}
+            _ => continue,
+        }
+        outcome.diff = patch.render_diff(program).unwrap_or_default();
+        outcome.bytes_after = bytes_after;
+        outcome.patch = Some(patch);
+        outcome.patched = Some(patched);
+        break;
+    }
+    outcome
+}
+
+// ---------------------------------------------------------------------------
+// Transfer minimization.
+// ---------------------------------------------------------------------------
+
+/// Result of [`minimize_transfers`] on one program.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// Program name.
+    pub name: String,
+    /// The accumulated weakening edits (empty when already minimal).
+    pub patch: Patch,
+    /// The optimized program (== input when already minimal).
+    pub patched: Program,
+    /// Unified IR diff (empty when already minimal).
+    pub diff: String,
+    /// Modeled transfer bytes before.
+    pub bytes_before: u64,
+    /// Modeled transfer bytes after.
+    pub bytes_after: u64,
+    /// Greedy rounds that accepted an edit.
+    pub rounds: usize,
+}
+
+impl OptimizeOutcome {
+    /// Bytes removed by the optimization.
+    pub fn saved(&self) -> u64 {
+        self.bytes_before.saturating_sub(self.bytes_after)
+    }
+}
+
+/// Union of `[lo, hi)` element intervals of accesses selected by `pick`.
+fn access_union(p: &Program, buf: BufId, pick: impl Fn(&Node) -> Vec<Sect>) -> Option<(u64, u64)> {
+    let d = &p.buffers[buf.0 as usize];
+    let mut acc: Option<(u64, u64)> = None;
+    walk_paths(p, &mut |_, n| {
+        for s in pick(n) {
+            let (lo, hi) = sect_bounds(p, d, &s);
+            acc = Some(match acc {
+                None => (lo, hi),
+                Some((alo, ahi)) => (alo.min(lo), ahi.max(hi)),
+            });
+        }
+    });
+    acc
+}
+
+/// Weakening candidates over the current program: map-type demotions,
+/// dead-`update` removal, and shrinking copy sections to the interval
+/// the program provably accesses on the receiving side.
+fn optimize_candidates(p: &Program) -> BTreeMap<String, Patch> {
+    let mut out = BTreeMap::new();
+    walk_paths(p, &mut |path, n| {
+        let maps = match n {
+            Node::Target(t) => &t.maps,
+            Node::TargetData { maps, .. } | Node::EnterData { maps, .. } | Node::ExitData { maps, .. } => maps,
+            _ => {
+                if matches!(n, Node::Update { .. }) {
+                    out.insert(
+                        format!("drop {path:?}"),
+                        Patch::single(Edit::RemoveNode { at: path.to_vec() }),
+                    );
+                }
+                return;
+            }
+        };
+        for (i, c) in maps.iter().enumerate() {
+            let weaker: &[MapType] = match c.map_type {
+                MapType::ToFrom => &[MapType::To, MapType::From],
+                MapType::To => &[MapType::Alloc],
+                MapType::From => &[MapType::Alloc],
+                _ => &[],
+            };
+            for &t in weaker {
+                out.insert(
+                    format!("type {path:?}#{i} {t}"),
+                    Patch::single(Edit::SetMapType { path: path.to_vec(), clause: i, map_type: t }),
+                );
+            }
+            // Shrink a full-extent mapping to the interval the program
+            // provably touches: every kernel access must stay inside the
+            // mapped section, and a copy-back must still cover the host
+            // reads. The parity oracle proves the candidate, this union
+            // just keeps enumeration from proposing obvious overflows.
+            if matches!(c.sect, Sect::Full)
+                && (c.map_type.copies_to_device() || c.map_type.copies_from_device())
+            {
+                let buf = c.buf;
+                let from = c.map_type.copies_from_device();
+                let union = access_union(p, buf, |n| match n {
+                    Node::Target(t) => t
+                        .body
+                        .iter()
+                        .filter(|a| a.buf == buf)
+                        .map(|a| a.sect.clone())
+                        .collect(),
+                    Node::Host(a) if from && a.buf == buf && !a.is_write => vec![a.sect.clone()],
+                    _ => vec![],
+                });
+                if let Some((lo, hi)) = union {
+                    let d = &p.buffers[buf.0 as usize];
+                    let extent = decl_len_hull(p, d);
+                    if hi > lo && hi.min(extent).saturating_sub(lo) < extent {
+                        let hi = hi.min(extent);
+                        out.insert(
+                            format!("shrink {path:?}#{i}"),
+                            Patch::single(Edit::SetMapSect {
+                                path: path.to_vec(),
+                                clause: i,
+                                sect: Sect::Elems { start: lo, len: hi - lo },
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Greedily delete or narrow provably redundant transfers. An edit is
+/// accepted only when it strictly reduces [`modeled_transfer_bytes`]
+/// while the static diagnostic list stays byte-identical and the
+/// dynamic run produces the same reports (and the same interpreter
+/// outcome) as the unoptimized program — report parity, proved per edit.
+pub fn minimize_transfers(name: &str, program: &Program, binding: &Binding) -> OptimizeOutcome {
+    let baseline_diags: Vec<String> = analyze(program).iter().map(diag_line).collect();
+    let baseline_dynamic = dynamic_keys(program, binding);
+    let bytes_before = modeled_transfer_bytes(program);
+
+    let mut current = program.clone();
+    let mut bytes_cur = bytes_before;
+    let mut edits: Vec<Edit> = Vec::new();
+    let mut rounds = 0;
+    // Candidates rejected by an oracle stay rejected while node paths
+    // are stable, so remember them across rounds and only forget when an
+    // accepted edit inserts or removes nodes (which shifts paths).
+    let mut rejected: BTreeSet<String> = BTreeSet::new();
+
+    'outer: for _ in 0..64 {
+        let mut ranked: Vec<(u64, String, Patch, Program)> = Vec::new();
+        for (key, patch) in optimize_candidates(&current) {
+            if rejected.contains(&key) {
+                continue;
+            }
+            let Ok(patched) = patch.apply(&current) else { continue };
+            let b = modeled_transfer_bytes(&patched);
+            if b < bytes_cur {
+                ranked.push((b, key, patch, patched));
+            }
+        }
+        ranked.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        for (b, key, patch, patched) in ranked {
+            let diags: Vec<String> = analyze(&patched).iter().map(diag_line).collect();
+            if diags != baseline_diags || dynamic_keys(&patched, binding) != baseline_dynamic {
+                rejected.insert(key);
+                continue;
+            }
+            if patch.edits.iter().any(|e| matches!(e, Edit::RemoveNode { .. } | Edit::InsertUpdate { .. } | Edit::InsertTaskwait { .. })) {
+                rejected.clear();
+            }
+            edits.extend(patch.edits);
+            current = patched;
+            bytes_cur = b;
+            rounds += 1;
+            continue 'outer;
+        }
+        break;
+    }
+
+    let patch = Patch { edits };
+    let diff = if patch.edits.is_empty() {
+        String::new()
+    } else {
+        patch.render_diff(program).unwrap_or_default()
+    };
+    OptimizeOutcome {
+        name: name.to_string(),
+        patch,
+        patched: current,
+        diff,
+        bytes_before,
+        bytes_after: bytes_cur,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbalest_ir::ProgramBuilder;
+
+    #[test]
+    fn fix_strengthens_an_alloc_that_needed_a_copy() {
+        let mut b = ProgramBuilder::new("uum-alloc");
+        let a = b.buffer_init("a", 8, 4);
+        b.target().map_alloc(a).reads(a).done();
+        let p = b.build();
+        let out = synthesize_fix("uum-alloc", &p, &Binding::new());
+        assert_eq!(out.baseline_must, 1);
+        assert!(out.repaired(), "tried {} candidates", out.candidates_tried);
+        let patch = out.patch.as_ref().unwrap();
+        assert_eq!(patch.edits.len(), 1);
+        assert_eq!(patch.describe(&p).unwrap(), vec!["map(alloc: a) -> map(to: a)"]);
+        assert_eq!(out.bytes_before, 0);
+        assert_eq!(out.bytes_after, 32);
+        assert!(out.diff.contains("+target map(to: a)"), "{}", out.diff);
+        // Both oracles on the patched program, independently re-checked.
+        let patched = out.patched.as_ref().unwrap();
+        assert!(analyze(patched).is_empty());
+        assert_eq!(dynamic_keys(patched, &Binding::new()), Ok(vec![]));
+    }
+
+    #[test]
+    fn fix_clamps_an_oversized_section() {
+        let mut b = ProgramBuilder::new("bo-sect");
+        let a = b.buffer_init("a", 8, 4);
+        b.target().map_to_sec(a, 0, 6).reads(a).done();
+        let p = b.build();
+        let out = synthesize_fix("bo-sect", &p, &Binding::new());
+        assert!(out.repaired());
+        let patch = out.patch.as_ref().unwrap();
+        assert_eq!(patch.describe(&p).unwrap(), vec!["map section a[0:6] -> a[0:4]"]);
+        assert_eq!(out.bytes_before, 48);
+        assert_eq!(out.bytes_after, 32);
+    }
+
+    #[test]
+    fn fix_reports_clean_when_there_is_nothing_to_do() {
+        let mut b = ProgramBuilder::new("clean");
+        let a = b.buffer_init("a", 8, 4);
+        b.target().map_to(a).reads(a).done();
+        let p = b.build();
+        let out = synthesize_fix("clean", &p, &Binding::new());
+        assert!(out.clean() && out.ok() && !out.repaired());
+        assert_eq!(out.candidates_tried, 0);
+    }
+
+    #[test]
+    fn optimize_weakens_a_dead_copy_back() {
+        let mut b = ProgramBuilder::new("dead-back");
+        let a = b.buffer_init("a", 8, 4);
+        b.target().map_tofrom(a).reads(a).done();
+        let p = b.build();
+        let out = minimize_transfers("dead-back", &p, &Binding::new());
+        assert_eq!(out.bytes_before, 64);
+        assert_eq!(out.bytes_after, 32);
+        assert_eq!(out.patch.describe(&p).unwrap(), vec!["map(tofrom: a) -> map(to: a)"]);
+        assert!(analyze(&out.patched).is_empty());
+    }
+
+    #[test]
+    fn optimize_drops_a_dead_update() {
+        let mut b = ProgramBuilder::new("dead-upd");
+        let a = b.buffer_init("a", 8, 4);
+        b.data().map_to(a).scope(|p| {
+            p.target().map_to(a).reads(a).done();
+            p.update_from(a);
+        });
+        let p = b.build();
+        let out = minimize_transfers("dead-upd", &p, &Binding::new());
+        assert_eq!(out.bytes_before, 64);
+        assert_eq!(out.bytes_after, 32);
+        assert!(out
+            .patch
+            .describe(&p)
+            .unwrap()
+            .iter()
+            .any(|l| l.contains("remove target update from(a)")));
+    }
+
+    #[test]
+    fn optimize_preserves_a_needed_copy() {
+        // The host reads the result: tofrom cannot weaken, the update
+        // cannot drop — parity pins every transfer.
+        let mut b = ProgramBuilder::new("needed");
+        let a = b.buffer_init("a", 8, 4);
+        b.target().map_tofrom(a).reads(a).writes(a).done();
+        b.host_read(a);
+        let p = b.build();
+        let out = minimize_transfers("needed", &p, &Binding::new());
+        assert_eq!(out.bytes_before, out.bytes_after);
+        assert!(out.patch.edits.is_empty());
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn optimize_shrinks_a_copy_back_to_the_read_interval() {
+        let mut b = ProgramBuilder::new("shrink");
+        let a = b.buffer("a", 8, 8);
+        b.target().map_from(a).writes_sec(a, 0, 1).done();
+        b.host_read_sec(a, 0, 1);
+        let p = b.build();
+        let out = minimize_transfers("shrink", &p, &Binding::new());
+        // The copy-back narrows from the full 64 bytes to a[0:1].
+        assert_eq!(out.bytes_before, 64);
+        assert_eq!(out.bytes_after, 8);
+        assert_eq!(out.patch.describe(&p).unwrap(), vec!["map section a -> a[0:1]"]);
+    }
+
+    #[test]
+    fn modeled_bytes_follow_table_i() {
+        let mut b = ProgramBuilder::new("bytes");
+        let a = b.buffer_init("a", 8, 4); // 32B
+        let c = b.buffer_init("c", 4, 2); // 8B
+        b.enter_data(vec![MapClause { buf: a, map_type: MapType::To, sect: Sect::Full }]);
+        b.target().map_to(a).map_tofrom(c).reads(a).reads(c).writes(c).done();
+        b.exit_data(vec![MapClause { buf: a, map_type: MapType::From, sect: Sect::Full }]);
+        let p = b.build();
+        // enter to(a)=32, target: a present (0) + c in/out (8+8), exit from(a)=32.
+        assert_eq!(modeled_transfer_bytes(&p), 80);
+    }
+}
